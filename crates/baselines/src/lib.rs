@@ -1,0 +1,126 @@
+//! # hidp-baselines
+//!
+//! The distributed-inference baselines the HiDP paper compares against
+//! (§IV-A), all implementing [`hidp_core::DistributedStrategy`] so they can
+//! be evaluated head-to-head with HiDP on the same cluster simulator:
+//!
+//! * [`GpuOnlyStrategy`] — the framework default (configuration P1): the
+//!   whole model on the leader's GPU, no partitioning;
+//! * [`ModnnStrategy`] — MoDNN: capacity-proportional data partitioning,
+//!   GPU-only local execution;
+//! * [`OmniBoostStrategy`] — OmniBoost: Monte-Carlo tree search over model
+//!   (pipeline) placements, GPU-only local execution;
+//! * [`DisNetStrategy`] — DisNet: hybrid (model/data) global partitioning,
+//!   no local tier.
+//!
+//! ```
+//! use hidp_baselines::all_strategies;
+//!
+//! let strategies = all_strategies();
+//! assert_eq!(strategies.len(), 5);
+//! assert_eq!(strategies[0].name(), "HiDP");
+//! ```
+
+#![warn(missing_docs)]
+
+mod disnet;
+mod gpu_only;
+mod modnn;
+mod omniboost;
+
+pub use disnet::DisNetStrategy;
+pub use gpu_only::GpuOnlyStrategy;
+pub use modnn::ModnnStrategy;
+pub use omniboost::OmniBoostStrategy;
+
+use hidp_core::{DistributedStrategy, HidpStrategy};
+
+/// Returns HiDP plus every baseline, in the order the paper's figures list
+/// them (HiDP, DisNet, OmniBoost, MoDNN, plus the GPU-only reference).
+pub fn all_strategies() -> Vec<Box<dyn DistributedStrategy>> {
+    vec![
+        Box::new(HidpStrategy::new()),
+        Box::new(DisNetStrategy::new()),
+        Box::new(OmniBoostStrategy::new()),
+        Box::new(ModnnStrategy::new()),
+        Box::new(GpuOnlyStrategy::new()),
+    ]
+}
+
+/// Returns only the strategies compared in Fig. 5–8 (HiDP, DisNet,
+/// OmniBoost, MoDNN).
+pub fn paper_strategies() -> Vec<Box<dyn DistributedStrategy>> {
+    vec![
+        Box::new(HidpStrategy::new()),
+        Box::new(DisNetStrategy::new()),
+        Box::new(OmniBoostStrategy::new()),
+        Box::new(ModnnStrategy::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_core::evaluate;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::{presets, NodeIndex};
+
+    #[test]
+    fn strategy_names_are_unique() {
+        let strategies = all_strategies();
+        let mut names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), strategies.len());
+    }
+
+    #[test]
+    fn hidp_has_the_lowest_average_latency() {
+        // The paper's headline result (Fig. 5a): HiDP beats every baseline on
+        // average across the four workloads.
+        let cluster = presets::paper_cluster();
+        let strategies = paper_strategies();
+        let mut totals = vec![0.0f64; strategies.len()];
+        for model in WorkloadModel::ALL {
+            let graph = model.graph(1);
+            for (i, strategy) in strategies.iter().enumerate() {
+                totals[i] +=
+                    evaluate(strategy.as_ref(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
+            }
+        }
+        for (i, total) in totals.iter().enumerate().skip(1) {
+            assert!(
+                totals[0] < *total,
+                "HiDP ({:.3}s) should beat {} ({:.3}s)",
+                totals[0],
+                strategies[i].name(),
+                total
+            );
+        }
+    }
+
+    #[test]
+    fn hidp_has_the_lowest_average_energy() {
+        // Fig. 5b: lower latency also translates into lower energy.
+        let cluster = presets::paper_cluster();
+        let strategies = paper_strategies();
+        let mut totals = vec![0.0f64; strategies.len()];
+        for model in WorkloadModel::ALL {
+            let graph = model.graph(1);
+            for (i, strategy) in strategies.iter().enumerate() {
+                totals[i] += evaluate(strategy.as_ref(), &graph, &cluster, NodeIndex(1))
+                    .unwrap()
+                    .total_energy;
+            }
+        }
+        for (i, total) in totals.iter().enumerate().skip(1) {
+            assert!(
+                totals[0] < *total,
+                "HiDP ({:.1}J) should beat {} ({:.1}J)",
+                totals[0],
+                strategies[i].name(),
+                total
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmarks the DP-based design-space exploration — the overhead the
+//! paper reports as ≈15 ms per request (§III, Middleware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::LEADER;
+use hidp_core::{chain_segments, workload_summary, DseAgent, LocalPartitioner, SystemModel};
+use hidp_dnn::zoo::WorkloadModel;
+use hidp_platform::presets;
+
+fn bench_dse(c: &mut Criterion) {
+    let cluster = presets::paper_cluster();
+    let mut group = c.benchmark_group("dse_overhead");
+    group.sample_size(20);
+    for model in WorkloadModel::ALL {
+        let graph = model.graph(1);
+        let system = SystemModel::new(&graph, LEADER);
+        let segments = chain_segments(&graph);
+        let workload = workload_summary(&graph);
+        let resources = system.global_resources(&cluster);
+        group.bench_with_input(
+            BenchmarkId::new("global", model.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    DseAgent::new()
+                        .explore(&segments, &resources, workload, resources.len())
+                        .expect("exploration")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("local", model.name()), &(), |b, ()| {
+            b.iter(|| {
+                LocalPartitioner::hidp()
+                    .partition(
+                        &system,
+                        &cluster,
+                        LEADER,
+                        workload.flops,
+                        workload.input_bytes,
+                        workload.output_bytes,
+                        workload.sync_bytes / 4,
+                    )
+                    .expect("local partition")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Benchmarks one full plan-and-simulate evaluation (the unit of Fig. 5)
+//! for every strategy on ResNet-152.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_baselines::paper_strategies;
+use hidp_bench::LEADER;
+use hidp_core::evaluate;
+use hidp_dnn::zoo::WorkloadModel;
+use hidp_platform::presets;
+
+fn bench_strategies(c: &mut Criterion) {
+    let cluster = presets::paper_cluster();
+    let graph = WorkloadModel::ResNet152.graph(1);
+    let mut group = c.benchmark_group("fig5_strategies");
+    group.sample_size(10);
+    for strategy in paper_strategies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| evaluate(strategy.as_ref(), &graph, &cluster, LEADER).expect("evaluation"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

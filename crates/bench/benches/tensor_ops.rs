@@ -1,0 +1,29 @@
+//! Benchmarks the reference tensor kernels used by the equivalence tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hidp_tensor::{ops, Tensor};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rand::thread_rng();
+    let input = Tensor::random(&[1, 16, 32, 32], 1.0, &mut rng).unwrap();
+    let weight = Tensor::random(&[16, 16, 3, 3], 0.5, &mut rng).unwrap();
+    let dense_in = Tensor::random(&[8, 1024], 1.0, &mut rng).unwrap();
+    let dense_w = Tensor::random(&[256, 1024], 0.5, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("tensor_ops");
+    group.sample_size(20);
+    group.bench_function("conv2d_16x32x32_3x3", |b| {
+        b.iter(|| ops::conv2d(&input, &weight, None, (1, 1), (1, 1)).unwrap())
+    });
+    group.bench_function("dense_8x1024x256", |b| {
+        b.iter(|| ops::dense(&dense_in, &dense_w, None).unwrap())
+    });
+    group.bench_function("softmax_8x256", |b| {
+        let logits = ops::dense(&dense_in, &dense_w, None).unwrap();
+        b.iter(|| ops::softmax(&logits).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates every table and figure of the HiDP paper's evaluation and
+//! prints them as markdown, followed by a JSON dump (for EXPERIMENTS.md).
+
+fn main() {
+    let tables = vec![
+        hidp_bench::table2_platform(),
+        hidp_bench::fig1_partitioning_configs(),
+        hidp_bench::fig5_latency(),
+        hidp_bench::fig5_energy(),
+        hidp_bench::fig6_dynamic_performance(),
+        hidp_bench::fig7_mix_throughput(),
+        hidp_bench::fig8_node_scaling(),
+        hidp_bench::accuracy_equivalence(),
+        hidp_bench::dse_overhead(),
+        hidp_bench::ablation(),
+    ];
+    for table in &tables {
+        println!("{}", table.to_markdown());
+    }
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", hidp_bench::tables_to_json(&tables));
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the "fig1" experiment of the HiDP paper and prints it as a
+//! markdown table. See DESIGN.md §4 for the experiment index.
+
+fn main() {
+    let table = hidp_bench::fig1_partitioning_configs();
+    println!("{}", table.to_markdown());
+}

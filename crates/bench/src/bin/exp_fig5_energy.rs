@@ -1,0 +1,7 @@
+//! Regenerates the "fig5_energy" experiment of the HiDP paper and prints it as a
+//! markdown table. See DESIGN.md §4 for the experiment index.
+
+fn main() {
+    let table = hidp_bench::fig5_energy();
+    println!("{}", table.to_markdown());
+}

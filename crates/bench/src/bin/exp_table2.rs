@@ -1,0 +1,7 @@
+//! Regenerates the "table2" experiment of the HiDP paper and prints it as a
+//! markdown table. See DESIGN.md §4 for the experiment index.
+
+fn main() {
+    let table = hidp_bench::table2_platform();
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,195 @@
+//! The communication module: typed message passing between the nodes of the
+//! collaborative edge cluster (paper §III, "Communication Module").
+//!
+//! The physical system uses a POSIX client/server architecture over an
+//! 80 MB/s wireless network; this reproduction uses in-process channels
+//! (one mailbox per node) with the same message vocabulary, so the leader /
+//! follower orchestration logic in [`crate::runtime`] is exercised end to
+//! end. Transfer *times* are accounted for by the simulator, not by these
+//! channels.
+
+use crate::global::GlobalShare;
+use crate::local::LocalAssignment;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hidp_platform::NodeIndex;
+use std::time::Duration;
+
+/// Messages exchanged between the leader and follower nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Leader → follower: "are you available for request `request_id`?"
+    StatusRequest {
+        /// The request being scheduled.
+        request_id: u64,
+    },
+    /// Follower → leader: availability reply (paper Eq. 4).
+    StatusReply {
+        /// The request being scheduled.
+        request_id: u64,
+        /// The replying node.
+        node: NodeIndex,
+        /// Whether the node can accept work.
+        available: bool,
+    },
+    /// Leader → follower: an offloaded share of the workload.
+    Offload {
+        /// The request being scheduled.
+        request_id: u64,
+        /// Name of the DNN model (for tracing).
+        model: String,
+        /// The share to execute.
+        share: GlobalShare,
+    },
+    /// Follower → leader: the result of executing a share.
+    ShareResult {
+        /// The request being scheduled.
+        request_id: u64,
+        /// The reporting node.
+        node: NodeIndex,
+        /// The local scheduling decision the follower made.
+        local: LocalAssignment,
+    },
+    /// Leader → follower: stop serving requests.
+    Shutdown,
+}
+
+/// Error raised when a message cannot be delivered or received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommError {
+    /// Description of the failure.
+    pub what: String,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "communication error: {}", self.what)
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// One node's view of the cluster network: it can send to every node and
+/// receive from its own mailbox.
+#[derive(Debug, Clone)]
+pub struct CommEndpoint {
+    node: NodeIndex,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+}
+
+impl CommEndpoint {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeIndex {
+        self.node
+    }
+
+    /// Sends a message to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError`] when the destination does not exist or its
+    /// mailbox has been dropped.
+    pub fn send(&self, to: NodeIndex, message: Message) -> Result<(), CommError> {
+        let sender = self.senders.get(to.0).ok_or_else(|| CommError {
+            what: format!("no such node {to}"),
+        })?;
+        sender.send(message).map_err(|_| CommError {
+            what: format!("mailbox of {to} is closed"),
+        })
+    }
+
+    /// Sends a message to every node except this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first delivery failure.
+    pub fn broadcast(&self, message: Message) -> Result<(), CommError> {
+        for (idx, _) in self.senders.iter().enumerate() {
+            if idx == self.node.0 {
+                continue;
+            }
+            self.send(NodeIndex(idx), message.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next message for this node, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError`] on timeout or when all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        self.receiver.recv_timeout(timeout).map_err(|e| CommError {
+            what: match e {
+                RecvTimeoutError::Timeout => format!("timed out after {timeout:?}"),
+                RecvTimeoutError::Disconnected => "all senders disconnected".into(),
+            },
+        })
+    }
+
+    /// Number of nodes reachable from this endpoint (including itself).
+    pub fn cluster_size(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+/// Creates one connected endpoint per node of an `n`-node cluster.
+pub fn build_endpoints(n: usize) -> Vec<CommEndpoint> {
+    let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+        (0..n).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    channels
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (_, receiver))| CommEndpoint {
+            node: NodeIndex(idx),
+            senders: senders.clone(),
+            receiver,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let endpoints = build_endpoints(3);
+        endpoints[0]
+            .send(NodeIndex(2), Message::StatusRequest { request_id: 7 })
+            .unwrap();
+        let msg = endpoints[2].recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(msg, Message::StatusRequest { request_id: 7 });
+        assert_eq!(endpoints[0].cluster_size(), 3);
+        assert_eq!(endpoints[1].node(), NodeIndex(1));
+    }
+
+    #[test]
+    fn broadcast_skips_the_sender() {
+        let endpoints = build_endpoints(3);
+        endpoints[1].broadcast(Message::Shutdown).unwrap();
+        assert!(endpoints[0].recv_timeout(Duration::from_millis(100)).is_ok());
+        assert!(endpoints[2].recv_timeout(Duration::from_millis(100)).is_ok());
+        // The sender's own mailbox stays empty.
+        assert!(endpoints[1].recv_timeout(Duration::from_millis(20)).is_err());
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let endpoints = build_endpoints(2);
+        let err = endpoints[0]
+            .send(NodeIndex(5), Message::Shutdown)
+            .unwrap_err();
+        assert!(err.to_string().contains("no such node"));
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let endpoints = build_endpoints(2);
+        let err = endpoints[0]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap_err();
+        assert!(err.to_string().contains("timed out"));
+    }
+}

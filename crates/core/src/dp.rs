@@ -1,0 +1,484 @@
+//! The dynamic-programming partitioning search (paper Algorithm 1, lines
+//! 4–6 and 8–10).
+//!
+//! The same routine is used at both hierarchy levels because the arguments
+//! are the same in either case: a chain of candidate segments (derived from
+//! the DNN's cut points) and a vector of resources with computation and
+//! communication rates (nodes with `Ψ{Λ, β}` globally, processors with
+//! `ψ{λ, μ}` locally).
+//!
+//! * [`model_partition_search`] splits the chain into at most `m` contiguous
+//!   blocks, assigns each block to a distinct resource (fastest resources
+//!   first, mirroring the paper's "largest possible block sizes following the
+//!   resource heterogeneity") and minimises the end-to-end latency of one
+//!   request, including inter-block activation transfers and the final
+//!   result return.
+//! * [`data_partition_search`] explores the number of parallel sub-models
+//!   `σ` and assigns input fractions proportional to resource rates,
+//!   minimising the slowest part (plus synchronisation overhead).
+
+use crate::system_model::Resource;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// One segment of the layer chain (the span between two consecutive cut
+/// points). Blocks are unions of consecutive segments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainSegment {
+    /// Flops of the segment.
+    pub flops: u64,
+    /// Bytes of the activation tensor crossing the segment's trailing
+    /// boundary (what a pipeline would transfer if it cut here).
+    pub boundary_bytes: u64,
+}
+
+/// Result of the model-partitioning search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSearch {
+    /// For each block, the index of the last segment it contains.
+    pub block_ends: Vec<usize>,
+    /// For each block, the index (into the resource slice) it is assigned to.
+    pub assignments: Vec<usize>,
+    /// Estimated end-to-end latency in seconds.
+    pub latency: f64,
+}
+
+impl ModelSearch {
+    /// Number of blocks chosen.
+    pub fn block_count(&self) -> usize {
+        self.block_ends.len()
+    }
+}
+
+/// One parallel share of the data-partitioning search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataShare {
+    /// Index into the resource slice.
+    pub resource: usize,
+    /// Fraction of the input assigned to the resource (0, 1].
+    pub fraction: f64,
+}
+
+/// Result of the data-partitioning search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSearch {
+    /// The parallel shares (one per participating resource).
+    pub shares: Vec<DataShare>,
+    /// Estimated end-to-end latency in seconds.
+    pub latency: f64,
+}
+
+impl DataSearch {
+    /// Number of parallel sub-models (`σ`).
+    pub fn parallelism(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+/// Total input bytes, output bytes and flops of the workload being searched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Bytes of the tensor entering the workload.
+    pub input_bytes: u64,
+    /// Bytes of the tensor leaving the workload (returned to the coordinator).
+    pub output_bytes: u64,
+    /// Total flops.
+    pub flops: u64,
+    /// Bytes exchanged between neighbouring parts per synchronisation
+    /// boundary when the workload is data-partitioned (halo traffic).
+    pub sync_bytes: u64,
+}
+
+fn sorted_by_rate(resources: &[Resource]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..resources.len()).collect();
+    order.sort_by(|a, b| {
+        resources[*b]
+            .rate
+            .partial_cmp(&resources[*a].rate)
+            .expect("rates are finite")
+    });
+    order
+}
+
+/// Splits a chain of segments into at most `resources.len()` contiguous
+/// blocks and assigns them to resources, minimising single-request latency.
+///
+/// The search runs in `O(n² · m)` for `n` segments and `m` resources; with
+/// the block-level cut points of the zoo models and a five-node cluster this
+/// is a few hundred thousand table updates (the ~15 ms overhead the paper
+/// reports).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `segments` or `resources` is empty
+/// or any resource has a non-positive rate.
+pub fn model_partition_search(
+    segments: &[ChainSegment],
+    resources: &[Resource],
+    workload: WorkloadSummary,
+) -> Result<ModelSearch, CoreError> {
+    if segments.is_empty() {
+        return Err(CoreError::Infeasible {
+            what: "model partition search needs at least one segment".into(),
+        });
+    }
+    if resources.is_empty() {
+        return Err(CoreError::Infeasible {
+            what: "model partition search needs at least one resource".into(),
+        });
+    }
+    if resources.iter().any(|r| !(r.rate > 0.0)) {
+        return Err(CoreError::Infeasible {
+            what: "all resources must have a positive computation rate".into(),
+        });
+    }
+
+    let order = sorted_by_rate(resources);
+    let n = segments.len();
+    let m = resources.len();
+
+    // Prefix sums of flops so block flops are O(1).
+    let mut prefix_flops = vec![0u64; n + 1];
+    for (i, seg) in segments.iter().enumerate() {
+        prefix_flops[i + 1] = prefix_flops[i] + seg.flops;
+    }
+    let block_flops = |first: usize, last: usize| prefix_flops[last + 1] - prefix_flops[first];
+
+    // dp[i][j]: minimal latency to finish segments 0..i using only the first
+    // j resources in `order`, where the block ending at segment i-1 ran on
+    // resource order[j-1]. usize::MAX-style sentinel via f64::INFINITY.
+    let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    let mut choice: Vec<Vec<Option<usize>>> = vec![vec![None; m + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=m {
+        let resource = &resources[order[j - 1]];
+        for i in 1..=n {
+            for k in 0..i {
+                // Block covers segments k..i-1 (inclusive), runs on resource j-1.
+                let mut best_prev = f64::INFINITY;
+                for jp in 0..j {
+                    if dp[k][jp] < best_prev {
+                        best_prev = dp[k][jp];
+                    }
+                }
+                if !best_prev.is_finite() {
+                    continue;
+                }
+                // Input to this block: the workload input for the first
+                // block, otherwise the boundary activation of segment k-1.
+                let input_bytes = if k == 0 {
+                    workload.input_bytes
+                } else {
+                    segments[k - 1].boundary_bytes
+                };
+                let mut cost = best_prev
+                    + resource.transfer_time(input_bytes)
+                    + resource.compute_time(block_flops(k, i - 1));
+                if i == n {
+                    // Return the final result to the coordinator.
+                    cost += resource.transfer_time(workload.output_bytes);
+                }
+                if cost < dp[i][j] {
+                    dp[i][j] = cost;
+                    choice[i][j] = Some(k);
+                }
+            }
+        }
+    }
+
+    // Best over the number of resources actually used.
+    let (mut best_j, mut best_latency) = (0usize, f64::INFINITY);
+    for j in 1..=m {
+        if dp[n][j] < best_latency {
+            best_latency = dp[n][j];
+            best_j = j;
+        }
+    }
+    if !best_latency.is_finite() {
+        return Err(CoreError::Infeasible {
+            what: "model partition search found no feasible assignment".into(),
+        });
+    }
+
+    // Backtrack.
+    let mut block_ends_rev = Vec::new();
+    let mut assignments_rev = Vec::new();
+    let mut i = n;
+    let mut j = best_j;
+    while i > 0 {
+        let k = choice[i][j].expect("backtracking follows a feasible path");
+        block_ends_rev.push(i - 1);
+        assignments_rev.push(order[j - 1]);
+        // Find which jp produced best_prev for dp[k][..j].
+        let mut best_jp = 0usize;
+        let mut best_val = f64::INFINITY;
+        for jp in 0..j {
+            if dp[k][jp] < best_val {
+                best_val = dp[k][jp];
+                best_jp = jp;
+            }
+        }
+        i = k;
+        j = best_jp;
+        if i == 0 {
+            break;
+        }
+    }
+    block_ends_rev.reverse();
+    assignments_rev.reverse();
+    Ok(ModelSearch {
+        block_ends: block_ends_rev,
+        assignments: assignments_rev,
+        latency: best_latency,
+    })
+}
+
+/// Explores the number of parallel sub-models `σ` (1 ..= `max_parts`) for
+/// data partitioning and returns the fastest configuration. Shares are
+/// proportional to resource rates (faster resources take larger slices).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `resources` is empty, rates are
+/// non-positive, or `max_parts` is zero.
+pub fn data_partition_search(
+    resources: &[Resource],
+    workload: WorkloadSummary,
+    max_parts: usize,
+) -> Result<DataSearch, CoreError> {
+    if resources.is_empty() {
+        return Err(CoreError::Infeasible {
+            what: "data partition search needs at least one resource".into(),
+        });
+    }
+    if resources.iter().any(|r| !(r.rate > 0.0)) {
+        return Err(CoreError::Infeasible {
+            what: "all resources must have a positive computation rate".into(),
+        });
+    }
+    if max_parts == 0 {
+        return Err(CoreError::Infeasible {
+            what: "data partition search needs max_parts >= 1".into(),
+        });
+    }
+
+    let order = sorted_by_rate(resources);
+    let mut best: Option<DataSearch> = None;
+    for sigma in 1..=max_parts.min(resources.len()) {
+        let selected = &order[..sigma];
+        let total_rate: f64 = selected.iter().map(|&i| resources[i].rate).sum();
+        let shares: Vec<DataShare> = selected
+            .iter()
+            .map(|&i| DataShare {
+                resource: i,
+                fraction: resources[i].rate / total_rate,
+            })
+            .collect();
+        // Latency of the slowest part. Interior parts exchange halos with two
+        // neighbours, so charge sync traffic per additional part.
+        let mut latency: f64 = 0.0;
+        for share in &shares {
+            let resource = &resources[share.resource];
+            let flops = (workload.flops as f64 * share.fraction) as u64;
+            let sync = if sigma == 1 { 0 } else { workload.sync_bytes };
+            let part_latency = resource
+                .transfer_time((workload.input_bytes as f64 * share.fraction).ceil() as u64)
+                + resource.compute_time(flops + sync / 4)
+                + resource.transfer_time(
+                    (workload.output_bytes as f64 * share.fraction).ceil() as u64
+                        + if sigma == 1 { 0 } else { sync },
+                );
+            latency = latency.max(part_latency);
+        }
+        if best.as_ref().map(|b| latency < b.latency).unwrap_or(true) {
+            best = Some(DataSearch { shares, latency });
+        }
+    }
+    best.ok_or_else(|| CoreError::Infeasible {
+        what: "data partition search found no feasible configuration".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_platform::NodeIndex;
+
+    fn resource(name: &str, node: usize, rate: f64, comm_rate: f64) -> Resource {
+        Resource {
+            node: NodeIndex(node),
+            processor: None,
+            name: name.into(),
+            rate,
+            comm_rate,
+        }
+    }
+
+    fn workload(flops: u64) -> WorkloadSummary {
+        WorkloadSummary {
+            input_bytes: 600_000,
+            output_bytes: 4_000,
+            flops,
+            sync_bytes: 50_000,
+        }
+    }
+
+    fn uniform_segments(count: usize, flops_each: u64) -> Vec<ChainSegment> {
+        (0..count)
+            .map(|_| ChainSegment {
+                flops: flops_each,
+                boundary_bytes: 100_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_resource_model_search_is_one_block() {
+        let segments = uniform_segments(10, 1_000_000_000);
+        let resources = vec![resource("leader", 0, 1e10, f64::INFINITY)];
+        let result =
+            model_partition_search(&segments, &resources, workload(10_000_000_000)).unwrap();
+        assert_eq!(result.block_count(), 1);
+        assert_eq!(result.assignments, vec![0]);
+        assert!((result.latency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_communication_spreads_blocks_across_resources() {
+        let segments = uniform_segments(8, 1_000_000_000);
+        // Two equal resources with effectively free communication: splitting
+        // would be pointless for a *pipelined* single request (sum of compute
+        // is constant), so the search keeps one block on one resource —
+        // unless transfers cost nothing AND rates differ. Verify it never
+        // does worse than the single-resource answer.
+        let resources = vec![
+            resource("a", 0, 1e10, f64::INFINITY),
+            resource("b", 1, 1e10, 1e12),
+        ];
+        let result =
+            model_partition_search(&segments, &resources, workload(8_000_000_000)).unwrap();
+        assert!(result.latency <= 0.8 + 1e-9);
+    }
+
+    #[test]
+    fn slow_network_keeps_work_on_the_leader() {
+        let segments = uniform_segments(6, 2_000_000_000);
+        let resources = vec![
+            resource("leader", 0, 5e9, f64::INFINITY),
+            // Faster node behind a terrible link.
+            resource("remote", 1, 50e9, 1e3),
+        ];
+        let result =
+            model_partition_search(&segments, &resources, workload(12_000_000_000)).unwrap();
+        assert_eq!(result.assignments, vec![0], "work must stay local");
+    }
+
+    #[test]
+    fn fast_network_offloads_to_the_faster_node() {
+        let segments = uniform_segments(6, 2_000_000_000);
+        let resources = vec![
+            resource("leader", 0, 5e9, f64::INFINITY),
+            resource("remote", 1, 50e9, 1e9),
+        ];
+        let result =
+            model_partition_search(&segments, &resources, workload(12_000_000_000)).unwrap();
+        // The remote node must execute at least one block.
+        assert!(result.assignments.contains(&1));
+        // And the result must beat leader-only execution (2.4 s).
+        assert!(result.latency < 12.0 / 5.0);
+    }
+
+    #[test]
+    fn model_search_rejects_degenerate_inputs() {
+        let resources = vec![resource("a", 0, 1e9, f64::INFINITY)];
+        assert!(model_partition_search(&[], &resources, workload(1)).is_err());
+        let segments = uniform_segments(2, 100);
+        assert!(model_partition_search(&segments, &[], workload(1)).is_err());
+        let bad = vec![resource("a", 0, 0.0, f64::INFINITY)];
+        assert!(model_partition_search(&segments, &bad, workload(1)).is_err());
+    }
+
+    #[test]
+    fn data_search_fractions_are_rate_proportional() {
+        let resources = vec![
+            resource("fast", 0, 3e9, f64::INFINITY),
+            resource("slow", 1, 1e9, 80e6),
+        ];
+        let result = data_partition_search(&resources, workload(4_000_000_000), 2).unwrap();
+        if result.parallelism() == 2 {
+            let fast = result
+                .shares
+                .iter()
+                .find(|s| s.resource == 0)
+                .unwrap()
+                .fraction;
+            let slow = result
+                .shares
+                .iter()
+                .find(|s| s.resource == 1)
+                .unwrap()
+                .fraction;
+            assert!((fast / slow - 3.0).abs() < 1e-9);
+            assert!((fast + slow - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn data_search_parallelism_helps_until_comm_dominates() {
+        // Large compute, decent network: two parts beat one.
+        let resources = vec![
+            resource("a", 0, 1e9, f64::INFINITY),
+            resource("b", 1, 1e9, 80e6),
+        ];
+        let heavy = WorkloadSummary {
+            input_bytes: 600_000,
+            output_bytes: 4_000,
+            flops: 20_000_000_000,
+            sync_bytes: 100_000,
+        };
+        let one = data_partition_search(&resources, heavy, 1).unwrap();
+        let two = data_partition_search(&resources, heavy, 2).unwrap();
+        assert!(two.latency < one.latency);
+
+        // Tiny compute, expensive sync: stays at σ = 1.
+        let light = WorkloadSummary {
+            input_bytes: 600_000,
+            output_bytes: 4_000,
+            flops: 10_000_000,
+            sync_bytes: 50_000_000,
+        };
+        let best = data_partition_search(&resources, light, 4).unwrap();
+        assert_eq!(best.parallelism(), 1);
+    }
+
+    #[test]
+    fn data_search_rejects_degenerate_inputs() {
+        assert!(data_partition_search(&[], workload(1), 2).is_err());
+        let resources = vec![resource("a", 0, 1e9, f64::INFINITY)];
+        assert!(data_partition_search(&resources, workload(1), 0).is_err());
+        let bad = vec![resource("a", 0, -1.0, f64::INFINITY)];
+        assert!(data_partition_search(&bad, workload(1), 1).is_err());
+    }
+
+    #[test]
+    fn block_ends_are_increasing_and_cover_the_chain() {
+        let segments = uniform_segments(12, 500_000_000);
+        let resources = vec![
+            resource("a", 0, 4e9, f64::INFINITY),
+            resource("b", 1, 2e9, 5e8),
+            resource("c", 2, 1e9, 5e8),
+        ];
+        let result =
+            model_partition_search(&segments, &resources, workload(6_000_000_000)).unwrap();
+        assert_eq!(*result.block_ends.last().unwrap(), 11);
+        for pair in result.block_ends.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert_eq!(result.block_ends.len(), result.assignments.len());
+        // Assignments must be distinct resources.
+        let mut sorted = result.assignments.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), result.assignments.len());
+    }
+}

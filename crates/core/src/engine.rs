@@ -1,0 +1,342 @@
+//! The HiDP strategy: hierarchical (global → local) partitioning compiled
+//! into an executable cluster plan.
+//!
+//! This is the end-to-end composition of the paper's Algorithm 1:
+//!
+//! 1. the **global partitioner** consults the DSE agent over the cluster-level
+//!    `Ψ{Λ, β}` vector and selects the partitioning mode and per-node shares;
+//! 2. for every share, the **local partitioner** consults the DSE agent again
+//!    over the node-local `ψ{λ, μ}` vector and splits the share across the
+//!    node's CPU clusters and GPU;
+//! 3. the resulting task graph (input transfers, per-processor compute tasks,
+//!    result returns, final merge) is emitted as an [`ExecutionPlan`] for the
+//!    cluster simulator.
+
+use crate::global::{GlobalAssignment, GlobalPartitioner, ShareKind};
+use crate::local::{LocalAssignment, LocalPartitioner};
+use crate::strategy::DistributedStrategy;
+use crate::system_model::SystemModel;
+use crate::CoreError;
+use hidp_dnn::{DnnGraph, PartitionMode};
+use hidp_platform::{Cluster, NodeIndex, ProcessorAddr, ProcessorIndex};
+use hidp_sim::{ExecutionPlan, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Flops charged on the leader for merging `bytes` of partial results.
+fn merge_flops(bytes: u64) -> u64 {
+    // One multiply-add per merged element.
+    (bytes / 4) * 2
+}
+
+/// A fully resolved hierarchical plan (kept for inspection and tracing; the
+/// simulator consumes the flattened [`ExecutionPlan`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalPlan {
+    /// The global (cluster-level) assignment.
+    pub global: GlobalAssignment,
+    /// The local (node-level) assignment for every share, in share order.
+    pub locals: Vec<LocalAssignment>,
+}
+
+/// The HiDP distributed-inference strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HidpStrategy {
+    /// Global partitioner configuration.
+    pub global: GlobalPartitioner,
+    /// Local partitioner configuration.
+    pub local: LocalPartitioner,
+}
+
+impl HidpStrategy {
+    /// Creates the canonical HiDP strategy (core-aware at both tiers).
+    pub fn new() -> Self {
+        Self {
+            global: GlobalPartitioner::hidp(),
+            local: LocalPartitioner::hidp(),
+        }
+    }
+
+    /// An ablation variant: hierarchical planning with the local tier
+    /// disabled (framework-default GPU execution on every node).
+    pub fn without_local_tier() -> Self {
+        Self {
+            global: GlobalPartitioner::hidp(),
+            local: LocalPartitioner::gpu_only(),
+        }
+    }
+
+    /// Computes the hierarchical plan (global + per-share local decisions)
+    /// without lowering it to an execution plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cluster has no available nodes or a share
+    /// cannot be scheduled locally.
+    pub fn hierarchical_plan(
+        &self,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<HierarchicalPlan, CoreError> {
+        let system = SystemModel::new(graph, leader);
+        let global = self.global.partition(graph, cluster, leader)?;
+        let mut locals = Vec::with_capacity(global.shares.len());
+        for share in &global.shares {
+            // Local halo traffic moves through the memory system; it is much
+            // smaller than the global sync volume. Scale by the share size.
+            let local_sync = match share.kind {
+                ShareKind::DataPart { .. } => share.sync_bytes / 4,
+                ShareKind::Block { .. } => share.input_bytes / 8,
+            };
+            locals.push(self.local.partition(
+                &system,
+                cluster,
+                share.node,
+                share.flops,
+                share.input_bytes,
+                share.output_bytes,
+                local_sync,
+            )?);
+        }
+        Ok(HierarchicalPlan { global, locals })
+    }
+
+    /// Lowers a hierarchical plan to the task graph the simulator executes.
+    ///
+    /// `gpu_affinity` is the workload's flops-weighted GPU affinity; the
+    /// simulator uses it to derive each processor's effective rate, exactly
+    /// as the planner did.
+    pub fn lower(
+        &self,
+        plan: &HierarchicalPlan,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        gpu_affinity: f64,
+    ) -> ExecutionPlan {
+        let mut exec = ExecutionPlan::new();
+        let leader_cpu = leader_anchor(cluster, leader);
+        match plan.global.mode {
+            PartitionMode::Data => {
+                let mut return_tasks: Vec<TaskId> = Vec::new();
+                let mut returned_bytes = 0u64;
+                for (share, local) in plan.global.shares.iter().zip(plan.locals.iter()) {
+                    let input = exec.add_transfer(
+                        format!("scatter->{}", node_name(cluster, share.node)),
+                        leader,
+                        share.node,
+                        share.input_bytes,
+                        &[],
+                    );
+                    let computes =
+                        add_local_computes(&mut exec, cluster, share.node, local, &[input], gpu_affinity);
+                    let back = exec.add_transfer(
+                        format!("gather<-{}", node_name(cluster, share.node)),
+                        share.node,
+                        leader,
+                        share.output_bytes + share.sync_bytes,
+                        &computes,
+                    );
+                    returned_bytes += share.output_bytes;
+                    return_tasks.push(back);
+                }
+                exec.add_compute(
+                    "merge@leader",
+                    leader_cpu,
+                    merge_flops(returned_bytes),
+                    0.5,
+                    &return_tasks,
+                );
+            }
+            PartitionMode::Model => {
+                let mut prev_tasks: Vec<TaskId> = Vec::new();
+                let mut prev_node = leader;
+                for (share, local) in plan.global.shares.iter().zip(plan.locals.iter()) {
+                    let input = exec.add_transfer(
+                        format!(
+                            "activations {}->{}",
+                            node_name(cluster, prev_node),
+                            node_name(cluster, share.node)
+                        ),
+                        prev_node,
+                        share.node,
+                        share.input_bytes,
+                        &prev_tasks,
+                    );
+                    let computes =
+                        add_local_computes(&mut exec, cluster, share.node, local, &[input], gpu_affinity);
+                    prev_tasks = computes;
+                    prev_node = share.node;
+                }
+                let last_share = plan
+                    .global
+                    .shares
+                    .last()
+                    .expect("global assignment always has at least one share");
+                let back = exec.add_transfer(
+                    format!("result {}->leader", node_name(cluster, prev_node)),
+                    prev_node,
+                    leader,
+                    last_share.output_bytes,
+                    &prev_tasks,
+                );
+                exec.add_compute(
+                    "report@leader",
+                    leader_cpu,
+                    merge_flops(last_share.output_bytes),
+                    0.5,
+                    &[back],
+                );
+            }
+        }
+        exec
+    }
+}
+
+fn node_name(cluster: &Cluster, node: NodeIndex) -> String {
+    cluster
+        .node(node)
+        .map(|n| n.name.clone())
+        .unwrap_or_else(|_| node.to_string())
+}
+
+/// The processor used for coordination work on the leader (its first CPU
+/// cluster, falling back to processor 0).
+fn leader_anchor(cluster: &Cluster, leader: NodeIndex) -> ProcessorAddr {
+    let processor = cluster
+        .node(leader)
+        .ok()
+        .and_then(|n| n.cpu_indices().first().copied())
+        .unwrap_or(ProcessorIndex(0));
+    ProcessorAddr {
+        node: leader,
+        processor,
+    }
+}
+
+/// Adds one compute task per local split and returns their ids. The
+/// workload's GPU affinity is attached to every compute task so the simulator
+/// derives the same effective processor rates the planner used.
+fn add_local_computes(
+    exec: &mut ExecutionPlan,
+    cluster: &Cluster,
+    node: NodeIndex,
+    local: &LocalAssignment,
+    deps: &[TaskId],
+    gpu_affinity: f64,
+) -> Vec<TaskId> {
+    local
+        .splits
+        .iter()
+        .map(|split| {
+            let name = cluster
+                .processor(split.processor)
+                .map(|p| format!("{}@{}", p.name, node_name(cluster, node)))
+                .unwrap_or_else(|_| format!("compute@{node}"));
+            exec.add_compute(name, split.processor, split.flops, gpu_affinity, deps)
+        })
+        .collect()
+}
+
+impl DistributedStrategy for HidpStrategy {
+    fn name(&self) -> &str {
+        if matches!(self.local.policy, crate::local::LocalPolicy::CoreAware) {
+            "HiDP"
+        } else {
+            "HiDP-global-only"
+        }
+    }
+
+    fn plan(
+        &self,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<ExecutionPlan, CoreError> {
+        let hierarchical = self.hierarchical_plan(graph, cluster, leader)?;
+        let exec = self.lower(&hierarchical, cluster, leader, graph.gpu_affinity());
+        exec.validate()?;
+        Ok(exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::evaluate;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+    use hidp_sim::simulate;
+
+    #[test]
+    fn plans_are_valid_and_simulatable_for_all_models() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        for model in WorkloadModel::ALL {
+            let graph = model.graph(1);
+            let plan = strategy.plan(&graph, &cluster, NodeIndex(0)).unwrap();
+            assert!(plan.validate().is_ok());
+            let report = simulate(&plan, &cluster).unwrap();
+            assert!(report.makespan > 0.0, "{model}");
+            // All the model's flops are scheduled somewhere (merge/report
+            // tasks add a little extra).
+            assert!(plan.total_flops() >= graph.total_flops(), "{model}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_plan_has_one_local_decision_per_share() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::ResNet152.graph(1);
+        let plan = strategy.hierarchical_plan(&graph, &cluster, NodeIndex(0)).unwrap();
+        assert_eq!(plan.global.shares.len(), plan.locals.len());
+        for (share, local) in plan.global.shares.iter().zip(plan.locals.iter()) {
+            assert_eq!(share.node, local.node);
+            assert!(local.total_flops() >= share.flops);
+        }
+    }
+
+    #[test]
+    fn hidp_beats_its_global_only_ablation() {
+        let cluster = presets::paper_cluster();
+        let hidp = HidpStrategy::new();
+        let ablated = HidpStrategy::without_local_tier();
+        for model in WorkloadModel::ALL {
+            let graph = model.graph(1);
+            let full = evaluate(&hidp, &graph, &cluster, NodeIndex(0)).unwrap();
+            let global_only = evaluate(&ablated, &graph, &cluster, NodeIndex(0)).unwrap();
+            assert!(
+                full.latency <= global_only.latency * 1.02,
+                "{model}: HiDP {:.3}s vs global-only {:.3}s",
+                full.latency,
+                global_only.latency
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_names_distinguish_variants() {
+        assert_eq!(HidpStrategy::new().name(), "HiDP");
+        assert_eq!(HidpStrategy::without_local_tier().name(), "HiDP-global-only");
+    }
+
+    #[test]
+    fn leader_choice_changes_the_plan_but_stays_feasible() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::InceptionV3.graph(1);
+        for leader in 0..cluster.len() {
+            let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(leader)).unwrap();
+            assert!(eval.latency > 0.0, "leader {leader}");
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_still_plans() {
+        let cluster = presets::tx2_only();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::Vgg19.graph(1);
+        let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(0)).unwrap();
+        assert!(eval.latency > 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the HiDP core framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The DNN graph could not be partitioned as requested.
+    Dnn(hidp_dnn::DnnError),
+    /// A platform lookup or construction failed.
+    Platform(hidp_platform::PlatformError),
+    /// Plan construction or simulation failed.
+    Sim(hidp_sim::SimError),
+    /// No feasible decision exists (e.g. no available nodes).
+    Infeasible {
+        /// Description of why no decision could be made.
+        what: String,
+    },
+    /// The cluster runtime failed (follower disconnected, channel closed, ...).
+    Runtime {
+        /// Description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dnn(e) => write!(f, "dnn error: {e}"),
+            CoreError::Platform(e) => write!(f, "platform error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Infeasible { what } => write!(f, "no feasible decision: {what}"),
+            CoreError::Runtime { what } => write!(f, "runtime error: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Dnn(e) => Some(e),
+            CoreError::Platform(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hidp_dnn::DnnError> for CoreError {
+    fn from(e: hidp_dnn::DnnError) -> Self {
+        CoreError::Dnn(e)
+    }
+}
+
+impl From<hidp_platform::PlatformError> for CoreError {
+    fn from(e: hidp_platform::PlatformError) -> Self {
+        CoreError::Platform(e)
+    }
+}
+
+impl From<hidp_sim::SimError> for CoreError {
+    fn from(e: hidp_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: CoreError = hidp_dnn::DnnError::UnknownNode { id: 1 }.into();
+        assert!(e.source().is_some());
+        let e: CoreError = hidp_platform::PlatformError::UnknownNode { index: 1 }.into();
+        assert!(e.source().is_some());
+        let e = CoreError::Infeasible {
+            what: "no nodes".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # hidp-core
+//!
+//! The HiDP framework: hierarchical DNN partitioning for distributed
+//! inference on heterogeneous edge clusters (DATE 2025).
+//!
+//! The crate implements the paper's contribution end to end:
+//!
+//! * the **system model** (λ, μ, ψ, Λ, β, Ψ and the availability vector) in
+//!   [`SystemModel`];
+//! * the **dynamic-programming partitioning search** used at both hierarchy
+//!   levels in [`dp`];
+//! * the **DSE agent** that picks between model- and data-wise partitioning
+//!   in [`DseAgent`];
+//! * the **global** and **local partitioners** ([`GlobalPartitioner`],
+//!   [`LocalPartitioner`]);
+//! * the **run-time scheduler FSM** of Fig. 4 in [`scheduler`];
+//! * the **collaborative cluster runtime** (leader/follower message passing)
+//!   in [`runtime`];
+//! * the [`HidpStrategy`] that composes all of the above into executable
+//!   cluster plans, plus the [`DistributedStrategy`] trait and evaluation
+//!   helpers shared with the baselines.
+//!
+//! ```
+//! use hidp_core::{evaluate, DistributedStrategy, HidpStrategy};
+//! use hidp_dnn::zoo::WorkloadModel;
+//! use hidp_platform::{presets, NodeIndex};
+//!
+//! # fn main() -> Result<(), hidp_core::CoreError> {
+//! let cluster = presets::paper_cluster();
+//! let graph = WorkloadModel::EfficientNetB0.graph(1);
+//! let hidp = HidpStrategy::new();
+//! let result = evaluate(&hidp, &graph, &cluster, NodeIndex(0))?;
+//! println!("{}: {:.1} ms", hidp.name(), result.latency * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod dp;
+mod dse;
+mod engine;
+mod error;
+mod global;
+mod local;
+pub mod runtime;
+pub mod scheduler;
+mod strategy;
+mod system_model;
+
+pub use dse::{Decision, DseAgent, DsePolicy};
+pub use engine::{HidpStrategy, HierarchicalPlan};
+pub use error::CoreError;
+pub use global::{chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind};
+pub use local::{LocalAssignment, LocalPartitioner, LocalPolicy, LocalSplit};
+pub use strategy::{evaluate, evaluate_stream, DistributedStrategy, Evaluation, StreamEvaluation};
+pub use system_model::{Resource, SystemModel};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

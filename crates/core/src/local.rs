@@ -1,0 +1,321 @@
+//! The local DNN partitioner: splits a node's share of the work across its
+//! heterogeneous processors (paper §III, "Local partitioner").
+//!
+//! This is the tier the baselines lack: after the global partitioner hands a
+//! node a block or a data slice, HiDP consults the DSE agent again — with the
+//! node-local `ψ{λ, μ}` vector — to decide whether to run the share on a
+//! single processor or to split it across CPU clusters and GPU.
+
+use crate::dp::{ChainSegment, WorkloadSummary};
+use crate::dse::{DseAgent, DsePolicy};
+use crate::system_model::SystemModel;
+use crate::CoreError;
+use hidp_dnn::PartitionMode;
+use hidp_platform::{Cluster, NodeIndex, ProcessorAddr};
+use serde::{Deserialize, Serialize};
+
+/// How a node schedules its share locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LocalPolicy {
+    /// HiDP: consult the DSE agent over all local processors.
+    #[default]
+    CoreAware,
+    /// Framework default: run the whole share on the GPU (or the fastest
+    /// single processor when the node has no GPU). This is what the
+    /// global-only baselines do.
+    GpuOnly,
+    /// Run on the single fastest processor for this workload.
+    BestSingle,
+}
+
+/// One processor's slice of a node-local split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalSplit {
+    /// The processor executing the slice.
+    pub processor: ProcessorAddr,
+    /// Flops assigned to the processor (including its share of the local
+    /// synchronisation work).
+    pub flops: u64,
+    /// Fraction of the node's share.
+    pub fraction: f64,
+}
+
+/// The local scheduling decision for one node's share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalAssignment {
+    /// The node this assignment belongs to.
+    pub node: NodeIndex,
+    /// The local partitioning mode selected by the DSE agent.
+    pub mode: PartitionMode,
+    /// Per-processor slices (a single entry when the share is not split).
+    pub splits: Vec<LocalSplit>,
+    /// Latency estimated by the DSE agent, in seconds.
+    pub estimated_latency: f64,
+}
+
+impl LocalAssignment {
+    /// Number of processors used.
+    pub fn parallelism(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// Total flops scheduled on the node.
+    pub fn total_flops(&self) -> u64 {
+        self.splits.iter().map(|s| s.flops).sum()
+    }
+}
+
+/// The local partitioner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalPartitioner {
+    /// The local scheduling policy.
+    pub policy: LocalPolicy,
+}
+
+impl LocalPartitioner {
+    /// Creates the HiDP (core-aware) local partitioner.
+    pub fn hidp() -> Self {
+        Self {
+            policy: LocalPolicy::CoreAware,
+        }
+    }
+
+    /// Creates the framework-default (GPU-only) local partitioner used by the
+    /// baselines.
+    pub fn gpu_only() -> Self {
+        Self {
+            policy: LocalPolicy::GpuOnly,
+        }
+    }
+
+    /// Splits a share of `share_flops` flops (with `input_bytes` /
+    /// `output_bytes` moving through the node and `sync_bytes` of local halo
+    /// traffic if data-split) across the processors of `node`.
+    ///
+    /// `system` carries the workload's GPU affinity (from
+    /// [`SystemModel::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when the node does not exist or has
+    /// no processors.
+    pub fn partition(
+        &self,
+        system: &SystemModel,
+        cluster: &Cluster,
+        node: NodeIndex,
+        share_flops: u64,
+        input_bytes: u64,
+        output_bytes: u64,
+        sync_bytes: u64,
+    ) -> Result<LocalAssignment, CoreError> {
+        let resources = system.local_resources(cluster, node);
+        if resources.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!("node {node} has no processors"),
+            });
+        }
+        let workload = WorkloadSummary {
+            input_bytes,
+            output_bytes,
+            flops: share_flops,
+            sync_bytes,
+        };
+
+        match self.policy {
+            LocalPolicy::CoreAware => {
+                // A single chain segment: local model partitioning degenerates
+                // to "run on the fastest processor", local data partitioning
+                // to "split across processors"; the DSE picks the faster one.
+                let segments = [ChainSegment {
+                    flops: share_flops,
+                    boundary_bytes: output_bytes,
+                }];
+                let agent = DseAgent::with_policy(DsePolicy::Hybrid);
+                let decision = agent.explore(&segments, &resources, workload, resources.len())?;
+                let splits = match decision.mode {
+                    PartitionMode::Model => {
+                        let search = decision
+                            .model
+                            .as_ref()
+                            .expect("model decision carries a model search");
+                        search
+                            .assignments
+                            .iter()
+                            .map(|&idx| LocalSplit {
+                                processor: SystemModel::resource_addr(&resources[idx])
+                                    .expect("local resources always name a processor"),
+                                flops: share_flops,
+                                fraction: 1.0,
+                            })
+                            .collect()
+                    }
+                    PartitionMode::Data => {
+                        let search = decision
+                            .data
+                            .as_ref()
+                            .expect("data decision carries a data search");
+                        let sigma = search.shares.len();
+                        search
+                            .shares
+                            .iter()
+                            .map(|s| LocalSplit {
+                                processor: SystemModel::resource_addr(&resources[s.resource])
+                                    .expect("local resources always name a processor"),
+                                flops: (share_flops as f64 * s.fraction) as u64
+                                    + if sigma == 1 { 0 } else { sync_bytes / 4 },
+                                fraction: s.fraction,
+                            })
+                            .collect()
+                    }
+                };
+                Ok(LocalAssignment {
+                    node,
+                    mode: decision.mode,
+                    splits,
+                    estimated_latency: decision.latency,
+                })
+            }
+            LocalPolicy::GpuOnly | LocalPolicy::BestSingle => {
+                let device = cluster.node(node)?;
+                let resource_idx = match self.policy {
+                    LocalPolicy::GpuOnly => device
+                        .gpu_index()
+                        .map(|gpu| {
+                            resources
+                                .iter()
+                                .position(|r| r.processor == Some(gpu))
+                                .expect("gpu resource exists")
+                        })
+                        .unwrap_or_else(|| best_resource(&resources)),
+                    _ => best_resource(&resources),
+                };
+                let resource = &resources[resource_idx];
+                let latency = resource.transfer_time(input_bytes)
+                    + resource.compute_time(share_flops)
+                    + resource.transfer_time(output_bytes);
+                Ok(LocalAssignment {
+                    node,
+                    mode: PartitionMode::Model,
+                    splits: vec![LocalSplit {
+                        processor: SystemModel::resource_addr(resource)
+                            .expect("local resources always name a processor"),
+                        flops: share_flops,
+                        fraction: 1.0,
+                    }],
+                    estimated_latency: latency,
+                })
+            }
+        }
+    }
+}
+
+fn best_resource(resources: &[crate::system_model::Resource]) -> usize {
+    resources
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.rate.partial_cmp(&b.1.rate).expect("rates are finite"))
+        .map(|(i, _)| i)
+        .expect("resources is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    fn system(model: WorkloadModel) -> SystemModel {
+        SystemModel::new(&model.graph(1), NodeIndex(0))
+    }
+
+    #[test]
+    fn core_aware_splits_large_shares_across_processors() {
+        let cluster = presets::paper_cluster();
+        let sys = system(WorkloadModel::ResNet152);
+        // A 20-GFLOP share on the TX2 with modest sync traffic: splitting
+        // across CPU clusters + GPU beats GPU-only.
+        let assignment = LocalPartitioner::hidp()
+            .partition(&sys, &cluster, NodeIndex(1), 20_000_000_000, 600_000, 4_000, 200_000)
+            .unwrap();
+        assert!(assignment.parallelism() > 1);
+        assert_eq!(assignment.mode, PartitionMode::Data);
+        let fractions: f64 = assignment.splits.iter().map(|s| s.fraction).sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+        // All flops accounted for (within the sync surcharge).
+        assert!(assignment.total_flops() >= 20_000_000_000);
+    }
+
+    #[test]
+    fn gpu_only_uses_exactly_the_gpu() {
+        let cluster = presets::paper_cluster();
+        let sys = system(WorkloadModel::Vgg19);
+        let assignment = LocalPartitioner::gpu_only()
+            .partition(&sys, &cluster, NodeIndex(1), 39_000_000_000, 600_000, 4_000, 0)
+            .unwrap();
+        assert_eq!(assignment.parallelism(), 1);
+        let gpu = cluster.nodes()[1].gpu_index().unwrap();
+        assert_eq!(assignment.splits[0].processor.processor, gpu);
+    }
+
+    #[test]
+    fn core_aware_is_never_slower_than_gpu_only() {
+        let cluster = presets::paper_cluster();
+        for model in WorkloadModel::ALL {
+            let sys = system(model);
+            let flops = model.graph(1).total_flops();
+            for node in 0..cluster.len() {
+                let aware = LocalPartitioner::hidp()
+                    .partition(&sys, &cluster, NodeIndex(node), flops, 600_000, 4_000, 300_000)
+                    .unwrap();
+                let gpu = LocalPartitioner::gpu_only()
+                    .partition(&sys, &cluster, NodeIndex(node), flops, 600_000, 4_000, 0)
+                    .unwrap();
+                assert!(
+                    aware.estimated_latency <= gpu.estimated_latency + 1e-9,
+                    "{model} on node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_single_picks_cpu_on_raspberry_pi() {
+        // On the Pis the CPU is the fastest processor, so BestSingle differs
+        // from GpuOnly — exactly the default-framework pathology the paper
+        // calls out.
+        let cluster = presets::paper_cluster();
+        let sys = system(WorkloadModel::Vgg19);
+        let best = LocalPartitioner {
+            policy: LocalPolicy::BestSingle,
+        }
+        .partition(&sys, &cluster, NodeIndex(4), 1_000_000_000, 600_000, 4_000, 0)
+        .unwrap();
+        let gpu = LocalPartitioner::gpu_only()
+            .partition(&sys, &cluster, NodeIndex(4), 1_000_000_000, 600_000, 4_000, 0)
+            .unwrap();
+        assert!(best.estimated_latency < gpu.estimated_latency);
+        let pi4 = &cluster.nodes()[4];
+        assert!(pi4.processors[best.splits[0].processor.processor.0].kind.is_cpu());
+    }
+
+    #[test]
+    fn tiny_shares_stay_on_one_processor() {
+        let cluster = presets::paper_cluster();
+        let sys = system(WorkloadModel::EfficientNetB0);
+        // 5 MFLOP with large sync traffic: splitting cannot pay off.
+        let assignment = LocalPartitioner::hidp()
+            .partition(&sys, &cluster, NodeIndex(0), 5_000_000, 10_000, 4_000, 50_000_000)
+            .unwrap();
+        assert_eq!(assignment.parallelism(), 1);
+    }
+
+    #[test]
+    fn unknown_node_is_infeasible() {
+        let cluster = presets::paper_cluster();
+        let sys = system(WorkloadModel::EfficientNetB0);
+        assert!(LocalPartitioner::hidp()
+            .partition(&sys, &cluster, NodeIndex(9), 1, 1, 1, 0)
+            .is_err());
+    }
+}

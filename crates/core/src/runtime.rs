@@ -1,0 +1,316 @@
+//! The collaborative cluster runtime: an in-process enactment of Algorithm 1
+//! with one thread per edge node, communicating through the typed
+//! [`crate::comm`] channels.
+//!
+//! The leader thread walks the leader FSM (Analyze → Explore →
+//! Global:Offload → Local:Map → Execute → merge), the follower threads walk
+//! the reduced follower FSM, and every decision is made by the same
+//! partitioners the planner uses. The runtime returns the hierarchical
+//! decisions each node made plus the leader's FSM trace, and the resulting
+//! plan can be handed to the simulator for timing/energy.
+
+use crate::comm::{build_endpoints, CommEndpoint, Message};
+use crate::engine::{HidpStrategy, HierarchicalPlan};
+use crate::global::ShareKind;
+use crate::local::LocalAssignment;
+use crate::scheduler::{Role, SchedulerEvent, SchedulerFsm, SchedulerState};
+use crate::system_model::SystemModel;
+use crate::CoreError;
+use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, NodeIndex};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// The outcome of running one request through the cluster runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The hierarchical plan the leader converged on.
+    pub plan: HierarchicalPlan,
+    /// Local decisions reported back by follower nodes, keyed by node.
+    pub follower_reports: HashMap<NodeIndex, LocalAssignment>,
+    /// The availability vector the leader observed.
+    pub availability: Vec<bool>,
+    /// The leader's FSM trace for this request.
+    pub leader_trace: Vec<SchedulerState>,
+}
+
+/// The in-process cluster runtime.
+#[derive(Debug)]
+pub struct ClusterRuntime {
+    cluster: Cluster,
+    strategy: HidpStrategy,
+    recv_timeout: Duration,
+}
+
+impl ClusterRuntime {
+    /// Creates a runtime over `cluster` using the given HiDP configuration.
+    pub fn new(cluster: Cluster, strategy: HidpStrategy) -> Self {
+        Self {
+            cluster,
+            strategy,
+            recv_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// The cluster this runtime coordinates.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs a single inference request arriving at `leader` through the full
+    /// leader/follower protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Runtime`] when a follower thread fails or a
+    /// message times out, and propagates planning errors.
+    pub fn run_request(&self, graph: &DnnGraph, leader: NodeIndex) -> Result<RequestOutcome, CoreError> {
+        let n = self.cluster.len();
+        self.cluster.node(leader)?;
+        let mut endpoints = build_endpoints(n);
+        // Keep the leader endpoint, hand the others to follower threads.
+        let leader_endpoint = endpoints.swap_remove(leader.0);
+
+        let reports: Arc<Mutex<HashMap<NodeIndex, LocalAssignment>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let system = SystemModel::new(graph, leader);
+        let mut handles = Vec::new();
+        for endpoint in endpoints {
+            let cluster = self.cluster.clone();
+            let local = self.strategy.local;
+            let system = system.clone();
+            let leader_idx = leader;
+            let reports = Arc::clone(&reports);
+            let timeout = self.recv_timeout;
+            handles.push(thread::spawn(move || -> Result<(), CoreError> {
+                follower_loop(endpoint, cluster, local, system, leader_idx, reports, timeout)
+            }));
+        }
+
+        let result = self.leader_protocol(graph, leader, &leader_endpoint, &reports);
+
+        // Stop the followers regardless of the leader outcome.
+        let _ = leader_endpoint.broadcast(Message::Shutdown);
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(CoreError::Runtime {
+                        what: "a follower thread panicked".into(),
+                    })
+                }
+            }
+        }
+        result
+    }
+
+    fn leader_protocol(
+        &self,
+        graph: &DnnGraph,
+        leader: NodeIndex,
+        endpoint: &CommEndpoint,
+        reports: &Arc<Mutex<HashMap<NodeIndex, LocalAssignment>>>,
+    ) -> Result<RequestOutcome, CoreError> {
+        let request_id = 1u64;
+        let mut fsm = SchedulerFsm::new(Role::Leader);
+        let fsm_err = |e: crate::scheduler::InvalidTransition| CoreError::Runtime {
+            what: format!("leader fsm rejected a transition: {e}"),
+        };
+
+        // Analyze: poll availability.
+        endpoint
+            .broadcast(Message::StatusRequest { request_id })
+            .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+        let mut availability = vec![false; self.cluster.len()];
+        availability[leader.0] = true;
+        for _ in 0..self.cluster.len() - 1 {
+            match endpoint.recv_timeout(self.recv_timeout) {
+                Ok(Message::StatusReply { node, available, .. }) => {
+                    if let Some(slot) = availability.get_mut(node.0) {
+                        *slot = available;
+                    }
+                }
+                Ok(other) => {
+                    return Err(CoreError::Runtime {
+                        what: format!("unexpected message while collecting status: {other:?}"),
+                    })
+                }
+                Err(e) => return Err(CoreError::Runtime { what: e.to_string() }),
+            }
+        }
+        fsm.handle(SchedulerEvent::RequestArrived).map_err(fsm_err)?;
+
+        // Explore: global DSE.
+        let plan = self.strategy.hierarchical_plan(graph, &self.cluster, leader)?;
+        fsm.handle(SchedulerEvent::GlobalDecisionReady).map_err(fsm_err)?;
+
+        // Global offload: ship remote shares.
+        let mut expected_reports = 0usize;
+        for share in &plan.global.shares {
+            if share.node == leader {
+                continue;
+            }
+            endpoint
+                .send(
+                    share.node,
+                    Message::Offload {
+                        request_id,
+                        model: graph.name().to_string(),
+                        share: share.clone(),
+                    },
+                )
+                .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+            expected_reports += 1;
+        }
+        fsm.handle(SchedulerEvent::SharesDistributed).map_err(fsm_err)?;
+
+        // Local map + execute for the leader's own share (if any).
+        fsm.handle(SchedulerEvent::LocalDecisionReady).map_err(fsm_err)?;
+        fsm.handle(SchedulerEvent::ExecutionFinished).map_err(fsm_err)?;
+
+        // Collect follower results.
+        for _ in 0..expected_reports {
+            match endpoint.recv_timeout(self.recv_timeout) {
+                Ok(Message::ShareResult { node, local, .. }) => {
+                    reports.lock().insert(node, local);
+                }
+                Ok(other) => {
+                    return Err(CoreError::Runtime {
+                        what: format!("unexpected message while collecting results: {other:?}"),
+                    })
+                }
+                Err(e) => return Err(CoreError::Runtime { what: e.to_string() }),
+            }
+        }
+        fsm.handle(SchedulerEvent::ResultsMerged).map_err(fsm_err)?;
+
+        Ok(RequestOutcome {
+            plan,
+            follower_reports: reports.lock().clone(),
+            availability,
+            leader_trace: fsm.history().to_vec(),
+        })
+    }
+}
+
+fn follower_loop(
+    endpoint: CommEndpoint,
+    cluster: Cluster,
+    local: crate::local::LocalPartitioner,
+    system: SystemModel,
+    leader: NodeIndex,
+    reports: Arc<Mutex<HashMap<NodeIndex, LocalAssignment>>>,
+    timeout: Duration,
+) -> Result<(), CoreError> {
+    let mut fsm = SchedulerFsm::new(Role::Follower);
+    loop {
+        let message = match endpoint.recv_timeout(timeout) {
+            Ok(m) => m,
+            Err(e) => {
+                return Err(CoreError::Runtime {
+                    what: format!("follower {} receive failed: {e}", endpoint.node()),
+                })
+            }
+        };
+        match message {
+            Message::StatusRequest { request_id } => {
+                endpoint
+                    .send(
+                        leader,
+                        Message::StatusReply {
+                            request_id,
+                            node: endpoint.node(),
+                            available: cluster.is_available(endpoint.node()),
+                        },
+                    )
+                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+            }
+            Message::Offload { request_id, share, .. } => {
+                fsm.handle(SchedulerEvent::ShareArrived)
+                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                let local_sync = match share.kind {
+                    ShareKind::DataPart { .. } => share.sync_bytes / 4,
+                    ShareKind::Block { .. } => share.input_bytes / 8,
+                };
+                let assignment = local.partition(
+                    &system,
+                    &cluster,
+                    endpoint.node(),
+                    share.flops,
+                    share.input_bytes,
+                    share.output_bytes,
+                    local_sync,
+                )?;
+                fsm.handle(SchedulerEvent::LocalDecisionReady)
+                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                fsm.handle(SchedulerEvent::ExecutionFinished)
+                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                reports.lock().insert(endpoint.node(), assignment.clone());
+                endpoint
+                    .send(
+                        leader,
+                        Message::ShareResult {
+                            request_id,
+                            node: endpoint.node(),
+                            local: assignment,
+                        },
+                    )
+                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(CoreError::Runtime {
+                    what: format!("follower {} received unexpected {other:?}", endpoint.node()),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    #[test]
+    fn full_protocol_round_trip_for_every_model() {
+        let runtime = ClusterRuntime::new(presets::paper_cluster(), HidpStrategy::new());
+        for model in [WorkloadModel::EfficientNetB0, WorkloadModel::Vgg19] {
+            let graph = model.graph(1);
+            let outcome = runtime.run_request(&graph, NodeIndex(0)).unwrap();
+            assert_eq!(outcome.availability, vec![true; 5]);
+            // Every remote share has a follower report.
+            for share in &outcome.plan.global.shares {
+                if share.node != NodeIndex(0) {
+                    assert!(
+                        outcome.follower_reports.contains_key(&share.node),
+                        "{model}: missing report from {}",
+                        share.node
+                    );
+                }
+            }
+            // Leader walked the full Fig. 4 cycle.
+            assert_eq!(outcome.leader_trace.first(), Some(&SchedulerState::Analyze));
+            assert_eq!(outcome.leader_trace.last(), Some(&SchedulerState::Analyze));
+            assert!(outcome.leader_trace.contains(&SchedulerState::Explore));
+            assert!(outcome.leader_trace.contains(&SchedulerState::Execute));
+        }
+    }
+
+    #[test]
+    fn different_leaders_coordinate_successfully() {
+        let runtime = ClusterRuntime::new(presets::paper_cluster(), HidpStrategy::new());
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        for leader in [1usize, 3] {
+            let outcome = runtime.run_request(&graph, NodeIndex(leader)).unwrap();
+            assert!(outcome.availability[leader]);
+        }
+        assert!(runtime.run_request(&graph, NodeIndex(9)).is_err());
+        assert_eq!(runtime.cluster().len(), 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! The run-time scheduler's scheduling policy, implemented as a finite state
+//! machine (paper §III, Fig. 4).
+//!
+//! The leader node cycles through
+//! `Analyze → Explore → Global:Offload → Local:Map → Execute → Global:Offload
+//! (merge) → Analyze`, while follower nodes use the reduced
+//! `Analyze → Local:Map → Execute → Analyze` cycle. The FSM is pure state
+//! bookkeeping — the actual decision making lives in the partitioners — so it
+//! can be unit-tested exhaustively and drives both the in-process cluster
+//! runtime and the traces printed by the examples.
+
+use serde::{Deserialize, Serialize};
+
+/// The role a node plays for one inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// The node that received the request and coordinates the cluster
+    /// (`ϕ*` in Algorithm 1).
+    Leader,
+    /// A node that receives a share from the leader and reports back.
+    Follower,
+}
+
+/// The scheduler states of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerState {
+    /// Waiting for an inference request (leader) or an offloaded share
+    /// (follower); checks cluster availability when one arrives.
+    Analyze,
+    /// Consulting the global DSE agent for the optimal partitioning point.
+    Explore,
+    /// Distributing shares to the cluster (and, at the end of a request,
+    /// merging the collected results).
+    GlobalOffload,
+    /// Consulting the local DSE agent to map the local share onto processors.
+    LocalMap,
+    /// Executing the local workload and exchanging intermediate data.
+    Execute,
+}
+
+/// Events that drive the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerEvent {
+    /// A new inference request arrived (leader only).
+    RequestArrived,
+    /// An offloaded share arrived from the leader (follower only).
+    ShareArrived,
+    /// The global DSE agent converged on a partitioning point.
+    GlobalDecisionReady,
+    /// Shares were handed to the communication module for distribution.
+    SharesDistributed,
+    /// The local DSE agent converged on a processor mapping.
+    LocalDecisionReady,
+    /// Local execution finished.
+    ExecutionFinished,
+    /// All remote results were received and merged; the prediction was
+    /// reported to the application.
+    ResultsMerged,
+}
+
+/// Error returned for transitions that Fig. 4 does not allow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// The role of the machine.
+    pub role: Role,
+    /// The state the machine was in.
+    pub state: SchedulerState,
+    /// The event that was not applicable.
+    pub event: SchedulerEvent,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {:?} is not valid in state {:?} for a {:?} node",
+            self.event, self.state, self.role
+        )
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// The run-time scheduler FSM for one node and one request at a time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerFsm {
+    role: Role,
+    state: SchedulerState,
+    history: Vec<SchedulerState>,
+}
+
+impl SchedulerFsm {
+    /// Creates a scheduler in the `Analyze` state.
+    pub fn new(role: Role) -> Self {
+        Self {
+            role,
+            state: SchedulerState::Analyze,
+            history: vec![SchedulerState::Analyze],
+        }
+    }
+
+    /// The node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The current state.
+    pub fn state(&self) -> SchedulerState {
+        self.state
+    }
+
+    /// All states visited so far, in order (including the initial `Analyze`).
+    pub fn history(&self) -> &[SchedulerState] {
+        &self.history
+    }
+
+    /// Applies an event, returning the new state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] when the event is not applicable to the
+    /// current state for this node's role.
+    pub fn handle(&mut self, event: SchedulerEvent) -> Result<SchedulerState, InvalidTransition> {
+        use SchedulerEvent as E;
+        use SchedulerState as S;
+        let next = match (self.role, self.state, event) {
+            // Leader path (Fig. 4, left).
+            (Role::Leader, S::Analyze, E::RequestArrived) => S::Explore,
+            (Role::Leader, S::Explore, E::GlobalDecisionReady) => S::GlobalOffload,
+            (Role::Leader, S::GlobalOffload, E::SharesDistributed) => S::LocalMap,
+            (Role::Leader, S::LocalMap, E::LocalDecisionReady) => S::Execute,
+            (Role::Leader, S::Execute, E::ExecutionFinished) => S::GlobalOffload,
+            (Role::Leader, S::GlobalOffload, E::ResultsMerged) => S::Analyze,
+            // Follower path (Fig. 4, right).
+            (Role::Follower, S::Analyze, E::ShareArrived) => S::LocalMap,
+            (Role::Follower, S::LocalMap, E::LocalDecisionReady) => S::Execute,
+            (Role::Follower, S::Execute, E::ExecutionFinished) => S::Analyze,
+            (role, state, event) => {
+                return Err(InvalidTransition { role, state, event });
+            }
+        };
+        self.state = next;
+        self.history.push(next);
+        Ok(next)
+    }
+
+    /// Runs one full request cycle for this role and returns the visited
+    /// states. Convenience for tests and traces.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in event sequences; propagated for safety.
+    pub fn run_request_cycle(&mut self) -> Result<Vec<SchedulerState>, InvalidTransition> {
+        let events: &[SchedulerEvent] = match self.role {
+            Role::Leader => &[
+                SchedulerEvent::RequestArrived,
+                SchedulerEvent::GlobalDecisionReady,
+                SchedulerEvent::SharesDistributed,
+                SchedulerEvent::LocalDecisionReady,
+                SchedulerEvent::ExecutionFinished,
+                SchedulerEvent::ResultsMerged,
+            ],
+            Role::Follower => &[
+                SchedulerEvent::ShareArrived,
+                SchedulerEvent::LocalDecisionReady,
+                SchedulerEvent::ExecutionFinished,
+            ],
+        };
+        let mut visited = Vec::with_capacity(events.len());
+        for event in events {
+            visited.push(self.handle(*event)?);
+        }
+        Ok(visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_cycle_visits_all_states_and_returns_to_analyze() {
+        let mut fsm = SchedulerFsm::new(Role::Leader);
+        let visited = fsm.run_request_cycle().unwrap();
+        assert_eq!(
+            visited,
+            vec![
+                SchedulerState::Explore,
+                SchedulerState::GlobalOffload,
+                SchedulerState::LocalMap,
+                SchedulerState::Execute,
+                SchedulerState::GlobalOffload,
+                SchedulerState::Analyze,
+            ]
+        );
+        assert_eq!(fsm.state(), SchedulerState::Analyze);
+        assert_eq!(fsm.history().len(), 7);
+    }
+
+    #[test]
+    fn follower_cycle_is_the_reduced_machine() {
+        let mut fsm = SchedulerFsm::new(Role::Follower);
+        let visited = fsm.run_request_cycle().unwrap();
+        assert_eq!(
+            visited,
+            vec![
+                SchedulerState::LocalMap,
+                SchedulerState::Execute,
+                SchedulerState::Analyze,
+            ]
+        );
+    }
+
+    #[test]
+    fn leader_rejects_follower_events_and_vice_versa() {
+        let mut leader = SchedulerFsm::new(Role::Leader);
+        let err = leader.handle(SchedulerEvent::ShareArrived).unwrap_err();
+        assert_eq!(err.state, SchedulerState::Analyze);
+        assert!(err.to_string().contains("ShareArrived"));
+
+        let mut follower = SchedulerFsm::new(Role::Follower);
+        assert!(follower.handle(SchedulerEvent::RequestArrived).is_err());
+        assert!(follower.handle(SchedulerEvent::GlobalDecisionReady).is_err());
+    }
+
+    #[test]
+    fn out_of_order_events_are_rejected_and_do_not_change_state() {
+        let mut fsm = SchedulerFsm::new(Role::Leader);
+        fsm.handle(SchedulerEvent::RequestArrived).unwrap();
+        let before = fsm.state();
+        assert!(fsm.handle(SchedulerEvent::ExecutionFinished).is_err());
+        assert_eq!(fsm.state(), before);
+        assert!(fsm.handle(SchedulerEvent::ResultsMerged).is_err());
+        assert_eq!(fsm.state(), before);
+    }
+
+    #[test]
+    fn multiple_requests_can_be_processed_back_to_back() {
+        let mut fsm = SchedulerFsm::new(Role::Leader);
+        for _ in 0..3 {
+            fsm.run_request_cycle().unwrap();
+            assert_eq!(fsm.state(), SchedulerState::Analyze);
+        }
+        assert_eq!(fsm.history().len(), 1 + 3 * 6);
+    }
+}

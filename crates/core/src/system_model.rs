@@ -1,0 +1,259 @@
+//! The HiDP system model (paper §III, *System Model*).
+//!
+//! For a DNN `D(L_i)` and a cluster `N(ϕ_j)` the model derives:
+//!
+//! * per-processor computation rates `λ_k = f_k / δ` (we obtain them from the
+//!   platform's effective-throughput model and the DNN's GPU affinity);
+//! * the local computation-to-communication ratio vector `ψ{λ, μ}` (Eq. 1);
+//! * per-node aggregate rates `Λ_j(ρ_k)` (Eq. 2);
+//! * the global ratio vector `Ψ{Λ, β}` (Eq. 3);
+//! * the availability vector `A(N_ϕ)` (Eq. 4).
+//!
+//! These vectors are the only inputs the DP partitioning search needs, which
+//! is why (as the paper notes) the same algorithm serves both the global and
+//! the local exploration.
+
+use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, NodeIndex, ProcessorAddr, ProcessorIndex};
+use serde::{Deserialize, Serialize};
+
+/// A computation resource as seen by the DP search: either an edge node
+/// (global level) or a single processor (local level).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Node this resource belongs to.
+    pub node: NodeIndex,
+    /// Processor within the node, when the resource is a single processor.
+    /// `None` means "the whole node" (global level).
+    pub processor: Option<ProcessorIndex>,
+    /// Human-readable name.
+    pub name: String,
+    /// Computation rate in flops/second (`λ` or `Λ`).
+    pub rate: f64,
+    /// Communication rate towards the coordinating entity in bytes/second
+    /// (`μ` locally, `β` globally). `f64::INFINITY` for the coordinator
+    /// itself.
+    pub comm_rate: f64,
+}
+
+impl Resource {
+    /// Computation-to-communication ratio of this resource (`λ/μ` or `Λ/β`),
+    /// zero when communication is free.
+    pub fn ratio(&self) -> f64 {
+        if self.comm_rate.is_infinite() {
+            0.0
+        } else {
+            self.rate / self.comm_rate
+        }
+    }
+
+    /// Time to execute `flops` on this resource.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.rate
+    }
+
+    /// Time to ship `bytes` to this resource from the coordinator.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if self.comm_rate.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 / self.comm_rate
+        }
+    }
+}
+
+/// The system model for one `(DNN, cluster, leader)` combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemModel {
+    /// Flops-weighted GPU affinity of the DNN (`1/δ`-like workload factor).
+    pub gpu_affinity: f64,
+    /// The leader node coordinating this request.
+    pub leader: NodeIndex,
+    /// Reference message size used to derive `β` (bytes).
+    pub message_bytes: u64,
+}
+
+impl SystemModel {
+    /// Builds the system model for `graph` led by `leader`.
+    pub fn new(graph: &DnnGraph, leader: NodeIndex) -> Self {
+        // β is measured with pseudo packets sized like the tensors the
+        // request will actually move; we use the network input size.
+        let message_bytes = graph.input_shape().bytes();
+        Self {
+            gpu_affinity: graph.gpu_affinity(),
+            leader,
+            message_bytes,
+        }
+    }
+
+    /// Global resources: one entry per *available* node, rate `Λ_j`, comm
+    /// rate `β_ϕj` (Eq. 2–3). The leader's own entry has infinite comm rate.
+    pub fn global_resources(&self, cluster: &Cluster) -> Vec<Resource> {
+        cluster
+            .available_nodes()
+            .into_iter()
+            .map(|idx| {
+                let node = &cluster.nodes()[idx.0];
+                let rate = node.aggregate_rate(self.gpu_affinity);
+                let comm_rate = if idx == self.leader {
+                    f64::INFINITY
+                } else {
+                    cluster
+                        .network()
+                        .link(self.leader, idx)
+                        .map(|l| l.effective_rate(self.message_bytes))
+                        .unwrap_or(f64::INFINITY)
+                };
+                Resource {
+                    node: idx,
+                    processor: None,
+                    name: node.name.clone(),
+                    rate,
+                    comm_rate,
+                }
+            })
+            .collect()
+    }
+
+    /// Global resources restricted to each node's *default* processor (the
+    /// GPU, falling back to the fastest CPU): what a framework-default
+    /// (TensorFlow-style) local execution delivers. Used by the baselines
+    /// that ignore core-level heterogeneity.
+    pub fn global_resources_gpu_only(&self, cluster: &Cluster) -> Vec<Resource> {
+        cluster
+            .available_nodes()
+            .into_iter()
+            .map(|idx| {
+                let node = &cluster.nodes()[idx.0];
+                let rate = match node.gpu_index() {
+                    Some(gpu) => node.processors[gpu.0].computation_rate(self.gpu_affinity),
+                    None => node.best_single_rate(self.gpu_affinity),
+                };
+                let comm_rate = if idx == self.leader {
+                    f64::INFINITY
+                } else {
+                    cluster
+                        .network()
+                        .link(self.leader, idx)
+                        .map(|l| l.effective_rate(self.message_bytes))
+                        .unwrap_or(f64::INFINITY)
+                };
+                Resource {
+                    node: idx,
+                    processor: None,
+                    name: format!("{}(gpu-only)", node.name),
+                    rate,
+                    comm_rate,
+                }
+            })
+            .collect()
+    }
+
+    /// Local resources of one node: one entry per processor, rate `λ_k`,
+    /// comm rate `μ_k` (Eq. 1).
+    pub fn local_resources(&self, cluster: &Cluster, node_idx: NodeIndex) -> Vec<Resource> {
+        let Ok(node) = cluster.node(node_idx) else {
+            return Vec::new();
+        };
+        node.processors
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| Resource {
+                node: node_idx,
+                processor: Some(ProcessorIndex(pi)),
+                name: format!("{}/{}", node.name, p.name),
+                rate: p.computation_rate(self.gpu_affinity),
+                comm_rate: p.local_bandwidth_mbps * 1e6,
+            })
+            .collect()
+    }
+
+    /// The availability vector `A(N_ϕ)` (Eq. 4).
+    pub fn availability(&self, cluster: &Cluster) -> Vec<bool> {
+        cluster.availability().to_vec()
+    }
+
+    /// Fully qualified processor address of a local resource.
+    pub fn resource_addr(resource: &Resource) -> Option<ProcessorAddr> {
+        resource.processor.map(|p| ProcessorAddr {
+            node: resource.node,
+            processor: p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    #[test]
+    fn global_resources_cover_available_nodes() {
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let model = SystemModel::new(&graph, NodeIndex(0));
+        let res = model.global_resources(&cluster);
+        assert_eq!(res.len(), 5);
+        assert!(res[0].comm_rate.is_infinite());
+        assert_eq!(res[0].ratio(), 0.0);
+        assert!(res[1..].iter().all(|r| r.comm_rate.is_finite()));
+        assert!(res.iter().all(|r| r.rate > 0.0));
+    }
+
+    #[test]
+    fn unavailable_nodes_are_excluded() {
+        let mut cluster = presets::paper_cluster();
+        cluster.set_available(NodeIndex(4), false).unwrap();
+        let graph = WorkloadModel::Vgg19.graph(1);
+        let model = SystemModel::new(&graph, NodeIndex(0));
+        assert_eq!(model.global_resources(&cluster).len(), 4);
+        assert_eq!(model.availability(&cluster), vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn gpu_only_resources_are_slower_than_full_node() {
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::ResNet152.graph(1);
+        let model = SystemModel::new(&graph, NodeIndex(0));
+        let full = model.global_resources(&cluster);
+        let gpu_only = model.global_resources_gpu_only(&cluster);
+        for (f, g) in full.iter().zip(gpu_only.iter()) {
+            assert!(g.rate < f.rate, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn local_resources_match_processor_count() {
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::InceptionV3.graph(1);
+        let model = SystemModel::new(&graph, NodeIndex(1));
+        let local = model.local_resources(&cluster, NodeIndex(1));
+        assert_eq!(local.len(), cluster.nodes()[1].processor_count());
+        assert!(local.iter().all(|r| r.processor.is_some()));
+        assert!(local.iter().all(|r| SystemModel::resource_addr(r).is_some()));
+        // Unknown node yields an empty vector rather than a panic.
+        assert!(model.local_resources(&cluster, NodeIndex(9)).is_empty());
+    }
+
+    #[test]
+    fn resource_timing_helpers() {
+        let r = Resource {
+            node: NodeIndex(0),
+            processor: None,
+            name: "n".into(),
+            rate: 1e9,
+            comm_rate: 1e6,
+        };
+        assert!((r.compute_time(2_000_000_000) - 2.0).abs() < 1e-12);
+        assert!((r.transfer_time(3_000_000) - 3.0).abs() < 1e-12);
+        assert!((r.ratio() - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affinity_tracks_model_structure() {
+        let eff = SystemModel::new(&WorkloadModel::EfficientNetB0.graph(1), NodeIndex(0));
+        let vgg = SystemModel::new(&WorkloadModel::Vgg19.graph(1), NodeIndex(0));
+        assert!(eff.gpu_affinity < vgg.gpu_affinity);
+    }
+}

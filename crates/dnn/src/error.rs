@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for DNN graph construction, partitioning and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DnnError {
+    /// A node id referenced an entry that does not exist in the graph.
+    UnknownNode {
+        /// The offending node id.
+        id: usize,
+    },
+    /// The graph violates a structural invariant (cycle, missing input, ...).
+    InvalidGraph {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+    /// A layer received an input shape it cannot handle.
+    ShapeError {
+        /// Name of the layer that failed.
+        layer: String,
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A partitioning request was invalid (zero blocks, too many partitions, ...).
+    InvalidPartition {
+        /// Description of the invalid request.
+        what: String,
+    },
+    /// A tensor-level operation failed during execution.
+    Tensor(hidp_tensor::TensorError),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            DnnError::InvalidGraph { what } => write!(f, "invalid graph: {what}"),
+            DnnError::ShapeError { layer, what } => {
+                write!(f, "shape error in layer `{layer}`: {what}")
+            }
+            DnnError::InvalidPartition { what } => write!(f, "invalid partition: {what}"),
+            DnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for DnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hidp_tensor::TensorError> for DnnError {
+    fn from(e: hidp_tensor::TensorError) -> Self {
+        DnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DnnError::UnknownNode { id: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = DnnError::ShapeError {
+            layer: "conv1".into(),
+            what: "expected 3 channels".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn tensor_errors_convert_and_chain() {
+        let te = hidp_tensor::TensorError::InvalidArgument {
+            what: "stride".into(),
+        };
+        let e: DnnError = te.clone().into();
+        assert_eq!(e, DnnError::Tensor(te));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

@@ -1,0 +1,611 @@
+//! Reference execution of DNN graphs on [`hidp_tensor`] tensors.
+//!
+//! This module exists to *verify* the paper's claim that partitioned
+//! inference produces exactly the same predictions as whole-model inference
+//! (§IV-B, the Top-1/Top-5 accuracy table): it can run a graph whole, as a
+//! pipeline of layer blocks, or as data-partitioned sub-executions, and the
+//! results can be compared bit-for-bit (within floating-point tolerance).
+//!
+//! Weights are generated deterministically from a seed, so every execution
+//! of the same `(graph, seed)` pair is reproducible.
+
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::LayerKind;
+use crate::partition::ModelPartition;
+use crate::DnnError;
+use hidp_tensor::{ops, split, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-node weights for the layers that have parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeWeights {
+    /// Convolution / depthwise convolution / dense weights and bias.
+    WeightBias {
+        /// Kernel or weight matrix.
+        weight: Tensor,
+        /// Bias vector.
+        bias: Tensor,
+    },
+    /// Batch-normalisation parameters.
+    BatchNorm {
+        /// Scale per channel.
+        gamma: Tensor,
+        /// Shift per channel.
+        beta: Tensor,
+        /// Running mean per channel.
+        mean: Tensor,
+        /// Running variance per channel (strictly positive).
+        var: Tensor,
+    },
+    /// The layer has no parameters.
+    None,
+}
+
+/// Deterministic weight storage for one graph.
+#[derive(Debug, Clone)]
+pub struct WeightStore {
+    weights: HashMap<NodeId, NodeWeights>,
+}
+
+impl WeightStore {
+    /// Generates weights for every parameterised layer of `graph` from
+    /// `seed`. The same `(graph, seed)` pair always produces identical
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction failures (which indicate an invalid
+    /// graph and should not occur for zoo models).
+    pub fn generate(graph: &DnnGraph, seed: u64) -> Result<Self, DnnError> {
+        let mut weights = HashMap::new();
+        for node in graph.nodes() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (node.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let input_shape = node
+                .inputs
+                .first()
+                .map(|dep| graph.cost(*dep).map(|c| c.output_shape.clone()))
+                .transpose()?;
+            let entry = match &node.kind {
+                LayerKind::Conv {
+                    out_channels,
+                    window,
+                    ..
+                } => {
+                    let c_in = match &input_shape {
+                        Some(crate::layer::Shape::Map { c, .. }) => *c,
+                        _ => {
+                            return Err(DnnError::ShapeError {
+                                layer: node.name.clone(),
+                                what: "conv layer without a feature-map input".into(),
+                            })
+                        }
+                    };
+                    let fan_in = (c_in * window.kernel.0 * window.kernel.1) as f32;
+                    let scale = (2.0 / fan_in).sqrt();
+                    NodeWeights::WeightBias {
+                        weight: Tensor::random(
+                            &[*out_channels, c_in, window.kernel.0, window.kernel.1],
+                            scale,
+                            &mut rng,
+                        )?,
+                        bias: Tensor::random(&[*out_channels], 0.05, &mut rng)?,
+                    }
+                }
+                LayerKind::DepthwiseConv { window, .. } => {
+                    let c = match &input_shape {
+                        Some(crate::layer::Shape::Map { c, .. }) => *c,
+                        _ => {
+                            return Err(DnnError::ShapeError {
+                                layer: node.name.clone(),
+                                what: "depthwise layer without a feature-map input".into(),
+                            })
+                        }
+                    };
+                    let fan_in = (window.kernel.0 * window.kernel.1) as f32;
+                    let scale = (2.0 / fan_in).sqrt();
+                    NodeWeights::WeightBias {
+                        weight: Tensor::random(
+                            &[c, 1, window.kernel.0, window.kernel.1],
+                            scale,
+                            &mut rng,
+                        )?,
+                        bias: Tensor::random(&[c], 0.05, &mut rng)?,
+                    }
+                }
+                LayerKind::Dense { units, .. } => {
+                    let in_features = match &input_shape {
+                        Some(crate::layer::Shape::Vector { features, .. }) => *features,
+                        Some(crate::layer::Shape::Map { c, h, w, .. }) => c * h * w,
+                        None => {
+                            return Err(DnnError::ShapeError {
+                                layer: node.name.clone(),
+                                what: "dense layer without an input".into(),
+                            })
+                        }
+                    };
+                    let scale = (1.0 / in_features as f32).sqrt();
+                    NodeWeights::WeightBias {
+                        weight: Tensor::random(&[*units, in_features], scale, &mut rng)?,
+                        bias: Tensor::random(&[*units], 0.05, &mut rng)?,
+                    }
+                }
+                LayerKind::BatchNorm => {
+                    let c = match &input_shape {
+                        Some(crate::layer::Shape::Map { c, .. }) => *c,
+                        Some(crate::layer::Shape::Vector { features, .. }) => *features,
+                        None => {
+                            return Err(DnnError::ShapeError {
+                                layer: node.name.clone(),
+                                what: "batch-norm layer without an input".into(),
+                            })
+                        }
+                    };
+                    let gamma = Tensor::random(&[c], 0.5, &mut rng)?;
+                    let beta = Tensor::random(&[c], 0.1, &mut rng)?;
+                    let mean = Tensor::random(&[c], 0.2, &mut rng)?;
+                    // Variance must be positive.
+                    let var = Tensor::from_fn(&[c], |i| 0.5 + ((i % 7) as f32) * 0.1)?;
+                    NodeWeights::BatchNorm {
+                        gamma,
+                        beta,
+                        mean,
+                        var,
+                    }
+                }
+                _ => NodeWeights::None,
+            };
+            weights.insert(node.id, entry);
+        }
+        Ok(Self { weights })
+    }
+
+    /// Weights for one node ([`NodeWeights::None`] for parameter-free layers).
+    pub fn node(&self, id: NodeId) -> &NodeWeights {
+        self.weights.get(&id).unwrap_or(&NodeWeights::None)
+    }
+}
+
+/// Executes graph nodes in the half-open topological range `[first, last]`,
+/// feeding `input` to any node whose producers lie outside the range.
+///
+/// For ranges delimited by cut points exactly one external tensor is needed,
+/// which is what makes block pipelining correct.
+fn execute_range(
+    graph: &DnnGraph,
+    first: usize,
+    last: usize,
+    input: &Tensor,
+    store: &WeightStore,
+) -> Result<Tensor, DnnError> {
+    let mut values: HashMap<NodeId, Tensor> = HashMap::new();
+    for pos in first..=last {
+        let id = NodeId(pos);
+        let node = graph.node(id)?;
+        let gather = |dep: &NodeId| -> Result<Tensor, DnnError> {
+            if dep.0 < first {
+                Ok(input.clone())
+            } else {
+                values
+                    .get(dep)
+                    .cloned()
+                    .ok_or(DnnError::UnknownNode { id: dep.0 })
+            }
+        };
+        let inputs: Vec<Tensor> = node.inputs.iter().map(gather).collect::<Result<_, _>>()?;
+        let out = eval_node(graph, id, &inputs, input, store)?;
+        values.insert(id, out);
+    }
+    values
+        .remove(&NodeId(last))
+        .ok_or(DnnError::UnknownNode { id: last })
+}
+
+fn eval_node(
+    graph: &DnnGraph,
+    id: NodeId,
+    inputs: &[Tensor],
+    external_input: &Tensor,
+    store: &WeightStore,
+) -> Result<Tensor, DnnError> {
+    let node = graph.node(id)?;
+    let first_input = inputs.first();
+    let out = match &node.kind {
+        LayerKind::Input { .. } => external_input.clone(),
+        LayerKind::Conv {
+            window, activation, ..
+        } => {
+            let (weight, bias) = expect_weight_bias(store, id, &node.name)?;
+            let conv = ops::conv2d(
+                required(first_input, &node.name)?,
+                weight,
+                Some(bias),
+                window.stride,
+                window.padding,
+            )?;
+            activation.apply(&conv)
+        }
+        LayerKind::DepthwiseConv { window, activation } => {
+            let (weight, bias) = expect_weight_bias(store, id, &node.name)?;
+            let conv = ops::depthwise_conv2d(
+                required(first_input, &node.name)?,
+                weight,
+                Some(bias),
+                window.stride,
+                window.padding,
+            )?;
+            activation.apply(&conv)
+        }
+        LayerKind::MaxPool { window } => ops::max_pool2d(
+            required(first_input, &node.name)?,
+            window.kernel,
+            window.stride,
+            window.padding,
+        )?,
+        LayerKind::AvgPool { window } => ops::avg_pool2d(
+            required(first_input, &node.name)?,
+            window.kernel,
+            window.stride,
+            window.padding,
+        )?,
+        LayerKind::GlobalAvgPool => ops::global_avg_pool(required(first_input, &node.name)?)?,
+        LayerKind::BatchNorm => {
+            let (gamma, beta, mean, var) = expect_batch_norm(store, id, &node.name)?;
+            ops::batch_norm(required(first_input, &node.name)?, gamma, beta, mean, var, 1e-5)?
+        }
+        LayerKind::Activation { activation } => {
+            activation.apply(required(first_input, &node.name)?)
+        }
+        LayerKind::Flatten => required(first_input, &node.name)?.flattened()?,
+        LayerKind::Dense { activation, .. } => {
+            let (weight, bias) = expect_weight_bias(store, id, &node.name)?;
+            let x = required(first_input, &node.name)?;
+            let x2 = if x.rank() == 4 { x.flattened()? } else { x.clone() };
+            let out = ops::dense(&x2, weight, Some(bias))?;
+            activation.apply(&out)
+        }
+        LayerKind::Add => {
+            if inputs.len() != 2 {
+                return Err(DnnError::ShapeError {
+                    layer: node.name.clone(),
+                    what: format!("add expects 2 inputs, got {}", inputs.len()),
+                });
+            }
+            ops::add(&inputs[0], &inputs[1])?
+        }
+        LayerKind::Concat => {
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            ops::concat_channels(&refs)?
+        }
+        LayerKind::Softmax => ops::softmax(required(first_input, &node.name)?)?,
+    };
+    Ok(out)
+}
+
+fn required<'a>(input: Option<&'a Tensor>, layer: &str) -> Result<&'a Tensor, DnnError> {
+    input.ok_or_else(|| DnnError::ShapeError {
+        layer: layer.to_string(),
+        what: "missing input tensor".into(),
+    })
+}
+
+fn expect_weight_bias<'a>(
+    store: &'a WeightStore,
+    id: NodeId,
+    layer: &str,
+) -> Result<(&'a Tensor, &'a Tensor), DnnError> {
+    match store.node(id) {
+        NodeWeights::WeightBias { weight, bias } => Ok((weight, bias)),
+        _ => Err(DnnError::ShapeError {
+            layer: layer.to_string(),
+            what: "missing weights for parameterised layer".into(),
+        }),
+    }
+}
+
+fn expect_batch_norm<'a>(
+    store: &'a WeightStore,
+    id: NodeId,
+    layer: &str,
+) -> Result<(&'a Tensor, &'a Tensor, &'a Tensor, &'a Tensor), DnnError> {
+    match store.node(id) {
+        NodeWeights::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            var,
+        } => Ok((gamma, beta, mean, var)),
+        _ => Err(DnnError::ShapeError {
+            layer: layer.to_string(),
+            what: "missing batch-norm parameters".into(),
+        }),
+    }
+}
+
+/// Executes the whole graph on `input`.
+///
+/// # Errors
+///
+/// Returns an error when `input` does not match the graph's input shape or a
+/// layer evaluation fails.
+pub fn execute(graph: &DnnGraph, input: &Tensor, store: &WeightStore) -> Result<Tensor, DnnError> {
+    if input.shape() != graph.input_shape().dims().as_slice() {
+        return Err(DnnError::ShapeError {
+            layer: graph.input().name.clone(),
+            what: format!(
+                "input shape {:?} does not match graph input {:?}",
+                input.shape(),
+                graph.input_shape().dims()
+            ),
+        });
+    }
+    execute_range(graph, 0, graph.len() - 1, input, store)
+}
+
+/// Executes the graph as a pipeline of layer blocks, passing each block's
+/// output tensor to the next block — exactly what distributed model
+/// partitioning does across devices.
+///
+/// # Errors
+///
+/// Returns an error when the partition does not cover the graph or a layer
+/// evaluation fails.
+pub fn execute_model_partition(
+    graph: &DnnGraph,
+    partition: &ModelPartition,
+    input: &Tensor,
+    store: &WeightStore,
+) -> Result<Tensor, DnnError> {
+    if partition.is_empty() {
+        return Err(DnnError::InvalidPartition {
+            what: "model partition has no blocks".into(),
+        });
+    }
+    let mut current = input.clone();
+    for block in &partition.blocks {
+        current = execute_range(graph, block.first, block.last, &current, store)?;
+    }
+    Ok(current)
+}
+
+/// Executes the graph data-partitioned along the batch axis: the batch is
+/// split into `parts` contiguous sub-batches, each executed independently
+/// (as a follower node would), and the outputs are concatenated.
+///
+/// Exact for every network, which is why the merged result must equal
+/// whole-batch execution.
+///
+/// # Errors
+///
+/// Returns an error when `parts` is zero or exceeds the batch size, or a
+/// layer evaluation fails.
+pub fn execute_data_partition_batch(
+    graph: &DnnGraph,
+    parts: usize,
+    input: &Tensor,
+    store: &WeightStore,
+) -> Result<Tensor, DnnError> {
+    let sub_inputs = split::split_batch(input, parts)?;
+    let mut outputs = Vec::with_capacity(parts);
+    for sub in &sub_inputs {
+        let sub_graph = graph.with_batch(sub.shape()[0])?;
+        outputs.push(execute(&sub_graph, sub, store)?);
+    }
+    Ok(split::merge_batch(&outputs)?)
+}
+
+/// Length of the maximal graph prefix whose layers all preserve spatial
+/// height (stride-1 convolutions/pools, element-wise layers). Within this
+/// prefix spatial (halo) data partitioning is exact.
+pub fn spatial_prefix_len(graph: &DnnGraph) -> usize {
+    let mut len = 0usize;
+    for node in graph.nodes() {
+        let preserves = match &node.kind {
+            LayerKind::Input { .. } => true,
+            LayerKind::Conv { window, .. } | LayerKind::DepthwiseConv { window, .. } => {
+                window.stride == (1, 1)
+                    && window.kernel.0 == 2 * window.padding.0 + 1
+                    && window.kernel.1 == 2 * window.padding.1 + 1
+            }
+            LayerKind::MaxPool { window } | LayerKind::AvgPool { window } => {
+                window.stride == (1, 1)
+                    && window.kernel.0 == 2 * window.padding.0 + 1
+                    && window.kernel.1 == 2 * window.padding.1 + 1
+            }
+            LayerKind::BatchNorm | LayerKind::Activation { .. } | LayerKind::Add | LayerKind::Concat => true,
+            _ => false,
+        };
+        if preserves {
+            len += 1;
+        } else {
+            break;
+        }
+    }
+    len
+}
+
+/// Executes the graph with its spatial prefix data-partitioned into `parts`
+/// height slabs (with `halo` overlap rows), then the remainder of the network
+/// on the merged feature map. This mirrors MoDNN-style spatial partitioning.
+///
+/// # Errors
+///
+/// Returns an error when the graph has no spatial prefix, the split is
+/// invalid, or a layer evaluation fails.
+pub fn execute_data_partition_spatial(
+    graph: &DnnGraph,
+    parts: usize,
+    halo: usize,
+    input: &Tensor,
+    store: &WeightStore,
+) -> Result<Tensor, DnnError> {
+    let prefix = spatial_prefix_len(graph);
+    if prefix < 2 {
+        return Err(DnnError::InvalidPartition {
+            what: "graph has no spatially-preserving prefix to partition".into(),
+        });
+    }
+    let slices = split::split_height_with_halo(input, parts, halo)?;
+    let mut processed = Vec::with_capacity(parts);
+    for slice in &slices {
+        let out = execute_range(graph, 0, prefix - 1, &slice.tensor, store)?;
+        processed.push((slice.clone(), out));
+    }
+    let merged = split::merge_height(&processed)?;
+    if prefix == graph.len() {
+        return Ok(merged);
+    }
+    execute_range(graph, prefix, graph.len() - 1, &merged, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_into_blocks, single_block};
+    use crate::zoo::small;
+
+    fn run_whole(graph: &DnnGraph, seed: u64) -> (Tensor, Tensor, WeightStore) {
+        let store = WeightStore::generate(graph, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let input = Tensor::random(&graph.input_shape().dims(), 1.0, &mut rng).unwrap();
+        let out = execute(graph, &input, &store).unwrap();
+        (input, out, store)
+    }
+
+    #[test]
+    fn whole_execution_produces_probability_rows() {
+        for graph in [
+            small::tiny_cnn(12, 2, 7),
+            small::tiny_resnet(12, 1, 7),
+            small::tiny_inception(12, 1, 7),
+            small::tiny_mobilenet(12, 1, 7),
+        ] {
+            let (_, out, _) = run_whole(&graph, 3);
+            assert_eq!(out.shape(), graph.output_shape().dims().as_slice());
+            let batch = graph.output_shape().batch();
+            for row in 0..batch {
+                let sum: f32 = out.data()[row * 7..(row + 1) * 7].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4, "{}", graph.name());
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let graph = small::tiny_resnet(12, 1, 5);
+        let (_, a, _) = run_whole(&graph, 11);
+        let (_, b, _) = run_whole(&graph, 11);
+        assert_eq!(a, b);
+        let (_, c, _) = run_whole(&graph, 12);
+        assert!(a.max_abs_diff(&c).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn model_partition_matches_whole_execution() {
+        for graph in [
+            small::tiny_cnn(12, 1, 6),
+            small::tiny_resnet(12, 1, 6),
+            small::tiny_inception(12, 1, 6),
+        ] {
+            let (input, whole, store) = run_whole(&graph, 5);
+            // Two-block and three-block pipelines at arbitrary cut points.
+            let cuts = graph.cut_points();
+            let mid = cuts[cuts.len() / 2];
+            for boundaries in [vec![mid], vec![cuts[1], cuts[cuts.len() - 2]]] {
+                if boundaries.windows(2).any(|w| w[1] <= w[0]) {
+                    continue;
+                }
+                let partition = partition_into_blocks(&graph, &boundaries).unwrap();
+                let out = execute_model_partition(&graph, &partition, &input, &store).unwrap();
+                assert!(
+                    out.approx_eq(&whole, 1e-4).unwrap(),
+                    "{} blocks on {}",
+                    partition.len(),
+                    graph.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_partition_is_identity() {
+        let graph = small::tiny_mobilenet(12, 1, 6);
+        let (input, whole, store) = run_whole(&graph, 9);
+        let partition = single_block(&graph);
+        let out = execute_model_partition(&graph, &partition, &input, &store).unwrap();
+        assert!(out.approx_eq(&whole, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn batch_data_partition_matches_whole_execution() {
+        let graph = small::tiny_cnn(12, 4, 5);
+        let (input, whole, store) = run_whole(&graph, 21);
+        for parts in [2, 3, 4] {
+            let out = execute_data_partition_batch(&graph, parts, &input, &store).unwrap();
+            assert!(out.approx_eq(&whole, 1e-4).unwrap(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn spatial_data_partition_matches_whole_execution() {
+        let graph = small::tiny_cnn(18, 1, 5);
+        let (input, whole, store) = run_whole(&graph, 33);
+        // tiny_cnn has three stride-1 convs before GAP; receptive-field radius
+        // grows by 1 per conv, so halo = 3 is sufficient.
+        for parts in [2, 3] {
+            let out =
+                execute_data_partition_spatial(&graph, parts, 3, &input, &store).unwrap();
+            assert!(out.approx_eq(&whole, 1e-4).unwrap(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn insufficient_halo_changes_the_result() {
+        let graph = small::tiny_cnn(18, 1, 5);
+        let (input, whole, store) = run_whole(&graph, 33);
+        let out = execute_data_partition_spatial(&graph, 3, 0, &input, &store).unwrap();
+        assert!(out.max_abs_diff(&whole).unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn spatial_prefix_detects_stride_boundaries() {
+        let cnn = small::tiny_cnn(16, 1, 5);
+        // input + 3 convs preserve height; GAP does not.
+        assert_eq!(spatial_prefix_len(&cnn), 4);
+        let vgg = crate::zoo::vgg19(224, 1);
+        // input + conv1_1 + conv1_2, then pool1 (stride 2) stops the prefix.
+        assert_eq!(spatial_prefix_len(&vgg), 3);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let graph = small::tiny_cnn(12, 1, 5);
+        let store = WeightStore::generate(&graph, 0).unwrap();
+        let bad = Tensor::zeros(&[1, 3, 10, 12]).unwrap();
+        assert!(execute(&graph, &bad, &store).is_err());
+    }
+
+    #[test]
+    fn weight_store_is_deterministic() {
+        let graph = small::tiny_resnet(12, 1, 5);
+        let a = WeightStore::generate(&graph, 7).unwrap();
+        let b = WeightStore::generate(&graph, 7).unwrap();
+        for node in graph.nodes() {
+            assert_eq!(a.node(node.id), b.node(node.id));
+        }
+    }
+
+    #[test]
+    fn argmax_predictions_survive_partitioning() {
+        // The paper's accuracy argument: predictions (argmax of the softmax)
+        // are identical under partitioning.
+        let graph = small::tiny_inception(14, 3, 9);
+        let (input, whole, store) = run_whole(&graph, 77);
+        let partition = partition_into_blocks(&graph, &[graph.cut_points()[1]]).unwrap();
+        let piped = execute_model_partition(&graph, &partition, &input, &store).unwrap();
+        let batched = execute_data_partition_batch(&graph, 3, &input, &store).unwrap();
+        assert_eq!(whole.argmax_rows().unwrap(), piped.argmax_rows().unwrap());
+        assert_eq!(whole.argmax_rows().unwrap(), batched.argmax_rows().unwrap());
+    }
+}

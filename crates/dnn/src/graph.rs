@@ -1,0 +1,559 @@
+//! The DNN DAG representation used throughout the HiDP reproduction.
+//!
+//! The paper models a DNN as a directed acyclic graph whose nodes are layers
+//! and whose edges are tensors (§III, *System Model*). [`DnnGraph`] stores
+//! exactly that, plus the analytical annotations the partitioners need:
+//! per-layer output shapes, flops, parameter bytes and activation bytes.
+
+use crate::layer::{LayerKind, Shape};
+use crate::DnnError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a node inside a [`DnnGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single layer instance inside the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNode {
+    /// Node identifier (index into the graph's node vector).
+    pub id: NodeId,
+    /// Human-readable name, unique within the graph.
+    pub name: String,
+    /// The layer descriptor.
+    pub kind: LayerKind,
+    /// Producers feeding this layer, in argument order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// Analytical annotations for one node, computed by [`DnnGraph::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeCost {
+    /// Output tensor shape.
+    pub output_shape: Shape,
+    /// Floating point operations to evaluate the node once.
+    pub flops: u64,
+    /// Parameter storage in bytes.
+    pub parameter_bytes: u64,
+    /// Output activation size in bytes.
+    pub output_bytes: u64,
+}
+
+/// An immutable, validated DNN graph with cost annotations.
+///
+/// Construct one with [`GraphBuilder`] (usually via the model zoo in
+/// [`crate::zoo`]).
+///
+/// ```
+/// use hidp_dnn::zoo;
+///
+/// let vgg = zoo::vgg19(224, 1);
+/// assert!(vgg.total_flops() > 1e9 as u64);
+/// assert_eq!(vgg.name(), "vgg19");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnGraph {
+    name: String,
+    nodes: Vec<LayerNode>,
+    costs: Vec<NodeCost>,
+    topo_order: Vec<NodeId>,
+    consumers: Vec<Vec<NodeId>>,
+    cut_points: Vec<NodeId>,
+}
+
+impl DnnGraph {
+    fn new(name: String, nodes: Vec<LayerNode>) -> Result<Self, DnnError> {
+        if nodes.is_empty() {
+            return Err(DnnError::InvalidGraph {
+                what: "graph has no nodes".into(),
+            });
+        }
+        // Validate ids and references.
+        let mut names = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if node.id.0 != i {
+                return Err(DnnError::InvalidGraph {
+                    what: format!("node `{}` has id {} but position {i}", node.name, node.id),
+                });
+            }
+            if names.insert(node.name.clone(), node.id).is_some() {
+                return Err(DnnError::InvalidGraph {
+                    what: format!("duplicate node name `{}`", node.name),
+                });
+            }
+            if let Some(expected) = node.kind.arity() {
+                if node.inputs.len() != expected {
+                    return Err(DnnError::InvalidGraph {
+                        what: format!(
+                            "node `{}` expects {expected} inputs but has {}",
+                            node.name,
+                            node.inputs.len()
+                        ),
+                    });
+                }
+            } else if node.inputs.is_empty() {
+                return Err(DnnError::InvalidGraph {
+                    what: format!("node `{}` expects at least one input", node.name),
+                });
+            }
+            for dep in &node.inputs {
+                if dep.0 >= nodes.len() {
+                    return Err(DnnError::UnknownNode { id: dep.0 });
+                }
+                if dep.0 >= i {
+                    return Err(DnnError::InvalidGraph {
+                        what: format!(
+                            "node `{}` depends on node {} that is not earlier in the build order",
+                            node.name, dep.0
+                        ),
+                    });
+                }
+            }
+        }
+        // Builders add nodes in topological order by construction (checked above).
+        let topo_order: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
+
+        // Shape and cost inference.
+        let mut costs: Vec<NodeCost> = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let input_shapes: Vec<Shape> = node
+                .inputs
+                .iter()
+                .map(|dep| costs[dep.0].output_shape.clone())
+                .collect();
+            let output_shape = node.kind.output_shape(&node.name, &input_shapes)?;
+            let flops = node.kind.flops(&input_shapes, &output_shape);
+            let parameter_bytes = node.kind.parameter_bytes(&input_shapes);
+            let output_bytes = output_shape.bytes();
+            costs.push(NodeCost {
+                output_shape,
+                flops,
+                parameter_bytes,
+                output_bytes,
+            });
+        }
+
+        // Consumers (reverse edges).
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for node in &nodes {
+            for dep in &node.inputs {
+                consumers[dep.0].push(node.id);
+            }
+        }
+
+        // Cut points: positions i in topo order such that every edge from
+        // {0..=i} into {i+1..} originates at node i. These are the legal
+        // model-partition boundaries (exactly one tensor crosses the cut).
+        let mut cut_points = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if i + 1 == nodes.len() {
+                break;
+            }
+            let mut ok = true;
+            for earlier in &nodes[..=i] {
+                if earlier.id.0 == i {
+                    continue;
+                }
+                if consumers[earlier.id.0].iter().any(|c| c.0 > i) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cut_points.push(node.id);
+            }
+        }
+
+        Ok(Self {
+            name,
+            nodes,
+            costs,
+            topo_order,
+            consumers,
+            cut_points,
+        })
+    }
+
+    /// The model name (e.g. `"resnet152"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[LayerNode] {
+        &self.nodes
+    }
+
+    /// Number of layers in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes (never true for a valid graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownNode`] for ids outside the graph.
+    pub fn node(&self, id: NodeId) -> Result<&LayerNode, DnnError> {
+        self.nodes.get(id.0).ok_or(DnnError::UnknownNode { id: id.0 })
+    }
+
+    /// Cost annotations of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownNode`] for ids outside the graph.
+    pub fn cost(&self, id: NodeId) -> Result<&NodeCost, DnnError> {
+        self.costs.get(id.0).ok_or(DnnError::UnknownNode { id: id.0 })
+    }
+
+    /// Nodes in topological (construction) order.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo_order
+    }
+
+    /// Nodes that consume the output of `id`.
+    pub fn consumers(&self, id: NodeId) -> &[NodeId] {
+        &self.consumers[id.0]
+    }
+
+    /// Legal model-partition boundaries: after each of these nodes exactly one
+    /// tensor crosses to the rest of the network.
+    pub fn cut_points(&self) -> &[NodeId] {
+        &self.cut_points
+    }
+
+    /// The input node (first node, always `LayerKind::Input`).
+    pub fn input(&self) -> &LayerNode {
+        &self.nodes[0]
+    }
+
+    /// The final node in topological order (the network output).
+    pub fn output(&self) -> &LayerNode {
+        self.nodes.last().expect("graph is never empty")
+    }
+
+    /// Shape of the network input.
+    pub fn input_shape(&self) -> &Shape {
+        &self.costs[0].output_shape
+    }
+
+    /// Shape of the network output.
+    pub fn output_shape(&self) -> &Shape {
+        &self.costs[self.nodes.len() - 1].output_shape
+    }
+
+    /// Total floating point operations for one inference.
+    pub fn total_flops(&self) -> u64 {
+        self.costs.iter().map(|c| c.flops).sum()
+    }
+
+    /// Total parameter storage in bytes.
+    pub fn total_parameter_bytes(&self) -> u64 {
+        self.costs.iter().map(|c| c.parameter_bytes).sum()
+    }
+
+    /// Total parameter count.
+    pub fn total_parameters(&self) -> u64 {
+        self.total_parameter_bytes() / 4
+    }
+
+    /// Sum of all activation sizes (bytes moved between layers).
+    pub fn total_activation_bytes(&self) -> u64 {
+        self.costs.iter().map(|c| c.output_bytes).sum()
+    }
+
+    /// Average GPU affinity of the network, weighted by per-layer flops.
+    /// Close to 1.0 for dense convolutional networks (VGG), noticeably lower
+    /// for depthwise-separable networks (EfficientNet).
+    pub fn gpu_affinity(&self) -> f64 {
+        let total = self.total_flops().max(1) as f64;
+        self.nodes
+            .iter()
+            .zip(self.costs.iter())
+            .map(|(n, c)| n.kind.gpu_affinity() * c.flops as f64)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Returns a copy of this graph with a different batch size on the input
+    /// layer (costs are recomputed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors if a layer cannot handle the new batch.
+    pub fn with_batch(&self, batch: usize) -> Result<Self, DnnError> {
+        let mut nodes = self.nodes.clone();
+        if let LayerKind::Input { shape } = &mut nodes[0].kind {
+            *shape = shape.with_batch(batch);
+        }
+        Self::new(self.name.clone(), nodes)
+    }
+}
+
+/// Incremental builder for [`DnnGraph`], used by the model zoo.
+///
+/// ```
+/// use hidp_dnn::{GraphBuilder, LayerKind, Shape, Window};
+/// use hidp_tensor::ops::Activation;
+///
+/// # fn main() -> Result<(), hidp_dnn::DnnError> {
+/// let mut b = GraphBuilder::new("tiny");
+/// let input = b.input(Shape::map(1, 3, 8, 8));
+/// let conv = b.layer("conv1", LayerKind::Conv {
+///     out_channels: 4,
+///     window: Window::square(3, 1, 1),
+///     activation: Activation::Relu,
+/// }, &[input]);
+/// let _ = conv;
+/// let graph = b.build()?;
+/// assert_eq!(graph.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<LayerNode>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds the input placeholder. Must be called exactly once, first.
+    pub fn input(&mut self, shape: Shape) -> NodeId {
+        self.layer("input", LayerKind::Input { shape }, &[])
+    }
+
+    /// Adds a layer fed by `inputs` and returns its id.
+    pub fn layer(&mut self, name: impl Into<String>, kind: LayerKind, inputs: &[NodeId]) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(LayerNode {
+            id,
+            name: name.into(),
+            kind,
+            inputs: inputs.to_vec(),
+        });
+        id
+    }
+
+    /// Number of layers added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no layers have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validates the graph, infers shapes and costs, and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidGraph`] for structural problems and
+    /// [`DnnError::ShapeError`] when a layer cannot handle its input shape.
+    pub fn build(self) -> Result<DnnGraph, DnnError> {
+        DnnGraph::new(self.name, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Window;
+    use hidp_tensor::ops::Activation;
+
+    fn chain_graph() -> DnnGraph {
+        let mut b = GraphBuilder::new("chain");
+        let input = b.input(Shape::map(1, 3, 8, 8));
+        let c1 = b.layer(
+            "c1",
+            LayerKind::Conv {
+                out_channels: 4,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Relu,
+            },
+            &[input],
+        );
+        let p = b.layer(
+            "pool",
+            LayerKind::MaxPool {
+                window: Window::square(2, 2, 0),
+            },
+            &[c1],
+        );
+        let f = b.layer("flat", LayerKind::Flatten, &[p]);
+        let d = b.layer(
+            "fc",
+            LayerKind::Dense {
+                units: 10,
+                activation: Activation::Linear,
+            },
+            &[f],
+        );
+        b.layer("sm", LayerKind::Softmax, &[d]);
+        b.build().unwrap()
+    }
+
+    fn residual_graph() -> DnnGraph {
+        let mut b = GraphBuilder::new("res");
+        let input = b.input(Shape::map(1, 4, 8, 8));
+        let c1 = b.layer(
+            "c1",
+            LayerKind::Conv {
+                out_channels: 4,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Relu,
+            },
+            &[input],
+        );
+        let c2 = b.layer(
+            "c2",
+            LayerKind::Conv {
+                out_channels: 4,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Linear,
+            },
+            &[c1],
+        );
+        let add = b.layer("add", LayerKind::Add, &[c1, c2]);
+        b.layer(
+            "c3",
+            LayerKind::Conv {
+                out_channels: 8,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Relu,
+            },
+            &[add],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_shapes_and_costs_are_inferred() {
+        let g = chain_graph();
+        assert_eq!(g.len(), 6);
+        assert_eq!(*g.output_shape(), Shape::vector(1, 10));
+        assert_eq!(g.input_shape(), &Shape::map(1, 3, 8, 8));
+        assert!(g.total_flops() > 0);
+        assert!(g.total_parameters() > 0);
+        // Every node in a pure chain is a cut point (except the last).
+        assert_eq!(g.cut_points().len(), g.len() - 1);
+    }
+
+    #[test]
+    fn residual_graph_cut_points_skip_branch_interior() {
+        let g = residual_graph();
+        let cut_names: Vec<&str> = g
+            .cut_points()
+            .iter()
+            .map(|id| g.node(*id).unwrap().name.as_str())
+            .collect();
+        // After c1 only c1's output crosses the boundary, so c1 IS a cut
+        // point. After c2 both c1's and c2's outputs cross (add needs both),
+        // so c2 is not.
+        assert!(cut_names.contains(&"input"));
+        assert!(cut_names.contains(&"add"));
+        assert!(cut_names.contains(&"c1"));
+        assert!(!cut_names.contains(&"c2"));
+    }
+
+    #[test]
+    fn consumers_are_reverse_edges() {
+        let g = residual_graph();
+        let c1 = NodeId(1);
+        let consumer_names: Vec<&str> = g
+            .consumers(c1)
+            .iter()
+            .map(|id| g.node(*id).unwrap().name.as_str())
+            .collect();
+        assert_eq!(consumer_names, vec!["c2", "add"]);
+        // Output node has no consumers.
+        assert!(g.consumers(g.output().id).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = GraphBuilder::new("dup");
+        let input = b.input(Shape::map(1, 1, 4, 4));
+        b.layer("x", LayerKind::BatchNorm, &[input]);
+        b.layer("x", LayerKind::BatchNorm, &[input]);
+        assert!(matches!(b.build(), Err(DnnError::InvalidGraph { .. })));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        let input = b.input(Shape::map(1, 1, 4, 4));
+        b.layer("add", LayerKind::Add, &[input]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let b = GraphBuilder::new("empty");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unknown_node_lookup_errors() {
+        let g = chain_graph();
+        assert!(g.node(NodeId(100)).is_err());
+        assert!(g.cost(NodeId(100)).is_err());
+    }
+
+    #[test]
+    fn with_batch_scales_flops_linearly() {
+        let g = chain_graph();
+        let g4 = g.with_batch(4).unwrap();
+        assert_eq!(g4.input_shape().batch(), 4);
+        assert_eq!(g4.total_flops(), g.total_flops() * 4);
+        // Parameters do not change with batch.
+        assert_eq!(g4.total_parameter_bytes(), g.total_parameter_bytes());
+    }
+
+    #[test]
+    fn gpu_affinity_is_within_unit_interval() {
+        let g = chain_graph();
+        let a = g.gpu_affinity();
+        assert!(a > 0.0 && a <= 1.0);
+    }
+
+    #[test]
+    fn shape_error_reports_layer_name() {
+        let mut b = GraphBuilder::new("bad-shape");
+        let input = b.input(Shape::map(1, 3, 4, 4));
+        b.layer(
+            "huge-conv",
+            LayerKind::Conv {
+                out_channels: 8,
+                window: Window::square(9, 1, 0),
+                activation: Activation::Relu,
+            },
+            &[input],
+        );
+        match b.build() {
+            Err(DnnError::ShapeError { layer, .. }) => assert_eq!(layer, "huge-conv"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+}

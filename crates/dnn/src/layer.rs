@@ -1,0 +1,626 @@
+//! Layer descriptors and the per-layer analytical cost model.
+//!
+//! Each graph node carries a [`LayerKind`]. Given concrete input shapes the
+//! layer reports its output shape, floating-point operation count, parameter
+//! bytes and activation (output) bytes — the quantities the HiDP system model
+//! consumes (paper §III, *System Model*).
+
+use crate::DnnError;
+use hidp_tensor::ops::{conv_output_dim, Activation};
+use serde::{Deserialize, Serialize};
+
+/// A concrete NCHW shape (batch, channels, height, width) or a rank-2
+/// `(batch, features)` shape for post-flatten layers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// Batch of feature maps: `[n, c, h, w]`.
+    Map {
+        /// Batch size.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// Batch of feature vectors: `[n, features]`.
+    Vector {
+        /// Batch size.
+        n: usize,
+        /// Feature count.
+        features: usize,
+    },
+}
+
+impl Shape {
+    /// Creates a feature-map shape.
+    pub fn map(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape::Map { n, c, h, w }
+    }
+
+    /// Creates a feature-vector shape.
+    pub fn vector(n: usize, features: usize) -> Self {
+        Shape::Vector { n, features }
+    }
+
+    /// Total number of elements.
+    pub fn elements(&self) -> usize {
+        match *self {
+            Shape::Map { n, c, h, w } => n * c * h * w,
+            Shape::Vector { n, features } => n * features,
+        }
+    }
+
+    /// Size in bytes assuming `f32` elements.
+    pub fn bytes(&self) -> u64 {
+        self.elements() as u64 * 4
+    }
+
+    /// Batch dimension.
+    pub fn batch(&self) -> usize {
+        match *self {
+            Shape::Map { n, .. } => n,
+            Shape::Vector { n, .. } => n,
+        }
+    }
+
+    /// Returns the shape as a dimension vector usable by `hidp-tensor`.
+    pub fn dims(&self) -> Vec<usize> {
+        match *self {
+            Shape::Map { n, c, h, w } => vec![n, c, h, w],
+            Shape::Vector { n, features } => vec![n, features],
+        }
+    }
+
+    /// Returns the same shape with a different batch size.
+    pub fn with_batch(&self, batch: usize) -> Self {
+        match *self {
+            Shape::Map { c, h, w, .. } => Shape::Map { n: batch, c, h, w },
+            Shape::Vector { features, .. } => Shape::Vector { n: batch, features },
+        }
+    }
+
+    /// Returns the same feature-map shape with a different height (used by
+    /// spatial data partitioning). Vector shapes are returned unchanged.
+    pub fn with_height(&self, height: usize) -> Self {
+        match *self {
+            Shape::Map { n, c, w, .. } => Shape::Map { n, c, h: height, w },
+            Shape::Vector { n, features } => Shape::Vector { n, features },
+        }
+    }
+}
+
+/// 2-D window parameters shared by convolution and pooling layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Window {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Stride along height and width.
+    pub stride: (usize, usize),
+    /// Zero padding along height and width.
+    pub padding: (usize, usize),
+}
+
+impl Window {
+    /// Creates a square window.
+    pub fn square(kernel: usize, stride: usize, padding: usize) -> Self {
+        Self {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        }
+    }
+
+    /// Output spatial dimensions for a given input height/width.
+    pub fn output_hw(&self, h: usize, w: usize) -> Option<(usize, usize)> {
+        Some((
+            conv_output_dim(h, self.kernel.0, self.stride.0, self.padding.0)?,
+            conv_output_dim(w, self.kernel.1, self.stride.1, self.padding.1)?,
+        ))
+    }
+}
+
+/// The kinds of layers supported by the model zoo and the partitioners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Graph input placeholder.
+    Input {
+        /// Shape of the input tensor.
+        shape: Shape,
+    },
+    /// Standard 2-D convolution (optionally fused with an activation).
+    Conv {
+        /// Number of output channels.
+        out_channels: usize,
+        /// Window geometry.
+        window: Window,
+        /// Fused activation applied after the convolution.
+        activation: Activation,
+    },
+    /// Depthwise 2-D convolution (one filter per channel).
+    DepthwiseConv {
+        /// Window geometry.
+        window: Window,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window geometry.
+        window: Window,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window geometry.
+        window: Window,
+    },
+    /// Global average pooling (collapses the spatial plane).
+    GlobalAvgPool,
+    /// Inference-time batch normalisation.
+    BatchNorm,
+    /// Stand-alone activation layer.
+    Activation {
+        /// The activation function.
+        activation: Activation,
+    },
+    /// Flattens a feature map to a feature vector.
+    Flatten,
+    /// Fully connected layer.
+    Dense {
+        /// Number of output units.
+        units: usize,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Element-wise addition of two inputs (residual connections).
+    Add,
+    /// Channel-wise concatenation of two or more inputs (Inception modules).
+    Concat,
+    /// Row-wise softmax over class logits.
+    Softmax,
+}
+
+impl LayerKind {
+    /// Short lowercase category name used in traces and experiment output.
+    pub fn category(&self) -> &'static str {
+        match self {
+            LayerKind::Input { .. } => "input",
+            LayerKind::Conv { .. } => "conv",
+            LayerKind::DepthwiseConv { .. } => "dwconv",
+            LayerKind::MaxPool { .. } => "maxpool",
+            LayerKind::AvgPool { .. } => "avgpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::BatchNorm => "batchnorm",
+            LayerKind::Activation { .. } => "activation",
+            LayerKind::Flatten => "flatten",
+            LayerKind::Dense { .. } => "dense",
+            LayerKind::Add => "add",
+            LayerKind::Concat => "concat",
+            LayerKind::Softmax => "softmax",
+        }
+    }
+
+    /// Number of inputs this layer expects (`None` means "one or more",
+    /// used by [`LayerKind::Concat`]).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            LayerKind::Input { .. } => Some(0),
+            LayerKind::Add => Some(2),
+            LayerKind::Concat => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Whether this layer maps well onto GPU-style massively parallel
+    /// hardware. Depthwise convolutions, element-wise ops and small dense
+    /// layers are comparatively CPU-friendly — the effect the HiDP paper
+    /// exploits (§I, "CPU-friendly layers").
+    pub fn gpu_affinity(&self) -> f64 {
+        match self {
+            LayerKind::Conv { .. } => 1.0,
+            LayerKind::Dense { .. } => 0.85,
+            LayerKind::DepthwiseConv { .. } => 0.45,
+            LayerKind::MaxPool { .. } | LayerKind::AvgPool { .. } => 0.6,
+            LayerKind::BatchNorm | LayerKind::Activation { .. } => 0.5,
+            LayerKind::Add | LayerKind::Concat => 0.4,
+            LayerKind::GlobalAvgPool => 0.5,
+            LayerKind::Softmax | LayerKind::Flatten | LayerKind::Input { .. } => 0.5,
+        }
+    }
+
+    /// Computes the output shape for the given input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeError`] when the inputs are incompatible with
+    /// this layer.
+    pub fn output_shape(&self, name: &str, inputs: &[Shape]) -> Result<Shape, DnnError> {
+        let shape_err = |what: String| DnnError::ShapeError {
+            layer: name.to_string(),
+            what,
+        };
+        let single_map = |inputs: &[Shape]| -> Result<(usize, usize, usize, usize), DnnError> {
+            match inputs {
+                [Shape::Map { n, c, h, w }] => Ok((*n, *c, *h, *w)),
+                [other] => Err(shape_err(format!("expected a feature map, got {other:?}"))),
+                _ => Err(shape_err(format!("expected 1 input, got {}", inputs.len()))),
+            }
+        };
+        match self {
+            LayerKind::Input { shape } => {
+                if inputs.is_empty() {
+                    Ok(shape.clone())
+                } else {
+                    Err(shape_err("input layer takes no inputs".into()))
+                }
+            }
+            LayerKind::Conv {
+                out_channels,
+                window,
+                ..
+            } => {
+                let (n, _c, h, w) = single_map(inputs)?;
+                let (oh, ow) = window
+                    .output_hw(h, w)
+                    .ok_or_else(|| shape_err(format!("window {window:?} does not fit {h}x{w}")))?;
+                Ok(Shape::map(n, *out_channels, oh, ow))
+            }
+            LayerKind::DepthwiseConv { window, .. } => {
+                let (n, c, h, w) = single_map(inputs)?;
+                let (oh, ow) = window
+                    .output_hw(h, w)
+                    .ok_or_else(|| shape_err(format!("window {window:?} does not fit {h}x{w}")))?;
+                Ok(Shape::map(n, c, oh, ow))
+            }
+            LayerKind::MaxPool { window } | LayerKind::AvgPool { window } => {
+                let (n, c, h, w) = single_map(inputs)?;
+                let (oh, ow) = window
+                    .output_hw(h, w)
+                    .ok_or_else(|| shape_err(format!("window {window:?} does not fit {h}x{w}")))?;
+                Ok(Shape::map(n, c, oh, ow))
+            }
+            LayerKind::GlobalAvgPool => {
+                let (n, c, _h, _w) = single_map(inputs)?;
+                Ok(Shape::map(n, c, 1, 1))
+            }
+            LayerKind::BatchNorm | LayerKind::Activation { .. } => match inputs {
+                [s] => Ok(s.clone()),
+                _ => Err(shape_err(format!("expected 1 input, got {}", inputs.len()))),
+            },
+            LayerKind::Flatten => {
+                let (n, c, h, w) = single_map(inputs)?;
+                Ok(Shape::vector(n, c * h * w))
+            }
+            LayerKind::Dense { units, .. } => match inputs {
+                [Shape::Vector { n, .. }] => Ok(Shape::vector(*n, *units)),
+                [Shape::Map { n, c, h, w }] if *h == 1 && *w == 1 => Ok(Shape::vector(*n, *units))
+                    .map(|s| {
+                        let _ = c;
+                        s
+                    }),
+                [other] => Err(shape_err(format!(
+                    "dense expects a feature vector or 1x1 map, got {other:?}"
+                ))),
+                _ => Err(shape_err(format!("expected 1 input, got {}", inputs.len()))),
+            },
+            LayerKind::Add => match inputs {
+                [a, b] if a == b => Ok(a.clone()),
+                [a, b] => Err(shape_err(format!("add inputs differ: {a:?} vs {b:?}"))),
+                _ => Err(shape_err(format!("add expects 2 inputs, got {}", inputs.len()))),
+            },
+            LayerKind::Concat => {
+                if inputs.is_empty() {
+                    return Err(shape_err("concat expects at least one input".into()));
+                }
+                let mut total_c = 0usize;
+                let (mut n0, mut h0, mut w0) = (0usize, 0usize, 0usize);
+                for (i, s) in inputs.iter().enumerate() {
+                    match s {
+                        Shape::Map { n, c, h, w } => {
+                            if i == 0 {
+                                (n0, h0, w0) = (*n, *h, *w);
+                            } else if *n != n0 || *h != h0 || *w != w0 {
+                                return Err(shape_err(
+                                    "concat inputs disagree on batch/height/width".into(),
+                                ));
+                            }
+                            total_c += c;
+                        }
+                        other => {
+                            return Err(shape_err(format!(
+                                "concat expects feature maps, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Shape::map(n0, total_c, h0, w0))
+            }
+            LayerKind::Softmax => match inputs {
+                [Shape::Vector { n, features }] => Ok(Shape::vector(*n, *features)),
+                [other] => Err(shape_err(format!("softmax expects a vector, got {other:?}"))),
+                _ => Err(shape_err(format!("expected 1 input, got {}", inputs.len()))),
+            },
+        }
+    }
+
+    /// Floating point operations for this layer given input and output shapes.
+    /// Multiply-accumulate counts as two flops.
+    pub fn flops(&self, inputs: &[Shape], output: &Shape) -> u64 {
+        let out_elems = output.elements() as u64;
+        match self {
+            LayerKind::Input { .. } | LayerKind::Flatten => 0,
+            LayerKind::Conv { window, .. } => {
+                let c_in = match inputs.first() {
+                    Some(Shape::Map { c, .. }) => *c as u64,
+                    _ => 0,
+                };
+                2 * out_elems * c_in * (window.kernel.0 * window.kernel.1) as u64
+            }
+            LayerKind::DepthwiseConv { window, .. } => {
+                2 * out_elems * (window.kernel.0 * window.kernel.1) as u64
+            }
+            LayerKind::MaxPool { window } | LayerKind::AvgPool { window } => {
+                out_elems * (window.kernel.0 * window.kernel.1) as u64
+            }
+            LayerKind::GlobalAvgPool => inputs.first().map(|s| s.elements() as u64).unwrap_or(0),
+            LayerKind::BatchNorm => 2 * out_elems,
+            LayerKind::Activation { .. } => out_elems,
+            LayerKind::Dense { .. } => {
+                let in_features = match inputs.first() {
+                    Some(Shape::Vector { features, .. }) => *features as u64,
+                    Some(Shape::Map { c, h, w, .. }) => (c * h * w) as u64,
+                    None => 0,
+                };
+                2 * in_features * out_elems
+            }
+            LayerKind::Add => out_elems,
+            LayerKind::Concat => 0,
+            LayerKind::Softmax => 5 * out_elems,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameters(&self, inputs: &[Shape]) -> u64 {
+        match self {
+            LayerKind::Conv {
+                out_channels,
+                window,
+                ..
+            } => {
+                let c_in = match inputs.first() {
+                    Some(Shape::Map { c, .. }) => *c as u64,
+                    _ => 0,
+                };
+                c_in * *out_channels as u64 * (window.kernel.0 * window.kernel.1) as u64
+                    + *out_channels as u64
+            }
+            LayerKind::DepthwiseConv { window, .. } => {
+                let c = match inputs.first() {
+                    Some(Shape::Map { c, .. }) => *c as u64,
+                    _ => 0,
+                };
+                c * (window.kernel.0 * window.kernel.1) as u64 + c
+            }
+            LayerKind::BatchNorm => {
+                let c = match inputs.first() {
+                    Some(Shape::Map { c, .. }) => *c as u64,
+                    Some(Shape::Vector { features, .. }) => *features as u64,
+                    None => 0,
+                };
+                4 * c
+            }
+            LayerKind::Dense { units, .. } => {
+                let in_features = match inputs.first() {
+                    Some(Shape::Vector { features, .. }) => *features as u64,
+                    Some(Shape::Map { c, h, w, .. }) => (c * h * w) as u64,
+                    None => 0,
+                };
+                in_features * *units as u64 + *units as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Parameter storage in bytes (`f32`).
+    pub fn parameter_bytes(&self, inputs: &[Shape]) -> u64 {
+        self.parameters(inputs) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(c: usize, hw: usize) -> Shape {
+        Shape::map(1, c, hw, hw)
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = Shape::map(2, 3, 4, 5);
+        assert_eq!(s.elements(), 120);
+        assert_eq!(s.bytes(), 480);
+        assert_eq!(s.batch(), 2);
+        assert_eq!(s.dims(), vec![2, 3, 4, 5]);
+        assert_eq!(s.with_batch(4).batch(), 4);
+        assert_eq!(s.with_height(7), Shape::map(2, 3, 7, 5));
+        let v = Shape::vector(3, 10);
+        assert_eq!(v.elements(), 30);
+        assert_eq!(v.with_batch(1), Shape::vector(1, 10));
+        assert_eq!(v.with_height(9), Shape::vector(3, 10));
+    }
+
+    #[test]
+    fn conv_output_shape_and_flops() {
+        // ResNet stem: 224x224x3 -> 7x7/2 conv, 64 channels -> 112x112x64.
+        let kind = LayerKind::Conv {
+            out_channels: 64,
+            window: Window::square(7, 2, 3),
+            activation: Activation::Relu,
+        };
+        let out = kind.output_shape("stem", &[img(3, 224)]).unwrap();
+        assert_eq!(out, Shape::map(1, 64, 112, 112));
+        // 2 * 112*112*64 * 3 * 49 = 236,027,904
+        assert_eq!(kind.flops(&[img(3, 224)], &out), 236_027_904);
+        assert_eq!(kind.parameters(&[img(3, 224)]), 3 * 64 * 49 + 64);
+    }
+
+    #[test]
+    fn vgg_conv_flops_match_hand_calculation() {
+        let kind = LayerKind::Conv {
+            out_channels: 64,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        };
+        let input = img(64, 224);
+        let out = kind.output_shape("conv1_2", &[input.clone()]).unwrap();
+        assert_eq!(out, Shape::map(1, 64, 224, 224));
+        let expected = 2u64 * 224 * 224 * 64 * 64 * 9;
+        assert_eq!(kind.flops(&[input], &out), expected);
+    }
+
+    #[test]
+    fn depthwise_conv_shapes_and_flops() {
+        let kind = LayerKind::DepthwiseConv {
+            window: Window::square(3, 1, 1),
+            activation: Activation::Swish,
+        };
+        let input = img(32, 112);
+        let out = kind.output_shape("dw", &[input.clone()]).unwrap();
+        assert_eq!(out, Shape::map(1, 32, 112, 112));
+        assert_eq!(kind.flops(&[input.clone()], &out), 2 * 32 * 112 * 112 * 9);
+        assert_eq!(kind.parameters(&[input]), 32 * 9 + 32);
+    }
+
+    #[test]
+    fn dense_shape_flops_params() {
+        let kind = LayerKind::Dense {
+            units: 1000,
+            activation: Activation::Linear,
+        };
+        let input = Shape::vector(1, 4096);
+        let out = kind.output_shape("fc", &[input.clone()]).unwrap();
+        assert_eq!(out, Shape::vector(1, 1000));
+        assert_eq!(kind.flops(&[input.clone()], &out), 2 * 4096 * 1000);
+        assert_eq!(kind.parameters(&[input]), 4096 * 1000 + 1000);
+    }
+
+    #[test]
+    fn pooling_and_gap_shapes() {
+        let pool = LayerKind::MaxPool {
+            window: Window::square(2, 2, 0),
+        };
+        assert_eq!(
+            pool.output_shape("pool", &[img(64, 224)]).unwrap(),
+            Shape::map(1, 64, 112, 112)
+        );
+        let gap = LayerKind::GlobalAvgPool;
+        assert_eq!(
+            gap.output_shape("gap", &[img(2048, 7)]).unwrap(),
+            Shape::map(1, 2048, 1, 1)
+        );
+    }
+
+    #[test]
+    fn add_and_concat_shape_rules() {
+        let add = LayerKind::Add;
+        assert_eq!(
+            add.output_shape("add", &[img(64, 56), img(64, 56)]).unwrap(),
+            img(64, 56)
+        );
+        assert!(add.output_shape("add", &[img(64, 56), img(32, 56)]).is_err());
+        assert!(add.output_shape("add", &[img(64, 56)]).is_err());
+
+        let concat = LayerKind::Concat;
+        assert_eq!(
+            concat
+                .output_shape("cat", &[img(64, 35), img(96, 35), img(32, 35)])
+                .unwrap(),
+            img(192, 35)
+        );
+        assert!(concat
+            .output_shape("cat", &[img(64, 35), img(96, 17)])
+            .is_err());
+        assert!(concat.output_shape("cat", &[]).is_err());
+    }
+
+    #[test]
+    fn flatten_dense_softmax_chain() {
+        let flat = LayerKind::Flatten;
+        let v = flat.output_shape("flat", &[img(512, 7)]).unwrap();
+        assert_eq!(v, Shape::vector(1, 512 * 49));
+        let softmax = LayerKind::Softmax;
+        assert_eq!(
+            softmax
+                .output_shape("sm", &[Shape::vector(1, 1000)])
+                .unwrap(),
+            Shape::vector(1, 1000)
+        );
+        assert!(softmax.output_shape("sm", &[img(3, 8)]).is_err());
+    }
+
+    #[test]
+    fn input_layer_reports_its_shape() {
+        let kind = LayerKind::Input {
+            shape: Shape::map(1, 3, 224, 224),
+        };
+        assert_eq!(
+            kind.output_shape("input", &[]).unwrap(),
+            Shape::map(1, 3, 224, 224)
+        );
+        assert!(kind.output_shape("input", &[img(3, 8)]).is_err());
+        assert_eq!(kind.flops(&[], &Shape::map(1, 3, 224, 224)), 0);
+    }
+
+    #[test]
+    fn window_too_large_is_reported() {
+        let kind = LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(7, 1, 0),
+            activation: Activation::Relu,
+        };
+        assert!(kind.output_shape("c", &[img(3, 4)]).is_err());
+    }
+
+    #[test]
+    fn gpu_affinity_reflects_layer_type() {
+        let conv = LayerKind::Conv {
+            out_channels: 1,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        };
+        let dw = LayerKind::DepthwiseConv {
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        };
+        assert!(conv.gpu_affinity() > dw.gpu_affinity());
+    }
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(LayerKind::Softmax.category(), "softmax");
+        assert_eq!(LayerKind::Add.category(), "add");
+        assert_eq!(
+            LayerKind::Input {
+                shape: Shape::vector(1, 1)
+            }
+            .category(),
+            "input"
+        );
+    }
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(LayerKind::Add.arity(), Some(2));
+        assert_eq!(LayerKind::Concat.arity(), None);
+        assert_eq!(LayerKind::Softmax.arity(), Some(1));
+        assert_eq!(
+            LayerKind::Input {
+                shape: Shape::vector(1, 1)
+            }
+            .arity(),
+            Some(0)
+        );
+    }
+}

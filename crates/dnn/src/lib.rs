@@ -1,0 +1,41 @@
+//! # hidp-dnn
+//!
+//! DNN graph representation, analytical cost model, model zoo and
+//! partitioning primitives for the HiDP reproduction.
+//!
+//! The HiDP decision problem (which partitioning mode, where to cut, how to
+//! distribute) only needs *analytical* properties of a network: per-layer
+//! flops, parameter bytes and activation sizes. This crate provides:
+//!
+//! * [`DnnGraph`] — a validated DAG of [`LayerKind`] nodes with inferred
+//!   shapes and costs ([`GraphBuilder`] constructs them);
+//! * [`zoo`] — ResNet-152, VGG-19, Inception-V3 and EfficientNet-B0 (the
+//!   paper's four workloads) plus small test networks;
+//! * [`partition`] — model-wise layer blocks and data-wise parallel parts;
+//! * [`exec`] — reference execution on [`hidp_tensor`] tensors, used to prove
+//!   that partitioned execution is equivalent to whole-model execution.
+//!
+//! ```
+//! use hidp_dnn::zoo::WorkloadModel;
+//!
+//! let resnet = WorkloadModel::ResNet152.graph(1);
+//! println!("{}: {:.1} GFLOP", resnet.name(), resnet.total_flops() as f64 / 1e9);
+//! assert!(resnet.cut_points().len() > 50);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod exec;
+mod graph;
+mod layer;
+pub mod partition;
+pub mod zoo;
+
+pub use error::DnnError;
+pub use graph::{DnnGraph, GraphBuilder, LayerNode, NodeCost, NodeId};
+pub use layer::{LayerKind, Shape, Window};
+pub use partition::{DataPartition, LayerBlock, ModelPartition, PartitionMode};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DnnError>;

@@ -1,0 +1,50 @@
+//! DNN partitioning primitives.
+//!
+//! HiDP (and its baselines) decompose an inference request in one of two
+//! ways (paper §II-A):
+//!
+//! * **model partitioning** ([`model`]): contiguous layer blocks executed as
+//!   a pipeline, one block per device/processor;
+//! * **data partitioning** ([`data`]): the input is split into `σ` pieces and
+//!   `σ` copies of the (sub)model run in parallel, exchanging halo data.
+//!
+//! Both produce *descriptions* (block sizes, flops, transfer bytes) that the
+//! cost model and the simulator consume; actually executing a partition on
+//! real tensors is the job of [`crate::exec`].
+
+pub mod data;
+pub mod model;
+
+pub use data::{data_partition, even_fractions, DataPart, DataPartition};
+pub use model::{partition_into_blocks, single_block, LayerBlock, ModelPartition};
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two partitioning modes a strategy selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Layer-wise blocks executed as a pipeline.
+    Model,
+    /// Input split into parallel sub-model executions.
+    Data,
+}
+
+impl std::fmt::Display for PartitionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionMode::Model => f.write_str("model"),
+            PartitionMode::Data => f.write_str("data"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_displays_lowercase() {
+        assert_eq!(PartitionMode::Model.to_string(), "model");
+        assert_eq!(PartitionMode::Data.to_string(), "data");
+    }
+}

@@ -1,0 +1,278 @@
+//! Inception-V3 (Szegedy et al., 2016) for 299×299 inputs.
+//!
+//! Stem → 3×InceptionA → ReductionA → 4×InceptionB → ReductionB →
+//! 2×InceptionC → global average pooling → 1000-way classifier. Auxiliary
+//! classifiers (training-only) are omitted.
+
+use crate::graph::{DnnGraph, GraphBuilder, NodeId};
+use crate::layer::{LayerKind, Shape, Window};
+use hidp_tensor::ops::Activation;
+
+struct InceptionBuilder {
+    b: GraphBuilder,
+}
+
+impl InceptionBuilder {
+    /// conv + batch-norm + ReLU with an arbitrary (possibly non-square) kernel.
+    fn conv_bn(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        padding: (usize, usize),
+    ) -> NodeId {
+        let conv = self.b.layer(
+            format!("{name}_conv"),
+            LayerKind::Conv {
+                out_channels,
+                window: Window {
+                    kernel,
+                    stride: (stride, stride),
+                    padding,
+                },
+                activation: Activation::Linear,
+            },
+            &[prev],
+        );
+        let bn = self
+            .b
+            .layer(format!("{name}_bn"), LayerKind::BatchNorm, &[conv]);
+        self.b.layer(
+            format!("{name}_relu"),
+            LayerKind::Activation {
+                activation: Activation::Relu,
+            },
+            &[bn],
+        )
+    }
+
+    fn sq(&mut self, name: &str, prev: NodeId, out: usize, k: usize, s: usize, p: usize) -> NodeId {
+        self.conv_bn(name, prev, out, (k, k), s, (p, p))
+    }
+
+    fn avg_pool3(&mut self, name: &str, prev: NodeId) -> NodeId {
+        self.b.layer(
+            name,
+            LayerKind::AvgPool {
+                window: Window::square(3, 1, 1),
+            },
+            &[prev],
+        )
+    }
+
+    /// Inception-A: 1×1 / 5×5 / double-3×3 / pool branches, 35×35 maps.
+    fn inception_a(&mut self, name: &str, prev: NodeId, pool_features: usize) -> NodeId {
+        let b1 = self.sq(&format!("{name}_1x1"), prev, 64, 1, 1, 0);
+
+        let b2a = self.sq(&format!("{name}_5x5a"), prev, 48, 1, 1, 0);
+        let b2 = self.sq(&format!("{name}_5x5b"), b2a, 64, 5, 1, 2);
+
+        let b3a = self.sq(&format!("{name}_3x3a"), prev, 64, 1, 1, 0);
+        let b3b = self.sq(&format!("{name}_3x3b"), b3a, 96, 3, 1, 1);
+        let b3 = self.sq(&format!("{name}_3x3c"), b3b, 96, 3, 1, 1);
+
+        let pool = self.avg_pool3(&format!("{name}_pool"), prev);
+        let b4 = self.sq(&format!("{name}_poolproj"), pool, pool_features, 1, 1, 0);
+
+        self.b
+            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, b3, b4])
+    }
+
+    /// Reduction-A: stride-2 3×3 / double-3×3 / max-pool branches, 35→17.
+    fn reduction_a(&mut self, name: &str, prev: NodeId) -> NodeId {
+        let b1 = self.sq(&format!("{name}_3x3"), prev, 384, 3, 2, 0);
+
+        let b2a = self.sq(&format!("{name}_d3x3a"), prev, 64, 1, 1, 0);
+        let b2b = self.sq(&format!("{name}_d3x3b"), b2a, 96, 3, 1, 1);
+        let b2 = self.sq(&format!("{name}_d3x3c"), b2b, 96, 3, 2, 0);
+
+        let pool = self.b.layer(
+            format!("{name}_pool"),
+            LayerKind::MaxPool {
+                window: Window::square(3, 2, 0),
+            },
+            &[prev],
+        );
+        self.b
+            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, pool])
+    }
+
+    /// Inception-B: factorised 7×7 convolutions, 17×17 maps.
+    fn inception_b(&mut self, name: &str, prev: NodeId, c7: usize) -> NodeId {
+        let b1 = self.sq(&format!("{name}_1x1"), prev, 192, 1, 1, 0);
+
+        let b2a = self.sq(&format!("{name}_7a"), prev, c7, 1, 1, 0);
+        let b2b = self.conv_bn(&format!("{name}_7b"), b2a, c7, (1, 7), 1, (0, 3));
+        let b2 = self.conv_bn(&format!("{name}_7c"), b2b, 192, (7, 1), 1, (3, 0));
+
+        let b3a = self.sq(&format!("{name}_d7a"), prev, c7, 1, 1, 0);
+        let b3b = self.conv_bn(&format!("{name}_d7b"), b3a, c7, (7, 1), 1, (3, 0));
+        let b3c = self.conv_bn(&format!("{name}_d7c"), b3b, c7, (1, 7), 1, (0, 3));
+        let b3d = self.conv_bn(&format!("{name}_d7d"), b3c, c7, (7, 1), 1, (3, 0));
+        let b3 = self.conv_bn(&format!("{name}_d7e"), b3d, 192, (1, 7), 1, (0, 3));
+
+        let pool = self.avg_pool3(&format!("{name}_pool"), prev);
+        let b4 = self.sq(&format!("{name}_poolproj"), pool, 192, 1, 1, 0);
+
+        self.b
+            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, b3, b4])
+    }
+
+    /// Reduction-B: 17→8.
+    fn reduction_b(&mut self, name: &str, prev: NodeId) -> NodeId {
+        let b1a = self.sq(&format!("{name}_3x3a"), prev, 192, 1, 1, 0);
+        let b1 = self.sq(&format!("{name}_3x3b"), b1a, 320, 3, 2, 0);
+
+        let b2a = self.sq(&format!("{name}_7x7a"), prev, 192, 1, 1, 0);
+        let b2b = self.conv_bn(&format!("{name}_7x7b"), b2a, 192, (1, 7), 1, (0, 3));
+        let b2c = self.conv_bn(&format!("{name}_7x7c"), b2b, 192, (7, 1), 1, (3, 0));
+        let b2 = self.sq(&format!("{name}_7x7d"), b2c, 192, 3, 2, 0);
+
+        let pool = self.b.layer(
+            format!("{name}_pool"),
+            LayerKind::MaxPool {
+                window: Window::square(3, 2, 0),
+            },
+            &[prev],
+        );
+        self.b
+            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, pool])
+    }
+
+    /// Inception-C: expanded filter-bank modules, 8×8 maps.
+    fn inception_c(&mut self, name: &str, prev: NodeId) -> NodeId {
+        let b1 = self.sq(&format!("{name}_1x1"), prev, 320, 1, 1, 0);
+
+        let b2a = self.sq(&format!("{name}_3a"), prev, 384, 1, 1, 0);
+        let b2l = self.conv_bn(&format!("{name}_3b1"), b2a, 384, (1, 3), 1, (0, 1));
+        let b2r = self.conv_bn(&format!("{name}_3b2"), b2a, 384, (3, 1), 1, (1, 0));
+
+        let b3a = self.sq(&format!("{name}_d3a"), prev, 448, 1, 1, 0);
+        let b3b = self.sq(&format!("{name}_d3b"), b3a, 384, 3, 1, 1);
+        let b3l = self.conv_bn(&format!("{name}_d3c1"), b3b, 384, (1, 3), 1, (0, 1));
+        let b3r = self.conv_bn(&format!("{name}_d3c2"), b3b, 384, (3, 1), 1, (1, 0));
+
+        let pool = self.avg_pool3(&format!("{name}_pool"), prev);
+        let b4 = self.sq(&format!("{name}_poolproj"), pool, 192, 1, 1, 0);
+
+        self.b.layer(
+            format!("{name}_concat"),
+            LayerKind::Concat,
+            &[b1, b2l, b2r, b3l, b3r, b4],
+        )
+    }
+}
+
+/// Builds Inception-V3 for `resolution`×`resolution` RGB inputs (the paper
+/// uses 299). Resolutions below 75 are rejected because the stem would
+/// collapse the feature map.
+pub fn inception_v3(resolution: usize, batch: usize) -> DnnGraph {
+    assert!(
+        resolution >= 75,
+        "Inception-V3 requires a resolution of at least 75, got {resolution}"
+    );
+    let mut ib = InceptionBuilder {
+        b: GraphBuilder::new("inception_v3"),
+    };
+    let input = ib.b.input(Shape::map(batch, 3, resolution, resolution));
+
+    // Stem: 299 -> 35x35x192.
+    let s1 = ib.sq("stem1", input, 32, 3, 2, 0);
+    let s2 = ib.sq("stem2", s1, 32, 3, 1, 0);
+    let s3 = ib.sq("stem3", s2, 64, 3, 1, 1);
+    let p1 = ib.b.layer(
+        "stem_pool1",
+        LayerKind::MaxPool {
+            window: Window::square(3, 2, 0),
+        },
+        &[s3],
+    );
+    let s4 = ib.sq("stem4", p1, 80, 1, 1, 0);
+    let s5 = ib.sq("stem5", s4, 192, 3, 1, 0);
+    let p2 = ib.b.layer(
+        "stem_pool2",
+        LayerKind::MaxPool {
+            window: Window::square(3, 2, 0),
+        },
+        &[s5],
+    );
+
+    // 3 × Inception-A.
+    let a1 = ib.inception_a("mixed5b", p2, 32);
+    let a2 = ib.inception_a("mixed5c", a1, 64);
+    let a3 = ib.inception_a("mixed5d", a2, 64);
+    // Reduction-A.
+    let ra = ib.reduction_a("mixed6a", a3);
+    // 4 × Inception-B.
+    let b1 = ib.inception_b("mixed6b", ra, 128);
+    let b2 = ib.inception_b("mixed6c", b1, 160);
+    let b3 = ib.inception_b("mixed6d", b2, 160);
+    let b4 = ib.inception_b("mixed6e", b3, 192);
+    // Reduction-B.
+    let rb = ib.reduction_b("mixed7a", b4);
+    // 2 × Inception-C.
+    let c1 = ib.inception_c("mixed7b", rb);
+    let c2 = ib.inception_c("mixed7c", c1);
+
+    let gap = ib.b.layer("gap", LayerKind::GlobalAvgPool, &[c2]);
+    let flat = ib.b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = ib.b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: 1000,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    ib.b.layer("softmax", LayerKind::Softmax, &[fc]);
+    ib.b.build().expect("inception_v3 graph is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape_of(g: &DnnGraph, name: &str) -> Shape {
+        let n = g.nodes().iter().find(|n| n.name == name).unwrap();
+        g.cost(n.id).unwrap().output_shape.clone()
+    }
+
+    #[test]
+    fn stage_shapes_match_published_architecture() {
+        let g = inception_v3(299, 1);
+        assert_eq!(shape_of(&g, "stem_pool2"), Shape::map(1, 192, 35, 35));
+        assert_eq!(shape_of(&g, "mixed5b_concat"), Shape::map(1, 256, 35, 35));
+        assert_eq!(shape_of(&g, "mixed5d_concat"), Shape::map(1, 288, 35, 35));
+        assert_eq!(shape_of(&g, "mixed6a_concat"), Shape::map(1, 768, 17, 17));
+        assert_eq!(shape_of(&g, "mixed6e_concat"), Shape::map(1, 768, 17, 17));
+        assert_eq!(shape_of(&g, "mixed7a_concat"), Shape::map(1, 1280, 8, 8));
+        assert_eq!(shape_of(&g, "mixed7c_concat"), Shape::map(1, 2048, 8, 8));
+    }
+
+    #[test]
+    fn module_concats_are_cut_points() {
+        let g = inception_v3(299, 1);
+        let cut_names: Vec<&str> = g
+            .cut_points()
+            .iter()
+            .map(|id| g.node(*id).unwrap().name.as_str())
+            .collect();
+        for module in ["mixed5b", "mixed6a", "mixed6e", "mixed7c"] {
+            let concat = format!("{module}_concat");
+            assert!(
+                cut_names.contains(&concat.as_str()),
+                "{concat} should be a cut point"
+            );
+        }
+        // Branch-internal layers must not be cut points.
+        assert!(!cut_names.contains(&"mixed5b_3x3b_relu"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 75")]
+    fn tiny_resolution_is_rejected() {
+        let _ = inception_v3(64, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! ResNet-152 (He et al., 2016): bottleneck residual blocks arranged as
+//! stages of [3, 8, 36, 3] blocks.
+
+use crate::graph::{DnnGraph, GraphBuilder, NodeId};
+use crate::layer::{LayerKind, Shape, Window};
+use hidp_tensor::ops::Activation;
+
+struct ResNetBuilder {
+    b: GraphBuilder,
+}
+
+impl ResNetBuilder {
+    fn conv_bn(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let padding = kernel / 2;
+        let conv = self.b.layer(
+            format!("{name}_conv"),
+            LayerKind::Conv {
+                out_channels,
+                window: Window::square(kernel, stride, padding),
+                activation: Activation::Linear,
+            },
+            &[prev],
+        );
+        let bn = self
+            .b
+            .layer(format!("{name}_bn"), LayerKind::BatchNorm, &[conv]);
+        if activation == Activation::Linear {
+            bn
+        } else {
+            self.b.layer(
+                format!("{name}_act"),
+                LayerKind::Activation { activation },
+                &[bn],
+            )
+        }
+    }
+
+    /// A bottleneck block: 1×1 reduce → 3×3 → 1×1 expand, with identity or
+    /// projection skip connection.
+    fn bottleneck(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        mid_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        project: bool,
+    ) -> NodeId {
+        let c1 = self.conv_bn(&format!("{name}_a"), prev, mid_channels, 1, 1, Activation::Relu);
+        let c2 = self.conv_bn(
+            &format!("{name}_b"),
+            c1,
+            mid_channels,
+            3,
+            stride,
+            Activation::Relu,
+        );
+        let c3 = self.conv_bn(
+            &format!("{name}_c"),
+            c2,
+            out_channels,
+            1,
+            1,
+            Activation::Linear,
+        );
+        let skip = if project {
+            self.conv_bn(
+                &format!("{name}_proj"),
+                prev,
+                out_channels,
+                1,
+                stride,
+                Activation::Linear,
+            )
+        } else {
+            prev
+        };
+        let add = self
+            .b
+            .layer(format!("{name}_add"), LayerKind::Add, &[skip, c3]);
+        self.b.layer(
+            format!("{name}_out"),
+            LayerKind::Activation {
+                activation: Activation::Relu,
+            },
+            &[add],
+        )
+    }
+}
+
+/// Builds ResNet-152 for `resolution`×`resolution` RGB inputs (the paper uses
+/// 224). The resolution must be divisible by 32.
+pub fn resnet152(resolution: usize, batch: usize) -> DnnGraph {
+    assert!(
+        resolution >= 32 && resolution % 32 == 0,
+        "ResNet-152 requires a resolution divisible by 32, got {resolution}"
+    );
+    let mut rb = ResNetBuilder {
+        b: GraphBuilder::new("resnet152"),
+    };
+    let input = rb.b.input(Shape::map(batch, 3, resolution, resolution));
+    let stem = rb.conv_bn("stem", input, 64, 7, 2, Activation::Relu);
+    let mut prev = rb.b.layer(
+        "stem_pool",
+        LayerKind::MaxPool {
+            window: Window::square(3, 2, 1),
+        },
+        &[stem],
+    );
+
+    // (blocks, mid channels, out channels, first stride) per stage.
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 1),
+        (8, 128, 512, 2),
+        (36, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for (stage_idx, (blocks, mid, out, first_stride)) in stages.into_iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            let project = block == 0;
+            prev = rb.bottleneck(
+                &format!("s{}b{}", stage_idx + 2, block + 1),
+                prev,
+                mid,
+                out,
+                stride,
+                project,
+            );
+        }
+    }
+
+    let gap = rb.b.layer("gap", LayerKind::GlobalAvgPool, &[prev]);
+    let flat = rb.b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = rb.b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: 1000,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    rb.b.layer("softmax", LayerKind::Softmax, &[fc]);
+    rb.b.build().expect("resnet152 graph is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_152_weighted_convolution_layers() {
+        // 1 stem conv + 3*(3+8+36+3) bottleneck convs + final FC = 152 weight
+        // layers in the original counting (projections excluded).
+        let g = resnet152(224, 1);
+        let convs_non_proj = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.category() == "conv" && !n.name.contains("proj"))
+            .count();
+        let dense = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.category() == "dense")
+            .count();
+        assert_eq!(convs_non_proj + dense, 152);
+    }
+
+    #[test]
+    fn stage_output_shapes_follow_published_architecture() {
+        let g = resnet152(224, 1);
+        let find = |name: &str| {
+            let n = g.nodes().iter().find(|n| n.name == name).unwrap();
+            g.cost(n.id).unwrap().output_shape.clone()
+        };
+        assert_eq!(find("stem_pool"), Shape::map(1, 64, 56, 56));
+        assert_eq!(find("s2b3_out"), Shape::map(1, 256, 56, 56));
+        assert_eq!(find("s3b8_out"), Shape::map(1, 512, 28, 28));
+        assert_eq!(find("s4b36_out"), Shape::map(1, 1024, 14, 14));
+        assert_eq!(find("s5b3_out"), Shape::map(1, 2048, 7, 7));
+    }
+
+    #[test]
+    fn cut_points_exist_at_block_boundaries_only_inside_stages() {
+        let g = resnet152(224, 1);
+        let cut_names: Vec<&str> = g
+            .cut_points()
+            .iter()
+            .map(|id| g.node(*id).unwrap().name.as_str())
+            .collect();
+        // Block outputs are cut points; interior convs of a block are not.
+        assert!(cut_names.contains(&"s2b1_out"));
+        assert!(cut_names.contains(&"s4b36_out"));
+        assert!(!cut_names.contains(&"s2b1_b_conv"));
+    }
+
+    #[test]
+    fn deeper_stages_dominate_flops() {
+        let g = resnet152(224, 1);
+        let stage4_flops: u64 = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("s4"))
+            .map(|n| g.cost(n.id).unwrap().flops)
+            .sum();
+        assert!(stage4_flops as f64 > 0.4 * g.total_flops() as f64);
+    }
+}

@@ -1,0 +1,268 @@
+//! Small networks used by execution, partitioning and equivalence tests.
+//!
+//! The real workload models are far too large to execute with the naive
+//! reference kernels in `hidp-tensor`; these miniatures exercise the same
+//! structural features (chains, residual connections, inception-style
+//! branches, depthwise convolutions) at a few thousand flops.
+
+use crate::graph::{DnnGraph, GraphBuilder};
+use crate::layer::{LayerKind, Shape, Window};
+use hidp_tensor::ops::Activation;
+
+/// A stride-1 "same" convolutional chain: every layer preserves the spatial
+/// size, so spatial (halo) data partitioning is exact. Ends in global average
+/// pooling and a small classifier.
+pub fn tiny_cnn(resolution: usize, batch: usize, classes: usize) -> DnnGraph {
+    let mut b = GraphBuilder::new("tiny_cnn");
+    let input = b.input(Shape::map(batch, 3, resolution, resolution));
+    let c1 = b.layer(
+        "c1",
+        LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[input],
+    );
+    let c2 = b.layer(
+        "c2",
+        LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[c1],
+    );
+    let c3 = b.layer(
+        "c3",
+        LayerKind::Conv {
+            out_channels: 16,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[c2],
+    );
+    let gap = b.layer("gap", LayerKind::GlobalAvgPool, &[c3]);
+    let flat = b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: classes,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    b.layer("softmax", LayerKind::Softmax, &[fc]);
+    b.build().expect("tiny_cnn is statically valid")
+}
+
+/// A miniature residual network with two bottleneck-style blocks.
+pub fn tiny_resnet(resolution: usize, batch: usize, classes: usize) -> DnnGraph {
+    let mut b = GraphBuilder::new("tiny_resnet");
+    let input = b.input(Shape::map(batch, 3, resolution, resolution));
+    let stem = b.layer(
+        "stem",
+        LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[input],
+    );
+    let mut prev = stem;
+    for block in 1..=2 {
+        let c1 = b.layer(
+            format!("b{block}_c1"),
+            LayerKind::Conv {
+                out_channels: 8,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Relu,
+            },
+            &[prev],
+        );
+        let c2 = b.layer(
+            format!("b{block}_c2"),
+            LayerKind::Conv {
+                out_channels: 8,
+                window: Window::square(3, 1, 1),
+                activation: Activation::Linear,
+            },
+            &[c1],
+        );
+        let add = b.layer(format!("b{block}_add"), LayerKind::Add, &[prev, c2]);
+        prev = b.layer(
+            format!("b{block}_relu"),
+            LayerKind::Activation {
+                activation: Activation::Relu,
+            },
+            &[add],
+        );
+    }
+    let gap = b.layer("gap", LayerKind::GlobalAvgPool, &[prev]);
+    let flat = b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: classes,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    b.layer("softmax", LayerKind::Softmax, &[fc]);
+    b.build().expect("tiny_resnet is statically valid")
+}
+
+/// A miniature inception-style network with one 3-branch module.
+pub fn tiny_inception(resolution: usize, batch: usize, classes: usize) -> DnnGraph {
+    let mut b = GraphBuilder::new("tiny_inception");
+    let input = b.input(Shape::map(batch, 3, resolution, resolution));
+    let stem = b.layer(
+        "stem",
+        LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[input],
+    );
+    let b1 = b.layer(
+        "branch_1x1",
+        LayerKind::Conv {
+            out_channels: 4,
+            window: Window::square(1, 1, 0),
+            activation: Activation::Relu,
+        },
+        &[stem],
+    );
+    let b2a = b.layer(
+        "branch_3x3a",
+        LayerKind::Conv {
+            out_channels: 4,
+            window: Window::square(1, 1, 0),
+            activation: Activation::Relu,
+        },
+        &[stem],
+    );
+    let b2 = b.layer(
+        "branch_3x3b",
+        LayerKind::Conv {
+            out_channels: 6,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[b2a],
+    );
+    let pool = b.layer(
+        "branch_pool",
+        LayerKind::AvgPool {
+            window: Window::square(3, 1, 1),
+        },
+        &[stem],
+    );
+    let b3 = b.layer(
+        "branch_poolproj",
+        LayerKind::Conv {
+            out_channels: 4,
+            window: Window::square(1, 1, 0),
+            activation: Activation::Relu,
+        },
+        &[pool],
+    );
+    let concat = b.layer("concat", LayerKind::Concat, &[b1, b2, b3]);
+    let gap = b.layer("gap", LayerKind::GlobalAvgPool, &[concat]);
+    let flat = b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: classes,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    b.layer("softmax", LayerKind::Softmax, &[fc]);
+    b.build().expect("tiny_inception is statically valid")
+}
+
+/// A miniature depthwise-separable network (EfficientNet-style blocks).
+pub fn tiny_mobilenet(resolution: usize, batch: usize, classes: usize) -> DnnGraph {
+    let mut b = GraphBuilder::new("tiny_mobilenet");
+    let input = b.input(Shape::map(batch, 3, resolution, resolution));
+    let stem = b.layer(
+        "stem",
+        LayerKind::Conv {
+            out_channels: 8,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu6,
+        },
+        &[input],
+    );
+    let mut prev = stem;
+    for block in 1..=2 {
+        let dw = b.layer(
+            format!("b{block}_dw"),
+            LayerKind::DepthwiseConv {
+                window: Window::square(3, 1, 1),
+                activation: Activation::Relu6,
+            },
+            &[prev],
+        );
+        let bn = b.layer(format!("b{block}_bn"), LayerKind::BatchNorm, &[dw]);
+        prev = b.layer(
+            format!("b{block}_pw"),
+            LayerKind::Conv {
+                out_channels: 8,
+                window: Window::square(1, 1, 0),
+                activation: Activation::Relu6,
+            },
+            &[bn],
+        );
+    }
+    let gap = b.layer("gap", LayerKind::GlobalAvgPool, &[prev]);
+    let flat = b.layer("flatten", LayerKind::Flatten, &[gap]);
+    let fc = b.layer(
+        "fc",
+        LayerKind::Dense {
+            units: classes,
+            activation: Activation::Linear,
+        },
+        &[flat],
+    );
+    b.layer("softmax", LayerKind::Softmax, &[fc]);
+    b.build().expect("tiny_mobilenet is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_small_models_build() {
+        for g in [
+            tiny_cnn(16, 1, 10),
+            tiny_resnet(16, 1, 10),
+            tiny_inception(16, 1, 10),
+            tiny_mobilenet(16, 1, 10),
+        ] {
+            assert_eq!(g.output_shape().elements(), 10, "{}", g.name());
+            assert!(g.total_flops() > 0);
+            assert!(!g.cut_points().is_empty());
+        }
+    }
+
+    #[test]
+    fn small_models_support_batches() {
+        let g = tiny_cnn(16, 4, 10);
+        assert_eq!(g.input_shape().batch(), 4);
+        assert_eq!(g.output_shape(), &Shape::vector(4, 10));
+    }
+
+    #[test]
+    fn tiny_inception_concat_channels() {
+        let g = tiny_inception(16, 1, 10);
+        let concat = g.nodes().iter().find(|n| n.name == "concat").unwrap();
+        assert_eq!(
+            g.cost(concat.id).unwrap().output_shape,
+            Shape::map(1, 14, 16, 16)
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! VGG-19 (Simonyan & Zisserman, 2015), configuration E.
+//!
+//! 16 convolutional layers + 3 fully connected layers; the densest and most
+//! GPU-friendly of the four workloads, and the one with by far the largest
+//! parameter footprint (≈144 M, dominated by the first FC layer).
+
+use crate::graph::{DnnGraph, GraphBuilder, NodeId};
+use crate::layer::{LayerKind, Shape, Window};
+use hidp_tensor::ops::Activation;
+
+fn conv3(b: &mut GraphBuilder, name: &str, prev: NodeId, out_channels: usize) -> NodeId {
+    b.layer(
+        name,
+        LayerKind::Conv {
+            out_channels,
+            window: Window::square(3, 1, 1),
+            activation: Activation::Relu,
+        },
+        &[prev],
+    )
+}
+
+fn max_pool(b: &mut GraphBuilder, name: &str, prev: NodeId) -> NodeId {
+    b.layer(
+        name,
+        LayerKind::MaxPool {
+            window: Window::square(2, 2, 0),
+        },
+        &[prev],
+    )
+}
+
+/// Builds VGG-19 for `resolution`×`resolution` RGB inputs (the paper uses 224).
+///
+/// The resolution must be divisible by 32 so the five pooling stages produce
+/// integral feature-map sizes; 224 → a 7×7×512 map before the classifier.
+pub fn vgg19(resolution: usize, batch: usize) -> DnnGraph {
+    assert!(
+        resolution >= 32 && resolution % 32 == 0,
+        "VGG-19 requires a resolution divisible by 32, got {resolution}"
+    );
+    let mut b = GraphBuilder::new("vgg19");
+    let mut prev = b.input(Shape::map(batch, 3, resolution, resolution));
+
+    // (stage, channels, conv count) per configuration E.
+    let stages: [(usize, usize, usize); 5] =
+        [(1, 64, 2), (2, 128, 2), (3, 256, 4), (4, 512, 4), (5, 512, 4)];
+    for (stage, channels, convs) in stages {
+        for i in 1..=convs {
+            prev = conv3(&mut b, &format!("conv{stage}_{i}"), prev, channels);
+        }
+        prev = max_pool(&mut b, &format!("pool{stage}"), prev);
+    }
+
+    let flat = b.layer("flatten", LayerKind::Flatten, &[prev]);
+    let fc6 = b.layer(
+        "fc6",
+        LayerKind::Dense {
+            units: 4096,
+            activation: Activation::Relu,
+        },
+        &[flat],
+    );
+    let fc7 = b.layer(
+        "fc7",
+        LayerKind::Dense {
+            units: 4096,
+            activation: Activation::Relu,
+        },
+        &[fc6],
+    );
+    let fc8 = b.layer(
+        "fc8",
+        LayerKind::Dense {
+            units: 1000,
+            activation: Activation::Linear,
+        },
+        &[fc7],
+    );
+    b.layer("softmax", LayerKind::Softmax, &[fc8]);
+
+    b.build().expect("vgg19 graph is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_configuration_e() {
+        let g = vgg19(224, 1);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.category() == "conv")
+            .count();
+        let dense = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.category() == "dense")
+            .count();
+        assert_eq!(convs, 16);
+        assert_eq!(dense, 3);
+    }
+
+    #[test]
+    fn feature_map_before_classifier_is_7x7x512() {
+        let g = vgg19(224, 1);
+        let pool5 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "pool5")
+            .expect("pool5 exists");
+        assert_eq!(
+            g.cost(pool5.id).unwrap().output_shape,
+            Shape::map(1, 512, 7, 7)
+        );
+    }
+
+    #[test]
+    fn fc6_dominates_parameters() {
+        let g = vgg19(224, 1);
+        let fc6 = g.nodes().iter().find(|n| n.name == "fc6").unwrap();
+        let fc6_params = g.cost(fc6.id).unwrap().parameter_bytes / 4;
+        assert_eq!(fc6_params, 7 * 7 * 512 * 4096 + 4096);
+        assert!(fc6_params as f64 > 0.6 * g.total_parameters() as f64);
+    }
+
+    #[test]
+    fn pure_chain_has_cut_point_after_every_layer() {
+        let g = vgg19(224, 1);
+        assert_eq!(g.cut_points().len(), g.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn invalid_resolution_panics() {
+        let _ = vgg19(100, 1);
+    }
+}

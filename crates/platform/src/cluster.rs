@@ -1,0 +1,248 @@
+//! Edge cluster model: the set of nodes `N(ϕ_j)` plus the network connecting
+//! them and per-node availability (paper Eq. 3–4).
+
+use crate::network::NetworkModel;
+use crate::node::{EdgeNode, NodeIndex, ProcessorAddr, ProcessorIndex};
+use crate::processor::Processor;
+use crate::PlatformError;
+use serde::{Deserialize, Serialize};
+
+/// A collaborative cluster of heterogeneous edge nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    nodes: Vec<EdgeNode>,
+    network: NetworkModel,
+    available: Vec<bool>,
+}
+
+impl Cluster {
+    /// Creates a cluster from nodes and a network model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when `nodes` is empty.
+    pub fn new(nodes: Vec<EdgeNode>, network: NetworkModel) -> Result<Self, PlatformError> {
+        if nodes.is_empty() {
+            return Err(PlatformError::InvalidParameter {
+                what: "cluster needs at least one node".into(),
+            });
+        }
+        let available = vec![true; nodes.len()];
+        Ok(Self {
+            nodes,
+            network,
+            available,
+        })
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[EdgeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true for valid clusters).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] for out-of-range indices.
+    pub fn node(&self, index: NodeIndex) -> Result<&EdgeNode, PlatformError> {
+        self.nodes
+            .get(index.0)
+            .ok_or(PlatformError::UnknownNode { index: index.0 })
+    }
+
+    /// Looks up a processor by fully qualified address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] or
+    /// [`PlatformError::UnknownProcessor`] for invalid addresses.
+    pub fn processor(&self, addr: ProcessorAddr) -> Result<&Processor, PlatformError> {
+        let node = self.node(addr.node)?;
+        node.processors
+            .get(addr.processor.0)
+            .ok_or(PlatformError::UnknownProcessor {
+                node: addr.node.0,
+                processor: addr.processor.0,
+            })
+    }
+
+    /// All processor addresses in the cluster.
+    pub fn all_processors(&self) -> Vec<ProcessorAddr> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(ni, node)| {
+                (0..node.processor_count()).map(move |pi| ProcessorAddr {
+                    node: NodeIndex(ni),
+                    processor: ProcessorIndex(pi),
+                })
+            })
+            .collect()
+    }
+
+    /// Marks a node available or unavailable (paper Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] for out-of-range indices.
+    pub fn set_available(&mut self, index: NodeIndex, available: bool) -> Result<(), PlatformError> {
+        if index.0 >= self.nodes.len() {
+            return Err(PlatformError::UnknownNode { index: index.0 });
+        }
+        self.available[index.0] = available;
+        Ok(())
+    }
+
+    /// The availability vector `A(N_ϕ)`.
+    pub fn availability(&self) -> &[bool] {
+        &self.available
+    }
+
+    /// Whether a node is currently available.
+    pub fn is_available(&self, index: NodeIndex) -> bool {
+        self.available.get(index.0).copied().unwrap_or(false)
+    }
+
+    /// Indices of all available nodes.
+    pub fn available_nodes(&self) -> Vec<NodeIndex> {
+        self.available
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .map(|(i, _)| NodeIndex(i))
+            .collect()
+    }
+
+    /// Global computation-to-communication ratio vector `Ψ` (paper Eq. 3):
+    /// one entry per available node, `Λ_j(ρ_k) / β_ϕj`, where `β` is derived
+    /// from the link to `reference` for a message of `message_bytes`.
+    pub fn global_ratio_vector(
+        &self,
+        reference: NodeIndex,
+        gpu_affinity: f64,
+        message_bytes: u64,
+    ) -> Vec<(NodeIndex, f64)> {
+        self.available_nodes()
+            .into_iter()
+            .map(|idx| {
+                let node = &self.nodes[idx.0];
+                let lambda = node.aggregate_rate(gpu_affinity);
+                let beta = if idx == reference {
+                    // Local "transfers" go through memory: effectively
+                    // unconstrained relative to the wireless links.
+                    f64::INFINITY
+                } else {
+                    self.network
+                        .link(reference, idx)
+                        .map(|l| l.effective_rate(message_bytes))
+                        .unwrap_or(f64::INFINITY)
+                };
+                let ratio = if beta.is_infinite() { 0.0 } else { lambda / beta };
+                (idx, ratio)
+            })
+            .collect()
+    }
+
+    /// Restricts the cluster to its first `count` nodes (used by the Fig. 8
+    /// node-scaling experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when `count` is zero or
+    /// exceeds the cluster size.
+    pub fn take(&self, count: usize) -> Result<Cluster, PlatformError> {
+        if count == 0 || count > self.nodes.len() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("cannot take {count} nodes from a {}-node cluster", self.nodes.len()),
+            });
+        }
+        Cluster::new(self.nodes[..count].to_vec(), self.network.clone())
+    }
+
+    /// Total idle power of all nodes in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.nodes.iter().map(|n| n.idle_power_w()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn cluster_construction_and_lookup() {
+        let cluster = presets::paper_cluster();
+        assert_eq!(cluster.len(), 5);
+        assert!(!cluster.is_empty());
+        assert!(cluster.node(NodeIndex(0)).is_ok());
+        assert!(cluster.node(NodeIndex(9)).is_err());
+        let all = cluster.all_processors();
+        assert!(all.len() >= 10, "five devices with CPUs + GPUs");
+        assert!(cluster.processor(all[0]).is_ok());
+        assert!(cluster
+            .processor(ProcessorAddr {
+                node: NodeIndex(0),
+                processor: ProcessorIndex(99)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert!(Cluster::new(vec![], NetworkModel::paper_wireless()).is_err());
+    }
+
+    #[test]
+    fn availability_toggles() {
+        let mut cluster = presets::paper_cluster();
+        assert_eq!(cluster.available_nodes().len(), 5);
+        cluster.set_available(NodeIndex(3), false).unwrap();
+        assert_eq!(cluster.available_nodes().len(), 4);
+        assert!(!cluster.is_available(NodeIndex(3)));
+        assert!(cluster.set_available(NodeIndex(10), false).is_err());
+        assert!(!cluster.is_available(NodeIndex(10)));
+    }
+
+    #[test]
+    fn global_ratio_vector_excludes_leader_communication() {
+        let cluster = presets::paper_cluster();
+        let psi = cluster.global_ratio_vector(NodeIndex(0), 1.0, 1_000_000);
+        assert_eq!(psi.len(), 5);
+        // The leader's own entry has zero communication cost.
+        assert_eq!(psi[0].1, 0.0);
+        assert!(psi[1..].iter().all(|(_, r)| *r > 0.0));
+    }
+
+    #[test]
+    fn take_produces_prefix_cluster() {
+        let cluster = presets::paper_cluster();
+        let small = cluster.take(2).unwrap();
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.nodes()[0].name, cluster.nodes()[0].name);
+        assert!(cluster.take(0).is_err());
+        assert!(cluster.take(6).is_err());
+    }
+
+    #[test]
+    fn idle_power_is_positive() {
+        let cluster = presets::paper_cluster();
+        assert!(cluster.idle_power_w() > 5.0);
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for platform model construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A node index referenced a node that does not exist in the cluster.
+    UnknownNode {
+        /// The offending index.
+        index: usize,
+    },
+    /// A processor index referenced a processor that does not exist on a node.
+    UnknownProcessor {
+        /// Node index.
+        node: usize,
+        /// Processor index within the node.
+        processor: usize,
+    },
+    /// An invalid parameter was supplied (non-positive rate, empty cluster, ...).
+    InvalidParameter {
+        /// Description of the invalid parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            PlatformError::UnknownProcessor { node, processor } => {
+                write!(f, "unknown processor {processor} on node {node}")
+            }
+            PlatformError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(PlatformError::UnknownNode { index: 3 }.to_string().contains('3'));
+        assert!(PlatformError::UnknownProcessor { node: 1, processor: 2 }
+            .to_string()
+            .contains("processor 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+}

@@ -1,0 +1,158 @@
+//! Inter-node network model.
+//!
+//! The paper connects the edge cluster over an 80 MB/s wireless network and
+//! measures each node's communication rate `β_ϕj` by timing pseudo-packet
+//! round trips. We model a link by bandwidth plus a fixed per-message
+//! latency, with optional per-pair overrides.
+
+use crate::node::NodeIndex;
+use crate::PlatformError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A point-to-point link description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth in megabytes per second.
+    pub bandwidth_mbps: f64,
+    /// Per-message latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] for non-positive bandwidth
+    /// or negative latency.
+    pub fn new(bandwidth_mbps: f64, latency_ms: f64) -> Result<Self, PlatformError> {
+        if !(bandwidth_mbps > 0.0) || !bandwidth_mbps.is_finite() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("link bandwidth must be positive, got {bandwidth_mbps}"),
+            });
+        }
+        if latency_ms < 0.0 || !latency_ms.is_finite() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("link latency must be non-negative, got {latency_ms}"),
+            });
+        }
+        Ok(Self {
+            bandwidth_mbps,
+            latency_ms,
+        })
+    }
+
+    /// Time in seconds to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_ms / 1e3 + bytes as f64 / (self.bandwidth_mbps * 1e6)
+    }
+
+    /// Effective communication rate in bytes/second for messages of `bytes`
+    /// (the `β` scalar the paper derives from pseudo-packet timing).
+    pub fn effective_rate(&self, bytes: u64) -> f64 {
+        bytes.max(1) as f64 / self.transfer_time(bytes)
+    }
+}
+
+/// The cluster network: a default wireless link plus optional per-pair
+/// overrides (e.g. a node with a weaker radio).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    default_link: Link,
+    overrides: HashMap<(usize, usize), Link>,
+}
+
+impl NetworkModel {
+    /// Creates a network where every node pair uses `default_link`.
+    pub fn uniform(default_link: Link) -> Self {
+        Self {
+            default_link,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// The paper's setup: 80 MB/s wireless with 2 ms message latency.
+    pub fn paper_wireless() -> Self {
+        Self::uniform(Link::new(80.0, 2.0).expect("static link parameters are valid"))
+    }
+
+    /// Sets a link override for the (unordered) pair `a`–`b`.
+    pub fn set_link(&mut self, a: NodeIndex, b: NodeIndex, link: Link) {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.overrides.insert(key, link);
+    }
+
+    /// The link used between two nodes. Transfers within the same node are
+    /// free (handled by the local memory system, not the network).
+    pub fn link(&self, a: NodeIndex, b: NodeIndex) -> Option<Link> {
+        if a == b {
+            return None;
+        }
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        Some(*self.overrides.get(&key).unwrap_or(&self.default_link))
+    }
+
+    /// Time in seconds to move `bytes` from `a` to `b` (zero within a node).
+    pub fn transfer_time(&self, a: NodeIndex, b: NodeIndex, bytes: u64) -> f64 {
+        match self.link(a, b) {
+            Some(link) => link.transfer_time(bytes),
+            None => 0.0,
+        }
+    }
+
+    /// The default link.
+    pub fn default_link(&self) -> Link {
+        self.default_link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let link = Link::new(80.0, 2.0).unwrap();
+        // Even a 1-byte message pays the 2 ms latency.
+        assert!(link.transfer_time(1) >= 0.002);
+        // 80 MB should take ~1 s + latency.
+        let t = link.transfer_time(80_000_000);
+        assert!((t - 1.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_links_are_rejected() {
+        assert!(Link::new(0.0, 1.0).is_err());
+        assert!(Link::new(-5.0, 1.0).is_err());
+        assert!(Link::new(10.0, -1.0).is_err());
+        assert!(Link::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let net = NetworkModel::paper_wireless();
+        assert_eq!(net.transfer_time(NodeIndex(0), NodeIndex(0), 1_000_000), 0.0);
+        assert!(net.transfer_time(NodeIndex(0), NodeIndex(1), 1_000_000) > 0.0);
+    }
+
+    #[test]
+    fn overrides_are_symmetric() {
+        let mut net = NetworkModel::paper_wireless();
+        let slow = Link::new(10.0, 5.0).unwrap();
+        net.set_link(NodeIndex(2), NodeIndex(0), slow);
+        assert_eq!(net.link(NodeIndex(0), NodeIndex(2)), Some(slow));
+        assert_eq!(net.link(NodeIndex(2), NodeIndex(0)), Some(slow));
+        // Other pairs still use the default.
+        assert_eq!(
+            net.link(NodeIndex(0), NodeIndex(1)),
+            Some(net.default_link())
+        );
+    }
+
+    #[test]
+    fn effective_rate_grows_with_message_size() {
+        let link = Link::new(80.0, 2.0).unwrap();
+        assert!(link.effective_rate(10_000_000) > link.effective_rate(10_000));
+    }
+}

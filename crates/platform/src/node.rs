@@ -1,0 +1,229 @@
+//! Edge node models (`ϕ_j` in the paper): a named device with a set of
+//! heterogeneous processors and a DRAM budget.
+
+use crate::processor::Processor;
+use crate::PlatformError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeIndex(pub usize);
+
+impl std::fmt::Display for NodeIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Index of a processor within an [`EdgeNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessorIndex(pub usize);
+
+impl std::fmt::Display for ProcessorIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// Fully qualified processor address: (node, processor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessorAddr {
+    /// The node hosting the processor.
+    pub node: NodeIndex,
+    /// The processor within that node.
+    pub processor: ProcessorIndex,
+}
+
+impl std::fmt::Display for ProcessorAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.node, self.processor)
+    }
+}
+
+/// One edge device (`ϕ_j`): a collection of processors plus memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeNode {
+    /// Device name (e.g. `"jetson-tx2"`).
+    pub name: String,
+    /// The processors available on this node (`{ρ_1 … ρ_k}`).
+    pub processors: Vec<Processor>,
+    /// DRAM capacity in gigabytes.
+    pub dram_gb: f64,
+    /// Static board power (always drawn while the node is on), in watts.
+    pub board_power_w: f64,
+}
+
+impl EdgeNode {
+    /// Creates a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when `processors` is empty
+    /// or `dram_gb` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        processors: Vec<Processor>,
+        dram_gb: f64,
+    ) -> Result<Self, PlatformError> {
+        let name = name.into();
+        if processors.is_empty() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("node `{name}` needs at least one processor"),
+            });
+        }
+        if !(dram_gb > 0.0) {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("node `{name}` needs positive DRAM, got {dram_gb}"),
+            });
+        }
+        Ok(Self {
+            name,
+            processors,
+            dram_gb,
+            board_power_w: 2.0,
+        })
+    }
+
+    /// Overrides the static board power (builder style).
+    pub fn with_board_power(mut self, watts: f64) -> Self {
+        self.board_power_w = watts;
+        self
+    }
+
+    /// Looks up a processor by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownProcessor`] for out-of-range indices.
+    pub fn processor(&self, index: ProcessorIndex) -> Result<&Processor, PlatformError> {
+        self.processors
+            .get(index.0)
+            .ok_or(PlatformError::UnknownProcessor {
+                node: usize::MAX,
+                processor: index.0,
+            })
+    }
+
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Aggregate computation rate `Λ_j` in flops/second: the sum of all
+    /// processor rates for a workload with the given GPU affinity
+    /// (paper Eq. 2).
+    pub fn aggregate_rate(&self, gpu_affinity: f64) -> f64 {
+        self.processors
+            .iter()
+            .map(|p| p.computation_rate(gpu_affinity))
+            .sum()
+    }
+
+    /// Computation rate of the fastest single processor for this affinity.
+    pub fn best_single_rate(&self, gpu_affinity: f64) -> f64 {
+        self.processors
+            .iter()
+            .map(|p| p.computation_rate(gpu_affinity))
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the GPU, if the node has one.
+    pub fn gpu_index(&self) -> Option<ProcessorIndex> {
+        self.processors
+            .iter()
+            .position(|p| p.kind.is_gpu())
+            .map(ProcessorIndex)
+    }
+
+    /// Indices of all CPU clusters.
+    pub fn cpu_indices(&self) -> Vec<ProcessorIndex> {
+        self.processors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind.is_cpu())
+            .map(|(i, _)| ProcessorIndex(i))
+            .collect()
+    }
+
+    /// Total idle power of the node (board + all processors idle).
+    pub fn idle_power_w(&self) -> f64 {
+        self.board_power_w + self.processors.iter().map(|p| p.idle_power_w).sum::<f64>()
+    }
+
+    /// Local computation-to-communication ratio vector `ψ` (paper Eq. 1):
+    /// one entry per processor, `λ_k / μ_k` with `μ_k` in bytes/second.
+    pub fn local_ratio_vector(&self, gpu_affinity: f64) -> Vec<f64> {
+        self.processors
+            .iter()
+            .map(|p| p.computation_rate(gpu_affinity) / (p.local_bandwidth_mbps * 1e6))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_node() -> EdgeNode {
+        EdgeNode::new(
+            "test",
+            vec![
+                Processor::cpu("big", 4, 2.0, 60.0),
+                Processor::cpu("little", 4, 1.4, 30.0),
+                Processor::gpu("gpu", 256, 1.3, 600.0),
+            ],
+            8.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_rate_sums_processors() {
+        let node = test_node();
+        let rate = node.aggregate_rate(1.0);
+        let expected = (60.0 * 0.85 + 30.0 * 0.85 + 600.0) * 1e9;
+        assert!((rate - expected).abs() / expected < 1e-9);
+        assert!(node.best_single_rate(1.0) < rate);
+    }
+
+    #[test]
+    fn gpu_and_cpu_lookup() {
+        let node = test_node();
+        assert_eq!(node.gpu_index(), Some(ProcessorIndex(2)));
+        assert_eq!(
+            node.cpu_indices(),
+            vec![ProcessorIndex(0), ProcessorIndex(1)]
+        );
+        assert_eq!(node.processor_count(), 3);
+        assert!(node.processor(ProcessorIndex(5)).is_err());
+    }
+
+    #[test]
+    fn empty_or_invalid_nodes_are_rejected() {
+        assert!(EdgeNode::new("none", vec![], 4.0).is_err());
+        assert!(EdgeNode::new("bad", vec![Processor::cpu("c", 1, 1.0, 10.0)], 0.0).is_err());
+    }
+
+    #[test]
+    fn local_ratio_vector_has_one_entry_per_processor() {
+        let node = test_node();
+        let psi = node.local_ratio_vector(0.8);
+        assert_eq!(psi.len(), 3);
+        assert!(psi.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn idle_power_includes_board_power() {
+        let node = test_node().with_board_power(3.0);
+        assert!(node.idle_power_w() > 3.0);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let addr = ProcessorAddr {
+            node: NodeIndex(1),
+            processor: ProcessorIndex(2),
+        };
+        assert_eq!(addr.to_string(), "node1/proc2");
+    }
+}

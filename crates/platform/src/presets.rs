@@ -1,0 +1,255 @@
+//! Device presets for the evaluation platform of Table II.
+//!
+//! | Device          | CPU                              | GPU                | DRAM |
+//! |-----------------|----------------------------------|--------------------|------|
+//! | Jetson Orin NX  | 8× Cortex-A78                    | 1024-core Ampere   | 8 GB |
+//! | Jetson TX2      | 2× Denver-2 + 4× Cortex-A57      | 256-core Pascal    | 8 GB |
+//! | Jetson Nano     | 4× Cortex-A57                    | 128-core Maxwell   | 4 GB |
+//! | Raspberry Pi 5  | Cortex-A76                       | VideoCore VII      | 4 GB |
+//! | Raspberry Pi 4  | Cortex-A72                       | VideoCore VI       | 4 GB |
+//!
+//! The throughput figures are **achieved** single-precision DNN inference
+//! rates under a TensorFlow-class runtime (not theoretical peaks): this is
+//! the quantity the paper's system model calls `λ = f/δ`, and it is what
+//! makes the paper's trade-offs visible — e.g. the TX2's CPU clusters
+//! deliver a substantial fraction of its GPU throughput (Fig. 1's optimal
+//! 80/20 and 50/50 CPU/GPU splits), and on the Raspberry Pis the CPU
+//! outperforms the OpenGL-driven VideoCore GPU. Power figures approximate
+//! the boards' measured idle and per-engine active draw. Absolute accuracy
+//! is not required; the partitioning decisions depend only on the relative
+//! compute and communication rates.
+
+use crate::cluster::Cluster;
+use crate::network::NetworkModel;
+use crate::node::EdgeNode;
+use crate::processor::Processor;
+
+/// NVIDIA Jetson Orin NX (8 GB): the most capable device in the cluster.
+pub fn jetson_orin_nx() -> EdgeNode {
+    EdgeNode::new(
+        "jetson-orin-nx",
+        vec![
+            Processor::cpu("cortex-a78x8", 8, 2.0, 60.0)
+                .with_power(6.5, 1.5)
+                .with_local_bandwidth(12_000.0),
+            Processor::gpu("ampere-1024", 1024, 0.92, 160.0)
+                .with_power(11.0, 1.5)
+                .with_local_bandwidth(16_000.0),
+        ],
+        8.0,
+    )
+    .expect("static preset is valid")
+    .with_board_power(6.0)
+}
+
+/// NVIDIA Jetson TX2 (8 GB): two CPU clusters (Denver-2 big cores and
+/// Cortex-A57) plus a 256-core Pascal GPU — the platform used for the
+/// paper's Fig. 1 motivation study.
+pub fn jetson_tx2() -> EdgeNode {
+    EdgeNode::new(
+        "jetson-tx2",
+        vec![
+            Processor::cpu("denver2-x2", 2, 2.0, 12.0)
+                .with_power(2.8, 0.7)
+                .with_local_bandwidth(8_000.0),
+            Processor::cpu("cortex-a57x4", 4, 1.9, 20.0)
+                .with_power(3.8, 0.9)
+                .with_local_bandwidth(8_000.0),
+            Processor::gpu("pascal-256", 256, 1.3, 55.0)
+                .with_power(7.5, 1.2)
+                .with_local_bandwidth(10_000.0),
+        ],
+        8.0,
+    )
+    .expect("static preset is valid")
+    .with_board_power(5.5)
+}
+
+/// NVIDIA Jetson Nano (4 GB).
+pub fn jetson_nano() -> EdgeNode {
+    EdgeNode::new(
+        "jetson-nano",
+        vec![
+            Processor::cpu("cortex-a57x4", 4, 1.43, 12.0)
+                .with_power(3.2, 0.7)
+                .with_local_bandwidth(6_000.0),
+            Processor::gpu("maxwell-128", 128, 0.92, 22.0)
+                .with_power(4.5, 0.8)
+                .with_local_bandwidth(6_000.0),
+        ],
+        4.0,
+    )
+    .expect("static preset is valid")
+    .with_board_power(4.0)
+}
+
+/// Raspberry Pi 5 (4 GB). The VideoCore VII GPU is programmable through
+/// OpenGL compute but delivers far less DNN throughput than the CPU cluster —
+/// a node where the CPU is the better DNN engine (paper §I cites exactly this
+/// inversion).
+pub fn raspberry_pi5() -> EdgeNode {
+    EdgeNode::new(
+        "raspberry-pi5",
+        vec![
+            Processor::cpu("cortex-a76", 2, 2.4, 14.0)
+                .with_power(3.8, 0.8)
+                .with_local_bandwidth(5_000.0),
+            Processor::gpu("videocore-vii", 12, 0.8, 5.0)
+                .with_power(2.0, 0.4)
+                .with_local_bandwidth(4_000.0),
+        ],
+        4.0,
+    )
+    .expect("static preset is valid")
+    .with_board_power(3.5)
+}
+
+/// Raspberry Pi 4 Model B (4 GB).
+pub fn raspberry_pi4() -> EdgeNode {
+    EdgeNode::new(
+        "raspberry-pi4",
+        vec![
+            Processor::cpu("cortex-a72", 2, 1.8, 8.0)
+                .with_power(3.0, 0.7)
+                .with_local_bandwidth(3_500.0),
+            Processor::gpu("videocore-vi", 8, 0.5, 3.0)
+                .with_power(1.5, 0.3)
+                .with_local_bandwidth(3_000.0),
+        ],
+        4.0,
+    )
+    .expect("static preset is valid")
+    .with_board_power(3.0)
+}
+
+/// The paper's five-device evaluation cluster, ordered from the most to the
+/// least capable node, connected by the 80 MB/s wireless network.
+///
+/// Node 0 (Jetson Orin NX) acts as the leader in the experiments unless a
+/// different leader is chosen explicitly.
+pub fn paper_cluster() -> Cluster {
+    Cluster::new(
+        vec![
+            jetson_orin_nx(),
+            jetson_tx2(),
+            jetson_nano(),
+            raspberry_pi5(),
+            raspberry_pi4(),
+        ],
+        NetworkModel::paper_wireless(),
+    )
+    .expect("static preset is valid")
+}
+
+/// A cluster containing only the Jetson TX2 — the single-device platform of
+/// the paper's Fig. 1 motivation experiment.
+pub fn tx2_only() -> Cluster {
+    Cluster::new(vec![jetson_tx2()], NetworkModel::paper_wireless())
+        .expect("static preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_processor_inventory() {
+        // CPU core counts and GPU presence follow Table II.
+        let orin = jetson_orin_nx();
+        assert_eq!(orin.cpu_indices().len(), 1);
+        assert!(orin.gpu_index().is_some());
+        assert_eq!(orin.dram_gb, 8.0);
+
+        let tx2 = jetson_tx2();
+        assert_eq!(tx2.cpu_indices().len(), 2, "Denver-2 + A57 clusters");
+        assert!(tx2.gpu_index().is_some());
+        assert_eq!(tx2.dram_gb, 8.0);
+
+        let nano = jetson_nano();
+        assert_eq!(nano.dram_gb, 4.0);
+        let pi5 = raspberry_pi5();
+        assert_eq!(pi5.dram_gb, 4.0);
+        let pi4 = raspberry_pi4();
+        assert_eq!(pi4.dram_gb, 4.0);
+    }
+
+    #[test]
+    fn device_ordering_by_capability() {
+        // Orin > TX2 > Nano > Pi5 > Pi4 in aggregate throughput.
+        let rates: Vec<f64> = [
+            jetson_orin_nx(),
+            jetson_tx2(),
+            jetson_nano(),
+            raspberry_pi5(),
+            raspberry_pi4(),
+        ]
+        .iter()
+        .map(|n| n.aggregate_rate(1.0))
+        .collect();
+        for pair in rates.windows(2) {
+            assert!(pair[0] > pair[1], "expected strictly decreasing rates");
+        }
+    }
+
+    #[test]
+    fn raspberry_pi_cpu_beats_its_gpu() {
+        // The inversion motivating core-aware scheduling: on the Pis the CPU
+        // outperforms the GPU even on dense workloads.
+        for node in [raspberry_pi4(), raspberry_pi5()] {
+            let cpu = &node.processors[node.cpu_indices()[0].0];
+            let gpu = &node.processors[node.gpu_index().unwrap().0];
+            assert!(cpu.effective_gflops(1.0) > gpu.effective_gflops(1.0), "{}", node.name);
+        }
+    }
+
+    #[test]
+    fn jetson_gpu_beats_its_cpu_on_dense_work() {
+        for node in [jetson_orin_nx(), jetson_tx2(), jetson_nano()] {
+            let gpu = &node.processors[node.gpu_index().unwrap().0];
+            let best_cpu = node
+                .cpu_indices()
+                .iter()
+                .map(|i| node.processors[i.0].effective_gflops(1.0))
+                .fold(0.0, f64::max);
+            assert!(gpu.effective_gflops(1.0) > best_cpu, "{}", node.name);
+        }
+    }
+
+    #[test]
+    fn tx2_cpu_share_is_significant_for_cpu_friendly_work() {
+        // On CPU-friendly workloads (affinity ~0.5) the TX2's combined CPU
+        // clusters contribute a meaningful share of the node's throughput,
+        // which is why local CPU+GPU splits beat GPU-only execution (Fig. 1).
+        let tx2 = jetson_tx2();
+        let gpu_rate = tx2.processors[tx2.gpu_index().unwrap().0].computation_rate(0.5);
+        let cpu_rate: f64 = tx2
+            .cpu_indices()
+            .iter()
+            .map(|i| tx2.processors[i.0].computation_rate(0.5))
+            .sum();
+        assert!(cpu_rate / (cpu_rate + gpu_rate) > 0.3);
+    }
+
+    #[test]
+    fn achieved_rates_produce_realistic_single_board_latencies() {
+        // VGG-19 (≈39 GFLOP) on the TX2 GPU alone should land in the
+        // 0.5–1.5 s range reported for TensorFlow-class runtimes, and on the
+        // Orin NX GPU in the 0.1–0.3 s range.
+        let tx2_gpu = &jetson_tx2().processors[2];
+        let t = tx2_gpu.compute_time(39_000_000_000, 1.0);
+        assert!((0.4..1.6).contains(&t), "TX2 VGG-19 latency {t:.2}s");
+        let orin_gpu = &jetson_orin_nx().processors[1];
+        let t = orin_gpu.compute_time(39_000_000_000, 1.0);
+        assert!((0.08..0.35).contains(&t), "Orin VGG-19 latency {t:.2}s");
+    }
+
+    #[test]
+    fn paper_cluster_has_five_devices() {
+        let cluster = paper_cluster();
+        assert_eq!(cluster.len(), 5);
+        assert_eq!(cluster.nodes()[0].name, "jetson-orin-nx");
+        assert_eq!(cluster.nodes()[4].name, "raspberry-pi4");
+        let tx2 = tx2_only();
+        assert_eq!(tx2.len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Processor (core-level) models.
+//!
+//! The paper's system model characterises each processor `ρ_k` by a
+//! computation frequency `f_k` and derives a computation rate
+//! `λ = f_k / δ` where `δ` is the DNN's compute intensity (cycles per flop).
+//! We fold the two into a peak throughput in GFLOP/s and a per-workload
+//! efficiency factor: GPUs only reach their peak on dense, GPU-friendly
+//! layers, which is exactly the effect motivating HiDP's local partitioning
+//! tier (paper §I and Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of processing unit inside an edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// A cluster of identical CPU cores scheduled together.
+    CpuCluster {
+        /// Number of cores in the cluster.
+        cores: usize,
+    },
+    /// An integrated GPU.
+    Gpu {
+        /// Number of shader/CUDA cores (informational).
+        cores: usize,
+    },
+    /// A neural processing unit / DLA.
+    Npu,
+}
+
+impl ProcessorKind {
+    /// Whether the processor is a CPU cluster.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, ProcessorKind::CpuCluster { .. })
+    }
+
+    /// Whether the processor is a GPU.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, ProcessorKind::Gpu { .. })
+    }
+}
+
+/// One processing unit (`ρ_k` in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Human-readable name (e.g. `"cortex-a57"`, `"pascal-gpu"`).
+    pub name: String,
+    /// The processor kind.
+    pub kind: ProcessorKind,
+    /// Clock frequency in GHz (`f_k`).
+    pub frequency_ghz: f64,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Power drawn when busy, in watts.
+    pub active_power_w: f64,
+    /// Power drawn when idle, in watts.
+    pub idle_power_w: f64,
+    /// Memory bandwidth available to this processor for activation exchange
+    /// with its siblings, in MB/s (`μ_k`, the local communication rate).
+    pub local_bandwidth_mbps: f64,
+}
+
+impl Processor {
+    /// Creates a CPU cluster processor.
+    pub fn cpu(name: impl Into<String>, cores: usize, frequency_ghz: f64, peak_gflops: f64) -> Self {
+        Self {
+            name: name.into(),
+            kind: ProcessorKind::CpuCluster { cores },
+            frequency_ghz,
+            peak_gflops,
+            active_power_w: 1.5 * cores as f64,
+            idle_power_w: 0.2 * cores as f64,
+            local_bandwidth_mbps: 6_000.0,
+        }
+    }
+
+    /// Creates a GPU processor.
+    pub fn gpu(name: impl Into<String>, cores: usize, frequency_ghz: f64, peak_gflops: f64) -> Self {
+        Self {
+            name: name.into(),
+            kind: ProcessorKind::Gpu { cores },
+            frequency_ghz,
+            peak_gflops,
+            active_power_w: 10.0,
+            idle_power_w: 1.0,
+            local_bandwidth_mbps: 8_000.0,
+        }
+    }
+
+    /// Overrides the power envelope (builder style).
+    pub fn with_power(mut self, active_w: f64, idle_w: f64) -> Self {
+        self.active_power_w = active_w;
+        self.idle_power_w = idle_w;
+        self
+    }
+
+    /// Overrides the local (intra-node) bandwidth in MB/s (builder style).
+    pub fn with_local_bandwidth(mut self, mbps: f64) -> Self {
+        self.local_bandwidth_mbps = mbps;
+        self
+    }
+
+    /// Effective throughput in GFLOP/s for a workload with the given GPU
+    /// affinity (flops-weighted, 0..=1).
+    ///
+    /// GPUs reach their peak only on GPU-friendly work; on CPU-friendly
+    /// layers (depthwise convolutions, element-wise ops) their utilisation
+    /// drops roughly with the affinity. CPU clusters run at a flat ~85% of
+    /// peak regardless of layer mix. NPUs behave like GPUs but with a higher
+    /// floor (they ship with tuned kernels for common layers).
+    pub fn effective_gflops(&self, gpu_affinity: f64) -> f64 {
+        let affinity = gpu_affinity.clamp(0.0, 1.0);
+        match self.kind {
+            ProcessorKind::CpuCluster { .. } => self.peak_gflops * 0.85,
+            ProcessorKind::Gpu { .. } => self.peak_gflops * (0.25 + 0.75 * affinity),
+            ProcessorKind::Npu => self.peak_gflops * (0.5 + 0.5 * affinity),
+        }
+    }
+
+    /// Computation rate `λ` in flops/second for the given workload affinity.
+    pub fn computation_rate(&self, gpu_affinity: f64) -> f64 {
+        self.effective_gflops(gpu_affinity) * 1e9
+    }
+
+    /// Time in seconds to execute `flops` of the given affinity on this
+    /// processor (computation only).
+    pub fn compute_time(&self, flops: u64, gpu_affinity: f64) -> f64 {
+        flops as f64 / self.computation_rate(gpu_affinity)
+    }
+
+    /// Energy in joules for keeping this processor busy for `busy_seconds`
+    /// within a window of `total_seconds`.
+    pub fn energy(&self, busy_seconds: f64, total_seconds: f64) -> f64 {
+        let idle = (total_seconds - busy_seconds).max(0.0);
+        self.active_power_w * busy_seconds + self.idle_power_w * idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let cpu = Processor::cpu("a57", 4, 1.4, 50.0);
+        assert!(cpu.kind.is_cpu());
+        assert!(!cpu.kind.is_gpu());
+        let gpu = Processor::gpu("pascal", 256, 1.3, 650.0);
+        assert!(gpu.kind.is_gpu());
+    }
+
+    #[test]
+    fn gpu_efficiency_depends_on_affinity() {
+        let gpu = Processor::gpu("pascal", 256, 1.3, 650.0);
+        let dense = gpu.effective_gflops(1.0);
+        let dw = gpu.effective_gflops(0.4);
+        assert!(dense > dw);
+        assert!((dense - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_efficiency_is_flat() {
+        let cpu = Processor::cpu("a78", 8, 2.0, 120.0);
+        assert_eq!(cpu.effective_gflops(1.0), cpu.effective_gflops(0.3));
+    }
+
+    #[test]
+    fn affinity_is_clamped() {
+        let gpu = Processor::gpu("g", 128, 1.0, 100.0);
+        assert_eq!(gpu.effective_gflops(2.0), gpu.effective_gflops(1.0));
+        assert_eq!(gpu.effective_gflops(-1.0), gpu.effective_gflops(0.0));
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_rate() {
+        let fast = Processor::gpu("fast", 1024, 1.0, 1000.0);
+        let slow = Processor::gpu("slow", 128, 1.0, 100.0);
+        let flops = 1_000_000_000u64;
+        assert!(fast.compute_time(flops, 1.0) < slow.compute_time(flops, 1.0));
+        assert!((fast.compute_time(flops, 1.0) - 1e-3 * 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_accounts_for_idle_and_busy() {
+        let p = Processor::cpu("c", 4, 1.5, 40.0).with_power(6.0, 1.0);
+        // 2 s busy + 3 s idle = 6*2 + 1*3 = 15 J.
+        assert!((p.energy(2.0, 5.0) - 15.0).abs() < 1e-9);
+        // Busy longer than the window: no negative idle time.
+        assert!((p.energy(5.0, 4.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let p = Processor::gpu("g", 1, 1.0, 10.0)
+            .with_power(3.0, 0.5)
+            .with_local_bandwidth(1234.0);
+        assert_eq!(p.active_power_w, 3.0);
+        assert_eq!(p.idle_power_w, 0.5);
+        assert_eq!(p.local_bandwidth_mbps, 1234.0);
+    }
+
+    #[test]
+    fn npu_efficiency_between_cpu_and_gpu_behaviour() {
+        let npu = Processor {
+            name: "dla".into(),
+            kind: ProcessorKind::Npu,
+            frequency_ghz: 1.0,
+            peak_gflops: 200.0,
+            active_power_w: 5.0,
+            idle_power_w: 0.5,
+            local_bandwidth_mbps: 8000.0,
+        };
+        assert!(npu.effective_gflops(0.0) >= 0.5 * 200.0 - 1e-9);
+        assert!(npu.effective_gflops(1.0) <= 200.0 + 1e-9);
+    }
+}

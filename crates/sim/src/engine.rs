@@ -1,0 +1,409 @@
+//! The discrete-event cluster simulator.
+//!
+//! Resources are (a) every processor in the cluster and (b) the wireless
+//! link between every pair of distinct nodes. Tasks are scheduled with a
+//! deterministic earliest-start list-scheduling policy: among all tasks whose
+//! dependencies have finished, the one that can start first (ties broken by
+//! submission order) is placed on its resource. Per-resource execution is
+//! FIFO, matching the run-queue behaviour of the real middleware.
+
+use crate::plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
+use crate::SimError;
+use hidp_platform::{Cluster, EnergyMeter, NodeIndex, ProcessorAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The record of one executed task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task id within its plan.
+    pub task: TaskId,
+    /// Index of the request the task belonged to (0 for single-plan runs).
+    pub request: usize,
+    /// Task label.
+    pub name: String,
+    /// Simulation time at which the task started, in seconds.
+    pub start: f64,
+    /// Simulation time at which the task finished, in seconds.
+    pub finish: f64,
+    /// Flops executed (zero for transfers).
+    pub flops: u64,
+    /// Bytes transferred (zero for compute tasks).
+    pub bytes: u64,
+    /// The processor used (None for transfers).
+    pub processor: Option<ProcessorAddr>,
+}
+
+impl TaskRecord {
+    /// Task duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// The result of simulating one or more plans on a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-task execution records, ordered by start time.
+    pub records: Vec<TaskRecord>,
+    /// Completion time of each request (seconds since simulation start).
+    pub request_completion: Vec<f64>,
+    /// Arrival time of each request.
+    pub request_arrival: Vec<f64>,
+    /// Busy-time accounting used for energy computation.
+    pub meter: EnergyMeter,
+    /// Time at which the last task finished.
+    pub makespan: f64,
+}
+
+impl SimReport {
+    /// Latency of request `i` (completion − arrival), in seconds.
+    pub fn latency(&self, request: usize) -> Option<f64> {
+        Some(self.request_completion.get(request)? - self.request_arrival.get(request)?)
+    }
+
+    /// Latencies of all requests, in seconds.
+    pub fn latencies(&self) -> Vec<f64> {
+        (0..self.request_completion.len())
+            .filter_map(|i| self.latency(i))
+            .collect()
+    }
+
+    /// Total energy over the makespan window, in joules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform lookup failures for unknown processors.
+    pub fn total_energy(&self, cluster: &Cluster) -> Result<f64, SimError> {
+        Ok(self.meter.total_energy(cluster, self.makespan)?)
+    }
+
+    /// Dynamic (workload-attributable) energy in joules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform lookup failures for unknown processors.
+    pub fn dynamic_energy(&self, cluster: &Cluster) -> Result<f64, SimError> {
+        Ok(self.meter.dynamic_energy(cluster)?)
+    }
+}
+
+/// Resource identifier used internally by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    Processor(ProcessorAddr),
+    Link(usize, usize),
+}
+
+fn link_key(a: NodeIndex, b: NodeIndex) -> Resource {
+    if a.0 <= b.0 {
+        Resource::Link(a.0, b.0)
+    } else {
+        Resource::Link(b.0, a.0)
+    }
+}
+
+/// Simulates a single plan starting at time zero.
+///
+/// # Errors
+///
+/// Returns an error when the plan is invalid or references unknown
+/// processors/nodes.
+pub fn simulate(plan: &ExecutionPlan, cluster: &Cluster) -> Result<SimReport, SimError> {
+    simulate_stream(&[(0.0, plan.clone())], cluster)
+}
+
+/// Simulates a stream of inference requests, each with an arrival time and a
+/// plan. Resources are shared across requests, so a long-running request
+/// delays later ones — the effect the paper's Fig. 6/7 experiments measure.
+///
+/// # Errors
+///
+/// Returns an error when any plan is invalid, arrival times are not finite
+/// and non-negative, or a plan references unknown processors/nodes.
+pub fn simulate_stream(
+    requests: &[(f64, ExecutionPlan)],
+    cluster: &Cluster,
+) -> Result<SimReport, SimError> {
+    if requests.is_empty() {
+        return Err(SimError::InvalidPlan {
+            what: "no requests to simulate".into(),
+        });
+    }
+    struct Pending<'a> {
+        request: usize,
+        arrival: f64,
+        task: &'a PlanTask,
+        duration: f64,
+        resource: Option<Resource>,
+        processor: Option<ProcessorAddr>,
+        flops: u64,
+        bytes: u64,
+    }
+
+    let mut pending: Vec<Pending<'_>> = Vec::new();
+    for (req_idx, (arrival, plan)) in requests.iter().enumerate() {
+        if !(arrival.is_finite() && *arrival >= 0.0) {
+            return Err(SimError::InvalidPlan {
+                what: format!("request {req_idx} has invalid arrival time {arrival}"),
+            });
+        }
+        plan.validate()?;
+        for task in plan.tasks() {
+            let (duration, resource, processor, flops, bytes) = match &task.kind {
+                TaskKind::Compute {
+                    target,
+                    flops,
+                    gpu_affinity,
+                } => {
+                    let proc = cluster.processor(*target)?;
+                    (
+                        proc.compute_time(*flops, *gpu_affinity),
+                        Some(Resource::Processor(*target)),
+                        Some(*target),
+                        *flops,
+                        0u64,
+                    )
+                }
+                TaskKind::Transfer { from, to, bytes } => {
+                    // Validate node indices.
+                    cluster.node(*from)?;
+                    cluster.node(*to)?;
+                    let duration = cluster.network().transfer_time(*from, *to, *bytes);
+                    let resource = if from == to { None } else { Some(link_key(*from, *to)) };
+                    (duration, resource, None, 0u64, *bytes)
+                }
+            };
+            pending.push(Pending {
+                request: req_idx,
+                arrival: *arrival,
+                task,
+                duration,
+                resource,
+                processor,
+                flops,
+                bytes,
+            });
+        }
+    }
+
+    // finish[(request, task)] = finish time.
+    let mut finish: HashMap<(usize, TaskId), f64> = HashMap::new();
+    let mut resource_free: HashMap<Resource, f64> = HashMap::new();
+    let mut done = vec![false; pending.len()];
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(pending.len());
+    let mut meter = EnergyMeter::new();
+
+    for _ in 0..pending.len() {
+        // Find the ready task with the earliest feasible start time.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in pending.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let deps_ready = p
+                .task
+                .deps
+                .iter()
+                .all(|d| finish.contains_key(&(p.request, *d)));
+            if !deps_ready {
+                continue;
+            }
+            let deps_finish = p
+                .task
+                .deps
+                .iter()
+                .map(|d| finish[&(p.request, *d)])
+                .fold(0.0f64, f64::max);
+            let resource_ready = p
+                .resource
+                .map(|r| resource_free.get(&r).copied().unwrap_or(0.0))
+                .unwrap_or(0.0);
+            let start = p.arrival.max(deps_finish).max(resource_ready);
+            let better = match best {
+                None => true,
+                Some((_, s)) => start < s - 1e-15,
+            };
+            if better {
+                best = Some((i, start));
+            }
+        }
+        let (idx, start) = best.ok_or_else(|| SimError::InvalidPlan {
+            what: "dependency deadlock: no ready task found".into(),
+        })?;
+        let p = &pending[idx];
+        let end = start + p.duration;
+        finish.insert((p.request, p.task.id), end);
+        if let Some(r) = p.resource {
+            resource_free.insert(r, end);
+        }
+        if let Some(addr) = p.processor {
+            meter.record_busy(addr, p.duration)?;
+        }
+        records.push(TaskRecord {
+            task: p.task.id,
+            request: p.request,
+            name: p.task.name.clone(),
+            start,
+            finish: end,
+            flops: p.flops,
+            bytes: p.bytes,
+            processor: p.processor,
+        });
+        done[idx] = true;
+    }
+
+    records.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
+    let mut request_completion = vec![0.0f64; requests.len()];
+    for ((request, _), end) in &finish {
+        if *end > request_completion[*request] {
+            request_completion[*request] = *end;
+        }
+    }
+    let makespan = request_completion.iter().copied().fold(0.0, f64::max);
+    let request_arrival = requests.iter().map(|(a, _)| *a).collect();
+
+    Ok(SimReport {
+        records,
+        request_completion,
+        request_arrival,
+        meter,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_platform::{presets, ProcessorIndex};
+
+    fn addr(node: usize, proc: usize) -> ProcessorAddr {
+        ProcessorAddr {
+            node: NodeIndex(node),
+            processor: ProcessorIndex(proc),
+        }
+    }
+
+    #[test]
+    fn sequential_chain_adds_durations() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        let t = plan.add_transfer("xfer", NodeIndex(0), NodeIndex(1), 8_000_000, &[a]);
+        let b = plan.add_compute("b", addr(1, 2), 1_000_000_000, 1.0, &[t]);
+        let _ = b;
+        let report = simulate(&plan, &cluster).unwrap();
+
+        let gpu0 = cluster.processor(addr(0, 1)).unwrap();
+        let gpu1 = cluster.processor(addr(1, 2)).unwrap();
+        let expected = gpu0.compute_time(1_000_000_000, 1.0)
+            + cluster
+                .network()
+                .transfer_time(NodeIndex(0), NodeIndex(1), 8_000_000)
+            + gpu1.compute_time(1_000_000_000, 1.0);
+        assert!((report.makespan - expected).abs() < 1e-9);
+        assert_eq!(report.records.len(), 3);
+        assert!((report.latency(0).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_on_different_processors_overlap() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 0), 2_000_000_000, 1.0, &[]);
+        plan.add_compute("b", addr(0, 1), 2_000_000_000, 1.0, &[]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let cpu = cluster.processor(addr(0, 0)).unwrap();
+        let slowest = cpu.compute_time(2_000_000_000, 1.0);
+        // Parallel execution: makespan is the slower of the two, not the sum.
+        assert!((report.makespan - slowest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_processor_tasks_serialise() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        plan.add_compute("b", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let gpu = cluster.processor(addr(0, 1)).unwrap();
+        let single = gpu.compute_time(1_000_000_000, 1.0);
+        assert!((report.makespan - 2.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_contention_serialises_transfers() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_transfer("x1", NodeIndex(0), NodeIndex(1), 40_000_000, &[]);
+        plan.add_transfer("x2", NodeIndex(1), NodeIndex(0), 40_000_000, &[]);
+        // Different node pair: can run in parallel with the above.
+        plan.add_transfer("x3", NodeIndex(2), NodeIndex(3), 40_000_000, &[]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let one = cluster
+            .network()
+            .transfer_time(NodeIndex(0), NodeIndex(1), 40_000_000);
+        assert!((report.makespan - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_reflects_busy_processors() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(1, 2), 6_600_000_000, 1.0, &[]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let dynamic = report.dynamic_energy(&cluster).unwrap();
+        let gpu = cluster.processor(addr(1, 2)).unwrap();
+        let expected = (gpu.active_power_w - gpu.idle_power_w) * report.makespan;
+        assert!((dynamic - expected).abs() < 1e-6);
+        assert!(report.total_energy(&cluster).unwrap() > dynamic);
+    }
+
+    #[test]
+    fn stream_requests_queue_on_shared_resources() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 1), 18_800_000_000, 1.0, &[]);
+        // Two identical requests arriving together: the second must wait.
+        let report =
+            simulate_stream(&[(0.0, plan.clone()), (0.0, plan.clone())], &cluster).unwrap();
+        let single = cluster
+            .processor(addr(0, 1))
+            .unwrap()
+            .compute_time(18_800_000_000, 1.0);
+        assert!((report.latency(0).unwrap() - single).abs() < 1e-9);
+        assert!((report.latency(1).unwrap() - 2.0 * single).abs() < 1e-9);
+
+        // Arriving after the first finished: no queueing delay.
+        let report2 =
+            simulate_stream(&[(0.0, plan.clone()), (2.0 * single, plan.clone())], &cluster)
+                .unwrap();
+        assert!((report2.latency(1).unwrap() - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let cluster = presets::paper_cluster();
+        assert!(simulate_stream(&[], &cluster).is_err());
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(9, 0), 1, 1.0, &[]);
+        assert!(simulate(&plan, &cluster).is_err());
+        let mut plan2 = ExecutionPlan::new();
+        plan2.add_compute("a", addr(0, 0), 1, 1.0, &[]);
+        assert!(simulate_stream(&[(f64::NAN, plan2)], &cluster).is_err());
+    }
+
+    #[test]
+    fn records_are_sorted_by_start_time() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 0), 1_000_000_000, 1.0, &[]);
+        plan.add_compute("b", addr(0, 1), 500_000_000, 1.0, &[]);
+        plan.add_compute("c", addr(0, 0), 100_000_000, 1.0, &[a]);
+        let report = simulate(&plan, &cluster).unwrap();
+        for pair in report.records.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+        assert!(report.records.iter().all(|r| r.duration() > 0.0));
+    }
+}

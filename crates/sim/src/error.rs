@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for plan construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task referenced a dependency that does not exist.
+    UnknownTask {
+        /// The offending task id.
+        id: usize,
+    },
+    /// The plan violates a structural invariant.
+    InvalidPlan {
+        /// Description of the violation.
+        what: String,
+    },
+    /// A platform lookup failed (unknown node or processor).
+    Platform(hidp_platform::PlatformError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTask { id } => write!(f, "unknown task id {id}"),
+            SimError::InvalidPlan { what } => write!(f, "invalid plan: {what}"),
+            SimError::Platform(e) => write!(f, "platform error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hidp_platform::PlatformError> for SimError {
+    fn from(e: hidp_platform::PlatformError) -> Self {
+        SimError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::UnknownTask { id: 4 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.source().is_none());
+        let e: SimError = hidp_platform::PlatformError::UnknownNode { index: 1 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,257 @@
+//! Execution plans: the device-level schedules produced by HiDP and the
+//! baseline strategies, consumed by the simulator.
+//!
+//! A plan is a DAG of tasks. Compute tasks occupy one processor for a
+//! duration derived from the analytical cost model; transfer tasks occupy
+//! the wireless link between two nodes. This is the common currency through
+//! which all strategies are compared: a strategy is exactly a function from
+//! `(DnnGraph, Cluster)` to `ExecutionPlan`.
+
+use crate::SimError;
+use hidp_platform::{NodeIndex, ProcessorAddr};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task inside an [`ExecutionPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What a task does and which resource it occupies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Run `flops` of DNN work on one processor.
+    Compute {
+        /// The processor executing the work.
+        target: ProcessorAddr,
+        /// Amount of work in floating point operations.
+        flops: u64,
+        /// Flops-weighted GPU affinity of the work (0..=1), which determines
+        /// the processor's effective throughput.
+        gpu_affinity: f64,
+    },
+    /// Move `bytes` from one node to another over the wireless network.
+    /// Transfers within the same node are free.
+    Transfer {
+        /// Sending node.
+        from: NodeIndex,
+        /// Receiving node.
+        to: NodeIndex,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+/// One schedulable unit in a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanTask {
+    /// Task identifier (position in the plan).
+    pub id: TaskId,
+    /// Human-readable label used in traces (e.g. `"block2@jetson-tx2/gpu"`).
+    pub name: String,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// Tasks that must finish before this one can start.
+    pub deps: Vec<TaskId>,
+}
+
+/// A complete schedule for one inference request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    tasks: Vec<PlanTask>,
+}
+
+impl ExecutionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a compute task and returns its id.
+    pub fn add_compute(
+        &mut self,
+        name: impl Into<String>,
+        target: ProcessorAddr,
+        flops: u64,
+        gpu_affinity: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(
+            name,
+            TaskKind::Compute {
+                target,
+                flops,
+                gpu_affinity,
+            },
+            deps,
+        )
+    }
+
+    /// Adds a transfer task and returns its id.
+    pub fn add_transfer(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeIndex,
+        to: NodeIndex,
+        bytes: u64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.push(name, TaskKind::Transfer { from, to, bytes }, deps)
+    }
+
+    fn push(&mut self, name: impl Into<String>, kind: TaskKind, deps: &[TaskId]) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(PlanTask {
+            id,
+            name: name.into(),
+            kind,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// All tasks in insertion order.
+    pub fn tasks(&self) -> &[PlanTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total compute flops scheduled by the plan.
+    pub fn total_flops(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| match &t.kind {
+                TaskKind::Compute { flops, .. } => *flops,
+                TaskKind::Transfer { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved across node boundaries.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| match &t.kind {
+                TaskKind::Transfer { from, to, bytes } if from != to => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Validates that every dependency refers to an earlier task (which also
+    /// guarantees acyclicity) and that the plan is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPlan`] or [`SimError::UnknownTask`] on
+    /// violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tasks.is_empty() {
+            return Err(SimError::InvalidPlan {
+                what: "plan has no tasks".into(),
+            });
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            if task.id.0 != i {
+                return Err(SimError::InvalidPlan {
+                    what: format!("task `{}` has id {} but position {i}", task.name, task.id),
+                });
+            }
+            for dep in &task.deps {
+                if dep.0 >= self.tasks.len() {
+                    return Err(SimError::UnknownTask { id: dep.0 });
+                }
+                if dep.0 >= i {
+                    return Err(SimError::InvalidPlan {
+                        what: format!(
+                            "task `{}` depends on task {} that does not precede it",
+                            task.name, dep.0
+                        ),
+                    });
+                }
+            }
+            if let TaskKind::Compute { gpu_affinity, .. } = &task.kind {
+                if !gpu_affinity.is_finite() {
+                    return Err(SimError::InvalidPlan {
+                        what: format!("task `{}` has a non-finite gpu affinity", task.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidp_platform::{NodeIndex, ProcessorIndex};
+
+    fn addr(node: usize, proc: usize) -> ProcessorAddr {
+        ProcessorAddr {
+            node: NodeIndex(node),
+            processor: ProcessorIndex(proc),
+        }
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 0), 100, 1.0, &[]);
+        let b = plan.add_transfer("b", NodeIndex(0), NodeIndex(1), 50, &[a]);
+        let c = plan.add_compute("c", addr(1, 0), 200, 0.5, &[b]);
+        assert_eq!((a, b, c), (TaskId(0), TaskId(1), TaskId(2)));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.total_flops(), 300);
+        assert_eq!(plan.total_transfer_bytes(), 50);
+    }
+
+    #[test]
+    fn same_node_transfers_do_not_count() {
+        let mut plan = ExecutionPlan::new();
+        plan.add_transfer("loop", NodeIndex(1), NodeIndex(1), 1000, &[]);
+        assert_eq!(plan.total_transfer_bytes(), 0);
+    }
+
+    #[test]
+    fn forward_dependencies_are_rejected() {
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 0), 1, 1.0, &[TaskId(1)]);
+        plan.add_compute("b", addr(0, 0), 1, 1.0, &[]);
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_dependency_is_rejected() {
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 0), 1, 1.0, &[TaskId(7)]);
+        assert!(matches!(plan.validate(), Err(SimError::UnknownTask { id: 7 })));
+    }
+
+    #[test]
+    fn empty_plan_is_invalid() {
+        assert!(ExecutionPlan::new().validate().is_err());
+    }
+
+    #[test]
+    fn non_finite_affinity_is_rejected() {
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 0), 1, f64::NAN, &[]);
+        assert!(plan.validate().is_err());
+    }
+}

@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The requested shape does not match the amount of data provided.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with an unsupported rank was supplied.
+    InvalidRank {
+        /// Rank that the operation expected.
+        expected: usize,
+        /// Rank that was supplied.
+        actual: usize,
+    },
+    /// Two tensors that must agree on a dimension do not.
+    DimensionMismatch {
+        /// Human-readable description of which dimension disagreed.
+        what: String,
+    },
+    /// A shape contained a zero-sized dimension where that is not allowed.
+    EmptyDimension {
+        /// The offending shape.
+        shape: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// An operation-specific invalid argument (e.g. zero stride).
+    InvalidArgument {
+        /// Description of the invalid argument.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape requires {expected} elements but {actual} were provided"
+            ),
+            TensorError::InvalidRank { expected, actual } => {
+                write!(f, "expected a rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::DimensionMismatch { what } => {
+                write!(f, "dimension mismatch: {what}")
+            }
+            TensorError::EmptyDimension { shape } => {
+                write!(f, "shape {shape:?} contains a zero-sized dimension")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::InvalidRank {
+                expected: 4,
+                actual: 2,
+            },
+            TensorError::DimensionMismatch {
+                what: "channels".into(),
+            },
+            TensorError::EmptyDimension { shape: vec![0, 1] },
+            TensorError::IndexOutOfBounds {
+                index: vec![5],
+                shape: vec![2],
+            },
+            TensorError::InvalidArgument {
+                what: "stride must be nonzero".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

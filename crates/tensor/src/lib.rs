@@ -1,0 +1,42 @@
+//! # hidp-tensor
+//!
+//! A minimal, dependency-light NCHW `f32` tensor library with the DNN
+//! operators needed by the HiDP reproduction:
+//!
+//! * convolution (standard and depthwise), pooling, dense layers,
+//!   batch-normalisation, common activations, softmax,
+//! * channel concatenation and element-wise addition (for Inception /
+//!   ResNet style graphs),
+//! * **spatial splitting and merging with halo regions**, which is the
+//!   primitive behind HiDP's data-wise partitioning.
+//!
+//! The crate is *not* a performance-oriented inference engine; it exists so
+//! the repository can prove that model- and data-partitioned execution
+//! produce outputs identical to whole-model execution (the paper's
+//! "accuracy is unchanged" claim), and so the examples have something real
+//! to run on a laptop.
+//!
+//! ```
+//! use hidp_tensor::{Tensor, ops};
+//!
+//! # fn main() -> Result<(), hidp_tensor::TensorError> {
+//! let input = Tensor::filled(&[1, 3, 8, 8], 1.0)?;
+//! let kernel = Tensor::filled(&[4, 3, 3, 3], 0.5)?;
+//! let out = ops::conv2d(&input, &kernel, None, (1, 1), (1, 1))?;
+//! assert_eq!(out.shape(), &[1, 4, 8, 8]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+pub mod split;
+mod tensor;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,155 @@
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// The activation functions used by the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Identity (no activation).
+    #[default]
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 (MobileNet / EfficientNet style).
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Swish / SiLU: `x * sigmoid(x)` (EfficientNet).
+    Swish,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Relu6 => x.clamp(0.0, 6.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Swish => x / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Applies the activation element-wise, returning a new tensor.
+    pub fn apply(self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = self.apply_scalar(*v);
+        }
+        out
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(input: &Tensor) -> Tensor {
+    Activation::Relu.apply(input)
+}
+
+/// Element-wise ReLU6.
+pub fn relu6(input: &Tensor) -> Tensor {
+    Activation::Relu6.apply(input)
+}
+
+/// Element-wise sigmoid.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    Activation::Sigmoid.apply(input)
+}
+
+/// Element-wise swish (SiLU).
+pub fn swish(input: &Tensor) -> Tensor {
+    Activation::Swish.apply(input)
+}
+
+/// Row-wise softmax over a rank-2 `(batch, classes)` tensor, numerically
+/// stabilised by subtracting the row maximum.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidRank`] when the input is not rank-2.
+pub fn softmax(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 2 {
+        return Err(TensorError::InvalidRank {
+            expected: 2,
+            actual: input.rank(),
+        });
+    }
+    let (rows, cols) = (input.shape()[0], input.shape()[1]);
+    let mut out = input.clone();
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        let t = Tensor::from_vec(vec![-1.0, 3.0, 9.0], &[3]).unwrap();
+        assert_eq!(relu6(&t).data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let t = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).unwrap();
+        let s = sigmoid(&t);
+        assert!(s.data()[0] < 0.01);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[2] > 0.99);
+    }
+
+    #[test]
+    fn swish_matches_definition() {
+        let t = Tensor::from_vec(vec![1.5], &[1]).unwrap();
+        let expected = 1.5 / (1.0 + (-1.5f32).exp());
+        assert!((swish(&t).data()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]).unwrap();
+        let s = softmax(&t).unwrap();
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Ordering is preserved.
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let s = softmax(&t).unwrap();
+        assert!(s.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rejects_rank4() {
+        let t = Tensor::zeros(&[1, 2, 3, 4]).unwrap();
+        assert!(softmax(&t).is_err());
+    }
+
+    #[test]
+    fn activation_default_is_linear() {
+        assert_eq!(Activation::default(), Activation::Linear);
+        assert_eq!(Activation::Linear.apply_scalar(-3.5), -3.5);
+    }
+}

@@ -1,0 +1,291 @@
+use super::conv_output_dim;
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank4(t: &Tensor, what: &str) -> Result<()> {
+    if t.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: t.rank(),
+        });
+    }
+    if t.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            what: format!("{what} must be non-empty"),
+        });
+    }
+    Ok(())
+}
+
+/// Standard 2-D convolution in NCHW layout.
+///
+/// * `input`: `[n, c_in, h, w]`
+/// * `weight`: `[c_out, c_in, kh, kw]`
+/// * `bias`: optional `[c_out]`
+/// * `stride`: `(sh, sw)`, `padding`: `(ph, pw)` (zero padding)
+///
+/// Returns `[n, c_out, h_out, w_out]`.
+///
+/// # Errors
+///
+/// Returns an error when ranks or channel counts disagree, the stride is
+/// zero, or the kernel does not fit the padded input.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    check_rank4(input, "input")?;
+    check_rank4(weight, "weight")?;
+    let (n, c_in, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (c_out, wc_in, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc_in != c_in {
+        return Err(TensorError::DimensionMismatch {
+            what: format!("conv2d input has {c_in} channels but weight expects {wc_in}"),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [c_out] {
+            return Err(TensorError::DimensionMismatch {
+                what: format!(
+                    "conv2d bias shape {:?} does not match {c_out} output channels",
+                    b.shape()
+                ),
+            });
+        }
+    }
+    let h_out = conv_output_dim(h, kh, stride.0, padding.0).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: format!("conv2d window (k={kh}, s={}, p={}) does not fit height {h}", stride.0, padding.0),
+        }
+    })?;
+    let w_out = conv_output_dim(w, kw, stride.1, padding.1).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: format!("conv2d window (k={kw}, s={}, p={}) does not fit width {w}", stride.1, padding.1),
+        }
+    })?;
+
+    let mut out = Tensor::zeros(&[n, c_out, h_out, w_out])?;
+    for ni in 0..n {
+        for co in 0..c_out {
+            let b = bias.map(|b| b.data()[co]).unwrap_or(0.0);
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = b;
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at4(ni, ci, iy as usize, ix as usize)
+                                    * weight.at4(co, ci, ky, kx);
+                            }
+                        }
+                    }
+                    out.set4(ni, co, oy, ox, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Depthwise 2-D convolution (one filter per input channel), as used by
+/// EfficientNet / MobileNet blocks.
+///
+/// * `input`: `[n, c, h, w]`
+/// * `weight`: `[c, 1, kh, kw]`
+/// * `bias`: optional `[c]`
+///
+/// # Errors
+///
+/// Returns an error when the weight channel count does not equal the input
+/// channel count or the window does not fit.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    check_rank4(input, "input")?;
+    check_rank4(weight, "weight")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (wc, wm, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc != c || wm != 1 {
+        return Err(TensorError::DimensionMismatch {
+            what: format!(
+                "depthwise weight shape {:?} does not match {c} input channels",
+                weight.shape()
+            ),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [c] {
+            return Err(TensorError::DimensionMismatch {
+                what: format!("depthwise bias shape {:?} does not match {c} channels", b.shape()),
+            });
+        }
+    }
+    let h_out = conv_output_dim(h, kh, stride.0, padding.0).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: "depthwise window does not fit input height".into(),
+        }
+    })?;
+    let w_out = conv_output_dim(w, kw, stride.1, padding.1).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: "depthwise window does not fit input width".into(),
+        }
+    })?;
+
+    let mut out = Tensor::zeros(&[n, c, h_out, w_out])?;
+    for ni in 0..n {
+        for ci in 0..c {
+            let b = bias.map(|b| b.data()[ci]).unwrap_or(0.0);
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = b;
+                    for ky in 0..kh {
+                        let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.at4(ni, ci, iy as usize, ix as usize)
+                                * weight.at4(ci, 0, ky, kx);
+                        }
+                    }
+                    out.set4(ni, ci, oy, ox, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 conv with identity weights acts as a channel-wise copy.
+        let input = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32).unwrap();
+        let weight =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
+        let out = conv2d(&input, &weight, None, (1, 1), (0, 0)).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 input, all-ones 3x3 kernel, padding 1: centre = 9,
+        // edges = 6, corners = 4.
+        let input = Tensor::filled(&[1, 1, 3, 3], 1.0).unwrap();
+        let weight = Tensor::filled(&[1, 1, 3, 3], 1.0).unwrap();
+        let out = conv2d(&input, &weight, None, (1, 1), (1, 1)).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(out.get(&[0, 0, 0, 1]).unwrap(), 6.0);
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = Tensor::filled(&[1, 1, 2, 2], 0.0).unwrap();
+        let weight = Tensor::filled(&[3, 1, 1, 1], 1.0).unwrap();
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), (1, 1), (0, 0)).unwrap();
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(out.get(&[0, 1, 0, 0]).unwrap(), 2.0);
+        assert_eq!(out.get(&[0, 2, 1, 1]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn stride_reduces_output_size() {
+        let input = Tensor::filled(&[1, 1, 8, 8], 1.0).unwrap();
+        let weight = Tensor::filled(&[1, 1, 2, 2], 1.0).unwrap();
+        let out = conv2d(&input, &weight, None, (2, 2), (0, 0)).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+        assert!(out.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let input = Tensor::zeros(&[1, 3, 4, 4]).unwrap();
+        let weight = Tensor::zeros(&[8, 4, 3, 3]).unwrap();
+        assert!(matches!(
+            conv2d(&input, &weight, None, (1, 1), (1, 1)),
+            Err(TensorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bias_is_rejected() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]).unwrap();
+        let weight = Tensor::zeros(&[2, 1, 3, 3]).unwrap();
+        let bias = Tensor::zeros(&[3]).unwrap();
+        assert!(conv2d(&input, &weight, Some(&bias), (1, 1), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn depthwise_applies_per_channel_filters() {
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32).unwrap();
+        // Channel 0 filter multiplies by 1, channel 1 filter by 10.
+        let weight = Tensor::from_vec(vec![1.0, 10.0], &[2, 1, 1, 1]).unwrap();
+        let out = depthwise_conv2d(&input, &weight, None, (1, 1), (0, 0)).unwrap();
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 0.0);
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 3.0);
+        assert_eq!(out.get(&[0, 1, 0, 0]).unwrap(), 40.0);
+        assert_eq!(out.get(&[0, 1, 1, 1]).unwrap(), 70.0);
+    }
+
+    #[test]
+    fn depthwise_rejects_wrong_channel_count() {
+        let input = Tensor::zeros(&[1, 3, 4, 4]).unwrap();
+        let weight = Tensor::zeros(&[4, 1, 3, 3]).unwrap();
+        assert!(depthwise_conv2d(&input, &weight, None, (1, 1), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_standard_conv() {
+        // Depthwise conv on 1 channel equals standard conv with c_in = c_out = 1.
+        let mut rng = rand::thread_rng();
+        let input = Tensor::random(&[1, 1, 6, 6], 1.0, &mut rng).unwrap();
+        let weight = Tensor::random(&[1, 1, 3, 3], 1.0, &mut rng).unwrap();
+        let a = depthwise_conv2d(&input, &weight, None, (1, 1), (1, 1)).unwrap();
+        let b = conv2d(&input, &weight, None, (1, 1), (1, 1)).unwrap();
+        assert!(a.approx_eq(&b, 1e-6).unwrap());
+    }
+}

@@ -1,0 +1,109 @@
+use crate::{Result, Tensor, TensorError};
+
+/// Fully connected layer: `output = input · weightᵀ + bias`.
+///
+/// * `input`: `[n, in_features]`
+/// * `weight`: `[out_features, in_features]`
+/// * `bias`: optional `[out_features]`
+///
+/// Returns `[n, out_features]`.
+///
+/// # Errors
+///
+/// Returns an error when ranks or feature dimensions disagree.
+pub fn dense(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    if input.rank() != 2 {
+        return Err(TensorError::InvalidRank {
+            expected: 2,
+            actual: input.rank(),
+        });
+    }
+    if weight.rank() != 2 {
+        return Err(TensorError::InvalidRank {
+            expected: 2,
+            actual: weight.rank(),
+        });
+    }
+    let (n, in_features) = (input.shape()[0], input.shape()[1]);
+    let (out_features, w_in) = (weight.shape()[0], weight.shape()[1]);
+    if w_in != in_features {
+        return Err(TensorError::DimensionMismatch {
+            what: format!("dense input has {in_features} features but weight expects {w_in}"),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [out_features] {
+            return Err(TensorError::DimensionMismatch {
+                what: format!(
+                    "dense bias shape {:?} does not match {out_features} output features",
+                    b.shape()
+                ),
+            });
+        }
+    }
+
+    let mut out = Tensor::zeros(&[n, out_features])?;
+    let in_data = input.data();
+    let w_data = weight.data();
+    let out_data = out.data_mut();
+    for row in 0..n {
+        for o in 0..out_features {
+            let mut acc = bias.map(|b| b.data()[o]).unwrap_or(0.0);
+            let in_row = &in_data[row * in_features..(row + 1) * in_features];
+            let w_row = &w_data[o * in_features..(o + 1) * in_features];
+            for (x, w) in in_row.iter().zip(w_row.iter()) {
+                acc += x * w;
+            }
+            out_data[row * out_features + o] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matches_manual_matmul() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let weight = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![0.0, 10.0, 100.0], &[3]).unwrap();
+        let out = dense(&input, &weight, Some(&bias)).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(out.data(), &[1.0, 12.0, 103.0, 3.0, 14.0, 107.0]);
+    }
+
+    #[test]
+    fn dense_without_bias() {
+        let input = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap();
+        let weight = Tensor::from_vec(vec![4.0, 5.0], &[1, 2]).unwrap();
+        let out = dense(&input, &weight, None).unwrap();
+        assert_eq!(out.data(), &[23.0]);
+    }
+
+    #[test]
+    fn dense_rejects_mismatched_features() {
+        let input = Tensor::zeros(&[1, 3]).unwrap();
+        let weight = Tensor::zeros(&[2, 4]).unwrap();
+        assert!(matches!(
+            dense(&input, &weight, None),
+            Err(TensorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_rejects_wrong_rank() {
+        let input = Tensor::zeros(&[1, 2, 3]).unwrap();
+        let weight = Tensor::zeros(&[2, 3]).unwrap();
+        assert!(dense(&input, &weight, None).is_err());
+    }
+
+    #[test]
+    fn dense_rejects_bad_bias() {
+        let input = Tensor::zeros(&[1, 2]).unwrap();
+        let weight = Tensor::zeros(&[3, 2]).unwrap();
+        let bias = Tensor::zeros(&[4]).unwrap();
+        assert!(dense(&input, &weight, Some(&bias)).is_err());
+    }
+}

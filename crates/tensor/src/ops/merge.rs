@@ -1,0 +1,125 @@
+use crate::{Result, Tensor, TensorError};
+
+/// Concatenates rank-4 tensors along the channel axis (axis 1).
+///
+/// All inputs must agree on batch, height and width. Used by Inception
+/// modules and by HiDP when merging branch results.
+///
+/// # Errors
+///
+/// Returns an error when `inputs` is empty, any input is not rank-4, or the
+/// non-channel dimensions disagree.
+pub fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor> {
+    if inputs.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            what: "concat_channels requires at least one input".into(),
+        });
+    }
+    for t in inputs {
+        if t.rank() != 4 {
+            return Err(TensorError::InvalidRank {
+                expected: 4,
+                actual: t.rank(),
+            });
+        }
+    }
+    let (n, h, w) = (
+        inputs[0].shape()[0],
+        inputs[0].shape()[2],
+        inputs[0].shape()[3],
+    );
+    for t in &inputs[1..] {
+        if t.shape()[0] != n || t.shape()[2] != h || t.shape()[3] != w {
+            return Err(TensorError::DimensionMismatch {
+                what: format!(
+                    "concat_channels inputs disagree on non-channel dims: {:?} vs {:?}",
+                    inputs[0].shape(),
+                    t.shape()
+                ),
+            });
+        }
+    }
+    let c_total: usize = inputs.iter().map(|t| t.shape()[1]).sum();
+    let mut out = Tensor::zeros(&[n, c_total, h, w])?;
+    for ni in 0..n {
+        let mut c_offset = 0usize;
+        for t in inputs {
+            let c = t.shape()[1];
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        out.set4(ni, c_offset + ci, y, x, t.at4(ni, ci, y, x));
+                    }
+                }
+            }
+            c_offset += c;
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise addition of two tensors with identical shapes (ResNet skip
+/// connections).
+///
+/// # Errors
+///
+/// Returns [`TensorError::DimensionMismatch`] when the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::DimensionMismatch {
+            what: format!("add requires equal shapes, got {:?} and {:?}", a.shape(), b.shape()),
+        });
+    }
+    let mut out = a.clone();
+    for (o, v) in out.data_mut().iter_mut().zip(b.data().iter()) {
+        *o += v;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::filled(&[1, 1, 2, 2], 1.0).unwrap();
+        let b = Tensor::filled(&[1, 2, 2, 2], 2.0).unwrap();
+        let out = concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(out.shape(), &[1, 3, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(out.get(&[0, 1, 1, 1]).unwrap(), 2.0);
+        assert_eq!(out.get(&[0, 2, 0, 1]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn concat_single_input_is_identity() {
+        let a = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32).unwrap();
+        assert_eq!(concat_channels(&[&a]).unwrap(), a);
+    }
+
+    #[test]
+    fn concat_rejects_empty_and_mismatched() {
+        assert!(concat_channels(&[]).is_err());
+        let a = Tensor::zeros(&[1, 1, 2, 2]).unwrap();
+        let b = Tensor::zeros(&[1, 1, 3, 2]).unwrap();
+        assert!(concat_channels(&[&a, &b]).is_err());
+        let c = Tensor::zeros(&[2, 2]).unwrap();
+        assert!(concat_channels(&[&c]).is_err());
+    }
+
+    #[test]
+    fn add_is_elementwise_and_commutative() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().data(), &[11.0, 22.0]);
+        assert_eq!(add(&a, &b).unwrap(), add(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2]).unwrap();
+        let b = Tensor::zeros(&[3]).unwrap();
+        assert!(add(&a, &b).is_err());
+    }
+}

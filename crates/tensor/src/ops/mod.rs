@@ -1,0 +1,54 @@
+//! DNN operator kernels over [`Tensor`](crate::Tensor).
+//!
+//! All kernels are straightforward reference implementations: correctness and
+//! determinism matter here, raw speed does not (latency numbers in the HiDP
+//! reproduction come from the analytical cost model, not from this code).
+
+mod activation;
+mod conv;
+mod dense;
+mod merge;
+mod norm;
+mod pool;
+
+pub use activation::{relu, relu6, sigmoid, softmax, swish, Activation};
+pub use conv::{conv2d, depthwise_conv2d};
+pub use dense::dense;
+pub use merge::{add, concat_channels};
+pub use norm::batch_norm;
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
+
+/// Computes the output spatial size of a convolution/pooling window.
+///
+/// Returns `None` when the window does not fit even once.
+pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    if stride == 0 {
+        return None;
+    }
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dim_matches_known_cases() {
+        // 224x224, k=7, s=2, p=3 -> 112 (ResNet stem).
+        assert_eq!(conv_output_dim(224, 7, 2, 3), Some(112));
+        // 224, k=3, s=1, p=1 -> 224 (VGG same-conv).
+        assert_eq!(conv_output_dim(224, 3, 1, 1), Some(224));
+        // 299, k=3, s=2, p=0 -> 149 (Inception stem).
+        assert_eq!(conv_output_dim(299, 3, 2, 0), Some(149));
+    }
+
+    #[test]
+    fn output_dim_rejects_invalid() {
+        assert_eq!(conv_output_dim(4, 3, 0, 0), None);
+        assert_eq!(conv_output_dim(2, 5, 1, 0), None);
+    }
+}

@@ -1,0 +1,115 @@
+use crate::{Result, Tensor, TensorError};
+
+/// Inference-time batch normalisation over the channel axis of an NCHW tensor.
+///
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, with one
+/// `(gamma, beta, mean, var)` quadruple per channel.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or any parameter vector's
+/// length differs from the channel count, or when `eps` is not positive.
+pub fn batch_norm(
+    input: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(TensorError::InvalidArgument {
+            what: format!("batch_norm eps must be positive and finite, got {eps}"),
+        });
+    }
+    let c = input.shape()[1];
+    for (name, t) in [("gamma", gamma), ("beta", beta), ("mean", mean), ("var", var)] {
+        if t.shape() != [c] {
+            return Err(TensorError::DimensionMismatch {
+                what: format!(
+                    "batch_norm {name} has shape {:?}, expected [{c}]",
+                    t.shape()
+                ),
+            });
+        }
+    }
+    let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+    let mut out = input.clone();
+    for ci in 0..c {
+        let scale = gamma.data()[ci] / (var.data()[ci] + eps).sqrt();
+        let shift = beta.data()[ci] - mean.data()[ci] * scale;
+        for ni in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = input.at4(ni, ci, y, x);
+                    out.set4(ni, ci, y, x, v * scale + shift);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(c: usize, gamma: f32, beta: f32, mean: f32, var: f32) -> [Tensor; 4] {
+        [
+            Tensor::filled(&[c], gamma).unwrap(),
+            Tensor::filled(&[c], beta).unwrap(),
+            Tensor::filled(&[c], mean).unwrap(),
+            Tensor::filled(&[c], var).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn identity_parameters_preserve_input() {
+        let input = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32).unwrap();
+        let [g, b, m, v] = params(2, 1.0, 0.0, 0.0, 1.0);
+        let out = batch_norm(&input, &g, &b, &m, &v, 1e-9).unwrap();
+        assert!(out.approx_eq(&input, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn normalises_known_statistics() {
+        let input = Tensor::filled(&[1, 1, 2, 2], 10.0).unwrap();
+        let [g, b, m, v] = params(1, 2.0, 1.0, 10.0, 4.0);
+        // (10 - 10) / 2 * 2 + 1 = 1
+        let out = batch_norm(&input, &g, &b, &m, &v, 0.0000001).unwrap();
+        assert!(out.data().iter().all(|&x| (x - 1.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn per_channel_parameters_apply_independently() {
+        let input = Tensor::filled(&[1, 2, 1, 1], 1.0).unwrap();
+        let gamma = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let beta = Tensor::from_vec(vec![0.0, 0.5], &[2]).unwrap();
+        let mean = Tensor::zeros(&[2]).unwrap();
+        let var = Tensor::filled(&[2], 1.0).unwrap();
+        let out = batch_norm(&input, &gamma, &beta, &mean, &var, 1e-12).unwrap();
+        assert!((out.data()[0] - 1.0).abs() < 1e-5);
+        assert!((out.data()[1] - 3.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_mismatched_parameter_lengths() {
+        let input = Tensor::zeros(&[1, 3, 2, 2]).unwrap();
+        let [g, b, m, v] = params(2, 1.0, 0.0, 0.0, 1.0);
+        assert!(batch_norm(&input, &g, &b, &m, &v, 1e-5).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_eps() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]).unwrap();
+        let [g, b, m, v] = params(1, 1.0, 0.0, 0.0, 1.0);
+        assert!(batch_norm(&input, &g, &b, &m, &v, 0.0).is_err());
+        assert!(batch_norm(&input, &g, &b, &m, &v, f32::NAN).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+use super::conv_output_dim;
+use crate::{Result, Tensor, TensorError};
+
+fn pool_prologue(
+    input: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let h_out = conv_output_dim(h, kernel.0, stride.0, padding.0).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: format!(
+                "pool window (k={}, s={}, p={}) does not fit height {h}",
+                kernel.0, stride.0, padding.0
+            ),
+        }
+    })?;
+    let w_out = conv_output_dim(w, kernel.1, stride.1, padding.1).ok_or_else(|| {
+        TensorError::InvalidArgument {
+            what: format!(
+                "pool window (k={}, s={}, p={}) does not fit width {w}",
+                kernel.1, stride.1, padding.1
+            ),
+        }
+    })?;
+    Ok((n, c, h, w, h_out, w_out))
+}
+
+/// Max pooling over spatial windows. Padded positions are ignored (treated as
+/// `-inf`), matching common framework semantics.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the window does not fit.
+pub fn max_pool2d(
+    input: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    let (n, c, h, w, h_out, w_out) = pool_prologue(input, kernel, stride, padding)?;
+    let mut out = Tensor::zeros(&[n, c, h_out, w_out])?;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..kernel.0 {
+                        let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel.1 {
+                            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            best = best.max(input.at4(ni, ci, iy as usize, ix as usize));
+                        }
+                    }
+                    out.set4(ni, ci, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling over spatial windows. The divisor is the number of valid
+/// (non-padded) elements in each window.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the window does not fit.
+pub fn avg_pool2d(
+    input: &Tensor,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor> {
+    let (n, c, h, w, h_out, w_out) = pool_prologue(input, kernel, stride, padding)?;
+    let mut out = Tensor::zeros(&[n, c, h_out, w_out])?;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = 0.0f32;
+                    let mut count = 0usize;
+                    for ky in 0..kernel.0 {
+                        let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel.1 {
+                            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.at4(ni, ci, iy as usize, ix as usize);
+                            count += 1;
+                        }
+                    }
+                    out.set4(ni, ci, oy, ox, if count > 0 { acc / count as f32 } else { 0.0 });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: collapses each channel's spatial plane to one value.
+/// Output shape is `[n, c, 1, 1]`.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let mut out = Tensor::zeros(&[n, c, 1, 1])?;
+    let denom = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    acc += input.at4(ni, ci, y, x);
+                }
+            }
+            out.set4(ni, ci, 0, 0, acc / denom);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32).unwrap();
+        let out = max_pool2d(&input, (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages_valid_elements() {
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32).unwrap();
+        let out = avg_pool2d(&input, (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(out.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_padding_uses_valid_count() {
+        // With padding 1 and kernel 3, the corner window covers 4 valid cells.
+        let input = Tensor::filled(&[1, 1, 3, 3], 2.0).unwrap();
+        let out = avg_pool2d(&input, (3, 3), (2, 2), (1, 1)).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert!(out.data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_is_channel_mean() {
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32).unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 1, 1]);
+        assert_eq!(out.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn pool_rejects_wrong_rank() {
+        let t = Tensor::zeros(&[2, 2]).unwrap();
+        assert!(max_pool2d(&t, (2, 2), (2, 2), (0, 0)).is_err());
+        assert!(avg_pool2d(&t, (2, 2), (2, 2), (0, 0)).is_err());
+        assert!(global_avg_pool(&t).is_err());
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let t = Tensor::zeros(&[1, 1, 2, 2]).unwrap();
+        assert!(max_pool2d(&t, (5, 5), (1, 1), (0, 0)).is_err());
+    }
+}

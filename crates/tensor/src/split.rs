@@ -1,0 +1,358 @@
+//! Spatial and batch splitting primitives for data-wise DNN partitioning.
+//!
+//! HiDP's data partitioning creates `σ` sub-models that each process a slice
+//! of the input and later merge their results. Two flavours are provided:
+//!
+//! * **batch splitting** — exact for any network, used when a request carries
+//!   several images;
+//! * **height splitting with halo rows** — the classic MoDNN/DeepThings style
+//!   spatial split. Each slice carries `halo` extra rows on each interior
+//!   border so that stride-1 "same" convolution chains produce results
+//!   identical to whole-image execution inside the core region.
+
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// One spatial slice produced by [`split_height_with_halo`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaloSlice {
+    /// The slab data, including halo rows.
+    pub tensor: Tensor,
+    /// First row (in the original image) owned by this slice.
+    pub core_start: usize,
+    /// Number of rows owned by this slice.
+    pub core_len: usize,
+    /// Number of halo rows prepended above the core region.
+    pub top_halo: usize,
+}
+
+impl HaloSlice {
+    /// Extracts the core rows (dropping halo) from a processed slab whose
+    /// height still matches the slab height.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `processed` is not rank-4 or is shorter than
+    /// `top_halo + core_len` rows.
+    pub fn crop_core(&self, processed: &Tensor) -> Result<Tensor> {
+        crop_rows(processed, self.top_halo, self.core_len)
+    }
+}
+
+/// Extracts `len` rows starting at `start` along the height axis.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4 or the range is out of
+/// bounds.
+pub fn crop_rows(input: &Tensor, start: usize, len: usize) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if len == 0 || start + len > h {
+        return Err(TensorError::InvalidArgument {
+            what: format!("crop_rows range {start}..{} out of bounds for height {h}", start + len),
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, len, w])?;
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..len {
+                for x in 0..w {
+                    out.set4(ni, ci, y, x, input.at4(ni, ci, start + y, x));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits an NCHW tensor into `parts` height slabs, each padded with up to
+/// `halo` extra rows on interior borders.
+///
+/// The core regions tile the image exactly (the first `height % parts`
+/// slices own one extra row).
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4, `parts` is zero, or
+/// `parts` exceeds the image height.
+pub fn split_height_with_halo(input: &Tensor, parts: usize, halo: usize) -> Result<Vec<HaloSlice>> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let h = input.shape()[2];
+    if parts == 0 {
+        return Err(TensorError::InvalidArgument {
+            what: "split_height_with_halo requires at least one part".into(),
+        });
+    }
+    if parts > h {
+        return Err(TensorError::InvalidArgument {
+            what: format!("cannot split height {h} into {parts} parts"),
+        });
+    }
+    let base = h / parts;
+    let extra = h % parts;
+    let mut slices = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let core_len = base + usize::from(p < extra);
+        let slab_start = start.saturating_sub(halo);
+        let slab_end = (start + core_len + halo).min(h);
+        let tensor = crop_rows(input, slab_start, slab_end - slab_start)?;
+        slices.push(HaloSlice {
+            tensor,
+            core_start: start,
+            core_len,
+            top_halo: start - slab_start,
+        });
+        start += core_len;
+    }
+    Ok(slices)
+}
+
+/// Merges processed slabs back into a full-height tensor by stacking each
+/// slice's core rows (halo rows are dropped).
+///
+/// The processed slabs must preserve slab height (true for stride-1 "same"
+/// layer chains).
+///
+/// # Errors
+///
+/// Returns an error when `slices` is empty, shapes disagree, or the core
+/// regions do not tile a contiguous image.
+pub fn merge_height(processed: &[(HaloSlice, Tensor)]) -> Result<Tensor> {
+    if processed.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            what: "merge_height requires at least one slice".into(),
+        });
+    }
+    let mut cores: Vec<(usize, Tensor)> = Vec::with_capacity(processed.len());
+    for (slice, out) in processed {
+        cores.push((slice.core_start, slice.crop_core(out)?));
+    }
+    cores.sort_by_key(|(start, _)| *start);
+    let first = &cores[0].1;
+    let (n, c, w) = (first.shape()[0], first.shape()[1], first.shape()[3]);
+    let total_h: usize = cores.iter().map(|(_, t)| t.shape()[2]).sum();
+    // Validate contiguity.
+    let mut expected_start = cores[0].0;
+    if expected_start != 0 {
+        return Err(TensorError::InvalidArgument {
+            what: "merge_height core regions must start at row 0".into(),
+        });
+    }
+    for (start, t) in &cores {
+        if t.shape()[0] != n || t.shape()[1] != c || t.shape()[3] != w {
+            return Err(TensorError::DimensionMismatch {
+                what: "merge_height slices disagree on batch/channel/width".into(),
+            });
+        }
+        if *start != expected_start {
+            return Err(TensorError::InvalidArgument {
+                what: format!("merge_height core regions are not contiguous at row {expected_start}"),
+            });
+        }
+        expected_start += t.shape()[2];
+    }
+    let mut out = Tensor::zeros(&[n, c, total_h, w])?;
+    for (start, t) in &cores {
+        let hh = t.shape()[2];
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..hh {
+                    for x in 0..w {
+                        out.set4(ni, ci, start + y, x, t.at4(ni, ci, y, x));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a batch of images into `parts` contiguous sub-batches (exact for
+/// every network). The first `batch % parts` sub-batches carry one extra
+/// image.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank-4, `parts` is zero, or
+/// `parts` exceeds the batch size.
+pub fn split_batch(input: &Tensor, parts: usize) -> Result<Vec<Tensor>> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidRank {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let n = input.shape()[0];
+    if parts == 0 || parts > n {
+        return Err(TensorError::InvalidArgument {
+            what: format!("cannot split batch of {n} into {parts} parts"),
+        });
+    }
+    let (c, h, w) = (input.shape()[1], input.shape()[2], input.shape()[3]);
+    let image_len = c * h * w;
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let count = base + usize::from(p < extra);
+        let data = input.data()[start * image_len..(start + count) * image_len].to_vec();
+        out.push(Tensor::from_vec(data, &[count, c, h, w])?);
+        start += count;
+    }
+    Ok(out)
+}
+
+/// Concatenates sub-batch results back into one batch, in order.
+///
+/// # Errors
+///
+/// Returns an error when `parts` is empty or the non-batch shapes disagree.
+pub fn merge_batch(parts: &[Tensor]) -> Result<Tensor> {
+    if parts.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            what: "merge_batch requires at least one part".into(),
+        });
+    }
+    let tail = &parts[0].shape()[1..];
+    for p in parts {
+        if p.rank() != parts[0].rank() || &p.shape()[1..] != tail {
+            return Err(TensorError::DimensionMismatch {
+                what: "merge_batch parts disagree on per-sample shape".into(),
+            });
+        }
+    }
+    let total_n: usize = parts.iter().map(|p| p.shape()[0]).sum();
+    let mut shape = vec![total_n];
+    shape.extend_from_slice(tail);
+    let mut data = Vec::with_capacity(parts.iter().map(Tensor::len).sum());
+    for p in parts {
+        data.extend_from_slice(p.data());
+    }
+    Tensor::from_vec(data, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn split_height_cores_tile_image() {
+        let input = Tensor::from_fn(&[1, 1, 10, 2], |i| i as f32).unwrap();
+        let slices = split_height_with_halo(&input, 3, 1).unwrap();
+        assert_eq!(slices.len(), 3);
+        let lens: Vec<usize> = slices.iter().map(|s| s.core_len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        assert_eq!(lens, vec![4, 3, 3]);
+        assert_eq!(slices[0].core_start, 0);
+        assert_eq!(slices[1].core_start, 4);
+        assert_eq!(slices[2].core_start, 7);
+        // First slice has no halo above, interior ones do.
+        assert_eq!(slices[0].top_halo, 0);
+        assert_eq!(slices[1].top_halo, 1);
+    }
+
+    #[test]
+    fn split_then_merge_identity_is_lossless() {
+        let input = Tensor::from_fn(&[2, 3, 9, 4], |i| i as f32 * 0.5).unwrap();
+        for parts in 1..=4 {
+            for halo in 0..3 {
+                let slices = split_height_with_halo(&input, parts, halo).unwrap();
+                let processed: Vec<(HaloSlice, Tensor)> =
+                    slices.iter().map(|s| (s.clone(), s.tensor.clone())).collect();
+                let merged = merge_height(&processed).unwrap();
+                assert_eq!(merged, input, "parts={parts} halo={halo}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_split_matches_whole_image_convolution() {
+        // A stride-1 same conv computed per-slab with halo 1 must equal the
+        // whole-image result in every core region.
+        let mut rng = rand::thread_rng();
+        let input = Tensor::random(&[1, 2, 12, 7], 1.0, &mut rng).unwrap();
+        let weight = Tensor::random(&[3, 2, 3, 3], 0.6, &mut rng).unwrap();
+        let whole = ops::conv2d(&input, &weight, None, (1, 1), (1, 1)).unwrap();
+
+        let slices = split_height_with_halo(&input, 3, 1).unwrap();
+        let processed: Vec<(HaloSlice, Tensor)> = slices
+            .iter()
+            .map(|s| {
+                let out = ops::conv2d(&s.tensor, &weight, None, (1, 1), (1, 1)).unwrap();
+                (s.clone(), out)
+            })
+            .collect();
+        let merged = merge_height(&processed).unwrap();
+        assert!(merged.approx_eq(&whole, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn split_height_rejects_bad_arguments() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]).unwrap();
+        assert!(split_height_with_halo(&input, 0, 1).is_err());
+        assert!(split_height_with_halo(&input, 5, 1).is_err());
+        let t2 = Tensor::zeros(&[4, 4]).unwrap();
+        assert!(split_height_with_halo(&t2, 2, 1).is_err());
+    }
+
+    #[test]
+    fn crop_rows_validates_range() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]).unwrap();
+        assert!(crop_rows(&input, 2, 3).is_err());
+        assert!(crop_rows(&input, 0, 0).is_err());
+        assert_eq!(crop_rows(&input, 1, 2).unwrap().shape(), &[1, 1, 2, 4]);
+    }
+
+    #[test]
+    fn batch_split_and_merge_round_trip() {
+        let input = Tensor::from_fn(&[5, 2, 3, 3], |i| i as f32).unwrap();
+        let parts = split_batch(&input, 2).unwrap();
+        assert_eq!(parts[0].shape()[0], 3);
+        assert_eq!(parts[1].shape()[0], 2);
+        let merged = merge_batch(&parts).unwrap();
+        assert_eq!(merged, input);
+    }
+
+    #[test]
+    fn batch_split_rejects_too_many_parts() {
+        let input = Tensor::zeros(&[2, 1, 2, 2]).unwrap();
+        assert!(split_batch(&input, 3).is_err());
+        assert!(split_batch(&input, 0).is_err());
+    }
+
+    #[test]
+    fn merge_batch_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]).unwrap();
+        let b = Tensor::zeros(&[1, 1, 3, 2]).unwrap();
+        assert!(merge_batch(&[a, b]).is_err());
+        assert!(merge_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_height_rejects_gap() {
+        let input = Tensor::from_fn(&[1, 1, 8, 2], |i| i as f32).unwrap();
+        let slices = split_height_with_halo(&input, 2, 0).unwrap();
+        // Drop the first slice: merge must fail because rows no longer start at 0.
+        let processed = vec![(slices[1].clone(), slices[1].tensor.clone())];
+        assert!(merge_height(&processed).is_err());
+    }
+}

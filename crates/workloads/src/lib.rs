@@ -1,0 +1,24 @@
+//! # hidp-workloads
+//!
+//! Workload generators for the HiDP evaluation: single inference requests,
+//! the dynamic scenario of Fig. 6 (one model arriving every 0.5 s), the eight
+//! workload mixes of Fig. 7, and Poisson request streams for stress tests.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! ```
+//! use hidp_workloads::{dynamic_scenario, mixes};
+//!
+//! let stream = dynamic_scenario();
+//! assert_eq!(stream.len(), 4);
+//! assert_eq!(mixes::all_mixes().len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mixes;
+mod request;
+mod stream;
+
+pub use request::InferenceRequest;
+pub use stream::{dynamic_scenario, poisson_stream, repeating_stream};

@@ -1,0 +1,104 @@
+//! The eight workload mixes of the paper's Fig. 7.
+//!
+//! Mixes 1–4 combine two of the four target DNNs, mixes 5–8 combine three
+//! (§IV-B: "We created Mix 1-4 and Mix 5-8 with two and three different DNN
+//! models from the target workloads, respectively"). Throughput is reported
+//! as completed inferences per 100 s while the mix repeats back-to-back.
+
+use crate::request::InferenceRequest;
+use crate::stream::repeating_stream;
+use hidp_dnn::zoo::WorkloadModel;
+use serde::{Deserialize, Serialize};
+
+/// One workload mix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Mix number (1-based, as in the paper).
+    pub id: usize,
+    /// The models in the mix.
+    pub models: Vec<WorkloadModel>,
+}
+
+impl WorkloadMix {
+    /// Short display name, e.g. `"Mix-3"`.
+    pub fn name(&self) -> String {
+        format!("Mix-{}", self.id)
+    }
+
+    /// Generates `count` requests cycling through the mix with the given
+    /// inter-arrival time.
+    pub fn requests(&self, interval_seconds: f64, count: usize) -> Vec<InferenceRequest> {
+        repeating_stream(&self.models, interval_seconds, count)
+    }
+}
+
+/// The eight mixes evaluated in Fig. 7.
+pub fn all_mixes() -> Vec<WorkloadMix> {
+    use WorkloadModel::*;
+    let pairs: [Vec<WorkloadModel>; 4] = [
+        vec![EfficientNetB0, InceptionV3],
+        vec![EfficientNetB0, Vgg19],
+        vec![InceptionV3, ResNet152],
+        vec![ResNet152, Vgg19],
+    ];
+    let triples: [Vec<WorkloadModel>; 4] = [
+        vec![EfficientNetB0, InceptionV3, ResNet152],
+        vec![EfficientNetB0, InceptionV3, Vgg19],
+        vec![EfficientNetB0, ResNet152, Vgg19],
+        vec![InceptionV3, ResNet152, Vgg19],
+    ];
+    pairs
+        .into_iter()
+        .chain(triples)
+        .enumerate()
+        .map(|(i, models)| WorkloadMix { id: i + 1, models })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eight_mixes_with_the_right_sizes() {
+        let mixes = all_mixes();
+        assert_eq!(mixes.len(), 8);
+        for mix in &mixes[..4] {
+            assert_eq!(mix.models.len(), 2, "{}", mix.name());
+        }
+        for mix in &mixes[4..] {
+            assert_eq!(mix.models.len(), 3, "{}", mix.name());
+        }
+        assert_eq!(mixes[0].name(), "Mix-1");
+        assert_eq!(mixes[7].name(), "Mix-8");
+    }
+
+    #[test]
+    fn every_model_appears_in_some_mix() {
+        let mixes = all_mixes();
+        for model in WorkloadModel::ALL {
+            assert!(
+                mixes.iter().any(|m| m.models.contains(&model)),
+                "{model} missing from all mixes"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_ids_are_unique_and_sequential() {
+        let mixes = all_mixes();
+        for (i, mix) in mixes.iter().enumerate() {
+            assert_eq!(mix.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn requests_cycle_through_the_mix() {
+        let mix = &all_mixes()[2];
+        let requests = mix.requests(0.5, 6);
+        assert_eq!(requests.len(), 6);
+        assert_eq!(requests[0].model, mix.models[0]);
+        assert_eq!(requests[1].model, mix.models[1]);
+        assert_eq!(requests[2].model, mix.models[0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Inference requests: the unit of work HiDP schedules.
+
+use hidp_dnn::zoo::WorkloadModel;
+use hidp_dnn::DnnGraph;
+use serde::{Deserialize, Serialize};
+
+/// One DNN inference request: a model, a batch size and an arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// The DNN model requested.
+    pub model: WorkloadModel,
+    /// Number of images in the request.
+    pub batch: usize,
+    /// Arrival time in seconds since the start of the scenario.
+    pub arrival: f64,
+}
+
+impl InferenceRequest {
+    /// Creates a single-image request arriving at `arrival` seconds.
+    pub fn new(model: WorkloadModel, arrival: f64) -> Self {
+        Self {
+            model,
+            batch: 1,
+            arrival,
+        }
+    }
+
+    /// Sets the batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Builds the analytical graph for this request.
+    pub fn graph(&self) -> DnnGraph {
+        self.model.graph(self.batch)
+    }
+
+    /// Converts a slice of requests into the `(arrival, graph)` pairs the
+    /// evaluation helpers consume.
+    pub fn to_stream(requests: &[InferenceRequest]) -> Vec<(f64, DnnGraph)> {
+        requests.iter().map(|r| (r.arrival, r.graph())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builds_its_graph() {
+        let r = InferenceRequest::new(WorkloadModel::Vgg19, 1.5).with_batch(2);
+        assert_eq!(r.arrival, 1.5);
+        assert_eq!(r.batch, 2);
+        assert_eq!(r.graph().input_shape().batch(), 2);
+        // Batch is clamped to at least one image.
+        assert_eq!(InferenceRequest::new(WorkloadModel::Vgg19, 0.0).with_batch(0).batch, 1);
+    }
+
+    #[test]
+    fn to_stream_preserves_order_and_arrivals() {
+        let requests = vec![
+            InferenceRequest::new(WorkloadModel::EfficientNetB0, 0.0),
+            InferenceRequest::new(WorkloadModel::ResNet152, 1.0),
+        ];
+        let stream = InferenceRequest::to_stream(&requests);
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream[0].0, 0.0);
+        assert_eq!(stream[1].0, 1.0);
+        assert_eq!(stream[1].1.name(), "resnet152");
+    }
+}

@@ -1,0 +1,121 @@
+//! Request-stream generators.
+
+use crate::request::InferenceRequest;
+use hidp_dnn::zoo::WorkloadModel;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The dynamic workload of the paper's Fig. 6: EfficientNet-B0,
+/// Inception-V3, ResNet-152 and VGG-19 arriving 0.5 s apart, so that by
+/// t = 1.5 s all four DNNs run concurrently on the cluster.
+pub fn dynamic_scenario() -> Vec<InferenceRequest> {
+    [
+        WorkloadModel::EfficientNetB0,
+        WorkloadModel::InceptionV3,
+        WorkloadModel::ResNet152,
+        WorkloadModel::Vgg19,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &model)| InferenceRequest::new(model, i as f64 * 0.5))
+    .collect()
+}
+
+/// A stream that cycles through `models` with a fixed inter-arrival time,
+/// producing `count` requests. Used to measure steady-state throughput
+/// (Fig. 7 reports inferences per 100 s).
+pub fn repeating_stream(
+    models: &[WorkloadModel],
+    interval_seconds: f64,
+    count: usize,
+) -> Vec<InferenceRequest> {
+    assert!(
+        interval_seconds >= 0.0 && interval_seconds.is_finite(),
+        "interval must be non-negative and finite"
+    );
+    assert!(!models.is_empty(), "at least one model is required");
+    (0..count)
+        .map(|i| InferenceRequest::new(models[i % models.len()], i as f64 * interval_seconds))
+        .collect()
+}
+
+/// A Poisson request stream: exponential inter-arrival times with the given
+/// mean rate (requests/second), models drawn uniformly from `models`.
+/// Deterministic for a given seed.
+pub fn poisson_stream(
+    models: &[WorkloadModel],
+    rate_per_second: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<InferenceRequest> {
+    assert!(
+        rate_per_second > 0.0 && rate_per_second.is_finite(),
+        "rate must be positive and finite"
+    );
+    assert!(!models.is_empty(), "at least one model is required");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut time = 0.0f64;
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            time += -u.ln() / rate_per_second;
+            let model = models[rng.gen_range(0..models.len())];
+            InferenceRequest::new(model, time)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_scenario_matches_the_paper() {
+        let stream = dynamic_scenario();
+        assert_eq!(stream.len(), 4);
+        assert_eq!(stream[0].model, WorkloadModel::EfficientNetB0);
+        assert_eq!(stream[3].model, WorkloadModel::Vgg19);
+        for (i, request) in stream.iter().enumerate() {
+            assert!((request.arrival - i as f64 * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeating_stream_cycles_models() {
+        let models = [WorkloadModel::Vgg19, WorkloadModel::ResNet152];
+        let stream = repeating_stream(&models, 0.5, 5);
+        assert_eq!(stream.len(), 5);
+        assert_eq!(stream[0].model, WorkloadModel::Vgg19);
+        assert_eq!(stream[1].model, WorkloadModel::ResNet152);
+        assert_eq!(stream[2].model, WorkloadModel::Vgg19);
+        assert!((stream[4].arrival - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn repeating_stream_rejects_empty_models() {
+        let _ = repeating_stream(&[], 0.5, 3);
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_monotone() {
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3];
+        let a = poisson_stream(&models, 2.0, 20, 7);
+        let b = poisson_stream(&models, 2.0, 20, 7);
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[1].arrival > pair[0].arrival);
+        }
+        let c = poisson_stream(&models, 2.0, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_rate_controls_density() {
+        let models = [WorkloadModel::EfficientNetB0];
+        let slow = poisson_stream(&models, 0.5, 50, 1);
+        let fast = poisson_stream(&models, 5.0, 50, 1);
+        assert!(fast.last().unwrap().arrival < slow.last().unwrap().arrival);
+    }
+}

@@ -1,0 +1,63 @@
+//! Edge-cluster inference: run the full leader/follower protocol
+//! (Algorithm 1 + the Fig. 4 state machines) through the in-process cluster
+//! runtime, then compare HiDP against every baseline on the same request.
+//!
+//! ```sh
+//! cargo run --example edge_cluster_inference [model]
+//! ```
+//!
+//! `model` is one of `efficientnet_b0`, `inception_v3`, `resnet152`,
+//! `vgg19` (default: `inception_v3`).
+
+use hidp::baselines::all_strategies;
+use hidp::core::runtime::ClusterRuntime;
+use hidp::core::{evaluate, HidpStrategy};
+use hidp::dnn::zoo::WorkloadModel;
+use hidp::platform::{presets, NodeIndex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model: WorkloadModel = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "inception_v3".to_string())
+        .parse()?;
+    let graph = model.graph(1);
+    let cluster = presets::paper_cluster();
+    let leader = NodeIndex(1);
+
+    // 1. Run the collaborative protocol: status polling, global DSE,
+    //    offloading, per-follower local DSE, result collection.
+    let runtime = ClusterRuntime::new(cluster.clone(), HidpStrategy::new());
+    let outcome = runtime.run_request(&graph, leader)?;
+    println!("leader FSM trace: {:?}", outcome.leader_trace);
+    println!(
+        "availability vector: {:?}",
+        outcome.availability.iter().map(|a| u8::from(*a)).collect::<Vec<_>>()
+    );
+    println!(
+        "global decision: {} partitioning over {} node(s)",
+        outcome.plan.global.mode,
+        outcome.plan.global.shares.len()
+    );
+    for (node, local) in &outcome.follower_reports {
+        println!(
+            "  follower {} mapped its share onto {} processor(s) ({} locally)",
+            cluster.nodes()[node.0].name,
+            local.parallelism(),
+            local.mode
+        );
+    }
+
+    // 2. Compare against the baselines on the simulated cluster.
+    println!("\n{model} on the five-device cluster (request at the TX2):");
+    println!("{:<18} {:>12} {:>12}", "strategy", "latency[ms]", "energy[J]");
+    for strategy in all_strategies() {
+        let result = evaluate(strategy.as_ref(), &graph, &cluster, leader)?;
+        println!(
+            "{:<18} {:>12.1} {:>12.2}",
+            result.strategy,
+            result.latency * 1e3,
+            result.total_energy
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Partition explorer: inspect what the DSE agent sees for a given model —
+//! the chain segments, the global Ψ vector, both DP search results, the
+//! chosen mode — and verify on a small network that partitioned execution
+//! reproduces whole-model outputs exactly.
+//!
+//! ```sh
+//! cargo run --example partition_explorer [model]
+//! ```
+
+use hidp::core::{chain_segments, workload_summary, DseAgent, SystemModel};
+use hidp::dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
+use hidp::dnn::partition::partition_into_blocks;
+use hidp::dnn::zoo::{self, WorkloadModel};
+use hidp::platform::{presets, NodeIndex};
+use hidp::tensor::Tensor;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model: WorkloadModel = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "efficientnet_b0".to_string())
+        .parse()?;
+    let graph = model.graph(1);
+    let cluster = presets::paper_cluster();
+    let leader = NodeIndex(1);
+
+    println!(
+        "{}: {} layers, {} cut points, {:.2} GFLOP, GPU affinity {:.2}",
+        graph.name(),
+        graph.len(),
+        graph.cut_points().len(),
+        graph.total_flops() as f64 / 1e9,
+        graph.gpu_affinity()
+    );
+
+    let system = SystemModel::new(&graph, leader);
+    let resources = system.global_resources(&cluster);
+    println!("\nglobal resource vector Ψ (rate, comm rate, ratio):");
+    for resource in &resources {
+        println!(
+            "  {:<18} {:>8.1} GFLOP/s  {:>8.1} MB/s  ψ = {:.3}",
+            resource.name,
+            resource.rate / 1e9,
+            resource.comm_rate / 1e6,
+            resource.ratio()
+        );
+    }
+
+    let segments = chain_segments(&graph);
+    let workload = workload_summary(&graph);
+    let decision = DseAgent::new().explore(&segments, &resources, workload, resources.len())?;
+    println!(
+        "\nDSE decision: {} partitioning, estimated {:.1} ms (rejected mode: {:.1} ms)",
+        decision.mode,
+        decision.latency * 1e3,
+        decision.rejected_latency().unwrap_or(f64::NAN) * 1e3
+    );
+    if let Some(model_search) = &decision.model {
+        println!("  model search: {} block(s)", model_search.block_count());
+    }
+    if let Some(data_search) = &decision.data {
+        println!("  data search : σ = {}", data_search.parallelism());
+    }
+
+    // Equivalence demonstration on a small network (the real models are too
+    // large for the reference kernels).
+    let tiny = zoo::small::tiny_inception(14, 2, 10);
+    let store = WeightStore::generate(&tiny, 1)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let input = Tensor::random(&tiny.input_shape().dims(), 1.0, &mut rng)?;
+    let whole = execute(&tiny, &input, &store)?;
+    let cut = tiny.cut_points()[tiny.cut_points().len() / 2];
+    let blocks = partition_into_blocks(&tiny, &[cut])?;
+    let piped = execute_model_partition(&tiny, &blocks, &input, &store)?;
+    let batched = execute_data_partition_batch(&tiny, 2, &input, &store)?;
+    println!(
+        "\nequivalence on {}: |whole - pipelined| = {:.2e}, |whole - data-split| = {:.2e}",
+        tiny.name(),
+        whole.max_abs_diff(&piped)?,
+        whole.max_abs_diff(&batched)?
+    );
+    println!(
+        "Top-1 predictions identical: {}",
+        whole.argmax_rows()? == piped.argmax_rows()? && whole.argmax_rows()? == batched.argmax_rows()?
+    );
+    Ok(())
+}

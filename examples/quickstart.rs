@@ -1,0 +1,61 @@
+//! Quickstart: plan and simulate one distributed inference with HiDP.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the paper's five-device edge cluster, submits a ResNet-152 request
+//! at the Jetson TX2, and prints the hierarchical decision (global mode and
+//! per-node shares, then per-node processor splits) along with the simulated
+//! latency and energy.
+
+use hidp::core::{evaluate, DistributedStrategy, HidpStrategy, ShareKind};
+use hidp::dnn::zoo::WorkloadModel;
+use hidp::platform::{presets, NodeIndex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = presets::paper_cluster();
+    let leader = NodeIndex(1); // the Jetson TX2 receives the request
+    let model = WorkloadModel::ResNet152;
+    let graph = model.graph(1);
+    println!(
+        "workload: {} ({:.1} GFLOP, {:.1} M parameters)",
+        graph.name(),
+        graph.total_flops() as f64 / 1e9,
+        graph.total_parameters() as f64 / 1e6
+    );
+
+    let hidp = HidpStrategy::new();
+    let plan = hidp.hierarchical_plan(&graph, &cluster, leader)?;
+    println!(
+        "\nglobal decision: {} partitioning, {} share(s), estimated {:.1} ms",
+        plan.global.mode,
+        plan.global.shares.len(),
+        plan.global.estimated_latency * 1e3
+    );
+    for (share, local) in plan.global.shares.iter().zip(plan.locals.iter()) {
+        let node = &cluster.nodes()[share.node.0];
+        let what = match share.kind {
+            ShareKind::Block { first, last } => format!("layers {first}..={last}"),
+            ShareKind::DataPart { fraction } => format!("{:.0}% of the input", fraction * 100.0),
+        };
+        println!(
+            "  {:<16} {:<22} {:>6.2} GFLOP on {} processor(s) [{} locally]",
+            node.name,
+            what,
+            share.flops as f64 / 1e9,
+            local.parallelism(),
+            local.mode
+        );
+    }
+
+    let result = evaluate(&hidp, &graph, &cluster, leader)?;
+    println!(
+        "\nsimulated: latency {:.1} ms, energy {:.2} J ({:.2} J dynamic)",
+        result.latency * 1e3,
+        result.total_energy,
+        result.dynamic_energy
+    );
+    println!("strategy: {}", hidp.name());
+    Ok(())
+}

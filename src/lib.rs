@@ -1,0 +1,46 @@
+//! # hidp
+//!
+//! Umbrella crate for the HiDP reproduction (*HiDP: Hierarchical DNN
+//! Partitioning for Distributed Inference on Heterogeneous Edge Platforms*,
+//! DATE 2025). It re-exports the workspace crates so applications can depend
+//! on a single crate:
+//!
+//! * [`tensor`] — NCHW tensor kernels and split/merge primitives;
+//! * [`dnn`] — DNN graphs, cost model, model zoo, partitioning, execution;
+//! * [`platform`] — processors, edge nodes, clusters, network, energy;
+//! * [`sim`] — the discrete-event cluster simulator;
+//! * [`core`] — the HiDP framework (system model, DP search, DSE agent,
+//!   partitioners, scheduler FSM, cluster runtime, strategy);
+//! * [`baselines`] — MoDNN, OmniBoost, DisNet and GPU-only;
+//! * [`workloads`] — request streams and the paper's workload mixes.
+//!
+//! ```
+//! use hidp::core::{evaluate, DistributedStrategy, HidpStrategy};
+//! use hidp::dnn::zoo::WorkloadModel;
+//! use hidp::platform::{presets, NodeIndex};
+//!
+//! # fn main() -> Result<(), hidp::core::CoreError> {
+//! let cluster = presets::paper_cluster();
+//! let graph = WorkloadModel::ResNet152.graph(1);
+//! let result = evaluate(&HidpStrategy::new(), &graph, &cluster, NodeIndex(1))?;
+//! println!("HiDP latency: {:.1} ms", result.latency * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hidp_baselines as baselines;
+pub use hidp_core as core;
+pub use hidp_dnn as dnn;
+pub use hidp_platform as platform;
+pub use hidp_sim as sim;
+pub use hidp_tensor as tensor;
+pub use hidp_workloads as workloads;
+
+/// The four DNN workloads evaluated in the paper, re-exported for
+/// convenience.
+pub use hidp_dnn::zoo::WorkloadModel;
+
+/// The HiDP strategy, re-exported for convenience.
+pub use hidp_core::HidpStrategy;

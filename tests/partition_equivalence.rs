@@ -1,0 +1,114 @@
+//! Integration + property tests for the paper's accuracy claim (§IV-B):
+//! partitioned execution is numerically equivalent to whole-model execution,
+//! for arbitrary partition points, part counts and seeds.
+
+use hidp::dnn::exec::{
+    execute, execute_data_partition_batch, execute_data_partition_spatial,
+    execute_model_partition, WeightStore,
+};
+use hidp::dnn::partition::{data_partition, even_fractions, partition_into_blocks};
+use hidp::dnn::zoo::small;
+use hidp::dnn::{DnnGraph, NodeId};
+use hidp::tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn run_whole(graph: &DnnGraph, seed: u64) -> (Tensor, Tensor, WeightStore) {
+    let store = WeightStore::generate(graph, seed).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+    let input = Tensor::random(&graph.input_shape().dims(), 1.0, &mut rng).unwrap();
+    let output = execute(graph, &input, &store).unwrap();
+    (input, output, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single cut point produces a two-block pipeline whose output
+    /// matches whole execution.
+    #[test]
+    fn any_cut_point_preserves_outputs(cut_idx in 0usize..20, seed in 0u64..1000) {
+        let graph = small::tiny_resnet(12, 2, 8);
+        let cuts = graph.cut_points();
+        let cut = cuts[cut_idx % cuts.len()];
+        prop_assume!(cut.0 < graph.len() - 1);
+        let (input, whole, store) = run_whole(&graph, seed);
+        let partition = partition_into_blocks(&graph, &[cut]).unwrap();
+        let piped = execute_model_partition(&graph, &partition, &input, &store).unwrap();
+        prop_assert!(piped.approx_eq(&whole, 1e-4).unwrap());
+    }
+
+    /// Any batch split count produces identical outputs.
+    #[test]
+    fn any_batch_split_preserves_outputs(parts in 1usize..=6, seed in 0u64..1000) {
+        let graph = small::tiny_cnn(10, 6, 7);
+        let (input, whole, store) = run_whole(&graph, seed);
+        let merged = execute_data_partition_batch(&graph, parts, &input, &store).unwrap();
+        prop_assert!(merged.approx_eq(&whole, 1e-4).unwrap());
+        prop_assert_eq!(merged.argmax_rows().unwrap(), whole.argmax_rows().unwrap());
+    }
+
+    /// Spatial splitting with a sufficient halo matches whole execution for
+    /// stride-1 networks.
+    #[test]
+    fn spatial_split_with_halo_preserves_outputs(parts in 2usize..=4, seed in 0u64..500) {
+        let graph = small::tiny_cnn(20, 1, 5);
+        let (input, whole, store) = run_whole(&graph, seed);
+        // Three stride-1 3x3 convolutions -> receptive radius 3.
+        let merged = execute_data_partition_spatial(&graph, parts, 3, &input, &store).unwrap();
+        prop_assert!(merged.approx_eq(&whole, 1e-4).unwrap());
+    }
+
+    /// The analytical data-partition descriptor conserves work: per-part
+    /// flops sum to at least the whole-model flops and fractions sum to 1.
+    #[test]
+    fn data_partition_descriptor_conserves_work(parts in 1usize..=8) {
+        let graph = small::tiny_mobilenet(16, 1, 9);
+        let partition = data_partition(&graph, &even_fractions(parts)).unwrap();
+        prop_assert_eq!(partition.len(), parts);
+        prop_assert!(partition.total_flops() >= graph.total_flops());
+        let fractions: f64 = partition.parts.iter().map(|p| p.fraction).sum();
+        prop_assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    /// Model partitions at any increasing pair of cut points cover every
+    /// layer exactly once and preserve total flops and parameters.
+    #[test]
+    fn block_partitions_tile_the_graph(a in 0usize..30, b in 0usize..30) {
+        let graph = small::tiny_inception(16, 1, 12);
+        let cuts = graph.cut_points();
+        let i = a % cuts.len();
+        let j = b % cuts.len();
+        prop_assume!(i != j);
+        let (first, second) = if cuts[i].0 < cuts[j].0 { (cuts[i], cuts[j]) } else { (cuts[j], cuts[i]) };
+        let partition = partition_into_blocks(&graph, &[first, second]).unwrap();
+        prop_assert_eq!(partition.len(), 3);
+        prop_assert_eq!(partition.total_flops(), graph.total_flops());
+        let covered: usize = partition.blocks.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(covered, graph.len());
+    }
+}
+
+#[test]
+fn three_block_pipeline_on_every_small_model() {
+    for graph in [
+        small::tiny_cnn(12, 2, 6),
+        small::tiny_resnet(12, 2, 6),
+        small::tiny_inception(12, 2, 6),
+        small::tiny_mobilenet(12, 2, 6),
+    ] {
+        let (input, whole, store) = run_whole(&graph, 3);
+        let cuts = graph.cut_points();
+        let boundaries: Vec<NodeId> = vec![cuts[cuts.len() / 3], cuts[2 * cuts.len() / 3]];
+        if boundaries[0] >= boundaries[1] {
+            continue;
+        }
+        let partition = partition_into_blocks(&graph, &boundaries).unwrap();
+        let piped = execute_model_partition(&graph, &partition, &input, &store).unwrap();
+        assert!(
+            piped.approx_eq(&whole, 1e-4).unwrap(),
+            "{} diverged under a 3-block pipeline",
+            graph.name()
+        );
+    }
+}
