@@ -62,24 +62,27 @@ impl DistributedStrategy for DisNetStrategy {
 mod tests {
     use super::*;
     use crate::{GpuOnlyStrategy, ModnnStrategy};
-    use hidp_core::{evaluate, HidpStrategy};
+    use hidp_core::{HidpStrategy, Scenario};
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
 
+    fn latency_of(strategy: &dyn DistributedStrategy, model: WorkloadModel) -> f64 {
+        let cluster = presets::paper_cluster();
+        Scenario::single(model.graph(1))
+            .run(strategy, &cluster, NodeIndex(1))
+            .unwrap()
+            .latency()
+    }
+
     #[test]
     fn disnet_beats_fixed_mode_baselines_on_average() {
-        let cluster = presets::paper_cluster();
         let mut disnet_total = 0.0;
         let mut modnn_total = 0.0;
         let mut gpu_total = 0.0;
         for model in WorkloadModel::ALL {
-            let graph = model.graph(1);
-            disnet_total +=
-                evaluate(&DisNetStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
-            modnn_total +=
-                evaluate(&ModnnStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
-            gpu_total +=
-                evaluate(&GpuOnlyStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
+            disnet_total += latency_of(&DisNetStrategy::new(), model);
+            modnn_total += latency_of(&ModnnStrategy::new(), model);
+            gpu_total += latency_of(&GpuOnlyStrategy::new(), model);
         }
         assert!(disnet_total < modnn_total);
         assert!(disnet_total < gpu_total);
@@ -87,15 +90,11 @@ mod tests {
 
     #[test]
     fn hidp_beats_disnet_because_of_the_local_tier() {
-        let cluster = presets::paper_cluster();
         let mut hidp_total = 0.0;
         let mut disnet_total = 0.0;
         for model in WorkloadModel::ALL {
-            let graph = model.graph(1);
-            hidp_total +=
-                evaluate(&HidpStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
-            disnet_total +=
-                evaluate(&DisNetStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
+            hidp_total += latency_of(&HidpStrategy::new(), model);
+            disnet_total += latency_of(&DisNetStrategy::new(), model);
         }
         assert!(
             hidp_total < disnet_total,

@@ -68,7 +68,7 @@ impl DistributedStrategy for GpuOnlyStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hidp_core::evaluate;
+    use hidp_core::Scenario;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
 
@@ -80,10 +80,12 @@ mod tests {
         let plan = strategy.plan(&graph, &cluster, NodeIndex(1)).unwrap();
         assert_eq!(plan.total_transfer_bytes(), 0);
         assert!(plan.total_flops() >= graph.total_flops());
-        let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(1)).unwrap();
+        let eval = Scenario::single(graph)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
         // ResNet-152 on the TX2's Pascal GPU alone: tens of milliseconds at
         // the very least.
-        assert!(eval.latency > 0.02);
+        assert!(eval.latency() > 0.02);
     }
 
     #[test]

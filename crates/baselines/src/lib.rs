@@ -61,7 +61,7 @@ pub fn paper_strategies() -> Vec<Box<dyn DistributedStrategy>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hidp_core::evaluate;
+    use hidp_core::Scenario;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::{presets, NodeIndex};
 
@@ -84,8 +84,10 @@ mod tests {
         for model in WorkloadModel::ALL {
             let graph = model.graph(1);
             for (i, strategy) in strategies.iter().enumerate() {
-                totals[i] +=
-                    evaluate(strategy.as_ref(), &graph, &cluster, NodeIndex(1)).unwrap().latency;
+                totals[i] += Scenario::single(graph.clone())
+                    .run(strategy.as_ref(), &cluster, NodeIndex(1))
+                    .unwrap()
+                    .latency();
             }
         }
         for (i, total) in totals.iter().enumerate().skip(1) {
@@ -108,7 +110,8 @@ mod tests {
         for model in WorkloadModel::ALL {
             let graph = model.graph(1);
             for (i, strategy) in strategies.iter().enumerate() {
-                totals[i] += evaluate(strategy.as_ref(), &graph, &cluster, NodeIndex(1))
+                totals[i] += Scenario::single(graph.clone())
+                    .run(strategy.as_ref(), &cluster, NodeIndex(1))
                     .unwrap()
                     .total_energy;
             }

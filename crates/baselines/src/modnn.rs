@@ -33,12 +33,12 @@ impl ModnnStrategy {
 
 fn default_processor(cluster: &Cluster, node: NodeIndex) -> Result<ProcessorIndex, CoreError> {
     let device = cluster.node(node)?;
-    Ok(device
+    device
         .gpu_index()
         .or_else(|| device.cpu_indices().first().copied())
         .ok_or_else(|| CoreError::Infeasible {
             what: format!("node {node} has no processors"),
-        })?)
+        })
 }
 
 impl DistributedStrategy for ModnnStrategy {
@@ -135,7 +135,7 @@ impl DistributedStrategy for ModnnStrategy {
 mod tests {
     use super::*;
     use crate::GpuOnlyStrategy;
-    use hidp_core::evaluate;
+    use hidp_core::Scenario;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
 
@@ -163,10 +163,14 @@ mod tests {
     #[test]
     fn parallelism_beats_gpu_only_on_heavy_models() {
         let cluster = presets::paper_cluster();
-        let graph = WorkloadModel::Vgg19.graph(1);
-        let modnn = evaluate(&ModnnStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap();
-        let single = evaluate(&GpuOnlyStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap();
-        assert!(modnn.latency < single.latency);
+        let scenario = Scenario::single(WorkloadModel::Vgg19.graph(1));
+        let modnn = scenario
+            .run(&ModnnStrategy::new(), &cluster, NodeIndex(1))
+            .unwrap();
+        let single = scenario
+            .run(&GpuOnlyStrategy::new(), &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(modnn.latency() < single.latency());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! block boundary, rollouts complete the placement randomly, and the reward
 //! is the negated pipeline latency.
 
-use hidp_core::{chain_segments, workload_summary, CoreError, DistributedStrategy, Resource, SystemModel};
+use hidp_core::{
+    chain_segments, workload_summary, CoreError, DistributedStrategy, Resource, SystemModel,
+};
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex, ProcessorAddr, ProcessorIndex};
 use hidp_sim::ExecutionPlan;
@@ -133,7 +135,11 @@ fn rollout(
     rng: &mut StdRng,
 ) -> f64 {
     let mut placement = placement.clone();
-    while placement.last().map(|&(last, _)| last + 1 < segments.len()).unwrap_or(true) {
+    while placement
+        .last()
+        .map(|&(last, _)| last + 1 < segments.len())
+        .unwrap_or(true)
+    {
         let actions = candidate_actions(&placement, segments.len(), resources.len(), max_blocks);
         if actions.is_empty() {
             // No unused resource left: extend the last block to the end.
@@ -408,7 +414,7 @@ impl DistributedStrategy for OmniBoostStrategy {
 mod tests {
     use super::*;
     use crate::GpuOnlyStrategy;
-    use hidp_core::evaluate;
+    use hidp_core::Scenario;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
 
@@ -440,14 +446,18 @@ mod tests {
         // placement, so it can only improve on it (modulo the report task).
         let cluster = presets::paper_cluster();
         for model in WorkloadModel::ALL {
-            let graph = model.graph(1);
-            let omni = evaluate(&OmniBoostStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap();
-            let gpu = evaluate(&GpuOnlyStrategy::new(), &graph, &cluster, NodeIndex(1)).unwrap();
+            let scenario = Scenario::single(model.graph(1));
+            let omni = scenario
+                .run(&OmniBoostStrategy::new(), &cluster, NodeIndex(1))
+                .unwrap();
+            let gpu = scenario
+                .run(&GpuOnlyStrategy::new(), &cluster, NodeIndex(1))
+                .unwrap();
             assert!(
-                omni.latency <= gpu.latency * 1.10,
+                omni.latency() <= gpu.latency() * 1.10,
                 "{model}: OmniBoost {:.3}s vs GPU-only {:.3}s",
-                omni.latency,
-                gpu.latency
+                omni.latency(),
+                gpu.latency()
             );
         }
     }

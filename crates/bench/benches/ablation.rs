@@ -3,19 +3,27 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidp_bench::{ablation_variants, LEADER};
-use hidp_core::evaluate;
+use hidp_core::Scenario;
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_platform::presets;
 
 fn bench_ablation(c: &mut Criterion) {
     let cluster = presets::paper_cluster();
-    let graph = WorkloadModel::Vgg19.graph(1);
+    let scenario = Scenario::single(WorkloadModel::Vgg19.graph(1));
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     for (name, strategy) in ablation_variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strategy| {
-            b.iter(|| evaluate(strategy, &graph, &cluster, LEADER).expect("evaluation"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    scenario
+                        .run(strategy, &cluster, LEADER)
+                        .expect("evaluation")
+                })
+            },
+        );
     }
     group.finish();
 }

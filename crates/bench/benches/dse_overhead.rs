@@ -17,17 +17,13 @@ fn bench_dse(c: &mut Criterion) {
         let segments = chain_segments(&graph);
         let workload = workload_summary(&graph);
         let resources = system.global_resources(&cluster);
-        group.bench_with_input(
-            BenchmarkId::new("global", model.name()),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    DseAgent::new()
-                        .explore(&segments, &resources, workload, resources.len())
-                        .expect("exploration")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("global", model.name()), &(), |b, ()| {
+            b.iter(|| {
+                DseAgent::new()
+                    .explore(&segments, &resources, workload, resources.len())
+                    .expect("exploration")
+            })
+        });
         group.bench_with_input(BenchmarkId::new("local", model.name()), &(), |b, ()| {
             b.iter(|| {
                 LocalPartitioner::hidp()

@@ -4,13 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidp_baselines::paper_strategies;
 use hidp_bench::LEADER;
-use hidp_core::evaluate;
+use hidp_core::Scenario;
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_platform::presets;
 
 fn bench_strategies(c: &mut Criterion) {
     let cluster = presets::paper_cluster();
-    let graph = WorkloadModel::ResNet152.graph(1);
+    let scenario = Scenario::single(WorkloadModel::ResNet152.graph(1));
     let mut group = c.benchmark_group("fig5_strategies");
     group.sample_size(10);
     for strategy in paper_strategies() {
@@ -18,7 +18,11 @@ fn bench_strategies(c: &mut Criterion) {
             BenchmarkId::from_parameter(strategy.name()),
             &strategy,
             |b, strategy| {
-                b.iter(|| evaluate(strategy.as_ref(), &graph, &cluster, LEADER).expect("evaluation"))
+                b.iter(|| {
+                    scenario
+                        .run(strategy.as_ref(), &cluster, LEADER)
+                        .expect("evaluation")
+                })
             },
         );
     }

@@ -3,14 +3,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidp_baselines::paper_strategies;
 use hidp_bench::LEADER;
-use hidp_core::evaluate_stream;
 use hidp_platform::presets;
-use hidp_workloads::{mixes, InferenceRequest};
+use hidp_workloads::mixes;
 
 fn bench_mixes(c: &mut Criterion) {
     let cluster = presets::paper_cluster();
-    let mix = &mixes::all_mixes()[1];
-    let requests = InferenceRequest::to_stream(&mix.requests(0.5, 8));
+    let scenario = mixes::all_mixes()[1].scenario(0.5, 8);
     let mut group = c.benchmark_group("fig7_mixes");
     group.sample_size(10);
     for strategy in paper_strategies() {
@@ -19,7 +17,8 @@ fn bench_mixes(c: &mut Criterion) {
             &strategy,
             |b, strategy| {
                 b.iter(|| {
-                    evaluate_stream(strategy.as_ref(), &requests, &cluster, LEADER)
+                    scenario
+                        .run(strategy.as_ref(), &cluster, LEADER)
                         .expect("stream evaluation")
                 })
             },

@@ -3,21 +3,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidp_bench::LEADER;
-use hidp_core::{evaluate, HidpStrategy};
+use hidp_core::{HidpStrategy, Scenario};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_platform::presets;
 
 fn bench_scaling(c: &mut Criterion) {
     let full = presets::paper_cluster();
-    let graph = WorkloadModel::InceptionV3.graph(1);
+    let scenario = Scenario::single(WorkloadModel::InceptionV3.graph(1));
     let strategy = HidpStrategy::new();
     let mut group = c.benchmark_group("fig8_scaling");
     group.sample_size(10);
     for nodes in 2..=full.len() {
         let cluster = full.take(nodes).expect("valid subset");
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &cluster, |b, cluster| {
-            b.iter(|| evaluate(&strategy, &graph, cluster, LEADER).expect("evaluation"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &cluster,
+            |b, cluster| {
+                b.iter(|| {
+                    scenario
+                        .run(&strategy, cluster, LEADER)
+                        .expect("evaluation")
+                })
+            },
+        );
     }
     group.finish();
 }

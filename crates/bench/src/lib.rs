@@ -15,17 +15,15 @@
 
 use hidp_baselines::paper_strategies;
 use hidp_core::{
-    chain_segments, evaluate, evaluate_stream, workload_summary, DistributedStrategy, DseAgent,
-    DsePolicy, GlobalPartitioner, HidpStrategy, LocalPartitioner, SystemModel,
+    chain_segments, workload_summary, DseAgent, DsePolicy, GlobalPartitioner, HidpStrategy,
+    LocalPartitioner, Scenario, SystemModel,
 };
-use hidp_dnn::exec::{
-    execute, execute_data_partition_batch, execute_model_partition, WeightStore,
-};
+use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
 use hidp_dnn::partition::partition_into_blocks;
 use hidp_dnn::zoo::{self, WorkloadModel};
 use hidp_platform::{presets, Cluster, NodeIndex, ProcessorAddr};
 use hidp_sim::stats::performance_timeline;
-use hidp_sim::{simulate, ExecutionPlan};
+use hidp_sim::ExecutionPlan;
 use hidp_tensor::Tensor;
 use hidp_workloads::{dynamic_scenario, mixes, InferenceRequest};
 use serde::{Deserialize, Serialize};
@@ -88,7 +86,11 @@ impl ExperimentTable {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("### {} [{}]\n\n", self.title, self.unit));
-        out.push_str(&format!("| {} | {} |\n", "workload", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            "workload",
+            self.columns.join(" | ")
+        ));
         out.push_str(&format!("|---|{}\n", "---|".repeat(self.columns.len())));
         for (label, values) in &self.rows {
             let cells: Vec<String> = values.iter().map(|v| format_value(*v)).collect();
@@ -112,7 +114,10 @@ fn format_value(v: f64) -> String {
 
 /// The strategy names in the order the paper's figures list them.
 pub fn strategy_names() -> Vec<String> {
-    paper_strategies().iter().map(|s| s.name().to_string()).collect()
+    paper_strategies()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -135,22 +140,62 @@ pub struct PartitioningConfig {
 /// no data partitioning); the others combine 2 or 4 data partitions with
 /// 90/10, 80/20 and 50/50 GPU/CPU splits.
 pub const FIG1_CONFIGS: [PartitioningConfig; 9] = [
-    PartitioningConfig { name: "P1", partitions: 1, gpu_share: 1.0 },
-    PartitioningConfig { name: "P2", partitions: 2, gpu_share: 1.0 },
-    PartitioningConfig { name: "P3", partitions: 2, gpu_share: 0.9 },
-    PartitioningConfig { name: "P4", partitions: 2, gpu_share: 0.8 },
-    PartitioningConfig { name: "P5", partitions: 2, gpu_share: 0.5 },
-    PartitioningConfig { name: "P6", partitions: 4, gpu_share: 0.9 },
-    PartitioningConfig { name: "P7", partitions: 4, gpu_share: 0.8 },
-    PartitioningConfig { name: "P8", partitions: 4, gpu_share: 0.65 },
-    PartitioningConfig { name: "P9", partitions: 4, gpu_share: 0.5 },
+    PartitioningConfig {
+        name: "P1",
+        partitions: 1,
+        gpu_share: 1.0,
+    },
+    PartitioningConfig {
+        name: "P2",
+        partitions: 2,
+        gpu_share: 1.0,
+    },
+    PartitioningConfig {
+        name: "P3",
+        partitions: 2,
+        gpu_share: 0.9,
+    },
+    PartitioningConfig {
+        name: "P4",
+        partitions: 2,
+        gpu_share: 0.8,
+    },
+    PartitioningConfig {
+        name: "P5",
+        partitions: 2,
+        gpu_share: 0.5,
+    },
+    PartitioningConfig {
+        name: "P6",
+        partitions: 4,
+        gpu_share: 0.9,
+    },
+    PartitioningConfig {
+        name: "P7",
+        partitions: 4,
+        gpu_share: 0.8,
+    },
+    PartitioningConfig {
+        name: "P8",
+        partitions: 4,
+        gpu_share: 0.65,
+    },
+    PartitioningConfig {
+        name: "P9",
+        partitions: 4,
+        gpu_share: 0.5,
+    },
 ];
 
 /// Builds the single-node execution plan for one Fig. 1 configuration: the
 /// GPU processes `gpu_share` of the flops, the CPU clusters share the rest
 /// proportionally to their rates, and every additional data partition adds
 /// one halo-synchronisation round.
-pub fn fig1_plan(model: WorkloadModel, config: PartitioningConfig, cluster: &Cluster) -> ExecutionPlan {
+pub fn fig1_plan(
+    model: WorkloadModel,
+    config: PartitioningConfig,
+    cluster: &Cluster,
+) -> ExecutionPlan {
     let graph = model.graph(1);
     let node = NodeIndex(0);
     let device = &cluster.nodes()[node.0];
@@ -165,7 +210,10 @@ pub fn fig1_plan(model: WorkloadModel, config: PartitioningConfig, cluster: &Clu
     let gpu_flops = (workload.flops as f64 * config.gpu_share) as u64 + sync_flops;
     let mut tasks = vec![plan.add_compute(
         format!("{}-gpu", config.name),
-        ProcessorAddr { node, processor: gpu },
+        ProcessorAddr {
+            node,
+            processor: gpu,
+        },
         gpu_flops,
         system.gpu_affinity,
         &[],
@@ -181,7 +229,11 @@ pub fn fig1_plan(model: WorkloadModel, config: PartitioningConfig, cluster: &Clu
                 .partial_cmp(&device.processors[a.0].computation_rate(system.gpu_affinity))
                 .expect("finite rates")
         });
-        let active_cpus = if config.partitions >= 4 { cpus.len() } else { 1.min(cpus.len()) };
+        let active_cpus = if config.partitions >= 4 {
+            cpus.len()
+        } else {
+            1.min(cpus.len())
+        };
         let selected = &cpus[..active_cpus];
         let total_rate: f64 = selected
             .iter()
@@ -189,11 +241,13 @@ pub fn fig1_plan(model: WorkloadModel, config: PartitioningConfig, cluster: &Clu
             .sum();
         for idx in selected {
             let rate = device.processors[idx.0].computation_rate(system.gpu_affinity);
-            let flops =
-                (workload.flops as f64 * cpu_share * rate / total_rate) as u64 + sync_flops;
+            let flops = (workload.flops as f64 * cpu_share * rate / total_rate) as u64 + sync_flops;
             tasks.push(plan.add_compute(
                 format!("{}-{}", config.name, device.processors[idx.0].name),
-                ProcessorAddr { node, processor: *idx },
+                ProcessorAddr {
+                    node,
+                    processor: *idx,
+                },
                 flops,
                 system.gpu_affinity,
                 &[],
@@ -230,7 +284,7 @@ pub fn fig1_partitioning_configs() -> ExperimentTable {
             .iter()
             .map(|config| {
                 let plan = fig1_plan(model, *config, &cluster);
-                simulate(&plan, &cluster)
+                Scenario::run_plans(config.name, model.name(), vec![(0.0, plan)], &cluster)
                     .expect("fig1 plans are valid")
                     .makespan
             })
@@ -248,37 +302,37 @@ pub fn fig1_partitioning_configs() -> ExperimentTable {
 /// Fig. 5(a): inference latency (ms) of each DNN workload under HiDP,
 /// DisNet, OmniBoost and MoDNN on the five-device cluster.
 pub fn fig5_latency() -> ExperimentTable {
-    fig5_metric("Fig. 5(a): inference latency", "ms", |strategy, graph, cluster| {
-        evaluate(strategy, graph, cluster, LEADER)
-            .expect("evaluation succeeds")
-            .latency
-            * 1e3
+    fig5_metric("Fig. 5(a): inference latency", "ms", |evaluation| {
+        evaluation.latency() * 1e3
     })
 }
 
 /// Fig. 5(b): energy per inference (J) of each DNN workload under HiDP,
 /// DisNet, OmniBoost and MoDNN.
 pub fn fig5_energy() -> ExperimentTable {
-    fig5_metric("Fig. 5(b): energy per inference", "J", |strategy, graph, cluster| {
-        evaluate(strategy, graph, cluster, LEADER)
-            .expect("evaluation succeeds")
-            .total_energy
+    fig5_metric("Fig. 5(b): energy per inference", "J", |evaluation| {
+        evaluation.total_energy
     })
 }
 
 fn fig5_metric(
     title: &str,
     unit: &str,
-    metric: impl Fn(&dyn DistributedStrategy, &hidp_dnn::DnnGraph, &Cluster) -> f64,
+    metric: impl Fn(&hidp_core::Evaluation) -> f64,
 ) -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
     let mut table = ExperimentTable::new(title, unit, strategy_names());
     for model in WorkloadModel::ALL {
-        let graph = model.graph(1);
+        let scenario = Scenario::single(model.graph(1));
         let values: Vec<f64> = strategies
             .iter()
-            .map(|s| metric(s.as_ref(), &graph, &cluster))
+            .map(|s| {
+                let evaluation = scenario
+                    .run(s.as_ref(), &cluster, LEADER)
+                    .expect("evaluation succeeds");
+                metric(&evaluation)
+            })
             .collect();
         table.push_row(model.name(), values);
     }
@@ -295,19 +349,23 @@ fn fig5_metric(
 pub fn fig6_dynamic_performance() -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
-    let requests = InferenceRequest::to_stream(&dynamic_scenario());
+    let scenario = InferenceRequest::to_scenario(&dynamic_scenario()).with_label("dynamic");
     let bin = 0.5f64;
 
     // First pass: find the longest makespan so all rows share columns.
     let evals: Vec<_> = strategies
         .iter()
         .map(|s| {
-            evaluate_stream(s.as_ref(), &requests, &cluster, LEADER).expect("stream evaluation succeeds")
+            scenario
+                .run(s.as_ref(), &cluster, LEADER)
+                .expect("stream evaluation succeeds")
         })
         .collect();
     let max_makespan = evals.iter().map(|e| e.makespan).fold(0.0, f64::max);
     let bins = (max_makespan / bin).ceil() as usize;
-    let mut columns: Vec<String> = (0..bins).map(|i| format!("t={:.1}s", i as f64 * bin)).collect();
+    let mut columns: Vec<String> = (0..bins)
+        .map(|i| format!("t={:.1}s", i as f64 * bin))
+        .collect();
     columns.push("completion_s".to_string());
 
     let mut table = ExperimentTable::new(
@@ -345,11 +403,12 @@ pub fn fig7_mix_throughput() -> ExperimentTable {
         // (as the paper's continuous stream does), so throughput reflects the
         // service rate rather than the arrival rate; it extrapolates to a
         // 100 s window.
-        let requests = InferenceRequest::to_stream(&mix.requests(0.15, 16));
+        let scenario = mix.scenario(0.15, 16);
         let values: Vec<f64> = strategies
             .iter()
             .map(|s| {
-                evaluate_stream(s.as_ref(), &requests, &cluster, LEADER)
+                scenario
+                    .run(s.as_ref(), &cluster, LEADER)
                     .expect("stream evaluation succeeds")
                     .throughput(100.0)
             })
@@ -380,10 +439,10 @@ pub fn fig8_node_scaling() -> ExperimentTable {
             .map(|s| {
                 let mut total = 0.0;
                 for model in WorkloadModel::ALL {
-                    let graph = model.graph(1);
-                    total += evaluate(s.as_ref(), &graph, &cluster, LEADER)
+                    total += Scenario::single(model.graph(1))
+                        .run(s.as_ref(), &cluster, LEADER)
                         .expect("evaluation succeeds")
-                        .latency;
+                        .latency();
                 }
                 total / WorkloadModel::ALL.len() as f64 * 1e3
             })
@@ -436,7 +495,10 @@ pub fn accuracy_equivalence() -> ExperimentTable {
         let data_diff = whole.max_abs_diff(&batched).expect("same shape") as f64;
         let agree = whole.argmax_rows().expect("rank 2") == piped.argmax_rows().expect("rank 2")
             && whole.argmax_rows().expect("rank 2") == batched.argmax_rows().expect("rank 2");
-        table.push_row(name, vec![model_diff, data_diff, if agree { 1.0 } else { 0.0 }]);
+        table.push_row(
+            name,
+            vec![model_diff, data_diff, if agree { 1.0 } else { 0.0 }],
+        );
     }
     table
 }
@@ -452,7 +514,11 @@ pub fn dse_overhead() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "DSE overhead: DP exploration time per request",
         "ms",
-        vec!["global_ms".to_string(), "local_ms".to_string(), "total_ms".to_string()],
+        vec![
+            "global_ms".to_string(),
+            "local_ms".to_string(),
+            "total_ms".to_string(),
+        ],
     );
     for model in WorkloadModel::ALL {
         let graph = model.graph(1);
@@ -483,7 +549,10 @@ pub fn dse_overhead() -> ExperimentTable {
             .expect("local exploration succeeds");
         let local_ms = start.elapsed().as_secs_f64() * 1e3;
         let _ = decision;
-        table.push_row(model.name(), vec![global_ms, local_ms, global_ms + local_ms]);
+        table.push_row(
+            model.name(),
+            vec![global_ms, local_ms, global_ms + local_ms],
+        );
     }
     table
 }
@@ -498,7 +567,10 @@ pub fn dse_overhead() -> ExperimentTable {
 pub fn ablation_variants() -> Vec<(String, HidpStrategy)> {
     vec![
         ("HiDP (full)".to_string(), HidpStrategy::new()),
-        ("no local tier".to_string(), HidpStrategy::without_local_tier()),
+        (
+            "no local tier".to_string(),
+            HidpStrategy::without_local_tier(),
+        ),
         (
             "model-only".to_string(),
             HidpStrategy {
@@ -532,13 +604,14 @@ pub fn ablation() -> ExperimentTable {
         variants.iter().map(|(name, _)| name.clone()).collect(),
     );
     for model in WorkloadModel::ALL {
-        let graph = model.graph(1);
+        let scenario = Scenario::single(model.graph(1));
         let values: Vec<f64> = variants
             .iter()
             .map(|(_, strategy)| {
-                evaluate(strategy, &graph, &cluster, LEADER)
+                scenario
+                    .run(strategy, &cluster, LEADER)
                     .expect("evaluation succeeds")
-                    .latency
+                    .latency()
                     * 1e3
             })
             .collect();
@@ -580,9 +653,63 @@ pub fn table2_platform() -> ExperimentTable {
 }
 
 /// Serialises a set of tables as a JSON document (used to regenerate
-/// EXPERIMENTS.md).
+/// EXPERIMENTS.md). Hand-rolled: the table shape is fixed and the build
+/// environment has no serde_json, so the emitter lives here.
 pub fn tables_to_json(tables: &[ExperimentTable]) -> String {
-    serde_json::to_string_pretty(tables).expect("tables serialise")
+    fn json_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    fn json_number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            // JSON has no NaN/Inf; null is the conventional stand-in.
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("[\n");
+    for (t_idx, table) in tables.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"title\": {},\n", json_string(&table.title)));
+        out.push_str(&format!("    \"unit\": {},\n", json_string(&table.unit)));
+        let columns: Vec<String> = table.columns.iter().map(|c| json_string(c)).collect();
+        out.push_str(&format!("    \"columns\": [{}],\n", columns.join(", ")));
+        out.push_str("    \"rows\": [\n");
+        for (r_idx, (label, values)) in table.rows.iter().enumerate() {
+            let cells: Vec<String> = values.iter().map(|v| json_number(*v)).collect();
+            out.push_str(&format!(
+                "      [{}, [{}]]{}\n",
+                json_string(label),
+                cells.join(", "),
+                if r_idx + 1 < table.rows.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str(&format!(
+            "  }}{}\n",
+            if t_idx + 1 < tables.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -673,7 +800,10 @@ mod tests {
         for (model, values) in &table.rows {
             let full = values[0];
             for v in &values[1..] {
-                assert!(full <= v * 1.01, "{model}: full HiDP slower than an ablation");
+                assert!(
+                    full <= v * 1.01,
+                    "{model}: full HiDP slower than an ablation"
+                );
             }
         }
     }

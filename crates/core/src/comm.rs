@@ -135,8 +135,7 @@ impl CommEndpoint {
 
 /// Creates one connected endpoint per node of an `n`-node cluster.
 pub fn build_endpoints(n: usize) -> Vec<CommEndpoint> {
-    let channels: Vec<(Sender<Message>, Receiver<Message>)> =
-        (0..n).map(|_| unbounded()).collect();
+    let channels: Vec<(Sender<Message>, Receiver<Message>)> = (0..n).map(|_| unbounded()).collect();
     let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
     channels
         .into_iter()
@@ -159,7 +158,9 @@ mod tests {
         endpoints[0]
             .send(NodeIndex(2), Message::StatusRequest { request_id: 7 })
             .unwrap();
-        let msg = endpoints[2].recv_timeout(Duration::from_millis(100)).unwrap();
+        let msg = endpoints[2]
+            .recv_timeout(Duration::from_millis(100))
+            .unwrap();
         assert_eq!(msg, Message::StatusRequest { request_id: 7 });
         assert_eq!(endpoints[0].cluster_size(), 3);
         assert_eq!(endpoints[1].node(), NodeIndex(1));
@@ -169,10 +170,16 @@ mod tests {
     fn broadcast_skips_the_sender() {
         let endpoints = build_endpoints(3);
         endpoints[1].broadcast(Message::Shutdown).unwrap();
-        assert!(endpoints[0].recv_timeout(Duration::from_millis(100)).is_ok());
-        assert!(endpoints[2].recv_timeout(Duration::from_millis(100)).is_ok());
+        assert!(endpoints[0]
+            .recv_timeout(Duration::from_millis(100))
+            .is_ok());
+        assert!(endpoints[2]
+            .recv_timeout(Duration::from_millis(100))
+            .is_ok());
         // The sender's own mailbox stays empty.
-        assert!(endpoints[1].recv_timeout(Duration::from_millis(20)).is_err());
+        assert!(endpoints[1]
+            .recv_timeout(Duration::from_millis(20))
+            .is_err());
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub fn model_partition_search(
             what: "model partition search needs at least one resource".into(),
         });
     }
-    if resources.iter().any(|r| !(r.rate > 0.0)) {
+    if resources.iter().any(|r| r.rate <= 0.0 || r.rate.is_nan()) {
         return Err(CoreError::Infeasible {
             what: "all resources must have a positive computation rate".into(),
         });
@@ -155,12 +155,7 @@ pub fn model_partition_search(
         for i in 1..=n {
             for k in 0..i {
                 // Block covers segments k..i-1 (inclusive), runs on resource j-1.
-                let mut best_prev = f64::INFINITY;
-                for jp in 0..j {
-                    if dp[k][jp] < best_prev {
-                        best_prev = dp[k][jp];
-                    }
-                }
+                let best_prev = dp[k][..j].iter().copied().fold(f64::INFINITY, f64::min);
                 if !best_prev.is_finite() {
                     continue;
                 }
@@ -188,9 +183,9 @@ pub fn model_partition_search(
 
     // Best over the number of resources actually used.
     let (mut best_j, mut best_latency) = (0usize, f64::INFINITY);
-    for j in 1..=m {
-        if dp[n][j] < best_latency {
-            best_latency = dp[n][j];
+    for (j, &latency) in dp[n].iter().enumerate().take(m + 1).skip(1) {
+        if latency < best_latency {
+            best_latency = latency;
             best_j = j;
         }
     }
@@ -212,9 +207,9 @@ pub fn model_partition_search(
         // Find which jp produced best_prev for dp[k][..j].
         let mut best_jp = 0usize;
         let mut best_val = f64::INFINITY;
-        for jp in 0..j {
-            if dp[k][jp] < best_val {
-                best_val = dp[k][jp];
+        for (jp, &val) in dp[k].iter().enumerate().take(j) {
+            if val < best_val {
+                best_val = val;
                 best_jp = jp;
             }
         }
@@ -251,7 +246,7 @@ pub fn data_partition_search(
             what: "data partition search needs at least one resource".into(),
         });
     }
-    if resources.iter().any(|r| !(r.rate > 0.0)) {
+    if resources.iter().any(|r| r.rate <= 0.0 || r.rate.is_nan()) {
         return Err(CoreError::Infeasible {
             what: "all resources must have a positive computation rate".into(),
         });

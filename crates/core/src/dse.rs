@@ -151,10 +151,7 @@ mod tests {
         // Lots of compute, cheap sync: data partitioning across two equal
         // nodes halves the compute time.
         let agent = DseAgent::new();
-        let res = vec![
-            resource(0, 1e9, f64::INFINITY),
-            resource(1, 1e9, 80e6),
-        ];
+        let res = vec![resource(0, 1e9, f64::INFINITY), resource(1, 1e9, 80e6)];
         let workload = WorkloadSummary {
             input_bytes: 600_000,
             output_bytes: 4_000,
@@ -174,10 +171,7 @@ mod tests {
         // Small activations but enormous halo traffic make data partitioning
         // unattractive; model mode (single block on the fastest node) wins.
         let agent = DseAgent::new();
-        let res = vec![
-            resource(0, 2e9, f64::INFINITY),
-            resource(1, 1e9, 10e6),
-        ];
+        let res = vec![resource(0, 2e9, f64::INFINITY), resource(1, 1e9, 10e6)];
         let workload = WorkloadSummary {
             input_bytes: 100_000,
             output_bytes: 4_000,
@@ -192,10 +186,7 @@ mod tests {
 
     #[test]
     fn forced_policies_restrict_the_mode() {
-        let res = vec![
-            resource(0, 1e9, f64::INFINITY),
-            resource(1, 1e9, 80e6),
-        ];
+        let res = vec![resource(0, 1e9, f64::INFINITY), resource(1, 1e9, 80e6)];
         let workload = WorkloadSummary {
             input_bytes: 600_000,
             output_bytes: 4_000,

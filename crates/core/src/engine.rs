@@ -127,8 +127,14 @@ impl HidpStrategy {
                         share.input_bytes,
                         &[],
                     );
-                    let computes =
-                        add_local_computes(&mut exec, cluster, share.node, local, &[input], gpu_affinity);
+                    let computes = add_local_computes(
+                        &mut exec,
+                        cluster,
+                        share.node,
+                        local,
+                        &[input],
+                        gpu_affinity,
+                    );
                     let back = exec.add_transfer(
                         format!("gather<-{}", node_name(cluster, share.node)),
                         share.node,
@@ -162,8 +168,14 @@ impl HidpStrategy {
                         share.input_bytes,
                         &prev_tasks,
                     );
-                    let computes =
-                        add_local_computes(&mut exec, cluster, share.node, local, &[input], gpu_affinity);
+                    let computes = add_local_computes(
+                        &mut exec,
+                        cluster,
+                        share.node,
+                        local,
+                        &[input],
+                        gpu_affinity,
+                    );
                     prev_tasks = computes;
                     prev_node = share.node;
                 }
@@ -262,7 +274,7 @@ impl DistributedStrategy for HidpStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::evaluate;
+    use crate::Scenario;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
     use hidp_sim::simulate;
@@ -288,7 +300,9 @@ mod tests {
         let cluster = presets::paper_cluster();
         let strategy = HidpStrategy::new();
         let graph = WorkloadModel::ResNet152.graph(1);
-        let plan = strategy.hierarchical_plan(&graph, &cluster, NodeIndex(0)).unwrap();
+        let plan = strategy
+            .hierarchical_plan(&graph, &cluster, NodeIndex(0))
+            .unwrap();
         assert_eq!(plan.global.shares.len(), plan.locals.len());
         for (share, local) in plan.global.shares.iter().zip(plan.locals.iter()) {
             assert_eq!(share.node, local.node);
@@ -303,13 +317,17 @@ mod tests {
         let ablated = HidpStrategy::without_local_tier();
         for model in WorkloadModel::ALL {
             let graph = model.graph(1);
-            let full = evaluate(&hidp, &graph, &cluster, NodeIndex(0)).unwrap();
-            let global_only = evaluate(&ablated, &graph, &cluster, NodeIndex(0)).unwrap();
+            let full = Scenario::single(graph.clone())
+                .run(&hidp, &cluster, NodeIndex(0))
+                .unwrap();
+            let global_only = Scenario::single(graph)
+                .run(&ablated, &cluster, NodeIndex(0))
+                .unwrap();
             assert!(
-                full.latency <= global_only.latency * 1.02,
+                full.latency() <= global_only.latency() * 1.02,
                 "{model}: HiDP {:.3}s vs global-only {:.3}s",
-                full.latency,
-                global_only.latency
+                full.latency(),
+                global_only.latency()
             );
         }
     }
@@ -317,7 +335,10 @@ mod tests {
     #[test]
     fn strategy_names_distinguish_variants() {
         assert_eq!(HidpStrategy::new().name(), "HiDP");
-        assert_eq!(HidpStrategy::without_local_tier().name(), "HiDP-global-only");
+        assert_eq!(
+            HidpStrategy::without_local_tier().name(),
+            "HiDP-global-only"
+        );
     }
 
     #[test]
@@ -326,8 +347,10 @@ mod tests {
         let strategy = HidpStrategy::new();
         let graph = WorkloadModel::InceptionV3.graph(1);
         for leader in 0..cluster.len() {
-            let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(leader)).unwrap();
-            assert!(eval.latency > 0.0, "leader {leader}");
+            let eval = Scenario::single(graph.clone())
+                .run(&strategy, &cluster, NodeIndex(leader))
+                .unwrap();
+            assert!(eval.latency() > 0.0, "leader {leader}");
         }
     }
 
@@ -336,7 +359,9 @@ mod tests {
         let cluster = presets::tx2_only();
         let strategy = HidpStrategy::new();
         let graph = WorkloadModel::Vgg19.graph(1);
-        let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(0)).unwrap();
-        assert!(eval.latency > 0.0);
+        let eval = Scenario::single(graph)
+            .run(&strategy, &cluster, NodeIndex(0))
+            .unwrap();
+        assert!(eval.latency() > 0.0);
     }
 }

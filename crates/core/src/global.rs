@@ -172,7 +172,9 @@ impl GlobalPartitioner {
         } else {
             self.max_parts.min(resources.len())
         };
-        let decision = self.dse.explore(&segments, &resources, workload, max_parts)?;
+        let decision = self
+            .dse
+            .explore(&segments, &resources, workload, max_parts)?;
 
         // Segment position → graph node position of each segment end.
         let mut seg_end_positions: Vec<usize> = graph.cut_points().iter().map(|id| id.0).collect();
@@ -198,7 +200,10 @@ impl GlobalPartitioner {
                         seg_end_positions[first_segment - 1] + 1
                     };
                     let last = seg_end_positions[seg_end];
-                    let flops: u64 = segments[first_segment..=seg_end].iter().map(|s| s.flops).sum();
+                    let flops: u64 = segments[first_segment..=seg_end]
+                        .iter()
+                        .map(|s| s.flops)
+                        .sum();
                     let input_bytes = if block_idx == 0 {
                         workload.input_bytes
                     } else {

@@ -17,20 +17,21 @@
 //! * the **collaborative cluster runtime** (leader/follower message passing)
 //!   in [`runtime`];
 //! * the [`HidpStrategy`] that composes all of the above into executable
-//!   cluster plans, plus the [`DistributedStrategy`] trait and evaluation
-//!   helpers shared with the baselines.
+//!   cluster plans, plus the [`DistributedStrategy`] trait shared with the
+//!   baselines and the [`Scenario`] pipeline that plans a workload and
+//!   simulates it on a cluster in one call.
 //!
 //! ```
-//! use hidp_core::{evaluate, DistributedStrategy, HidpStrategy};
+//! use hidp_core::{DistributedStrategy, HidpStrategy, Scenario};
 //! use hidp_dnn::zoo::WorkloadModel;
 //! use hidp_platform::{presets, NodeIndex};
 //!
 //! # fn main() -> Result<(), hidp_core::CoreError> {
 //! let cluster = presets::paper_cluster();
-//! let graph = WorkloadModel::EfficientNetB0.graph(1);
 //! let hidp = HidpStrategy::new();
-//! let result = evaluate(&hidp, &graph, &cluster, NodeIndex(0))?;
-//! println!("{}: {:.1} ms", hidp.name(), result.latency * 1e3);
+//! let result = Scenario::single(WorkloadModel::EfficientNetB0.graph(1))
+//!     .run(&hidp, &cluster, NodeIndex(0))?;
+//! println!("{}: {:.1} ms", hidp.name(), result.latency() * 1e3);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,6 +46,7 @@ mod error;
 mod global;
 mod local;
 pub mod runtime;
+mod scenario;
 pub mod scheduler;
 mod strategy;
 mod system_model;
@@ -52,9 +54,12 @@ mod system_model;
 pub use dse::{Decision, DseAgent, DsePolicy};
 pub use engine::{HidpStrategy, HierarchicalPlan};
 pub use error::CoreError;
-pub use global::{chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind};
+pub use global::{
+    chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind,
+};
 pub use local::{LocalAssignment, LocalPartitioner, LocalPolicy, LocalSplit};
-pub use strategy::{evaluate, evaluate_stream, DistributedStrategy, Evaluation, StreamEvaluation};
+pub use scenario::{Evaluation, Scenario};
+pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};
 
 /// Convenience alias for results produced by this crate.

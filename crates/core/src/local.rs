@@ -99,6 +99,9 @@ impl LocalPartitioner {
     ///
     /// Returns [`CoreError::Infeasible`] when the node does not exist or has
     /// no processors.
+    // The argument list mirrors the paper's local-DSE inputs (Eq. 6); a
+    // params struct would only rename the coupling.
+    #[allow(clippy::too_many_arguments)]
     pub fn partition(
         &self,
         system: &SystemModel,
@@ -236,7 +239,15 @@ mod tests {
         // A 20-GFLOP share on the TX2 with modest sync traffic: splitting
         // across CPU clusters + GPU beats GPU-only.
         let assignment = LocalPartitioner::hidp()
-            .partition(&sys, &cluster, NodeIndex(1), 20_000_000_000, 600_000, 4_000, 200_000)
+            .partition(
+                &sys,
+                &cluster,
+                NodeIndex(1),
+                20_000_000_000,
+                600_000,
+                4_000,
+                200_000,
+            )
             .unwrap();
         assert!(assignment.parallelism() > 1);
         assert_eq!(assignment.mode, PartitionMode::Data);
@@ -251,7 +262,15 @@ mod tests {
         let cluster = presets::paper_cluster();
         let sys = system(WorkloadModel::Vgg19);
         let assignment = LocalPartitioner::gpu_only()
-            .partition(&sys, &cluster, NodeIndex(1), 39_000_000_000, 600_000, 4_000, 0)
+            .partition(
+                &sys,
+                &cluster,
+                NodeIndex(1),
+                39_000_000_000,
+                600_000,
+                4_000,
+                0,
+            )
             .unwrap();
         assert_eq!(assignment.parallelism(), 1);
         let gpu = cluster.nodes()[1].gpu_index().unwrap();
@@ -266,7 +285,15 @@ mod tests {
             let flops = model.graph(1).total_flops();
             for node in 0..cluster.len() {
                 let aware = LocalPartitioner::hidp()
-                    .partition(&sys, &cluster, NodeIndex(node), flops, 600_000, 4_000, 300_000)
+                    .partition(
+                        &sys,
+                        &cluster,
+                        NodeIndex(node),
+                        flops,
+                        600_000,
+                        4_000,
+                        300_000,
+                    )
                     .unwrap();
                 let gpu = LocalPartitioner::gpu_only()
                     .partition(&sys, &cluster, NodeIndex(node), flops, 600_000, 4_000, 0)
@@ -289,14 +316,32 @@ mod tests {
         let best = LocalPartitioner {
             policy: LocalPolicy::BestSingle,
         }
-        .partition(&sys, &cluster, NodeIndex(4), 1_000_000_000, 600_000, 4_000, 0)
+        .partition(
+            &sys,
+            &cluster,
+            NodeIndex(4),
+            1_000_000_000,
+            600_000,
+            4_000,
+            0,
+        )
         .unwrap();
         let gpu = LocalPartitioner::gpu_only()
-            .partition(&sys, &cluster, NodeIndex(4), 1_000_000_000, 600_000, 4_000, 0)
+            .partition(
+                &sys,
+                &cluster,
+                NodeIndex(4),
+                1_000_000_000,
+                600_000,
+                4_000,
+                0,
+            )
             .unwrap();
         assert!(best.estimated_latency < gpu.estimated_latency);
         let pi4 = &cluster.nodes()[4];
-        assert!(pi4.processors[best.splits[0].processor.processor.0].kind.is_cpu());
+        assert!(pi4.processors[best.splits[0].processor.processor.0]
+            .kind
+            .is_cpu());
     }
 
     #[test]
@@ -305,7 +350,15 @@ mod tests {
         let sys = system(WorkloadModel::EfficientNetB0);
         // 5 MFLOP with large sync traffic: splitting cannot pay off.
         let assignment = LocalPartitioner::hidp()
-            .partition(&sys, &cluster, NodeIndex(0), 5_000_000, 10_000, 4_000, 50_000_000)
+            .partition(
+                &sys,
+                &cluster,
+                NodeIndex(0),
+                5_000_000,
+                10_000,
+                4_000,
+                50_000_000,
+            )
             .unwrap();
         assert_eq!(assignment.parallelism(), 1);
     }

@@ -67,7 +67,11 @@ impl ClusterRuntime {
     ///
     /// Returns [`CoreError::Runtime`] when a follower thread fails or a
     /// message times out, and propagates planning errors.
-    pub fn run_request(&self, graph: &DnnGraph, leader: NodeIndex) -> Result<RequestOutcome, CoreError> {
+    pub fn run_request(
+        &self,
+        graph: &DnnGraph,
+        leader: NodeIndex,
+    ) -> Result<RequestOutcome, CoreError> {
         let n = self.cluster.len();
         self.cluster.node(leader)?;
         let mut endpoints = build_endpoints(n);
@@ -86,7 +90,9 @@ impl ClusterRuntime {
             let reports = Arc::clone(&reports);
             let timeout = self.recv_timeout;
             handles.push(thread::spawn(move || -> Result<(), CoreError> {
-                follower_loop(endpoint, cluster, local, system, leader_idx, reports, timeout)
+                follower_loop(
+                    endpoint, cluster, local, system, leader_idx, reports, timeout,
+                )
             }));
         }
 
@@ -124,12 +130,16 @@ impl ClusterRuntime {
         // Analyze: poll availability.
         endpoint
             .broadcast(Message::StatusRequest { request_id })
-            .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+            .map_err(|e| CoreError::Runtime {
+                what: e.to_string(),
+            })?;
         let mut availability = vec![false; self.cluster.len()];
         availability[leader.0] = true;
         for _ in 0..self.cluster.len() - 1 {
             match endpoint.recv_timeout(self.recv_timeout) {
-                Ok(Message::StatusReply { node, available, .. }) => {
+                Ok(Message::StatusReply {
+                    node, available, ..
+                }) => {
                     if let Some(slot) = availability.get_mut(node.0) {
                         *slot = available;
                     }
@@ -139,14 +149,22 @@ impl ClusterRuntime {
                         what: format!("unexpected message while collecting status: {other:?}"),
                     })
                 }
-                Err(e) => return Err(CoreError::Runtime { what: e.to_string() }),
+                Err(e) => {
+                    return Err(CoreError::Runtime {
+                        what: e.to_string(),
+                    })
+                }
             }
         }
-        fsm.handle(SchedulerEvent::RequestArrived).map_err(fsm_err)?;
+        fsm.handle(SchedulerEvent::RequestArrived)
+            .map_err(fsm_err)?;
 
         // Explore: global DSE.
-        let plan = self.strategy.hierarchical_plan(graph, &self.cluster, leader)?;
-        fsm.handle(SchedulerEvent::GlobalDecisionReady).map_err(fsm_err)?;
+        let plan = self
+            .strategy
+            .hierarchical_plan(graph, &self.cluster, leader)?;
+        fsm.handle(SchedulerEvent::GlobalDecisionReady)
+            .map_err(fsm_err)?;
 
         // Global offload: ship remote shares.
         let mut expected_reports = 0usize;
@@ -163,14 +181,19 @@ impl ClusterRuntime {
                         share: share.clone(),
                     },
                 )
-                .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                .map_err(|e| CoreError::Runtime {
+                    what: e.to_string(),
+                })?;
             expected_reports += 1;
         }
-        fsm.handle(SchedulerEvent::SharesDistributed).map_err(fsm_err)?;
+        fsm.handle(SchedulerEvent::SharesDistributed)
+            .map_err(fsm_err)?;
 
         // Local map + execute for the leader's own share (if any).
-        fsm.handle(SchedulerEvent::LocalDecisionReady).map_err(fsm_err)?;
-        fsm.handle(SchedulerEvent::ExecutionFinished).map_err(fsm_err)?;
+        fsm.handle(SchedulerEvent::LocalDecisionReady)
+            .map_err(fsm_err)?;
+        fsm.handle(SchedulerEvent::ExecutionFinished)
+            .map_err(fsm_err)?;
 
         // Collect follower results.
         for _ in 0..expected_reports {
@@ -183,7 +206,11 @@ impl ClusterRuntime {
                         what: format!("unexpected message while collecting results: {other:?}"),
                     })
                 }
-                Err(e) => return Err(CoreError::Runtime { what: e.to_string() }),
+                Err(e) => {
+                    return Err(CoreError::Runtime {
+                        what: e.to_string(),
+                    })
+                }
             }
         }
         fsm.handle(SchedulerEvent::ResultsMerged).map_err(fsm_err)?;
@@ -227,11 +254,17 @@ fn follower_loop(
                             available: cluster.is_available(endpoint.node()),
                         },
                     )
-                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                    .map_err(|e| CoreError::Runtime {
+                        what: e.to_string(),
+                    })?;
             }
-            Message::Offload { request_id, share, .. } => {
+            Message::Offload {
+                request_id, share, ..
+            } => {
                 fsm.handle(SchedulerEvent::ShareArrived)
-                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                    .map_err(|e| CoreError::Runtime {
+                        what: e.to_string(),
+                    })?;
                 let local_sync = match share.kind {
                     ShareKind::DataPart { .. } => share.sync_bytes / 4,
                     ShareKind::Block { .. } => share.input_bytes / 8,
@@ -246,9 +279,13 @@ fn follower_loop(
                     local_sync,
                 )?;
                 fsm.handle(SchedulerEvent::LocalDecisionReady)
-                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                    .map_err(|e| CoreError::Runtime {
+                        what: e.to_string(),
+                    })?;
                 fsm.handle(SchedulerEvent::ExecutionFinished)
-                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                    .map_err(|e| CoreError::Runtime {
+                        what: e.to_string(),
+                    })?;
                 reports.lock().insert(endpoint.node(), assignment.clone());
                 endpoint
                     .send(
@@ -259,7 +296,9 @@ fn follower_loop(
                             local: assignment,
                         },
                     )
-                    .map_err(|e| CoreError::Runtime { what: e.to_string() })?;
+                    .map_err(|e| CoreError::Runtime {
+                        what: e.to_string(),
+                    })?;
             }
             Message::Shutdown => return Ok(()),
             other => {

@@ -1,0 +1,278 @@
+//! The unified plan→simulate evaluation pipeline.
+//!
+//! Every experiment in the workspace — single-request latency/energy
+//! comparisons (Fig. 5, Fig. 8), the dynamic workload (Fig. 6), the workload
+//! mixes (Fig. 7) and hand-built plans (Fig. 1) — is the same three steps:
+//! describe a workload, plan it with a strategy, simulate the plans on a
+//! cluster. [`Scenario`] captures the workload description and [`Scenario::run`]
+//! executes the whole pipeline, so benches, integration tests and examples
+//! share one code path instead of re-implementing the plan/simulate/report
+//! glue per layer.
+//!
+//! ```
+//! use hidp_core::{HidpStrategy, Scenario};
+//! use hidp_dnn::zoo::WorkloadModel;
+//! use hidp_platform::{presets, NodeIndex};
+//!
+//! # fn main() -> Result<(), hidp_core::CoreError> {
+//! let cluster = presets::paper_cluster();
+//! let evaluation = Scenario::single(WorkloadModel::EfficientNetB0.graph(1))
+//!     .run(&HidpStrategy::new(), &cluster, NodeIndex(1))?;
+//! println!("HiDP latency: {:.1} ms", evaluation.latency() * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::strategy::DistributedStrategy;
+use crate::CoreError;
+use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, NodeIndex};
+use hidp_sim::{simulate_stream, ExecutionPlan, SimReport};
+use serde::{Deserialize, Serialize};
+
+/// A workload to evaluate: one or more inference requests with arrival
+/// times, plus a label used in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    label: String,
+    requests: Vec<(f64, DnnGraph)>,
+}
+
+impl Scenario {
+    /// A single inference request arriving at time zero; labelled with the
+    /// model name.
+    pub fn single(graph: DnnGraph) -> Self {
+        let label = graph.name().to_string();
+        Self {
+            label,
+            requests: vec![(0.0, graph)],
+        }
+    }
+
+    /// A stream of `(arrival_seconds, graph)` requests sharing the cluster.
+    pub fn stream(requests: Vec<(f64, DnnGraph)>) -> Self {
+        let label = match requests.as_slice() {
+            [(_, only)] => only.name().to_string(),
+            many => format!("stream[{}]", many.len()),
+        };
+        Self { label, requests }
+    }
+
+    /// Replaces the report label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The label used in evaluation reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The requests of this scenario as `(arrival, graph)` pairs.
+    pub fn requests(&self) -> &[(f64, DnnGraph)] {
+        &self.requests
+    }
+
+    /// Number of requests in the scenario.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the scenario has no requests (such a scenario cannot run).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Plans every request with `strategy` and simulates the plans on
+    /// `cluster`, with requests arriving at `leader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario is empty, when planning any
+    /// request fails, or when simulation fails.
+    pub fn run(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<Evaluation, CoreError> {
+        if self.requests.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!("scenario '{}' has no requests", self.label),
+            });
+        }
+        let mut planned = Vec::with_capacity(self.requests.len());
+        for (arrival, graph) in &self.requests {
+            planned.push((*arrival, strategy.plan(graph, cluster, leader)?));
+        }
+        Self::run_plans(strategy.name(), &self.label, planned, cluster)
+    }
+
+    /// Simulates already-built execution plans — the tail of the pipeline,
+    /// shared by [`Scenario::run`] and by experiments that construct plans
+    /// by hand (e.g. the Fig. 1 single-node configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `planned` is empty or simulation fails.
+    pub fn run_plans(
+        strategy: impl Into<String>,
+        scenario: impl Into<String>,
+        planned: Vec<(f64, ExecutionPlan)>,
+        cluster: &Cluster,
+    ) -> Result<Evaluation, CoreError> {
+        let scenario = scenario.into();
+        if planned.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!("scenario '{scenario}' has no plans to simulate"),
+            });
+        }
+        let report = simulate_stream(&planned, cluster)?;
+        let total_energy = report.total_energy(cluster)?;
+        let dynamic_energy = report.dynamic_energy(cluster)?;
+        Ok(Evaluation {
+            strategy: strategy.into(),
+            scenario,
+            latencies: report.latencies(),
+            makespan: report.makespan,
+            total_energy,
+            dynamic_energy,
+            report,
+        })
+    }
+}
+
+/// Metrics of one evaluated scenario (single request or stream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Strategy name.
+    pub strategy: String,
+    /// Scenario label (model name for single-request scenarios).
+    pub scenario: String,
+    /// Per-request latencies in seconds (request order).
+    pub latencies: Vec<f64>,
+    /// Completion time of the whole scenario in seconds.
+    pub makespan: f64,
+    /// Total cluster energy over the scenario window, in joules.
+    pub total_energy: f64,
+    /// Workload-attributable (dynamic) energy in joules.
+    pub dynamic_energy: f64,
+    /// The simulated report (timings of every task).
+    pub report: SimReport,
+}
+
+impl Evaluation {
+    /// End-to-end latency of the first request, in seconds — the headline
+    /// number for single-request scenarios.
+    pub fn latency(&self) -> f64 {
+        self.latencies.first().copied().unwrap_or(self.makespan)
+    }
+
+    /// Mean latency over all requests, in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return self.makespan;
+        }
+        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+    }
+
+    /// Completed inferences per `window_seconds` (the paper reports
+    /// inferences per 100 s).
+    pub fn throughput(&self, window_seconds: f64) -> f64 {
+        hidp_sim::stats::throughput_per_window(&self.report, window_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HidpStrategy;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    #[test]
+    fn single_scenario_produces_positive_metrics() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let eval = Scenario::single(WorkloadModel::EfficientNetB0.graph(1))
+            .run(&strategy, &cluster, NodeIndex(0))
+            .unwrap();
+        assert_eq!(eval.strategy, "HiDP");
+        assert_eq!(eval.scenario, "efficientnet_b0");
+        assert_eq!(eval.latencies.len(), 1);
+        assert!(eval.latency() > 0.0);
+        assert!(eval.total_energy > eval.dynamic_energy);
+        assert!(eval.dynamic_energy > 0.0);
+    }
+
+    #[test]
+    fn stream_scenario_reports_one_latency_per_request() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let scenario = Scenario::stream(vec![
+            (0.0, WorkloadModel::EfficientNetB0.graph(1)),
+            (0.5, WorkloadModel::InceptionV3.graph(1)),
+        ]);
+        assert_eq!(scenario.label(), "stream[2]");
+        assert_eq!(scenario.len(), 2);
+        let eval = scenario.run(&strategy, &cluster, NodeIndex(0)).unwrap();
+        assert_eq!(eval.latencies.len(), 2);
+        assert!(eval.makespan >= eval.latencies[0]);
+        assert!(eval.throughput(100.0) > 0.0);
+        assert!(eval.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn empty_scenario_is_rejected() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let empty = Scenario::stream(Vec::new());
+        assert!(empty.is_empty());
+        assert!(empty.run(&strategy, &cluster, NodeIndex(0)).is_err());
+        assert!(Scenario::run_plans("x", "y", Vec::new(), &cluster).is_err());
+    }
+
+    #[test]
+    fn single_and_one_element_stream_agree() {
+        // The pipeline must not distinguish a single request from a stream
+        // of one request arriving at t = 0.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let single = Scenario::single(WorkloadModel::ResNet152.graph(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let stream = Scenario::stream(vec![(0.0, WorkloadModel::ResNet152.graph(1))])
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(single.latencies, stream.latencies);
+        assert_eq!(single.makespan, stream.makespan);
+        assert_eq!(single.scenario, stream.scenario);
+    }
+
+    #[test]
+    fn labels_can_be_overridden() {
+        let scenario = Scenario::single(WorkloadModel::Vgg19.graph(1)).with_label("custom-label");
+        assert_eq!(scenario.label(), "custom-label");
+    }
+
+    #[test]
+    fn run_plans_matches_run_for_strategy_plans() {
+        // run() is exactly plan-each-request + run_plans().
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::InceptionV3.graph(1);
+        let via_run = Scenario::single(graph.clone())
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let plan =
+            crate::strategy::DistributedStrategy::plan(&strategy, &graph, &cluster, NodeIndex(1))
+                .unwrap();
+        let via_plans =
+            Scenario::run_plans("HiDP", graph.name(), vec![(0.0, plan)], &cluster).unwrap();
+        assert_eq!(via_run.latencies, via_plans.latencies);
+        // Energy sums over an unordered accounting map, so allow ULP noise.
+        assert!((via_run.total_energy - via_plans.total_energy).abs() < 1e-9);
+    }
+}

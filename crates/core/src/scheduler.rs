@@ -220,7 +220,9 @@ mod tests {
 
         let mut follower = SchedulerFsm::new(Role::Follower);
         assert!(follower.handle(SchedulerEvent::RequestArrived).is_err());
-        assert!(follower.handle(SchedulerEvent::GlobalDecisionReady).is_err());
+        assert!(follower
+            .handle(SchedulerEvent::GlobalDecisionReady)
+            .is_err());
     }
 
     #[test]

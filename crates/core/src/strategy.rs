@@ -1,19 +1,21 @@
-//! The common interface all distributed-inference strategies implement, plus
-//! evaluation helpers that run a strategy's plans through the cluster
-//! simulator and report the metrics the paper compares (latency, energy,
-//! throughput).
+//! The common interface all distributed-inference strategies implement.
+//!
+//! Evaluation (planning a workload and simulating it on a cluster) lives in
+//! [`crate::Scenario`] — strategies only turn one request into an
+//! [`ExecutionPlan`].
 
 use crate::CoreError;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex};
-use hidp_sim::{simulate, simulate_stream, ExecutionPlan, SimReport};
-use serde::{Deserialize, Serialize};
+use hidp_sim::ExecutionPlan;
 
 /// A distributed-inference strategy: a function from an inference request
 /// (DNN graph) and a cluster to a device-level [`ExecutionPlan`].
 ///
 /// HiDP implements this trait in [`crate::HidpStrategy`]; the baselines
 /// (MoDNN, OmniBoost, DisNet, GPU-only) implement it in `hidp-baselines`.
+/// To evaluate a strategy end to end, wrap the workload in a
+/// [`crate::Scenario`] and call [`crate::Scenario::run`].
 pub trait DistributedStrategy {
     /// Short display name used in experiment tables (e.g. `"HiDP"`).
     fn name(&self) -> &str;
@@ -30,149 +32,4 @@ pub trait DistributedStrategy {
         cluster: &Cluster,
         leader: NodeIndex,
     ) -> Result<ExecutionPlan, CoreError>;
-}
-
-/// Metrics of one simulated inference request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Evaluation {
-    /// Strategy name.
-    pub strategy: String,
-    /// Model name.
-    pub model: String,
-    /// End-to-end inference latency in seconds.
-    pub latency: f64,
-    /// Total cluster energy over the request window, in joules.
-    pub total_energy: f64,
-    /// Workload-attributable (dynamic) energy in joules.
-    pub dynamic_energy: f64,
-    /// The simulated report (timings of every task).
-    pub report: SimReport,
-}
-
-/// Metrics of a simulated request stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StreamEvaluation {
-    /// Strategy name.
-    pub strategy: String,
-    /// Per-request latencies in seconds (request order).
-    pub latencies: Vec<f64>,
-    /// Completion time of the whole stream in seconds.
-    pub makespan: f64,
-    /// Total cluster energy over the stream, in joules.
-    pub total_energy: f64,
-    /// Workload-attributable energy in joules.
-    pub dynamic_energy: f64,
-    /// The simulated report.
-    pub report: SimReport,
-}
-
-impl StreamEvaluation {
-    /// Completed inferences per `window_seconds` (the paper reports
-    /// inferences per 100 s).
-    pub fn throughput(&self, window_seconds: f64) -> f64 {
-        hidp_sim::stats::throughput_per_window(&self.report, window_seconds)
-    }
-}
-
-/// Plans and simulates a single inference request.
-///
-/// # Errors
-///
-/// Propagates planning and simulation failures.
-pub fn evaluate(
-    strategy: &dyn DistributedStrategy,
-    graph: &DnnGraph,
-    cluster: &Cluster,
-    leader: NodeIndex,
-) -> Result<Evaluation, CoreError> {
-    let plan = strategy.plan(graph, cluster, leader)?;
-    let report = simulate(&plan, cluster)?;
-    let latency = report.latency(0).unwrap_or(report.makespan);
-    let total_energy = report.total_energy(cluster)?;
-    let dynamic_energy = report.dynamic_energy(cluster)?;
-    Ok(Evaluation {
-        strategy: strategy.name().to_string(),
-        model: graph.name().to_string(),
-        latency,
-        total_energy,
-        dynamic_energy,
-        report,
-    })
-}
-
-/// Plans and simulates a stream of requests `(arrival_seconds, graph)` that
-/// share the cluster.
-///
-/// # Errors
-///
-/// Propagates planning and simulation failures; the request list must not be
-/// empty.
-pub fn evaluate_stream(
-    strategy: &dyn DistributedStrategy,
-    requests: &[(f64, DnnGraph)],
-    cluster: &Cluster,
-    leader: NodeIndex,
-) -> Result<StreamEvaluation, CoreError> {
-    if requests.is_empty() {
-        return Err(CoreError::Infeasible {
-            what: "request stream is empty".into(),
-        });
-    }
-    let mut planned = Vec::with_capacity(requests.len());
-    for (arrival, graph) in requests {
-        planned.push((*arrival, strategy.plan(graph, cluster, leader)?));
-    }
-    let report = simulate_stream(&planned, cluster)?;
-    let total_energy = report.total_energy(cluster)?;
-    let dynamic_energy = report.dynamic_energy(cluster)?;
-    Ok(StreamEvaluation {
-        strategy: strategy.name().to_string(),
-        latencies: report.latencies(),
-        makespan: report.makespan,
-        total_energy,
-        dynamic_energy,
-        report,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::HidpStrategy;
-    use hidp_dnn::zoo::WorkloadModel;
-    use hidp_platform::presets;
-
-    #[test]
-    fn evaluate_produces_positive_metrics() {
-        let cluster = presets::paper_cluster();
-        let strategy = HidpStrategy::new();
-        let graph = WorkloadModel::EfficientNetB0.graph(1);
-        let eval = evaluate(&strategy, &graph, &cluster, NodeIndex(0)).unwrap();
-        assert_eq!(eval.strategy, "HiDP");
-        assert_eq!(eval.model, "efficientnet_b0");
-        assert!(eval.latency > 0.0);
-        assert!(eval.total_energy > eval.dynamic_energy);
-        assert!(eval.dynamic_energy > 0.0);
-    }
-
-    #[test]
-    fn evaluate_stream_reports_one_latency_per_request() {
-        let cluster = presets::paper_cluster();
-        let strategy = HidpStrategy::new();
-        let requests: Vec<(f64, _)> = vec![
-            (0.0, WorkloadModel::EfficientNetB0.graph(1)),
-            (0.5, WorkloadModel::InceptionV3.graph(1)),
-        ];
-        let eval = evaluate_stream(&strategy, &requests, &cluster, NodeIndex(0)).unwrap();
-        assert_eq!(eval.latencies.len(), 2);
-        assert!(eval.makespan >= eval.latencies[0]);
-        assert!(eval.throughput(100.0) > 0.0);
-    }
-
-    #[test]
-    fn empty_stream_is_rejected() {
-        let cluster = presets::paper_cluster();
-        let strategy = HidpStrategy::new();
-        assert!(evaluate_stream(&strategy, &[], &cluster, NodeIndex(0)).is_err());
-    }
 }

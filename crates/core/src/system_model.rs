@@ -208,7 +208,10 @@ mod tests {
         let graph = WorkloadModel::Vgg19.graph(1);
         let model = SystemModel::new(&graph, NodeIndex(0));
         assert_eq!(model.global_resources(&cluster).len(), 4);
-        assert_eq!(model.availability(&cluster), vec![true, true, true, true, false]);
+        assert_eq!(
+            model.availability(&cluster),
+            vec![true, true, true, true, false]
+        );
     }
 
     #[test]
@@ -231,7 +234,9 @@ mod tests {
         let local = model.local_resources(&cluster, NodeIndex(1));
         assert_eq!(local.len(), cluster.nodes()[1].processor_count());
         assert!(local.iter().all(|r| r.processor.is_some()));
-        assert!(local.iter().all(|r| SystemModel::resource_addr(r).is_some()));
+        assert!(local
+            .iter()
+            .all(|r| SystemModel::resource_addr(r).is_some()));
         // Unknown node yields an empty vector rather than a panic.
         assert!(model.local_resources(&cluster, NodeIndex(9)).is_empty());
     }

@@ -61,7 +61,9 @@ impl WeightStore {
     pub fn generate(graph: &DnnGraph, seed: u64) -> Result<Self, DnnError> {
         let mut weights = HashMap::new();
         for node in graph.nodes() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (node.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (node.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let input_shape = node
                 .inputs
                 .first()
@@ -252,7 +254,14 @@ fn eval_node(
         LayerKind::GlobalAvgPool => ops::global_avg_pool(required(first_input, &node.name)?)?,
         LayerKind::BatchNorm => {
             let (gamma, beta, mean, var) = expect_batch_norm(store, id, &node.name)?;
-            ops::batch_norm(required(first_input, &node.name)?, gamma, beta, mean, var, 1e-5)?
+            ops::batch_norm(
+                required(first_input, &node.name)?,
+                gamma,
+                beta,
+                mean,
+                var,
+                1e-5,
+            )?
         }
         LayerKind::Activation { activation } => {
             activation.apply(required(first_input, &node.name)?)
@@ -261,7 +270,11 @@ fn eval_node(
         LayerKind::Dense { activation, .. } => {
             let (weight, bias) = expect_weight_bias(store, id, &node.name)?;
             let x = required(first_input, &node.name)?;
-            let x2 = if x.rank() == 4 { x.flattened()? } else { x.clone() };
+            let x2 = if x.rank() == 4 {
+                x.flattened()?
+            } else {
+                x.clone()
+            };
             let out = ops::dense(&x2, weight, Some(bias))?;
             activation.apply(&out)
         }
@@ -413,7 +426,10 @@ pub fn spatial_prefix_len(graph: &DnnGraph) -> usize {
                     && window.kernel.0 == 2 * window.padding.0 + 1
                     && window.kernel.1 == 2 * window.padding.1 + 1
             }
-            LayerKind::BatchNorm | LayerKind::Activation { .. } | LayerKind::Add | LayerKind::Concat => true,
+            LayerKind::BatchNorm
+            | LayerKind::Activation { .. }
+            | LayerKind::Add
+            | LayerKind::Concat => true,
             _ => false,
         };
         if preserves {
@@ -554,8 +570,7 @@ mod tests {
         // tiny_cnn has three stride-1 convs before GAP; receptive-field radius
         // grows by 1 per conv, so halo = 3 is sufficient.
         for parts in [2, 3] {
-            let out =
-                execute_data_partition_spatial(&graph, parts, 3, &input, &store).unwrap();
+            let out = execute_data_partition_spatial(&graph, parts, 3, &input, &store).unwrap();
             assert!(out.approx_eq(&whole, 1e-4).unwrap(), "parts={parts}");
         }
     }

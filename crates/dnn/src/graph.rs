@@ -207,7 +207,9 @@ impl DnnGraph {
     ///
     /// Returns [`DnnError::UnknownNode`] for ids outside the graph.
     pub fn node(&self, id: NodeId) -> Result<&LayerNode, DnnError> {
-        self.nodes.get(id.0).ok_or(DnnError::UnknownNode { id: id.0 })
+        self.nodes
+            .get(id.0)
+            .ok_or(DnnError::UnknownNode { id: id.0 })
     }
 
     /// Cost annotations of a node.
@@ -216,7 +218,9 @@ impl DnnGraph {
     ///
     /// Returns [`DnnError::UnknownNode`] for ids outside the graph.
     pub fn cost(&self, id: NodeId) -> Result<&NodeCost, DnnError> {
-        self.costs.get(id.0).ok_or(DnnError::UnknownNode { id: id.0 })
+        self.costs
+            .get(id.0)
+            .ok_or(DnnError::UnknownNode { id: id.0 })
     }
 
     /// Nodes in topological (construction) order.

@@ -294,11 +294,7 @@ impl LayerKind {
             }
             LayerKind::Dense { units, .. } => match inputs {
                 [Shape::Vector { n, .. }] => Ok(Shape::vector(*n, *units)),
-                [Shape::Map { n, c, h, w }] if *h == 1 && *w == 1 => Ok(Shape::vector(*n, *units))
-                    .map(|s| {
-                        let _ = c;
-                        s
-                    }),
+                [Shape::Map { n, h, w, .. }] if *h == 1 && *w == 1 => Ok(Shape::vector(*n, *units)),
                 [other] => Err(shape_err(format!(
                     "dense expects a feature vector or 1x1 map, got {other:?}"
                 ))),
@@ -307,7 +303,10 @@ impl LayerKind {
             LayerKind::Add => match inputs {
                 [a, b] if a == b => Ok(a.clone()),
                 [a, b] => Err(shape_err(format!("add inputs differ: {a:?} vs {b:?}"))),
-                _ => Err(shape_err(format!("add expects 2 inputs, got {}", inputs.len()))),
+                _ => Err(shape_err(format!(
+                    "add expects 2 inputs, got {}",
+                    inputs.len()
+                ))),
             },
             LayerKind::Concat => {
                 if inputs.is_empty() {
@@ -338,7 +337,9 @@ impl LayerKind {
             }
             LayerKind::Softmax => match inputs {
                 [Shape::Vector { n, features }] => Ok(Shape::vector(*n, *features)),
-                [other] => Err(shape_err(format!("softmax expects a vector, got {other:?}"))),
+                [other] => Err(shape_err(format!(
+                    "softmax expects a vector, got {other:?}"
+                ))),
                 _ => Err(shape_err(format!("expected 1 input, got {}", inputs.len()))),
             },
         }
@@ -474,7 +475,9 @@ mod tests {
             activation: Activation::Relu,
         };
         let input = img(64, 224);
-        let out = kind.output_shape("conv1_2", &[input.clone()]).unwrap();
+        let out = kind
+            .output_shape("conv1_2", std::slice::from_ref(&input))
+            .unwrap();
         assert_eq!(out, Shape::map(1, 64, 224, 224));
         let expected = 2u64 * 224 * 224 * 64 * 64 * 9;
         assert_eq!(kind.flops(&[input], &out), expected);
@@ -487,9 +490,14 @@ mod tests {
             activation: Activation::Swish,
         };
         let input = img(32, 112);
-        let out = kind.output_shape("dw", &[input.clone()]).unwrap();
+        let out = kind
+            .output_shape("dw", std::slice::from_ref(&input))
+            .unwrap();
         assert_eq!(out, Shape::map(1, 32, 112, 112));
-        assert_eq!(kind.flops(&[input.clone()], &out), 2 * 32 * 112 * 112 * 9);
+        assert_eq!(
+            kind.flops(std::slice::from_ref(&input), &out),
+            2 * 32 * 112 * 112 * 9
+        );
         assert_eq!(kind.parameters(&[input]), 32 * 9 + 32);
     }
 
@@ -500,9 +508,14 @@ mod tests {
             activation: Activation::Linear,
         };
         let input = Shape::vector(1, 4096);
-        let out = kind.output_shape("fc", &[input.clone()]).unwrap();
+        let out = kind
+            .output_shape("fc", std::slice::from_ref(&input))
+            .unwrap();
         assert_eq!(out, Shape::vector(1, 1000));
-        assert_eq!(kind.flops(&[input.clone()], &out), 2 * 4096 * 1000);
+        assert_eq!(
+            kind.flops(std::slice::from_ref(&input), &out),
+            2 * 4096 * 1000
+        );
         assert_eq!(kind.parameters(&[input]), 4096 * 1000 + 1000);
     }
 
@@ -526,10 +539,13 @@ mod tests {
     fn add_and_concat_shape_rules() {
         let add = LayerKind::Add;
         assert_eq!(
-            add.output_shape("add", &[img(64, 56), img(64, 56)]).unwrap(),
+            add.output_shape("add", &[img(64, 56), img(64, 56)])
+                .unwrap(),
             img(64, 56)
         );
-        assert!(add.output_shape("add", &[img(64, 56), img(32, 56)]).is_err());
+        assert!(add
+            .output_shape("add", &[img(64, 56), img(32, 56)])
+            .is_err());
         assert!(add.output_shape("add", &[img(64, 56)]).is_err());
 
         let concat = LayerKind::Concat;

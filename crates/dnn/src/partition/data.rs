@@ -128,7 +128,11 @@ pub fn data_partition(graph: &DnnGraph, fractions: &[f64]) -> Result<DataPartiti
         .map(|(index, &fraction)| {
             let single = fractions.len() == 1;
             let interior = !single && index > 0 && index + 1 < fractions.len();
-            let sync = if single { 0 } else { halo_bytes(graph, interior) };
+            let sync = if single {
+                0
+            } else {
+                halo_bytes(graph, interior)
+            };
             // Halo rows are recomputed by both neighbours; approximate the
             // extra work as the flops equivalent of the exchanged bytes.
             let halo_flops = sync / 4;

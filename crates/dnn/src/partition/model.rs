@@ -166,7 +166,9 @@ pub fn partition_into_blocks(
         if let Some(prev) = prev_boundary {
             if boundary.0 <= prev {
                 return Err(DnnError::InvalidPartition {
-                    what: format!("boundaries must be strictly increasing, got {boundary} after n{prev}"),
+                    what: format!(
+                        "boundaries must be strictly increasing, got {boundary} after n{prev}"
+                    ),
                 });
             }
         }
@@ -174,7 +176,12 @@ pub fn partition_into_blocks(
         first = boundary.0 + 1;
         prev_boundary = Some(boundary.0);
     }
-    blocks.push(block_from_range(graph, blocks.len(), first, graph.len() - 1));
+    blocks.push(block_from_range(
+        graph,
+        blocks.len(),
+        first,
+        graph.len() - 1,
+    ));
     Ok(ModelPartition { blocks })
 }
 

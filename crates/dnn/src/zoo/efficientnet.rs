@@ -132,7 +132,7 @@ const B0_STAGES: [(usize, usize, usize, usize, usize); 7] = [
 /// uses 224). The resolution must be divisible by 32.
 pub fn efficientnet_b0(resolution: usize, batch: usize) -> DnnGraph {
     assert!(
-        resolution >= 32 && resolution % 32 == 0,
+        resolution >= 32 && resolution.is_multiple_of(32),
         "EfficientNet-B0 requires a resolution divisible by 32, got {resolution}"
     );
     let mut eb = EffNetBuilder {
@@ -172,7 +172,8 @@ pub fn efficientnet_b0(resolution: usize, batch: usize) -> DnnGraph {
         &[flat],
     );
     eb.b.layer("softmax", LayerKind::Softmax, &[fc]);
-    eb.b.build().expect("efficientnet_b0 graph is statically valid")
+    eb.b.build()
+        .expect("efficientnet_b0 graph is statically valid")
 }
 
 #[cfg(test)]
@@ -188,7 +189,10 @@ mod tests {
     fn stage_shapes_match_published_architecture() {
         let g = efficientnet_b0(224, 1);
         assert_eq!(shape_of(&g, "stem_act"), Shape::map(1, 32, 112, 112));
-        assert_eq!(shape_of(&g, "mb1_1_project_bn"), Shape::map(1, 16, 112, 112));
+        assert_eq!(
+            shape_of(&g, "mb1_1_project_bn"),
+            Shape::map(1, 16, 112, 112)
+        );
         assert_eq!(shape_of(&g, "mb2_2_add"), Shape::map(1, 24, 56, 56));
         assert_eq!(shape_of(&g, "mb4_1_project_bn"), Shape::map(1, 80, 14, 14));
         assert_eq!(shape_of(&g, "mb7_1_project_bn"), Shape::map(1, 320, 7, 7));

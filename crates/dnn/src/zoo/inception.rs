@@ -76,8 +76,11 @@ impl InceptionBuilder {
         let pool = self.avg_pool3(&format!("{name}_pool"), prev);
         let b4 = self.sq(&format!("{name}_poolproj"), pool, pool_features, 1, 1, 0);
 
-        self.b
-            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, b3, b4])
+        self.b.layer(
+            format!("{name}_concat"),
+            LayerKind::Concat,
+            &[b1, b2, b3, b4],
+        )
     }
 
     /// Reduction-A: stride-2 3×3 / double-3×3 / max-pool branches, 35→17.
@@ -116,8 +119,11 @@ impl InceptionBuilder {
         let pool = self.avg_pool3(&format!("{name}_pool"), prev);
         let b4 = self.sq(&format!("{name}_poolproj"), pool, 192, 1, 1, 0);
 
-        self.b
-            .layer(format!("{name}_concat"), LayerKind::Concat, &[b1, b2, b3, b4])
+        self.b.layer(
+            format!("{name}_concat"),
+            LayerKind::Concat,
+            &[b1, b2, b3, b4],
+        )
     }
 
     /// Reduction-B: 17→8.
@@ -227,7 +233,8 @@ pub fn inception_v3(resolution: usize, batch: usize) -> DnnGraph {
         &[flat],
     );
     ib.b.layer("softmax", LayerKind::Softmax, &[fc]);
-    ib.b.build().expect("inception_v3 graph is statically valid")
+    ib.b.build()
+        .expect("inception_v3 graph is statically valid")
 }
 
 #[cfg(test)]

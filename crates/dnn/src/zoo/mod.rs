@@ -176,7 +176,10 @@ mod tests {
             .map(|m| m.graph(1).gpu_affinity())
             .collect();
         let eff = aff[0];
-        assert!(eff < aff[3], "EfficientNet should be less GPU-friendly than VGG");
+        assert!(
+            eff < aff[3],
+            "EfficientNet should be less GPU-friendly than VGG"
+        );
     }
 
     #[test]

@@ -54,7 +54,14 @@ impl ResNetBuilder {
         stride: usize,
         project: bool,
     ) -> NodeId {
-        let c1 = self.conv_bn(&format!("{name}_a"), prev, mid_channels, 1, 1, Activation::Relu);
+        let c1 = self.conv_bn(
+            &format!("{name}_a"),
+            prev,
+            mid_channels,
+            1,
+            1,
+            Activation::Relu,
+        );
         let c2 = self.conv_bn(
             &format!("{name}_b"),
             c1,
@@ -100,7 +107,7 @@ impl ResNetBuilder {
 /// 224). The resolution must be divisible by 32.
 pub fn resnet152(resolution: usize, batch: usize) -> DnnGraph {
     assert!(
-        resolution >= 32 && resolution % 32 == 0,
+        resolution >= 32 && resolution.is_multiple_of(32),
         "ResNet-152 requires a resolution divisible by 32, got {resolution}"
     );
     let mut rb = ResNetBuilder {

@@ -36,15 +36,20 @@ fn max_pool(b: &mut GraphBuilder, name: &str, prev: NodeId) -> NodeId {
 /// integral feature-map sizes; 224 → a 7×7×512 map before the classifier.
 pub fn vgg19(resolution: usize, batch: usize) -> DnnGraph {
     assert!(
-        resolution >= 32 && resolution % 32 == 0,
+        resolution >= 32 && resolution.is_multiple_of(32),
         "VGG-19 requires a resolution divisible by 32, got {resolution}"
     );
     let mut b = GraphBuilder::new("vgg19");
     let mut prev = b.input(Shape::map(batch, 3, resolution, resolution));
 
     // (stage, channels, conv count) per configuration E.
-    let stages: [(usize, usize, usize); 5] =
-        [(1, 64, 2), (2, 128, 2), (3, 256, 4), (4, 512, 4), (5, 512, 4)];
+    let stages: [(usize, usize, usize); 5] = [
+        (1, 64, 2),
+        (2, 128, 2),
+        (3, 256, 4),
+        (4, 512, 4),
+        (5, 512, 4),
+    ];
     for (stage, channels, convs) in stages {
         for i in 1..=convs {
             prev = conv3(&mut b, &format!("conv{stage}_{i}"), prev, channels);

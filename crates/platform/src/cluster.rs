@@ -101,7 +101,11 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownNode`] for out-of-range indices.
-    pub fn set_available(&mut self, index: NodeIndex, available: bool) -> Result<(), PlatformError> {
+    pub fn set_available(
+        &mut self,
+        index: NodeIndex,
+        available: bool,
+    ) -> Result<(), PlatformError> {
         if index.0 >= self.nodes.len() {
             return Err(PlatformError::UnknownNode { index: index.0 });
         }
@@ -153,7 +157,11 @@ impl Cluster {
                         .map(|l| l.effective_rate(message_bytes))
                         .unwrap_or(f64::INFINITY)
                 };
-                let ratio = if beta.is_infinite() { 0.0 } else { lambda / beta };
+                let ratio = if beta.is_infinite() {
+                    0.0
+                } else {
+                    lambda / beta
+                };
                 (idx, ratio)
             })
             .collect()
@@ -169,7 +177,10 @@ impl Cluster {
     pub fn take(&self, count: usize) -> Result<Cluster, PlatformError> {
         if count == 0 || count > self.nodes.len() {
             return Err(PlatformError::InvalidParameter {
-                what: format!("cannot take {count} nodes from a {}-node cluster", self.nodes.len()),
+                what: format!(
+                    "cannot take {count} nodes from a {}-node cluster",
+                    self.nodes.len()
+                ),
             });
         }
         Cluster::new(self.nodes[..count].to_vec(), self.network.clone())

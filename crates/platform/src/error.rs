@@ -43,10 +43,15 @@ mod tests {
 
     #[test]
     fn display_is_meaningful() {
-        assert!(PlatformError::UnknownNode { index: 3 }.to_string().contains('3'));
-        assert!(PlatformError::UnknownProcessor { node: 1, processor: 2 }
+        assert!(PlatformError::UnknownNode { index: 3 }
             .to_string()
-            .contains("processor 2"));
+            .contains('3'));
+        assert!(PlatformError::UnknownProcessor {
+            node: 1,
+            processor: 2
+        }
+        .to_string()
+        .contains("processor 2"));
     }
 
     #[test]

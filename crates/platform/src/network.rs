@@ -27,7 +27,7 @@ impl Link {
     /// Returns [`PlatformError::InvalidParameter`] for non-positive bandwidth
     /// or negative latency.
     pub fn new(bandwidth_mbps: f64, latency_ms: f64) -> Result<Self, PlatformError> {
-        if !(bandwidth_mbps > 0.0) || !bandwidth_mbps.is_finite() {
+        if bandwidth_mbps <= 0.0 || !bandwidth_mbps.is_finite() {
             return Err(PlatformError::InvalidParameter {
                 what: format!("link bandwidth must be positive, got {bandwidth_mbps}"),
             });
@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn same_node_transfer_is_free() {
         let net = NetworkModel::paper_wireless();
-        assert_eq!(net.transfer_time(NodeIndex(0), NodeIndex(0), 1_000_000), 0.0);
+        assert_eq!(
+            net.transfer_time(NodeIndex(0), NodeIndex(0), 1_000_000),
+            0.0
+        );
         assert!(net.transfer_time(NodeIndex(0), NodeIndex(1), 1_000_000) > 0.0);
     }
 

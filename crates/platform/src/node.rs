@@ -71,7 +71,7 @@ impl EdgeNode {
                 what: format!("node `{name}` needs at least one processor"),
             });
         }
-        if !(dram_gb > 0.0) {
+        if dram_gb <= 0.0 || dram_gb.is_nan() {
             return Err(PlatformError::InvalidParameter {
                 what: format!("node `{name}` needs positive DRAM, got {dram_gb}"),
             });

@@ -32,7 +32,7 @@ impl EnergyMeter {
     /// Returns [`PlatformError::InvalidParameter`] for negative or non-finite
     /// durations.
     pub fn record_busy(&mut self, addr: ProcessorAddr, seconds: f64) -> Result<(), PlatformError> {
-        if !(seconds >= 0.0) || !seconds.is_finite() {
+        if seconds < 0.0 || !seconds.is_finite() {
             return Err(PlatformError::InvalidParameter {
                 what: format!("busy time must be non-negative and finite, got {seconds}"),
             });
@@ -54,7 +54,11 @@ impl EnergyMeter {
     ///
     /// Returns an error when a recorded processor address does not exist in
     /// `cluster`.
-    pub fn total_energy(&self, cluster: &Cluster, window_seconds: f64) -> Result<f64, PlatformError> {
+    pub fn total_energy(
+        &self,
+        cluster: &Cluster,
+        window_seconds: f64,
+    ) -> Result<f64, PlatformError> {
         let mut energy = 0.0;
         // Static + idle power for every node over the full window.
         for node in cluster.nodes() {

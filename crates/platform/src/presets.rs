@@ -198,7 +198,11 @@ mod tests {
         for node in [raspberry_pi4(), raspberry_pi5()] {
             let cpu = &node.processors[node.cpu_indices()[0].0];
             let gpu = &node.processors[node.gpu_index().unwrap().0];
-            assert!(cpu.effective_gflops(1.0) > gpu.effective_gflops(1.0), "{}", node.name);
+            assert!(
+                cpu.effective_gflops(1.0) > gpu.effective_gflops(1.0),
+                "{}",
+                node.name
+            );
         }
     }
 

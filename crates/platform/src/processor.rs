@@ -61,7 +61,12 @@ pub struct Processor {
 
 impl Processor {
     /// Creates a CPU cluster processor.
-    pub fn cpu(name: impl Into<String>, cores: usize, frequency_ghz: f64, peak_gflops: f64) -> Self {
+    pub fn cpu(
+        name: impl Into<String>,
+        cores: usize,
+        frequency_ghz: f64,
+        peak_gflops: f64,
+    ) -> Self {
         Self {
             name: name.into(),
             kind: ProcessorKind::CpuCluster { cores },
@@ -74,7 +79,12 @@ impl Processor {
     }
 
     /// Creates a GPU processor.
-    pub fn gpu(name: impl Into<String>, cores: usize, frequency_ghz: f64, peak_gflops: f64) -> Self {
+    pub fn gpu(
+        name: impl Into<String>,
+        cores: usize,
+        frequency_ghz: f64,
+        peak_gflops: f64,
+    ) -> Self {
         Self {
             name: name.into(),
             kind: ProcessorKind::Gpu { cores },

@@ -170,7 +170,11 @@ pub fn simulate_stream(
                     cluster.node(*from)?;
                     cluster.node(*to)?;
                     let duration = cluster.network().transfer_time(*from, *to, *bytes);
-                    let resource = if from == to { None } else { Some(link_key(*from, *to)) };
+                    let resource = if from == to {
+                        None
+                    } else {
+                        Some(link_key(*from, *to))
+                    };
                     (duration, resource, None, 0u64, *bytes)
                 }
             };
@@ -375,9 +379,11 @@ mod tests {
         assert!((report.latency(1).unwrap() - 2.0 * single).abs() < 1e-9);
 
         // Arriving after the first finished: no queueing delay.
-        let report2 =
-            simulate_stream(&[(0.0, plan.clone()), (2.0 * single, plan.clone())], &cluster)
-                .unwrap();
+        let report2 = simulate_stream(
+            &[(0.0, plan.clone()), (2.0 * single, plan.clone())],
+            &cluster,
+        )
+        .unwrap();
         assert!((report2.latency(1).unwrap() - single).abs() < 1e-9);
     }
 

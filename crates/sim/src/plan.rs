@@ -240,7 +240,10 @@ mod tests {
     fn unknown_dependency_is_rejected() {
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(0, 0), 1, 1.0, &[TaskId(7)]);
-        assert!(matches!(plan.validate(), Err(SimError::UnknownTask { id: 7 })));
+        assert!(matches!(
+            plan.validate(),
+            Err(SimError::UnknownTask { id: 7 })
+        ));
     }
 
     #[test]

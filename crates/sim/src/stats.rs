@@ -22,7 +22,7 @@ pub struct TimelineBin {
 /// Returns an empty vector when `bin_seconds` is not positive or the report
 /// is empty.
 pub fn performance_timeline(report: &SimReport, bin_seconds: f64) -> Vec<TimelineBin> {
-    if !(bin_seconds > 0.0) || report.makespan <= 0.0 {
+    if bin_seconds <= 0.0 || bin_seconds.is_nan() || report.makespan <= 0.0 {
         return Vec::new();
     }
     let bins = (report.makespan / bin_seconds).ceil() as usize;
@@ -34,11 +34,16 @@ pub fn performance_timeline(report: &SimReport, bin_seconds: f64) -> Vec<Timelin
         let rate = record.flops as f64 / record.duration();
         let first_bin = (record.start / bin_seconds).floor() as usize;
         let last_bin = ((record.finish / bin_seconds).ceil() as usize).min(bins);
-        for bin in first_bin..last_bin {
+        for (bin, slot) in flops_per_bin
+            .iter_mut()
+            .enumerate()
+            .take(last_bin)
+            .skip(first_bin)
+        {
             let bin_start = bin as f64 * bin_seconds;
             let bin_end = bin_start + bin_seconds;
             let overlap = (record.finish.min(bin_end) - record.start.max(bin_start)).max(0.0);
-            flops_per_bin[bin] += rate * overlap;
+            *slot += rate * overlap;
         }
     }
     flops_per_bin
@@ -56,7 +61,7 @@ pub fn performance_timeline(report: &SimReport, bin_seconds: f64) -> Vec<Timelin
 /// simulated request pattern repeats back-to-back (the paper reports
 /// inferences per 100 s). Returns zero for an empty report.
 pub fn throughput_per_window(report: &SimReport, window_seconds: f64) -> f64 {
-    if report.makespan <= 0.0 || !(window_seconds > 0.0) {
+    if report.makespan <= 0.0 || window_seconds <= 0.0 || window_seconds.is_nan() {
         return 0.0;
     }
     report.request_completion.len() as f64 * window_seconds / report.makespan

@@ -67,12 +67,18 @@ pub fn conv2d(
     }
     let h_out = conv_output_dim(h, kh, stride.0, padding.0).ok_or_else(|| {
         TensorError::InvalidArgument {
-            what: format!("conv2d window (k={kh}, s={}, p={}) does not fit height {h}", stride.0, padding.0),
+            what: format!(
+                "conv2d window (k={kh}, s={}, p={}) does not fit height {h}",
+                stride.0, padding.0
+            ),
         }
     })?;
     let w_out = conv_output_dim(w, kw, stride.1, padding.1).ok_or_else(|| {
         TensorError::InvalidArgument {
-            what: format!("conv2d window (k={kw}, s={}, p={}) does not fit width {w}", stride.1, padding.1),
+            what: format!(
+                "conv2d window (k={kw}, s={}, p={}) does not fit width {w}",
+                stride.1, padding.1
+            ),
         }
     })?;
 
@@ -150,7 +156,10 @@ pub fn depthwise_conv2d(
     if let Some(b) = bias {
         if b.shape() != [c] {
             return Err(TensorError::DimensionMismatch {
-                what: format!("depthwise bias shape {:?} does not match {c} channels", b.shape()),
+                what: format!(
+                    "depthwise bias shape {:?} does not match {c} channels",
+                    b.shape()
+                ),
             });
         }
     }
@@ -202,8 +211,7 @@ mod tests {
     fn identity_kernel_preserves_input() {
         // 1x1 conv with identity weights acts as a channel-wise copy.
         let input = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32).unwrap();
-        let weight =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
+        let weight = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
         let out = conv2d(&input, &weight, None, (1, 1), (0, 0)).unwrap();
         assert_eq!(out, input);
     }

@@ -67,7 +67,11 @@ pub fn concat_channels(inputs: &[&Tensor]) -> Result<Tensor> {
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.shape() != b.shape() {
         return Err(TensorError::DimensionMismatch {
-            what: format!("add requires equal shapes, got {:?} and {:?}", a.shape(), b.shape()),
+            what: format!(
+                "add requires equal shapes, got {:?} and {:?}",
+                a.shape(),
+                b.shape()
+            ),
         });
     }
     let mut out = a.clone();

@@ -21,7 +21,12 @@ pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
 /// Computes the output spatial size of a convolution/pooling window.
 ///
 /// Returns `None` when the window does not fit even once.
-pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+pub fn conv_output_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Option<usize> {
     if stride == 0 {
         return None;
     }

@@ -29,7 +29,12 @@ pub fn batch_norm(
         });
     }
     let c = input.shape()[1];
-    for (name, t) in [("gamma", gamma), ("beta", beta), ("mean", mean), ("var", var)] {
+    for (name, t) in [
+        ("gamma", gamma),
+        ("beta", beta),
+        ("mean", mean),
+        ("var", var),
+    ] {
         if t.shape() != [c] {
             return Err(TensorError::DimensionMismatch {
                 what: format!(

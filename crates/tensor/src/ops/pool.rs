@@ -112,7 +112,13 @@ pub fn avg_pool2d(
                             count += 1;
                         }
                     }
-                    out.set4(ni, ci, oy, ox, if count > 0 { acc / count as f32 } else { 0.0 });
+                    out.set4(
+                        ni,
+                        ci,
+                        oy,
+                        ox,
+                        if count > 0 { acc / count as f32 } else { 0.0 },
+                    );
                 }
             }
         }

@@ -60,7 +60,10 @@ pub fn crop_rows(input: &Tensor, start: usize, len: usize) -> Result<Tensor> {
     );
     if len == 0 || start + len > h {
         return Err(TensorError::InvalidArgument {
-            what: format!("crop_rows range {start}..{} out of bounds for height {h}", start + len),
+            what: format!(
+                "crop_rows range {start}..{} out of bounds for height {h}",
+                start + len
+            ),
         });
     }
     let mut out = Tensor::zeros(&[n, c, len, w])?;
@@ -163,7 +166,9 @@ pub fn merge_height(processed: &[(HaloSlice, Tensor)]) -> Result<Tensor> {
         }
         if *start != expected_start {
             return Err(TensorError::InvalidArgument {
-                what: format!("merge_height core regions are not contiguous at row {expected_start}"),
+                what: format!(
+                    "merge_height core regions are not contiguous at row {expected_start}"
+                ),
             });
         }
         expected_start += t.shape()[2];
@@ -276,8 +281,10 @@ mod tests {
         for parts in 1..=4 {
             for halo in 0..3 {
                 let slices = split_height_with_halo(&input, parts, halo).unwrap();
-                let processed: Vec<(HaloSlice, Tensor)> =
-                    slices.iter().map(|s| (s.clone(), s.tensor.clone())).collect();
+                let processed: Vec<(HaloSlice, Tensor)> = slices
+                    .iter()
+                    .map(|s| (s.clone(), s.tensor.clone()))
+                    .collect();
                 let merged = merge_height(&processed).unwrap();
                 assert_eq!(merged, input, "parts={parts} halo={halo}");
             }

@@ -75,12 +75,12 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::EmptyDimension`] when `shape` contains a zero.
-    pub fn from_fn<F: FnMut(usize) -> f32>(shape: &[usize], mut f: F) -> Result<Self> {
+    pub fn from_fn<F: FnMut(usize) -> f32>(shape: &[usize], f: F) -> Result<Self> {
         Self::validate_shape(shape)?;
         let n: usize = shape.iter().product();
         Ok(Self {
             shape: shape.to_vec(),
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         })
     }
 
@@ -107,7 +107,7 @@ impl Tensor {
     }
 
     fn validate_shape(shape: &[usize]) -> Result<()> {
-        if shape.is_empty() || shape.iter().any(|&d| d == 0) {
+        if shape.is_empty() || shape.contains(&0) {
             return Err(TensorError::EmptyDimension {
                 shape: shape.to_vec(),
             });

@@ -7,6 +7,7 @@
 
 use crate::request::InferenceRequest;
 use crate::stream::repeating_stream;
+use hidp_core::Scenario;
 use hidp_dnn::zoo::WorkloadModel;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,13 @@ impl WorkloadMix {
     /// inter-arrival time.
     pub fn requests(&self, interval_seconds: f64, count: usize) -> Vec<InferenceRequest> {
         repeating_stream(&self.models, interval_seconds, count)
+    }
+
+    /// Builds the runnable [`Scenario`] for this mix, labelled with the mix
+    /// name.
+    pub fn scenario(&self, interval_seconds: f64, count: usize) -> Scenario {
+        InferenceRequest::to_scenario(&self.requests(interval_seconds, count))
+            .with_label(self.name())
     }
 }
 

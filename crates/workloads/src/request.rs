@@ -1,5 +1,6 @@
 //! Inference requests: the unit of work HiDP schedules.
 
+use hidp_core::Scenario;
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
 use serde::{Deserialize, Serialize};
@@ -37,9 +38,14 @@ impl InferenceRequest {
     }
 
     /// Converts a slice of requests into the `(arrival, graph)` pairs the
-    /// evaluation helpers consume.
+    /// evaluation pipeline consumes.
     pub fn to_stream(requests: &[InferenceRequest]) -> Vec<(f64, DnnGraph)> {
         requests.iter().map(|r| (r.arrival, r.graph())).collect()
+    }
+
+    /// Wraps a slice of requests into a runnable [`Scenario`].
+    pub fn to_scenario(requests: &[InferenceRequest]) -> Scenario {
+        Scenario::stream(Self::to_stream(requests))
     }
 }
 
@@ -54,7 +60,12 @@ mod tests {
         assert_eq!(r.batch, 2);
         assert_eq!(r.graph().input_shape().batch(), 2);
         // Batch is clamped to at least one image.
-        assert_eq!(InferenceRequest::new(WorkloadModel::Vgg19, 0.0).with_batch(0).batch, 1);
+        assert_eq!(
+            InferenceRequest::new(WorkloadModel::Vgg19, 0.0)
+                .with_batch(0)
+                .batch,
+            1
+        );
     }
 
     #[test]

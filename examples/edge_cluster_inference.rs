@@ -11,7 +11,7 @@
 
 use hidp::baselines::all_strategies;
 use hidp::core::runtime::ClusterRuntime;
-use hidp::core::{evaluate, HidpStrategy};
+use hidp::core::{HidpStrategy, Scenario};
 use hidp::dnn::zoo::WorkloadModel;
 use hidp::platform::{presets, NodeIndex};
 
@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("leader FSM trace: {:?}", outcome.leader_trace);
     println!(
         "availability vector: {:?}",
-        outcome.availability.iter().map(|a| u8::from(*a)).collect::<Vec<_>>()
+        outcome
+            .availability
+            .iter()
+            .map(|a| u8::from(*a))
+            .collect::<Vec<_>>()
     );
     println!(
         "global decision: {} partitioning over {} node(s)",
@@ -49,13 +53,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compare against the baselines on the simulated cluster.
     println!("\n{model} on the five-device cluster (request at the TX2):");
-    println!("{:<18} {:>12} {:>12}", "strategy", "latency[ms]", "energy[J]");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "strategy", "latency[ms]", "energy[J]"
+    );
+    let scenario = Scenario::single(graph);
     for strategy in all_strategies() {
-        let result = evaluate(strategy.as_ref(), &graph, &cluster, leader)?;
+        let result = scenario.run(strategy.as_ref(), &cluster, leader)?;
         println!(
             "{:<18} {:>12.1} {:>12.2}",
             result.strategy,
-            result.latency * 1e3,
+            result.latency() * 1e3,
             result.total_energy
         );
     }

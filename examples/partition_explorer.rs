@@ -8,7 +8,9 @@
 //! ```
 
 use hidp::core::{chain_segments, workload_summary, DseAgent, SystemModel};
-use hidp::dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
+use hidp::dnn::exec::{
+    execute, execute_data_partition_batch, execute_model_partition, WeightStore,
+};
 use hidp::dnn::partition::partition_into_blocks;
 use hidp::dnn::zoo::{self, WorkloadModel};
 use hidp::platform::{presets, NodeIndex};
@@ -81,7 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "Top-1 predictions identical: {}",
-        whole.argmax_rows()? == piped.argmax_rows()? && whole.argmax_rows()? == batched.argmax_rows()?
+        whole.argmax_rows()? == piped.argmax_rows()?
+            && whole.argmax_rows()? == batched.argmax_rows()?
     );
     Ok(())
 }

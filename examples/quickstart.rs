@@ -9,7 +9,7 @@
 //! per-node shares, then per-node processor splits) along with the simulated
 //! latency and energy.
 
-use hidp::core::{evaluate, DistributedStrategy, HidpStrategy, ShareKind};
+use hidp::core::{DistributedStrategy, HidpStrategy, Scenario, ShareKind};
 use hidp::dnn::zoo::WorkloadModel;
 use hidp::platform::{presets, NodeIndex};
 
@@ -49,10 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let result = evaluate(&hidp, &graph, &cluster, leader)?;
+    let result = Scenario::single(graph).run(&hidp, &cluster, leader)?;
     println!(
         "\nsimulated: latency {:.1} ms, energy {:.2} J ({:.2} J dynamic)",
-        result.latency * 1e3,
+        result.latency() * 1e3,
         result.total_energy,
         result.dynamic_energy
     );

@@ -7,7 +7,6 @@
 //! ```
 
 use hidp::baselines::paper_strategies;
-use hidp::core::evaluate_stream;
 use hidp::platform::{presets, NodeIndex};
 use hidp::sim::stats::performance_timeline;
 use hidp::workloads::{dynamic_scenario, mixes, InferenceRequest};
@@ -19,9 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dynamic scenario (Fig. 6): four models arriving 0.5 s apart.
     println!("dynamic scenario (EfficientNet → Inception → ResNet → VGG, 0.5 s apart):");
+    let dynamic = InferenceRequest::to_scenario(&dynamic_scenario()).with_label("dynamic");
     for strategy in &strategies {
-        let requests = InferenceRequest::to_stream(&dynamic_scenario());
-        let eval = evaluate_stream(strategy.as_ref(), &requests, &cluster, leader)?;
+        let eval = dynamic.run(strategy.as_ref(), &cluster, leader)?;
         let peak = performance_timeline(&eval.report, 0.5)
             .iter()
             .map(|b| b.gflops_per_second)
@@ -40,10 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     for mix in mixes::all_mixes() {
-        let requests = InferenceRequest::to_stream(&mix.requests(0.5, 12));
+        let scenario = mix.scenario(0.5, 12);
         print!("{:<8}", mix.name());
         for strategy in &strategies {
-            let eval = evaluate_stream(strategy.as_ref(), &requests, &cluster, leader)?;
+            let eval = scenario.run(strategy.as_ref(), &cluster, leader)?;
             print!("{:>12.0}", eval.throughput(100.0));
         }
         println!();

@@ -15,15 +15,15 @@
 //! * [`workloads`] — request streams and the paper's workload mixes.
 //!
 //! ```
-//! use hidp::core::{evaluate, DistributedStrategy, HidpStrategy};
+//! use hidp::core::{HidpStrategy, Scenario};
 //! use hidp::dnn::zoo::WorkloadModel;
 //! use hidp::platform::{presets, NodeIndex};
 //!
 //! # fn main() -> Result<(), hidp::core::CoreError> {
 //! let cluster = presets::paper_cluster();
-//! let graph = WorkloadModel::ResNet152.graph(1);
-//! let result = evaluate(&HidpStrategy::new(), &graph, &cluster, NodeIndex(1))?;
-//! println!("HiDP latency: {:.1} ms", result.latency * 1e3);
+//! let result = Scenario::single(WorkloadModel::ResNet152.graph(1))
+//!     .run(&HidpStrategy::new(), &cluster, NodeIndex(1))?;
+//! println!("HiDP latency: {:.1} ms", result.latency() * 1e3);
 //! # Ok(())
 //! # }
 //! ```
@@ -44,3 +44,7 @@ pub use hidp_dnn::zoo::WorkloadModel;
 
 /// The HiDP strategy, re-exported for convenience.
 pub use hidp_core::HidpStrategy;
+
+/// The unified plan→simulate evaluation pipeline, re-exported for
+/// convenience.
+pub use hidp_core::{Evaluation, Scenario};

@@ -1,9 +1,12 @@
 //! End-to-end integration tests spanning all workspace crates: the paper's
 //! headline claims, cross-crate consistency, and the collaborative runtime.
+//! All evaluations go through the unified `Scenario` pipeline.
 
-use hidp::baselines::{paper_strategies, DisNetStrategy, GpuOnlyStrategy, ModnnStrategy, OmniBoostStrategy};
+use hidp::baselines::{
+    paper_strategies, DisNetStrategy, GpuOnlyStrategy, ModnnStrategy, OmniBoostStrategy,
+};
 use hidp::core::runtime::ClusterRuntime;
-use hidp::core::{evaluate, evaluate_stream, DistributedStrategy, HidpStrategy};
+use hidp::core::{DistributedStrategy, HidpStrategy, Scenario};
 use hidp::dnn::zoo::WorkloadModel;
 use hidp::platform::{presets, NodeIndex};
 use hidp::workloads::{dynamic_scenario, mixes, InferenceRequest};
@@ -15,20 +18,30 @@ fn headline_claim_hidp_has_lowest_latency_per_model() {
     // Fig. 5(a): HiDP achieves the lowest latency for every workload.
     let cluster = presets::paper_cluster();
     for model in WorkloadModel::ALL {
-        let graph = model.graph(1);
-        let hidp = evaluate(&HidpStrategy::new(), &graph, &cluster, LEADER).unwrap();
+        let scenario = Scenario::single(model.graph(1));
+        let hidp = scenario
+            .run(&HidpStrategy::new(), &cluster, LEADER)
+            .unwrap();
         for baseline in [
-            evaluate(&DisNetStrategy::new(), &graph, &cluster, LEADER).unwrap(),
-            evaluate(&OmniBoostStrategy::new(), &graph, &cluster, LEADER).unwrap(),
-            evaluate(&ModnnStrategy::new(), &graph, &cluster, LEADER).unwrap(),
-            evaluate(&GpuOnlyStrategy::new(), &graph, &cluster, LEADER).unwrap(),
+            scenario
+                .run(&DisNetStrategy::new(), &cluster, LEADER)
+                .unwrap(),
+            scenario
+                .run(&OmniBoostStrategy::new(), &cluster, LEADER)
+                .unwrap(),
+            scenario
+                .run(&ModnnStrategy::new(), &cluster, LEADER)
+                .unwrap(),
+            scenario
+                .run(&GpuOnlyStrategy::new(), &cluster, LEADER)
+                .unwrap(),
         ] {
             assert!(
-                hidp.latency <= baseline.latency * 1.01,
+                hidp.latency() <= baseline.latency() * 1.01,
                 "{model}: HiDP {:.1} ms vs {} {:.1} ms",
-                hidp.latency * 1e3,
+                hidp.latency() * 1e3,
                 baseline.strategy,
-                baseline.latency * 1e3
+                baseline.latency() * 1e3
             );
         }
     }
@@ -44,14 +57,20 @@ fn headline_claim_average_improvements_are_substantial() {
     let mut baseline_total = 0.0;
     let mut baseline_count = 0.0;
     for model in WorkloadModel::ALL {
-        let graph = model.graph(1);
-        hidp_total += evaluate(&HidpStrategy::new(), &graph, &cluster, LEADER).unwrap().latency;
+        let scenario = Scenario::single(model.graph(1));
+        hidp_total += scenario
+            .run(&HidpStrategy::new(), &cluster, LEADER)
+            .unwrap()
+            .latency();
         for strategy in [
             Box::new(DisNetStrategy::new()) as Box<dyn DistributedStrategy>,
             Box::new(OmniBoostStrategy::new()),
             Box::new(ModnnStrategy::new()),
         ] {
-            baseline_total += evaluate(strategy.as_ref(), &graph, &cluster, LEADER).unwrap().latency;
+            baseline_total += scenario
+                .run(strategy.as_ref(), &cluster, LEADER)
+                .unwrap()
+                .latency();
             baseline_count += 1.0;
         }
     }
@@ -71,11 +90,12 @@ fn throughput_claim_hidp_wins_every_mix() {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
     for mix in mixes::all_mixes() {
-        let requests = InferenceRequest::to_stream(&mix.requests(0.5, 8));
+        let scenario = mix.scenario(0.5, 8);
         let throughputs: Vec<f64> = strategies
             .iter()
             .map(|s| {
-                evaluate_stream(s.as_ref(), &requests, &cluster, LEADER)
+                scenario
+                    .run(s.as_ref(), &cluster, LEADER)
                     .unwrap()
                     .throughput(100.0)
             })
@@ -97,15 +117,11 @@ fn throughput_claim_hidp_wins_every_mix() {
 fn dynamic_scenario_completes_fastest_with_hidp() {
     // Fig. 6: HiDP finishes the staggered four-model workload first.
     let cluster = presets::paper_cluster();
-    let requests = InferenceRequest::to_stream(&dynamic_scenario());
+    let scenario = InferenceRequest::to_scenario(&dynamic_scenario());
     let strategies = paper_strategies();
     let makespans: Vec<f64> = strategies
         .iter()
-        .map(|s| {
-            evaluate_stream(s.as_ref(), &requests, &cluster, LEADER)
-                .unwrap()
-                .makespan
-        })
+        .map(|s| scenario.run(s.as_ref(), &cluster, LEADER).unwrap().makespan)
         .collect();
     for (i, makespan) in makespans.iter().enumerate().skip(1) {
         assert!(
@@ -128,10 +144,10 @@ fn node_scaling_latency_is_monotone_for_hidp() {
         let cluster = full.take(nodes).unwrap();
         let mut total = 0.0;
         for model in WorkloadModel::ALL {
-            let graph = model.graph(1);
-            total += evaluate(&HidpStrategy::new(), &graph, &cluster, LEADER)
+            total += Scenario::single(model.graph(1))
+                .run(&HidpStrategy::new(), &cluster, LEADER)
                 .unwrap()
-                .latency;
+                .latency();
         }
         assert!(
             total <= previous * 1.01,
@@ -151,7 +167,9 @@ fn cluster_runtime_and_planner_agree_on_the_global_decision() {
     for model in [WorkloadModel::EfficientNetB0, WorkloadModel::ResNet152] {
         let graph = model.graph(1);
         let outcome = runtime.run_request(&graph, LEADER).unwrap();
-        let direct = strategy.hierarchical_plan(&graph, &cluster, LEADER).unwrap();
+        let direct = strategy
+            .hierarchical_plan(&graph, &cluster, LEADER)
+            .unwrap();
         assert_eq!(outcome.plan.global.mode, direct.global.mode, "{model}");
         assert_eq!(
             outcome.plan.global.shares.len(),
@@ -168,13 +186,16 @@ fn every_strategy_plans_for_every_model_and_leader() {
     let cluster = presets::paper_cluster();
     for strategy in paper_strategies() {
         for model in WorkloadModel::ALL {
-            let graph = model.graph(1);
+            let scenario = Scenario::single(model.graph(1));
             for leader in 0..cluster.len() {
-                let eval = evaluate(strategy.as_ref(), &graph, &cluster, NodeIndex(leader));
+                let eval = scenario.run(strategy.as_ref(), &cluster, NodeIndex(leader));
                 let eval = eval.unwrap_or_else(|e| {
-                    panic!("{} failed for {model} at leader {leader}: {e}", strategy.name())
+                    panic!(
+                        "{} failed for {model} at leader {leader}: {e}",
+                        strategy.name()
+                    )
                 });
-                assert!(eval.latency > 0.0);
+                assert!(eval.latency() > 0.0);
                 assert!(eval.total_energy.is_finite());
             }
         }

@@ -3,8 +3,8 @@
 //! for arbitrary partition points, part counts and seeds.
 
 use hidp::dnn::exec::{
-    execute, execute_data_partition_batch, execute_data_partition_spatial,
-    execute_model_partition, WeightStore,
+    execute, execute_data_partition_batch, execute_data_partition_spatial, execute_model_partition,
+    WeightStore,
 };
 use hidp::dnn::partition::{data_partition, even_fractions, partition_into_blocks};
 use hidp::dnn::zoo::small;

@@ -1,0 +1,45 @@
+//! Workspace smoke test: the umbrella crate's re-export surface resolves and
+//! the unified `Scenario` pipeline runs for every paper workload.
+
+use hidp::core::{DistributedStrategy, HidpStrategy, Scenario};
+use hidp::platform::{presets, NodeIndex};
+use hidp::WorkloadModel;
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // `hidp::core::HidpStrategy` and the convenience re-export are the same
+    // type, usable through the trait they implement.
+    let strategy: hidp::HidpStrategy = HidpStrategy::new();
+    assert_eq!(strategy.name(), "HiDP");
+
+    // The four paper workloads are reachable through the umbrella.
+    assert_eq!(hidp::WorkloadModel::ALL.len(), 4);
+
+    // The paper's five-device cluster builds through the platform re-export.
+    let cluster = presets::paper_cluster();
+    assert_eq!(cluster.len(), 5);
+}
+
+#[test]
+fn scenario_single_runs_for_every_workload() {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    for model in WorkloadModel::ALL {
+        let evaluation = Scenario::single(model.graph(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap_or_else(|e| panic!("{model} failed: {e}"));
+        assert_eq!(evaluation.scenario, model.name());
+        assert!(evaluation.latency() > 0.0, "{model}");
+        assert!(evaluation.total_energy.is_finite(), "{model}");
+    }
+}
+
+#[test]
+fn scenario_is_reachable_from_workloads_types() {
+    // The workloads crate bridges its request types into the pipeline.
+    use hidp::workloads::{dynamic_scenario, mixes, InferenceRequest};
+    let scenario = InferenceRequest::to_scenario(&dynamic_scenario());
+    assert_eq!(scenario.len(), 4);
+    let mix = &mixes::all_mixes()[0];
+    assert_eq!(mix.scenario(0.5, 6).label(), "Mix-1");
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `crossbeam`, implementing the API subset the
+//! workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver,
+//! RecvTimeoutError}` with cloneable (mpmc) receivers.
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched. The channel here is a `Mutex<VecDeque>` + `Condvar` — adequate
+//! for the low-rate leader/follower control messages it carries, not a
+//! lock-free queue.
+
+/// Multi-producer multi-consumer channels (stand-in for
+/// `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<QueueState<T>>,
+        ready: Condvar,
+    }
+
+    struct QueueState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    ///
+    /// (The stand-in never reports disconnected receivers — the shared queue
+    /// lives as long as any endpoint — so `send` only fails if the queue
+    /// mutex is poisoned.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender has been dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel; cloneable (mpmc).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if let Ok(mut state) = self.shared.queue.lock() {
+                state.senders -= 1;
+                if state.senders == 0 {
+                    self.shared.ready.notify_all();
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one waiting receiver.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back when the channel mutex is poisoned.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.shared.queue.lock() {
+                Ok(mut state) => {
+                    state.items.push_back(value);
+                    self.shared.ready.notify_one();
+                    Ok(())
+                }
+                Err(_) => Err(SendError(value)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, waiting up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when nothing arrives in time,
+        /// [`RecvTimeoutError::Disconnected`] when the queue is empty and no
+        /// sender remains.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self
+                .shared
+                .queue
+                .lock()
+                .map_err(|_| RecvTimeoutError::Disconnected)?;
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .map_err(|_| RecvTimeoutError::Disconnected)?;
+                state = next;
+                if result.timed_out() && state.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(41).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(41));
+        }
+
+        #[test]
+        fn timeout_on_empty_channel() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+        }
+
+        #[test]
+        fn disconnected_when_senders_dropped() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || tx.send(7).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Ok(7));
+            handle.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for `parking_lot`, providing the non-poisoning
+//! [`Mutex`] API the workspace uses (`lock()` returning the guard directly).
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched. This wraps `std::sync::Mutex` and recovers from poisoning the
+//! way `parking_lot` behaves (poisoning does not exist there).
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            // parking_lot has no poisoning: keep going with the data as-is.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(3);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 4);
+        assert_eq!(m.into_inner(), 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for `proptest`, covering the subset the workspace's
+//! property tests use: the [`proptest!`] macro with `name in range`
+//! strategies over integer ranges, `prop_assume!`, `prop_assert!` and
+//! `prop_assert_eq!`.
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched. Each property runs a fixed number of cases with inputs drawn
+//! from a deterministically seeded generator — no shrinking, but failures
+//! print the sampled inputs via the assertion message and reproduce exactly
+//! on re-run.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs (the real crate defaults to 256; this
+/// stand-in trades coverage for suite run time like the seed's
+/// `ProptestConfig::with_cases(24)` did).
+pub const DEFAULT_CASES: usize = 24;
+
+/// Configuration marker accepted (and ignored) by [`proptest!`]'s
+/// `#![proptest_config]` attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig;
+
+impl ProptestConfig {
+    /// Accepted for API compatibility; the stand-in always runs
+    /// [`DEFAULT_CASES`] cases.
+    pub fn with_cases(_cases: u32) -> Self {
+        Self
+    }
+}
+
+/// Deterministic input sampler used by the generated test bodies.
+#[derive(Debug)]
+pub struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// Creates a sampler with a fixed seed so failures reproduce.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(0x_5EED_CA5E),
+        }
+    }
+
+    /// Draws one value from an integer or float range strategy.
+    pub fn sample<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.rng.gen_range(range)
+    }
+}
+
+/// Declares property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    (
+        // `#[test]` is matched by the generic attribute repetition and
+        // re-emitted with it.
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $range:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut sampler = $crate::Sampler::new();
+            for _ in 0..$crate::DEFAULT_CASES {
+                $(let $arg = sampler.sample($range);)*
+                // prop_assume! returns from this closure to skip the case.
+                let case = || $body;
+                case();
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+}
+
+/// Skips the current case when `cond` is false (stand-in for
+/// `proptest::prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Asserts within a property (stand-in for `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality within a property (stand-in for
+/// `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The usual glob import surface (stand-in for `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Sampler};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Ranges and assume/assert plumbing all work.
+        #[test]
+        fn sampled_values_stay_in_range(x in 0usize..10, y in 1u64..=4) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert!((1..=4).contains(&y));
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = Sampler::new();
+        let mut b = Sampler::new();
+        for _ in 0..50 {
+            let x: u64 = a.sample(0u64..1000);
+            let y: u64 = b.sample(0u64..1000);
+            assert_eq!(x, y);
+        }
+    }
+}

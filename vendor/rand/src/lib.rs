@@ -1,0 +1,297 @@
+//! Offline stand-in for the `rand` crate, implementing the 0.8-API subset
+//! this workspace uses: [`Rng::gen_range`] over integer and float ranges,
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], [`thread_rng`] and
+//! [`distributions::Uniform`].
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched. Determinism is what the workspace actually relies on (seeded
+//! weight generation, Poisson streams, equivalence tests); statistical
+//! quality only needs to be good enough for uniform draws, which the
+//! SplitMix64 generator provides. The streams do **not** bit-match the real
+//! `rand` crate — all call sites only compare streams produced by this
+//! implementation against itself.
+
+/// A source of random 64-bit words; the supertrait of [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The SplitMix64 step used by [`rngs::StdRng`] and to expand seeds.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: a seeded SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up mix so nearby seeds diverge immediately.
+            let mut state = seed;
+            let _ = splitmix64(&mut state);
+            Self { state }
+        }
+    }
+
+    /// Stand-in for `rand::rngs::ThreadRng` (not cryptographic; seeded from
+    /// the wall clock).
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        state: u64,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new() -> Self {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED);
+            let mut state = nanos;
+            let _ = splitmix64(&mut state);
+            Self { state }
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+/// Returns a fresh non-deterministic generator (stand-in for
+/// `rand::thread_rng`).
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+/// Uniform distributions (stand-in for `rand::distributions`).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can produce values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed or half-open interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: uniform::SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(rng, self.low, self.high, self.inclusive)
+        }
+    }
+
+    /// Uniform-sampling support traits (stand-in for
+    /// `rand::distributions::uniform`).
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Types that can be drawn uniformly from an interval.
+        pub trait SampleUniform: Sized + Copy {
+            /// Draws uniformly from `[low, high)` (or `[low, high]` when
+            /// `inclusive`).
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128;
+                        let span = (hi - lo) + if inclusive { 1 } else { 0 };
+                        assert!(span > 0, "gen_range: empty range");
+                        // Modulo bias is ≤ span/2^64, irrelevant here.
+                        (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    low < high || (inclusive && low <= high),
+                    "gen_range: empty range"
+                );
+                // 53 random mantissa bits → u in [0, 1).
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                low + u * (high - low)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                f64::sample_between(rng, low as f64, high as f64, inclusive) as f32
+            }
+        }
+
+        /// Ranges usable with [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, *self.start(), *self.end(), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pair(), b.next_u64_pair());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64_pair(), c.next_u64_pair());
+    }
+
+    trait Pair {
+        fn next_u64_pair(&mut self) -> (u64, u64);
+    }
+    impl Pair for StdRng {
+        fn next_u64_pair(&mut self) -> (u64, u64) {
+            use super::RngCore;
+            (self.next_u64(), self.next_u64())
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..5);
+            assert!(x < 5);
+            let f: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_stays_in_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5f32);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the real `serde` cannot be
+//! fetched. The workspace uses `Serialize`/`Deserialize` purely as derive
+//! markers on result types (nothing serialises through serde at run time —
+//! JSON output is hand-rolled in `hidp-bench`), so this crate provides the
+//! two trait names with blanket impls and re-exports the no-op derives.
+//!
+//! If real serialisation is ever needed, replace this stand-in with the real
+//! crate by restoring a registry source for `serde` in the root manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`; blanket-implemented for
+/// every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`; blanket-implemented
+/// for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
