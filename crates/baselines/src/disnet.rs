@@ -48,6 +48,10 @@ impl DistributedStrategy for DisNetStrategy {
         "DisNet"
     }
 
+    fn cache_config(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn plan(
         &self,
         graph: &DnnGraph,

@@ -46,6 +46,10 @@ impl DistributedStrategy for ModnnStrategy {
         "MoDNN"
     }
 
+    fn cache_config(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn plan(
         &self,
         graph: &DnnGraph,

@@ -318,6 +318,10 @@ impl DistributedStrategy for OmniBoostStrategy {
         "OmniBoost"
     }
 
+    fn cache_config(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn plan(
         &self,
         graph: &DnnGraph,

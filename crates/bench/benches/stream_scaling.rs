@@ -1,0 +1,59 @@
+//! Benchmarks the simulator hot path on long mixed streams: the
+//! event-driven engine against the O(n²) list-scheduling baseline, plus the
+//! per-request cost of planning through a warm `PlanCache`. The CI
+//! bench-smoke job runs this with `--test` (one untimed pass per benchmark)
+//! so the perf path compiles and executes on every PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::{scaling_stream, LEADER, SCALING_MODELS};
+use hidp_core::{HidpStrategy, PlanCache};
+use hidp_platform::presets;
+use hidp_sim::{simulate_stream, simulate_stream_reference};
+
+fn bench_stream_scaling(c: &mut Criterion) {
+    let cluster = presets::paper_cluster();
+    let mut group = c.benchmark_group("stream_scaling");
+    group.sample_size(10);
+
+    for count in [100usize, 1000] {
+        let planned = scaling_stream(count, 0.05);
+        group.bench_with_input(BenchmarkId::new("event", count), &planned, |b, planned| {
+            b.iter(|| simulate_stream(planned, &cluster).expect("simulates"))
+        });
+    }
+
+    // The quadratic baseline: one small point for a same-size comparison and
+    // the 1 000-request point the speedup criterion is measured at (few
+    // samples — a single run is ~n² task scans).
+    for (count, samples) in [(100usize, 10usize), (1000, 2)] {
+        let planned = scaling_stream(count, 0.05);
+        group.sample_size(samples);
+        group.bench_with_input(BenchmarkId::new("list", count), &planned, |b, planned| {
+            b.iter(|| simulate_stream_reference(planned, &cluster).expect("simulates"))
+        });
+    }
+
+    // Warm-cache planning: the per-request planning cost once the three
+    // distinct models of the mix are cached (graphs prebuilt, as in the
+    // Scenario pipeline).
+    group.sample_size(10);
+    let strategy = HidpStrategy::new();
+    let cache = PlanCache::new();
+    let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, 1000);
+    let stream = hidp_workloads::InferenceRequest::to_stream(&requests);
+    group.bench_function(BenchmarkId::new("plan_cached", 1000), |b| {
+        b.iter(|| {
+            for (_, graph) in &stream {
+                criterion::black_box(
+                    cache
+                        .plan(&strategy, graph, &cluster, LEADER)
+                        .expect("planning succeeds"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_scaling);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ fn main() {
         hidp_bench::accuracy_equivalence(),
         hidp_bench::dse_overhead(),
         hidp_bench::ablation(),
+        hidp_bench::poisson_stress(&[0.5, 1.0, 2.0, 4.0], 48, 42),
     ];
     for table in &tables {
         println!("{}", table.to_markdown());

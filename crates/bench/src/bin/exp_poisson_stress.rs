@@ -1,0 +1,18 @@
+//! Poisson stress experiment: open-loop Poisson request streams over the
+//! four target DNNs, swept across arrival rates, reporting p50/p95/p99
+//! latency per strategy. Exercises the `poisson_stream` workload generator
+//! end to end; the rate sweep reuses plans through one `PlanCache` per
+//! strategy, so even the MCTS baseline plans each model only once.
+//!
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rates, count): (&[f64], usize) = if quick {
+        (&[1.0, 4.0], 12)
+    } else {
+        (&[0.5, 1.0, 2.0, 4.0], 48)
+    };
+    let table = hidp_bench::poisson_stress(rates, count, 42);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,31 @@
+//! Stream-scaling experiment: measures the event-driven simulator against
+//! the O(n²) list-scheduling baseline on mixed streams 10×–100× the paper's
+//! Fig. 6/7 lengths, plus the per-request planning cost through a warm
+//! `PlanCache`. Prints a markdown table and writes the measurements to
+//! `BENCH_stream_scaling.json` to track the perf trajectory across PRs.
+//!
+//! Pass `--quick` (the CI bench-smoke mode) to run reduced sizes.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Fig. 7 streams are 16 requests; 160–1600 is the 10×–100× band the
+    // issue targets, with the 1 000-request point carrying the headline
+    // old-vs-new comparison.
+    let (sizes, list_cap): (&[usize], usize) = if quick {
+        (&[40, 160], 160)
+    } else {
+        (&[160, 400, 1000, 1600], 1000)
+    };
+    let points = hidp_bench::stream_scaling_points(sizes, list_cap);
+    println!(
+        "{}",
+        hidp_bench::stream_scaling_table(&points).to_markdown()
+    );
+
+    let json = hidp_bench::stream_scaling_json(&points);
+    let path = "BENCH_stream_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use hidp_baselines::paper_strategies;
+use hidp_core::PlanCache;
 use hidp_core::{
     chain_segments, workload_summary, DseAgent, DsePolicy, GlobalPartitioner, HidpStrategy,
     LocalPartitioner, Scenario, SystemModel,
@@ -22,10 +23,10 @@ use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partit
 use hidp_dnn::partition::partition_into_blocks;
 use hidp_dnn::zoo::{self, WorkloadModel};
 use hidp_platform::{presets, Cluster, NodeIndex, ProcessorAddr};
-use hidp_sim::stats::performance_timeline;
-use hidp_sim::ExecutionPlan;
+use hidp_sim::stats::{percentile, performance_timeline};
+use hidp_sim::{simulate_stream, simulate_stream_reference, ExecutionPlan};
 use hidp_tensor::Tensor;
-use hidp_workloads::{dynamic_scenario, mixes, InferenceRequest};
+use hidp_workloads::{dynamic_scenario, mixes, poisson_stream, InferenceRequest};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -448,6 +449,239 @@ pub fn fig8_node_scaling() -> ExperimentTable {
             })
             .collect();
         table.push_row(format!("{nodes} nodes"), values);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Stream scaling: the event-driven engine and the plan cache at 10×–100× the
+// Fig. 6/7 stream lengths
+// ---------------------------------------------------------------------------
+
+/// The model cycle used by the stream-scaling and bench workloads: the
+/// three-model Mix-5 of Fig. 7.
+pub const SCALING_MODELS: [WorkloadModel; 3] = [
+    WorkloadModel::EfficientNetB0,
+    WorkloadModel::InceptionV3,
+    WorkloadModel::ResNet152,
+];
+
+/// Builds the `(arrival, plan)` stream the scaling experiments simulate:
+/// `count` requests cycling through [`SCALING_MODELS`] every
+/// `interval_seconds`, planned by HiDP through a [`PlanCache`] (three
+/// planner invocations regardless of `count`).
+pub fn scaling_stream(count: usize, interval_seconds: f64) -> Vec<(f64, ExecutionPlan)> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let cache = PlanCache::new();
+    let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, interval_seconds, count);
+    InferenceRequest::to_stream(&requests)
+        .into_iter()
+        .map(|(arrival, graph)| {
+            let plan = cache
+                .plan(&strategy, &graph, &cluster, LEADER)
+                .expect("planning succeeds");
+            (arrival, plan.as_ref().clone())
+        })
+        .collect()
+}
+
+/// One measured point of the stream-scaling experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamScalingPoint {
+    /// Stream length in requests.
+    pub requests: usize,
+    /// Total task count across all plans.
+    pub tasks: usize,
+    /// Wall-clock of the event-driven engine over the whole stream, ms.
+    pub event_sim_ms: f64,
+    /// Wall-clock of the O(n²) list-scheduling baseline, ms (`None` when the
+    /// point was too large to run the baseline).
+    pub list_sim_ms: Option<f64>,
+    /// Baseline time over event-engine time.
+    pub speedup: Option<f64>,
+    /// Per-request planning cost through a warm [`PlanCache`], µs.
+    pub cached_plan_us_per_request: f64,
+    /// Per-request plan-and-simulate cost (warm cache + event engine), µs.
+    pub plan_and_simulate_us_per_request: f64,
+}
+
+fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures the stream-scaling experiment: for each stream length in
+/// `sizes`, the event-driven engine's wall-clock, the list-scheduling
+/// baseline's wall-clock (only up to `list_baseline_cap` requests — the
+/// baseline is quadratic), and the per-request cost of cached planning.
+pub fn stream_scaling_points(sizes: &[usize], list_baseline_cap: usize) -> Vec<StreamScalingPoint> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &count in sizes {
+        let planned = scaling_stream(count, 0.05);
+        let tasks: usize = planned.iter().map(|(_, p)| p.len()).sum();
+
+        // Same run count on both sides so the best-of selection does not
+        // bias the speedup toward the engine that got more attempts.
+        let event_sim_ms = time_best_of(2, || {
+            simulate_stream(&planned, &cluster).expect("stream simulates")
+        }) * 1e3;
+        let list_sim_ms = (count <= list_baseline_cap).then(|| {
+            time_best_of(2, || {
+                simulate_stream_reference(&planned, &cluster).expect("stream simulates")
+            }) * 1e3
+        });
+
+        // Warm-cache planning cost: what each additional request pays for
+        // its plan once the three distinct models are cached. Graphs are
+        // prebuilt, as in the Scenario pipeline, so this times the keyed
+        // lookup (fingerprints + hash probe), not zoo construction.
+        let cache = PlanCache::new();
+        let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, count);
+        let stream = InferenceRequest::to_stream(&requests);
+        for (_, graph) in &stream {
+            cache
+                .plan(&strategy, graph, &cluster, LEADER)
+                .expect("planning succeeds");
+        }
+        let cached_plan_s = time_best_of(3, || {
+            for (_, graph) in &stream {
+                std::hint::black_box(
+                    cache
+                        .plan(&strategy, graph, &cluster, LEADER)
+                        .expect("planning succeeds"),
+                );
+            }
+        });
+
+        points.push(StreamScalingPoint {
+            requests: count,
+            tasks,
+            event_sim_ms,
+            list_sim_ms,
+            speedup: list_sim_ms.map(|l| l / event_sim_ms),
+            cached_plan_us_per_request: cached_plan_s * 1e6 / count as f64,
+            plan_and_simulate_us_per_request: (cached_plan_s * 1e3 + event_sim_ms) * 1e3
+                / count as f64,
+        });
+    }
+    points
+}
+
+/// Renders stream-scaling points as an [`ExperimentTable`] (ms / µs mix; the
+/// unit column names carry the units).
+pub fn stream_scaling_table(points: &[StreamScalingPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Stream scaling: event-driven engine vs list-scheduling baseline",
+        "ms / µs / ×",
+        vec![
+            "tasks".to_string(),
+            "event_sim_ms".to_string(),
+            "list_sim_ms".to_string(),
+            "speedup_x".to_string(),
+            "cached_plan_us_per_req".to_string(),
+            "plan+sim_us_per_req".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            format!("{} requests", p.requests),
+            vec![
+                p.tasks as f64,
+                p.event_sim_ms,
+                p.list_sim_ms.unwrap_or(f64::NAN),
+                p.speedup.unwrap_or(f64::NAN),
+                p.cached_plan_us_per_request,
+                p.plan_and_simulate_us_per_request,
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises stream-scaling points as the `BENCH_stream_scaling.json`
+/// perf-trajectory document (hand-rolled like [`tables_to_json`]: the build
+/// environment has no serde_json).
+pub fn stream_scaling_json(points: &[StreamScalingPoint]) -> String {
+    fn opt(v: Option<f64>) -> String {
+        match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_string(),
+        }
+    }
+    let mut out = String::from("{\n  \"benchmark\": \"stream_scaling\",\n");
+    out.push_str("  \"workload\": \"Mix-5 cycle (efficientnet_b0, inception_v3, resnet152), 0.05 s inter-arrival, HiDP plans via PlanCache\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"requests\": {}, \"tasks\": {}, \"event_sim_ms\": {}, \"list_sim_ms\": {}, \"speedup\": {}, \"cached_plan_us_per_request\": {}, \"plan_and_simulate_us_per_request\": {}}}{}\n",
+            p.requests,
+            p.tasks,
+            opt(Some(p.event_sim_ms)),
+            opt(p.list_sim_ms),
+            opt(p.speedup),
+            opt(Some(p.cached_plan_us_per_request)),
+            opt(Some(p.plan_and_simulate_us_per_request)),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Poisson stress: latency tails under open-loop arrivals
+// ---------------------------------------------------------------------------
+
+/// Poisson stress experiment: for each arrival rate (requests/second) and
+/// each strategy, simulates an open-loop Poisson stream of `count` requests
+/// drawn uniformly from the four target DNNs and reports p50/p95/p99
+/// latency in milliseconds. Plans are reused across rates through one
+/// [`PlanCache`] per strategy (the model set and cluster do not change), so
+/// the sweep pays each planner exactly four invocations.
+pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable {
+    let cluster = presets::paper_cluster();
+    let strategies = paper_strategies();
+    let mut table = ExperimentTable::new(
+        "Poisson stress: latency percentiles vs arrival rate",
+        "ms",
+        vec![
+            "rate_per_s".to_string(),
+            "p50_ms".to_string(),
+            "p95_ms".to_string(),
+            "p99_ms".to_string(),
+        ],
+    );
+    for strategy in &strategies {
+        let cache = PlanCache::new();
+        for &rate in rates {
+            let requests = poisson_stream(&WorkloadModel::ALL, rate, count, seed);
+            let evaluation = InferenceRequest::evaluate_stream(
+                &requests,
+                strategy.as_ref(),
+                &cluster,
+                LEADER,
+                &cache,
+            )
+            .expect("stream evaluation succeeds");
+            let latencies = &evaluation.latencies;
+            table.push_row(
+                format!("{} @ {rate}/s", strategy.name()),
+                vec![
+                    rate,
+                    percentile(latencies, 50.0).expect("non-empty") * 1e3,
+                    percentile(latencies, 95.0).expect("non-empty") * 1e3,
+                    percentile(latencies, 99.0).expect("non-empty") * 1e3,
+                ],
+            );
+        }
     }
     table
 }

@@ -258,6 +258,12 @@ impl DistributedStrategy for HidpStrategy {
         }
     }
 
+    fn cache_config(&self) -> String {
+        // Ablation variants (DSE policy, local tier) share display names but
+        // plan differently; the full config keeps their cache keys apart.
+        format!("{self:?}")
+    }
+
     fn plan(
         &self,
         graph: &DnnGraph,

@@ -45,6 +45,7 @@ mod engine;
 mod error;
 mod global;
 mod local;
+mod plan_cache;
 pub mod runtime;
 mod scenario;
 pub mod scheduler;
@@ -58,6 +59,7 @@ pub use global::{
     chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind,
 };
 pub use local::{LocalAssignment, LocalPartitioner, LocalPolicy, LocalSplit};
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use scenario::{Evaluation, Scenario};
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};

@@ -1,0 +1,337 @@
+//! Plan memoization for streaming workloads.
+//!
+//! Planning is the expensive half of evaluation — OmniBoost's 400-iteration
+//! MCTS in particular — yet workload-mix streams (Fig. 7) cycle through 2–3
+//! distinct models, so a 1 000-request stream needs only a handful of
+//! distinct plans. [`PlanCache`] memoizes [`DistributedStrategy::plan`]
+//! results keyed by everything a plan can depend on: the strategy name, the
+//! graph's content fingerprint, the batch size, the leader node and the
+//! cluster fingerprint (which covers the availability vector, so node
+//! failures invalidate cached plans automatically).
+//!
+//! Every strategy in the workspace is a deterministic function of that key —
+//! even the MCTS baseline reseeds its RNG per call — so a cache hit returns
+//! bit-identical plans and changes no simulation result, only its cost.
+
+use crate::strategy::DistributedStrategy;
+use crate::CoreError;
+use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, NodeIndex};
+use hidp_sim::ExecutionPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything a [`DistributedStrategy::plan`] call can depend on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Strategy display name.
+    pub strategy: String,
+    /// [`DistributedStrategy::cache_config`]: distinguishes
+    /// differently-configured instances sharing a display name (ablation
+    /// variants, MCTS iteration counts) so they never serve each other's
+    /// plans.
+    pub strategy_config: String,
+    /// [`DnnGraph::fingerprint`] of the request's graph.
+    pub graph_fingerprint: u64,
+    /// Batch size of the request (also folded into the graph fingerprint;
+    /// kept explicit so keys stay debuggable).
+    pub batch: usize,
+    /// The node the request arrives at.
+    pub leader: NodeIndex,
+    /// [`Cluster::fingerprint`] of the target cluster, including its
+    /// availability vector.
+    pub cluster_fingerprint: u64,
+}
+
+impl PlanKey {
+    /// Builds the cache key for one planning call.
+    pub fn new(
+        strategy: &dyn DistributedStrategy,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Self {
+        Self {
+            strategy: strategy.name().to_string(),
+            strategy_config: strategy.cache_config(),
+            graph_fingerprint: graph.fingerprint(),
+            batch: graph.input_shape().batch(),
+            leader,
+            cluster_fingerprint: cluster.fingerprint(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`PlanCache`], also surfaced per evaluation on
+/// [`crate::Evaluation::plan_cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to invoke the strategy's planner.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<PlanKey, Arc<ExecutionPlan>>,
+    stats: PlanCacheStats,
+}
+
+/// A memoization table for strategy planning, shareable across scenarios
+/// (and threads: all state sits behind a mutex).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached plan for `(strategy, graph, cluster, leader)`,
+    /// planning and inserting it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures (nothing is inserted in that case).
+    pub fn plan(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<Arc<ExecutionPlan>, CoreError> {
+        self.plan_tracked(strategy, graph, cluster, leader)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`PlanCache::plan`] plus whether the lookup hit, so callers (e.g.
+    /// [`crate::Scenario::run_with_cache`]) can attribute hits/misses to
+    /// themselves without racing other users of a shared cache.
+    pub fn plan_tracked(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
+        self.plan_keyed(
+            PlanKey::new(strategy, graph, cluster, leader),
+            strategy,
+            graph,
+            cluster,
+            leader,
+        )
+    }
+
+    /// Lookup with a caller-built key, for hot loops that hoist the
+    /// loop-invariant key parts (cluster fingerprint, strategy strings) out
+    /// of a per-request loop instead of recomputing them each lookup. The
+    /// caller must pass the same `(strategy, graph, cluster, leader)` the
+    /// key was built from.
+    pub(crate) fn plan_keyed(
+        &self,
+        key: PlanKey,
+        strategy: &dyn DistributedStrategy,
+        graph: &DnnGraph,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
+        {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            if let Some(plan) = inner.plans.get(&key) {
+                let plan = Arc::clone(plan);
+                inner.stats.hits += 1;
+                return Ok((plan, true));
+            }
+            inner.stats.misses += 1;
+        }
+        // Plan outside the lock: planning can take milliseconds (MCTS), and
+        // strategies are deterministic, so a concurrent duplicate plan for
+        // the same key is wasted work but not an inconsistency.
+        let plan = Arc::new(strategy.plan(graph, cluster, leader)?);
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let entry = inner.plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().expect("plan cache lock").stats
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").plans.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached plans and resets the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.plans.clear();
+        inner.stats = PlanCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HidpStrategy;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+
+        let first = cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 0, misses: 1 });
+        let second = cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+        // The hit returns the very same plan.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_models_leaders_and_strategies_get_distinct_entries() {
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let b0 = WorkloadModel::EfficientNetB0.graph(1);
+        let inception = WorkloadModel::InceptionV3.graph(1);
+
+        cache.plan(&strategy, &b0, &cluster, NodeIndex(1)).unwrap();
+        cache
+            .plan(&strategy, &inception, &cluster, NodeIndex(1))
+            .unwrap();
+        cache.plan(&strategy, &b0, &cluster, NodeIndex(0)).unwrap();
+        // Batch changes the graph fingerprint too.
+        cache
+            .plan(
+                &strategy,
+                &b0.with_batch(2).unwrap(),
+                &cluster,
+                NodeIndex(1),
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn same_name_different_config_gets_distinct_entries() {
+        // Ablation variants share the "HiDP" display name but plan
+        // differently; cache_config keeps their keys apart.
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let full = HidpStrategy::new();
+        let model_only = HidpStrategy {
+            global: crate::GlobalPartitioner {
+                dse: crate::DseAgent::with_policy(crate::DsePolicy::ModelOnly),
+                ..crate::GlobalPartitioner::hidp()
+            },
+            local: crate::LocalPartitioner::hidp(),
+        };
+        assert_eq!(
+            crate::strategy::DistributedStrategy::name(&full),
+            crate::strategy::DistributedStrategy::name(&model_only)
+        );
+        cache.plan(&full, &graph, &cluster, NodeIndex(1)).unwrap();
+        cache
+            .plan(&model_only, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn availability_change_invalidates_by_key() {
+        let cache = PlanCache::new();
+        let mut cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::InceptionV3.graph(1);
+
+        cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        // A node drops out: the cluster fingerprint changes, so the stale
+        // plan (which may target the dead node) is not reused.
+        cluster.set_available(NodeIndex(3), false).unwrap();
+        cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        // The node comes back: the original entry applies again.
+        cluster.set_available(NodeIndex(3), true).unwrap();
+        cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn clear_resets_plans_and_stats() {
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn cached_plans_are_bit_identical_to_fresh_ones() {
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let graph = WorkloadModel::ResNet152.graph(1);
+        let cached = cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .unwrap();
+        let fresh =
+            crate::strategy::DistributedStrategy::plan(&strategy, &graph, &cluster, NodeIndex(1))
+                .unwrap();
+        assert_eq!(*cached.as_ref(), fresh);
+    }
+}

@@ -23,6 +23,7 @@
 //! # }
 //! ```
 
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::strategy::DistributedStrategy;
 use crate::CoreError;
 use hidp_dnn::DnnGraph;
@@ -88,6 +89,13 @@ impl Scenario {
     /// Plans every request with `strategy` and simulates the plans on
     /// `cluster`, with requests arriving at `leader`.
     ///
+    /// Planning consults a scenario-local [`PlanCache`], so a stream that
+    /// cycles through a few distinct models plans each one exactly once.
+    /// All strategies are deterministic, so memoization changes no result —
+    /// only its cost. To reuse plans *across* scenarios (e.g. a rate sweep
+    /// over the same models), pass a shared cache to
+    /// [`Scenario::run_with_cache`] instead.
+    ///
     /// # Errors
     ///
     /// Returns an error when the scenario is empty, when planning any
@@ -98,16 +106,59 @@ impl Scenario {
         cluster: &Cluster,
         leader: NodeIndex,
     ) -> Result<Evaluation, CoreError> {
+        self.run_with_cache(strategy, cluster, leader, &PlanCache::new())
+    }
+
+    /// [`Scenario::run`] against a caller-owned [`PlanCache`], for reusing
+    /// plans across scenario runs. The returned evaluation's
+    /// [`Evaluation::plan_cache`] counts only this run's lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario is empty, when planning any
+    /// request fails, or when simulation fails.
+    pub fn run_with_cache(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<Evaluation, CoreError> {
         if self.requests.is_empty() {
             return Err(CoreError::Infeasible {
                 what: format!("scenario '{}' has no requests", self.label),
             });
         }
+        // Counted per lookup, not as a before/after delta of the shared
+        // counters, so concurrent users of the same cache do not inflate
+        // this run's numbers.
+        let mut stats = PlanCacheStats::default();
         let mut planned = Vec::with_capacity(self.requests.len());
+        // Everything except the graph fingerprint is loop-invariant; hoist
+        // it so each request pays a hash probe, not a cluster walk.
+        let strategy_name = strategy.name().to_string();
+        let strategy_config = strategy.cache_config();
+        let cluster_fingerprint = cluster.fingerprint();
         for (arrival, graph) in &self.requests {
-            planned.push((*arrival, strategy.plan(graph, cluster, leader)?));
+            let key = crate::PlanKey {
+                strategy: strategy_name.clone(),
+                strategy_config: strategy_config.clone(),
+                graph_fingerprint: graph.fingerprint(),
+                batch: graph.input_shape().batch(),
+                leader,
+                cluster_fingerprint,
+            };
+            let (plan, hit) = cache.plan_keyed(key, strategy, graph, cluster, leader)?;
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            planned.push((*arrival, plan.as_ref().clone()));
         }
-        Self::run_plans(strategy.name(), &self.label, planned, cluster)
+        let mut evaluation = Self::run_plans(strategy.name(), &self.label, planned, cluster)?;
+        evaluation.plan_cache = Some(stats);
+        Ok(evaluation)
     }
 
     /// Simulates already-built execution plans — the tail of the pipeline,
@@ -139,6 +190,7 @@ impl Scenario {
             makespan: report.makespan,
             total_energy,
             dynamic_energy,
+            plan_cache: None,
             report,
         })
     }
@@ -159,6 +211,9 @@ pub struct Evaluation {
     pub total_energy: f64,
     /// Workload-attributable (dynamic) energy in joules.
     pub dynamic_energy: f64,
+    /// Plan-cache hit/miss counters for this run (`None` when the scenario
+    /// was built from pre-made plans via [`Scenario::run_plans`]).
+    pub plan_cache: Option<PlanCacheStats>,
     /// The simulated report (timings of every task).
     pub report: SimReport,
 }
@@ -272,7 +327,56 @@ mod tests {
         let via_plans =
             Scenario::run_plans("HiDP", graph.name(), vec![(0.0, plan)], &cluster).unwrap();
         assert_eq!(via_run.latencies, via_plans.latencies);
-        // Energy sums over an unordered accounting map, so allow ULP noise.
-        assert!((via_run.total_energy - via_plans.total_energy).abs() < 1e-9);
+        // Energy accounting sums in sorted processor order, so the two paths
+        // are bit-identical — exact equality, no ULP tolerance.
+        assert_eq!(via_run.total_energy, via_plans.total_energy);
+        assert_eq!(via_run.dynamic_energy, via_plans.dynamic_energy);
+        assert_eq!(via_run.report, via_plans.report);
+    }
+
+    #[test]
+    fn cyclic_mix_plans_each_distinct_model_exactly_once() {
+        // A 3-model mix repeated 3 times: 9 requests, 3 planner invocations.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let models = [
+            WorkloadModel::EfficientNetB0,
+            WorkloadModel::InceptionV3,
+            WorkloadModel::ResNet152,
+        ];
+        let requests: Vec<(f64, hidp_dnn::DnnGraph)> = (0..9)
+            .map(|i| (i as f64 * 0.2, models[i % 3].graph(1)))
+            .collect();
+        let eval = Scenario::stream(requests)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let stats = eval.plan_cache.expect("run() surfaces cache stats");
+        assert_eq!(stats.misses, 3, "each distinct model planned once");
+        assert_eq!(stats.hits, 6, "repeats served from the cache");
+        assert_eq!(eval.latencies.len(), 9);
+    }
+
+    #[test]
+    fn shared_cache_reuses_plans_across_runs() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let cache = crate::PlanCache::new();
+        let scenario = Scenario::single(WorkloadModel::Vgg19.graph(1));
+
+        let cold = scenario
+            .run_with_cache(&strategy, &cluster, NodeIndex(1), &cache)
+            .unwrap();
+        let warm = scenario
+            .run_with_cache(&strategy, &cluster, NodeIndex(1), &cache)
+            .unwrap();
+        // Per-run stats are deltas, not cumulative counters.
+        assert_eq!(cold.plan_cache.unwrap().misses, 1);
+        assert_eq!(cold.plan_cache.unwrap().hits, 0);
+        assert_eq!(warm.plan_cache.unwrap().misses, 0);
+        assert_eq!(warm.plan_cache.unwrap().hits, 1);
+        // Memoization changes cost, never results.
+        assert_eq!(cold.latencies, warm.latencies);
+        assert_eq!(cold.total_energy, warm.total_energy);
+        assert_eq!(cold.report, warm.report);
     }
 }

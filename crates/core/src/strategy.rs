@@ -20,6 +20,17 @@ pub trait DistributedStrategy {
     /// Short display name used in experiment tables (e.g. `"HiDP"`).
     fn name(&self) -> &str;
 
+    /// A string distinguishing differently-configured instances that share a
+    /// display name (e.g. ablation variants, MCTS iteration counts). It is
+    /// folded into [`crate::PlanCache`] keys so such instances never serve
+    /// each other's plans. The default (empty) is only correct for
+    /// strategies without configuration; configurable strategies should
+    /// return their config, e.g. `format!("{self:?}")` on a Debug-derived
+    /// config struct.
+    fn cache_config(&self) -> String {
+        String::new()
+    }
+
     /// Produces the execution plan for one inference request arriving at
     /// `leader`.
     ///

@@ -66,6 +66,7 @@ pub struct DnnGraph {
     topo_order: Vec<NodeId>,
     consumers: Vec<Vec<NodeId>>,
     cut_points: Vec<NodeId>,
+    fingerprint: u64,
 }
 
 impl DnnGraph {
@@ -171,6 +172,7 @@ impl DnnGraph {
             }
         }
 
+        let fingerprint = fingerprint_of(&name, &nodes, &costs);
         Ok(Self {
             name,
             nodes,
@@ -178,6 +180,7 @@ impl DnnGraph {
             topo_order,
             consumers,
             cut_points,
+            fingerprint,
         })
     }
 
@@ -292,6 +295,18 @@ impl DnnGraph {
             / total
     }
 
+    /// A content fingerprint of the graph: name, topology and every
+    /// cost-model-visible annotation (per-layer category, GPU affinity,
+    /// flops, parameter/activation bytes and output shape). Two graphs with
+    /// the same fingerprint are indistinguishable to the partitioning
+    /// strategies, which plan from exactly these quantities — so plan caches
+    /// key on it. Computed once at construction (O(1) to read, so cache
+    /// lookups on the streaming hot path cost a hash probe, not a graph
+    /// walk) and stable across processes (FNV-1a, no random hash seeds).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Returns a copy of this graph with a different batch size on the input
     /// layer (costs are recomputed).
     ///
@@ -304,6 +319,77 @@ impl DnnGraph {
             *shape = shape.with_batch(batch);
         }
         Self::new(self.name.clone(), nodes)
+    }
+}
+
+/// Hashes everything the partitioning strategies can observe about a graph.
+/// Called once from [`DnnGraph::new`] and stored.
+fn fingerprint_of(name: &str, nodes: &[LayerNode], costs: &[NodeCost]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(name);
+    h.write_usize(nodes.len());
+    for (node, cost) in nodes.iter().zip(costs.iter()) {
+        h.write_str(&node.name);
+        h.write_str(node.kind.category());
+        h.write_f64(node.kind.gpu_affinity());
+        h.write_usize(node.inputs.len());
+        for dep in &node.inputs {
+            h.write_usize(dep.0);
+        }
+        h.write_u64(cost.flops);
+        h.write_u64(cost.parameter_bytes);
+        h.write_u64(cost.output_bytes);
+        let dims = cost.output_shape.dims();
+        h.write_usize(dims.len());
+        for d in dims {
+            h.write_usize(d);
+        }
+    }
+    h.finish()
+}
+
+/// 64-bit FNV-1a accumulator backing [`DnnGraph::fingerprint`]. `std`'s
+/// hashers are randomly seeded per process, so fingerprints roll their own.
+///
+/// Deliberately duplicates `crates/platform/src/fingerprint.rs`: the two
+/// crates are independent (platform models hardware, dnn models networks)
+/// and a shared-hasher crate is not worth a new dependency edge for ~40
+/// lines of a frozen algorithm. If you change the encoding rules here
+/// (e.g. the length prefix), change the platform copy too.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -540,6 +626,26 @@ mod tests {
         let g = chain_graph();
         let a = g.gpu_affinity();
         assert!(a > 0.0 && a <= 1.0);
+    }
+
+    #[test]
+    fn fingerprint_keys_on_content() {
+        let g = chain_graph();
+        // Deterministic for identical content.
+        assert_eq!(g.fingerprint(), g.fingerprint());
+        assert_eq!(g.fingerprint(), chain_graph().fingerprint());
+        // Different topology and different batch are distinct.
+        assert_ne!(g.fingerprint(), residual_graph().fingerprint());
+        assert_ne!(g.fingerprint(), g.with_batch(2).unwrap().fingerprint());
+        // So is the model name, with everything else identical.
+        fn tiny(name: &str) -> DnnGraph {
+            let mut b = GraphBuilder::new(name);
+            let input = b.input(Shape::map(1, 1, 4, 4));
+            b.layer("bn", LayerKind::BatchNorm, &[input]);
+            b.build().unwrap()
+        }
+        assert_eq!(tiny("a").fingerprint(), tiny("a").fingerprint());
+        assert_ne!(tiny("a").fingerprint(), tiny("b").fingerprint());
     }
 
     #[test]

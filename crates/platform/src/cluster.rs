@@ -3,7 +3,7 @@
 
 use crate::network::NetworkModel;
 use crate::node::{EdgeNode, NodeIndex, ProcessorAddr, ProcessorIndex};
-use crate::processor::Processor;
+use crate::processor::{Processor, ProcessorKind};
 use crate::PlatformError;
 use serde::{Deserialize, Serialize};
 
@@ -190,6 +190,42 @@ impl Cluster {
     pub fn idle_power_w(&self) -> f64 {
         self.nodes.iter().map(|n| n.idle_power_w()).sum()
     }
+
+    /// A content fingerprint of the cluster: nodes, processors, network and
+    /// the availability vector. Two clusters with the same fingerprint plan
+    /// identically, so plan caches key on it; toggling availability (Eq. 4)
+    /// changes the fingerprint and invalidates cached plans. Stable across
+    /// processes (FNV-1a over a canonical encoding, no random hash seeds).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::new();
+        h.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            h.write_str(&node.name);
+            h.write_f64(node.dram_gb);
+            h.write_f64(node.board_power_w);
+            h.write_usize(node.processors.len());
+            for p in &node.processors {
+                h.write_str(&p.name);
+                let (kind, cores) = match p.kind {
+                    ProcessorKind::CpuCluster { cores } => (0u64, cores),
+                    ProcessorKind::Gpu { cores } => (1, cores),
+                    ProcessorKind::Npu => (2, 0),
+                };
+                h.write_u64(kind);
+                h.write_usize(cores);
+                h.write_f64(p.frequency_ghz);
+                h.write_f64(p.peak_gflops);
+                h.write_f64(p.active_power_w);
+                h.write_f64(p.idle_power_w);
+                h.write_f64(p.local_bandwidth_mbps);
+            }
+        }
+        self.network.hash_into(&mut h);
+        for available in &self.available {
+            h.write(&[u8::from(*available)]);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -255,5 +291,37 @@ mod tests {
     fn idle_power_is_positive() {
         let cluster = presets::paper_cluster();
         assert!(cluster.idle_power_w() > 5.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_keyed() {
+        let cluster = presets::paper_cluster();
+        // Reproducible: same content, same hash, on every call.
+        assert_eq!(cluster.fingerprint(), cluster.fingerprint());
+        assert_eq!(
+            cluster.fingerprint(),
+            presets::paper_cluster().fingerprint()
+        );
+        // Availability is part of the identity (plan caches must not reuse
+        // plans computed for a different availability vector).
+        let mut degraded = cluster.clone();
+        degraded.set_available(NodeIndex(2), false).unwrap();
+        assert_ne!(cluster.fingerprint(), degraded.fingerprint());
+        degraded.set_available(NodeIndex(2), true).unwrap();
+        assert_eq!(cluster.fingerprint(), degraded.fingerprint());
+        // So are the nodes and the network.
+        assert_ne!(
+            cluster.fingerprint(),
+            cluster.take(4).unwrap().fingerprint()
+        );
+        let mut slow_net = cluster.clone();
+        let mut network = slow_net.network().clone();
+        network.set_link(
+            NodeIndex(0),
+            NodeIndex(1),
+            crate::network::Link::new(10.0, 5.0).unwrap(),
+        );
+        slow_net.network = network;
+        assert_ne!(cluster.fingerprint(), slow_net.fingerprint());
     }
 }

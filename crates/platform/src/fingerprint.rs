@@ -1,0 +1,82 @@
+//! A tiny deterministic hasher for content fingerprints.
+//!
+//! Plan-cache keys need hashes that are stable across processes and runs, so
+//! `std`'s randomly seeded `HashMap` hasher is out. FNV-1a over a canonical
+//! byte encoding is plenty: the fingerprints key an in-process cache, not a
+//! cryptographic identity.
+//!
+//! Deliberately duplicated in `crates/dnn/src/graph.rs` (the crates are
+//! independent); if the encoding rules change here, change that copy too.
+
+/// 64-bit FNV-1a accumulator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh accumulator.
+    pub(crate) fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds an unsigned integer (little-endian).
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a usize as u64.
+    pub(crate) fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern (exact, no rounding).
+    pub(crate) fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a length-prefixed string (prefix prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_field_boundaries() {
+        let mut ab_c = Fnv64::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = Fnv64::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+}

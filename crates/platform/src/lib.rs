@@ -23,6 +23,7 @@
 
 mod cluster;
 mod error;
+mod fingerprint;
 mod network;
 mod node;
 pub mod power;

@@ -105,6 +105,23 @@ impl NetworkModel {
     pub fn default_link(&self) -> Link {
         self.default_link
     }
+
+    /// Feeds the network description into a fingerprint accumulator.
+    /// Overrides are hashed in sorted key order so the hash does not depend
+    /// on `HashMap` iteration order.
+    pub(crate) fn hash_into(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_f64(self.default_link.bandwidth_mbps);
+        h.write_f64(self.default_link.latency_ms);
+        let mut overrides: Vec<(&(usize, usize), &Link)> = self.overrides.iter().collect();
+        overrides.sort_by_key(|(key, _)| **key);
+        h.write_usize(overrides.len());
+        for ((a, b), link) in overrides {
+            h.write_usize(*a);
+            h.write_usize(*b);
+            h.write_f64(link.bandwidth_mbps);
+            h.write_f64(link.latency_ms);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,20 @@ impl EnergyMeter {
         self.busy_seconds.get(&addr).copied().unwrap_or(0.0)
     }
 
+    /// The recorded `(processor, busy_seconds)` pairs in ascending address
+    /// order. Energy sums iterate this instead of the accounting map so the
+    /// floating-point addition order — and therefore every reported energy —
+    /// is bit-reproducible across runs.
+    fn sorted_busy(&self) -> Vec<(ProcessorAddr, f64)> {
+        let mut entries: Vec<(ProcessorAddr, f64)> = self
+            .busy_seconds
+            .iter()
+            .map(|(addr, busy)| (*addr, *busy))
+            .collect();
+        entries.sort_by_key(|(addr, _)| *addr);
+        entries
+    }
+
     /// Total energy in joules consumed by the whole cluster over a window of
     /// `window_seconds`, counting idle power of every node whether or not it
     /// did any work.
@@ -65,8 +79,8 @@ impl EnergyMeter {
             energy += node.idle_power_w() * window_seconds;
         }
         // Dynamic increment: busy processors draw (active - idle).
-        for (addr, busy) in &self.busy_seconds {
-            let processor = cluster.processor(*addr)?;
+        for (addr, busy) in self.sorted_busy() {
+            let processor = cluster.processor(addr)?;
             let busy = busy.min(window_seconds);
             energy += (processor.active_power_w - processor.idle_power_w).max(0.0) * busy;
         }
@@ -84,8 +98,8 @@ impl EnergyMeter {
     /// `cluster`.
     pub fn dynamic_energy(&self, cluster: &Cluster) -> Result<f64, PlatformError> {
         let mut energy = 0.0;
-        for (addr, busy) in &self.busy_seconds {
-            let processor = cluster.processor(*addr)?;
+        for (addr, busy) in self.sorted_busy() {
+            let processor = cluster.processor(addr)?;
             energy += (processor.active_power_w - processor.idle_power_w).max(0.0) * busy;
         }
         Ok(energy)
@@ -157,6 +171,31 @@ mod tests {
         let mut meter = EnergyMeter::new();
         meter.record_busy(addr(9, 0), 1.0).unwrap();
         assert!(meter.total_energy(&cluster, 1.0).is_err());
+    }
+
+    #[test]
+    fn energy_sums_are_bit_reproducible_across_insertion_orders() {
+        // The same busy set recorded in different orders must produce the
+        // exact same energy: summation runs in sorted address order, not in
+        // HashMap iteration order.
+        let cluster = presets::paper_cluster();
+        let all: Vec<_> = cluster.all_processors();
+        let mut forward = EnergyMeter::new();
+        for (i, addr) in all.iter().enumerate() {
+            forward.record_busy(*addr, 0.1 + i as f64 * 0.013).unwrap();
+        }
+        let mut backward = EnergyMeter::new();
+        for (i, addr) in all.iter().enumerate().rev() {
+            backward.record_busy(*addr, 0.1 + i as f64 * 0.013).unwrap();
+        }
+        assert_eq!(
+            forward.total_energy(&cluster, 1.0).unwrap(),
+            backward.total_energy(&cluster, 1.0).unwrap()
+        );
+        assert_eq!(
+            forward.dynamic_energy(&cluster).unwrap(),
+            backward.dynamic_energy(&cluster).unwrap()
+        );
     }
 
     #[test]

@@ -2,16 +2,35 @@
 //!
 //! Resources are (a) every processor in the cluster and (b) the wireless
 //! link between every pair of distinct nodes. Tasks are scheduled with a
-//! deterministic earliest-start list-scheduling policy: among all tasks whose
-//! dependencies have finished, the one that can start first (ties broken by
-//! submission order) is placed on its resource. Per-resource execution is
-//! FIFO, matching the run-queue behaviour of the real middleware.
+//! deterministic earliest-start policy: among all tasks whose dependencies
+//! have finished, the one that can start first (ties broken by submission
+//! order) is placed on its resource. Per-resource execution is FIFO,
+//! matching the run-queue behaviour of the real middleware.
+//!
+//! The engine is event-driven: a pre-pass interns every resource into a
+//! dense index and flattens all plans into one task array with indegree
+//! counts and a CSR successor list; the run loop then pops a binary heap of
+//! ready tasks keyed by feasible start time, tracks per-resource free times
+//! in a flat `Vec<f64>`, and decrements successor indegrees on completion —
+//! O(n log n) with no per-step hashing or rescans. The original O(n²)
+//! list-scheduling implementation is preserved in [`crate::reference`] and
+//! property-tested to produce identical schedules.
+//!
+//! One caveat on exactness: this engine orders ready tasks by *exact* start
+//! time (ties by submission order), while the reference scan treated starts
+//! within `1e-15` of each other as ties. Whenever no two contending feasible
+//! starts fall within that band of each other without being exactly equal —
+//! every workload and property seed exercised so far — the two engines are
+//! bit-identical; inside that degenerate sub-ULP band their task order may
+//! differ (the reference's epsilon rule is scan-order-dependent and not a
+//! total order, so no heap key can reproduce it).
 
 use crate::plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
 use crate::SimError;
 use hidp_platform::{Cluster, EnergyMeter, NodeIndex, ProcessorAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// The record of one executed task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -88,18 +107,56 @@ impl SimReport {
     }
 }
 
-/// Resource identifier used internally by the scheduler.
+/// Resource identifier used while interning (processor or unordered link).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Resource {
+pub(crate) enum Resource {
     Processor(ProcessorAddr),
     Link(usize, usize),
 }
 
-fn link_key(a: NodeIndex, b: NodeIndex) -> Resource {
+pub(crate) fn link_key(a: NodeIndex, b: NodeIndex) -> Resource {
     if a.0 <= b.0 {
         Resource::Link(a.0, b.0)
     } else {
         Resource::Link(b.0, a.0)
+    }
+}
+
+/// One flattened task: a plan task plus its derived duration and interned
+/// resource, valid for the lifetime of the borrowed plans.
+struct FlatTask<'a> {
+    request: usize,
+    task: &'a PlanTask,
+    duration: f64,
+    resource: Option<usize>,
+    processor: Option<ProcessorAddr>,
+    flops: u64,
+    bytes: u64,
+}
+
+/// A ready task in the event queue: ordered by feasible start time, with
+/// the flat (submission-order) index as tie-break so simultaneous tasks
+/// commit in the order they were submitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReadyTask {
+    start: f64,
+    seq: usize,
+}
+
+impl Eq for ReadyTask {}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Start times are validated finite, so total_cmp is the numeric order.
+        self.start
+            .total_cmp(&other.start)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -130,25 +187,30 @@ pub fn simulate_stream(
             what: "no requests to simulate".into(),
         });
     }
-    struct Pending<'a> {
-        request: usize,
-        arrival: f64,
-        task: &'a PlanTask,
-        duration: f64,
-        resource: Option<Resource>,
-        processor: Option<ProcessorAddr>,
-        flops: u64,
-        bytes: u64,
-    }
 
-    let mut pending: Vec<Pending<'_>> = Vec::new();
+    // --- Pre-pass: validate, intern resources, flatten tasks. -------------
+    let total: usize = requests.iter().map(|(_, p)| p.len()).sum();
+    let mut resources: HashMap<Resource, usize> = HashMap::new();
+    let mut tasks: Vec<FlatTask<'_>> = Vec::with_capacity(total);
+    // ready_time[i]: max(arrival, finish of every completed dependency).
+    let mut ready_time: Vec<f64> = Vec::with_capacity(total);
+    // indegree[i]: dependencies of task i not yet finished.
+    let mut indegree: Vec<u32> = Vec::with_capacity(total);
+    // Per-request offset of the first flat index, to globalise dep ids.
+    let mut request_base: Vec<usize> = Vec::with_capacity(requests.len());
+
     for (req_idx, (arrival, plan)) in requests.iter().enumerate() {
         if !(arrival.is_finite() && *arrival >= 0.0) {
             return Err(SimError::InvalidPlan {
                 what: format!("request {req_idx} has invalid arrival time {arrival}"),
             });
         }
+        // Normalise -0.0 to +0.0: total_cmp orders -0.0 before 0.0, which
+        // would break the exact-tie submission-order guarantee for requests
+        // arriving at (±)0.0.
+        let arrival = *arrival + 0.0;
         plan.validate()?;
+        request_base.push(tasks.len());
         for task in plan.tasks() {
             let (duration, resource, processor, flops, bytes) = match &task.kind {
                 TaskKind::Compute {
@@ -178,9 +240,12 @@ pub fn simulate_stream(
                     (duration, resource, None, 0u64, *bytes)
                 }
             };
-            pending.push(Pending {
+            let resource = resource.map(|r| {
+                let next = resources.len();
+                *resources.entry(r).or_insert(next)
+            });
+            tasks.push(FlatTask {
                 request: req_idx,
-                arrival: *arrival,
                 task,
                 duration,
                 resource,
@@ -188,82 +253,117 @@ pub fn simulate_stream(
                 flops,
                 bytes,
             });
+            ready_time.push(arrival);
+            indegree.push(task.deps.len() as u32);
         }
     }
 
-    // finish[(request, task)] = finish time.
-    let mut finish: HashMap<(usize, TaskId), f64> = HashMap::new();
-    let mut resource_free: HashMap<Resource, f64> = HashMap::new();
-    let mut done = vec![false; pending.len()];
-    let mut records: Vec<TaskRecord> = Vec::with_capacity(pending.len());
-    let mut meter = EnergyMeter::new();
+    // CSR successor lists: succ[succ_offsets[d]..succ_offsets[d + 1]] holds
+    // the flat indices of the tasks depending on flat task d.
+    let n = tasks.len();
+    let mut succ_offsets: Vec<usize> = vec![0; n + 1];
+    for t in &tasks {
+        let base = request_base[t.request];
+        for dep in &t.task.deps {
+            succ_offsets[base + dep.0 + 1] += 1;
+        }
+    }
+    for d in 0..n {
+        succ_offsets[d + 1] += succ_offsets[d];
+    }
+    let mut succ: Vec<usize> = vec![0; succ_offsets[n]];
+    let mut cursor: Vec<usize> = succ_offsets[..n].to_vec();
+    for (i, t) in tasks.iter().enumerate() {
+        let base = request_base[t.request];
+        for dep in &t.task.deps {
+            let d = base + dep.0;
+            succ[cursor[d]] = i;
+            cursor[d] += 1;
+        }
+    }
 
-    for _ in 0..pending.len() {
-        // Find the ready task with the earliest feasible start time.
-        let mut best: Option<(usize, f64)> = None;
-        for (i, p) in pending.iter().enumerate() {
-            if done[i] {
+    // --- Event loop. ------------------------------------------------------
+    let mut resource_free: Vec<f64> = vec![0.0; resources.len()];
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(n);
+    let mut meter = EnergyMeter::new();
+    let mut request_completion = vec![0.0f64; requests.len()];
+
+    // Heap keys are lower bounds on feasible start: exact once every
+    // dependency is finished, except that the resource may become busier
+    // after the push — corrected lazily on pop.
+    let mut heap: BinaryHeap<Reverse<ReadyTask>> = BinaryHeap::with_capacity(n);
+    for i in 0..n {
+        if indegree[i] == 0 {
+            heap.push(Reverse(ReadyTask {
+                start: ready_time[i],
+                seq: i,
+            }));
+        }
+    }
+
+    let mut committed = 0usize;
+    while let Some(Reverse(entry)) = heap.pop() {
+        let i = entry.seq;
+        let t = &tasks[i];
+        if let Some(r) = t.resource {
+            // The resource may have advanced past this entry's key since it
+            // was pushed; re-queue with the corrected feasible start so the
+            // heap order stays the true earliest-start order.
+            let feasible = entry.start.max(resource_free[r]);
+            if feasible > entry.start {
+                heap.push(Reverse(ReadyTask {
+                    start: feasible,
+                    seq: i,
+                }));
                 continue;
             }
-            let deps_ready = p
-                .task
-                .deps
-                .iter()
-                .all(|d| finish.contains_key(&(p.request, *d)));
-            if !deps_ready {
-                continue;
-            }
-            let deps_finish = p
-                .task
-                .deps
-                .iter()
-                .map(|d| finish[&(p.request, *d)])
-                .fold(0.0f64, f64::max);
-            let resource_ready = p
-                .resource
-                .map(|r| resource_free.get(&r).copied().unwrap_or(0.0))
-                .unwrap_or(0.0);
-            let start = p.arrival.max(deps_finish).max(resource_ready);
-            let better = match best {
-                None => true,
-                Some((_, s)) => start < s - 1e-15,
-            };
-            if better {
-                best = Some((i, start));
-            }
         }
-        let (idx, start) = best.ok_or_else(|| SimError::InvalidPlan {
-            what: "dependency deadlock: no ready task found".into(),
-        })?;
-        let p = &pending[idx];
-        let end = start + p.duration;
-        finish.insert((p.request, p.task.id), end);
-        if let Some(r) = p.resource {
-            resource_free.insert(r, end);
+        let start = entry.start;
+        let end = start + t.duration;
+        if let Some(r) = t.resource {
+            resource_free[r] = end;
         }
-        if let Some(addr) = p.processor {
-            meter.record_busy(addr, p.duration)?;
+        if let Some(addr) = t.processor {
+            meter.record_busy(addr, t.duration)?;
         }
+        if end > request_completion[t.request] {
+            request_completion[t.request] = end;
+        }
+        // Commits happen in non-decreasing start order (every remaining heap
+        // key and every future push is ≥ the popped key), so `records` ends
+        // up sorted by start with submission-order ties — the same order the
+        // reference engine produces.
         records.push(TaskRecord {
-            task: p.task.id,
-            request: p.request,
-            name: p.task.name.clone(),
+            task: t.task.id,
+            request: t.request,
+            name: t.task.name.clone(),
             start,
             finish: end,
-            flops: p.flops,
-            bytes: p.bytes,
-            processor: p.processor,
+            flops: t.flops,
+            bytes: t.bytes,
+            processor: t.processor,
         });
-        done[idx] = true;
-    }
-
-    records.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
-    let mut request_completion = vec![0.0f64; requests.len()];
-    for ((request, _), end) in &finish {
-        if *end > request_completion[*request] {
-            request_completion[*request] = *end;
+        committed += 1;
+        for &s in &succ[succ_offsets[i]..succ_offsets[i + 1]] {
+            if end > ready_time[s] {
+                ready_time[s] = end;
+            }
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                let start = match tasks[s].resource {
+                    Some(r) => ready_time[s].max(resource_free[r]),
+                    None => ready_time[s],
+                };
+                heap.push(Reverse(ReadyTask { start, seq: s }));
+            }
         }
     }
+    if committed != n {
+        return Err(SimError::InvalidPlan {
+            what: "dependency deadlock: no ready task found".into(),
+        });
+    }
+
     let makespan = request_completion.iter().copied().fold(0.0, f64::max);
     let request_arrival = requests.iter().map(|(a, _)| *a).collect();
 
@@ -411,5 +511,72 @@ mod tests {
             assert!(pair[0].start <= pair[1].start);
         }
         assert!(report.records.iter().all(|r| r.duration() > 0.0));
+    }
+
+    #[test]
+    fn equal_start_tasks_commit_in_submission_order() {
+        // Three identical tasks on the same processor, all ready at t = 0:
+        // the heap must break the tie by submission order, so the records
+        // come out a, b, c back to back.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("a", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        plan.add_compute("b", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        plan.add_compute("c", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let single = cluster
+            .processor(addr(0, 1))
+            .unwrap()
+            .compute_time(1_000_000_000, 1.0);
+        for (i, record) in report.records.iter().enumerate() {
+            assert_eq!(record.start, i as f64 * single);
+        }
+    }
+
+    #[test]
+    fn equal_start_requests_commit_in_request_order() {
+        // Two single-task requests arriving at the same instant contend for
+        // one processor: request 0 must run first (submission order).
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(1, 2), 2_000_000_000, 1.0, &[]);
+        let report =
+            simulate_stream(&[(0.5, plan.clone()), (0.5, plan.clone())], &cluster).unwrap();
+        assert_eq!(report.records[0].request, 0);
+        assert_eq!(report.records[1].request, 1);
+        assert!(report.latency(0).unwrap() < report.latency(1).unwrap());
+    }
+
+    #[test]
+    fn negative_zero_arrival_ties_with_positive_zero() {
+        // -0.0 is a valid arrival; it must not jump the submission-order
+        // queue ahead of a +0.0 arrival (total_cmp orders -0.0 < 0.0, so
+        // arrivals are normalised in the pre-pass).
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        let report =
+            simulate_stream(&[(0.0, plan.clone()), (-0.0, plan.clone())], &cluster).unwrap();
+        assert_eq!(report.records[0].request, 0);
+        assert_eq!(report.records[1].request, 1);
+    }
+
+    #[test]
+    fn stale_heap_entries_are_requeued_not_dropped() {
+        // d1 finishes before d2, so "late" becomes ready (and is pushed)
+        // while its processor is still occupied by "early"; the heap entry
+        // goes stale when "early" commits and must be re-queued, not run at
+        // its original key.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let d1 = plan.add_compute("d1", addr(0, 0), 100_000_000, 1.0, &[]);
+        plan.add_compute("early", addr(0, 1), 2_000_000_000, 1.0, &[]);
+        plan.add_compute("late", addr(0, 1), 1_000_000_000, 1.0, &[d1]);
+        let report = simulate(&plan, &cluster).unwrap();
+        let early = report.records.iter().find(|r| r.name == "early").unwrap();
+        let late = report.records.iter().find(|r| r.name == "late").unwrap();
+        assert_eq!(late.start, early.finish);
     }
 }

@@ -31,11 +31,13 @@
 mod engine;
 mod error;
 mod plan;
+pub mod reference;
 pub mod stats;
 
 pub use engine::{simulate, simulate_stream, SimReport, TaskRecord};
 pub use error::SimError;
 pub use plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
+pub use reference::simulate_stream_reference;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, SimError>;

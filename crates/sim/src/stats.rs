@@ -67,6 +67,23 @@ pub fn throughput_per_window(report: &SimReport, window_seconds: f64) -> f64 {
     report.request_completion.len() as f64 * window_seconds / report.makespan
 }
 
+/// The `p`-th percentile (0–100) of a slice using linear interpolation
+/// between order statistics, `None` when the slice is empty or `p` is
+/// outside 0..=100. Used for the latency tail metrics (p50/p95/p99) of the
+/// Poisson stress experiment.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are comparable"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let upper = rank.ceil() as usize;
+    let weight = rank - lower as f64;
+    Some(sorted[lower] * (1.0 - weight) + sorted[upper] * weight)
+}
+
 /// Mean of a slice, `None` when empty.
 pub fn mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
@@ -138,6 +155,18 @@ mod tests {
         let per_10 = throughput_per_window(&report, 10.0);
         assert!((per_100 / per_10 - 10.0).abs() < 1e-9);
         assert_eq!(throughput_per_window(&report, 0.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_order_statistics() {
+        let values = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        assert_eq!(percentile(&values, 100.0), Some(4.0));
+        assert_eq!(percentile(&values, 50.0), Some(2.5));
+        assert_eq!(percentile(&[7.0], 95.0), Some(7.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&values, 101.0), None);
+        assert_eq!(percentile(&values, -1.0), None);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 
 use crate::request::InferenceRequest;
 use crate::stream::repeating_stream;
-use hidp_core::Scenario;
+use hidp_core::{CoreError, DistributedStrategy, Evaluation, PlanCache, Scenario};
 use hidp_dnn::zoo::WorkloadModel;
+use hidp_platform::{Cluster, NodeIndex};
 use serde::{Deserialize, Serialize};
 
 /// One workload mix.
@@ -37,6 +38,26 @@ impl WorkloadMix {
     pub fn scenario(&self, interval_seconds: f64, count: usize) -> Scenario {
         InferenceRequest::to_scenario(&self.requests(interval_seconds, count))
             .with_label(self.name())
+    }
+
+    /// Plans and simulates the mix against a shared [`PlanCache`]: the mix
+    /// cycles through 2–3 distinct models, so only the first occurrence of
+    /// each is planned — per run for a fresh cache, ever for a reused one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `count` is zero or planning/simulation fails.
+    pub fn evaluate(
+        &self,
+        interval_seconds: f64,
+        count: usize,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<Evaluation, CoreError> {
+        self.scenario(interval_seconds, count)
+            .run_with_cache(strategy, cluster, leader, cache)
     }
 }
 
@@ -98,6 +119,27 @@ mod tests {
         for (i, mix) in mixes.iter().enumerate() {
             assert_eq!(mix.id, i + 1);
         }
+    }
+
+    #[test]
+    fn evaluate_plans_each_mix_model_once() {
+        use hidp_platform::presets;
+        let cluster = presets::paper_cluster();
+        let strategy = hidp_core::HidpStrategy::new();
+        let cache = PlanCache::new();
+        let mix = &all_mixes()[4]; // three models
+        let eval = mix
+            .evaluate(0.2, 9, &strategy, &cluster, NodeIndex(1), &cache)
+            .unwrap();
+        let stats = eval.plan_cache.unwrap();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 6);
+        // A second evaluation through the same cache re-plans nothing.
+        let warm = mix
+            .evaluate(0.2, 9, &strategy, &cluster, NodeIndex(1), &cache)
+            .unwrap();
+        assert_eq!(warm.plan_cache.unwrap().misses, 0);
+        assert_eq!(warm.latencies, eval.latencies);
     }
 
     #[test]

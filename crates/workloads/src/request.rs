@@ -1,8 +1,9 @@
 //! Inference requests: the unit of work HiDP schedules.
 
-use hidp_core::Scenario;
+use hidp_core::{CoreError, DistributedStrategy, Evaluation, PlanCache, Scenario};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, NodeIndex};
 use serde::{Deserialize, Serialize};
 
 /// One DNN inference request: a model, a batch size and an arrival time.
@@ -38,14 +39,50 @@ impl InferenceRequest {
     }
 
     /// Converts a slice of requests into the `(arrival, graph)` pairs the
-    /// evaluation pipeline consumes.
+    /// evaluation pipeline consumes. Generated streams cycle through a small
+    /// model set, so each distinct `(model, batch)` graph is built (zoo
+    /// construction + cost inference) once and cloned for its repeats.
     pub fn to_stream(requests: &[InferenceRequest]) -> Vec<(f64, DnnGraph)> {
-        requests.iter().map(|r| (r.arrival, r.graph())).collect()
+        let mut built: Vec<((WorkloadModel, usize), DnnGraph)> = Vec::new();
+        requests
+            .iter()
+            .map(|r| {
+                let key = (r.model, r.batch);
+                let graph = match built.iter().find(|(k, _)| *k == key) {
+                    Some((_, graph)) => graph.clone(),
+                    None => {
+                        let graph = r.graph();
+                        built.push((key, graph.clone()));
+                        graph
+                    }
+                };
+                (r.arrival, graph)
+            })
+            .collect()
     }
 
     /// Wraps a slice of requests into a runnable [`Scenario`].
     pub fn to_scenario(requests: &[InferenceRequest]) -> Scenario {
         Scenario::stream(Self::to_stream(requests))
+    }
+
+    /// Plans and simulates a request stream against a shared [`PlanCache`],
+    /// so repeated models — the common case for generated streams, which
+    /// cycle or draw from a small model set — are planned once across all
+    /// evaluations using the same cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `requests` is empty or planning/simulation
+    /// fails.
+    pub fn evaluate_stream(
+        requests: &[InferenceRequest],
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<Evaluation, CoreError> {
+        Self::to_scenario(requests).run_with_cache(strategy, cluster, leader, cache)
     }
 }
 

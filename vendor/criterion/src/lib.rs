@@ -8,28 +8,58 @@
 //! fetched. Measurement is a plain wall-clock mean over `sample_size`
 //! batches (no outlier analysis, no HTML report) — enough to compare hot
 //! paths between commits, printed one line per benchmark.
+//!
+//! Like the real crate, the harness honours two command-line inputs (as in
+//! `cargo bench -- [FILTER] [--test]`): a positional substring filter that
+//! selects which benchmarks run, and `--test`, which runs each selected
+//! benchmark exactly once without timing — the smoke mode CI uses to keep
+//! the perf path compiling and executing on every PR.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// How the harness should execute benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Timed samples (the default).
+    Measure,
+    /// One untimed pass per benchmark (`--test`), for smoke testing.
+    Test,
+}
+
 /// Top-level benchmark driver (stand-in for `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    mode: Mode,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 30 }
+        Self {
+            sample_size: 30,
+            mode: Mode::Measure,
+            filter: None,
+        }
     }
 }
 
 impl Criterion {
-    /// Accepted for API compatibility; command-line filtering is not
-    /// implemented.
+    /// Applies command-line configuration: `--test` switches to one untimed
+    /// pass per benchmark, and the first non-flag argument becomes a
+    /// substring filter on benchmark names. Other flags cargo forwards
+    /// (e.g. `--bench`) are accepted and ignored.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.mode = Mode::Test;
+            } else if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
         self
     }
 
@@ -45,7 +75,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, self.sample_size, f);
+        run_benchmark(name, self.sample_size, self.mode, self.filter.as_deref(), f);
         self
     }
 
@@ -54,7 +84,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -63,7 +93,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -80,7 +110,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = name.into();
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.criterion.mode,
+            self.criterion.filter.as_deref(),
+            f,
+        );
         self
     }
 
@@ -94,9 +130,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.criterion.mode,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
         self
     }
 
@@ -149,7 +189,30 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    mode: Mode,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    if mode == Mode::Test {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "test bench {name}: ok ({})",
+            format_duration(bencher.elapsed)
+        );
+        return;
+    }
     // Warm-up pass, also used to pick an iteration count that keeps each
     // sample around a millisecond without running forever.
     let mut bencher = Bencher {
@@ -246,5 +309,25 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
         assert_eq!(BenchmarkId::from_parameter("HiDP").0, "HiDP");
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut runs = 0u64;
+        run_benchmark("once", 30, Mode::Test, None, |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut runs = 0u64;
+        run_benchmark("alpha/x", 2, Mode::Test, Some("beta"), |b| {
+            b.iter(|| runs += 1)
+        });
+        assert_eq!(runs, 0);
+        run_benchmark("beta/x", 2, Mode::Test, Some("beta"), |b| {
+            b.iter(|| runs += 1)
+        });
+        assert_eq!(runs, 1);
     }
 }
