@@ -1,0 +1,72 @@
+//! Benchmarks the parallel evaluation engine: the Mix-5 sweep through
+//! `ParallelSweep` at several worker-thread counts (each iteration plans
+//! through a cold shared sharded `PlanCache`, so sharding and in-flight
+//! deduplication are on the measured path), plus the warm sharded-cache
+//! lookup cost on its own. The CI bench-smoke job runs this with `--test`
+//! (one untimed pass per benchmark) so the concurrent path compiles and
+//! executes on every PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::parallel_eval_scenarios;
+use hidp_core::{HidpStrategy, ParallelSweep, PlanCache, SweepJob};
+use hidp_platform::presets;
+
+fn bench_parallel_eval(c: &mut Criterion) {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let scenarios = parallel_eval_scenarios(8, 50);
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .map(|(scenario, leader)| SweepJob {
+            scenario,
+            strategy: &strategy,
+            cluster: &cluster,
+            leader: *leader,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    let mut thread_counts = vec![1usize, 2];
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !thread_counts.contains(&available) {
+        thread_counts.push(available);
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("mix5_sweep", threads),
+            &threads,
+            |b, &threads| {
+                let sweep = ParallelSweep::new(threads);
+                b.iter(|| {
+                    let cache = PlanCache::new();
+                    criterion::black_box(sweep.run_scenarios(&jobs, &cache))
+                })
+            },
+        );
+    }
+
+    // The warm path in isolation: every lookup hits a populated sharded
+    // cache (read lock + hash probe, no planning).
+    let cache = PlanCache::new();
+    let warm_job = &jobs[0];
+    let (_, graph) = &warm_job.scenario.requests()[0];
+    cache
+        .plan(warm_job.strategy, graph, &cluster, warm_job.leader)
+        .expect("planning succeeds");
+    group.bench_function(BenchmarkId::new("warm_sharded_lookup", 1), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                cache
+                    .plan(warm_job.strategy, graph, &cluster, warm_job.leader)
+                    .expect("planning succeeds"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_eval);
+criterion_main!(benches);

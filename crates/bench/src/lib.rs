@@ -14,10 +14,9 @@
 #![warn(missing_docs)]
 
 use hidp_baselines::paper_strategies;
-use hidp_core::PlanCache;
 use hidp_core::{
-    chain_segments, workload_summary, DseAgent, DsePolicy, GlobalPartitioner, HidpStrategy,
-    LocalPartitioner, Scenario, SystemModel,
+    chain_segments, workload_summary, DseAgent, DsePolicy, Evaluation, GlobalPartitioner,
+    HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, Scenario, SweepJob, SystemModel,
 };
 use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
 use hidp_dnn::partition::partition_into_blocks;
@@ -118,6 +117,25 @@ pub fn strategy_names() -> Vec<String> {
     paper_strategies()
         .iter()
         .map(|s| s.name().to_string())
+        .collect()
+}
+
+/// The thread-pooled runner every experiment grid fans out on: one worker
+/// per available core. Results are deterministic per job index, so every
+/// table below is byte-identical to its old serial implementation.
+fn sweep() -> ParallelSweep {
+    ParallelSweep::with_available_parallelism()
+}
+
+/// Runs a grid of scenario jobs through [`ParallelSweep`] against one shared
+/// sharded [`PlanCache`] and unwraps the evaluations (experiment grids are
+/// all known-feasible).
+fn sweep_evaluations(jobs: &[SweepJob<'_>]) -> Vec<Evaluation> {
+    let cache = PlanCache::new();
+    sweep()
+        .run_scenarios(jobs, &cache)
+        .into_iter()
+        .map(|r| r.expect("experiment evaluation succeeds"))
         .collect()
 }
 
@@ -280,16 +298,20 @@ pub fn fig1_partitioning_configs() -> ExperimentTable {
         "x (P1 = 1.0)",
         columns,
     );
-    for model in WorkloadModel::ALL {
-        let latencies: Vec<f64> = FIG1_CONFIGS
-            .iter()
-            .map(|config| {
-                let plan = fig1_plan(model, *config, &cluster);
-                Scenario::run_plans(config.name, model.name(), vec![(0.0, plan)], &cluster)
-                    .expect("fig1 plans are valid")
-                    .makespan
-            })
-            .collect();
+    // Hand-built plans, so this grid goes through the generic runner (no
+    // planner, nothing to cache) — one job per (model, config) cell.
+    let jobs: Vec<(WorkloadModel, PartitioningConfig)> = WorkloadModel::ALL
+        .iter()
+        .flat_map(|&model| FIG1_CONFIGS.iter().map(move |&config| (model, config)))
+        .collect();
+    let makespans = sweep().run(&jobs, |_, &(model, config)| {
+        let plan = fig1_plan(model, config, &cluster);
+        Scenario::run_plans(config.name, model.name(), vec![(0.0, plan)], &cluster)
+            .expect("fig1 plans are valid")
+            .makespan
+    });
+    for (row, model) in WorkloadModel::ALL.iter().enumerate() {
+        let latencies = &makespans[row * FIG1_CONFIGS.len()..(row + 1) * FIG1_CONFIGS.len()];
         let p1 = latencies[0];
         table.push_row(model.name(), latencies.iter().map(|l| l / p1).collect());
     }
@@ -323,17 +345,28 @@ fn fig5_metric(
 ) -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
-    let mut table = ExperimentTable::new(title, unit, strategy_names());
-    for model in WorkloadModel::ALL {
-        let scenario = Scenario::single(model.graph(1));
-        let values: Vec<f64> = strategies
-            .iter()
-            .map(|s| {
-                let evaluation = scenario
-                    .run(s.as_ref(), &cluster, LEADER)
-                    .expect("evaluation succeeds");
-                metric(&evaluation)
+    let scenarios: Vec<Scenario> = WorkloadModel::ALL
+        .iter()
+        .map(|m| Scenario::single(m.graph(1)))
+        .collect();
+    let (cluster, strategies) = (&cluster, &strategies);
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .flat_map(|scenario| {
+            strategies.iter().map(move |s| SweepJob {
+                scenario,
+                strategy: s.as_ref(),
+                cluster,
+                leader: LEADER,
             })
+        })
+        .collect();
+    let evaluations = sweep_evaluations(&jobs);
+    let mut table = ExperimentTable::new(title, unit, strategy_names());
+    for (row, model) in WorkloadModel::ALL.iter().enumerate() {
+        let values: Vec<f64> = evaluations[row * strategies.len()..(row + 1) * strategies.len()]
+            .iter()
+            .map(&metric)
             .collect();
         table.push_row(model.name(), values);
     }
@@ -353,15 +386,18 @@ pub fn fig6_dynamic_performance() -> ExperimentTable {
     let scenario = InferenceRequest::to_scenario(&dynamic_scenario()).with_label("dynamic");
     let bin = 0.5f64;
 
-    // First pass: find the longest makespan so all rows share columns.
-    let evals: Vec<_> = strategies
+    // First pass: find the longest makespan so all rows share columns (one
+    // parallel job per strategy).
+    let jobs: Vec<SweepJob<'_>> = strategies
         .iter()
-        .map(|s| {
-            scenario
-                .run(s.as_ref(), &cluster, LEADER)
-                .expect("stream evaluation succeeds")
+        .map(|s| SweepJob {
+            scenario: &scenario,
+            strategy: s.as_ref(),
+            cluster: &cluster,
+            leader: LEADER,
         })
         .collect();
+    let evals = sweep_evaluations(&jobs);
     let max_makespan = evals.iter().map(|e| e.makespan).fold(0.0, f64::max);
     let bins = (max_makespan / bin).ceil() as usize;
     let mut columns: Vec<String> = (0..bins)
@@ -399,20 +435,29 @@ pub fn fig7_mix_throughput() -> ExperimentTable {
         "inferences / 100 s",
         strategy_names(),
     );
-    for mix in mixes::all_mixes() {
-        // Sixteen requests arriving every 0.15 s keep the cluster saturated
-        // (as the paper's continuous stream does), so throughput reflects the
-        // service rate rather than the arrival rate; it extrapolates to a
-        // 100 s window.
-        let scenario = mix.scenario(0.15, 16);
-        let values: Vec<f64> = strategies
-            .iter()
-            .map(|s| {
-                scenario
-                    .run(s.as_ref(), &cluster, LEADER)
-                    .expect("stream evaluation succeeds")
-                    .throughput(100.0)
+    // Sixteen requests arriving every 0.15 s keep the cluster saturated
+    // (as the paper's continuous stream does), so throughput reflects the
+    // service rate rather than the arrival rate; it extrapolates to a
+    // 100 s window. The 8 × 4 mix/strategy grid fans out as one sweep.
+    let the_mixes = mixes::all_mixes();
+    let scenarios: Vec<Scenario> = the_mixes.iter().map(|mix| mix.scenario(0.15, 16)).collect();
+    let (cluster_ref, strategies_ref) = (&cluster, &strategies);
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .flat_map(|scenario| {
+            strategies_ref.iter().map(move |s| SweepJob {
+                scenario,
+                strategy: s.as_ref(),
+                cluster: cluster_ref,
+                leader: LEADER,
             })
+        })
+        .collect();
+    let evaluations = sweep_evaluations(&jobs);
+    for (row, mix) in the_mixes.iter().enumerate() {
+        let values: Vec<f64> = evaluations[row * strategies.len()..(row + 1) * strategies.len()]
+            .iter()
+            .map(|e| e.throughput(100.0))
             .collect();
         table.push_row(mix.name(), values);
     }
@@ -433,22 +478,42 @@ pub fn fig8_node_scaling() -> ExperimentTable {
         "ms",
         strategy_names(),
     );
-    for nodes in 2..=full.len() {
-        let cluster = full.take(nodes).expect("subset sizes are valid");
+    // One job per (cluster subset, strategy, model) — the cluster
+    // fingerprint differs per subset, so the shared cache keeps every
+    // cell's plans apart.
+    let clusters: Vec<Cluster> = (2..=full.len())
+        .map(|nodes| full.take(nodes).expect("subset sizes are valid"))
+        .collect();
+    let scenarios: Vec<Scenario> = WorkloadModel::ALL
+        .iter()
+        .map(|m| Scenario::single(m.graph(1)))
+        .collect();
+    let (strategies_ref, scenarios_ref) = (&strategies, &scenarios);
+    let jobs: Vec<SweepJob<'_>> = clusters
+        .iter()
+        .flat_map(|cluster| {
+            strategies_ref.iter().flat_map(move |s| {
+                scenarios_ref.iter().map(move |scenario| SweepJob {
+                    scenario,
+                    strategy: s.as_ref(),
+                    cluster,
+                    leader: LEADER,
+                })
+            })
+        })
+        .collect();
+    let evaluations = sweep_evaluations(&jobs);
+    let mut slots = evaluations.chunks(WorkloadModel::ALL.len());
+    for cluster in &clusters {
         let values: Vec<f64> = strategies
             .iter()
-            .map(|s| {
-                let mut total = 0.0;
-                for model in WorkloadModel::ALL {
-                    total += Scenario::single(model.graph(1))
-                        .run(s.as_ref(), &cluster, LEADER)
-                        .expect("evaluation succeeds")
-                        .latency();
-                }
-                total / WorkloadModel::ALL.len() as f64 * 1e3
+            .map(|_| {
+                let per_model = slots.next().expect("one chunk per (cluster, strategy)");
+                per_model.iter().map(|e| e.latency()).sum::<f64>() / WorkloadModel::ALL.len() as f64
+                    * 1e3
             })
             .collect();
-        table.push_row(format!("{nodes} nodes"), values);
+        table.push_row(format!("{} nodes", cluster.len()), values);
     }
     table
 }
@@ -518,12 +583,20 @@ fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 
 /// Measures the stream-scaling experiment: for each stream length in
 /// `sizes`, the event-driven engine's wall-clock, the list-scheduling
-/// baseline's wall-clock (only up to `list_baseline_cap` requests — the
-/// baseline is quadratic), and the per-request cost of cached planning.
-pub fn stream_scaling_points(sizes: &[usize], list_baseline_cap: usize) -> Vec<StreamScalingPoint> {
+/// baseline's wall-clock, and the per-request cost of cached planning.
+///
+/// The quadratic reference simulator is metered by a wall-clock budget
+/// rather than a hard request cap: each point runs the reference (best of
+/// up to two attempts, matching the event engine's attempt count) as long
+/// as `reference_budget_ms` of cumulative reference time remains, so large
+/// points get a measured `list_sim_ms` instead of a silent `null` whenever
+/// the budget allows — and when one is skipped, the recorded budget says
+/// why.
+pub fn stream_scaling_points(sizes: &[usize], reference_budget_ms: f64) -> Vec<StreamScalingPoint> {
     let cluster = presets::paper_cluster();
     let strategy = HidpStrategy::new();
     let mut points = Vec::with_capacity(sizes.len());
+    let mut reference_budget_left_ms = reference_budget_ms;
     for &count in sizes {
         let planned = scaling_stream(count, 0.05);
         let tasks: usize = planned.iter().map(|(_, p)| p.len()).sum();
@@ -533,11 +606,19 @@ pub fn stream_scaling_points(sizes: &[usize], list_baseline_cap: usize) -> Vec<S
         let event_sim_ms = time_best_of(2, || {
             simulate_stream(&planned, &cluster).expect("stream simulates")
         }) * 1e3;
-        let list_sim_ms = (count <= list_baseline_cap).then(|| {
-            time_best_of(2, || {
-                simulate_stream_reference(&planned, &cluster).expect("stream simulates")
-            }) * 1e3
-        });
+        let mut list_sim_ms = None;
+        for _ in 0..2 {
+            if reference_budget_left_ms <= 0.0 {
+                break;
+            }
+            let start = Instant::now();
+            std::hint::black_box(
+                simulate_stream_reference(&planned, &cluster).expect("stream simulates"),
+            );
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            reference_budget_left_ms -= elapsed_ms;
+            list_sim_ms = Some(list_sim_ms.map_or(elapsed_ms, |best: f64| best.min(elapsed_ms)));
+        }
 
         // Warm-cache planning cost: what each additional request pays for
         // its plan once the three distinct models are cached. Graphs are
@@ -608,8 +689,10 @@ pub fn stream_scaling_table(points: &[StreamScalingPoint]) -> ExperimentTable {
 
 /// Serialises stream-scaling points as the `BENCH_stream_scaling.json`
 /// perf-trajectory document (hand-rolled like [`tables_to_json`]: the build
-/// environment has no serde_json).
-pub fn stream_scaling_json(points: &[StreamScalingPoint]) -> String {
+/// environment has no serde_json). `reference_budget_ms` is the cap passed
+/// to [`stream_scaling_points`], recorded so a `null` `list_sim_ms` is
+/// attributable to the budget rather than silent skipping.
+pub fn stream_scaling_json(points: &[StreamScalingPoint], reference_budget_ms: f64) -> String {
     fn opt(v: Option<f64>) -> String {
         match v {
             Some(v) if v.is_finite() => format!("{v}"),
@@ -618,6 +701,9 @@ pub fn stream_scaling_json(points: &[StreamScalingPoint]) -> String {
     }
     let mut out = String::from("{\n  \"benchmark\": \"stream_scaling\",\n");
     out.push_str("  \"workload\": \"Mix-5 cycle (efficientnet_b0, inception_v3, resnet152), 0.05 s inter-arrival, HiDP plans via PlanCache\",\n");
+    out.push_str(&format!(
+        "  \"reference_budget_ms\": {reference_budget_ms},\n"
+    ));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -643,9 +729,11 @@ pub fn stream_scaling_json(points: &[StreamScalingPoint]) -> String {
 /// Poisson stress experiment: for each arrival rate (requests/second) and
 /// each strategy, simulates an open-loop Poisson stream of `count` requests
 /// drawn uniformly from the four target DNNs and reports p50/p95/p99
-/// latency in milliseconds. Plans are reused across rates through one
-/// [`PlanCache`] per strategy (the model set and cluster do not change), so
-/// the sweep pays each planner exactly four invocations.
+/// latency in milliseconds. The strategy × rate grid fans out on
+/// [`ParallelSweep`] against one shared sharded [`PlanCache`] — keys embed
+/// the strategy, so each planner still pays exactly four invocations for
+/// the whole sweep, now deduplicated even when two rates race to plan the
+/// same model.
 pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
@@ -659,19 +747,28 @@ pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable
             "p99_ms".to_string(),
         ],
     );
-    for strategy in &strategies {
-        let cache = PlanCache::new();
-        for &rate in rates {
-            let requests = poisson_stream(&WorkloadModel::ALL, rate, count, seed);
-            let evaluation = InferenceRequest::evaluate_stream(
-                &requests,
-                strategy.as_ref(),
-                &cluster,
-                LEADER,
-                &cache,
-            )
-            .expect("stream evaluation succeeds");
-            let latencies = &evaluation.latencies;
+    let scenarios: Vec<Scenario> = rates
+        .iter()
+        .map(|&rate| {
+            InferenceRequest::to_scenario(&poisson_stream(&WorkloadModel::ALL, rate, count, seed))
+        })
+        .collect();
+    let (cluster_ref, scenarios_ref) = (&cluster, &scenarios);
+    let jobs: Vec<SweepJob<'_>> = strategies
+        .iter()
+        .flat_map(|s| {
+            scenarios_ref.iter().map(move |scenario| SweepJob {
+                scenario,
+                strategy: s.as_ref(),
+                cluster: cluster_ref,
+                leader: LEADER,
+            })
+        })
+        .collect();
+    let evaluations = sweep_evaluations(&jobs);
+    for (row, strategy) in strategies.iter().enumerate() {
+        for (col, &rate) in rates.iter().enumerate() {
+            let latencies = &evaluations[row * rates.len() + col].latencies;
             table.push_row(
                 format!("{} @ {rate}/s", strategy.name()),
                 vec![
@@ -684,6 +781,211 @@ pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable
         }
     }
     table
+}
+
+// ---------------------------------------------------------------------------
+// Parallel evaluation: end-to-end requests/s of the sweep engine vs threads
+// ---------------------------------------------------------------------------
+
+/// One measured point of the parallel-evaluation experiment: the Mix-5
+/// sweep's end-to-end throughput at a given worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelEvalPoint {
+    /// Worker threads of the [`ParallelSweep`].
+    pub threads: usize,
+    /// Wall-clock of the whole sweep (plan every request through a cold
+    /// shared cache + simulate every stream), best of the measured runs, ms.
+    pub wall_ms: f64,
+    /// End-to-end throughput: total requests across all jobs over `wall_ms`.
+    pub requests_per_second: f64,
+    /// `requests_per_second` over the 1-thread point's.
+    pub speedup_vs_one_thread: f64,
+    /// Whether every job's [`Evaluation`] was bit-identical to the 1-thread
+    /// run's (must always be true — the sweep is deterministic).
+    pub identical_to_one_thread: bool,
+}
+
+/// The full parallel-evaluation report: the workload shape, the host's
+/// parallelism (speedups are bounded by it) and one point per thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelEvalReport {
+    /// Number of independent Mix-5 stream jobs in the sweep.
+    pub jobs: usize,
+    /// Requests per job (total requests = `jobs × requests_per_job`).
+    pub requests_per_job: usize,
+    /// `std::thread::available_parallelism()` of the measuring host — the
+    /// hard ceiling on any speedup (1 on a single-core CI runner, where all
+    /// multi-thread points degenerate to ~1×).
+    pub available_parallelism: usize,
+    /// Measured points, one per thread count.
+    pub points: Vec<ParallelEvalPoint>,
+}
+
+/// The thread counts the parallel-evaluation experiment measures: 1, 2, 4
+/// and the host's available parallelism (deduplicated, ascending).
+pub fn parallel_eval_thread_counts() -> Vec<usize> {
+    let mut counts = vec![
+        1,
+        2,
+        4,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    ];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Builds the Mix-5 sweep the parallel-evaluation experiment runs: `jobs`
+/// independent Mix-5 streams of `requests_per_job` requests each, with
+/// per-job inter-arrival intervals (so every job is a distinct scenario)
+/// and leaders cycling over the cluster's nodes (so planning itself — not
+/// just simulation — has concurrent work: 3 models × 5 leaders = 15
+/// distinct plan keys).
+pub fn parallel_eval_scenarios(jobs: usize, requests_per_job: usize) -> Vec<(Scenario, NodeIndex)> {
+    let cluster_len = presets::paper_cluster().len();
+    let mix5 = mixes::all_mixes()
+        .into_iter()
+        .find(|m| m.id == 5)
+        .expect("Mix-5 exists");
+    (0..jobs)
+        .map(|i| {
+            let interval = 0.05 + 0.002 * i as f64;
+            let scenario = mix5
+                .scenario(interval, requests_per_job)
+                .with_label(format!("{}#{i}", mix5.name()));
+            (scenario, NodeIndex(i % cluster_len))
+        })
+        .collect()
+}
+
+/// Measures the parallel evaluation engine end to end: the Mix-5 sweep
+/// (see [`parallel_eval_scenarios`]) through [`ParallelSweep`] at each
+/// thread count of [`parallel_eval_thread_counts`], each measurement
+/// best-of-`runs` against a **cold** shared sharded [`PlanCache`] (so every
+/// point pays the same planning work and in-flight deduplication is
+/// exercised, not bypassed). Every point's evaluations are compared against
+/// the 1-thread run's — the engine guarantees they are bit-identical.
+pub fn parallel_eval(jobs: usize, requests_per_job: usize, runs: usize) -> ParallelEvalReport {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let scenarios = parallel_eval_scenarios(jobs, requests_per_job);
+    let job_list: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .map(|(scenario, leader)| SweepJob {
+            scenario,
+            strategy: &strategy,
+            cluster: &cluster,
+            leader: *leader,
+        })
+        .collect();
+    let total_requests = jobs * requests_per_job;
+
+    let run_once = |threads: usize| -> (f64, Vec<Evaluation>) {
+        let cache = PlanCache::new();
+        let start = Instant::now();
+        let results = ParallelSweep::new(threads).run_scenarios(&job_list, &cache);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let evaluations = results
+            .into_iter()
+            .map(|r| r.expect("Mix-5 evaluation succeeds"))
+            .collect();
+        (elapsed_ms, evaluations)
+    };
+
+    let mut reference: Option<Vec<Evaluation>> = None;
+    let mut points = Vec::new();
+    let mut one_thread_rps = f64::NAN;
+    for threads in parallel_eval_thread_counts() {
+        let mut best_ms = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..runs.max(1) {
+            let (elapsed_ms, evaluations) = run_once(threads);
+            best_ms = best_ms.min(elapsed_ms);
+            match &reference {
+                None => reference = Some(evaluations),
+                Some(reference) => identical &= evaluations == *reference,
+            }
+        }
+        let requests_per_second = total_requests as f64 / (best_ms / 1e3);
+        if threads == 1 {
+            one_thread_rps = requests_per_second;
+        }
+        points.push(ParallelEvalPoint {
+            threads,
+            wall_ms: best_ms,
+            requests_per_second,
+            speedup_vs_one_thread: requests_per_second / one_thread_rps,
+            identical_to_one_thread: identical,
+        });
+    }
+    ParallelEvalReport {
+        jobs,
+        requests_per_job,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        points,
+    }
+}
+
+/// Renders a parallel-evaluation report as an [`ExperimentTable`].
+pub fn parallel_eval_table(report: &ParallelEvalReport) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        format!(
+            "Parallel evaluation: Mix-5 sweep ({} jobs x {} requests), host parallelism {}",
+            report.jobs, report.requests_per_job, report.available_parallelism
+        ),
+        "ms / req/s / x",
+        vec![
+            "wall_ms".to_string(),
+            "requests_per_s".to_string(),
+            "speedup_x".to_string(),
+            "identical".to_string(),
+        ],
+    );
+    for p in &report.points {
+        table.push_row(
+            format!("{} threads", p.threads),
+            vec![
+                p.wall_ms,
+                p.requests_per_second,
+                p.speedup_vs_one_thread,
+                if p.identical_to_one_thread { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises a parallel-evaluation report as the
+/// `BENCH_parallel_eval.json` perf-trajectory document (hand-rolled like
+/// [`tables_to_json`]: the build environment has no serde_json).
+pub fn parallel_eval_json(report: &ParallelEvalReport) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"parallel_eval\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"Mix-5 sweep: {} independent streams x {} requests, HiDP, leaders cycling over 5 nodes, cold shared sharded PlanCache per measurement\",\n",
+        report.jobs, report.requests_per_job
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        report.available_parallelism
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_ms\": {}, \"requests_per_second\": {}, \"speedup_vs_one_thread\": {}, \"identical_to_one_thread\": {}}}{}\n",
+            p.threads,
+            p.wall_ms,
+            p.requests_per_second,
+            p.speedup_vs_one_thread,
+            p.identical_to_one_thread,
+            if i + 1 < report.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -711,28 +1013,30 @@ pub fn accuracy_equivalence() -> ExperimentTable {
         ("tiny_inception", zoo::small::tiny_inception(14, 4, 10)),
         ("tiny_mobilenet", zoo::small::tiny_mobilenet(14, 4, 10)),
     ];
-    for (name, graph) in networks {
-        let store = WeightStore::generate(&graph, 42).expect("weights generate");
+    // Real tensor execution per network — the heaviest cells in exp_all —
+    // fan out on the generic runner (no planning involved).
+    let rows = sweep().run(&networks, |_, (_, graph)| {
+        let store = WeightStore::generate(graph, 42).expect("weights generate");
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
         let input =
             Tensor::random(&graph.input_shape().dims(), 1.0, &mut rng).expect("input builds");
-        let whole = execute(&graph, &input, &store).expect("whole execution succeeds");
+        let whole = execute(graph, &input, &store).expect("whole execution succeeds");
 
         let cut = graph.cut_points()[graph.cut_points().len() / 2];
-        let partition = partition_into_blocks(&graph, &[cut]).expect("cut point is valid");
+        let partition = partition_into_blocks(graph, &[cut]).expect("cut point is valid");
         let piped =
-            execute_model_partition(&graph, &partition, &input, &store).expect("pipeline runs");
+            execute_model_partition(graph, &partition, &input, &store).expect("pipeline runs");
         let batched =
-            execute_data_partition_batch(&graph, 2, &input, &store).expect("data partition runs");
+            execute_data_partition_batch(graph, 2, &input, &store).expect("data partition runs");
 
         let model_diff = whole.max_abs_diff(&piped).expect("same shape") as f64;
         let data_diff = whole.max_abs_diff(&batched).expect("same shape") as f64;
         let agree = whole.argmax_rows().expect("rank 2") == piped.argmax_rows().expect("rank 2")
             && whole.argmax_rows().expect("rank 2") == batched.argmax_rows().expect("rank 2");
-        table.push_row(
-            name,
-            vec![model_diff, data_diff, if agree { 1.0 } else { 0.0 }],
-        );
+        vec![model_diff, data_diff, if agree { 1.0 } else { 0.0 }]
+    });
+    for ((name, _), values) in networks.iter().zip(rows) {
+        table.push_row(*name, values);
     }
     table
 }
@@ -743,6 +1047,10 @@ pub fn accuracy_equivalence() -> ExperimentTable {
 
 /// Measures the wall-clock overhead of the DP-based exploration (global +
 /// local) per model, the quantity the paper reports as ≈15 ms on average.
+///
+/// Deliberately **not** fanned out on [`ParallelSweep`]: this experiment
+/// *times* each exploration, and co-scheduling the cells would let them
+/// steal cycles from each other and inflate the numbers.
 pub fn dse_overhead() -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let mut table = ExperimentTable::new(
@@ -829,6 +1137,9 @@ pub fn ablation_variants() -> Vec<(String, HidpStrategy)> {
 }
 
 /// Runs the ablation study: per-workload latency of each HiDP variant.
+/// The variant × model grid fans out on [`ParallelSweep`]; the variants
+/// share the "HiDP" display name but their `cache_config` discriminators
+/// keep the shared cache's keys apart.
 pub fn ablation() -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let variants = ablation_variants();
@@ -837,17 +1148,27 @@ pub fn ablation() -> ExperimentTable {
         "ms",
         variants.iter().map(|(name, _)| name.clone()).collect(),
     );
-    for model in WorkloadModel::ALL {
-        let scenario = Scenario::single(model.graph(1));
-        let values: Vec<f64> = variants
-            .iter()
-            .map(|(_, strategy)| {
-                scenario
-                    .run(strategy, &cluster, LEADER)
-                    .expect("evaluation succeeds")
-                    .latency()
-                    * 1e3
+    let scenarios: Vec<Scenario> = WorkloadModel::ALL
+        .iter()
+        .map(|m| Scenario::single(m.graph(1)))
+        .collect();
+    let (cluster_ref, variants_ref) = (&cluster, &variants);
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .flat_map(|scenario| {
+            variants_ref.iter().map(move |(_, strategy)| SweepJob {
+                scenario,
+                strategy,
+                cluster: cluster_ref,
+                leader: LEADER,
             })
+        })
+        .collect();
+    let evaluations = sweep_evaluations(&jobs);
+    for (row, model) in WorkloadModel::ALL.iter().enumerate() {
+        let values: Vec<f64> = evaluations[row * variants.len()..(row + 1) * variants.len()]
+            .iter()
+            .map(|e| e.latency() * 1e3)
             .collect();
         table.push_row(model.name(), values);
     }

@@ -16,10 +16,23 @@
 //! * [`data_partition_search`] explores the number of parallel sub-models
 //!   `σ` and assigns input fractions proportional to resource rates,
 //!   minimising the slowest part (plus synchronisation overhead).
+//!
+//! # Allocation-free planning
+//!
+//! Cold planning sits on the per-request hot path (15–190 µs each per
+//! `BENCH_stream_scaling.json`), so the searches keep **no per-call
+//! allocations**: all tables — the flattened DP cost/choice matrices, the
+//! rate-order permutation and the flops prefix sums — live in a
+//! [`PlannerScratch`] that is reused across calls. The public entry points
+//! borrow a per-thread scratch (a `thread_local!`), so concurrent planners
+//! in a [`crate::ParallelSweep`] never contend on scratch memory; callers
+//! that want explicit control can pass their own via the `_in` variants.
+//! Results are bit-identical to the original nested-`Vec` implementation.
 
 use crate::system_model::Resource;
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// One segment of the layer chain (the span between two consecutive cut
 /// points). Blocks are unions of consecutive segments.
@@ -89,15 +102,53 @@ pub struct WorkloadSummary {
     pub sync_bytes: u64,
 }
 
-fn sorted_by_rate(resources: &[Resource]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..resources.len()).collect();
+/// Reusable working memory for the DP searches: the flattened cost/choice
+/// tables, the resource-order permutation, the flops prefix sums and the
+/// per-row running minima. Buffers grow to the largest problem seen and are
+/// then reused, so steady-state planning allocates nothing.
+///
+/// The zero-argument entry points ([`model_partition_search`],
+/// [`data_partition_search`]) borrow a per-thread instance; construct one
+/// explicitly only to control scratch lifetime yourself (e.g. to keep a
+/// dedicated scratch per pinned worker).
+#[derive(Debug, Default)]
+pub struct PlannerScratch {
+    /// Resource indices sorted by descending rate.
+    order: Vec<usize>,
+    /// `prefix_flops[i]` = total flops of segments `0..i` (length n+1).
+    prefix_flops: Vec<u64>,
+    /// Flattened `(n+1) × (m+1)` DP cost table, row-major by segment count.
+    dp: Vec<f64>,
+    /// Flattened choice table; `usize::MAX` marks "no feasible split".
+    choice: Vec<usize>,
+    /// `min_prev[k]` = min over `jp < j` of `dp[k][jp]`, maintained
+    /// incrementally as `j` advances.
+    min_prev: Vec<f64>,
+}
+
+impl PlannerScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind the zero-argument entry points. Planning
+    /// never recurses into itself, so the `RefCell` borrow is never
+    /// re-entered.
+    static SCRATCH: RefCell<PlannerScratch> = RefCell::new(PlannerScratch::new());
+}
+
+fn sorted_by_rate_into(order: &mut Vec<usize>, resources: &[Resource]) {
+    order.clear();
+    order.extend(0..resources.len());
     order.sort_by(|a, b| {
         resources[*b]
             .rate
             .partial_cmp(&resources[*a].rate)
             .expect("rates are finite")
     });
-    order
 }
 
 /// Splits a chain of segments into at most `resources.len()` contiguous
@@ -106,13 +157,29 @@ fn sorted_by_rate(resources: &[Resource]) -> Vec<usize> {
 /// The search runs in `O(n² · m)` for `n` segments and `m` resources; with
 /// the block-level cut points of the zoo models and a five-node cluster this
 /// is a few hundred thousand table updates (the ~15 ms overhead the paper
-/// reports).
+/// reports). Scratch memory comes from the calling thread's
+/// [`PlannerScratch`].
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Infeasible`] when `segments` or `resources` is empty
 /// or any resource has a non-positive rate.
 pub fn model_partition_search(
+    segments: &[ChainSegment],
+    resources: &[Resource],
+    workload: WorkloadSummary,
+) -> Result<ModelSearch, CoreError> {
+    SCRATCH.with(|s| model_partition_search_in(&mut s.borrow_mut(), segments, resources, workload))
+}
+
+/// [`model_partition_search`] against a caller-owned [`PlannerScratch`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `segments` or `resources` is empty
+/// or any resource has a non-positive rate.
+pub fn model_partition_search_in(
+    scratch: &mut PlannerScratch,
     segments: &[ChainSegment],
     resources: &[Resource],
     workload: WorkloadSummary,
@@ -133,29 +200,49 @@ pub fn model_partition_search(
         });
     }
 
-    let order = sorted_by_rate(resources);
+    sorted_by_rate_into(&mut scratch.order, resources);
     let n = segments.len();
     let m = resources.len();
+    let stride = m + 1;
 
     // Prefix sums of flops so block flops are O(1).
-    let mut prefix_flops = vec![0u64; n + 1];
-    for (i, seg) in segments.iter().enumerate() {
-        prefix_flops[i + 1] = prefix_flops[i] + seg.flops;
+    scratch.prefix_flops.clear();
+    scratch.prefix_flops.reserve(n + 1);
+    scratch.prefix_flops.push(0);
+    let mut acc = 0u64;
+    for seg in segments {
+        acc += seg.flops;
+        scratch.prefix_flops.push(acc);
     }
+    let prefix_flops = &scratch.prefix_flops;
     let block_flops = |first: usize, last: usize| prefix_flops[last + 1] - prefix_flops[first];
 
-    // dp[i][j]: minimal latency to finish segments 0..i using only the first
-    // j resources in `order`, where the block ending at segment i-1 ran on
-    // resource order[j-1]. usize::MAX-style sentinel via f64::INFINITY.
-    let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
-    let mut choice: Vec<Vec<Option<usize>>> = vec![vec![None; m + 1]; n + 1];
-    dp[0][0] = 0.0;
+    // dp[i·stride + j]: minimal latency to finish segments 0..i using only
+    // the first j resources in `order`, where the block ending at segment
+    // i-1 ran on resource order[j-1]. Infeasible cells hold f64::INFINITY;
+    // choice holds usize::MAX there. The tables are flat reusable buffers —
+    // no per-call Vec-of-Vec allocation.
+    scratch.dp.clear();
+    scratch.dp.resize((n + 1) * stride, f64::INFINITY);
+    scratch.choice.clear();
+    scratch.choice.resize((n + 1) * stride, usize::MAX);
+    scratch.dp[0] = 0.0;
+    // min_prev[k] = min over jp < j of dp[k][jp], folded incrementally as j
+    // advances — the same left-to-right `min` fold over the same finalized
+    // cells the original per-(i,k) rescans performed, so every comparison
+    // sees bit-identical values (and the whole search stays O(n²·m) instead
+    // of O(n²·m²)).
+    scratch.min_prev.clear();
+    scratch.min_prev.resize(n + 1, f64::INFINITY);
     for j in 1..=m {
-        let resource = &resources[order[j - 1]];
+        for k in 0..=n {
+            scratch.min_prev[k] = scratch.min_prev[k].min(scratch.dp[k * stride + j - 1]);
+        }
+        let resource = &resources[scratch.order[j - 1]];
         for i in 1..=n {
             for k in 0..i {
                 // Block covers segments k..i-1 (inclusive), runs on resource j-1.
-                let best_prev = dp[k][..j].iter().copied().fold(f64::INFINITY, f64::min);
+                let best_prev = scratch.min_prev[k];
                 if !best_prev.is_finite() {
                     continue;
                 }
@@ -173,9 +260,9 @@ pub fn model_partition_search(
                     // Return the final result to the coordinator.
                     cost += resource.transfer_time(workload.output_bytes);
                 }
-                if cost < dp[i][j] {
-                    dp[i][j] = cost;
-                    choice[i][j] = Some(k);
+                if cost < scratch.dp[i * stride + j] {
+                    scratch.dp[i * stride + j] = cost;
+                    scratch.choice[i * stride + j] = k;
                 }
             }
         }
@@ -183,7 +270,11 @@ pub fn model_partition_search(
 
     // Best over the number of resources actually used.
     let (mut best_j, mut best_latency) = (0usize, f64::INFINITY);
-    for (j, &latency) in dp[n].iter().enumerate().take(m + 1).skip(1) {
+    for (j, &latency) in scratch.dp[n * stride..n * stride + stride]
+        .iter()
+        .enumerate()
+        .skip(1)
+    {
         if latency < best_latency {
             best_latency = latency;
             best_j = j;
@@ -201,13 +292,14 @@ pub fn model_partition_search(
     let mut i = n;
     let mut j = best_j;
     while i > 0 {
-        let k = choice[i][j].expect("backtracking follows a feasible path");
+        let k = scratch.choice[i * stride + j];
+        debug_assert_ne!(k, usize::MAX, "backtracking follows a feasible path");
         block_ends_rev.push(i - 1);
-        assignments_rev.push(order[j - 1]);
+        assignments_rev.push(scratch.order[j - 1]);
         // Find which jp produced best_prev for dp[k][..j].
         let mut best_jp = 0usize;
         let mut best_val = f64::INFINITY;
-        for (jp, &val) in dp[k].iter().enumerate().take(j) {
+        for (jp, &val) in scratch.dp[k * stride..k * stride + j].iter().enumerate() {
             if val < best_val {
                 best_val = val;
                 best_jp = jp;
@@ -231,12 +323,28 @@ pub fn model_partition_search(
 /// Explores the number of parallel sub-models `σ` (1 ..= `max_parts`) for
 /// data partitioning and returns the fastest configuration. Shares are
 /// proportional to resource rates (faster resources take larger slices).
+/// Scratch memory comes from the calling thread's [`PlannerScratch`].
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Infeasible`] when `resources` is empty, rates are
 /// non-positive, or `max_parts` is zero.
 pub fn data_partition_search(
+    resources: &[Resource],
+    workload: WorkloadSummary,
+    max_parts: usize,
+) -> Result<DataSearch, CoreError> {
+    SCRATCH.with(|s| data_partition_search_in(&mut s.borrow_mut(), resources, workload, max_parts))
+}
+
+/// [`data_partition_search`] against a caller-owned [`PlannerScratch`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `resources` is empty, rates are
+/// non-positive, or `max_parts` is zero.
+pub fn data_partition_search_in(
+    scratch: &mut PlannerScratch,
     resources: &[Resource],
     workload: WorkloadSummary,
     max_parts: usize,
@@ -257,10 +365,39 @@ pub fn data_partition_search(
         });
     }
 
-    let order = sorted_by_rate(resources);
-    let mut best: Option<DataSearch> = None;
+    sorted_by_rate_into(&mut scratch.order, resources);
+    // First pass: find the best σ without materialising any share vector
+    // (fractions are recomputed on the fly — the arithmetic and iteration
+    // order match the materialised version exactly).
+    let mut best: Option<(usize, f64)> = None;
     for sigma in 1..=max_parts.min(resources.len()) {
-        let selected = &order[..sigma];
+        let selected = &scratch.order[..sigma];
+        let total_rate: f64 = selected.iter().map(|&i| resources[i].rate).sum();
+        // Latency of the slowest part. Interior parts exchange halos with two
+        // neighbours, so charge sync traffic per additional part.
+        let mut latency: f64 = 0.0;
+        for &idx in selected {
+            let resource = &resources[idx];
+            let fraction = resources[idx].rate / total_rate;
+            let flops = (workload.flops as f64 * fraction) as u64;
+            let sync = if sigma == 1 { 0 } else { workload.sync_bytes };
+            let part_latency = resource
+                .transfer_time((workload.input_bytes as f64 * fraction).ceil() as u64)
+                + resource.compute_time(flops + sync / 4)
+                + resource.transfer_time(
+                    (workload.output_bytes as f64 * fraction).ceil() as u64
+                        + if sigma == 1 { 0 } else { sync },
+                );
+            latency = latency.max(part_latency);
+        }
+        if best.map(|(_, b)| latency < b).unwrap_or(true) {
+            best = Some((sigma, latency));
+        }
+    }
+    // Second pass: materialise the winning configuration (the only
+    // allocation of the search — it is the returned result).
+    best.map(|(sigma, latency)| {
+        let selected = &scratch.order[..sigma];
         let total_rate: f64 = selected.iter().map(|&i| resources[i].rate).sum();
         let shares: Vec<DataShare> = selected
             .iter()
@@ -269,27 +406,9 @@ pub fn data_partition_search(
                 fraction: resources[i].rate / total_rate,
             })
             .collect();
-        // Latency of the slowest part. Interior parts exchange halos with two
-        // neighbours, so charge sync traffic per additional part.
-        let mut latency: f64 = 0.0;
-        for share in &shares {
-            let resource = &resources[share.resource];
-            let flops = (workload.flops as f64 * share.fraction) as u64;
-            let sync = if sigma == 1 { 0 } else { workload.sync_bytes };
-            let part_latency = resource
-                .transfer_time((workload.input_bytes as f64 * share.fraction).ceil() as u64)
-                + resource.compute_time(flops + sync / 4)
-                + resource.transfer_time(
-                    (workload.output_bytes as f64 * share.fraction).ceil() as u64
-                        + if sigma == 1 { 0 } else { sync },
-                );
-            latency = latency.max(part_latency);
-        }
-        if best.as_ref().map(|b| latency < b.latency).unwrap_or(true) {
-            best = Some(DataSearch { shares, latency });
-        }
-    }
-    best.ok_or_else(|| CoreError::Infeasible {
+        DataSearch { shares, latency }
+    })
+    .ok_or_else(|| CoreError::Infeasible {
         what: "data partition search found no feasible configuration".into(),
     })
 }
@@ -475,5 +594,65 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), result.assignments.len());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_bit_for_bit() {
+        // The whole point of PlannerScratch: reuse across differently-sized
+        // problems must never leak state between searches.
+        let mut scratch = PlannerScratch::new();
+        let cases: Vec<(Vec<ChainSegment>, Vec<Resource>, u64)> = vec![
+            (
+                uniform_segments(12, 500_000_000),
+                vec![
+                    resource("a", 0, 4e9, f64::INFINITY),
+                    resource("b", 1, 2e9, 5e8),
+                    resource("c", 2, 1e9, 5e8),
+                ],
+                6_000_000_000,
+            ),
+            (
+                uniform_segments(3, 2_000_000_000),
+                vec![
+                    resource("a", 0, 5e9, f64::INFINITY),
+                    resource("b", 1, 50e9, 1e9),
+                ],
+                6_000_000_000,
+            ),
+            (
+                uniform_segments(30, 100_000_000),
+                vec![resource("a", 0, 1e10, f64::INFINITY)],
+                3_000_000_000,
+            ),
+        ];
+        for (segments, resources, flops) in &cases {
+            let fresh_model = model_partition_search_in(
+                &mut PlannerScratch::new(),
+                segments,
+                resources,
+                workload(*flops),
+            )
+            .unwrap();
+            let reused_model =
+                model_partition_search_in(&mut scratch, segments, resources, workload(*flops))
+                    .unwrap();
+            assert_eq!(fresh_model, reused_model);
+
+            let fresh_data = data_partition_search_in(
+                &mut PlannerScratch::new(),
+                resources,
+                workload(*flops),
+                resources.len(),
+            )
+            .unwrap();
+            let reused_data = data_partition_search_in(
+                &mut scratch,
+                resources,
+                workload(*flops),
+                resources.len(),
+            )
+            .unwrap();
+            assert_eq!(fresh_data, reused_data);
+        }
     }
 }

@@ -74,6 +74,12 @@ impl GlobalAssignment {
 }
 
 /// Converts a graph into DP chain segments delimited by its cut points.
+///
+/// Runs in O(number of segments): each segment's flops come from the
+/// graph's construction-time prefix sums ([`DnnGraph::span_flops`]) instead
+/// of re-summing `graph.cost(pos)` over `first..=boundary` per segment,
+/// which made this walk quadratic in the layer count for chain-shaped
+/// models (every layer a cut point).
 pub fn chain_segments(graph: &DnnGraph) -> Vec<ChainSegment> {
     let mut boundaries: Vec<usize> = graph.cut_points().iter().map(|id| id.0).collect();
     boundaries.push(graph.len() - 1);
@@ -83,19 +89,12 @@ pub fn chain_segments(graph: &DnnGraph) -> Vec<ChainSegment> {
         if boundary < first {
             continue;
         }
-        let mut flops = 0u64;
-        for pos in first..=boundary {
-            flops += graph
-                .cost(hidp_dnn::NodeId(pos))
-                .expect("position is inside the graph")
-                .flops;
-        }
         let boundary_bytes = graph
             .cost(hidp_dnn::NodeId(boundary))
             .expect("position is inside the graph")
             .output_bytes;
         segments.push(ChainSegment {
-            flops,
+            flops: graph.span_flops(first, boundary),
             boundary_bytes,
         });
         first = boundary + 1;

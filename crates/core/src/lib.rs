@@ -19,7 +19,10 @@
 //! * the [`HidpStrategy`] that composes all of the above into executable
 //!   cluster plans, plus the [`DistributedStrategy`] trait shared with the
 //!   baselines and the [`Scenario`] pipeline that plans a workload and
-//!   simulates it on a cluster in one call.
+//!   simulates it on a cluster in one call;
+//! * the **parallel evaluation engine**: the sharded, in-flight-deduplicated
+//!   [`PlanCache`] and the [`ParallelSweep`] runner that fans independent
+//!   scenario runs across worker threads with bit-identical results.
 //!
 //! ```
 //! use hidp_core::{DistributedStrategy, HidpStrategy, Scenario};
@@ -45,6 +48,7 @@ mod engine;
 mod error;
 mod global;
 mod local;
+mod parallel;
 mod plan_cache;
 pub mod runtime;
 mod scenario;
@@ -59,7 +63,8 @@ pub use global::{
     chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind,
 };
 pub use local::{LocalAssignment, LocalPartitioner, LocalPolicy, LocalSplit};
-pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use parallel::{ParallelSweep, SweepJob};
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey, SHARD_COUNT};
 pub use scenario::{Evaluation, Scenario};
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};

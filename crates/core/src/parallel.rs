@@ -1,0 +1,302 @@
+//! The parallel evaluation engine: fan independent [`Scenario`] runs (or any
+//! independent jobs) across worker threads.
+//!
+//! Every experiment sweep in the workspace — strategy × workload grids,
+//! arrival-rate sweeps, node-scaling curves — is a list of *independent*
+//! plan-and-simulate jobs. [`ParallelSweep`] runs such a list on scoped
+//! worker threads (crossbeam), with:
+//!
+//! * **work stealing by atomic counter** — threads pull the next job index
+//!   from a shared `AtomicUsize`, so uneven job costs (VGG-19 vs
+//!   EfficientNet-B0, MCTS vs greedy planners) do not leave workers idle;
+//! * **one deterministic result slot per job index** — results land in
+//!   `out[i]` for job `i` regardless of which worker ran it or in which
+//!   order jobs finished, so a sweep's output is byte-identical at any
+//!   thread count;
+//! * **a shared [`PlanCache`]** (for scenario jobs) — the sharded cache
+//!   deduplicates concurrent planning across the whole sweep, so a grid
+//!   that revisits the same (strategy, model, cluster, leader) plans it
+//!   exactly once no matter how many jobs need it.
+//!
+//! Determinism argument: every strategy is a deterministic function of its
+//! key, the cache returns bit-identical plans for a key no matter which
+//! thread planned first, and the simulator is a deterministic function of
+//! the plans — so each job's [`Evaluation`] is independent of scheduling.
+//! The only order-dependent quantity is *attribution* of cache hits/misses
+//! to individual runs, which is why [`ParallelSweep::run_scenarios`] strips
+//! [`Evaluation::plan_cache`] (see its docs).
+//!
+//! ```
+//! use hidp_core::{HidpStrategy, ParallelSweep, PlanCache, Scenario, SweepJob};
+//! use hidp_dnn::zoo::WorkloadModel;
+//! use hidp_platform::{presets, NodeIndex};
+//!
+//! let cluster = presets::paper_cluster();
+//! let strategy = HidpStrategy::new();
+//! let scenarios: Vec<Scenario> = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3]
+//!     .iter()
+//!     .map(|m| Scenario::single(m.graph(1)))
+//!     .collect();
+//! let jobs: Vec<SweepJob<'_>> = scenarios
+//!     .iter()
+//!     .map(|scenario| SweepJob {
+//!         scenario,
+//!         strategy: &strategy,
+//!         cluster: &cluster,
+//!         leader: NodeIndex(1),
+//!     })
+//!     .collect();
+//! let cache = PlanCache::new();
+//! let results = ParallelSweep::with_available_parallelism().run_scenarios(&jobs, &cache);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+use crate::plan_cache::PlanCache;
+use crate::scenario::{Evaluation, Scenario};
+use crate::strategy::DistributedStrategy;
+use crate::CoreError;
+use hidp_platform::{Cluster, NodeIndex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A thread-pooled runner for lists of independent jobs, with deterministic
+/// per-index result slots. See the module docs for the design.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSweep {
+    threads: usize,
+}
+
+impl ParallelSweep {
+    /// A sweep over `threads` worker threads (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A sweep sized to the host's available parallelism (1 if unknown).
+    pub fn with_available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this sweep uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(index, &jobs[index])` for every job and returns the results
+    /// in job order. With one thread (or at most one job) this degenerates
+    /// to a plain sequential loop on the calling thread — no threads are
+    /// spawned, so the serial path stays the trivially-correct reference.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after all workers have stopped.
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(usize, &J) -> R + Sync,
+    {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+        }
+
+        let workers = self.threads.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            done.push((i, f(i, &jobs[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("scoped sweep threads complete");
+
+        // Scatter into the deterministic per-index slots.
+        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+        for (i, result) in buckets.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "job {i} ran twice");
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs every [`SweepJob`] through
+    /// [`Scenario::run_with_cache`] against one shared (sharded) `cache`,
+    /// returning evaluations in job order.
+    ///
+    /// The returned evaluations have [`Evaluation::plan_cache`] set to
+    /// `None`: per-run hit/miss attribution depends on which job reaches a
+    /// key first, which under concurrency (and even serially, across job
+    /// orderings) is scheduling-dependent — stripping it is what makes the
+    /// results of a sweep **bit-identical at every thread count**. Aggregate
+    /// counters are available on `cache.stats()`.
+    pub fn run_scenarios(
+        &self,
+        jobs: &[SweepJob<'_>],
+        cache: &PlanCache,
+    ) -> Vec<Result<Evaluation, CoreError>> {
+        self.run(jobs, |_, job| {
+            job.scenario
+                .run_with_cache(job.strategy, job.cluster, job.leader, cache)
+                .map(|mut evaluation| {
+                    evaluation.plan_cache = None;
+                    evaluation
+                })
+        })
+    }
+}
+
+impl Default for ParallelSweep {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// One independent plan-and-simulate job of a sweep: which scenario to run,
+/// with which strategy, on which cluster, arriving at which leader.
+#[derive(Clone, Copy)]
+pub struct SweepJob<'a> {
+    /// The workload to evaluate.
+    pub scenario: &'a Scenario,
+    /// The strategy planning every request of the scenario.
+    pub strategy: &'a dyn DistributedStrategy,
+    /// The cluster the plans are simulated on.
+    pub cluster: &'a Cluster,
+    /// The node requests arrive at.
+    pub leader: NodeIndex,
+}
+
+impl std::fmt::Debug for SweepJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("scenario", &self.scenario.label())
+            .field("strategy", &self.strategy.name())
+            .field("leader", &self.leader)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HidpStrategy;
+    use hidp_dnn::zoo::WorkloadModel;
+    use hidp_platform::presets;
+
+    #[test]
+    fn generic_run_preserves_job_order() {
+        let jobs: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4] {
+            let results = ParallelSweep::new(threads).run(&jobs, |i, &job| {
+                assert_eq!(i, job);
+                job * job
+            });
+            assert_eq!(results.len(), jobs.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ParallelSweep::new(0).threads(), 1);
+        assert!(ParallelSweep::with_available_parallelism().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        let results = ParallelSweep::new(4).run(&[] as &[usize], |_, &j| j);
+        assert!(results.is_empty());
+        let cache = PlanCache::new();
+        assert!(ParallelSweep::new(4).run_scenarios(&[], &cache).is_empty());
+    }
+
+    #[test]
+    fn scenario_results_match_the_direct_path_at_any_thread_count() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let scenarios: Vec<Scenario> = WorkloadModel::ALL
+            .iter()
+            .map(|m| Scenario::single(m.graph(1)))
+            .collect();
+        let jobs: Vec<SweepJob<'_>> = scenarios
+            .iter()
+            .map(|scenario| SweepJob {
+                scenario,
+                strategy: &strategy,
+                cluster: &cluster,
+                leader: NodeIndex(1),
+            })
+            .collect();
+
+        // Reference: the plain serial pipeline, stats stripped the same way.
+        let reference: Vec<Evaluation> = scenarios
+            .iter()
+            .map(|s| {
+                let mut e = s.run(&strategy, &cluster, NodeIndex(1)).unwrap();
+                e.plan_cache = None;
+                e
+            })
+            .collect();
+
+        for threads in [1, 3] {
+            let cache = PlanCache::new();
+            let results = ParallelSweep::new(threads).run_scenarios(&jobs, &cache);
+            let evaluations: Vec<Evaluation> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(evaluations, reference, "threads = {threads}");
+            // One plan per distinct (strategy, model, leader, cluster) key.
+            assert_eq!(cache.len(), WorkloadModel::ALL.len());
+            assert_eq!(cache.stats().misses, WorkloadModel::ALL.len() as u64);
+        }
+    }
+
+    #[test]
+    fn errors_land_in_their_jobs_slot() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let good = Scenario::single(WorkloadModel::EfficientNetB0.graph(1));
+        let empty = Scenario::stream(Vec::new());
+        let jobs = [
+            SweepJob {
+                scenario: &good,
+                strategy: &strategy,
+                cluster: &cluster,
+                leader: NodeIndex(1),
+            },
+            SweepJob {
+                scenario: &empty,
+                strategy: &strategy,
+                cluster: &cluster,
+                leader: NodeIndex(1),
+            },
+        ];
+        let cache = PlanCache::new();
+        let results = ParallelSweep::new(2).run_scenarios(&jobs, &cache);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

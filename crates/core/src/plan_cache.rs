@@ -12,15 +12,44 @@
 //! Every strategy in the workspace is a deterministic function of that key —
 //! even the MCTS baseline reseeds its RNG per call — so a cache hit returns
 //! bit-identical plans and changes no simulation result, only its cost.
+//!
+//! # Concurrency
+//!
+//! The cache is built for many threads hammering it at once (the
+//! [`crate::ParallelSweep`] runner fans independent scenario runs across one
+//! shared cache):
+//!
+//! * The table is split into [`SHARD_COUNT`] shards, each behind its own
+//!   `parking_lot::RwLock`, with the shard selected from the key's stored
+//!   fingerprints (no locking or hashing of the whole key to route). Warm
+//!   lookups take one shard *read* lock — readers proceed in parallel, and
+//!   threads working on different keys almost never touch the same shard.
+//! * Misses are deduplicated in flight: the first thread to miss a key
+//!   publishes a pending slot and plans outside all locks; concurrent misses
+//!   on the same key find the slot and block on it instead of planning the
+//!   same thing again. Exactly one planner invocation happens per distinct
+//!   key, no matter how many threads race (`stats().misses` counts exactly
+//!   those invocations, so `misses == len()` once all lookups finish).
+//! * Hit/miss counters are relaxed atomics; [`PlanCache::plan_tracked`]
+//!   additionally reports per-call hit/miss so callers can attribute
+//!   lookups to themselves without racing other users of a shared cache.
 
 use crate::strategy::DistributedStrategy;
 use crate::CoreError;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex};
 use hidp_sim::ExecutionPlan;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of independent lock shards. A power of two well above the core
+/// counts this workspace targets: with uniformly distributed fingerprints,
+/// the probability that two concurrently-active keys share a shard stays
+/// low, and the per-shard `RwLock` makes same-shard *readers* free anyway.
+pub const SHARD_COUNT: usize = 16;
 
 /// Everything a [`DistributedStrategy::plan`] call can depend on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -61,15 +90,35 @@ impl PlanKey {
             cluster_fingerprint: cluster.fingerprint(),
         }
     }
+
+    /// The shard this key routes to. Mixes the stored content fingerprints
+    /// (already high-entropy FNV-1a hashes) with the leader and batch — the
+    /// cheap fields; hashing the strategy strings would cost more than the
+    /// collisions they disambiguate, and same-graph-different-strategy keys
+    /// sharing a shard is harmless (the shard map still keys on the full
+    /// [`PlanKey`]).
+    fn shard(&self) -> usize {
+        let mut h = self.graph_fingerprint ^ self.cluster_fingerprint.rotate_left(32);
+        h ^= (self.leader.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= (self.batch as u64).rotate_left(16);
+        // Final avalanche so the low bits used for shard selection depend on
+        // every input bit (splitmix64 finalizer constant).
+        h = (h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        (h >> 33) as usize % SHARD_COUNT
+    }
 }
 
 /// Hit/miss counters of a [`PlanCache`], also surfaced per evaluation on
 /// [`crate::Evaluation::plan_cache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanCacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups served from the cache — including lookups that waited for a
+    /// concurrent planner invocation on the same key instead of planning
+    /// themselves.
     pub hits: u64,
-    /// Lookups that had to invoke the strategy's planner.
+    /// Lookups that invoked the strategy's planner. Under concurrency this
+    /// counts *planner invocations*, so `misses` equals the number of
+    /// distinct keys planned (plus failed attempts, which insert nothing).
     pub misses: u64,
 }
 
@@ -89,17 +138,108 @@ impl PlanCacheStats {
     }
 }
 
-#[derive(Debug, Default)]
-struct CacheInner {
-    plans: HashMap<PlanKey, Arc<ExecutionPlan>>,
-    stats: PlanCacheStats,
+/// A slot in the cache: published while planning is in flight, filled
+/// exactly once. Waiters block on the condvar instead of re-planning.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
 }
 
-/// A memoization table for strategy planning, shareable across scenarios
-/// (and threads: all state sits behind a mutex).
+#[derive(Debug)]
+enum SlotState {
+    /// The publishing thread is still planning.
+    Planning,
+    /// Planning succeeded; every lookup from now on clones this.
+    Ready(Arc<ExecutionPlan>),
+    /// Planning failed; waiters get the error, the slot is unpublished.
+    Failed(CoreError),
+}
+
+impl Slot {
+    fn pending() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Planning),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the slot is filled and returns its outcome.
+    fn wait(&self) -> Result<Arc<ExecutionPlan>, CoreError> {
+        let mut state = self.state.lock().expect("plan slot lock");
+        loop {
+            match &*state {
+                SlotState::Planning => {
+                    state = self.ready.wait(state).expect("plan slot lock");
+                }
+                SlotState::Ready(plan) => return Ok(Arc::clone(plan)),
+                SlotState::Failed(e) => return Err(e.clone()),
+            }
+        }
+    }
+
+    /// Fills the slot and wakes all waiters.
+    fn fill(&self, outcome: Result<Arc<ExecutionPlan>, CoreError>) {
+        let mut state = self.state.lock().expect("plan slot lock");
+        *state = match outcome {
+            Ok(plan) => SlotState::Ready(plan),
+            Err(e) => SlotState::Failed(e),
+        };
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// Removes `slot` from `shard` if it is still the published entry for
+/// `key`. Only ever removes the caller's own slot — a retry may already
+/// have published a fresh one under the same key.
+fn unpublish(shard: &RwLock<HashMap<PlanKey, Arc<Slot>>>, key: &PlanKey, slot: &Arc<Slot>) {
+    let mut map = shard.write();
+    if map.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+        map.remove(key);
+    }
+}
+
+/// Unwinding insurance for the thread that published a pending slot: if it
+/// panics inside the strategy's planner, `Drop` fills the slot with an
+/// error (releasing every waiter — they must never sleep on a slot nobody
+/// will fill) and unpublishes it so the key can be re-planned. The happy
+/// and error paths [`PendingGuard::defuse`] the guard and publish their own
+/// outcome instead.
+struct PendingGuard<'a> {
+    shard: &'a RwLock<HashMap<PlanKey, Arc<Slot>>>,
+    pending: Option<(PlanKey, Arc<Slot>)>,
+}
+
+impl PendingGuard<'_> {
+    fn defuse(mut self) -> (PlanKey, Arc<Slot>) {
+        self.pending.take().expect("guard is defused at most once")
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((key, slot)) = self.pending.take() {
+            slot.fill(Err(CoreError::Runtime {
+                what: format!(
+                    "planner panicked while planning `{}` for graph {:#x}",
+                    key.strategy, key.graph_fingerprint
+                ),
+            }));
+            unpublish(self.shard, &key, &slot);
+        }
+    }
+}
+
+/// A memoization table for strategy planning, shareable across scenarios and
+/// threads: lookups route to one of [`SHARD_COUNT`] reader-writer-locked
+/// shards, warm lookups only ever take a shard *read* lock, and concurrent
+/// misses on the same key plan exactly once (see the module docs).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    inner: Mutex<CacheInner>,
+    shards: [RwLock<HashMap<PlanKey, Arc<Slot>>>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PlanCache {
@@ -127,7 +267,9 @@ impl PlanCache {
 
     /// [`PlanCache::plan`] plus whether the lookup hit, so callers (e.g.
     /// [`crate::Scenario::run_with_cache`]) can attribute hits/misses to
-    /// themselves without racing other users of a shared cache.
+    /// themselves without racing other users of a shared cache. A lookup
+    /// that waited for another thread's in-flight planning of the same key
+    /// reports a hit: it was served without invoking the planner.
     pub fn plan_tracked(
         &self,
         strategy: &dyn DistributedStrategy,
@@ -157,32 +299,79 @@ impl PlanCache {
         cluster: &Cluster,
         leader: NodeIndex,
     ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
-        {
-            let mut inner = self.inner.lock().expect("plan cache lock");
-            if let Some(plan) = inner.plans.get(&key) {
-                let plan = Arc::clone(plan);
-                inner.stats.hits += 1;
-                return Ok((plan, true));
-            }
-            inner.stats.misses += 1;
+        let shard = &self.shards[key.shard()];
+
+        // Warm path: a read lock and a hash probe. Concurrent readers do not
+        // block each other, and writers only hold this lock to publish or
+        // unpublish a slot — never while planning.
+        if let Some(slot) = shard.read().get(&key).map(Arc::clone) {
+            let plan = slot.wait()?;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
         }
-        // Plan outside the lock: planning can take milliseconds (MCTS), and
-        // strategies are deterministic, so a concurrent duplicate plan for
-        // the same key is wasted work but not an inconsistency.
-        let plan = Arc::new(strategy.plan(graph, cluster, leader)?);
-        let mut inner = self.inner.lock().expect("plan cache lock");
-        let entry = inner.plans.entry(key).or_insert_with(|| Arc::clone(&plan));
-        Ok((Arc::clone(entry), false))
+
+        // Miss: publish a pending slot under the write lock, re-checking in
+        // case another thread published between our read and write.
+        let (slot, is_planner) = {
+            let mut map = shard.write();
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Slot::pending();
+                    map.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !is_planner {
+            // Lost the publish race: wait on the winner's slot like a hit.
+            let plan = slot.wait()?;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
+        }
+
+        // This thread owns the slot: plan outside every lock (planning can
+        // take milliseconds — MCTS), then publish the outcome. The guard
+        // covers unwinding: if `strategy.plan` panics, the slot must still
+        // be filled (waiters would otherwise sleep on the condvar forever)
+        // and unpublished — the panic then propagates normally on this
+        // thread while waiters get an error.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let guard = PendingGuard {
+            shard,
+            pending: Some((key, Arc::clone(&slot))),
+        };
+        let outcome = strategy.plan(graph, cluster, leader);
+        match outcome {
+            Ok(plan) => {
+                let (_, slot) = guard.defuse();
+                let plan = Arc::new(plan);
+                slot.fill(Ok(Arc::clone(&plan)));
+                Ok((plan, false))
+            }
+            Err(e) => {
+                let (key, slot) = guard.defuse();
+                slot.fill(Err(e.clone()));
+                // Unpublish so the failure is not memoized (matching the
+                // pre-sharding behaviour: nothing is inserted on error).
+                unpublish(shard, &key, &slot);
+                Err(e)
+            }
+        }
     }
 
     /// Current hit/miss counters.
     pub fn stats(&self) -> PlanCacheStats {
-        self.inner.lock().expect("plan cache lock").stats
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
-    /// Number of distinct plans currently cached.
+    /// Number of distinct plans currently cached (including slots whose
+    /// planning is still in flight).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache lock").plans.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the cache holds no plans.
@@ -192,9 +381,11 @@ impl PlanCache {
 
     /// Drops all cached plans and resets the counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("plan cache lock");
-        inner.plans.clear();
-        inner.stats = PlanCacheStats::default();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -204,6 +395,8 @@ mod tests {
     use crate::HidpStrategy;
     use hidp_dnn::zoo::WorkloadModel;
     use hidp_platform::presets;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
 
     #[test]
     fn hits_and_misses_are_counted() {
@@ -333,5 +526,209 @@ mod tests {
             crate::strategy::DistributedStrategy::plan(&strategy, &graph, &cluster, NodeIndex(1))
                 .unwrap();
         assert_eq!(*cached.as_ref(), fresh);
+    }
+
+    /// Delegates to HiDP but stalls inside `plan` long enough that
+    /// concurrent misses on the same key reliably overlap, and counts how
+    /// often the planner actually ran.
+    struct SlowStrategy {
+        inner: HidpStrategy,
+        invocations: AtomicUsize,
+    }
+
+    impl DistributedStrategy for SlowStrategy {
+        fn name(&self) -> &str {
+            "slow"
+        }
+
+        fn plan(
+            &self,
+            graph: &DnnGraph,
+            cluster: &Cluster,
+            leader: NodeIndex,
+        ) -> Result<ExecutionPlan, CoreError> {
+            self.invocations.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            self.inner.plan(graph, cluster, leader)
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_plan_exactly_once() {
+        const THREADS: usize = 8;
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = SlowStrategy {
+            inner: HidpStrategy::new(),
+            invocations: AtomicUsize::new(0),
+        };
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let barrier = Barrier::new(THREADS);
+
+        let plans: Vec<Arc<ExecutionPlan>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|_| {
+                        barrier.wait();
+                        cache
+                            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("scope completes");
+
+        // In-flight deduplication: one planner invocation, one entry, and
+        // every thread got the same Arc.
+        assert_eq!(strategy.invocations.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+        for plan in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], plan));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one miss (the planner)");
+        assert_eq!(stats.hits, THREADS as u64 - 1, "everyone else waited");
+        assert_eq!(stats.lookups(), THREADS as u64);
+    }
+
+    /// Fails planning after a stall, to exercise error propagation to
+    /// in-flight waiters and the unpublish-on-failure path.
+    struct FailingStrategy;
+
+    impl DistributedStrategy for FailingStrategy {
+        fn name(&self) -> &str {
+            "failing"
+        }
+
+        fn plan(
+            &self,
+            _graph: &DnnGraph,
+            _cluster: &Cluster,
+            _leader: NodeIndex,
+        ) -> Result<ExecutionPlan, CoreError> {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Err(CoreError::Infeasible {
+                what: "always fails".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn planning_failures_reach_waiters_and_are_not_memoized() {
+        const THREADS: usize = 4;
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let barrier = Barrier::new(THREADS);
+
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|_| {
+                        barrier.wait();
+                        cache.plan(&FailingStrategy, &graph, &cluster, NodeIndex(1))
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().expect("no panic").is_err());
+            }
+        })
+        .expect("scope completes");
+
+        // The failure was not memoized; a later lookup re-plans (and fails
+        // again, still inserting nothing).
+        assert!(cache.is_empty());
+        assert!(cache
+            .plan(&FailingStrategy, &graph, &cluster, NodeIndex(1))
+            .is_err());
+        assert!(cache.is_empty());
+    }
+
+    /// Panics on the first `plan` call, delegates to HiDP afterwards — to
+    /// prove a panicking planner neither strands its waiters on the condvar
+    /// nor poisons the key for later lookups.
+    struct PanickingStrategy {
+        inner: HidpStrategy,
+        panicked: std::sync::atomic::AtomicBool,
+    }
+
+    impl DistributedStrategy for PanickingStrategy {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+
+        fn plan(
+            &self,
+            graph: &DnnGraph,
+            cluster: &Cluster,
+            leader: NodeIndex,
+        ) -> Result<ExecutionPlan, CoreError> {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected planner panic");
+            }
+            self.inner.plan(graph, cluster, leader)
+        }
+    }
+
+    #[test]
+    fn planner_panic_releases_waiters_and_unpublishes_the_slot() {
+        let cache = PlanCache::new();
+        let cluster = presets::paper_cluster();
+        let strategy = PanickingStrategy {
+            inner: HidpStrategy::new(),
+            panicked: std::sync::atomic::AtomicBool::new(false),
+        };
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let barrier = Barrier::new(2);
+
+        let waiter_outcome = crossbeam::thread::scope(|s| {
+            let planner = s.spawn(|_| {
+                barrier.wait();
+                // This thread wins the publish race (the waiter sleeps) and
+                // panics mid-plan; join() surfaces the panic as Err.
+                cache.plan(&strategy, &graph, &cluster, NodeIndex(1))
+            });
+            let waiter = s.spawn(|_| {
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                cache.plan(&strategy, &graph, &cluster, NodeIndex(1))
+            });
+            assert!(planner.join().is_err(), "planner thread must panic");
+            waiter.join().expect("waiter must not hang or panic")
+        })
+        .expect("scope completes");
+
+        // The waiter either observed the guard's error or re-planned after
+        // the unpublish (second call succeeds); it must never deadlock.
+        match waiter_outcome {
+            Err(CoreError::Runtime { what }) => assert!(what.contains("panicked")),
+            Ok(_) => {}
+            Err(other) => panic!("unexpected waiter error: {other}"),
+        }
+        // The key is not poisoned: a fresh lookup plans successfully.
+        let plan = cache
+            .plan(&strategy, &graph, &cluster, NodeIndex(1))
+            .expect("key is re-plannable after the panic");
+        assert!(!plan.is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        for model in WorkloadModel::ALL {
+            let graph = model.graph(1);
+            let key = PlanKey::new(&strategy, &graph, &cluster, NodeIndex(1));
+            assert!(key.shard() < SHARD_COUNT);
+            assert_eq!(key.shard(), key.clone().shard());
+        }
     }
 }

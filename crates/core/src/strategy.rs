@@ -16,7 +16,12 @@ use hidp_sim::ExecutionPlan;
 /// (MoDNN, OmniBoost, DisNet, GPU-only) implement it in `hidp-baselines`.
 /// To evaluate a strategy end to end, wrap the workload in a
 /// [`crate::Scenario`] and call [`crate::Scenario::run`].
-pub trait DistributedStrategy {
+///
+/// Strategies must be `Send + Sync`: [`crate::ParallelSweep`] shares one
+/// strategy reference across its worker threads, and every strategy in the
+/// workspace is an immutable bundle of configuration (per-call state such as
+/// the MCTS RNG is constructed inside `plan`), so the bounds cost nothing.
+pub trait DistributedStrategy: Send + Sync {
     /// Short display name used in experiment tables (e.g. `"HiDP"`).
     fn name(&self) -> &str;
 

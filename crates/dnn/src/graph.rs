@@ -67,6 +67,11 @@ pub struct DnnGraph {
     consumers: Vec<Vec<NodeId>>,
     cut_points: Vec<NodeId>,
     fingerprint: u64,
+    /// `prefix_flops[i]` = flops of positions `0..i` (length `len() + 1`),
+    /// so any contiguous span's flops are one subtraction.
+    prefix_flops: Vec<u64>,
+    /// `prefix_output_bytes[i]` = activation bytes of positions `0..i`.
+    prefix_output_bytes: Vec<u64>,
 }
 
 impl DnnGraph {
@@ -173,6 +178,23 @@ impl DnnGraph {
         }
 
         let fingerprint = fingerprint_of(&name, &nodes, &costs);
+
+        // Prefix sums over the topological positions, computed once so the
+        // partitioners' per-request chain walks (`chain_segments`,
+        // `workload_summary`) read spans in O(1) instead of re-walking
+        // `cost()` per call.
+        let mut prefix_flops = Vec::with_capacity(costs.len() + 1);
+        let mut prefix_output_bytes = Vec::with_capacity(costs.len() + 1);
+        prefix_flops.push(0);
+        prefix_output_bytes.push(0);
+        let (mut flops_acc, mut bytes_acc) = (0u64, 0u64);
+        for cost in &costs {
+            flops_acc += cost.flops;
+            bytes_acc += cost.output_bytes;
+            prefix_flops.push(flops_acc);
+            prefix_output_bytes.push(bytes_acc);
+        }
+
         Ok(Self {
             name,
             nodes,
@@ -181,6 +203,8 @@ impl DnnGraph {
             consumers,
             cut_points,
             fingerprint,
+            prefix_flops,
+            prefix_output_bytes,
         })
     }
 
@@ -262,9 +286,36 @@ impl DnnGraph {
         &self.costs[self.nodes.len() - 1].output_shape
     }
 
-    /// Total floating point operations for one inference.
+    /// Total floating point operations for one inference. O(1): read from
+    /// the prefix sums computed at construction.
     pub fn total_flops(&self) -> u64 {
-        self.costs.iter().map(|c| c.flops).sum()
+        *self.prefix_flops.last().expect("prefix sums are non-empty")
+    }
+
+    /// Flops of the contiguous topological span `first..=last`, in O(1)
+    /// via the prefix sums computed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `last < first` or `last` is outside the graph — in
+    /// release builds too (the explicit assert keeps the documented
+    /// contract where a plain subtraction would silently wrap).
+    pub fn span_flops(&self, first: usize, last: usize) -> u64 {
+        assert!(first <= last, "span {first}..={last} is inverted");
+        self.prefix_flops[last + 1] - self.prefix_flops[first]
+    }
+
+    /// Activation bytes produced by the contiguous topological span
+    /// `first..=last`, in O(1) via the prefix sums computed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `last < first` or `last` is outside the graph — in
+    /// release builds too (the explicit assert keeps the documented
+    /// contract where a plain subtraction would silently wrap).
+    pub fn span_output_bytes(&self, first: usize, last: usize) -> u64 {
+        assert!(first <= last, "span {first}..={last} is inverted");
+        self.prefix_output_bytes[last + 1] - self.prefix_output_bytes[first]
     }
 
     /// Total parameter storage in bytes.
@@ -277,9 +328,13 @@ impl DnnGraph {
         self.total_parameter_bytes() / 4
     }
 
-    /// Sum of all activation sizes (bytes moved between layers).
+    /// Sum of all activation sizes (bytes moved between layers). O(1): read
+    /// from the prefix sums computed at construction.
     pub fn total_activation_bytes(&self) -> u64 {
-        self.costs.iter().map(|c| c.output_bytes).sum()
+        *self
+            .prefix_output_bytes
+            .last()
+            .expect("prefix sums are non-empty")
     }
 
     /// Average GPU affinity of the network, weighted by per-layer flops.
@@ -646,6 +701,29 @@ mod tests {
         }
         assert_eq!(tiny("a").fingerprint(), tiny("a").fingerprint());
         assert_ne!(tiny("a").fingerprint(), tiny("b").fingerprint());
+    }
+
+    #[test]
+    fn span_sums_match_per_node_accumulation() {
+        for g in [chain_graph(), residual_graph()] {
+            assert_eq!(g.span_flops(0, g.len() - 1), g.total_flops());
+            assert_eq!(
+                g.span_output_bytes(0, g.len() - 1),
+                g.total_activation_bytes()
+            );
+            for first in 0..g.len() {
+                for last in first..g.len() {
+                    let flops: u64 = (first..=last)
+                        .map(|p| g.cost(NodeId(p)).unwrap().flops)
+                        .sum();
+                    let bytes: u64 = (first..=last)
+                        .map(|p| g.cost(NodeId(p)).unwrap().output_bytes)
+                        .sum();
+                    assert_eq!(g.span_flops(first, last), flops);
+                    assert_eq!(g.span_output_bytes(first, last), bytes);
+                }
+            }
+        }
     }
 
     #[test]

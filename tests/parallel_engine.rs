@@ -1,0 +1,113 @@
+//! Concurrency contract of the parallel evaluation engine: fanning the same
+//! workload mix across worker threads against one shared sharded `PlanCache`
+//! must change *nothing* about the results — bit-identical `Evaluation`
+//! reports at every thread count — while the cache's aggregate stats stay
+//! consistent (hits + misses = lookups) and every distinct key is planned
+//! exactly once no matter how many jobs race for it.
+
+use hidp::core::{Evaluation, ParallelSweep, PlanCache, Scenario, SweepJob};
+use hidp::platform::{presets, NodeIndex};
+use hidp::workloads::mixes;
+
+/// The shared workload: every Fig. 7 mix as a 12-request stream, evaluated
+/// with HiDP from two different leaders — 16 jobs whose streams repeatedly
+/// revisit the same (model, leader) plan keys, so the shared cache sees
+/// heavy cross-job key contention.
+fn build_scenarios() -> Vec<(Scenario, NodeIndex)> {
+    let mut scenarios = Vec::new();
+    for mix in mixes::all_mixes() {
+        for leader in [NodeIndex(0), NodeIndex(1)] {
+            scenarios.push((mix.scenario(0.1, 12), leader));
+        }
+    }
+    scenarios
+}
+
+fn run_at(threads: usize) -> (Vec<Evaluation>, PlanCache) {
+    let cluster = presets::paper_cluster();
+    let strategy = hidp::HidpStrategy::new();
+    let scenarios = build_scenarios();
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .map(|(scenario, leader)| SweepJob {
+            scenario,
+            strategy: &strategy,
+            cluster: &cluster,
+            leader: *leader,
+        })
+        .collect();
+    let cache = PlanCache::new();
+    let evaluations = ParallelSweep::new(threads)
+        .run_scenarios(&jobs, &cache)
+        .into_iter()
+        .map(|r| r.expect("mix evaluation succeeds"))
+        .collect();
+    (evaluations, cache)
+}
+
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let (serial, serial_cache) = run_at(1);
+    // 8 mixes × 2 leaders; 4 distinct models × 2 leaders = 8 distinct keys.
+    assert_eq!(serial.len(), 16);
+    assert_eq!(serial_cache.len(), 8);
+
+    for threads in [2, 4, 8] {
+        let (parallel, cache) = run_at(threads);
+        // Bit-identical reports: latencies, makespan, energies, the full
+        // per-task simulation report — everything `Evaluation` derives
+        // PartialEq over. No tolerance, no sorting.
+        assert_eq!(parallel, serial, "{threads} threads diverged from serial");
+
+        // Consistent cache stats. Every request is exactly one lookup...
+        let stats = cache.stats();
+        let total_requests: u64 = build_scenarios().iter().map(|(s, _)| s.len() as u64).sum();
+        assert_eq!(
+            stats.lookups(),
+            total_requests,
+            "hits + misses must equal lookups at {threads} threads"
+        );
+        // ...and exactly one planner invocation per distinct key, no matter
+        // how many threads raced for it (in-flight deduplication).
+        assert_eq!(
+            stats.misses,
+            cache.len() as u64,
+            "one plan per distinct key at {threads} threads"
+        );
+        assert_eq!(cache.len(), serial_cache.len());
+    }
+}
+
+#[test]
+fn shared_cache_across_sweeps_reuses_every_plan() {
+    let cluster = presets::paper_cluster();
+    let strategy = hidp::HidpStrategy::new();
+    let scenarios = build_scenarios();
+    let jobs: Vec<SweepJob<'_>> = scenarios
+        .iter()
+        .map(|(scenario, leader)| SweepJob {
+            scenario,
+            strategy: &strategy,
+            cluster: &cluster,
+            leader: *leader,
+        })
+        .collect();
+
+    let cache = PlanCache::new();
+    let first = ParallelSweep::new(4).run_scenarios(&jobs, &cache);
+    let after_first = cache.stats();
+    assert_eq!(after_first.misses, cache.len() as u64);
+
+    // A second sweep over the same jobs is all warm-path reads: zero new
+    // planner invocations, identical results.
+    let second = ParallelSweep::new(4).run_scenarios(&jobs, &cache);
+    let after_second = cache.stats();
+    assert_eq!(after_second.misses, after_first.misses, "no re-planning");
+    assert_eq!(
+        after_second.lookups() - after_first.lookups(),
+        jobs.iter().map(|j| j.scenario.len() as u64).sum::<u64>()
+    );
+    let first: Vec<Evaluation> = first.into_iter().map(|r| r.unwrap()).collect();
+    let second: Vec<Evaluation> = second.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(first, second);
+}

@@ -1,11 +1,15 @@
 //! Offline stand-in for `crossbeam`, implementing the API subset the
 //! workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver,
-//! RecvTimeoutError}` with cloneable (mpmc) receivers.
+//! RecvTimeoutError}` with cloneable (mpmc) receivers, and
+//! `crossbeam::thread::scope` scoped threads (borrowing spawns that are
+//! guaranteed joined before `scope` returns).
 //!
 //! The build container has no crates.io access, so the real crate cannot be
 //! fetched. The channel here is a `Mutex<VecDeque>` + `Condvar` — adequate
 //! for the low-rate leader/follower control messages it carries, not a
-//! lock-free queue.
+//! lock-free queue. The scoped threads delegate to `std::thread::scope`;
+//! the one behavioural divergence from the real crate is documented on
+//! [`thread::scope`].
 
 /// Multi-producer multi-consumer channels (stand-in for
 /// `crossbeam::channel`).
@@ -207,6 +211,99 @@ pub mod channel {
             let handle = std::thread::spawn(move || tx.send(7).unwrap());
             assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Ok(7));
             handle.join().unwrap();
+        }
+    }
+}
+
+/// Scoped threads (stand-in for `crossbeam::thread`), backed by
+/// `std::thread::scope`.
+pub mod thread {
+    /// A scope in which borrowing threads can be spawned; all of them are
+    /// joined before [`scope`] returns.
+    ///
+    /// Mirrors `crossbeam::thread::Scope`: spawned closures receive a
+    /// `&Scope` so they can spawn further threads onto the same scope.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result
+        /// (`Err` carries the panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure may borrow from the
+        /// enclosing environment (`'env`) and receives the scope itself so it
+        /// can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads and joins all of them
+    /// before returning.
+    ///
+    /// Divergence from the real crate: `crossbeam` catches panics of
+    /// *unjoined* spawned threads and reports them in the returned
+    /// `Result`; `std::thread::scope` resumes such panics on the calling
+    /// thread instead, so this stand-in only ever returns `Ok` (or panics).
+    /// Callers that `join()` every handle — as this workspace does — observe
+    /// identical behaviour either way.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (see above); the `Result` exists for signature
+    /// compatibility with the real crate.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope completes");
+            assert_eq!(total, 20);
+        }
+
+        #[test]
+        fn nested_spawns_share_the_scope() {
+            let result = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().expect("inner joins") * 2)
+                    .join()
+                    .expect("outer joins")
+            })
+            .expect("scope completes");
+            assert_eq!(result, 42);
         }
     }
 }

@@ -1,11 +1,14 @@
 //! Offline stand-in for `parking_lot`, providing the non-poisoning
-//! [`Mutex`] API the workspace uses (`lock()` returning the guard directly).
+//! [`Mutex`] and [`RwLock`] API subset the workspace uses (`lock()` /
+//! `read()` / `write()` returning the guard directly).
 //!
 //! The build container has no crates.io access, so the real crate cannot be
-//! fetched. This wraps `std::sync::Mutex` and recovers from poisoning the
-//! way `parking_lot` behaves (poisoning does not exist there).
+//! fetched. This wraps the `std::sync` primitives and recovers from
+//! poisoning the way `parking_lot` behaves (poisoning does not exist there).
+//! The fairness and footprint properties of the real crate are not
+//! reproduced — only the API contract the callers rely on.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Debug, Default)]
@@ -39,9 +42,52 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read()` / `write()` return guards directly.
+///
+/// Readers proceed in parallel; a writer excludes everyone. Backed by
+/// `std::sync::RwLock` (whose contended-acquisition order is left to the
+/// OS, as is `parking_lot`'s default).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read lock, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_returns_guard_directly() {
@@ -49,5 +95,38 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 4);
         assert_eq!(m.into_inner(), 4);
+    }
+
+    #[test]
+    fn rwlock_read_and_write_return_guards_directly() {
+        let l = RwLock::new(7);
+        {
+            // Shared readers coexist.
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn rwlock_is_shareable_across_threads() {
+        let l = std::sync::Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = std::sync::Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 400);
     }
 }
