@@ -19,7 +19,7 @@ fn bench_fig1(c: &mut Criterion) {
                 |b, (model, config)| {
                     b.iter(|| {
                         let plan = fig1_plan(*model, *config, &cluster);
-                        Scenario::run_plans(config.name, model.name(), vec![(0.0, plan)], &cluster)
+                        Scenario::run_plans(config.name, model.name(), &[(0.0, plan)], &cluster)
                             .expect("valid plan")
                     })
                 },

@@ -34,19 +34,22 @@ fn bench_stream_scaling(c: &mut Criterion) {
     }
 
     // Warm-cache planning: the per-request planning cost once the three
-    // distinct models of the mix are cached (graphs prebuilt, as in the
-    // Scenario pipeline).
+    // distinct models of the mix are cached (graphs prebuilt and the key
+    // hoisted and reused, as in the Scenario pipeline's request loop).
     group.sample_size(10);
     let strategy = HidpStrategy::new();
     let cache = PlanCache::new();
     let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, 1000);
     let stream = hidp_workloads::InferenceRequest::to_stream(&requests);
+    let mut key = hidp_core::PlanKey::for_run(&strategy, &cluster, LEADER);
     group.bench_function(BenchmarkId::new("plan_cached", 1000), |b| {
         b.iter(|| {
             for (_, graph) in &stream {
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
                 criterion::black_box(
                     cache
-                        .plan(&strategy, graph, &cluster, LEADER)
+                        .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
                         .expect("planning succeeds"),
                 );
             }

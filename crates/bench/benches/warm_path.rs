@@ -1,0 +1,88 @@
+//! Benchmarks the zero-copy warm path in isolation: the borrowed keyed
+//! plan probe, the scratch-reusing summary simulation, and the whole
+//! `run_with_cache_in` pipeline per request. The CI bench-smoke job runs
+//! this with `--test` (one untimed pass per benchmark) so the steady-state
+//! serving path compiles and executes on every PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::{LEADER, SCALING_MODELS};
+use hidp_core::{HidpStrategy, PlanCache, PlanKey, SimScratch, TraceDetail};
+use hidp_platform::presets;
+use hidp_sim::simulate_stream_in;
+use hidp_workloads::InferenceRequest;
+
+fn bench_warm_path(c: &mut Criterion) {
+    const COUNT: usize = 1000;
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let cache = PlanCache::new();
+    let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, COUNT);
+    let stream = InferenceRequest::to_stream(&requests);
+
+    let mut group = c.benchmark_group("warm_path");
+    group.sample_size(10);
+
+    // Cached planning through the hoisted, borrowed key — the per-request
+    // cost the Scenario pipeline pays once its models are cached.
+    let mut key = PlanKey::for_run(&strategy, &cluster, LEADER);
+    for (_, graph) in &stream {
+        key.graph_fingerprint = graph.fingerprint();
+        key.batch = graph.input_shape().batch();
+        cache
+            .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
+            .expect("planning succeeds");
+    }
+    group.bench_function(BenchmarkId::new("plan_keyed_warm", COUNT), |b| {
+        b.iter(|| {
+            for (_, graph) in &stream {
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                criterion::black_box(
+                    cache
+                        .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
+                        .expect("planning succeeds"),
+                );
+            }
+        })
+    });
+
+    // Summary simulation into a reused scratch: the steady-state simulate
+    // half on an Arc-shared plan stream.
+    let planned = hidp_bench::scaling_stream(COUNT, 0.05);
+    let mut scratch = SimScratch::new();
+    group.bench_function(BenchmarkId::new("simulate_summary_scratch", COUNT), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                simulate_stream_in(&mut scratch, &planned, &cluster, TraceDetail::Summary)
+                    .expect("stream simulates"),
+            );
+        })
+    });
+
+    // The whole pipeline end to end: plan every request through the warm
+    // shared cache and simulate into the reused scratch.
+    let scenario = InferenceRequest::to_scenario(&requests)
+        .with_label("mix5-warm")
+        .with_trace_detail(TraceDetail::Summary);
+    let pipeline_cache = PlanCache::new();
+    let mut pipeline_scratch = SimScratch::new();
+    group.bench_function(BenchmarkId::new("pipeline_warm", COUNT), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                scenario
+                    .run_with_cache_in(
+                        &strategy,
+                        &cluster,
+                        LEADER,
+                        &pipeline_cache,
+                        &mut pipeline_scratch,
+                    )
+                    .expect("evaluation succeeds"),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_path);
+criterion_main!(benches);

@@ -13,20 +13,24 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
+
 use hidp_baselines::paper_strategies;
 use hidp_core::{
     chain_segments, workload_summary, DseAgent, DsePolicy, Evaluation, GlobalPartitioner,
-    HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, Scenario, SweepJob, SystemModel,
+    HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, PlanKey, Scenario, SimScratch,
+    SweepJob, SystemModel, TraceDetail,
 };
 use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
 use hidp_dnn::partition::partition_into_blocks;
 use hidp_dnn::zoo::{self, WorkloadModel};
 use hidp_platform::{presets, Cluster, NodeIndex, ProcessorAddr};
 use hidp_sim::stats::{percentile, performance_timeline};
-use hidp_sim::{simulate_stream, simulate_stream_reference, ExecutionPlan};
+use hidp_sim::{simulate_stream, simulate_stream_in, simulate_stream_reference, ExecutionPlan};
 use hidp_tensor::Tensor;
 use hidp_workloads::{dynamic_scenario, mixes, poisson_stream, InferenceRequest};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The node at which inference requests arrive in all experiments (the
@@ -306,9 +310,16 @@ pub fn fig1_partitioning_configs() -> ExperimentTable {
         .collect();
     let makespans = sweep().run(&jobs, |_, &(model, config)| {
         let plan = fig1_plan(model, config, &cluster);
-        Scenario::run_plans(config.name, model.name(), vec![(0.0, plan)], &cluster)
-            .expect("fig1 plans are valid")
-            .makespan
+        // Only the makespan is read, so the per-task trace is skipped.
+        Scenario::run_plans_detailed(
+            config.name,
+            model.name(),
+            &[(0.0, plan)],
+            &cluster,
+            TraceDetail::Summary,
+        )
+        .expect("fig1 plans are valid")
+        .makespan
     });
     for (row, model) in WorkloadModel::ALL.iter().enumerate() {
         let latencies = &makespans[row * FIG1_CONFIGS.len()..(row + 1) * FIG1_CONFIGS.len()];
@@ -345,9 +356,11 @@ fn fig5_metric(
 ) -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
+    // Latency/energy only — the trace is never read, so Summary detail
+    // keeps the sweep allocation-light (metrics are bit-identical).
     let scenarios: Vec<Scenario> = WorkloadModel::ALL
         .iter()
-        .map(|m| Scenario::single(m.graph(1)))
+        .map(|m| Scenario::single(m.graph(1)).with_trace_detail(TraceDetail::Summary))
         .collect();
     let (cluster, strategies) = (&cluster, &strategies);
     let jobs: Vec<SweepJob<'_>> = scenarios
@@ -440,7 +453,14 @@ pub fn fig7_mix_throughput() -> ExperimentTable {
     // service rate rather than the arrival rate; it extrapolates to a
     // 100 s window. The 8 × 4 mix/strategy grid fans out as one sweep.
     let the_mixes = mixes::all_mixes();
-    let scenarios: Vec<Scenario> = the_mixes.iter().map(|mix| mix.scenario(0.15, 16)).collect();
+    // Throughput reads request completions only — Summary detail.
+    let scenarios: Vec<Scenario> = the_mixes
+        .iter()
+        .map(|mix| {
+            mix.scenario(0.15, 16)
+                .with_trace_detail(TraceDetail::Summary)
+        })
+        .collect();
     let (cluster_ref, strategies_ref) = (&cluster, &strategies);
     let jobs: Vec<SweepJob<'_>> = scenarios
         .iter()
@@ -484,9 +504,10 @@ pub fn fig8_node_scaling() -> ExperimentTable {
     let clusters: Vec<Cluster> = (2..=full.len())
         .map(|nodes| full.take(nodes).expect("subset sizes are valid"))
         .collect();
+    // Latency only — Summary detail.
     let scenarios: Vec<Scenario> = WorkloadModel::ALL
         .iter()
-        .map(|m| Scenario::single(m.graph(1)))
+        .map(|m| Scenario::single(m.graph(1)).with_trace_detail(TraceDetail::Summary))
         .collect();
     let (strategies_ref, scenarios_ref) = (&strategies, &scenarios);
     let jobs: Vec<SweepJob<'_>> = clusters
@@ -534,8 +555,10 @@ pub const SCALING_MODELS: [WorkloadModel; 3] = [
 /// Builds the `(arrival, plan)` stream the scaling experiments simulate:
 /// `count` requests cycling through [`SCALING_MODELS`] every
 /// `interval_seconds`, planned by HiDP through a [`PlanCache`] (three
-/// planner invocations regardless of `count`).
-pub fn scaling_stream(count: usize, interval_seconds: f64) -> Vec<(f64, ExecutionPlan)> {
+/// planner invocations regardless of `count`). The plans are **shared** —
+/// the whole stream holds three `Arc<ExecutionPlan>`s, repeated, exactly as
+/// the zero-copy `Scenario` pipeline hands them to the simulator.
+pub fn scaling_stream(count: usize, interval_seconds: f64) -> Vec<(f64, Arc<ExecutionPlan>)> {
     let cluster = presets::paper_cluster();
     let strategy = HidpStrategy::new();
     let cache = PlanCache::new();
@@ -546,7 +569,7 @@ pub fn scaling_stream(count: usize, interval_seconds: f64) -> Vec<(f64, Executio
             let plan = cache
                 .plan(&strategy, &graph, &cluster, LEADER)
                 .expect("planning succeeds");
-            (arrival, plan.as_ref().clone())
+            (arrival, plan)
         })
         .collect()
 }
@@ -622,21 +645,28 @@ pub fn stream_scaling_points(sizes: &[usize], reference_budget_ms: f64) -> Vec<S
 
         // Warm-cache planning cost: what each additional request pays for
         // its plan once the three distinct models are cached. Graphs are
-        // prebuilt, as in the Scenario pipeline, so this times the keyed
-        // lookup (fingerprints + hash probe), not zoo construction.
+        // prebuilt and the key is hoisted and reused, exactly as in the
+        // Scenario pipeline's request loop, so this times the borrowed
+        // probe (two integer stores + hash probe + Arc bump) — not zoo
+        // construction, key building or string cloning.
         let cache = PlanCache::new();
         let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, count);
         let stream = InferenceRequest::to_stream(&requests);
+        let mut key = PlanKey::for_run(&strategy, &cluster, LEADER);
         for (_, graph) in &stream {
+            key.graph_fingerprint = graph.fingerprint();
+            key.batch = graph.input_shape().batch();
             cache
-                .plan(&strategy, graph, &cluster, LEADER)
+                .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
                 .expect("planning succeeds");
         }
         let cached_plan_s = time_best_of(3, || {
             for (_, graph) in &stream {
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
                 std::hint::black_box(
                     cache
-                        .plan(&strategy, graph, &cluster, LEADER)
+                        .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
                         .expect("planning succeeds"),
                 );
             }
@@ -723,6 +753,174 @@ pub fn stream_scaling_json(points: &[StreamScalingPoint], reference_budget_ms: f
 }
 
 // ---------------------------------------------------------------------------
+// Warm path: the zero-copy steady-state serving loop
+// ---------------------------------------------------------------------------
+
+/// One measured point of the warm-path experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmPathPoint {
+    /// Stream length in requests.
+    pub requests: usize,
+    /// Total task count across all plans.
+    pub tasks: usize,
+    /// Per-request cost of resolving a cached plan through the borrowed
+    /// keyed probe (reused [`PlanKey`], read lock, `Arc` bump), µs.
+    pub cached_plan_us_per_request: f64,
+    /// Per-request cost of the full steady-state pass: resolve every plan
+    /// and simulate the stream into a reused [`SimScratch`] at
+    /// [`TraceDetail::Summary`], µs.
+    pub plan_and_simulate_us_per_request: f64,
+    /// Steady-state serving rate implied by the full pass.
+    pub requests_per_second: f64,
+    /// Heap allocations performed by one steady-state pass after warm-up
+    /// (`None` when no counting allocator was supplied; the zero-copy
+    /// contract is that this is zero).
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// Measures the warm (steady-state) evaluation path at each stream length
+/// in `sizes`: the Mix-5 cycle at 0.05 s inter-arrival, all plans cached,
+/// the key hoisted, the simulation scratch reused, the trace summarised —
+/// the exact loop the serving-scale pipeline runs per request once planning
+/// has warmed up.
+///
+/// `alloc_count` is an optional monotone allocation counter (the
+/// `exp_warm_path` binary passes its counting `#[global_allocator]`); when
+/// present, each point audits one steady-state pass and records how many
+/// allocations it performed — the zero-copy acceptance bar is zero.
+pub fn warm_path_points(
+    sizes: &[usize],
+    alloc_count: Option<&dyn Fn() -> u64>,
+) -> Vec<WarmPathPoint> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &count in sizes {
+        let requests = hidp_workloads::repeating_stream(&SCALING_MODELS, 0.05, count);
+        let stream = InferenceRequest::to_stream(&requests);
+        let cache = PlanCache::new();
+        let mut key = PlanKey::for_run(&strategy, &cluster, LEADER);
+        // Warm the cache (three planner invocations).
+        for (_, graph) in &stream {
+            key.graph_fingerprint = graph.fingerprint();
+            key.batch = graph.input_shape().batch();
+            cache
+                .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
+                .expect("planning succeeds");
+        }
+
+        // Cached planning alone.
+        let cached_plan_s = time_best_of(3, || {
+            for (_, graph) in &stream {
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                std::hint::black_box(
+                    cache
+                        .plan_keyed(&key, &strategy, graph, &cluster, LEADER)
+                        .expect("planning succeeds"),
+                );
+            }
+        });
+
+        // The full steady-state pass: plan every request into a reused
+        // buffer, simulate into a reused scratch, no trace.
+        let mut scratch = SimScratch::new();
+        let mut planned: Vec<(f64, Arc<ExecutionPlan>)> = Vec::with_capacity(count);
+        let warm_pass = |key: &mut PlanKey,
+                         planned: &mut Vec<(f64, Arc<ExecutionPlan>)>,
+                         scratch: &mut SimScratch| {
+            planned.clear();
+            for (arrival, graph) in &stream {
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                let (plan, _) = cache
+                    .plan_keyed(key, &strategy, graph, &cluster, LEADER)
+                    .expect("planning succeeds");
+                planned.push((*arrival, plan));
+            }
+            std::hint::black_box(
+                simulate_stream_in(scratch, planned, &cluster, TraceDetail::Summary)
+                    .expect("stream simulates"),
+            );
+        };
+        // Warm-up pass sizes every buffer.
+        warm_pass(&mut key, &mut planned, &mut scratch);
+        let tasks: usize = planned.iter().map(|(_, p)| p.len()).sum();
+        // Allocation audit of one steady-state pass.
+        let steady_state_allocs = alloc_count.map(|count_allocs| {
+            let before = count_allocs();
+            warm_pass(&mut key, &mut planned, &mut scratch);
+            count_allocs() - before
+        });
+        let plan_and_simulate_s =
+            time_best_of(3, || warm_pass(&mut key, &mut planned, &mut scratch));
+
+        points.push(WarmPathPoint {
+            requests: count,
+            tasks,
+            cached_plan_us_per_request: cached_plan_s * 1e6 / count as f64,
+            plan_and_simulate_us_per_request: plan_and_simulate_s * 1e6 / count as f64,
+            requests_per_second: count as f64 / plan_and_simulate_s,
+            steady_state_allocs,
+        });
+    }
+    points
+}
+
+/// Renders warm-path points as an [`ExperimentTable`].
+pub fn warm_path_table(points: &[WarmPathPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Warm path: zero-copy plan-and-simulate steady state",
+        "µs / req/s / allocs",
+        vec![
+            "tasks".to_string(),
+            "cached_plan_us_per_req".to_string(),
+            "plan+sim_us_per_req".to_string(),
+            "requests_per_s".to_string(),
+            "steady_state_allocs".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            format!("{} requests", p.requests),
+            vec![
+                p.tasks as f64,
+                p.cached_plan_us_per_request,
+                p.plan_and_simulate_us_per_request,
+                p.requests_per_second,
+                p.steady_state_allocs.map(|a| a as f64).unwrap_or(f64::NAN),
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises warm-path points as the `BENCH_warm_path.json` perf-trajectory
+/// document (hand-rolled like [`tables_to_json`]: the build environment has
+/// no serde_json).
+pub fn warm_path_json(points: &[WarmPathPoint]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"warm_path\",\n");
+    out.push_str("  \"workload\": \"Mix-5 cycle (efficientnet_b0, inception_v3, resnet152), 0.05 s inter-arrival, HiDP plans via warm PlanCache, Arc-shared plans, reused SimScratch, TraceDetail::Summary\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"requests\": {}, \"tasks\": {}, \"cached_plan_us_per_request\": {}, \"plan_and_simulate_us_per_request\": {}, \"requests_per_second\": {}, \"steady_state_allocs\": {}}}{}\n",
+            p.requests,
+            p.tasks,
+            p.cached_plan_us_per_request,
+            p.plan_and_simulate_us_per_request,
+            p.requests_per_second,
+            p.steady_state_allocs
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Poisson stress: latency tails under open-loop arrivals
 // ---------------------------------------------------------------------------
 
@@ -747,10 +945,12 @@ pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable
             "p99_ms".to_string(),
         ],
     );
+    // Percentile latencies only — Summary detail.
     let scenarios: Vec<Scenario> = rates
         .iter()
         .map(|&rate| {
             InferenceRequest::to_scenario(&poisson_stream(&WorkloadModel::ALL, rate, count, seed))
+                .with_trace_detail(TraceDetail::Summary)
         })
         .collect();
     let (cluster_ref, scenarios_ref) = (&cluster, &scenarios);
@@ -852,9 +1052,12 @@ pub fn parallel_eval_scenarios(jobs: usize, requests_per_job: usize) -> Vec<(Sce
     (0..jobs)
         .map(|i| {
             let interval = 0.05 + 0.002 * i as f64;
+            // The sweep compares whole evaluations and reads throughput —
+            // never the trace — so all jobs run at Summary detail.
             let scenario = mix5
                 .scenario(interval, requests_per_job)
-                .with_label(format!("{}#{i}", mix5.name()));
+                .with_label(format!("{}#{i}", mix5.name()))
+                .with_trace_detail(TraceDetail::Summary);
             (scenario, NodeIndex(i % cluster_len))
         })
         .collect()
@@ -1148,9 +1351,10 @@ pub fn ablation() -> ExperimentTable {
         "ms",
         variants.iter().map(|(name, _)| name.clone()).collect(),
     );
+    // Latency only — Summary detail.
     let scenarios: Vec<Scenario> = WorkloadModel::ALL
         .iter()
-        .map(|m| Scenario::single(m.graph(1)))
+        .map(|m| Scenario::single(m.graph(1)).with_trace_detail(TraceDetail::Summary))
         .collect();
     let (cluster_ref, variants_ref) = (&cluster, &variants);
     let jobs: Vec<SweepJob<'_>> = scenarios

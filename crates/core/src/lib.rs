@@ -68,6 +68,9 @@ pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey, SHARD_COUNT};
 pub use scenario::{Evaluation, Scenario};
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};
+// Re-exported so pipeline callers can pick a trace detail or own a scratch
+// without depending on hidp-sim directly.
+pub use hidp_sim::{SimScratch, TraceDetail};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -57,6 +57,7 @@ use crate::scenario::{Evaluation, Scenario};
 use crate::strategy::DistributedStrategy;
 use crate::CoreError;
 use hidp_platform::{Cluster, NodeIndex};
+use hidp_sim::SimScratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A thread-pooled runner for lists of independent jobs, with deterministic
@@ -102,8 +103,32 @@ impl ParallelSweep {
         R: Send,
         F: Fn(usize, &J) -> R + Sync,
     {
+        self.run_with_state(jobs, || (), |(), i, job| f(i, job))
+    }
+
+    /// [`ParallelSweep::run`] with **per-worker state**: each worker thread
+    /// calls `init` once and threads the resulting value through every job
+    /// it runs. This is how scenario sweeps reuse one [`SimScratch`] per
+    /// worker across jobs — the state is plain working memory, so reuse
+    /// must not (and does not) change any result.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` or `init` after all workers have stopped.
+    pub fn run_with_state<J, R, S, I, F>(&self, jobs: &[J], init: I, f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &J) -> R + Sync,
+    {
         if self.threads == 1 || jobs.len() <= 1 {
-            return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+            let mut state = init();
+            let mut results = Vec::with_capacity(jobs.len());
+            for (i, job) in jobs.iter().enumerate() {
+                results.push(f(&mut state, i, job));
+            }
+            return results;
         }
 
         let workers = self.threads.min(jobs.len());
@@ -112,13 +137,14 @@ impl ParallelSweep {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|_| {
+                        let mut state = init();
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= jobs.len() {
                                 break;
                             }
-                            done.push((i, f(i, &jobs[i])));
+                            done.push((i, f(&mut state, i, &jobs[i])));
                         }
                         done
                     })
@@ -144,8 +170,10 @@ impl ParallelSweep {
     }
 
     /// Runs every [`SweepJob`] through
-    /// [`Scenario::run_with_cache`] against one shared (sharded) `cache`,
-    /// returning evaluations in job order.
+    /// [`Scenario::run_with_cache_in`] against one shared (sharded) `cache`,
+    /// returning evaluations in job order. Each worker thread owns one
+    /// [`SimScratch`] reused across all jobs it runs, so a sweep's
+    /// steady-state simulation work is allocation-free.
     ///
     /// The returned evaluations have [`Evaluation::plan_cache`] set to
     /// `None`: per-run hit/miss attribution depends on which job reaches a
@@ -158,9 +186,9 @@ impl ParallelSweep {
         jobs: &[SweepJob<'_>],
         cache: &PlanCache,
     ) -> Vec<Result<Evaluation, CoreError>> {
-        self.run(jobs, |_, job| {
+        self.run_with_state(jobs, SimScratch::new, |scratch, _, job| {
             job.scenario
-                .run_with_cache(job.strategy, job.cluster, job.leader, cache)
+                .run_with_cache_in(job.strategy, job.cluster, job.leader, cache, scratch)
                 .map(|mut evaluation| {
                     evaluation.plan_cache = None;
                     evaluation
@@ -279,7 +307,7 @@ mod tests {
         let cluster = presets::paper_cluster();
         let strategy = HidpStrategy::new();
         let good = Scenario::single(WorkloadModel::EfficientNetB0.graph(1));
-        let empty = Scenario::stream(Vec::new());
+        let empty = Scenario::stream(Vec::<(f64, hidp_dnn::DnnGraph)>::new());
         let jobs = [
             SweepJob {
                 scenario: &good,

@@ -30,9 +30,17 @@
 //!   same thing again. Exactly one planner invocation happens per distinct
 //!   key, no matter how many threads race (`stats().misses` counts exactly
 //!   those invocations, so `misses == len()` once all lookups finish).
+//!   Once planning succeeds the entry is *promoted* in place: the pending
+//!   slot is replaced by the finished `Arc<ExecutionPlan>`, so steady-state
+//!   hits are a read lock, a hash probe and one reference-count increment —
+//!   no slot mutex, no allocation.
 //! * Hit/miss counters are relaxed atomics; [`PlanCache::plan_tracked`]
 //!   additionally reports per-call hit/miss so callers can attribute
 //!   lookups to themselves without racing other users of a shared cache.
+//! * [`PlanCache::plan_keyed`] probes with a **borrowed** [`PlanKey`], so a
+//!   per-request loop (see `Scenario::run_with_cache`) builds one key,
+//!   mutates its graph fields per request and never clones the key's
+//!   strings on a hit — the key is only cloned when a miss publishes it.
 
 use crate::strategy::DistributedStrategy;
 use crate::CoreError;
@@ -91,6 +99,27 @@ impl PlanKey {
         }
     }
 
+    /// The reusable warm-path key for one `(strategy, cluster, leader)`
+    /// run: the strategy strings and cluster fingerprint are computed once,
+    /// and the graph fields are zeroed for the caller's per-request loop to
+    /// overwrite before each [`PlanCache::plan_keyed`] probe. This is the
+    /// single definition of the hoisting `Scenario::run_with_cache`, the
+    /// warm-path benches and the zero-alloc test all share.
+    pub fn for_run(
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Self {
+        Self {
+            strategy: strategy.name().to_string(),
+            strategy_config: strategy.cache_config(),
+            graph_fingerprint: 0,
+            batch: 0,
+            leader,
+            cluster_fingerprint: cluster.fingerprint(),
+        }
+    }
+
     /// The shard this key routes to. Mixes the stored content fingerprints
     /// (already high-entropy FNV-1a hashes) with the leader and batch — the
     /// cheap fields; hashing the strategy strings would cost more than the
@@ -136,6 +165,17 @@ impl PlanCacheStats {
             self.hits as f64 / self.lookups() as f64
         }
     }
+}
+
+/// One shard-map entry: a pending slot while planning is in flight, the
+/// finished plan afterwards (promotion happens exactly once, by the thread
+/// that planned).
+#[derive(Debug)]
+enum Entry {
+    /// Planning is in flight; lookups wait on the slot.
+    Pending(Arc<Slot>),
+    /// The plan is ready; lookups clone the `Arc` under the read lock.
+    Ready(Arc<ExecutionPlan>),
 }
 
 /// A slot in the cache: published while planning is in flight, filled
@@ -190,12 +230,12 @@ impl Slot {
     }
 }
 
-/// Removes `slot` from `shard` if it is still the published entry for
-/// `key`. Only ever removes the caller's own slot — a retry may already
+/// Removes `slot` from `shard` if it is still the published pending entry
+/// for `key`. Only ever removes the caller's own slot — a retry may already
 /// have published a fresh one under the same key.
-fn unpublish(shard: &RwLock<HashMap<PlanKey, Arc<Slot>>>, key: &PlanKey, slot: &Arc<Slot>) {
+fn unpublish(shard: &RwLock<HashMap<PlanKey, Entry>>, key: &PlanKey, slot: &Arc<Slot>) {
     let mut map = shard.write();
-    if map.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+    if matches!(map.get(key), Some(Entry::Pending(s)) if Arc::ptr_eq(s, slot)) {
         map.remove(key);
     }
 }
@@ -207,7 +247,7 @@ fn unpublish(shard: &RwLock<HashMap<PlanKey, Arc<Slot>>>, key: &PlanKey, slot: &
 /// and error paths [`PendingGuard::defuse`] the guard and publish their own
 /// outcome instead.
 struct PendingGuard<'a> {
-    shard: &'a RwLock<HashMap<PlanKey, Arc<Slot>>>,
+    shard: &'a RwLock<HashMap<PlanKey, Entry>>,
     pending: Option<(PlanKey, Arc<Slot>)>,
 }
 
@@ -237,7 +277,7 @@ impl Drop for PendingGuard<'_> {
 /// misses on the same key plan exactly once (see the module docs).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    shards: [RwLock<HashMap<PlanKey, Arc<Slot>>>; SHARD_COUNT],
+    shards: [RwLock<HashMap<PlanKey, Entry>>; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -278,7 +318,7 @@ impl PlanCache {
         leader: NodeIndex,
     ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
         self.plan_keyed(
-            PlanKey::new(strategy, graph, cluster, leader),
+            &PlanKey::new(strategy, graph, cluster, leader),
             strategy,
             graph,
             cluster,
@@ -286,14 +326,19 @@ impl PlanCache {
         )
     }
 
-    /// Lookup with a caller-built key, for hot loops that hoist the
-    /// loop-invariant key parts (cluster fingerprint, strategy strings) out
-    /// of a per-request loop instead of recomputing them each lookup. The
-    /// caller must pass the same `(strategy, graph, cluster, leader)` the
-    /// key was built from.
-    pub(crate) fn plan_keyed(
+    /// Lookup with a caller-built, **borrowed** key, for hot loops that
+    /// hoist the loop-invariant key parts (cluster fingerprint, strategy
+    /// strings) out of a per-request loop instead of recomputing them each
+    /// lookup: build one [`PlanKey`], mutate its
+    /// [`graph_fingerprint`](PlanKey::graph_fingerprint) /
+    /// [`batch`](PlanKey::batch) fields per request, and pass it by
+    /// reference. A hit never clones the key (or anything else beyond the
+    /// returned `Arc`); the key is cloned exactly once per distinct key, by
+    /// the miss that publishes it. The caller must pass the same
+    /// `(strategy, graph, cluster, leader)` the key was built from.
+    pub fn plan_keyed(
         &self,
-        key: PlanKey,
+        key: &PlanKey,
         strategy: &dyn DistributedStrategy,
         graph: &DnnGraph,
         cluster: &Cluster,
@@ -301,34 +346,66 @@ impl PlanCache {
     ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
         let shard = &self.shards[key.shard()];
 
-        // Warm path: a read lock and a hash probe. Concurrent readers do not
-        // block each other, and writers only hold this lock to publish or
-        // unpublish a slot — never while planning.
-        if let Some(slot) = shard.read().get(&key).map(Arc::clone) {
-            let plan = slot.wait()?;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((plan, true));
+        // Warm path: a read lock, a hash probe and an `Arc` bump for a
+        // promoted entry. Concurrent readers do not block each other, and
+        // writers only hold this lock to publish, promote or unpublish an
+        // entry — never while planning.
+        enum Found {
+            Ready(Arc<ExecutionPlan>),
+            Wait(Arc<Slot>),
+            Missing,
+        }
+        let found = match shard.read().get(key) {
+            Some(Entry::Ready(plan)) => Found::Ready(Arc::clone(plan)),
+            Some(Entry::Pending(slot)) => Found::Wait(Arc::clone(slot)),
+            None => Found::Missing,
+        };
+        match found {
+            Found::Ready(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((plan, true));
+            }
+            Found::Wait(slot) => {
+                let plan = slot.wait()?;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((plan, true));
+            }
+            Found::Missing => {}
         }
 
         // Miss: publish a pending slot under the write lock, re-checking in
-        // case another thread published between our read and write.
-        let (slot, is_planner) = {
+        // case another thread published (or even finished) between our read
+        // and write.
+        enum Claim {
+            Hit(Arc<ExecutionPlan>),
+            Wait(Arc<Slot>),
+            Plan(Arc<Slot>),
+        }
+        let claim = {
             let mut map = shard.write();
-            match map.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
+            match map.get(key) {
+                Some(Entry::Ready(plan)) => Claim::Hit(Arc::clone(plan)),
+                Some(Entry::Pending(slot)) => Claim::Wait(Arc::clone(slot)),
                 None => {
                     let slot = Slot::pending();
-                    map.insert(key.clone(), Arc::clone(&slot));
-                    (slot, true)
+                    map.insert(key.clone(), Entry::Pending(Arc::clone(&slot)));
+                    Claim::Plan(slot)
                 }
             }
         };
-        if !is_planner {
-            // Lost the publish race: wait on the winner's slot like a hit.
-            let plan = slot.wait()?;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((plan, true));
-        }
+        let slot = match claim {
+            Claim::Hit(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((plan, true));
+            }
+            Claim::Wait(slot) => {
+                // Lost the publish race: wait on the winner's slot like a hit.
+                let plan = slot.wait()?;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((plan, true));
+            }
+            Claim::Plan(slot) => slot,
+        };
 
         // This thread owns the slot: plan outside every lock (planning can
         // take milliseconds — MCTS), then publish the outcome. The guard
@@ -339,14 +416,25 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let guard = PendingGuard {
             shard,
-            pending: Some((key, Arc::clone(&slot))),
+            pending: Some((key.clone(), Arc::clone(&slot))),
         };
         let outcome = strategy.plan(graph, cluster, leader);
         match outcome {
             Ok(plan) => {
-                let (_, slot) = guard.defuse();
+                let (key, slot) = guard.defuse();
                 let plan = Arc::new(plan);
                 slot.fill(Ok(Arc::clone(&plan)));
+                // Promote the entry in place so every later hit is served
+                // straight from the map — no slot mutex on the warm path.
+                // Only this thread's own pending slot is replaced; a
+                // concurrent unpublish + republish cycle keeps its entry.
+                let mut map = shard.write();
+                if let Some(entry) = map.get_mut(&key) {
+                    if matches!(entry, Entry::Pending(s) if Arc::ptr_eq(s, &slot)) {
+                        *entry = Entry::Ready(Arc::clone(&plan));
+                    }
+                }
+                drop(map);
                 Ok((plan, false))
             }
             Err(e) => {

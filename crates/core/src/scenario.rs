@@ -9,6 +9,18 @@
 //! share one code path instead of re-implementing the plan/simulate/report
 //! glue per layer.
 //!
+//! The pipeline is **zero-copy on its warm path**: scenarios hold
+//! `Arc<DnnGraph>`s (a cyclic mix shares one graph per distinct model
+//! instead of cloning layer vectors per repeat), planning returns
+//! `Arc<ExecutionPlan>`s straight from the [`PlanCache`] (nothing is
+//! deep-copied per request — plans are simulated in place), cache probes
+//! reuse one [`crate::PlanKey`] across the request loop, and
+//! [`Scenario::run_with_cache_in`] simulates into a caller-owned
+//! [`SimScratch`] so sweep workers reuse buffers across runs. Setting
+//! [`TraceDetail::Summary`] via [`Scenario::with_trace_detail`] additionally
+//! skips the per-task trace for metric-only consumers. None of this changes
+//! any result — evaluations are bit-identical to the deep-copy pipeline.
+//!
 //! ```
 //! use hidp_core::{HidpStrategy, Scenario};
 //! use hidp_dnn::zoo::WorkloadModel;
@@ -28,35 +40,61 @@ use crate::strategy::DistributedStrategy;
 use crate::CoreError;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex};
-use hidp_sim::{simulate_stream, ExecutionPlan, SimReport};
+use hidp_sim::{
+    simulate_stream_detailed, simulate_stream_in, ExecutionPlan, SimReport, SimScratch, TraceDetail,
+};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+/// A planned request stream: per request, its arrival time and the shared
+/// execution plan the cache resolved for it.
+type PlannedStream = Vec<(f64, Arc<ExecutionPlan>)>;
 
 /// A workload to evaluate: one or more inference requests with arrival
 /// times, plus a label used in reports.
+///
+/// Graphs are held behind `Arc`, so cloning a scenario — or repeating one
+/// model across a long stream — shares the graph data instead of copying
+/// it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     label: String,
-    requests: Vec<(f64, DnnGraph)>,
+    requests: Vec<(f64, Arc<DnnGraph>)>,
+    trace: TraceDetail,
 }
 
 impl Scenario {
     /// A single inference request arriving at time zero; labelled with the
-    /// model name.
-    pub fn single(graph: DnnGraph) -> Self {
+    /// model name. Accepts an owned graph or an already-shared
+    /// `Arc<DnnGraph>`.
+    pub fn single(graph: impl Into<Arc<DnnGraph>>) -> Self {
+        let graph = graph.into();
         let label = graph.name().to_string();
         Self {
             label,
             requests: vec![(0.0, graph)],
+            trace: TraceDetail::Full,
         }
     }
 
     /// A stream of `(arrival_seconds, graph)` requests sharing the cluster.
-    pub fn stream(requests: Vec<(f64, DnnGraph)>) -> Self {
+    /// Accepts owned graphs or `Arc<DnnGraph>`s — pass `Arc`s (e.g. from
+    /// `InferenceRequest::to_stream`) so repeated models share one graph.
+    pub fn stream<G: Into<Arc<DnnGraph>>>(requests: Vec<(f64, G)>) -> Self {
+        let requests: Vec<(f64, Arc<DnnGraph>)> = requests
+            .into_iter()
+            .map(|(arrival, graph)| (arrival, graph.into()))
+            .collect();
         let label = match requests.as_slice() {
             [(_, only)] => only.name().to_string(),
             many => format!("stream[{}]", many.len()),
         };
-        Self { label, requests }
+        Self {
+            label,
+            requests,
+            trace: TraceDetail::Full,
+        }
     }
 
     /// Replaces the report label (builder style).
@@ -66,13 +104,29 @@ impl Scenario {
         self
     }
 
+    /// Sets how much of the execution trace simulations materialise
+    /// (builder style). The default is [`TraceDetail::Full`]; grids and
+    /// sweeps that only consume latencies/energy/makespan should pass
+    /// [`TraceDetail::Summary`] — every metric stays bit-identical, only
+    /// [`Evaluation::report`]`.records` is left empty.
+    #[must_use]
+    pub fn with_trace_detail(mut self, trace: TraceDetail) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The trace detail simulations of this scenario use.
+    pub fn trace_detail(&self) -> TraceDetail {
+        self.trace
+    }
+
     /// The label used in evaluation reports.
     pub fn label(&self) -> &str {
         &self.label
     }
 
     /// The requests of this scenario as `(arrival, graph)` pairs.
-    pub fn requests(&self) -> &[(f64, DnnGraph)] {
+    pub fn requests(&self) -> &[(f64, Arc<DnnGraph>)] {
         &self.requests
     }
 
@@ -113,6 +167,10 @@ impl Scenario {
     /// plans across scenario runs. The returned evaluation's
     /// [`Evaluation::plan_cache`] counts only this run's lookups.
     ///
+    /// The warm path is zero-copy: cached plans are threaded through as
+    /// `Arc<ExecutionPlan>` and simulated in place, and cache probes reuse
+    /// one key, so a 100 %-hit stream performs no per-request deep copies.
+    ///
     /// # Errors
     ///
     /// Returns an error when the scenario is empty, when planning any
@@ -124,6 +182,47 @@ impl Scenario {
         leader: NodeIndex,
         cache: &PlanCache,
     ) -> Result<Evaluation, CoreError> {
+        let (planned, stats) = self.plan_requests(strategy, cluster, leader, cache)?;
+        let report = simulate_stream_detailed(&planned, cluster, self.trace)?;
+        let mut evaluation = Self::evaluation_from(strategy.name(), &self.label, report, cluster)?;
+        evaluation.plan_cache = Some(stats);
+        Ok(evaluation)
+    }
+
+    /// [`Scenario::run_with_cache`] against caller-owned simulation working
+    /// memory: the simulator reuses `scratch`'s buffers across calls (see
+    /// [`SimScratch`]), which is what [`crate::ParallelSweep`] workers and
+    /// rate sweeps use to keep the steady-state evaluation path
+    /// allocation-free. Results are bit-identical to
+    /// [`Scenario::run_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run_with_cache`].
+    pub fn run_with_cache_in(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+        scratch: &mut SimScratch,
+    ) -> Result<Evaluation, CoreError> {
+        let (planned, stats) = self.plan_requests(strategy, cluster, leader, cache)?;
+        let report = simulate_stream_in(scratch, &planned, cluster, self.trace)?.clone();
+        let mut evaluation = Self::evaluation_from(strategy.name(), &self.label, report, cluster)?;
+        evaluation.plan_cache = Some(stats);
+        Ok(evaluation)
+    }
+
+    /// The planning half of the pipeline: every request resolved to a shared
+    /// plan through `cache`, plus this run's hit/miss attribution.
+    fn plan_requests(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<(PlannedStream, PlanCacheStats), CoreError> {
         if self.requests.is_empty() {
             return Err(CoreError::Infeasible {
                 what: format!("scenario '{}' has no requests", self.label),
@@ -134,45 +233,53 @@ impl Scenario {
         // this run's numbers.
         let mut stats = PlanCacheStats::default();
         let mut planned = Vec::with_capacity(self.requests.len());
-        // Everything except the graph fingerprint is loop-invariant; hoist
-        // it so each request pays a hash probe, not a cluster walk.
-        let strategy_name = strategy.name().to_string();
-        let strategy_config = strategy.cache_config();
-        let cluster_fingerprint = cluster.fingerprint();
+        // One reusable key: everything except the graph fields is
+        // loop-invariant, so each request mutates two integers and pays a
+        // borrowed hash probe — no string clone, no cluster walk, no key
+        // allocation on the warm path.
+        let mut key = crate::PlanKey::for_run(strategy, cluster, leader);
         for (arrival, graph) in &self.requests {
-            let key = crate::PlanKey {
-                strategy: strategy_name.clone(),
-                strategy_config: strategy_config.clone(),
-                graph_fingerprint: graph.fingerprint(),
-                batch: graph.input_shape().batch(),
-                leader,
-                cluster_fingerprint,
-            };
-            let (plan, hit) = cache.plan_keyed(key, strategy, graph, cluster, leader)?;
+            key.graph_fingerprint = graph.fingerprint();
+            key.batch = graph.input_shape().batch();
+            let (plan, hit) = cache.plan_keyed(&key, strategy, graph, cluster, leader)?;
             if hit {
                 stats.hits += 1;
             } else {
                 stats.misses += 1;
             }
-            planned.push((*arrival, plan.as_ref().clone()));
+            planned.push((*arrival, plan));
         }
-        let mut evaluation = Self::run_plans(strategy.name(), &self.label, planned, cluster)?;
-        evaluation.plan_cache = Some(stats);
-        Ok(evaluation)
+        Ok((planned, stats))
     }
 
     /// Simulates already-built execution plans — the tail of the pipeline,
     /// shared by [`Scenario::run`] and by experiments that construct plans
-    /// by hand (e.g. the Fig. 1 single-node configurations).
+    /// by hand (e.g. the Fig. 1 single-node configurations). Plans are
+    /// borrowed: pass owned plans, references or `Arc`s alike.
     ///
     /// # Errors
     ///
     /// Returns an error when `planned` is empty or simulation fails.
-    pub fn run_plans(
+    pub fn run_plans<P: Borrow<ExecutionPlan>>(
         strategy: impl Into<String>,
         scenario: impl Into<String>,
-        planned: Vec<(f64, ExecutionPlan)>,
+        planned: &[(f64, P)],
         cluster: &Cluster,
+    ) -> Result<Evaluation, CoreError> {
+        Self::run_plans_detailed(strategy, scenario, planned, cluster, TraceDetail::Full)
+    }
+
+    /// [`Scenario::run_plans`] with an explicit [`TraceDetail`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `planned` is empty or simulation fails.
+    pub fn run_plans_detailed<P: Borrow<ExecutionPlan>>(
+        strategy: impl Into<String>,
+        scenario: impl Into<String>,
+        planned: &[(f64, P)],
+        cluster: &Cluster,
+        detail: TraceDetail,
     ) -> Result<Evaluation, CoreError> {
         let scenario = scenario.into();
         if planned.is_empty() {
@@ -180,12 +287,24 @@ impl Scenario {
                 what: format!("scenario '{scenario}' has no plans to simulate"),
             });
         }
-        let report = simulate_stream(&planned, cluster)?;
+        let report = simulate_stream_detailed(planned, cluster, detail)?;
+        Self::evaluation_from(strategy, scenario, report, cluster)
+    }
+
+    /// Wraps a finished simulation report into an [`Evaluation`] (energy
+    /// accounting plus metric extraction) — the shared tail of every run
+    /// entry point.
+    fn evaluation_from(
+        strategy: impl Into<String>,
+        scenario: impl Into<String>,
+        report: SimReport,
+        cluster: &Cluster,
+    ) -> Result<Evaluation, CoreError> {
         let total_energy = report.total_energy(cluster)?;
         let dynamic_energy = report.dynamic_energy(cluster)?;
         Ok(Evaluation {
             strategy: strategy.into(),
-            scenario,
+            scenario: scenario.into(),
             latencies: report.latencies(),
             makespan: report.makespan,
             total_energy,
@@ -214,7 +333,8 @@ pub struct Evaluation {
     /// Plan-cache hit/miss counters for this run (`None` when the scenario
     /// was built from pre-made plans via [`Scenario::run_plans`]).
     pub plan_cache: Option<PlanCacheStats>,
-    /// The simulated report (timings of every task).
+    /// The simulated report (timings of every task; `records` is empty when
+    /// the scenario ran with [`TraceDetail::Summary`]).
     pub report: SimReport,
 }
 
@@ -283,10 +403,10 @@ mod tests {
     fn empty_scenario_is_rejected() {
         let cluster = presets::paper_cluster();
         let strategy = HidpStrategy::new();
-        let empty = Scenario::stream(Vec::new());
+        let empty = Scenario::stream(Vec::<(f64, hidp_dnn::DnnGraph)>::new());
         assert!(empty.is_empty());
         assert!(empty.run(&strategy, &cluster, NodeIndex(0)).is_err());
-        assert!(Scenario::run_plans("x", "y", Vec::new(), &cluster).is_err());
+        assert!(Scenario::run_plans::<ExecutionPlan>("x", "y", &[], &cluster).is_err());
     }
 
     #[test]
@@ -325,7 +445,7 @@ mod tests {
             crate::strategy::DistributedStrategy::plan(&strategy, &graph, &cluster, NodeIndex(1))
                 .unwrap();
         let via_plans =
-            Scenario::run_plans("HiDP", graph.name(), vec![(0.0, plan)], &cluster).unwrap();
+            Scenario::run_plans("HiDP", graph.name(), &[(0.0, plan)], &cluster).unwrap();
         assert_eq!(via_run.latencies, via_plans.latencies);
         // Energy accounting sums in sorted processor order, so the two paths
         // are bit-identical — exact equality, no ULP tolerance.
@@ -378,5 +498,63 @@ mod tests {
         assert_eq!(cold.latencies, warm.latencies);
         assert_eq!(cold.total_energy, warm.total_energy);
         assert_eq!(cold.report, warm.report);
+    }
+
+    #[test]
+    fn scratch_entry_point_is_bit_identical_to_the_one_shot_path() {
+        // One scratch reused across differently-shaped runs must change
+        // nothing about any evaluation.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let cache = crate::PlanCache::new();
+        let mut scratch = SimScratch::new();
+        let scenarios = [
+            Scenario::single(WorkloadModel::InceptionV3.graph(1)),
+            Scenario::stream(vec![
+                (0.0, WorkloadModel::EfficientNetB0.graph(1)),
+                (0.1, WorkloadModel::ResNet152.graph(1)),
+                (0.2, WorkloadModel::EfficientNetB0.graph(1)),
+            ]),
+            Scenario::single(WorkloadModel::Vgg19.graph(1)).with_trace_detail(TraceDetail::Summary),
+        ];
+        for scenario in &scenarios {
+            let direct = scenario
+                .run_with_cache(&strategy, &cluster, NodeIndex(1), &cache)
+                .unwrap();
+            let scratched = scenario
+                .run_with_cache_in(&strategy, &cluster, NodeIndex(1), &cache, &mut scratch)
+                .unwrap();
+            // Cache stats differ (the direct run warmed the cache), so
+            // compare everything else.
+            assert_eq!(direct.latencies, scratched.latencies);
+            assert_eq!(direct.makespan, scratched.makespan);
+            assert_eq!(direct.total_energy, scratched.total_energy);
+            assert_eq!(direct.dynamic_energy, scratched.dynamic_energy);
+            assert_eq!(direct.report, scratched.report);
+        }
+    }
+
+    #[test]
+    fn summary_trace_detail_keeps_metrics_and_drops_records() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests: Vec<(f64, hidp_dnn::DnnGraph)> = (0..4)
+            .map(|i| (i as f64 * 0.1, WorkloadModel::EfficientNetB0.graph(1)))
+            .collect();
+        let full = Scenario::stream(requests.clone())
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let summary = Scenario::stream(requests)
+            .with_trace_detail(TraceDetail::Summary)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(summary.report.records.is_empty());
+        assert!(!full.report.records.is_empty());
+        assert_eq!(full.latencies, summary.latencies);
+        assert_eq!(full.makespan, summary.makespan);
+        assert_eq!(full.total_energy, summary.total_energy);
+        assert_eq!(full.dynamic_energy, summary.dynamic_energy);
+        assert_eq!(full.plan_cache, summary.plan_cache);
+        assert_eq!(full.report.meter, summary.report.meter);
     }
 }

@@ -105,6 +105,13 @@ impl EnergyMeter {
         Ok(energy)
     }
 
+    /// Clears every recorded busy time, keeping the accounting map's
+    /// capacity — the reset used by `hidp_sim::SimScratch` to reuse one
+    /// meter across simulations without reallocating its table.
+    pub fn reset(&mut self) {
+        self.busy_seconds.clear();
+    }
+
     /// Merges another meter into this one.
     pub fn merge(&mut self, other: &EnergyMeter) {
         for (addr, busy) in &other.busy_seconds {

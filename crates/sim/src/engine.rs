@@ -16,6 +16,23 @@
 //! list-scheduling implementation is preserved in [`crate::reference`] and
 //! property-tested to produce identical schedules.
 //!
+//! # The zero-copy warm path
+//!
+//! Three knobs make steady-state re-simulation allocation-free:
+//!
+//! * plans are taken as any [`Borrow<ExecutionPlan>`] — pass
+//!   `Arc<ExecutionPlan>`s (what [`hidp_core::PlanCache`] hands out) and a
+//!   1000-request stream shares a handful of plans instead of deep-copying
+//!   each one per request;
+//! * [`simulate_stream_in`] runs against a caller-owned [`SimScratch`],
+//!   reusing every internal buffer *and* the report's output buffers across
+//!   runs ([`simulate_stream`] is the allocating wrapper around a one-shot
+//!   scratch);
+//! * [`TraceDetail::Summary`] skips materialising the per-task
+//!   [`TaskRecord`] trace for consumers that only read latencies, makespan
+//!   and energy (every metric except the trace itself stays bit-identical —
+//!   [`hidp_platform::EnergyMeter`] accounting is exact in both modes).
+//!
 //! One caveat on exactness: this engine orders ready tasks by *exact* start
 //! time (ties by submission order), while the reference scan treated starts
 //! within `1e-15` of each other as ties. Whenever no two contending feasible
@@ -25,10 +42,11 @@
 //! differ (the reference's epsilon rule is scan-order-dependent and not a
 //! total order, so no heap key can reproduce it).
 
-use crate::plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
+use crate::plan::{ExecutionPlan, Label, TaskId, TaskKind};
 use crate::SimError;
 use hidp_platform::{Cluster, EnergyMeter, NodeIndex, ProcessorAddr};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -39,8 +57,8 @@ pub struct TaskRecord {
     pub task: TaskId,
     /// Index of the request the task belonged to (0 for single-plan runs).
     pub request: usize,
-    /// Task label.
-    pub name: String,
+    /// Task label (interned — cloning shares the plan's text).
+    pub name: Label,
     /// Simulation time at which the task started, in seconds.
     pub start: f64,
     /// Simulation time at which the task finished, in seconds.
@@ -60,10 +78,32 @@ impl TaskRecord {
     }
 }
 
+/// How much of the execution trace a simulation materialises.
+///
+/// Every aggregate — request completions, latencies, makespan, energy —
+/// is computed identically in both modes; the knob only controls whether
+/// the per-task [`TaskRecord`] trace is kept.
+///
+/// * Use [`TraceDetail::Full`] when the trace itself is consumed: timeline
+///   plots ([`crate::stats::performance_timeline`]), per-task debugging,
+///   the Fig. 6 experiment.
+/// * Use [`TraceDetail::Summary`] for metric-only consumers — strategy
+///   grids, rate sweeps, Poisson stress — where materialising one record
+///   per task is pure allocation cost (the dominant one on long streams).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceDetail {
+    /// Keep the per-task trace in [`SimReport::records`] (the default).
+    #[default]
+    Full,
+    /// Leave [`SimReport::records`] empty; aggregates stay exact.
+    Summary,
+}
+
 /// The result of simulating one or more plans on a cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
-    /// Per-task execution records, ordered by start time.
+    /// Per-task execution records, ordered by start time (empty when the
+    /// run used [`TraceDetail::Summary`]).
     pub records: Vec<TaskRecord>,
     /// Completion time of each request (seconds since simulation start).
     pub request_completion: Vec<f64>,
@@ -122,13 +162,14 @@ pub(crate) fn link_key(a: NodeIndex, b: NodeIndex) -> Resource {
     }
 }
 
-/// One flattened task: a plan task plus its derived duration and interned
-/// resource, valid for the lifetime of the borrowed plans.
-struct FlatTask<'a> {
+/// One flattened task: the plain-data view of a plan task (derived duration,
+/// interned resource, accounting fields). Holds no borrow of the plans, so
+/// the flat array persists inside [`SimScratch`] across runs.
+#[derive(Debug, Clone, Copy)]
+struct TaskMeta {
     request: usize,
-    task: &'a PlanTask,
     duration: f64,
-    resource: Option<usize>,
+    resource: Option<u32>,
     processor: Option<ProcessorAddr>,
     flops: u64,
     bytes: u64,
@@ -160,6 +201,288 @@ impl Ord for ReadyTask {
     }
 }
 
+/// Reusable working memory for [`simulate_stream_in`]: the flattened task
+/// array, indegree counts, CSR successor lists, the ready heap, per-resource
+/// free times *and* the output [`SimReport`]'s buffers.
+///
+/// Create one per worker thread (it is cheap when empty) and pass it to
+/// every simulation that thread runs: after the first run of a given stream
+/// shape, subsequent runs perform **zero heap allocations** — every buffer
+/// is cleared and refilled in place, and with plans shared via `Arc` and
+/// labels interned there is nothing left to copy. `tests/
+/// zero_alloc_warm_path.rs` asserts this with a counting allocator, and the
+/// CI bench-smoke job re-asserts it on every PR via `exp_warm_path --quick`.
+///
+/// [`simulate_stream`] is the one-shot wrapper: it builds a fresh scratch,
+/// runs once and moves the report out — bit-identical output, allocation
+/// cost proportional to the stream.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    resources: HashMap<Resource, u32>,
+    tasks: Vec<TaskMeta>,
+    /// ready_time[i]: max(arrival, finish of every completed dependency).
+    ready_time: Vec<f64>,
+    /// indegree[i]: dependencies of task i not yet finished.
+    indegree: Vec<u32>,
+    /// Per-request offset of the first flat index, to globalise dep ids.
+    request_base: Vec<usize>,
+    succ_offsets: Vec<usize>,
+    succ: Vec<usize>,
+    cursor: Vec<usize>,
+    resource_free: Vec<f64>,
+    heap: BinaryHeap<Reverse<ReadyTask>>,
+    report: SimReport,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch (no buffers are allocated until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer, keeping capacity.
+    fn reset(&mut self, total_tasks: usize, request_count: usize) {
+        self.resources.clear();
+        self.tasks.clear();
+        self.tasks.reserve(total_tasks);
+        self.ready_time.clear();
+        self.ready_time.reserve(total_tasks);
+        self.indegree.clear();
+        self.indegree.reserve(total_tasks);
+        self.request_base.clear();
+        self.request_base.reserve(request_count);
+        self.heap.clear();
+        self.report.records.clear();
+        self.report.request_completion.clear();
+        self.report.request_arrival.clear();
+        self.report.meter.reset();
+        self.report.makespan = 0.0;
+    }
+
+    /// The engine proper: validates, flattens, simulates, and leaves the
+    /// result in `self.report`.
+    fn run<P: Borrow<ExecutionPlan>>(
+        &mut self,
+        requests: &[(f64, P)],
+        cluster: &Cluster,
+        detail: TraceDetail,
+    ) -> Result<(), SimError> {
+        if requests.is_empty() {
+            return Err(SimError::InvalidPlan {
+                what: "no requests to simulate".into(),
+            });
+        }
+
+        // --- Pre-pass: validate, intern resources, flatten tasks. ---------
+        let total: usize = requests.iter().map(|(_, p)| p.borrow().len()).sum();
+        self.reset(total, requests.len());
+
+        for (req_idx, (arrival, plan)) in requests.iter().enumerate() {
+            let plan = plan.borrow();
+            if !(arrival.is_finite() && *arrival >= 0.0) {
+                return Err(SimError::InvalidPlan {
+                    what: format!("request {req_idx} has invalid arrival time {arrival}"),
+                });
+            }
+            // Normalise -0.0 to +0.0: total_cmp orders -0.0 before 0.0, which
+            // would break the exact-tie submission-order guarantee for
+            // requests arriving at (±)0.0.
+            let arrival = *arrival + 0.0;
+            plan.validate()?;
+            self.request_base.push(self.tasks.len());
+            for task in plan.tasks() {
+                let (duration, resource, processor, flops, bytes) = match &task.kind {
+                    TaskKind::Compute {
+                        target,
+                        flops,
+                        gpu_affinity,
+                    } => {
+                        let proc = cluster.processor(*target)?;
+                        (
+                            proc.compute_time(*flops, *gpu_affinity),
+                            Some(Resource::Processor(*target)),
+                            Some(*target),
+                            *flops,
+                            0u64,
+                        )
+                    }
+                    TaskKind::Transfer { from, to, bytes } => {
+                        // Validate node indices.
+                        cluster.node(*from)?;
+                        cluster.node(*to)?;
+                        let duration = cluster.network().transfer_time(*from, *to, *bytes);
+                        let resource = if from == to {
+                            None
+                        } else {
+                            Some(link_key(*from, *to))
+                        };
+                        (duration, resource, None, 0u64, *bytes)
+                    }
+                };
+                let resource = resource.map(|r| {
+                    let next = self.resources.len() as u32;
+                    *self.resources.entry(r).or_insert(next)
+                });
+                self.tasks.push(TaskMeta {
+                    request: req_idx,
+                    duration,
+                    resource,
+                    processor,
+                    flops,
+                    bytes,
+                });
+                self.ready_time.push(arrival);
+                self.indegree.push(task.deps.len() as u32);
+            }
+        }
+
+        // CSR successor lists: succ[succ_offsets[d]..succ_offsets[d + 1]]
+        // holds the flat indices of the tasks depending on flat task d. The
+        // dependency ids live in the borrowed plans, so the two fill passes
+        // walk the plans again instead of storing per-task borrows.
+        let n = self.tasks.len();
+        self.succ_offsets.clear();
+        self.succ_offsets.resize(n + 1, 0);
+        for (req_idx, (_, plan)) in requests.iter().enumerate() {
+            let base = self.request_base[req_idx];
+            for task in plan.borrow().tasks() {
+                for dep in &task.deps {
+                    self.succ_offsets[base + dep.0 + 1] += 1;
+                }
+            }
+        }
+        for d in 0..n {
+            self.succ_offsets[d + 1] += self.succ_offsets[d];
+        }
+        self.succ.clear();
+        self.succ.resize(self.succ_offsets[n], 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.succ_offsets[..n]);
+        let mut flat = 0usize;
+        for (req_idx, (_, plan)) in requests.iter().enumerate() {
+            let base = self.request_base[req_idx];
+            for task in plan.borrow().tasks() {
+                for dep in &task.deps {
+                    let d = base + dep.0;
+                    self.succ[self.cursor[d]] = flat;
+                    self.cursor[d] += 1;
+                }
+                flat += 1;
+            }
+        }
+
+        // --- Event loop. --------------------------------------------------
+        let Self {
+            resources,
+            tasks,
+            ready_time,
+            indegree,
+            request_base,
+            succ_offsets,
+            succ,
+            heap,
+            resource_free,
+            report,
+            ..
+        } = self;
+        resource_free.clear();
+        resource_free.resize(resources.len(), 0.0);
+        report.request_completion.resize(requests.len(), 0.0);
+        if detail == TraceDetail::Full {
+            report.records.reserve(n);
+        }
+
+        // Heap keys are lower bounds on feasible start: exact once every
+        // dependency is finished, except that the resource may become busier
+        // after the push — corrected lazily on pop.
+        for i in 0..n {
+            if indegree[i] == 0 {
+                heap.push(Reverse(ReadyTask {
+                    start: ready_time[i],
+                    seq: i,
+                }));
+            }
+        }
+
+        let mut committed = 0usize;
+        while let Some(Reverse(entry)) = heap.pop() {
+            let i = entry.seq;
+            let t = tasks[i];
+            if let Some(r) = t.resource {
+                // The resource may have advanced past this entry's key since
+                // it was pushed; re-queue with the corrected feasible start
+                // so the heap order stays the true earliest-start order.
+                let feasible = entry.start.max(resource_free[r as usize]);
+                if feasible > entry.start {
+                    heap.push(Reverse(ReadyTask {
+                        start: feasible,
+                        seq: i,
+                    }));
+                    continue;
+                }
+            }
+            let start = entry.start;
+            let end = start + t.duration;
+            if let Some(r) = t.resource {
+                resource_free[r as usize] = end;
+            }
+            if let Some(addr) = t.processor {
+                report.meter.record_busy(addr, t.duration)?;
+            }
+            if end > report.request_completion[t.request] {
+                report.request_completion[t.request] = end;
+            }
+            // Commits happen in non-decreasing start order (every remaining
+            // heap key and every future push is ≥ the popped key), so
+            // `records` ends up sorted by start with submission-order ties —
+            // the same order the reference engine produces.
+            if detail == TraceDetail::Full {
+                let local = i - request_base[t.request];
+                let task = &requests[t.request].1.borrow().tasks()[local];
+                report.records.push(TaskRecord {
+                    task: task.id,
+                    request: t.request,
+                    name: task.name.clone(),
+                    start,
+                    finish: end,
+                    flops: t.flops,
+                    bytes: t.bytes,
+                    processor: t.processor,
+                });
+            }
+            committed += 1;
+            for &s in &succ[succ_offsets[i]..succ_offsets[i + 1]] {
+                if end > ready_time[s] {
+                    ready_time[s] = end;
+                }
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    let start = match tasks[s].resource {
+                        Some(r) => ready_time[s].max(resource_free[r as usize]),
+                        None => ready_time[s],
+                    };
+                    heap.push(Reverse(ReadyTask { start, seq: s }));
+                }
+            }
+        }
+        if committed != n {
+            return Err(SimError::InvalidPlan {
+                what: "dependency deadlock: no ready task found".into(),
+            });
+        }
+
+        report.makespan = report
+            .request_completion
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        report
+            .request_arrival
+            .extend(requests.iter().map(|(a, _)| *a));
+        Ok(())
+    }
+}
+
 /// Simulates a single plan starting at time zero.
 ///
 /// # Errors
@@ -167,213 +490,61 @@ impl Ord for ReadyTask {
 /// Returns an error when the plan is invalid or references unknown
 /// processors/nodes.
 pub fn simulate(plan: &ExecutionPlan, cluster: &Cluster) -> Result<SimReport, SimError> {
-    simulate_stream(&[(0.0, plan.clone())], cluster)
+    simulate_stream(&[(0.0, plan)], cluster)
 }
 
 /// Simulates a stream of inference requests, each with an arrival time and a
 /// plan. Resources are shared across requests, so a long-running request
 /// delays later ones — the effect the paper's Fig. 6/7 experiments measure.
 ///
+/// Plans are taken by [`Borrow`], so `&[(f64, ExecutionPlan)]`,
+/// `&[(f64, Arc<ExecutionPlan>)]` and `&[(f64, &ExecutionPlan)]` all work —
+/// shared plans are read in place, never copied.
+///
 /// # Errors
 ///
 /// Returns an error when any plan is invalid, arrival times are not finite
 /// and non-negative, or a plan references unknown processors/nodes.
-pub fn simulate_stream(
-    requests: &[(f64, ExecutionPlan)],
+pub fn simulate_stream<P: Borrow<ExecutionPlan>>(
+    requests: &[(f64, P)],
     cluster: &Cluster,
 ) -> Result<SimReport, SimError> {
-    if requests.is_empty() {
-        return Err(SimError::InvalidPlan {
-            what: "no requests to simulate".into(),
-        });
-    }
+    simulate_stream_detailed(requests, cluster, TraceDetail::Full)
+}
 
-    // --- Pre-pass: validate, intern resources, flatten tasks. -------------
-    let total: usize = requests.iter().map(|(_, p)| p.len()).sum();
-    let mut resources: HashMap<Resource, usize> = HashMap::new();
-    let mut tasks: Vec<FlatTask<'_>> = Vec::with_capacity(total);
-    // ready_time[i]: max(arrival, finish of every completed dependency).
-    let mut ready_time: Vec<f64> = Vec::with_capacity(total);
-    // indegree[i]: dependencies of task i not yet finished.
-    let mut indegree: Vec<u32> = Vec::with_capacity(total);
-    // Per-request offset of the first flat index, to globalise dep ids.
-    let mut request_base: Vec<usize> = Vec::with_capacity(requests.len());
+/// [`simulate_stream`] with an explicit [`TraceDetail`], still allocating a
+/// fresh report per call.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_stream`].
+pub fn simulate_stream_detailed<P: Borrow<ExecutionPlan>>(
+    requests: &[(f64, P)],
+    cluster: &Cluster,
+    detail: TraceDetail,
+) -> Result<SimReport, SimError> {
+    let mut scratch = SimScratch::new();
+    scratch.run(requests, cluster, detail)?;
+    Ok(std::mem::take(&mut scratch.report))
+}
 
-    for (req_idx, (arrival, plan)) in requests.iter().enumerate() {
-        if !(arrival.is_finite() && *arrival >= 0.0) {
-            return Err(SimError::InvalidPlan {
-                what: format!("request {req_idx} has invalid arrival time {arrival}"),
-            });
-        }
-        // Normalise -0.0 to +0.0: total_cmp orders -0.0 before 0.0, which
-        // would break the exact-tie submission-order guarantee for requests
-        // arriving at (±)0.0.
-        let arrival = *arrival + 0.0;
-        plan.validate()?;
-        request_base.push(tasks.len());
-        for task in plan.tasks() {
-            let (duration, resource, processor, flops, bytes) = match &task.kind {
-                TaskKind::Compute {
-                    target,
-                    flops,
-                    gpu_affinity,
-                } => {
-                    let proc = cluster.processor(*target)?;
-                    (
-                        proc.compute_time(*flops, *gpu_affinity),
-                        Some(Resource::Processor(*target)),
-                        Some(*target),
-                        *flops,
-                        0u64,
-                    )
-                }
-                TaskKind::Transfer { from, to, bytes } => {
-                    // Validate node indices.
-                    cluster.node(*from)?;
-                    cluster.node(*to)?;
-                    let duration = cluster.network().transfer_time(*from, *to, *bytes);
-                    let resource = if from == to {
-                        None
-                    } else {
-                        Some(link_key(*from, *to))
-                    };
-                    (duration, resource, None, 0u64, *bytes)
-                }
-            };
-            let resource = resource.map(|r| {
-                let next = resources.len();
-                *resources.entry(r).or_insert(next)
-            });
-            tasks.push(FlatTask {
-                request: req_idx,
-                task,
-                duration,
-                resource,
-                processor,
-                flops,
-                bytes,
-            });
-            ready_time.push(arrival);
-            indegree.push(task.deps.len() as u32);
-        }
-    }
-
-    // CSR successor lists: succ[succ_offsets[d]..succ_offsets[d + 1]] holds
-    // the flat indices of the tasks depending on flat task d.
-    let n = tasks.len();
-    let mut succ_offsets: Vec<usize> = vec![0; n + 1];
-    for t in &tasks {
-        let base = request_base[t.request];
-        for dep in &t.task.deps {
-            succ_offsets[base + dep.0 + 1] += 1;
-        }
-    }
-    for d in 0..n {
-        succ_offsets[d + 1] += succ_offsets[d];
-    }
-    let mut succ: Vec<usize> = vec![0; succ_offsets[n]];
-    let mut cursor: Vec<usize> = succ_offsets[..n].to_vec();
-    for (i, t) in tasks.iter().enumerate() {
-        let base = request_base[t.request];
-        for dep in &t.task.deps {
-            let d = base + dep.0;
-            succ[cursor[d]] = i;
-            cursor[d] += 1;
-        }
-    }
-
-    // --- Event loop. ------------------------------------------------------
-    let mut resource_free: Vec<f64> = vec![0.0; resources.len()];
-    let mut records: Vec<TaskRecord> = Vec::with_capacity(n);
-    let mut meter = EnergyMeter::new();
-    let mut request_completion = vec![0.0f64; requests.len()];
-
-    // Heap keys are lower bounds on feasible start: exact once every
-    // dependency is finished, except that the resource may become busier
-    // after the push — corrected lazily on pop.
-    let mut heap: BinaryHeap<Reverse<ReadyTask>> = BinaryHeap::with_capacity(n);
-    for i in 0..n {
-        if indegree[i] == 0 {
-            heap.push(Reverse(ReadyTask {
-                start: ready_time[i],
-                seq: i,
-            }));
-        }
-    }
-
-    let mut committed = 0usize;
-    while let Some(Reverse(entry)) = heap.pop() {
-        let i = entry.seq;
-        let t = &tasks[i];
-        if let Some(r) = t.resource {
-            // The resource may have advanced past this entry's key since it
-            // was pushed; re-queue with the corrected feasible start so the
-            // heap order stays the true earliest-start order.
-            let feasible = entry.start.max(resource_free[r]);
-            if feasible > entry.start {
-                heap.push(Reverse(ReadyTask {
-                    start: feasible,
-                    seq: i,
-                }));
-                continue;
-            }
-        }
-        let start = entry.start;
-        let end = start + t.duration;
-        if let Some(r) = t.resource {
-            resource_free[r] = end;
-        }
-        if let Some(addr) = t.processor {
-            meter.record_busy(addr, t.duration)?;
-        }
-        if end > request_completion[t.request] {
-            request_completion[t.request] = end;
-        }
-        // Commits happen in non-decreasing start order (every remaining heap
-        // key and every future push is ≥ the popped key), so `records` ends
-        // up sorted by start with submission-order ties — the same order the
-        // reference engine produces.
-        records.push(TaskRecord {
-            task: t.task.id,
-            request: t.request,
-            name: t.task.name.clone(),
-            start,
-            finish: end,
-            flops: t.flops,
-            bytes: t.bytes,
-            processor: t.processor,
-        });
-        committed += 1;
-        for &s in &succ[succ_offsets[i]..succ_offsets[i + 1]] {
-            if end > ready_time[s] {
-                ready_time[s] = end;
-            }
-            indegree[s] -= 1;
-            if indegree[s] == 0 {
-                let start = match tasks[s].resource {
-                    Some(r) => ready_time[s].max(resource_free[r]),
-                    None => ready_time[s],
-                };
-                heap.push(Reverse(ReadyTask { start, seq: s }));
-            }
-        }
-    }
-    if committed != n {
-        return Err(SimError::InvalidPlan {
-            what: "dependency deadlock: no ready task found".into(),
-        });
-    }
-
-    let makespan = request_completion.iter().copied().fold(0.0, f64::max);
-    let request_arrival = requests.iter().map(|(a, _)| *a).collect();
-
-    Ok(SimReport {
-        records,
-        request_completion,
-        request_arrival,
-        meter,
-        makespan,
-    })
+/// [`simulate_stream`] against caller-owned working memory: every internal
+/// buffer and the returned report's buffers live in `scratch` and are reused
+/// across calls, so steady-state re-simulation allocates nothing (see
+/// [`SimScratch`]). The report borrow is valid until the next run.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_stream`]. On error the scratch stays valid
+/// for further runs (its buffers are simply cleared again).
+pub fn simulate_stream_in<'s, P: Borrow<ExecutionPlan>>(
+    scratch: &'s mut SimScratch,
+    requests: &[(f64, P)],
+    cluster: &Cluster,
+    detail: TraceDetail,
+) -> Result<&'s SimReport, SimError> {
+    scratch.run(requests, cluster, detail)?;
+    Ok(&scratch.report)
 }
 
 #[cfg(test)]
@@ -488,9 +659,101 @@ mod tests {
     }
 
     #[test]
+    fn shared_arc_plans_match_owned_plans() {
+        // The same stream through owned clones and through one shared Arc
+        // must produce bit-identical reports — sharing is pure cost removal.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 900_000_000, 1.0, &[]);
+        plan.add_transfer("t", NodeIndex(0), NodeIndex(2), 4_000_000, &[a]);
+        let owned: Vec<(f64, ExecutionPlan)> =
+            (0..5).map(|i| (i as f64 * 0.01, plan.clone())).collect();
+        let shared_plan = std::sync::Arc::new(plan);
+        let shared: Vec<(f64, std::sync::Arc<ExecutionPlan>)> = (0..5)
+            .map(|i| (i as f64 * 0.01, std::sync::Arc::clone(&shared_plan)))
+            .collect();
+        let from_owned = simulate_stream(&owned, &cluster).unwrap();
+        let from_shared = simulate_stream(&shared, &cluster).unwrap();
+        assert_eq!(from_owned, from_shared);
+    }
+
+    #[test]
+    fn summary_detail_matches_full_metrics_without_records() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 900_000_000, 1.0, &[]);
+        let t = plan.add_transfer("t", NodeIndex(0), NodeIndex(2), 4_000_000, &[a]);
+        plan.add_compute("b", addr(2, 1), 700_000_000, 0.8, &[t]);
+        let requests: Vec<(f64, ExecutionPlan)> =
+            (0..4).map(|i| (i as f64 * 0.02, plan.clone())).collect();
+        let full = simulate_stream_detailed(&requests, &cluster, TraceDetail::Full).unwrap();
+        let summary = simulate_stream_detailed(&requests, &cluster, TraceDetail::Summary).unwrap();
+        assert!(summary.records.is_empty());
+        assert_eq!(full.records.len(), 12);
+        // Every aggregate is bit-identical — including exact energy sums.
+        assert_eq!(full.request_completion, summary.request_completion);
+        assert_eq!(full.request_arrival, summary.request_arrival);
+        assert_eq!(full.makespan, summary.makespan);
+        assert_eq!(full.meter, summary.meter);
+        assert_eq!(
+            full.total_energy(&cluster).unwrap(),
+            summary.total_energy(&cluster).unwrap()
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_different_streams() {
+        // One scratch, interleaved runs of two differently-shaped streams:
+        // every run must match the one-shot wrapper exactly, including after
+        // the buffers were sized by a larger run.
+        let cluster = presets::paper_cluster();
+        let mut small = ExecutionPlan::new();
+        small.add_compute("s", addr(0, 0), 500_000_000, 1.0, &[]);
+        let mut big = ExecutionPlan::new();
+        let a = big.add_compute("a", addr(0, 1), 900_000_000, 1.0, &[]);
+        let t = big.add_transfer("t", NodeIndex(0), NodeIndex(3), 4_000_000, &[a]);
+        big.add_compute("b", addr(3, 1), 700_000_000, 0.9, &[t]);
+
+        let stream_a: Vec<(f64, ExecutionPlan)> =
+            (0..8).map(|i| (i as f64 * 0.01, big.clone())).collect();
+        let stream_b = vec![(0.0, small.clone()), (0.3, small.clone())];
+
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            for (stream, detail) in [
+                (&stream_a, TraceDetail::Full),
+                (&stream_b, TraceDetail::Full),
+                (&stream_a, TraceDetail::Summary),
+            ] {
+                let expected = simulate_stream_detailed(stream, &cluster, detail).unwrap();
+                let got = simulate_stream_in(&mut scratch, stream, &cluster, detail).unwrap();
+                assert_eq!(*got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_an_erroring_run() {
+        let cluster = presets::paper_cluster();
+        let mut good = ExecutionPlan::new();
+        good.add_compute("g", addr(0, 0), 1_000_000, 1.0, &[]);
+        let mut bad = ExecutionPlan::new();
+        bad.add_compute("b", addr(9, 0), 1, 1.0, &[]);
+
+        let mut scratch = SimScratch::new();
+        let expected = simulate_stream(&[(0.0, good.clone())], &cluster).unwrap();
+        assert!(
+            simulate_stream_in(&mut scratch, &[(0.0, bad)], &cluster, TraceDetail::Full).is_err()
+        );
+        let got =
+            simulate_stream_in(&mut scratch, &[(0.0, good)], &cluster, TraceDetail::Full).unwrap();
+        assert_eq!(*got, expected);
+    }
+
+    #[test]
     fn invalid_inputs_are_rejected() {
         let cluster = presets::paper_cluster();
-        assert!(simulate_stream(&[], &cluster).is_err());
+        assert!(simulate_stream(&[] as &[(f64, ExecutionPlan)], &cluster).is_err());
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(9, 0), 1, 1.0, &[]);
         assert!(simulate(&plan, &cluster).is_err());

@@ -34,9 +34,12 @@ mod plan;
 pub mod reference;
 pub mod stats;
 
-pub use engine::{simulate, simulate_stream, SimReport, TaskRecord};
+pub use engine::{
+    simulate, simulate_stream, simulate_stream_detailed, simulate_stream_in, SimReport, SimScratch,
+    TaskRecord, TraceDetail,
+};
 pub use error::SimError;
-pub use plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
+pub use plan::{ExecutionPlan, Label, PlanTask, TaskId, TaskKind};
 pub use reference::simulate_stream_reference;
 
 /// Convenience alias for results produced by this crate.

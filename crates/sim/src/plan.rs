@@ -10,6 +10,102 @@
 use crate::SimError;
 use hidp_platform::{NodeIndex, ProcessorAddr};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An interned, cheaply clonable task label.
+///
+/// A plan carries one label per task, and the simulator copies that label
+/// into every [`crate::TaskRecord`] it emits — once per task per run. With
+/// owned `String`s that copy was the dominant allocation of the warm
+/// evaluation path (one heap allocation per task per simulation); `Label`
+/// wraps an `Arc<str>`, so cloning is a reference-count increment and the
+/// character data is shared between the plan and every record emitted from
+/// it. Everything observable — `Display`, comparisons, ordering, the
+/// hand-rolled JSON emitters — sees exactly the text the plan was built
+/// with, so interning changes cost, never output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Self(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Label {
+    fn from(s: Arc<str>) -> Self {
+        Self(s)
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Label> for str {
+    fn eq(&self, other: &Label) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for &str {
+    fn eq(&self, other: &Label) -> bool {
+        *self == other.as_str()
+    }
+}
 
 /// Identifier of a task inside an [`ExecutionPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -51,8 +147,9 @@ pub enum TaskKind {
 pub struct PlanTask {
     /// Task identifier (position in the plan).
     pub id: TaskId,
-    /// Human-readable label used in traces (e.g. `"block2@jetson-tx2/gpu"`).
-    pub name: String,
+    /// Human-readable label used in traces (e.g. `"block2@jetson-tx2/gpu"`),
+    /// interned so record emission clones a pointer, not the text.
+    pub name: Label,
     /// What the task does.
     pub kind: TaskKind,
     /// Tasks that must finish before this one can start.
@@ -74,7 +171,7 @@ impl ExecutionPlan {
     /// Adds a compute task and returns its id.
     pub fn add_compute(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Label>,
         target: ProcessorAddr,
         flops: u64,
         gpu_affinity: f64,
@@ -94,7 +191,7 @@ impl ExecutionPlan {
     /// Adds a transfer task and returns its id.
     pub fn add_transfer(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Label>,
         from: NodeIndex,
         to: NodeIndex,
         bytes: u64,
@@ -103,7 +200,7 @@ impl ExecutionPlan {
         self.push(name, TaskKind::Transfer { from, to, bytes }, deps)
     }
 
-    fn push(&mut self, name: impl Into<String>, kind: TaskKind, deps: &[TaskId]) -> TaskId {
+    fn push(&mut self, name: impl Into<Label>, kind: TaskKind, deps: &[TaskId]) -> TaskId {
         let id = TaskId(self.tasks.len());
         self.tasks.push(PlanTask {
             id,
@@ -256,5 +353,23 @@ mod tests {
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(0, 0), 1, f64::NAN, &[]);
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn labels_behave_like_the_strings_they_intern() {
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute(format!("block{}@gpu", 2), addr(0, 1), 1, 1.0, &[]);
+        let name = &plan.tasks()[0].name;
+        assert_eq!(name.as_str(), "block2@gpu");
+        assert_eq!(*name, "block2@gpu");
+        assert_eq!("block2@gpu", *name);
+        assert_eq!(format!("{name}"), "block2@gpu");
+        // Cloning shares the interned text instead of copying it.
+        let clone = name.clone();
+        assert_eq!(&clone, name);
+        assert!(std::ptr::eq(clone.as_str(), name.as_str()));
+        // All construction routes produce the same label.
+        assert_eq!(Label::from("x"), Label::from("x".to_string()));
+        assert_eq!(Label::from(&"x".to_string()), Label::from(Arc::from("x")));
     }
 }

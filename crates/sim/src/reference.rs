@@ -13,18 +13,21 @@ use crate::engine::{link_key, Resource, SimReport, TaskRecord};
 use crate::plan::{ExecutionPlan, PlanTask, TaskId, TaskKind};
 use crate::SimError;
 use hidp_platform::{Cluster, EnergyMeter, ProcessorAddr};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Simulates a stream of requests with the original earliest-start
 /// list-scheduling loop. Produces the same report as
-/// [`crate::simulate_stream`], in O(n²).
+/// [`crate::simulate_stream`], in O(n²). Plans are taken by [`Borrow`] like
+/// the event engine's, so both accept the same streams; the scheduling loop
+/// itself is unchanged.
 ///
 /// # Errors
 ///
 /// Returns an error when any plan is invalid, arrival times are not finite
 /// and non-negative, or a plan references unknown processors/nodes.
-pub fn simulate_stream_reference(
-    requests: &[(f64, ExecutionPlan)],
+pub fn simulate_stream_reference<Pl: Borrow<ExecutionPlan>>(
+    requests: &[(f64, Pl)],
     cluster: &Cluster,
 ) -> Result<SimReport, SimError> {
     if requests.is_empty() {
@@ -50,6 +53,7 @@ pub fn simulate_stream_reference(
                 what: format!("request {req_idx} has invalid arrival time {arrival}"),
             });
         }
+        let plan = plan.borrow();
         plan.validate()?;
         for task in plan.tasks() {
             let (duration, resource, processor, flops, bytes) = match &task.kind {
@@ -211,7 +215,7 @@ mod tests {
     #[test]
     fn reference_rejects_invalid_input_like_the_event_engine() {
         let cluster = presets::paper_cluster();
-        assert!(simulate_stream_reference(&[], &cluster).is_err());
+        assert!(simulate_stream_reference(&[] as &[(f64, ExecutionPlan)], &cluster).is_err());
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(9, 0), 1, 1.0, &[]);
         assert!(simulate_stream_reference(&[(0.0, plan)], &cluster).is_err());

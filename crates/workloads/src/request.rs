@@ -5,6 +5,8 @@ use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One DNN inference request: a model, a batch size and an arrival time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,24 +41,20 @@ impl InferenceRequest {
     }
 
     /// Converts a slice of requests into the `(arrival, graph)` pairs the
-    /// evaluation pipeline consumes. Generated streams cycle through a small
-    /// model set, so each distinct `(model, batch)` graph is built (zoo
-    /// construction + cost inference) once and cloned for its repeats.
-    pub fn to_stream(requests: &[InferenceRequest]) -> Vec<(f64, DnnGraph)> {
-        let mut built: Vec<((WorkloadModel, usize), DnnGraph)> = Vec::new();
+    /// evaluation pipeline consumes. Each distinct `(model, batch)` graph is
+    /// built (zoo construction + cost inference) exactly once — deduplicated
+    /// through a hash map, so long streams pay O(n) lookups rather than the
+    /// former O(n·k) scan — and **shared** for its repeats: every repeat is
+    /// an `Arc` clone of the same graph, not a copy of its layer vectors.
+    pub fn to_stream(requests: &[InferenceRequest]) -> Vec<(f64, Arc<DnnGraph>)> {
+        let mut built: HashMap<(WorkloadModel, usize), Arc<DnnGraph>> = HashMap::new();
         requests
             .iter()
             .map(|r| {
-                let key = (r.model, r.batch);
-                let graph = match built.iter().find(|(k, _)| *k == key) {
-                    Some((_, graph)) => graph.clone(),
-                    None => {
-                        let graph = r.graph();
-                        built.push((key, graph.clone()));
-                        graph
-                    }
-                };
-                (r.arrival, graph)
+                let graph = built
+                    .entry((r.model, r.batch))
+                    .or_insert_with(|| Arc::new(r.graph()));
+                (r.arrival, Arc::clone(graph))
             })
             .collect()
     }
@@ -116,5 +114,30 @@ mod tests {
         assert_eq!(stream[0].0, 0.0);
         assert_eq!(stream[1].0, 1.0);
         assert_eq!(stream[1].1.name(), "resnet152");
+    }
+
+    #[test]
+    fn to_stream_shares_one_graph_per_distinct_model_and_batch() {
+        // A cyclic stream must build each (model, batch) graph once and
+        // share the same allocation across all its repeats.
+        let requests: Vec<InferenceRequest> = (0..9)
+            .map(|i| {
+                let model = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3][i % 2];
+                InferenceRequest::new(model, i as f64 * 0.1).with_batch(1 + i % 2)
+            })
+            .collect();
+        let stream = InferenceRequest::to_stream(&requests);
+        assert_eq!(stream.len(), 9);
+        for (i, (arrival, graph)) in stream.iter().enumerate() {
+            assert_eq!(*arrival, requests[i].arrival);
+            assert_eq!(graph.input_shape().batch(), requests[i].batch);
+            // Repeats of the same (model, batch) are pointer-equal shares.
+            for (j, (_, other)) in stream.iter().enumerate().skip(i + 1) {
+                if (requests[i].model, requests[i].batch) == (requests[j].model, requests[j].batch)
+                {
+                    assert!(Arc::ptr_eq(graph, other), "requests {i} and {j} share");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,90 @@
+//! The zero-copy contract, enforced with a counting allocator: once a
+//! cyclic stream's first warm pass has sized every buffer, the steady-state
+//! evaluation path — per-request cached-plan probes through a reused
+//! borrowed `PlanKey` plus `simulate_stream_in` into a reused `SimScratch`
+//! at `TraceDetail::Summary` — performs **zero** heap allocations, pass
+//! after pass. This mirrors what PR 3's `PlannerScratch` test did for cold
+//! planning, one layer up.
+//!
+//! The allocator (`hidp_bench::alloc_count`, shared with the
+//! `exp_warm_path` CI gate so both enforce the same definition of
+//! "allocation") counts per thread, and this file holds exactly one test so
+//! nothing else can touch the measured counter.
+
+use hidp::core::{PlanCache, PlanKey, SimScratch, TraceDetail};
+use hidp::dnn::zoo::WorkloadModel;
+use hidp::platform::{presets, NodeIndex};
+use hidp::sim::{simulate_stream_detailed, simulate_stream_in, ExecutionPlan};
+use hidp::workloads::InferenceRequest;
+use hidp::HidpStrategy;
+use hidp_bench::alloc_count::{allocations_on_this_thread, CountingAllocator};
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_warm_path_allocates_nothing() {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let leader = NodeIndex(1);
+
+    // A cyclic Mix-5-style stream: 60 requests over 3 distinct models.
+    let models = [
+        WorkloadModel::EfficientNetB0,
+        WorkloadModel::InceptionV3,
+        WorkloadModel::ResNet152,
+    ];
+    let requests = hidp::workloads::repeating_stream(&models, 0.05, 60);
+    let stream = InferenceRequest::to_stream(&requests);
+
+    // One reusable key, hoisted exactly as Scenario::run_with_cache does.
+    let cache = PlanCache::new();
+    let mut key = PlanKey::for_run(&strategy, &cluster, leader);
+
+    let mut scratch = SimScratch::new();
+    let mut planned: Vec<(f64, Arc<ExecutionPlan>)> = Vec::with_capacity(stream.len());
+    let warm_pass = |key: &mut PlanKey,
+                     planned: &mut Vec<(f64, Arc<ExecutionPlan>)>,
+                     scratch: &mut SimScratch|
+     -> f64 {
+        planned.clear();
+        for (arrival, graph) in &stream {
+            key.graph_fingerprint = graph.fingerprint();
+            key.batch = graph.input_shape().batch();
+            let (plan, _) = cache
+                .plan_keyed(key, &strategy, graph, &cluster, leader)
+                .expect("planning succeeds");
+            planned.push((*arrival, plan));
+        }
+        let report = simulate_stream_in(scratch, planned, &cluster, TraceDetail::Summary)
+            .expect("stream simulates");
+        report.makespan
+    };
+
+    // First pass: plans the 3 distinct models (allocating — cold planning
+    // is allowed to) and sizes every buffer.
+    let expected_makespan = warm_pass(&mut key, &mut planned, &mut scratch);
+
+    // Steady state: every subsequent pass — the per-request warm path — must
+    // be allocation-free, and bit-identical.
+    let before = allocations_on_this_thread();
+    for _ in 0..5 {
+        let makespan = warm_pass(&mut key, &mut planned, &mut scratch);
+        assert_eq!(makespan, expected_makespan);
+    }
+    let allocations = allocations_on_this_thread() - before;
+    assert_eq!(
+        allocations, 0,
+        "the steady-state warm path must not allocate (got {allocations} \
+         allocations over 5 passes of 60 requests)"
+    );
+
+    // The zero-alloc path is not a different pipeline: its report matches
+    // the one-shot allocating entry point exactly.
+    let one_shot =
+        simulate_stream_detailed(&planned, &cluster, TraceDetail::Summary).expect("simulates");
+    let reused = simulate_stream_in(&mut scratch, &planned, &cluster, TraceDetail::Summary)
+        .expect("simulates");
+    assert_eq!(*reused, one_shot);
+}
