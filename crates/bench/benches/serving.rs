@@ -1,0 +1,78 @@
+//! Benchmarks the serving runtime: the full admission → batch → plan →
+//! simulate loop on bursty SLA-classed traffic, in the degenerate
+//! (static-equivalent) mode and with batching + failure timeline active.
+//! The CI bench-smoke job runs this with `--test` (one untimed pass per
+//! benchmark) so the serving loop compiles and executes on every PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::{serving_failure_patterns, LEADER, SCALING_MODELS};
+use hidp_core::{
+    AdmissionPolicy, HidpStrategy, PlanCache, ServingScenario, SimScratch, SlaClass, TraceDetail,
+};
+use hidp_platform::presets;
+use hidp_workloads::{bursty_stream, InferenceRequest};
+
+fn bench_serving(c: &mut Criterion) {
+    const COUNT: usize = 400;
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let requests = InferenceRequest::to_serving(&bursty_stream(
+        &SCALING_MODELS,
+        8,
+        0.4,
+        COUNT,
+        &SlaClass::ALL,
+    ));
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+
+    // Degenerate mode: FIFO, batch = 1, unbounded window, static cluster —
+    // the serving loop's overhead over the static pipeline.
+    let degenerate = ServingScenario::new(requests.clone())
+        .with_label("degenerate")
+        .with_trace_detail(TraceDetail::Summary);
+    let cache = PlanCache::new();
+    let mut scratch = SimScratch::new();
+    group.bench_function(BenchmarkId::new("degenerate_warm", COUNT), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                degenerate
+                    .run_with_cache_in(&strategy, &cluster, LEADER, &cache, &mut scratch)
+                    .expect("serving run succeeds"),
+            );
+        })
+    });
+
+    // The full dynamic regime: priority admission, k = 8 batching, a
+    // 2-batch window and a rolling failure timeline.
+    let (_, rolling) = serving_failure_patterns().pop().expect("patterns exist");
+    let dynamic = ServingScenario::new(requests)
+        .with_label("dynamic")
+        .with_policy(AdmissionPolicy::Priority)
+        .with_max_batch(8)
+        .with_max_inflight(Some(2))
+        .with_timeline(rolling)
+        .with_trace_detail(TraceDetail::Summary);
+    let dynamic_cache = PlanCache::new();
+    let mut dynamic_scratch = SimScratch::new();
+    group.bench_function(BenchmarkId::new("dynamic_warm", COUNT), |b| {
+        b.iter(|| {
+            criterion::black_box(
+                dynamic
+                    .run_with_cache_in(
+                        &strategy,
+                        &cluster,
+                        LEADER,
+                        &dynamic_cache,
+                        &mut dynamic_scratch,
+                    )
+                    .expect("serving run succeeds"),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -14,6 +14,11 @@ fn main() {
         hidp_bench::dse_overhead(),
         hidp_bench::ablation(),
         hidp_bench::poisson_stress(&[0.5, 1.0, 2.0, 4.0], 48, 42),
+        {
+            let scenarios = hidp_bench::serving_scenarios(240);
+            let evaluations = hidp_bench::serving_evaluations(&scenarios, 0);
+            hidp_bench::serving_table(&hidp_bench::serving_points(&scenarios, &evaluations))
+        },
     ];
     for table in &tables {
         println!("{}", table.to_markdown());

@@ -1,8 +1,11 @@
 //! Poisson stress experiment: open-loop Poisson request streams over the
-//! four target DNNs, swept across arrival rates, reporting p50/p95/p99
-//! latency per strategy. Exercises the `poisson_stream` workload generator
-//! end to end; the rate sweep reuses plans through one `PlanCache` per
-//! strategy, so even the MCTS baseline plans each model only once.
+//! four target DNNs, swept across arrival rates, served through the
+//! `ServingScenario` runtime in its degenerate mode (FIFO, batch = 1 —
+//! bit-identical to the static pipeline). Latency percentiles come from the
+//! sim layer's `ServingMetrics` reporter: p50/p95/p99 overall **and per SLA
+//! class** (the stream cycles premium/standard/best-effort). The whole
+//! strategy × rate grid shares one sharded `PlanCache`, so even the MCTS
+//! baseline plans each model only once.
 //!
 //! Pass `--quick` for a reduced sweep.
 

@@ -1,0 +1,68 @@
+//! Serving-runtime experiment: the admission-policy × failure-pattern grid
+//! (FIFO / priority / EDF / FIFO+batching, each against a static cluster, a
+//! single-node blip and a rolling outage pair) over bursty Mix-5 traffic
+//! with SLA classes. Prints a markdown table and writes `BENCH_serving.json`
+//! to track throughput, tail latency, queueing delay and SLA-miss rate
+//! across PRs.
+//!
+//! Two invariants are asserted on every run (CI runs `--quick`):
+//!
+//! * **thread-count invariance** — the grid through
+//!   `ParallelSweep::run_serving` at 1, 2 and 4 worker threads produces
+//!   bit-identical `ServingEvaluation`s (the same guarantee
+//!   `exp_parallel_eval` enforces for the static sweep);
+//! * **batching wins** — on the transfer-heavy batching workload point
+//!   (Inception-V3 burst train, serial dispatch window) the k = 4 and k = 8
+//!   dynamic batcher serves measurably more requests per second than
+//!   batch = 1 (simulated time, so the comparison is deterministic).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let count = if quick { 64 } else { 240 };
+
+    let scenarios = hidp_bench::serving_scenarios(count);
+    let reference = hidp_bench::serving_evaluations(&scenarios, 1);
+    for threads in [2usize, 4] {
+        let evaluations = hidp_bench::serving_evaluations(&scenarios, threads);
+        assert!(
+            evaluations == reference,
+            "{threads} worker threads produced different serving evaluations than 1 thread"
+        );
+    }
+    println!("serving grid: bit-identical results at 1/2/4 worker threads");
+
+    let points = hidp_bench::serving_points(&scenarios, &reference);
+    println!("{}", hidp_bench::serving_table(&points).to_markdown());
+
+    let batching = hidp_bench::serving_batching_points(count);
+    println!(
+        "{}",
+        hidp_bench::serving_batching_table(&batching).to_markdown()
+    );
+    for p in &batching {
+        if p.max_batch >= 4 {
+            assert!(
+                p.speedup_vs_unbatched > 1.02,
+                "dynamic batching (k={}) must beat batch=1 measurably \
+                 (got {:.3}x)",
+                p.max_batch,
+                p.speedup_vs_unbatched
+            );
+        }
+    }
+    let best = batching.last().expect("batching points exist");
+    println!(
+        "dynamic batching (k={}): {:.2} req/s vs {:.2} req/s at batch=1 ({:.3}x)",
+        best.max_batch,
+        best.requests_per_second,
+        batching[0].requests_per_second,
+        best.speedup_vs_unbatched
+    );
+
+    let json = hidp_bench::serving_json(&points, &batching, count);
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -17,18 +17,21 @@ pub mod alloc_count;
 
 use hidp_baselines::paper_strategies;
 use hidp_core::{
-    chain_segments, workload_summary, DseAgent, DsePolicy, Evaluation, GlobalPartitioner,
-    HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, PlanKey, Scenario, SimScratch,
-    SweepJob, SystemModel, TraceDetail,
+    chain_segments, workload_summary, AdmissionPolicy, DseAgent, DsePolicy, Evaluation,
+    GlobalPartitioner, HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, PlanKey, Scenario,
+    ServingEvaluation, ServingScenario, ServingSweepJob, SimScratch, SlaClass, SweepJob,
+    SystemModel, TraceDetail,
 };
 use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
 use hidp_dnn::partition::partition_into_blocks;
 use hidp_dnn::zoo::{self, WorkloadModel};
-use hidp_platform::{presets, Cluster, NodeIndex, ProcessorAddr};
-use hidp_sim::stats::{percentile, performance_timeline};
+use hidp_platform::{presets, Cluster, ClusterTimeline, NodeIndex, ProcessorAddr};
+use hidp_sim::stats::performance_timeline;
 use hidp_sim::{simulate_stream, simulate_stream_in, simulate_stream_reference, ExecutionPlan};
 use hidp_tensor::Tensor;
-use hidp_workloads::{dynamic_scenario, mixes, poisson_stream, InferenceRequest};
+use hidp_workloads::{
+    bursty_stream, dynamic_scenario, mixes, poisson_stream_classed, InferenceRequest,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -925,39 +928,55 @@ pub fn warm_path_json(points: &[WarmPathPoint]) -> String {
 // ---------------------------------------------------------------------------
 
 /// Poisson stress experiment: for each arrival rate (requests/second) and
-/// each strategy, simulates an open-loop Poisson stream of `count` requests
-/// drawn uniformly from the four target DNNs and reports p50/p95/p99
-/// latency in milliseconds. The strategy × rate grid fans out on
-/// [`ParallelSweep`] against one shared sharded [`PlanCache`] — keys embed
-/// the strategy, so each planner still pays exactly four invocations for
-/// the whole sweep, now deduplicated even when two rates race to plan the
-/// same model.
+/// each strategy, serves an open-loop Poisson stream of `count` requests
+/// drawn uniformly from the four target DNNs — SLA classes cycling
+/// premium/standard/best-effort — through the **serving runtime** in its
+/// degenerate mode (FIFO, batch = 1, unbounded window, static cluster),
+/// which is bit-identical to the old static pipeline. Latency percentiles
+/// come from the sim layer's [`ServingMetrics`] reporter: overall
+/// p50/p95/p99 plus a per-SLA-class breakdown, all in milliseconds. The
+/// strategy × rate grid fans out on [`ParallelSweep`] against one shared
+/// sharded [`PlanCache`].
 pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable {
     let cluster = presets::paper_cluster();
     let strategies = paper_strategies();
+    let mut columns = vec![
+        "rate_per_s".to_string(),
+        "p50_ms".to_string(),
+        "p95_ms".to_string(),
+        "p99_ms".to_string(),
+    ];
+    for class in SlaClass::ALL {
+        for tail in ["p50", "p95", "p99"] {
+            columns.push(format!("{}_{}_ms", class.name(), tail));
+        }
+    }
     let mut table = ExperimentTable::new(
-        "Poisson stress: latency percentiles vs arrival rate",
+        "Poisson stress: latency percentiles vs arrival rate (per SLA class)",
         "ms",
-        vec![
-            "rate_per_s".to_string(),
-            "p50_ms".to_string(),
-            "p95_ms".to_string(),
-            "p99_ms".to_string(),
-        ],
+        columns,
     );
-    // Percentile latencies only — Summary detail.
-    let scenarios: Vec<Scenario> = rates
+    // Percentile latencies only — Summary detail; FIFO/batch=1/unbounded is
+    // the degenerate serving mode, so these numbers match the static
+    // pipeline's exactly.
+    let scenarios: Vec<ServingScenario> = rates
         .iter()
         .map(|&rate| {
-            InferenceRequest::to_scenario(&poisson_stream(&WorkloadModel::ALL, rate, count, seed))
-                .with_trace_detail(TraceDetail::Summary)
+            InferenceRequest::to_serving_scenario(&poisson_stream_classed(
+                &WorkloadModel::ALL,
+                rate,
+                count,
+                seed,
+                &SlaClass::ALL,
+            ))
+            .with_trace_detail(TraceDetail::Summary)
         })
         .collect();
     let (cluster_ref, scenarios_ref) = (&cluster, &scenarios);
-    let jobs: Vec<SweepJob<'_>> = strategies
+    let jobs: Vec<ServingSweepJob<'_>> = strategies
         .iter()
         .flat_map(|s| {
-            scenarios_ref.iter().map(move |scenario| SweepJob {
+            scenarios_ref.iter().map(move |scenario| ServingSweepJob {
                 scenario,
                 strategy: s.as_ref(),
                 cluster: cluster_ref,
@@ -965,22 +984,390 @@ pub fn poisson_stress(rates: &[f64], count: usize, seed: u64) -> ExperimentTable
             })
         })
         .collect();
-    let evaluations = sweep_evaluations(&jobs);
+    let cache = PlanCache::new();
+    let evaluations: Vec<ServingEvaluation> = sweep()
+        .run_serving(&jobs, &cache)
+        .into_iter()
+        .map(|r| r.expect("poisson evaluation succeeds"))
+        .collect();
     for (row, strategy) in strategies.iter().enumerate() {
         for (col, &rate) in rates.iter().enumerate() {
-            let latencies = &evaluations[row * rates.len() + col].latencies;
-            table.push_row(
-                format!("{} @ {rate}/s", strategy.name()),
-                vec![
-                    rate,
-                    percentile(latencies, 50.0).expect("non-empty") * 1e3,
-                    percentile(latencies, 95.0).expect("non-empty") * 1e3,
-                    percentile(latencies, 99.0).expect("non-empty") * 1e3,
-                ],
-            );
+            let serving = &evaluations[row * rates.len() + col].serving;
+            let mut values = vec![
+                rate,
+                serving.latency.p50 * 1e3,
+                serving.latency.p95 * 1e3,
+                serving.latency.p99 * 1e3,
+            ];
+            for class in SlaClass::ALL {
+                let tail = serving.class(class).expect("all classes in the cycle");
+                values.extend([
+                    tail.latency.p50 * 1e3,
+                    tail.latency.p95 * 1e3,
+                    tail.latency.p99 * 1e3,
+                ]);
+            }
+            table.push_row(format!("{} @ {rate}/s", strategy.name()), values);
         }
     }
     table
+}
+
+// ---------------------------------------------------------------------------
+// Serving runtime: admission policies × failure patterns × dynamic batching
+// ---------------------------------------------------------------------------
+
+/// The admission-policy variants the serving experiment compares:
+/// `(name, policy, max_batch)`. Three unbatched policies plus FIFO with the
+/// dynamic batcher coalescing up to 8 same-model requests per plan.
+pub fn serving_policies() -> Vec<(&'static str, AdmissionPolicy, usize)> {
+    vec![
+        ("fifo", AdmissionPolicy::Fifo, 1),
+        ("priority", AdmissionPolicy::Priority, 1),
+        ("edf", AdmissionPolicy::EarliestDeadline, 1),
+        ("fifo-batch8", AdmissionPolicy::Fifo, 8),
+    ]
+}
+
+/// The failure patterns the serving experiment replays (paper Eq. 4): a
+/// static cluster, one node blipping out and back, and a rolling pair of
+/// outages. The leader (node 1) never fails — requests keep arriving there.
+pub fn serving_failure_patterns() -> Vec<(&'static str, ClusterTimeline)> {
+    vec![
+        ("none", ClusterTimeline::new()),
+        (
+            "blip",
+            ClusterTimeline::new()
+                .node_down(2.0, NodeIndex(4))
+                .expect("static event times are valid")
+                .node_up(6.0, NodeIndex(4))
+                .expect("static event times are valid"),
+        ),
+        (
+            "rolling",
+            ClusterTimeline::new()
+                .node_down(1.0, NodeIndex(2))
+                .expect("static event times are valid")
+                .node_up(4.0, NodeIndex(2))
+                .expect("static event times are valid")
+                .node_down(5.0, NodeIndex(4))
+                .expect("static event times are valid")
+                .node_up(8.0, NodeIndex(4))
+                .expect("static event times are valid"),
+        ),
+    ]
+}
+
+/// Builds the serving experiment's scenario grid: for every policy ×
+/// failure-pattern cell, the same bursty workload (`count` requests in
+/// bursts of 8 — one model per burst cycling through [`SCALING_MODELS`],
+/// SLA classes cycling premium/standard/best-effort) served with an
+/// admission window of 2 in-flight batches. Returns
+/// `(policy_name, failure_name, scenario)` triples in grid order.
+pub fn serving_scenarios(count: usize) -> Vec<(String, String, ServingScenario)> {
+    let requests = InferenceRequest::to_serving(&bursty_stream(
+        &SCALING_MODELS,
+        8,
+        0.4,
+        count,
+        &SlaClass::ALL,
+    ));
+    serving_policies()
+        .into_iter()
+        .flat_map(|(policy_name, policy, max_batch)| {
+            let requests = requests.clone();
+            serving_failure_patterns()
+                .into_iter()
+                .map(move |(failure_name, timeline)| {
+                    let scenario = ServingScenario::new(requests.clone())
+                        .with_label(format!("{policy_name}/{failure_name}"))
+                        .with_policy(policy)
+                        .with_max_batch(max_batch)
+                        .with_max_inflight(Some(2))
+                        .with_timeline(timeline)
+                        .with_trace_detail(TraceDetail::Summary);
+                    (policy_name.to_string(), failure_name.to_string(), scenario)
+                })
+        })
+        .collect()
+}
+
+/// Runs a serving-scenario grid through [`ParallelSweep::run_serving`] at
+/// the given worker-thread count (0 = the host's available parallelism)
+/// against one shared sharded [`PlanCache`], in grid order. Results are
+/// bit-identical at every thread count (the `exp_serving` binary and CI
+/// assert this at 1/2/4 threads).
+pub fn serving_evaluations(
+    scenarios: &[(String, String, ServingScenario)],
+    threads: usize,
+) -> Vec<ServingEvaluation> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let jobs: Vec<ServingSweepJob<'_>> = scenarios
+        .iter()
+        .map(|(_, _, scenario)| ServingSweepJob {
+            scenario,
+            strategy: &strategy,
+            cluster: &cluster,
+            leader: LEADER,
+        })
+        .collect();
+    let cache = PlanCache::new();
+    let sweep = if threads == 0 {
+        ParallelSweep::with_available_parallelism()
+    } else {
+        ParallelSweep::new(threads)
+    };
+    sweep
+        .run_serving(&jobs, &cache)
+        .into_iter()
+        .map(|r| r.expect("serving evaluation succeeds"))
+        .collect()
+}
+
+/// One cell of the serving experiment grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingGridPoint {
+    /// Admission-policy variant name (see [`serving_policies`]).
+    pub policy: String,
+    /// Batching limit of the variant.
+    pub max_batch: usize,
+    /// Failure-pattern name (see [`serving_failure_patterns`]).
+    pub failure: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Admitted batches (`< requests` once the batcher coalesces).
+    pub batches: usize,
+    /// Timeline events applied during the run.
+    pub epochs: usize,
+    /// Completion time of the whole served stream, simulated seconds.
+    pub makespan_s: f64,
+    /// Served throughput: requests over the serving makespan.
+    pub requests_per_second: f64,
+    /// Median end-to-end latency (queueing included), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Mean queueing delay (admission − arrival), ms.
+    pub mean_queueing_ms: f64,
+    /// Fraction of requests that missed their class deadline.
+    pub sla_miss_rate: f64,
+    /// 99th-percentile latency of the premium class, ms.
+    pub premium_p99_ms: f64,
+}
+
+/// Distills grid evaluations into [`ServingGridPoint`]s (same order).
+pub fn serving_points(
+    scenarios: &[(String, String, ServingScenario)],
+    evaluations: &[ServingEvaluation],
+) -> Vec<ServingGridPoint> {
+    scenarios
+        .iter()
+        .zip(evaluations)
+        .map(|((policy, failure, scenario), evaluation)| {
+            let serving = &evaluation.serving;
+            let premium = serving
+                .class(SlaClass::Premium)
+                .expect("the workload cycles all classes");
+            ServingGridPoint {
+                policy: policy.clone(),
+                max_batch: scenario.config().max_batch,
+                failure: failure.clone(),
+                requests: serving.requests,
+                batches: evaluation.admissions.len(),
+                epochs: evaluation.epochs_applied,
+                makespan_s: evaluation.evaluation.makespan,
+                requests_per_second: evaluation.requests_per_second(),
+                p50_ms: serving.latency.p50 * 1e3,
+                p99_ms: serving.latency.p99 * 1e3,
+                mean_queueing_ms: serving.mean_queueing_delay * 1e3,
+                sla_miss_rate: serving.sla_miss_rate(),
+                premium_p99_ms: premium.latency.p99 * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Renders serving grid points as an [`ExperimentTable`].
+pub fn serving_table(points: &[ServingGridPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Serving runtime: admission policy x failure pattern (bursty Mix-5 traffic)",
+        "req/s / ms / rate",
+        vec![
+            "batches".to_string(),
+            "epochs".to_string(),
+            "makespan_s".to_string(),
+            "requests_per_s".to_string(),
+            "p50_ms".to_string(),
+            "p99_ms".to_string(),
+            "queueing_ms".to_string(),
+            "sla_miss_rate".to_string(),
+            "premium_p99_ms".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            format!("{} / {}", p.policy, p.failure),
+            vec![
+                p.batches as f64,
+                p.epochs as f64,
+                p.makespan_s,
+                p.requests_per_second,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_queueing_ms,
+                p.sla_miss_rate,
+                p.premium_p99_ms,
+            ],
+        );
+    }
+    table
+}
+
+/// One point of the dynamic-batching comparison: the same workload served
+/// with a different batching limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingBatchingPoint {
+    /// The batcher's coalescing limit (1 = no batching).
+    pub max_batch: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Admitted batches.
+    pub batches: usize,
+    /// Served throughput: requests over the serving makespan.
+    pub requests_per_second: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Throughput relative to the `max_batch == 1` point.
+    pub speedup_vs_unbatched: f64,
+}
+
+/// The dynamic-batching workload point: a saturating Inception-V3 burst
+/// train (bursts of 8, 0.3 s apart — Inception's HiDP plan crosses nodes
+/// eight times per inference, so every unbatched request pays eight
+/// 2 ms message latencies) under a **serial dispatch window**
+/// (`max_inflight = 1`), served with batching limits 1, 4 and 8. Coalescing
+/// k requests into one batched plan pays the per-message latency once per
+/// batch instead of once per request, so throughput rises and p99 falls
+/// with k — the amortization is the measurable batching win the serving
+/// layer exists for. (At wider windows on compute-bound mixes the linear
+/// analytical cost model leaves nothing to amortize; that regime is covered
+/// by the `fifo-batch8` grid rows.)
+pub fn serving_batching_points(count: usize) -> Vec<ServingBatchingPoint> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let requests = InferenceRequest::to_serving(&bursty_stream(
+        &[WorkloadModel::InceptionV3],
+        8,
+        0.3,
+        count,
+        &SlaClass::ALL,
+    ));
+    let cache = PlanCache::new();
+    let mut scratch = SimScratch::new();
+    let mut points = Vec::new();
+    let mut unbatched_rps = f64::NAN;
+    for max_batch in [1usize, 4, 8] {
+        let result = ServingScenario::new(requests.clone())
+            .with_label(format!("batching[k={max_batch}]"))
+            .with_max_batch(max_batch)
+            .with_max_inflight(Some(1))
+            .with_trace_detail(TraceDetail::Summary)
+            .run_with_cache_in(&strategy, &cluster, LEADER, &cache, &mut scratch)
+            .expect("batching evaluation succeeds");
+        let rps = result.requests_per_second();
+        if max_batch == 1 {
+            unbatched_rps = rps;
+        }
+        points.push(ServingBatchingPoint {
+            max_batch,
+            requests: result.serving.requests,
+            batches: result.admissions.len(),
+            requests_per_second: rps,
+            p99_ms: result.serving.latency.p99 * 1e3,
+            speedup_vs_unbatched: rps / unbatched_rps,
+        });
+    }
+    points
+}
+
+/// Renders batching points as an [`ExperimentTable`].
+pub fn serving_batching_table(points: &[ServingBatchingPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Dynamic batching: Inception-V3 burst train, serial dispatch window",
+        "req/s / ms / x",
+        vec![
+            "batches".to_string(),
+            "requests_per_s".to_string(),
+            "p99_ms".to_string(),
+            "speedup_x".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            format!("k={}", p.max_batch),
+            vec![
+                p.batches as f64,
+                p.requests_per_second,
+                p.p99_ms,
+                p.speedup_vs_unbatched,
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises the serving grid and the batching comparison as the
+/// `BENCH_serving.json` perf-trajectory document (hand-rolled like
+/// [`tables_to_json`]: the build environment has no serde_json).
+pub fn serving_json(
+    points: &[ServingGridPoint],
+    batching: &[ServingBatchingPoint],
+    count: usize,
+) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"serving\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"bursty Mix-5 traffic: {count} requests in bursts of 8 (one model per burst, 0.4 s apart), SLA classes cycling premium/standard/best_effort, HiDP planning, admission window 2\",\n"
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"max_batch\": {}, \"failure\": \"{}\", \"requests\": {}, \"batches\": {}, \"epochs\": {}, \"makespan_s\": {}, \"requests_per_second\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"mean_queueing_ms\": {}, \"sla_miss_rate\": {}, \"premium_p99_ms\": {}}}{}\n",
+            p.policy,
+            p.max_batch,
+            p.failure,
+            p.requests,
+            p.batches,
+            p.epochs,
+            p.makespan_s,
+            p.requests_per_second,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_queueing_ms,
+            p.sla_miss_rate,
+            p.premium_p99_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"batching_workload\": \"Inception-V3 burst train (bursts of 8, 0.3 s apart), serial dispatch window (max_inflight 1), FIFO\",\n",
+    );
+    out.push_str("  \"batching\": [\n");
+    for (i, p) in batching.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"max_batch\": {}, \"requests\": {}, \"batches\": {}, \"requests_per_second\": {}, \"p99_ms\": {}, \"speedup_vs_unbatched\": {}}}{}\n",
+            p.max_batch,
+            p.requests,
+            p.batches,
+            p.requests_per_second,
+            p.p99_ms,
+            p.speedup_vs_unbatched,
+            if i + 1 < batching.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,7 @@ mod plan_cache;
 pub mod runtime;
 mod scenario;
 pub mod scheduler;
+mod serving;
 mod strategy;
 mod system_model;
 
@@ -63,13 +64,18 @@ pub use global::{
     chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind,
 };
 pub use local::{LocalAssignment, LocalPartitioner, LocalPolicy, LocalSplit};
-pub use parallel::{ParallelSweep, SweepJob};
+pub use parallel::{ParallelSweep, ServingSweepJob, SweepJob};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey, SHARD_COUNT};
 pub use scenario::{Evaluation, Scenario};
+pub use serving::{
+    AdmissionPolicy, AdmittedBatch, ServingConfig, ServingEvaluation, ServingRequest,
+    ServingScenario,
+};
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};
-// Re-exported so pipeline callers can pick a trace detail or own a scratch
-// without depending on hidp-sim directly.
+// Re-exported so pipeline callers can pick a trace detail, own a scratch or
+// tag SLA classes without depending on hidp-sim directly.
+pub use hidp_sim::serving::{LatencySummary, ServingMetrics, SlaClass};
 pub use hidp_sim::{SimScratch, TraceDetail};
 
 /// Convenience alias for results produced by this crate.

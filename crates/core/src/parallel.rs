@@ -54,6 +54,7 @@
 
 use crate::plan_cache::PlanCache;
 use crate::scenario::{Evaluation, Scenario};
+use crate::serving::{ServingEvaluation, ServingScenario};
 use crate::strategy::DistributedStrategy;
 use crate::CoreError;
 use hidp_platform::{Cluster, NodeIndex};
@@ -195,6 +196,28 @@ impl ParallelSweep {
                 })
         })
     }
+
+    /// Runs every [`ServingSweepJob`] through
+    /// [`ServingScenario::run_with_cache_in`] against one shared (sharded)
+    /// `cache`, returning serving evaluations in job order — the serving
+    /// counterpart of [`ParallelSweep::run_scenarios`], with the same
+    /// guarantees: per-worker [`SimScratch`] reuse and results that are
+    /// **bit-identical at every thread count** (per-run cache-stat
+    /// attribution is stripped for the same reason as there).
+    pub fn run_serving(
+        &self,
+        jobs: &[ServingSweepJob<'_>],
+        cache: &PlanCache,
+    ) -> Vec<Result<ServingEvaluation, CoreError>> {
+        self.run_with_state(jobs, SimScratch::new, |scratch, _, job| {
+            job.scenario
+                .run_with_cache_in(job.strategy, job.cluster, job.leader, cache, scratch)
+                .map(|mut result| {
+                    result.evaluation.plan_cache = None;
+                    result
+                })
+        })
+    }
 }
 
 impl Default for ParallelSweep {
@@ -220,6 +243,30 @@ pub struct SweepJob<'a> {
 impl std::fmt::Debug for SweepJob<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SweepJob")
+            .field("scenario", &self.scenario.label())
+            .field("strategy", &self.strategy.name())
+            .field("leader", &self.leader)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One independent serving job of a sweep: which [`ServingScenario`] to run,
+/// with which strategy, on which cluster, arriving at which leader.
+#[derive(Clone, Copy)]
+pub struct ServingSweepJob<'a> {
+    /// The serving workload (requests + admission/batching/failure config).
+    pub scenario: &'a ServingScenario,
+    /// The strategy planning every admitted batch.
+    pub strategy: &'a dyn DistributedStrategy,
+    /// The cluster served (the job's timeline replays against a copy).
+    pub cluster: &'a Cluster,
+    /// The node requests arrive at.
+    pub leader: NodeIndex,
+}
+
+impl std::fmt::Debug for ServingSweepJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSweepJob")
             .field("scenario", &self.scenario.label())
             .field("strategy", &self.strategy.name())
             .field("leader", &self.leader)

@@ -293,8 +293,9 @@ impl Scenario {
 
     /// Wraps a finished simulation report into an [`Evaluation`] (energy
     /// accounting plus metric extraction) — the shared tail of every run
-    /// entry point.
-    fn evaluation_from(
+    /// entry point, including the serving runtime's
+    /// ([`crate::ServingScenario`]).
+    pub(crate) fn evaluation_from(
         strategy: impl Into<String>,
         scenario: impl Into<String>,
         report: SimReport,

@@ -1,0 +1,882 @@
+//! The online serving runtime: admission, dynamic batching, SLA classes and
+//! node-failure timelines interleaved with planning and simulation on one
+//! virtual clock.
+//!
+//! [`crate::Scenario`] evaluates a *frozen* regime: every request's plan is
+//! resolved up front against one cluster state, then the whole stream is
+//! simulated. [`ServingScenario`] models the paper's *dynamic* regime
+//! (§III, Eq. 4) instead: a virtual-time loop walks request arrivals, a
+//! [`ClusterTimeline`] of node failures/recoveries, and service completions;
+//! an [`AdmissionPolicy`] picks which queued request is served next; a
+//! batcher coalesces up to `max_batch` queued same-model requests into one
+//! batched plan; and every admission plans against the *current* epoch's
+//! cluster — the epoch's [`Cluster::fingerprint`] is part of the
+//! [`crate::PlanKey`], so a timeline flip automatically re-plans through the
+//! shared [`PlanCache`] instead of serving a stale plan.
+//!
+//! Admission control gates on **estimated** service times (the solo makespan
+//! of each admitted plan, memoized per plan key): with
+//! [`ServingConfig::max_inflight`] set, at most that many batches are in
+//! estimated flight at once, which is what makes queueing delay, priority
+//! ordering and batching meaningful. The reported metrics, however, come
+//! from one full contention-aware simulation of the admitted stream — the
+//! event engine releases every subgraph at its *admitted* time and measures
+//! latency from *arrival*, so queueing shows up in every percentile.
+//!
+//! # The degenerate mode
+//!
+//! A `ServingScenario` with the default config — FIFO admission,
+//! `max_batch == 1`, unbounded in-flight, empty timeline — admits every
+//! request at its own arrival instant and is **bit-identical** to
+//! [`crate::Scenario::run`] on the same **arrival-ordered** stream (pinned
+//! by `tests/serving_equivalence.rs`), so the whole static experiment grid
+//! is a special case of this loop. The ordering caveat exists because a
+//! serving loop necessarily processes arrivals in time order while the
+//! static pipeline preserves input order: on a stream whose requests are
+//! not sorted by arrival the two submit requests to the simulator in
+//! different orders, which relabels per-request outputs and can change
+//! exact-tie scheduling. Every generator in `hidp-workloads` produces
+//! arrival-ordered streams.
+
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::scenario::{Evaluation, Scenario};
+use crate::strategy::DistributedStrategy;
+use crate::{CoreError, PlanKey};
+use hidp_dnn::zoo::WorkloadModel;
+use hidp_dnn::DnnGraph;
+use hidp_platform::{Cluster, ClusterTimeline, NodeIndex};
+use hidp_sim::serving::{ServedRequestRecord, ServingMetrics, SlaClass};
+use hidp_sim::{
+    simulate_admitted_stream_in, simulate_stream_detailed, ExecutionPlan, SimScratch, TraceDetail,
+};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// One request entering the serving runtime: which model at which batch
+/// size, when it arrives, and the SLA class it is served under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingRequest {
+    /// The DNN model requested.
+    pub model: WorkloadModel,
+    /// Images per request (the batcher multiplies this when coalescing).
+    pub batch: usize,
+    /// Arrival time, seconds since scenario start.
+    pub arrival: f64,
+    /// The SLA class (priority + deadline).
+    pub sla: SlaClass,
+}
+
+impl ServingRequest {
+    /// A single-image [`SlaClass::Standard`] request arriving at `arrival`.
+    pub fn new(model: WorkloadModel, arrival: f64) -> Self {
+        Self {
+            model,
+            batch: 1,
+            arrival,
+            sla: SlaClass::Standard,
+        }
+    }
+
+    /// Sets the per-request batch size (builder style, clamped to ≥ 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the SLA class (builder style).
+    #[must_use]
+    pub fn with_sla(mut self, sla: SlaClass) -> Self {
+        self.sla = sla;
+        self
+    }
+}
+
+/// How the serving loop picks the next queued request to admit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// First in, first out (arrival order; ties by input order).
+    #[default]
+    Fifo,
+    /// Most urgent [`SlaClass`] first; FIFO among equals.
+    Priority,
+    /// Earliest absolute deadline (`arrival + class deadline`) first; FIFO
+    /// among equals.
+    EarliestDeadline,
+}
+
+impl AdmissionPolicy {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::Priority => "priority",
+            AdmissionPolicy::EarliestDeadline => "edf",
+        }
+    }
+}
+
+/// Configuration of the serving loop. The default is the degenerate mode:
+/// FIFO, no batching, unbounded in-flight, static cluster — exactly the
+/// regime [`crate::Scenario`] evaluates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Which queued request is admitted next.
+    pub policy: AdmissionPolicy,
+    /// Maximum same-`(model, batch)` requests coalesced into one batched
+    /// plan (1 = no batching).
+    pub max_batch: usize,
+    /// Maximum batches in estimated flight before admission stalls
+    /// (`None` = unbounded: every request is admitted at its arrival;
+    /// `Some(0)` is treated as `Some(1)` — a window that can never admit
+    /// would serve nothing).
+    pub max_inflight: Option<usize>,
+    /// Timed node failures/recoveries replayed while serving.
+    pub timeline: ClusterTimeline,
+}
+
+/// One admission the serving loop performed: when, under which epoch, and
+/// which requests (by input index) the batch served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmittedBatch {
+    /// Admission (release) time, seconds.
+    pub admitted: f64,
+    /// Cluster epoch the batch was planned under (number of timeline events
+    /// applied before planning).
+    pub epoch: usize,
+    /// Input indices of the requests the batch serves, arrival order.
+    pub members: Vec<usize>,
+}
+
+/// A serving workload: requests plus the [`ServingConfig`] governing
+/// admission, batching and the failure timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingScenario {
+    label: String,
+    requests: Vec<ServingRequest>,
+    config: ServingConfig,
+    trace: TraceDetail,
+}
+
+impl ServingScenario {
+    /// Wraps `requests` with the degenerate default config; labelled
+    /// `serving[n]`.
+    pub fn new(requests: Vec<ServingRequest>) -> Self {
+        let label = format!("serving[{}]", requests.len());
+        Self {
+            label,
+            requests,
+            config: ServingConfig {
+                max_batch: 1,
+                ..ServingConfig::default()
+            },
+            trace: TraceDetail::Full,
+        }
+    }
+
+    /// Replaces the report label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Replaces the whole config (builder style); `max_batch` is clamped to
+    /// at least 1.
+    #[must_use]
+    pub fn with_config(mut self, config: ServingConfig) -> Self {
+        self.config = config;
+        self.config.max_batch = self.config.max_batch.max(1);
+        self
+    }
+
+    /// Sets the admission policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the batching limit (builder style, clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the in-flight admission window (builder style).
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: Option<usize>) -> Self {
+        self.config.max_inflight = max_inflight;
+        self
+    }
+
+    /// Sets the failure timeline (builder style).
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: ClusterTimeline) -> Self {
+        self.config.timeline = timeline;
+        self
+    }
+
+    /// Sets how much of the execution trace simulation materialises
+    /// (builder style); serving aggregates are identical in both modes.
+    #[must_use]
+    pub fn with_trace_detail(mut self, trace: TraceDetail) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The requests, input order.
+    pub fn requests(&self) -> &[ServingRequest] {
+        &self.requests
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the scenario has no requests (such a scenario cannot run).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Runs the serving loop with a scenario-local [`PlanCache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario is empty, a request or timeline
+    /// event is invalid, or planning/simulation fails.
+    pub fn run(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<ServingEvaluation, CoreError> {
+        self.run_with_cache(strategy, cluster, leader, &PlanCache::new())
+    }
+
+    /// [`ServingScenario::run`] against a caller-owned [`PlanCache`], for
+    /// plan reuse across runs (batched plans and per-epoch replans share
+    /// the same `(strategy, graph, batch, leader, cluster-epoch)` keys the
+    /// static pipeline uses).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingScenario::run`].
+    pub fn run_with_cache(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<ServingEvaluation, CoreError> {
+        let mut scratch = SimScratch::new();
+        self.run_with_cache_in(strategy, cluster, leader, cache, &mut scratch)
+    }
+
+    /// [`ServingScenario::run_with_cache`] simulating into a caller-owned
+    /// [`SimScratch`] (what sweep workers use). Results are bit-identical
+    /// to the other entry points.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingScenario::run`].
+    pub fn run_with_cache_in(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+        scratch: &mut SimScratch,
+    ) -> Result<ServingEvaluation, CoreError> {
+        if self.requests.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!("serving scenario '{}' has no requests", self.label),
+            });
+        }
+        for (i, request) in self.requests.iter().enumerate() {
+            if !(request.arrival.is_finite() && request.arrival >= 0.0) {
+                return Err(CoreError::Infeasible {
+                    what: format!(
+                        "serving scenario '{}': request {i} has invalid arrival {}",
+                        self.label, request.arrival
+                    ),
+                });
+            }
+            if request.batch == 0 {
+                return Err(CoreError::Infeasible {
+                    what: format!("serving scenario '{}': request {i} has batch 0", self.label),
+                });
+            }
+        }
+        self.config.timeline.validate(cluster)?;
+
+        let admitted = self.admission_loop(strategy, cluster, leader, cache)?;
+        self.finish(strategy, cluster, admitted, scratch)
+    }
+
+    /// The virtual-clock loop: walks arrivals, timeline events and estimated
+    /// completions; admits batches per policy; plans each batch against the
+    /// current epoch's cluster through `cache`.
+    fn admission_loop(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+    ) -> Result<AdmissionOutcome, CoreError> {
+        let requests = &self.requests;
+        let n = requests.len();
+        // A window of zero could never admit anything (the loop below would
+        // wait on an in-flight completion that cannot exist); serving
+        // requires at least one slot, so Some(0) is clamped like max_batch.
+        let max_inflight = self.config.max_inflight.map(|w| w.max(1));
+        // Arrival processing order: by time, ties by input order (stable).
+        // Arrivals are normalised (+0.0) so a -0.0 arrival cannot jump a
+        // +0.0 one.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| (requests[a].arrival + 0.0).total_cmp(&(requests[b].arrival + 0.0)));
+
+        let mut epoch_cluster = cluster.clone();
+        let mut key = PlanKey::for_run(strategy, &epoch_cluster, leader);
+        let mut graphs: HashMap<(WorkloadModel, usize), Arc<DnnGraph>> = HashMap::new();
+        let mut solo_makespans: HashMap<(u64, usize, u64), f64> = HashMap::new();
+        let mut stats = PlanCacheStats::default();
+
+        let events = self.config.timeline.events();
+        let mut next_event = 0usize;
+        let mut epoch = 0usize;
+
+        let mut queue: Vec<usize> = Vec::new();
+        let mut inflight: BinaryHeap<Reverse<Departure>> = BinaryHeap::new();
+        let mut departure_seq = 0u64;
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        let mut stream: Vec<(f64, f64, Arc<ExecutionPlan>)> = Vec::new();
+        let mut batches: Vec<AdmittedBatch> = Vec::new();
+
+        loop {
+            // Admit everything the window allows at the current instant.
+            while !queue.is_empty() && max_inflight.is_none_or(|w| inflight.len() < w) {
+                let head_pos = self.config.policy_pick(requests, &queue);
+                let head = queue[head_pos];
+                let batch_key = (requests[head].model, requests[head].batch);
+                // Coalesce: the head plus queued same-(model, batch)
+                // requests in queue (arrival) order, up to max_batch.
+                let mut member_positions = vec![head_pos];
+                for (pos, &idx) in queue.iter().enumerate() {
+                    if member_positions.len() >= self.config.max_batch {
+                        break;
+                    }
+                    if pos != head_pos && (requests[idx].model, requests[idx].batch) == batch_key {
+                        member_positions.push(pos);
+                    }
+                }
+                member_positions.sort_unstable();
+                let members: Vec<usize> = member_positions.iter().map(|&pos| queue[pos]).collect();
+                for &pos in member_positions.iter().rev() {
+                    queue.remove(pos);
+                }
+
+                let combined = batch_key.1 * members.len();
+                let graph = graphs
+                    .entry((batch_key.0, combined))
+                    .or_insert_with(|| Arc::new(batch_key.0.graph(combined)));
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                let (plan, hit) =
+                    cache.plan_keyed(&key, strategy, graph, &epoch_cluster, leader)?;
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+
+                if self.config.max_inflight.is_some() {
+                    // Estimated service time: the plan's solo makespan on an
+                    // idle cluster, memoized per plan key.
+                    let memo = (key.graph_fingerprint, key.batch, key.cluster_fingerprint);
+                    let service = match solo_makespans.get(&memo) {
+                        Some(&s) => s,
+                        None => {
+                            let s = simulate_stream_detailed(
+                                &[(0.0, plan.as_ref())],
+                                cluster,
+                                TraceDetail::Summary,
+                            )?
+                            .makespan;
+                            solo_makespans.insert(memo, s);
+                            s
+                        }
+                    };
+                    inflight.push(Reverse(Departure {
+                        at: now + service,
+                        seq: departure_seq,
+                    }));
+                    departure_seq += 1;
+                }
+
+                // The batch's sim arrival is its earliest member's (members
+                // are in arrival order).
+                stream.push((requests[members[0]].arrival, now, Arc::clone(&plan)));
+                batches.push(AdmittedBatch {
+                    admitted: now,
+                    epoch,
+                    members,
+                });
+            }
+
+            if next_arrival >= n && queue.is_empty() {
+                break;
+            }
+
+            // Blocked: wait for the next arrival or (when the window is
+            // full) the next estimated completion, whichever comes first.
+            let mut t = f64::INFINITY;
+            if next_arrival < n {
+                t = requests[order[next_arrival]].arrival + 0.0;
+            }
+            if !queue.is_empty() {
+                let Reverse(soonest) = inflight
+                    .peek()
+                    .expect("a full admission window implies in-flight batches");
+                t = t.min(soonest.at);
+            }
+            // Replay timeline events due by then: each flip starts a new
+            // epoch whose cluster fingerprint re-keys all later planning.
+            while next_event < events.len() && events[next_event].time <= t {
+                let event = &events[next_event];
+                epoch_cluster.set_available(event.node, event.up)?;
+                key.cluster_fingerprint = epoch_cluster.fingerprint();
+                epoch += 1;
+                next_event += 1;
+            }
+            if t > now {
+                now = t;
+            }
+            while let Some(Reverse(soonest)) = inflight.peek() {
+                if soonest.at <= now {
+                    inflight.pop();
+                } else {
+                    break;
+                }
+            }
+            while next_arrival < n && requests[order[next_arrival]].arrival + 0.0 <= now {
+                queue.push(order[next_arrival]);
+                next_arrival += 1;
+            }
+        }
+
+        Ok(AdmissionOutcome {
+            stream,
+            batches,
+            stats,
+            epochs_applied: epoch,
+        })
+    }
+
+    /// Simulates the admitted stream and assembles the evaluation: one
+    /// contention-aware pass of the event engine (subgraphs released at
+    /// admitted times), per-request latency/queueing attribution, SLA
+    /// aggregates and energy accounting.
+    fn finish(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        outcome: AdmissionOutcome,
+        scratch: &mut SimScratch,
+    ) -> Result<ServingEvaluation, CoreError> {
+        let AdmissionOutcome {
+            stream,
+            batches,
+            stats,
+            epochs_applied,
+        } = outcome;
+        let report = simulate_admitted_stream_in(scratch, &stream, cluster, self.trace)?.clone();
+
+        let n = self.requests.len();
+        let mut records = vec![
+            ServedRequestRecord {
+                arrival: 0.0,
+                admitted: 0.0,
+                completion: 0.0,
+                sla: SlaClass::Standard,
+            };
+            n
+        ];
+        let mut latencies = vec![0.0f64; n];
+        for (b, batch) in batches.iter().enumerate() {
+            let completion = report.request_completion[b];
+            for &i in &batch.members {
+                let request = &self.requests[i];
+                records[i] = ServedRequestRecord {
+                    arrival: request.arrival,
+                    admitted: batch.admitted,
+                    completion,
+                    sla: request.sla,
+                };
+                latencies[i] = completion - request.arrival;
+            }
+        }
+        let serving = ServingMetrics::from_records(&records).expect("scenario is non-empty");
+
+        let mut evaluation =
+            Scenario::evaluation_from(strategy.name(), &self.label, report, cluster)?;
+        // Per *request* (input order), not per batch — a batched request's
+        // latency runs from its own arrival to its batch's completion.
+        evaluation.latencies = latencies;
+        evaluation.plan_cache = Some(stats);
+        Ok(ServingEvaluation {
+            evaluation,
+            serving,
+            records,
+            admissions: batches,
+            epochs_applied,
+        })
+    }
+}
+
+impl ServingConfig {
+    /// The queue position the configured policy admits next (queue is in
+    /// arrival order, so FIFO is position 0 and every tie breaks toward the
+    /// earlier position).
+    fn policy_pick(&self, requests: &[ServingRequest], queue: &[usize]) -> usize {
+        match self.policy {
+            AdmissionPolicy::Fifo => 0,
+            AdmissionPolicy::Priority => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &idx)| requests[idx].sla.priority())
+                .map(|(pos, _)| pos)
+                .expect("queue is non-empty"),
+            AdmissionPolicy::EarliestDeadline => queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    let da = requests[a].arrival + requests[a].sla.deadline_seconds();
+                    let db = requests[b].arrival + requests[b].sla.deadline_seconds();
+                    da.total_cmp(&db)
+                })
+                .map(|(pos, _)| pos)
+                .expect("queue is non-empty"),
+        }
+    }
+}
+
+/// An estimated batch completion in the admission window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Departure {
+    at: f64,
+    seq: u64,
+}
+
+impl Eq for Departure {}
+
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.total_cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// What the admission loop hands to the simulation half.
+struct AdmissionOutcome {
+    stream: Vec<(f64, f64, Arc<ExecutionPlan>)>,
+    batches: Vec<AdmittedBatch>,
+    stats: PlanCacheStats,
+    epochs_applied: usize,
+}
+
+/// The result of one served scenario: the familiar [`Evaluation`] (latencies
+/// are per *request* in input order; the report is per admitted *batch*)
+/// plus serving-quality metrics and the admission log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingEvaluation {
+    /// Strategy/label/latency/energy metrics, shaped exactly like the static
+    /// pipeline's output (bit-identical to it in the degenerate mode).
+    pub evaluation: Evaluation,
+    /// SLA-class latency tails, queueing delay and deadline accounting.
+    pub serving: ServingMetrics,
+    /// Per-request served life cycle (arrival → admitted → completed), input
+    /// order.
+    pub records: Vec<ServedRequestRecord>,
+    /// The admission log: one entry per batch, in admission order.
+    pub admissions: Vec<AdmittedBatch>,
+    /// Timeline events applied during the run (the final epoch number).
+    pub epochs_applied: usize,
+}
+
+impl ServingEvaluation {
+    /// Completed requests per second of simulated time (count over the
+    /// serving makespan).
+    pub fn requests_per_second(&self) -> f64 {
+        if self.evaluation.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.evaluation.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HidpStrategy;
+    use hidp_platform::presets;
+
+    fn burst(model: WorkloadModel, at: f64, count: usize, sla: SlaClass) -> Vec<ServingRequest> {
+        (0..count)
+            .map(|_| ServingRequest::new(model, at).with_sla(sla))
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_fifo_admits_every_request_at_arrival() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests: Vec<ServingRequest> = (0..6)
+            .map(|i| ServingRequest::new(WorkloadModel::EfficientNetB0, i as f64 * 0.1))
+            .collect();
+        let result = ServingScenario::new(requests.clone())
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(result.admissions.len(), 6, "no batching by default");
+        for (batch, request) in result.admissions.iter().zip(&requests) {
+            assert_eq!(batch.admitted, request.arrival);
+            assert_eq!(batch.epoch, 0);
+        }
+        assert_eq!(result.serving.max_queueing_delay, 0.0);
+        assert_eq!(result.epochs_applied, 0);
+        assert_eq!(result.evaluation.latencies.len(), 6);
+        assert!(result.requests_per_second() > 0.0);
+    }
+
+    #[test]
+    fn batcher_coalesces_same_model_requests() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // A burst of 4 identical requests plus one different model.
+        let mut requests = burst(WorkloadModel::EfficientNetB0, 0.0, 4, SlaClass::Standard);
+        requests.push(ServingRequest::new(WorkloadModel::InceptionV3, 0.0));
+        let result = ServingScenario::new(requests)
+            .with_max_batch(4)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        // One batch of 4 + one singleton (different model cannot coalesce).
+        assert_eq!(result.admissions.len(), 2);
+        assert_eq!(result.admissions[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(result.admissions[1].members, vec![4]);
+        // Every member shares its batch's completion.
+        let c = result.records[0].completion;
+        for r in &result.records[..4] {
+            assert_eq!(r.completion, c);
+        }
+        // The batched plan was planned once for batch 4.
+        let stats = result.evaluation.plan_cache.unwrap();
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn bounded_window_queues_and_fifo_preserves_arrival_order() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests = burst(WorkloadModel::EfficientNetB0, 0.0, 4, SlaClass::Standard);
+        let result = ServingScenario::new(requests)
+            .with_max_inflight(Some(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(result.admissions.len(), 4);
+        // Later admissions queue behind the estimated service of earlier
+        // ones.
+        let admitted: Vec<f64> = result.admissions.iter().map(|b| b.admitted).collect();
+        for pair in admitted.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        assert!(result.serving.max_queueing_delay > 0.0);
+        assert!(result.serving.mean_queueing_delay > 0.0);
+        // FIFO: members in arrival (input) order.
+        let served: Vec<usize> = result
+            .admissions
+            .iter()
+            .flat_map(|b| b.members.clone())
+            .collect();
+        assert_eq!(served, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn priority_admits_premium_before_best_effort() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // Best-effort requests arrive first, a premium one right behind.
+        let mut requests = burst(WorkloadModel::Vgg19, 0.0, 3, SlaClass::BestEffort);
+        requests.push(ServingRequest::new(WorkloadModel::Vgg19, 0.0).with_sla(SlaClass::Premium));
+        let fifo = ServingScenario::new(requests.clone())
+            .with_max_inflight(Some(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let priority = ServingScenario::new(requests)
+            .with_policy(AdmissionPolicy::Priority)
+            .with_max_inflight(Some(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        // Under FIFO the premium request (index 3) is served last; under
+        // priority it is served first among the queued.
+        assert_eq!(fifo.admissions.last().unwrap().members, vec![3]);
+        assert_eq!(priority.admissions[0].members, vec![3]);
+        let fifo_premium = fifo.serving.class(SlaClass::Premium).unwrap();
+        let prio_premium = priority.serving.class(SlaClass::Premium).unwrap();
+        assert!(prio_premium.latency.p99 < fifo_premium.latency.p99);
+    }
+
+    #[test]
+    fn earliest_deadline_orders_by_absolute_deadline() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // A best-effort request from long ago has an earlier absolute
+        // deadline than a premium request arriving now.
+        let requests = vec![
+            ServingRequest::new(WorkloadModel::InceptionV3, 0.0).with_sla(SlaClass::BestEffort),
+            ServingRequest::new(WorkloadModel::InceptionV3, 3.9).with_sla(SlaClass::Premium),
+            ServingRequest::new(WorkloadModel::InceptionV3, 3.9).with_sla(SlaClass::BestEffort),
+        ];
+        // Block admission until all three are queued.
+        let mut blocker = vec![ServingRequest::new(WorkloadModel::Vgg19, 0.0)];
+        blocker.extend(requests);
+        let result = ServingScenario::new(blocker)
+            .with_policy(AdmissionPolicy::EarliestDeadline)
+            .with_max_inflight(Some(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        // Deadlines: req1 at 4.0, req2 at 4.15, req3 at 7.9 — admitted in
+        // that order once the blocker clears.
+        let order: Vec<usize> = result
+            .admissions
+            .iter()
+            .skip(1)
+            .flat_map(|b| b.members.clone())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn timeline_flip_replans_under_the_new_epoch() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // Same model before and after a failure at t = 0.5: the second
+        // request must re-plan (new epoch fingerprint), so the cache records
+        // two misses for one distinct model.
+        let requests = vec![
+            ServingRequest::new(WorkloadModel::ResNet152, 0.0),
+            ServingRequest::new(WorkloadModel::ResNet152, 1.0),
+        ];
+        let timeline = ClusterTimeline::new().node_down(0.5, NodeIndex(4)).unwrap();
+        let result = ServingScenario::new(requests)
+            .with_timeline(timeline)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(result.epochs_applied, 1);
+        assert_eq!(result.admissions[0].epoch, 0);
+        assert_eq!(result.admissions[1].epoch, 1);
+        let stats = result.evaluation.plan_cache.unwrap();
+        assert_eq!(stats.misses, 2, "one plan per epoch");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn unknown_timeline_node_and_empty_scenario_are_rejected() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        assert!(ServingScenario::new(vec![])
+            .run(&strategy, &cluster, NodeIndex(0))
+            .is_err());
+        let bad_timeline = ClusterTimeline::new().node_down(1.0, NodeIndex(9)).unwrap();
+        let scenario = ServingScenario::new(vec![ServingRequest::new(WorkloadModel::Vgg19, 0.0)])
+            .with_timeline(bad_timeline);
+        assert!(scenario.run(&strategy, &cluster, NodeIndex(0)).is_err());
+        let nan = ServingScenario::new(vec![ServingRequest::new(WorkloadModel::Vgg19, f64::NAN)]);
+        assert!(nan.run(&strategy, &cluster, NodeIndex(0)).is_err());
+    }
+
+    #[test]
+    fn zero_inflight_window_is_clamped_to_one() {
+        // Some(0) could never admit; it must behave exactly like Some(1)
+        // instead of deadlocking or panicking.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests = burst(WorkloadModel::EfficientNetB0, 0.0, 3, SlaClass::Standard);
+        let zero = ServingScenario::new(requests.clone())
+            .with_max_inflight(Some(0))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let one = ServingScenario::new(requests)
+            .with_max_inflight(Some(1))
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(zero, one);
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_served_in_time_order() {
+        // The serving loop processes arrivals in time order even when the
+        // input is not sorted (the static pipeline preserves input order —
+        // see the module docs for why the degenerate equivalence is scoped
+        // to arrival-ordered streams).
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests = vec![
+            ServingRequest::new(WorkloadModel::EfficientNetB0, 1.0),
+            ServingRequest::new(WorkloadModel::InceptionV3, 0.0),
+        ];
+        let result = ServingScenario::new(requests)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        // Request 1 (arriving first) is admitted first; latencies are still
+        // reported in input order.
+        assert_eq!(result.admissions[0].members, vec![1]);
+        assert_eq!(result.admissions[1].members, vec![0]);
+        assert_eq!(result.records[0].arrival, 1.0);
+        assert_eq!(result.records[1].arrival, 0.0);
+        assert!(result.evaluation.latencies.iter().all(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn builders_clamp_and_label() {
+        let scenario = ServingScenario::new(vec![ServingRequest::new(WorkloadModel::Vgg19, 0.0)])
+            .with_label("svc")
+            .with_max_batch(0)
+            .with_config(ServingConfig {
+                max_batch: 0,
+                ..ServingConfig::default()
+            });
+        assert_eq!(scenario.label(), "svc");
+        assert_eq!(scenario.config().max_batch, 1);
+        assert_eq!(scenario.len(), 1);
+        assert!(!scenario.is_empty());
+        assert_eq!(
+            ServingRequest::new(WorkloadModel::Vgg19, 0.0)
+                .with_batch(0)
+                .batch,
+            1
+        );
+        assert_eq!(AdmissionPolicy::Fifo.name(), "fifo");
+        assert_eq!(AdmissionPolicy::EarliestDeadline.name(), "edf");
+    }
+}

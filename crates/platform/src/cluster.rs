@@ -113,6 +113,25 @@ impl Cluster {
         Ok(())
     }
 
+    /// Marks a node as failed (paper Eq. 4) — convenience wrapper around
+    /// [`Cluster::set_available`] for failure-scenario code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] for out-of-range indices.
+    pub fn fail_node(&mut self, index: NodeIndex) -> Result<(), PlatformError> {
+        self.set_available(index, false)
+    }
+
+    /// Marks a previously failed node as available again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] for out-of-range indices.
+    pub fn recover_node(&mut self, index: NodeIndex) -> Result<(), PlatformError> {
+        self.set_available(index, true)
+    }
+
     /// The availability vector `A(N_ϕ)`.
     pub fn availability(&self) -> &[bool] {
         &self.available
@@ -265,6 +284,45 @@ mod tests {
         assert!(!cluster.is_available(NodeIndex(3)));
         assert!(cluster.set_available(NodeIndex(10), false).is_err());
         assert!(!cluster.is_available(NodeIndex(10)));
+    }
+
+    #[test]
+    fn fail_and_recover_round_trip_the_fingerprint() {
+        let mut cluster = presets::paper_cluster();
+        let pristine = cluster.fingerprint();
+        // A toggle sequence: every intermediate state has a distinct
+        // fingerprint, and returning to full availability restores the
+        // original identity exactly.
+        let mut seen = vec![pristine];
+        cluster.fail_node(NodeIndex(1)).unwrap();
+        seen.push(cluster.fingerprint());
+        cluster.fail_node(NodeIndex(3)).unwrap();
+        seen.push(cluster.fingerprint());
+        cluster.recover_node(NodeIndex(1)).unwrap();
+        seen.push(cluster.fingerprint());
+        for (i, a) in seen.iter().enumerate() {
+            for b in seen.iter().skip(i + 1) {
+                assert_ne!(a, b, "every availability state has its own identity");
+            }
+        }
+        assert!(!cluster.is_available(NodeIndex(3)));
+        cluster.recover_node(NodeIndex(3)).unwrap();
+        assert_eq!(cluster.fingerprint(), pristine);
+        assert_eq!(cluster.available_nodes().len(), 5);
+        // Re-failing an already failed node is idempotent.
+        cluster.fail_node(NodeIndex(2)).unwrap();
+        let failed_once = cluster.fingerprint();
+        cluster.fail_node(NodeIndex(2)).unwrap();
+        assert_eq!(cluster.fingerprint(), failed_once);
+    }
+
+    #[test]
+    fn fail_and_recover_reject_unknown_nodes() {
+        let mut cluster = presets::paper_cluster();
+        assert!(cluster.fail_node(NodeIndex(99)).is_err());
+        assert!(cluster.recover_node(NodeIndex(99)).is_err());
+        // Errors leave the availability vector untouched.
+        assert_eq!(cluster.available_nodes().len(), 5);
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod node;
 pub mod power;
 pub mod presets;
 mod processor;
+mod timeline;
 
 pub use cluster::Cluster;
 pub use error::PlatformError;
@@ -36,6 +37,7 @@ pub use network::{Link, NetworkModel};
 pub use node::{EdgeNode, NodeIndex, ProcessorAddr, ProcessorIndex};
 pub use power::EnergyMeter;
 pub use processor::{Processor, ProcessorKind};
+pub use timeline::{AvailabilityEvent, ClusterTimeline};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -1,0 +1,209 @@
+//! Timed cluster-availability events: the paper's Eq. 4 node failures as a
+//! first-class scenario input.
+//!
+//! A [`ClusterTimeline`] is an ordered list of `(time, node, up/down)`
+//! events. The serving loop replays it against a working [`Cluster`] copy as
+//! virtual time advances: every applied event starts a new **epoch** whose
+//! [`Cluster::fingerprint`] differs from the previous one (availability is
+//! part of the fingerprint), so plan-cache keys built per epoch never serve
+//! a plan computed for a different availability vector.
+
+use crate::cluster::Cluster;
+use crate::node::NodeIndex;
+use crate::PlatformError;
+use serde::{Deserialize, Serialize};
+
+/// One timed availability flip (paper Eq. 4): at `time` seconds of virtual
+/// time, `node` goes up or down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityEvent {
+    /// Virtual time of the flip, seconds since scenario start.
+    pub time: f64,
+    /// The node whose availability changes.
+    pub node: NodeIndex,
+    /// `true` = the node (re)joins the cluster, `false` = it fails.
+    pub up: bool,
+}
+
+/// A time-ordered sequence of availability events.
+///
+/// Events are kept sorted by time; events pushed with equal times keep their
+/// insertion order, so replaying the timeline is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTimeline {
+    events: Vec<AvailabilityEvent>,
+}
+
+impl ClusterTimeline {
+    /// An empty timeline (the static-cluster degenerate case).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event, keeping the list sorted by time (insertion order among
+    /// equal times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when `time` is not finite
+    /// and non-negative.
+    pub fn push_event(
+        &mut self,
+        time: f64,
+        node: NodeIndex,
+        up: bool,
+    ) -> Result<(), PlatformError> {
+        if !(time.is_finite() && time >= 0.0) {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "availability event time must be finite and non-negative, got {time}"
+                ),
+            });
+        }
+        let event = AvailabilityEvent { time, node, up };
+        let at = self.events.partition_point(|e| e.time <= time);
+        self.events.insert(at, event);
+        Ok(())
+    }
+
+    /// Builder-style [`ClusterTimeline::push_event`] for a node failure.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterTimeline::push_event`].
+    pub fn node_down(mut self, time: f64, node: NodeIndex) -> Result<Self, PlatformError> {
+        self.push_event(time, node, false)?;
+        Ok(self)
+    }
+
+    /// Builder-style [`ClusterTimeline::push_event`] for a node recovery.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterTimeline::push_event`].
+    pub fn node_up(mut self, time: f64, node: NodeIndex) -> Result<Self, PlatformError> {
+        self.push_event(time, node, true)?;
+        Ok(self)
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[AvailabilityEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks that every event references a node of `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] for the first out-of-range
+    /// event.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), PlatformError> {
+        for event in &self.events {
+            cluster.node(event.node)?;
+        }
+        Ok(())
+    }
+
+    /// The cluster fingerprint of every epoch the timeline induces on
+    /// `cluster`: entry 0 is the untouched cluster, entry `i` the fingerprint
+    /// after the first `i` events have been applied. `cluster` itself is not
+    /// modified. Useful for asserting that plan-cache keys change exactly at
+    /// epoch boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownNode`] when an event references an
+    /// unknown node.
+    pub fn epoch_fingerprints(&self, cluster: &Cluster) -> Result<Vec<u64>, PlatformError> {
+        let mut working = cluster.clone();
+        let mut fingerprints = Vec::with_capacity(self.events.len() + 1);
+        fingerprints.push(working.fingerprint());
+        for event in &self.events {
+            working.set_available(event.node, event.up)?;
+            fingerprints.push(working.fingerprint());
+        }
+        Ok(fingerprints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn events_stay_sorted_with_stable_ties() {
+        let timeline = ClusterTimeline::new()
+            .node_down(5.0, NodeIndex(1))
+            .unwrap()
+            .node_down(1.0, NodeIndex(2))
+            .unwrap()
+            .node_up(5.0, NodeIndex(3))
+            .unwrap();
+        let times: Vec<f64> = timeline.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 5.0, 5.0]);
+        // Equal-time events keep insertion order: node 1's flip first.
+        assert_eq!(timeline.events()[1].node, NodeIndex(1));
+        assert_eq!(timeline.events()[2].node, NodeIndex(3));
+        assert_eq!(timeline.len(), 3);
+        assert!(!timeline.is_empty());
+        assert!(ClusterTimeline::new().is_empty());
+    }
+
+    #[test]
+    fn invalid_times_are_rejected() {
+        assert!(ClusterTimeline::new()
+            .node_down(f64::NAN, NodeIndex(0))
+            .is_err());
+        assert!(ClusterTimeline::new()
+            .node_down(-1.0, NodeIndex(0))
+            .is_err());
+        assert!(ClusterTimeline::new()
+            .node_down(f64::INFINITY, NodeIndex(0))
+            .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_nodes() {
+        let cluster = presets::paper_cluster();
+        let good = ClusterTimeline::new().node_down(1.0, NodeIndex(4)).unwrap();
+        assert!(good.validate(&cluster).is_ok());
+        let bad = ClusterTimeline::new().node_down(1.0, NodeIndex(9)).unwrap();
+        assert!(bad.validate(&cluster).is_err());
+    }
+
+    #[test]
+    fn epoch_fingerprints_change_per_event_and_round_trip() {
+        let cluster = presets::paper_cluster();
+        let timeline = ClusterTimeline::new()
+            .node_down(1.0, NodeIndex(2))
+            .unwrap()
+            .node_down(2.0, NodeIndex(4))
+            .unwrap()
+            .node_up(3.0, NodeIndex(2))
+            .unwrap()
+            .node_up(4.0, NodeIndex(4))
+            .unwrap();
+        let fps = timeline.epoch_fingerprints(&cluster).unwrap();
+        assert_eq!(fps.len(), 5);
+        // Every epoch boundary changes the fingerprint...
+        for pair in fps.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+        // ...and full recovery restores the original identity.
+        assert_eq!(fps[0], fps[4]);
+        assert_eq!(fps[0], cluster.fingerprint());
+        // The probe did not mutate the input cluster.
+        assert_eq!(cluster.availability(), &[true; 5]);
+    }
+}

@@ -162,6 +162,52 @@ pub(crate) fn link_key(a: NodeIndex, b: NodeIndex) -> Resource {
     }
 }
 
+/// One entry of a simulated request stream: the arrival time used for
+/// latency accounting, the release (admission) time gating when the
+/// request's subgraph may start, and the plan.
+///
+/// Plain `(arrival, plan)` streams release at arrival — the historical
+/// behaviour. The serving runtime's admitted streams
+/// (`(arrival, admitted, plan)`) release later: queueing delay then shows up
+/// as `completion - arrival` growing while the schedule itself only sees the
+/// admitted time.
+pub(crate) trait StreamEntry {
+    /// Arrival time, seconds (latency is measured from here).
+    fn arrival(&self) -> f64;
+    /// Release gate, seconds: no task of the request starts earlier.
+    fn release(&self) -> f64;
+    /// The plan serving the request.
+    fn plan(&self) -> &ExecutionPlan;
+}
+
+impl<P: Borrow<ExecutionPlan>> StreamEntry for (f64, P) {
+    fn arrival(&self) -> f64 {
+        self.0
+    }
+
+    fn release(&self) -> f64 {
+        self.0
+    }
+
+    fn plan(&self) -> &ExecutionPlan {
+        self.1.borrow()
+    }
+}
+
+impl<P: Borrow<ExecutionPlan>> StreamEntry for (f64, f64, P) {
+    fn arrival(&self) -> f64 {
+        self.0
+    }
+
+    fn release(&self) -> f64 {
+        self.1
+    }
+
+    fn plan(&self) -> &ExecutionPlan {
+        self.2.borrow()
+    }
+}
+
 /// One flattened task: the plain-data view of a plan task (derived duration,
 /// interned resource, accounting fields). Holds no borrow of the plans, so
 /// the flat array persists inside [`SimScratch`] across runs.
@@ -261,9 +307,9 @@ impl SimScratch {
 
     /// The engine proper: validates, flattens, simulates, and leaves the
     /// result in `self.report`.
-    fn run<P: Borrow<ExecutionPlan>>(
+    fn run<E: StreamEntry>(
         &mut self,
-        requests: &[(f64, P)],
+        requests: &[E],
         cluster: &Cluster,
         detail: TraceDetail,
     ) -> Result<(), SimError> {
@@ -274,20 +320,30 @@ impl SimScratch {
         }
 
         // --- Pre-pass: validate, intern resources, flatten tasks. ---------
-        let total: usize = requests.iter().map(|(_, p)| p.borrow().len()).sum();
+        let total: usize = requests.iter().map(|e| e.plan().len()).sum();
         self.reset(total, requests.len());
 
-        for (req_idx, (arrival, plan)) in requests.iter().enumerate() {
-            let plan = plan.borrow();
-            if !(arrival.is_finite() && *arrival >= 0.0) {
+        for (req_idx, entry) in requests.iter().enumerate() {
+            let plan = entry.plan();
+            let arrival = entry.arrival();
+            let release = entry.release();
+            if !(arrival.is_finite() && arrival >= 0.0) {
                 return Err(SimError::InvalidPlan {
                     what: format!("request {req_idx} has invalid arrival time {arrival}"),
+                });
+            }
+            if !(release.is_finite() && release >= arrival) {
+                return Err(SimError::InvalidPlan {
+                    what: format!(
+                        "request {req_idx} has invalid admitted time {release} \
+                         (arrival {arrival})"
+                    ),
                 });
             }
             // Normalise -0.0 to +0.0: total_cmp orders -0.0 before 0.0, which
             // would break the exact-tie submission-order guarantee for
             // requests arriving at (±)0.0.
-            let arrival = *arrival + 0.0;
+            let release = release + 0.0;
             plan.validate()?;
             self.request_base.push(self.tasks.len());
             for task in plan.tasks() {
@@ -331,7 +387,7 @@ impl SimScratch {
                     flops,
                     bytes,
                 });
-                self.ready_time.push(arrival);
+                self.ready_time.push(release);
                 self.indegree.push(task.deps.len() as u32);
             }
         }
@@ -343,9 +399,9 @@ impl SimScratch {
         let n = self.tasks.len();
         self.succ_offsets.clear();
         self.succ_offsets.resize(n + 1, 0);
-        for (req_idx, (_, plan)) in requests.iter().enumerate() {
+        for (req_idx, entry) in requests.iter().enumerate() {
             let base = self.request_base[req_idx];
-            for task in plan.borrow().tasks() {
+            for task in entry.plan().tasks() {
                 for dep in &task.deps {
                     self.succ_offsets[base + dep.0 + 1] += 1;
                 }
@@ -359,9 +415,9 @@ impl SimScratch {
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.succ_offsets[..n]);
         let mut flat = 0usize;
-        for (req_idx, (_, plan)) in requests.iter().enumerate() {
+        for (req_idx, entry) in requests.iter().enumerate() {
             let base = self.request_base[req_idx];
-            for task in plan.borrow().tasks() {
+            for task in entry.plan().tasks() {
                 for dep in &task.deps {
                     let d = base + dep.0;
                     self.succ[self.cursor[d]] = flat;
@@ -438,7 +494,7 @@ impl SimScratch {
             // the same order the reference engine produces.
             if detail == TraceDetail::Full {
                 let local = i - request_base[t.request];
-                let task = &requests[t.request].1.borrow().tasks()[local];
+                let task = &requests[t.request].plan().tasks()[local];
                 report.records.push(TaskRecord {
                     task: task.id,
                     request: t.request,
@@ -478,7 +534,7 @@ impl SimScratch {
             .fold(0.0, f64::max);
         report
             .request_arrival
-            .extend(requests.iter().map(|(a, _)| *a));
+            .extend(requests.iter().map(StreamEntry::arrival));
         Ok(())
     }
 }
@@ -540,6 +596,44 @@ pub fn simulate_stream_detailed<P: Borrow<ExecutionPlan>>(
 pub fn simulate_stream_in<'s, P: Borrow<ExecutionPlan>>(
     scratch: &'s mut SimScratch,
     requests: &[(f64, P)],
+    cluster: &Cluster,
+    detail: TraceDetail,
+) -> Result<&'s SimReport, SimError> {
+    scratch.run(requests, cluster, detail)?;
+    Ok(&scratch.report)
+}
+
+/// Simulates an **admitted** request stream: each entry is
+/// `(arrival, admitted, plan)`, and the request's subgraph is released at
+/// its admitted time while latency accounting still runs from arrival —
+/// `SimReport::latencies` then includes the queueing delay the admission
+/// layer imposed. With `admitted == arrival` for every entry this is
+/// bit-identical to [`simulate_stream_detailed`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_stream`], plus an error when any admitted
+/// time is non-finite or earlier than its arrival.
+pub fn simulate_admitted_stream<P: Borrow<ExecutionPlan>>(
+    requests: &[(f64, f64, P)],
+    cluster: &Cluster,
+    detail: TraceDetail,
+) -> Result<SimReport, SimError> {
+    let mut scratch = SimScratch::new();
+    scratch.run(requests, cluster, detail)?;
+    Ok(std::mem::take(&mut scratch.report))
+}
+
+/// [`simulate_admitted_stream`] against caller-owned working memory (see
+/// [`SimScratch`]); the report borrow is valid until the next run.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_admitted_stream`]. On error the scratch
+/// stays valid for further runs.
+pub fn simulate_admitted_stream_in<'s, P: Borrow<ExecutionPlan>>(
+    scratch: &'s mut SimScratch,
+    requests: &[(f64, f64, P)],
     cluster: &Cluster,
     detail: TraceDetail,
 ) -> Result<&'s SimReport, SimError> {
@@ -824,6 +918,57 @@ mod tests {
             simulate_stream(&[(0.0, plan.clone()), (-0.0, plan.clone())], &cluster).unwrap();
         assert_eq!(report.records[0].request, 0);
         assert_eq!(report.records[1].request, 1);
+    }
+
+    #[test]
+    fn admitted_stream_with_admitted_equal_arrival_is_bit_identical() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 900_000_000, 1.0, &[]);
+        plan.add_transfer("t", NodeIndex(0), NodeIndex(2), 4_000_000, &[a]);
+        let plain: Vec<(f64, ExecutionPlan)> =
+            (0..6).map(|i| (i as f64 * 0.03, plan.clone())).collect();
+        let gated: Vec<(f64, f64, ExecutionPlan)> =
+            plain.iter().map(|(t, p)| (*t, *t, p.clone())).collect();
+        for detail in [TraceDetail::Full, TraceDetail::Summary] {
+            let from_plain = simulate_stream_detailed(&plain, &cluster, detail).unwrap();
+            let from_gated = simulate_admitted_stream(&gated, &cluster, detail).unwrap();
+            assert_eq!(from_plain, from_gated);
+        }
+    }
+
+    #[test]
+    fn admitted_time_gates_the_start_and_latency_includes_queueing() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(0, 1), 1_000_000_000, 1.0, &[]);
+        let single = cluster
+            .processor(addr(0, 1))
+            .unwrap()
+            .compute_time(1_000_000_000, 1.0);
+        // Arrives at 0.1, admitted at 0.5: tasks start at 0.5, latency is
+        // measured from arrival.
+        let report =
+            simulate_admitted_stream(&[(0.1, 0.5, plan.clone())], &cluster, TraceDetail::Full)
+                .unwrap();
+        assert_eq!(report.records[0].start, 0.5);
+        assert!((report.latency(0).unwrap() - (0.4 + single)).abs() < 1e-12);
+        assert_eq!(report.request_arrival, vec![0.1]);
+    }
+
+    #[test]
+    fn admitted_before_arrival_is_rejected() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(0, 0), 1, 1.0, &[]);
+        assert!(
+            simulate_admitted_stream(&[(1.0, 0.5, plan.clone())], &cluster, TraceDetail::Full)
+                .is_err()
+        );
+        assert!(
+            simulate_admitted_stream(&[(1.0, f64::NAN, plan)], &cluster, TraceDetail::Full)
+                .is_err()
+        );
     }
 
     #[test]

@@ -32,15 +32,17 @@ mod engine;
 mod error;
 mod plan;
 pub mod reference;
+pub mod serving;
 pub mod stats;
 
 pub use engine::{
-    simulate, simulate_stream, simulate_stream_detailed, simulate_stream_in, SimReport, SimScratch,
-    TaskRecord, TraceDetail,
+    simulate, simulate_admitted_stream, simulate_admitted_stream_in, simulate_stream,
+    simulate_stream_detailed, simulate_stream_in, SimReport, SimScratch, TaskRecord, TraceDetail,
 };
 pub use error::SimError;
 pub use plan::{ExecutionPlan, Label, PlanTask, TaskId, TaskKind};
 pub use reference::simulate_stream_reference;
+pub use serving::{LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, SimError>;

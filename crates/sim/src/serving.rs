@@ -1,0 +1,316 @@
+//! Serving-quality accounting: SLA classes, per-request queueing metrics and
+//! latency-tail summaries.
+//!
+//! The serving runtime (hidp-core's `ServingScenario`) admits requests onto
+//! the cluster at times later than their arrival — batching, priority
+//! scheduling and capacity limits all introduce queueing. This module holds
+//! the vocabulary for reporting that regime: the [`SlaClass`] a request is
+//! served under (priority + latency deadline), one [`ServedRequestRecord`]
+//! per request (arrival → admitted → completed), and the aggregate
+//! [`ServingMetrics`] (p50/p95/p99 latency overall and per class, queueing
+//! delay, deadline hits/misses) every serving experiment reports.
+//!
+//! All aggregates are plain deterministic functions of the records, so any
+//! consumer — `TraceDetail::Summary` sweeps included — gets bit-identical
+//! numbers from the same served stream.
+
+use crate::stats::percentile;
+use serde::{Deserialize, Serialize};
+
+/// The service-level class of a request: a scheduling priority and a
+/// completion deadline (seconds from arrival).
+///
+/// Classes order from most to least urgent; [`SlaClass::priority`] is the
+/// numeric rank (lower = more urgent) admission policies sort by.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum SlaClass {
+    /// Interactive traffic: tightest deadline, served first under priority
+    /// admission.
+    Premium,
+    /// The default class for ordinary requests.
+    #[default]
+    Standard,
+    /// Throughput traffic (batch jobs, prefetches): loosest deadline.
+    BestEffort,
+}
+
+impl SlaClass {
+    /// All classes, most urgent first.
+    pub const ALL: [SlaClass; 3] = [SlaClass::Premium, SlaClass::Standard, SlaClass::BestEffort];
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SlaClass::Premium => "premium",
+            SlaClass::Standard => "standard",
+            SlaClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// Scheduling priority: lower is more urgent.
+    pub fn priority(&self) -> u8 {
+        match self {
+            SlaClass::Premium => 0,
+            SlaClass::Standard => 1,
+            SlaClass::BestEffort => 2,
+        }
+    }
+
+    /// The class deadline: a request meets its SLA when
+    /// `completion - arrival <= deadline_seconds()`.
+    pub fn deadline_seconds(&self) -> f64 {
+        match self {
+            SlaClass::Premium => 0.25,
+            SlaClass::Standard => 1.0,
+            SlaClass::BestEffort => 4.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SlaClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The served life cycle of one request: when it arrived, when the admission
+/// layer released it onto the cluster, when its (possibly batched) plan
+/// finished, and the SLA class it was served under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServedRequestRecord {
+    /// Arrival time, seconds since scenario start.
+    pub arrival: f64,
+    /// Admission time (`>= arrival`); the subgraph starts here, not at
+    /// arrival.
+    pub admitted: f64,
+    /// Completion time of the plan serving this request.
+    pub completion: f64,
+    /// The SLA class the request was served under.
+    pub sla: SlaClass,
+}
+
+impl ServedRequestRecord {
+    /// Time spent queueing before admission, seconds.
+    pub fn queueing_delay(&self) -> f64 {
+        self.admitted - self.arrival
+    }
+
+    /// End-to-end latency (completion − arrival, queueing included), seconds.
+    pub fn latency(&self) -> f64 {
+        self.completion - self.arrival
+    }
+
+    /// Whether the request met its class deadline.
+    pub fn deadline_met(&self) -> bool {
+        self.latency() <= self.sla.deadline_seconds()
+    }
+}
+
+/// Latency-tail summary of a set of requests, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of requests summarised.
+    pub count: usize,
+    /// Median latency.
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Mean latency.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a latency slice; `None` when it is empty.
+    pub fn of(latencies: &[f64]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: latencies.len(),
+            p50: percentile(latencies, 50.0).expect("non-empty"),
+            p95: percentile(latencies, 95.0).expect("non-empty"),
+            p99: percentile(latencies, 99.0).expect("non-empty"),
+            mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        })
+    }
+}
+
+/// Aggregates for one SLA class present in a served stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaClassReport {
+    /// The class.
+    pub class: SlaClass,
+    /// Latency tail of the class's requests.
+    pub latency: LatencySummary,
+    /// Mean queueing delay of the class's requests, seconds.
+    pub mean_queueing_delay: f64,
+    /// Requests of this class that missed their deadline.
+    pub deadline_misses: usize,
+}
+
+impl SlaClassReport {
+    /// Fraction of this class's requests that missed their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        self.deadline_misses as f64 / self.latency.count as f64
+    }
+}
+
+/// The serving-quality report of one served stream: overall latency tail,
+/// queueing delay, deadline accounting, and per-class breakdowns (classes
+/// absent from the stream are omitted; present classes appear in
+/// [`SlaClass::ALL`] order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Total requests served.
+    pub requests: usize,
+    /// Latency tail over all requests.
+    pub latency: LatencySummary,
+    /// Mean queueing delay over all requests, seconds.
+    pub mean_queueing_delay: f64,
+    /// Worst queueing delay, seconds.
+    pub max_queueing_delay: f64,
+    /// Requests that missed their class deadline.
+    pub deadline_misses: usize,
+    /// Per-class breakdowns, most urgent class first.
+    pub per_class: Vec<SlaClassReport>,
+}
+
+impl ServingMetrics {
+    /// Aggregates a set of served-request records; `None` when empty.
+    pub fn from_records(records: &[ServedRequestRecord]) -> Option<Self> {
+        if records.is_empty() {
+            return None;
+        }
+        let latencies: Vec<f64> = records.iter().map(ServedRequestRecord::latency).collect();
+        let queueing: Vec<f64> = records
+            .iter()
+            .map(ServedRequestRecord::queueing_delay)
+            .collect();
+        let per_class = SlaClass::ALL
+            .iter()
+            .filter_map(|&class| {
+                let class_latencies: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.sla == class)
+                    .map(ServedRequestRecord::latency)
+                    .collect();
+                let latency = LatencySummary::of(&class_latencies)?;
+                let class_records = records.iter().filter(|r| r.sla == class);
+                Some(SlaClassReport {
+                    class,
+                    latency,
+                    mean_queueing_delay: class_records
+                        .clone()
+                        .map(ServedRequestRecord::queueing_delay)
+                        .sum::<f64>()
+                        / class_latencies.len() as f64,
+                    deadline_misses: class_records.filter(|r| !r.deadline_met()).count(),
+                })
+            })
+            .collect();
+        Some(Self {
+            requests: records.len(),
+            latency: LatencySummary::of(&latencies).expect("non-empty"),
+            mean_queueing_delay: queueing.iter().sum::<f64>() / queueing.len() as f64,
+            max_queueing_delay: queueing.iter().copied().fold(0.0, f64::max),
+            deadline_misses: records.iter().filter(|r| !r.deadline_met()).count(),
+            per_class,
+        })
+    }
+
+    /// Fraction of all requests that missed their deadline.
+    pub fn sla_miss_rate(&self) -> f64 {
+        self.deadline_misses as f64 / self.requests as f64
+    }
+
+    /// The report for one class, if any of its requests were served.
+    pub fn class(&self, class: SlaClass) -> Option<&SlaClassReport> {
+        self.per_class.iter().find(|c| c.class == class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival: f64, admitted: f64, completion: f64, sla: SlaClass) -> ServedRequestRecord {
+        ServedRequestRecord {
+            arrival,
+            admitted,
+            completion,
+            sla,
+        }
+    }
+
+    #[test]
+    fn classes_order_by_urgency_and_deadline() {
+        assert_eq!(SlaClass::ALL.len(), 3);
+        for pair in SlaClass::ALL.windows(2) {
+            assert!(pair[0].priority() < pair[1].priority());
+            assert!(pair[0].deadline_seconds() < pair[1].deadline_seconds());
+        }
+        assert_eq!(SlaClass::default(), SlaClass::Standard);
+        assert_eq!(SlaClass::Premium.to_string(), "premium");
+        assert_eq!(SlaClass::BestEffort.name(), "best_effort");
+    }
+
+    #[test]
+    fn record_derives_queueing_latency_and_deadline() {
+        let r = record(1.0, 1.5, 1.7, SlaClass::Premium);
+        assert!((r.queueing_delay() - 0.5).abs() < 1e-12);
+        assert!((r.latency() - 0.7).abs() < 1e-12);
+        // 0.7 s > the 0.25 s premium deadline.
+        assert!(!r.deadline_met());
+        assert!(record(1.0, 1.0, 1.2, SlaClass::Premium).deadline_met());
+    }
+
+    #[test]
+    fn metrics_aggregate_per_class_in_urgency_order() {
+        let records = vec![
+            record(0.0, 0.0, 0.1, SlaClass::BestEffort),
+            record(0.0, 0.2, 0.5, SlaClass::Premium), // misses 0.25 s
+            record(0.1, 0.1, 0.2, SlaClass::Premium),
+            record(0.2, 0.2, 0.4, SlaClass::Standard),
+        ];
+        let metrics = ServingMetrics::from_records(&records).unwrap();
+        assert_eq!(metrics.requests, 4);
+        assert_eq!(metrics.deadline_misses, 1);
+        assert!((metrics.sla_miss_rate() - 0.25).abs() < 1e-12);
+        assert!((metrics.max_queueing_delay - 0.2).abs() < 1e-12);
+        // Present classes in ALL order.
+        let classes: Vec<SlaClass> = metrics.per_class.iter().map(|c| c.class).collect();
+        assert_eq!(
+            classes,
+            vec![SlaClass::Premium, SlaClass::Standard, SlaClass::BestEffort]
+        );
+        let premium = metrics.class(SlaClass::Premium).unwrap();
+        assert_eq!(premium.latency.count, 2);
+        assert_eq!(premium.deadline_misses, 1);
+        assert!((premium.miss_rate() - 0.5).abs() < 1e-12);
+        assert!((premium.mean_queueing_delay - 0.1).abs() < 1e-12);
+        assert!(metrics.class(SlaClass::Standard).is_some());
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(ServingMetrics::from_records(&[]).is_none());
+        assert!(LatencySummary::of(&[]).is_none());
+        let one = LatencySummary::of(&[0.3]).unwrap();
+        assert_eq!(one.count, 1);
+        assert_eq!(one.p50, 0.3);
+        assert_eq!(one.p99, 0.3);
+        assert_eq!(one.mean, 0.3);
+    }
+
+    #[test]
+    fn absent_classes_are_omitted() {
+        let records = vec![record(0.0, 0.0, 0.1, SlaClass::Standard)];
+        let metrics = ServingMetrics::from_records(&records).unwrap();
+        assert_eq!(metrics.per_class.len(), 1);
+        assert!(metrics.class(SlaClass::Premium).is_none());
+    }
+}

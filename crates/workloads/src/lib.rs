@@ -21,4 +21,10 @@ mod request;
 mod stream;
 
 pub use request::InferenceRequest;
-pub use stream::{dynamic_scenario, poisson_stream, repeating_stream};
+pub use stream::{
+    bursty_stream, diurnal_stream, dynamic_scenario, failure_injected_stream, poisson_stream,
+    poisson_stream_classed, repeating_stream, StreamBuilder,
+};
+// The SLA vocabulary generators tag requests with, re-exported so workload
+// consumers need not depend on hidp-core/hidp-sim directly.
+pub use hidp_core::SlaClass;

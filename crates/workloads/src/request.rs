@@ -1,6 +1,9 @@
 //! Inference requests: the unit of work HiDP schedules.
 
-use hidp_core::{CoreError, DistributedStrategy, Evaluation, PlanCache, Scenario};
+use hidp_core::{
+    CoreError, DistributedStrategy, Evaluation, PlanCache, Scenario, ServingRequest,
+    ServingScenario, SlaClass,
+};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{Cluster, NodeIndex};
@@ -8,7 +11,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One DNN inference request: a model, a batch size and an arrival time.
+/// One DNN inference request: a model, a batch size, an arrival time and the
+/// SLA class it is served under.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InferenceRequest {
     /// The DNN model requested.
@@ -17,21 +21,33 @@ pub struct InferenceRequest {
     pub batch: usize,
     /// Arrival time in seconds since the start of the scenario.
     pub arrival: f64,
+    /// The SLA class (scheduling priority + latency deadline); only the
+    /// serving pipeline consumes it — the static [`Scenario`] path ignores
+    /// it.
+    pub sla: SlaClass,
 }
 
 impl InferenceRequest {
-    /// Creates a single-image request arriving at `arrival` seconds.
+    /// Creates a single-image [`SlaClass::Standard`] request arriving at
+    /// `arrival` seconds.
     pub fn new(model: WorkloadModel, arrival: f64) -> Self {
         Self {
             model,
             batch: 1,
             arrival,
+            sla: SlaClass::Standard,
         }
     }
 
     /// Sets the batch size (builder style).
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the SLA class (builder style).
+    pub fn with_sla(mut self, sla: SlaClass) -> Self {
+        self.sla = sla;
         self
     }
 
@@ -62,6 +78,27 @@ impl InferenceRequest {
     /// Wraps a slice of requests into a runnable [`Scenario`].
     pub fn to_scenario(requests: &[InferenceRequest]) -> Scenario {
         Scenario::stream(Self::to_stream(requests))
+    }
+
+    /// Converts requests into the serving runtime's request type (model,
+    /// batch, arrival and SLA class carry over one to one).
+    pub fn to_serving(requests: &[InferenceRequest]) -> Vec<ServingRequest> {
+        requests
+            .iter()
+            .map(|r| {
+                ServingRequest::new(r.model, r.arrival)
+                    .with_batch(r.batch)
+                    .with_sla(r.sla)
+            })
+            .collect()
+    }
+
+    /// Wraps a slice of requests into a [`ServingScenario`] with the
+    /// degenerate default config (FIFO, no batching, unbounded in-flight,
+    /// static cluster) — configure admission/batching/failures with its
+    /// builder methods.
+    pub fn to_serving_scenario(requests: &[InferenceRequest]) -> ServingScenario {
+        ServingScenario::new(Self::to_serving(requests))
     }
 
     /// Plans and simulates a request stream against a shared [`PlanCache`],

@@ -1,16 +1,95 @@
 //! Request-stream generators.
+//!
+//! Every generator routes its request construction through one
+//! [`StreamBuilder`] — the shared core that applies the configured batch
+//! size, cycles SLA classes and validates arrival times — so cyclic,
+//! Poisson, bursty, diurnal and failure-injected traffic differ only in how
+//! they produce `(model, arrival)` pairs. All generators are deterministic
+//! for a given seed.
 
 use crate::request::InferenceRequest;
+use hidp_core::SlaClass;
 use hidp_dnn::zoo::WorkloadModel;
+use hidp_platform::{ClusterTimeline, NodeIndex};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// The shared request-construction core of every stream generator: holds the
+/// batch size and SLA-class cycle applied to each produced request, and
+/// asserts arrival validity once, in one place.
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    batch: usize,
+    sla_cycle: Vec<SlaClass>,
+    requests: Vec<InferenceRequest>,
+}
+
+impl StreamBuilder {
+    /// A builder producing single-image [`SlaClass::Standard`] requests.
+    pub fn new() -> Self {
+        Self {
+            batch: 1,
+            sla_cycle: vec![SlaClass::Standard],
+            requests: Vec::new(),
+        }
+    }
+
+    /// Sets the per-request batch size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the SLA-class cycle: request `i` gets `cycle[i % cycle.len()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle` is empty.
+    #[must_use]
+    pub fn with_sla_cycle(mut self, cycle: &[SlaClass]) -> Self {
+        assert!(!cycle.is_empty(), "SLA cycle must not be empty");
+        self.sla_cycle = cycle.to_vec();
+        self
+    }
+
+    /// Appends one request for `model` arriving at `arrival` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arrival` is not finite and non-negative.
+    pub fn push(&mut self, model: WorkloadModel, arrival: f64) {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival must be finite and non-negative, got {arrival}"
+        );
+        let sla = self.sla_cycle[self.requests.len() % self.sla_cycle.len()];
+        self.requests.push(
+            InferenceRequest::new(model, arrival)
+                .with_batch(self.batch)
+                .with_sla(sla),
+        );
+    }
+
+    /// The built request stream.
+    pub fn finish(self) -> Vec<InferenceRequest> {
+        self.requests
+    }
+}
+
+impl Default for StreamBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The dynamic workload of the paper's Fig. 6: EfficientNet-B0,
 /// Inception-V3, ResNet-152 and VGG-19 arriving 0.5 s apart, so that by
 /// t = 1.5 s all four DNNs run concurrently on the cluster.
 pub fn dynamic_scenario() -> Vec<InferenceRequest> {
-    [
+    let mut builder = StreamBuilder::new();
+    for (i, &model) in [
         WorkloadModel::EfficientNetB0,
         WorkloadModel::InceptionV3,
         WorkloadModel::ResNet152,
@@ -18,8 +97,10 @@ pub fn dynamic_scenario() -> Vec<InferenceRequest> {
     ]
     .iter()
     .enumerate()
-    .map(|(i, &model)| InferenceRequest::new(model, i as f64 * 0.5))
-    .collect()
+    {
+        builder.push(model, i as f64 * 0.5);
+    }
+    builder.finish()
 }
 
 /// A stream that cycles through `models` with a fixed inter-arrival time,
@@ -35,9 +116,11 @@ pub fn repeating_stream(
         "interval must be non-negative and finite"
     );
     assert!(!models.is_empty(), "at least one model is required");
-    (0..count)
-        .map(|i| InferenceRequest::new(models[i % models.len()], i as f64 * interval_seconds))
-        .collect()
+    let mut builder = StreamBuilder::new();
+    for i in 0..count {
+        builder.push(models[i % models.len()], i as f64 * interval_seconds);
+    }
+    builder.finish()
 }
 
 /// A Poisson request stream: exponential inter-arrival times with the given
@@ -49,21 +132,135 @@ pub fn poisson_stream(
     count: usize,
     seed: u64,
 ) -> Vec<InferenceRequest> {
+    poisson_stream_classed(models, rate_per_second, count, seed, &[SlaClass::Standard])
+}
+
+/// [`poisson_stream`] with an SLA-class cycle: request `i` is tagged
+/// `sla_cycle[i % len]`, so serving experiments get a deterministic class
+/// mix riding on the same arrival process.
+pub fn poisson_stream_classed(
+    models: &[WorkloadModel],
+    rate_per_second: f64,
+    count: usize,
+    seed: u64,
+    sla_cycle: &[SlaClass],
+) -> Vec<InferenceRequest> {
     assert!(
         rate_per_second > 0.0 && rate_per_second.is_finite(),
         "rate must be positive and finite"
     );
     assert!(!models.is_empty(), "at least one model is required");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
     let mut time = 0.0f64;
-    (0..count)
-        .map(|_| {
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            time += -u.ln() / rate_per_second;
-            let model = models[rng.gen_range(0..models.len())];
-            InferenceRequest::new(model, time)
-        })
-        .collect()
+    for _ in 0..count {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        time += -u.ln() / rate_per_second;
+        let model = models[rng.gen_range(0..models.len())];
+        builder.push(model, time);
+    }
+    builder.finish()
+}
+
+/// Bursty traffic: every `burst_interval_seconds` a burst of `burst_size`
+/// requests arrives *simultaneously*, all for the same model (bursts cycle
+/// through `models` round-robin — the pattern a replicated frontend fanning
+/// one hot query type produces, and the best case for the serving layer's
+/// dynamic batcher). SLA classes cycle per request. Produces `count`
+/// requests; the final burst may be partial.
+pub fn bursty_stream(
+    models: &[WorkloadModel],
+    burst_size: usize,
+    burst_interval_seconds: f64,
+    count: usize,
+    sla_cycle: &[SlaClass],
+) -> Vec<InferenceRequest> {
+    assert!(!models.is_empty(), "at least one model is required");
+    assert!(burst_size >= 1, "bursts need at least one request");
+    assert!(
+        burst_interval_seconds > 0.0 && burst_interval_seconds.is_finite(),
+        "burst interval must be positive and finite"
+    );
+    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
+    for i in 0..count {
+        let burst = i / burst_size;
+        builder.push(
+            models[burst % models.len()],
+            burst as f64 * burst_interval_seconds,
+        );
+    }
+    builder.finish()
+}
+
+/// Diurnal traffic: a Poisson process whose rate swings sinusoidally between
+/// `base_rate` (trough) and `peak_rate` over each `period_seconds` cycle —
+/// the day/night load shape a user-facing service sees. Models are drawn
+/// uniformly, SLA classes cycle per request. Deterministic for a given seed.
+pub fn diurnal_stream(
+    models: &[WorkloadModel],
+    base_rate: f64,
+    peak_rate: f64,
+    period_seconds: f64,
+    count: usize,
+    seed: u64,
+    sla_cycle: &[SlaClass],
+) -> Vec<InferenceRequest> {
+    assert!(!models.is_empty(), "at least one model is required");
+    assert!(
+        base_rate > 0.0 && base_rate.is_finite() && peak_rate >= base_rate,
+        "rates must satisfy 0 < base_rate <= peak_rate"
+    );
+    assert!(
+        period_seconds > 0.0 && period_seconds.is_finite(),
+        "period must be positive and finite"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
+    let mut time = 0.0f64;
+    for _ in 0..count {
+        // Instantaneous rate at the current virtual time: trough at t = 0,
+        // peak half a period later.
+        let phase = (time / period_seconds) * std::f64::consts::TAU;
+        let rate = base_rate + (peak_rate - base_rate) * 0.5 * (1.0 - phase.cos());
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        time += -u.ln() / rate;
+        let model = models[rng.gen_range(0..models.len())];
+        builder.push(model, time);
+    }
+    builder.finish()
+}
+
+/// Failure-injected traffic: a Poisson stream plus the [`ClusterTimeline`]
+/// of node outages to replay while serving it. Each `(node, down_at, up_at)`
+/// outage contributes a failure and a recovery event; `up_at` may be
+/// `f64::INFINITY` for a permanent failure (no recovery event is emitted).
+///
+/// # Panics
+///
+/// Panics when an outage window is not ordered (`up_at <= down_at`) or a
+/// time is invalid (negative/NaN).
+pub fn failure_injected_stream(
+    models: &[WorkloadModel],
+    rate_per_second: f64,
+    count: usize,
+    seed: u64,
+    sla_cycle: &[SlaClass],
+    outages: &[(NodeIndex, f64, f64)],
+) -> (Vec<InferenceRequest>, ClusterTimeline) {
+    let requests = poisson_stream_classed(models, rate_per_second, count, seed, sla_cycle);
+    let mut timeline = ClusterTimeline::new();
+    for &(node, down_at, up_at) in outages {
+        assert!(up_at > down_at, "outage must end after it starts");
+        timeline
+            .push_event(down_at, node, false)
+            .expect("outage start time is valid");
+        if up_at.is_finite() {
+            timeline
+                .push_event(up_at, node, true)
+                .expect("outage end time is valid");
+        }
+    }
+    (requests, timeline)
 }
 
 #[cfg(test)]
@@ -78,6 +275,7 @@ mod tests {
         assert_eq!(stream[3].model, WorkloadModel::Vgg19);
         for (i, request) in stream.iter().enumerate() {
             assert!((request.arrival - i as f64 * 0.5).abs() < 1e-12);
+            assert_eq!(request.sla, SlaClass::Standard);
         }
     }
 
@@ -117,5 +315,130 @@ mod tests {
         let slow = poisson_stream(&models, 0.5, 50, 1);
         let fast = poisson_stream(&models, 5.0, 50, 1);
         assert!(fast.last().unwrap().arrival < slow.last().unwrap().arrival);
+    }
+
+    #[test]
+    fn builder_applies_batch_and_sla_cycle() {
+        let mut builder = StreamBuilder::new()
+            .with_batch(2)
+            .with_sla_cycle(&[SlaClass::Premium, SlaClass::BestEffort]);
+        builder.push(WorkloadModel::Vgg19, 0.0);
+        builder.push(WorkloadModel::Vgg19, 0.1);
+        builder.push(WorkloadModel::Vgg19, 0.2);
+        let stream = builder.finish();
+        assert_eq!(stream.len(), 3);
+        assert!(stream.iter().all(|r| r.batch == 2));
+        assert_eq!(stream[0].sla, SlaClass::Premium);
+        assert_eq!(stream[1].sla, SlaClass::BestEffort);
+        assert_eq!(stream[2].sla, SlaClass::Premium);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival must be finite")]
+    fn builder_rejects_invalid_arrivals() {
+        StreamBuilder::new().push(WorkloadModel::Vgg19, f64::NAN);
+    }
+
+    #[test]
+    fn classed_poisson_rides_the_same_arrival_process() {
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3];
+        let plain = poisson_stream(&models, 2.0, 12, 7);
+        let classed = poisson_stream_classed(&models, 2.0, 12, 7, &SlaClass::ALL);
+        for (p, c) in plain.iter().zip(&classed) {
+            assert_eq!(p.model, c.model);
+            assert_eq!(p.arrival, c.arrival);
+        }
+        assert_eq!(classed[0].sla, SlaClass::Premium);
+        assert_eq!(classed[1].sla, SlaClass::Standard);
+        assert_eq!(classed[2].sla, SlaClass::BestEffort);
+        assert_eq!(classed[3].sla, SlaClass::Premium);
+    }
+
+    #[test]
+    fn bursty_stream_groups_same_model_bursts() {
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::ResNet152];
+        let stream = bursty_stream(&models, 4, 0.5, 10, &[SlaClass::Standard]);
+        assert_eq!(stream.len(), 10);
+        // First burst: 4 EfficientNet requests at t = 0.
+        for r in &stream[..4] {
+            assert_eq!(r.model, WorkloadModel::EfficientNetB0);
+            assert_eq!(r.arrival, 0.0);
+        }
+        // Second burst: 4 ResNet requests at t = 0.5.
+        for r in &stream[4..8] {
+            assert_eq!(r.model, WorkloadModel::ResNet152);
+            assert_eq!(r.arrival, 0.5);
+        }
+        // Partial third burst cycles back to the first model.
+        for r in &stream[8..] {
+            assert_eq!(r.model, WorkloadModel::EfficientNetB0);
+            assert_eq!(r.arrival, 1.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_stream_is_denser_at_the_peak() {
+        let models = [WorkloadModel::EfficientNetB0];
+        let stream = diurnal_stream(&models, 0.5, 8.0, 20.0, 60, 3, &[SlaClass::Standard]);
+        assert_eq!(stream.len(), 60);
+        for pair in stream.windows(2) {
+            assert!(pair[1].arrival > pair[0].arrival);
+        }
+        // Determinism.
+        assert_eq!(
+            stream,
+            diurnal_stream(&models, 0.5, 8.0, 20.0, 60, 3, &[SlaClass::Standard])
+        );
+        // More arrivals land in the peak half-period [P/4, 3P/4) than in the
+        // trough half (the rate there is several times higher).
+        let in_peak = |t: f64| {
+            let phase = (t / 20.0).fract();
+            (0.25..0.75).contains(&phase)
+        };
+        let peak = stream.iter().filter(|r| in_peak(r.arrival)).count();
+        assert!(
+            peak > stream.len() - peak,
+            "peak half-period got {peak}/{} arrivals",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn failure_injected_stream_builds_matching_timeline() {
+        let models = [WorkloadModel::Vgg19];
+        let (requests, timeline) = failure_injected_stream(
+            &models,
+            2.0,
+            10,
+            5,
+            &SlaClass::ALL,
+            &[(NodeIndex(3), 1.0, 4.0), (NodeIndex(4), 2.0, f64::INFINITY)],
+        );
+        assert_eq!(requests.len(), 10);
+        // Down at 1.0, down at 2.0, up at 4.0 — the permanent failure has no
+        // recovery event.
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline.events()[0].node, NodeIndex(3));
+        assert!(!timeline.events()[0].up);
+        assert_eq!(timeline.events()[1].node, NodeIndex(4));
+        assert!(timeline.events()[2].up);
+        // The requests are the plain classed Poisson stream.
+        assert_eq!(
+            requests,
+            poisson_stream_classed(&models, 2.0, 10, 5, &SlaClass::ALL)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must end")]
+    fn inverted_outage_windows_are_rejected() {
+        let _ = failure_injected_stream(
+            &[WorkloadModel::Vgg19],
+            1.0,
+            2,
+            0,
+            &[SlaClass::Standard],
+            &[(NodeIndex(0), 5.0, 1.0)],
+        );
     }
 }

@@ -48,3 +48,7 @@ pub use hidp_core::HidpStrategy;
 /// The unified plan→simulate evaluation pipeline, re-exported for
 /// convenience.
 pub use hidp_core::{Evaluation, Scenario};
+
+/// The online serving runtime (admission, dynamic batching, SLA classes,
+/// failure timelines), re-exported for convenience.
+pub use hidp_core::{AdmissionPolicy, ServingConfig, ServingEvaluation, ServingScenario, SlaClass};
