@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hidp_bench::{serving_failure_patterns, LEADER, SCALING_MODELS};
 use hidp_core::{
-    AdmissionPolicy, HidpStrategy, PlanCache, ServingScenario, SimScratch, SlaClass, TraceDetail,
+    AdmissionPolicy, HidpStrategy, PlanCache, ServingScenario, ServingScratch, SlaClass,
+    TraceDetail,
 };
 use hidp_platform::presets;
 use hidp_workloads::{bursty_stream, InferenceRequest};
@@ -33,7 +34,7 @@ fn bench_serving(c: &mut Criterion) {
         .with_label("degenerate")
         .with_trace_detail(TraceDetail::Summary);
     let cache = PlanCache::new();
-    let mut scratch = SimScratch::new();
+    let mut scratch = ServingScratch::new();
     group.bench_function(BenchmarkId::new("degenerate_warm", COUNT), |b| {
         b.iter(|| {
             criterion::black_box(
@@ -55,7 +56,7 @@ fn bench_serving(c: &mut Criterion) {
         .with_timeline(rolling)
         .with_trace_detail(TraceDetail::Summary);
     let dynamic_cache = PlanCache::new();
-    let mut dynamic_scratch = SimScratch::new();
+    let mut dynamic_scratch = ServingScratch::new();
     group.bench_function(BenchmarkId::new("dynamic_warm", COUNT), |b| {
         b.iter(|| {
             criterion::black_box(

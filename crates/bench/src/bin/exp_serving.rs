@@ -11,10 +11,13 @@
 //!   `ParallelSweep::run_serving` at 1, 2 and 4 worker threads produces
 //!   bit-identical `ServingEvaluation`s (the same guarantee
 //!   `exp_parallel_eval` enforces for the static sweep);
-//! * **batching wins** — on the transfer-heavy batching workload point
-//!   (Inception-V3 burst train, serial dispatch window) the k = 4 and k = 8
-//!   dynamic batcher serves measurably more requests per second than
-//!   batch = 1 (simulated time, so the comparison is deterministic).
+//! * **batching wins in both regimes** — on the transfer-heavy batching
+//!   workload point (Inception-V3 burst train, serial dispatch window) and
+//!   on the compute-bound point (ResNet-152 burst train, where the win
+//!   comes from the sublinear batch cost model rather than message
+//!   amortization), the k = 4 and k = 8 dynamic batcher serves measurably
+//!   more requests per second than batch = 1 (simulated time, so the
+//!   comparison is deterministic).
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -39,27 +42,46 @@ fn main() {
         "{}",
         hidp_bench::serving_batching_table(&batching).to_markdown()
     );
-    for p in &batching {
-        if p.max_batch >= 4 {
-            assert!(
-                p.speedup_vs_unbatched > 1.02,
-                "dynamic batching (k={}) must beat batch=1 measurably \
-                 (got {:.3}x)",
-                p.max_batch,
-                p.speedup_vs_unbatched
-            );
-        }
-    }
-    let best = batching.last().expect("batching points exist");
+    let batching_compute = hidp_bench::serving_batching_compute_points(count);
     println!(
-        "dynamic batching (k={}): {:.2} req/s vs {:.2} req/s at batch=1 ({:.3}x)",
-        best.max_batch,
-        best.requests_per_second,
-        batching[0].requests_per_second,
-        best.speedup_vs_unbatched
+        "{}",
+        hidp_bench::serving_batching_table_titled(
+            &batching_compute,
+            "Dynamic batching (compute-bound): ResNet-152 burst train, serial dispatch window",
+        )
+        .to_markdown()
     );
+    // Compute-bound floor: the win is capped by the least batch-efficient
+    // processor on the critical path (HiDP gives the CPU shares of the
+    // split real work, and CPU batch efficiency is ~1.1 at k=8), so ~1.10x
+    // is the honest magnitude — the floor catches the model regressing to
+    // linear (1.00x), not a smaller win.
+    for (regime, pts, floor) in [
+        ("transfer-bound", &batching, 1.02),
+        ("compute-bound", &batching_compute, 1.05),
+    ] {
+        for p in pts {
+            if p.max_batch >= 4 {
+                assert!(
+                    p.speedup_vs_unbatched > floor,
+                    "dynamic batching (k={}, {regime}) must beat batch=1 measurably \
+                     (got {:.3}x, floor {floor}x)",
+                    p.max_batch,
+                    p.speedup_vs_unbatched
+                );
+            }
+        }
+        let best = pts.last().expect("batching points exist");
+        println!(
+            "dynamic batching ({regime}, k={}): {:.2} req/s vs {:.2} req/s at batch=1 ({:.3}x)",
+            best.max_batch,
+            best.requests_per_second,
+            pts[0].requests_per_second,
+            best.speedup_vs_unbatched
+        );
+    }
 
-    let json = hidp_bench::serving_json(&points, &batching, count);
+    let json = hidp_bench::serving_json(&points, &batching, &batching_compute, count);
     let path = "BENCH_serving.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -1,0 +1,77 @@
+//! Soak experiment: the streaming serving loop over a 10^6-request diurnal
+//! trace — the production-scale gate for the indexed admission queue, the
+//! measured-completion dispatch model and the P²-sketched summary. Prints a
+//! markdown table and writes `BENCH_soak.json` to track the soak throughput
+//! trajectory across PRs.
+//!
+//! The binary installs the counting global allocator
+//! ([`hidp_bench::alloc_count`], the same definition `exp_warm_path` and
+//! the `zero_alloc_warm_path` integration test enforce) and audits the
+//! timed steady-state pass of every config. Two gates, enforced in CI via
+//! `--quick` and on the full run:
+//!
+//! * **bounded memory** — the audited pass performs **zero** heap
+//!   allocations: after the warm pass the loop runs entirely on reused
+//!   scratch buffers and `Copy` accumulators, so memory cannot grow with
+//!   the request count;
+//! * **throughput floor** — the full 1M-request soak must sustain at least
+//!   500k requests per wall-clock second per config (`--quick` runs 50k
+//!   requests against a floor of 100k req/s, generous enough for shared CI
+//!   runners while still catching order-of-magnitude regressions).
+
+use hidp_bench::alloc_count::{allocations_on_this_thread, CountingAllocator};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (count, floor) = if quick {
+        (50_000, 1e5)
+    } else {
+        (1_000_000, 5e5)
+    };
+
+    let counter: &dyn Fn() -> u64 = &allocations_on_this_thread;
+    let points = hidp_bench::soak_points(count, Some(counter));
+    println!("{}", hidp_bench::soak_table(&points).to_markdown());
+
+    let json = hidp_bench::soak_json(&points);
+    let path = "BENCH_soak.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let mut violations = 0usize;
+    for p in &points {
+        match p.steady_state_allocs {
+            Some(0) => {}
+            Some(n) => {
+                eprintln!(
+                    "soak [{}]: {} allocations in the steady-state pass over {} \
+                     requests (bounded-memory contract is 0)",
+                    p.config, n, p.requests
+                );
+                violations += 1;
+            }
+            None => unreachable!("a counter was supplied"),
+        }
+        if p.requests_per_wall_second < floor {
+            eprintln!(
+                "soak [{}]: {:.0} requests/s is below the {:.0} req/s floor \
+                 ({} requests in {:.2} s)",
+                p.config, p.requests_per_wall_second, floor, p.requests, p.wall_seconds
+            );
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "soak: {} requests/config, zero steady-state allocations, all configs above {:.0} req/s",
+        count, floor
+    );
+}

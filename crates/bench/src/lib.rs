@@ -1242,33 +1242,17 @@ pub struct ServingBatchingPoint {
     pub speedup_vs_unbatched: f64,
 }
 
-/// The dynamic-batching workload point: a saturating Inception-V3 burst
-/// train (bursts of 8, 0.3 s apart — Inception's HiDP plan crosses nodes
-/// eight times per inference, so every unbatched request pays eight
-/// 2 ms message latencies) under a **serial dispatch window**
-/// (`max_inflight = 1`), served with batching limits 1, 4 and 8. Coalescing
-/// k requests into one batched plan pays the per-message latency once per
-/// batch instead of once per request, so throughput rises and p99 falls
-/// with k — the amortization is the measurable batching win the serving
-/// layer exists for. (At wider windows on compute-bound mixes the linear
-/// analytical cost model leaves nothing to amortize; that regime is covered
-/// by the `fifo-batch8` grid rows.)
-pub fn serving_batching_points(count: usize) -> Vec<ServingBatchingPoint> {
+/// Serves one burst-train workload with batching limits 1, 4 and 8 under a
+/// serial dispatch window — the shared core of the two batching regimes.
+fn batching_sweep(requests: &[hidp_core::ServingRequest]) -> Vec<ServingBatchingPoint> {
     let cluster = presets::paper_cluster();
     let strategy = HidpStrategy::new();
-    let requests = InferenceRequest::to_serving(&bursty_stream(
-        &[WorkloadModel::InceptionV3],
-        8,
-        0.3,
-        count,
-        &SlaClass::ALL,
-    ));
     let cache = PlanCache::new();
-    let mut scratch = SimScratch::new();
+    let mut scratch = hidp_core::ServingScratch::new();
     let mut points = Vec::new();
     let mut unbatched_rps = f64::NAN;
     for max_batch in [1usize, 4, 8] {
-        let result = ServingScenario::new(requests.clone())
+        let result = ServingScenario::new(requests.to_vec())
             .with_label(format!("batching[k={max_batch}]"))
             .with_max_batch(max_batch)
             .with_max_inflight(Some(1))
@@ -1291,10 +1275,60 @@ pub fn serving_batching_points(count: usize) -> Vec<ServingBatchingPoint> {
     points
 }
 
+/// The **transfer-bound** dynamic-batching workload point: a saturating
+/// Inception-V3 burst train (bursts of 8, 0.3 s apart — Inception's HiDP
+/// plan crosses nodes eight times per inference, so every unbatched request
+/// pays eight 2 ms message latencies) under a **serial dispatch window**
+/// (`max_inflight = 1`), served with batching limits 1, 4 and 8. Coalescing
+/// k requests into one batched plan pays the per-message latency once per
+/// batch instead of once per request, so throughput rises and p99 falls
+/// with k.
+pub fn serving_batching_points(count: usize) -> Vec<ServingBatchingPoint> {
+    batching_sweep(&InferenceRequest::to_serving(&bursty_stream(
+        &[WorkloadModel::InceptionV3],
+        8,
+        0.3,
+        count,
+        &SlaClass::ALL,
+    )))
+}
+
+/// The **compute-bound** dynamic-batching workload point: the same burst
+/// train shape over ResNet-152, whose HiDP plan is dominated by on-device
+/// FLOPs rather than cross-node messages. Here batching wins through the
+/// sublinear batch cost model (`Processor::batch_efficiency`): a batch of k
+/// amortises per-launch overhead, so its compute time grows sublinearly in
+/// k and throughput rises even with nothing to amortise on the network.
+/// The magnitude is capped by the least batch-efficient processor on the
+/// critical path — HiDP's split gives the CPU shares real work, and CPU
+/// batch efficiency is only ~1.1 at k = 8 (GPUs reach ~1.8) — so expect a
+/// solid ~1.10x rather than the GPU-only bound.
+pub fn serving_batching_compute_points(count: usize) -> Vec<ServingBatchingPoint> {
+    batching_sweep(&InferenceRequest::to_serving(&bursty_stream(
+        &[WorkloadModel::ResNet152],
+        8,
+        0.3,
+        count,
+        &SlaClass::ALL,
+    )))
+}
+
 /// Renders batching points as an [`ExperimentTable`].
 pub fn serving_batching_table(points: &[ServingBatchingPoint]) -> ExperimentTable {
-    let mut table = ExperimentTable::new(
+    serving_batching_table_titled(
+        points,
         "Dynamic batching: Inception-V3 burst train, serial dispatch window",
+    )
+}
+
+/// [`serving_batching_table`] with a caller-supplied title (the transfer-
+/// and compute-bound regimes share the format).
+pub fn serving_batching_table_titled(
+    points: &[ServingBatchingPoint],
+    title: &str,
+) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        title,
         "req/s / ms / x",
         vec![
             "batches".to_string(),
@@ -1323,6 +1357,7 @@ pub fn serving_batching_table(points: &[ServingBatchingPoint]) -> ExperimentTabl
 pub fn serving_json(
     points: &[ServingGridPoint],
     batching: &[ServingBatchingPoint],
+    batching_compute: &[ServingBatchingPoint],
     count: usize,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"serving\",\n");
@@ -1354,6 +1389,20 @@ pub fn serving_json(
         "  \"batching_workload\": \"Inception-V3 burst train (bursts of 8, 0.3 s apart), serial dispatch window (max_inflight 1), FIFO\",\n",
     );
     out.push_str("  \"batching\": [\n");
+    push_batching_points(&mut out, batching);
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"batching_compute_workload\": \"ResNet-152 burst train (bursts of 8, 0.3 s apart), serial dispatch window (max_inflight 1), FIFO — compute-bound, wins via the sublinear batch cost model\",\n",
+    );
+    out.push_str("  \"batching_compute\": [\n");
+    push_batching_points(&mut out, batching_compute);
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Appends batching points as JSON array elements (shared by the transfer-
+/// and compute-bound sections of [`serving_json`]).
+fn push_batching_points(out: &mut String, batching: &[ServingBatchingPoint]) {
     for (i, p) in batching.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"max_batch\": {}, \"requests\": {}, \"batches\": {}, \"requests_per_second\": {}, \"p99_ms\": {}, \"speedup_vs_unbatched\": {}}}{}\n",
@@ -1364,6 +1413,185 @@ pub fn serving_json(
             p.p99_ms,
             p.speedup_vs_unbatched,
             if i + 1 < batching.len() { "," } else { "" }
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Soak: the streaming serving loop at 10^6-request scale, bounded memory
+// ---------------------------------------------------------------------------
+
+/// One measured soak pass: the streaming serving loop
+/// ([`ServingScenario::run_streaming_with_cache_in`]) over a diurnal trace,
+/// timed wall-clock and audited for steady-state allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakPoint {
+    /// Admission policy + batching config of the pass.
+    pub config: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Admitted batches.
+    pub batches: usize,
+    /// Wall-clock time of the audited steady-state pass, seconds.
+    pub wall_seconds: f64,
+    /// Requests processed per wall-clock second (the soak throughput gate).
+    pub requests_per_wall_second: f64,
+    /// Simulated makespan of the served trace, seconds.
+    pub sim_makespan_s: f64,
+    /// Simulated served throughput: requests over the makespan.
+    pub sim_requests_per_second: f64,
+    /// Median end-to-end latency, ms (P² estimate).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, ms (P² estimate).
+    pub p99_ms: f64,
+    /// Mean queueing delay, ms (exact).
+    pub mean_queueing_ms: f64,
+    /// Fraction of requests missing their SLA deadline.
+    pub sla_miss_rate: f64,
+    /// Heap allocations during the audited steady-state pass (`None` when
+    /// no counter was supplied). The bounded-memory contract is 0: after
+    /// the warm pass, the loop runs entirely on reused buffers and `Copy`
+    /// accumulators, so memory cannot grow with the request count.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The soak trace: a diurnal (day/night sinusoidal-rate) Poisson stream over
+/// the Mix-5 model cycle with SLA classes, the workload shape
+/// `hidp_workloads::diurnal_stream` exists for. Deterministic.
+pub fn soak_trace(count: usize) -> Vec<hidp_core::ServingRequest> {
+    InferenceRequest::to_serving(&hidp_workloads::diurnal_stream(
+        &[
+            WorkloadModel::EfficientNetB0,
+            WorkloadModel::InceptionV3,
+            WorkloadModel::ResNet152,
+        ],
+        // The cluster serves this mix at ~18 req/s (batch 8, window 4), so
+        // a trough of 8 req/s and a peak of 24 req/s swing the system
+        // through under- and over-capacity each "day": the queue builds
+        // real depth at the peak and drains at the trough instead of
+        // diverging into pure backlog.
+        8.0,
+        24.0,
+        2000.0,
+        count,
+        42,
+        &SlaClass::ALL,
+    ))
+}
+
+/// Runs the soak: for each config, one warm pass (cold planning + buffer
+/// sizing), then one timed, allocation-audited steady-state pass over the
+/// full trace. The two passes must agree bit for bit — the audited pass is
+/// not a different code path.
+pub fn soak_points(count: usize, counter: Option<&dyn Fn() -> u64>) -> Vec<SoakPoint> {
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let requests = soak_trace(count);
+    let configs = [
+        ("fifo-batch8", AdmissionPolicy::Fifo),
+        ("edf-batch8", AdmissionPolicy::EarliestDeadline),
+    ];
+    let mut points = Vec::new();
+    for (label, policy) in configs {
+        let scenario = ServingScenario::new(requests.clone())
+            .with_label(format!("soak-{label}"))
+            .with_policy(policy)
+            .with_max_batch(8)
+            .with_max_inflight(Some(4));
+        let cache = PlanCache::new();
+        let mut scratch = hidp_core::ServingScratch::new();
+        let warm = scenario
+            .run_streaming_with_cache_in(&strategy, &cluster, LEADER, &cache, &mut scratch)
+            .expect("soak warm pass succeeds");
+
+        let before = counter.map(|f| f());
+        let start = Instant::now();
+        let summary = scenario
+            .run_streaming_with_cache_in(&strategy, &cluster, LEADER, &cache, &mut scratch)
+            .expect("soak steady-state pass succeeds");
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let steady_state_allocs = counter.map(|f| f() - before.unwrap());
+
+        assert_eq!(summary.makespan, warm.makespan, "passes must agree");
+        assert_eq!(summary.batches, warm.batches);
+        points.push(SoakPoint {
+            config: label.to_string(),
+            requests: summary.requests,
+            batches: summary.batches,
+            wall_seconds,
+            requests_per_wall_second: summary.requests as f64 / wall_seconds,
+            sim_makespan_s: summary.makespan,
+            sim_requests_per_second: summary.requests_per_second(),
+            p50_ms: summary.latency.p50 * 1e3,
+            p99_ms: summary.latency.p99 * 1e3,
+            mean_queueing_ms: summary.mean_queueing_delay * 1e3,
+            sla_miss_rate: summary.sla_miss_rate(),
+            steady_state_allocs,
+        });
+    }
+    points
+}
+
+/// Renders soak points as an [`ExperimentTable`].
+pub fn soak_table(points: &[SoakPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Soak: streaming serving over a diurnal trace (P² tails, zero-alloc steady state)",
+        "req/s / ms",
+        vec![
+            "requests".to_string(),
+            "batches".to_string(),
+            "wall_s".to_string(),
+            "req_per_wall_s".to_string(),
+            "p50_ms".to_string(),
+            "p99_ms".to_string(),
+            "queueing_ms".to_string(),
+            "allocs".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            p.config.clone(),
+            vec![
+                p.requests as f64,
+                p.batches as f64,
+                p.wall_seconds,
+                p.requests_per_wall_second,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_queueing_ms,
+                p.steady_state_allocs.map_or(-1.0, |a| a as f64),
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises soak points as the `BENCH_soak.json` perf-trajectory document
+/// (hand-rolled like [`tables_to_json`]: the build environment has no
+/// serde_json).
+pub fn soak_json(points: &[SoakPoint]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"soak\",\n");
+    out.push_str(
+        "  \"workload\": \"diurnal Mix-5 trace (trough 8 req/s, peak 24 req/s around the ~18 req/s service capacity, 2000 s period, seed 42), SLA classes cycling, HiDP planning, max_batch 8, admission window 4, streaming mode (no per-request records, P2 latency sketches)\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"requests\": {}, \"batches\": {}, \"wall_seconds\": {}, \"requests_per_wall_second\": {}, \"sim_makespan_s\": {}, \"sim_requests_per_second\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"mean_queueing_ms\": {}, \"sla_miss_rate\": {}, \"steady_state_allocs\": {}}}{}\n",
+            p.config,
+            p.requests,
+            p.batches,
+            p.wall_seconds,
+            p.requests_per_wall_second,
+            p.sim_makespan_s,
+            p.sim_requests_per_second,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_queueing_ms,
+            p.sla_miss_rate,
+            p.steady_state_allocs
+                .map_or("null".to_string(), |a| a.to_string()),
+            if i + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -264,6 +264,15 @@ impl DistributedStrategy for HidpStrategy {
         format!("{self:?}")
     }
 
+    fn write_cache_config(&self, out: &mut String) {
+        // Same string as `cache_config`, formatted straight into the reused
+        // buffer so the serving loop's per-run key refresh stays
+        // allocation-free once the buffer is sized.
+        use std::fmt::Write;
+        out.clear();
+        write!(out, "{self:?}").expect("formatting into a String cannot fail");
+    }
+
     fn plan(
         &self,
         graph: &DnnGraph,
@@ -299,6 +308,17 @@ mod tests {
             // tasks add a little extra).
             assert!(plan.total_flops() >= graph.total_flops(), "{model}");
         }
+    }
+
+    #[test]
+    fn write_cache_config_matches_cache_config() {
+        // The buffered variant must produce byte-identical cache keys, or
+        // the serving loop and the static pipeline would miss each other's
+        // cached plans.
+        let strategy = HidpStrategy::new();
+        let mut buffer = String::from("stale contents");
+        strategy.write_cache_config(&mut buffer);
+        assert_eq!(buffer, strategy.cache_config());
     }
 
     #[test]

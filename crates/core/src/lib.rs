@@ -69,7 +69,7 @@ pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey, SHARD_COUNT};
 pub use scenario::{Evaluation, Scenario};
 pub use serving::{
     AdmissionPolicy, AdmittedBatch, ServingConfig, ServingEvaluation, ServingRequest,
-    ServingScenario,
+    ServingScenario, ServingScratch, ServingSummary,
 };
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};

@@ -201,15 +201,15 @@ impl ParallelSweep {
     /// [`ServingScenario::run_with_cache_in`] against one shared (sharded)
     /// `cache`, returning serving evaluations in job order — the serving
     /// counterpart of [`ParallelSweep::run_scenarios`], with the same
-    /// guarantees: per-worker [`SimScratch`] reuse and results that are
-    /// **bit-identical at every thread count** (per-run cache-stat
+    /// guarantees: per-worker [`crate::ServingScratch`] reuse and results
+    /// that are **bit-identical at every thread count** (per-run cache-stat
     /// attribution is stripped for the same reason as there).
     pub fn run_serving(
         &self,
         jobs: &[ServingSweepJob<'_>],
         cache: &PlanCache,
     ) -> Vec<Result<ServingEvaluation, CoreError>> {
-        self.run_with_state(jobs, SimScratch::new, |scratch, _, job| {
+        self.run_with_state(jobs, crate::ServingScratch::new, |scratch, _, job| {
             job.scenario
                 .run_with_cache_in(job.strategy, job.cluster, job.leader, cache, scratch)
                 .map(|mut result| {

@@ -420,8 +420,13 @@ impl PlanCache {
         };
         let outcome = strategy.plan(graph, cluster, leader);
         match outcome {
-            Ok(plan) => {
+            Ok(mut plan) => {
                 let (key, slot) = guard.defuse();
+                // Stamp the launch batch so the engine's sublinear batch cost
+                // model sees how many requests this plan amortises. Strategies
+                // stay batch-agnostic; the cache is the one place every fresh
+                // plan passes through.
+                plan.set_batch(graph.input_shape().batch());
                 let plan = Arc::new(plan);
                 slot.fill(Ok(Arc::clone(&plan)));
                 // Promote the entry in place so every later hit is served

@@ -14,14 +14,45 @@
 //! [`crate::PlanKey`], so a timeline flip automatically re-plans through the
 //! shared [`PlanCache`] instead of serving a stale plan.
 //!
-//! Admission control gates on **estimated** service times (the solo makespan
-//! of each admitted plan, memoized per plan key): with
-//! [`ServingConfig::max_inflight`] set, at most that many batches are in
-//! estimated flight at once, which is what makes queueing delay, priority
-//! ordering and batching meaningful. The reported metrics, however, come
-//! from one full contention-aware simulation of the admitted stream — the
+//! # Indexed admission
+//!
+//! The admission queue is a priority-indexed structure
+//! ([`IndexedQueue`](self)): one global FIFO list, one FIFO list per SLA
+//! class, one intrusive list per `(model, batch)` coalesce bucket, and a
+//! lazily-pruned deadline heap — all over flat per-request index arrays, no
+//! per-entry allocation. Picking the next request is O(1) under FIFO and
+//! priority and amortised O(log n) under earliest-deadline; coalescing a
+//! batch walks only the head's bucket, O(batch). The original O(n)-per-pick
+//! `Vec` scan survives verbatim as [`ServingScenario::run_reference`] and a
+//! property test (`tests/serving_admission_equivalence.rs`) pins the two
+//! **bit-identical** — same admission order, same batch membership, same
+//! epochs — across every policy, batching level and timeline.
+//!
+//! # Measured-completion feedback
+//!
+//! Admission control gates on **measured** estimated completions: a
+//! persistent per-resource dispatch model replays every admitted plan's
+//! tasks (same durations as the event engine) against the resource free
+//! times left by all earlier admissions, so with
+//! [`ServingConfig::max_inflight`] set the window sees queueing *contention*
+//! rather than idle-cluster solo makespans — a saturated processor pushes
+//! later completions out, which is exactly the feedback a real admission
+//! controller observes. In the records mode the reported metrics still come
+//! from one full contention-aware simulation of the admitted stream (the
 //! event engine releases every subgraph at its *admitted* time and measures
-//! latency from *arrival*, so queueing shows up in every percentile.
+//! latency from *arrival*); in the streaming mode the dispatch model's
+//! completions *are* the completions.
+//!
+//! # The streaming (soak) mode
+//!
+//! [`ServingScenario::run_streaming`] runs the same indexed admission loop
+//! but retains **no per-request state**: latency and queueing tails go into
+//! constant-memory P² sketches ([`StreamingTail`]), per-class aggregates
+//! into fixed arrays, and the result is an all-`Copy` [`ServingSummary`].
+//! After the first pass has sized the scratch buffers, a steady-state
+//! streaming pass performs zero heap allocations
+//! (`tests/zero_alloc_warm_path.rs`), which is what lets the 1M-request
+//! soak (`exp_soak`) run at full throughput in bounded memory.
 //!
 //! # The degenerate mode
 //!
@@ -44,11 +75,11 @@ use crate::strategy::DistributedStrategy;
 use crate::{CoreError, PlanKey};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
-use hidp_platform::{Cluster, ClusterTimeline, NodeIndex};
-use hidp_sim::serving::{ServedRequestRecord, ServingMetrics, SlaClass};
-use hidp_sim::{
-    simulate_admitted_stream_in, simulate_stream_detailed, ExecutionPlan, SimScratch, TraceDetail,
+use hidp_platform::{Cluster, ClusterTimeline, NodeIndex, ProcessorAddr};
+use hidp_sim::serving::{
+    LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport, StreamingTail,
 };
+use hidp_sim::{simulate_admitted_stream_in, ExecutionPlan, SimScratch, TaskKind, TraceDetail};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -283,13 +314,13 @@ impl ServingScenario {
         leader: NodeIndex,
         cache: &PlanCache,
     ) -> Result<ServingEvaluation, CoreError> {
-        let mut scratch = SimScratch::new();
+        let mut scratch = ServingScratch::new();
         self.run_with_cache_in(strategy, cluster, leader, cache, &mut scratch)
     }
 
-    /// [`ServingScenario::run_with_cache`] simulating into a caller-owned
-    /// [`SimScratch`] (what sweep workers use). Results are bit-identical
-    /// to the other entry points.
+    /// [`ServingScenario::run_with_cache`] against caller-owned working
+    /// memory (what sweep workers use). Results are bit-identical to the
+    /// other entry points.
     ///
     /// # Errors
     ///
@@ -300,11 +331,179 @@ impl ServingScenario {
         cluster: &Cluster,
         leader: NodeIndex,
         cache: &PlanCache,
-        scratch: &mut SimScratch,
+        scratch: &mut ServingScratch,
     ) -> Result<ServingEvaluation, CoreError> {
+        self.validate(cluster)?;
+        let requests = &self.requests;
+        let mut stream: Vec<(f64, f64, Arc<ExecutionPlan>)> = Vec::new();
+        let mut batches: Vec<AdmittedBatch> = Vec::new();
+        let (stats, epochs_applied) = self.indexed_admission(
+            strategy,
+            cluster,
+            leader,
+            cache,
+            scratch,
+            false,
+            |now, epoch, members, plan, _| {
+                stream.push((requests[members[0] as usize].arrival, now, Arc::clone(plan)));
+                batches.push(AdmittedBatch {
+                    admitted: now,
+                    epoch,
+                    members: members.iter().map(|&m| m as usize).collect(),
+                });
+            },
+        )?;
+        self.finish(
+            strategy,
+            cluster,
+            AdmissionOutcome {
+                stream,
+                batches,
+                stats,
+                epochs_applied,
+            },
+            &mut scratch.sim,
+        )
+    }
+
+    /// [`ServingScenario::run`] through the original `Vec`-scan admission
+    /// loop, kept as the frozen baseline for the indexed structure. Output
+    /// is bit-identical to [`ServingScenario::run`] (pinned by
+    /// `tests/serving_admission_equivalence.rs`); complexity is O(n) per
+    /// admission instead of O(log n). Exists for the equivalence tests and
+    /// the admission benchmark — new code should call
+    /// [`ServingScenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingScenario::run`].
+    pub fn run_reference(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<ServingEvaluation, CoreError> {
+        self.validate(cluster)?;
+        let cache = PlanCache::new();
+        let outcome = self.admission_loop_reference(strategy, cluster, leader, &cache)?;
+        let mut scratch = SimScratch::new();
+        self.finish(strategy, cluster, outcome, &mut scratch)
+    }
+
+    /// Runs the serving loop in **streaming** mode: same indexed admission,
+    /// but no per-request records, no admission log and no full-stream
+    /// simulation — completions come from the dispatch model, latency tails
+    /// from constant-memory P² sketches, and the result is the all-`Copy`
+    /// [`ServingSummary`]. Memory is O(requests) for the input plus O(1)
+    /// for the aggregates, which is what the 1M-request soak runs on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingScenario::run`].
+    pub fn run_streaming(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+    ) -> Result<ServingSummary, CoreError> {
+        let mut scratch = ServingScratch::new();
+        self.run_streaming_with_cache_in(strategy, cluster, leader, &PlanCache::new(), &mut scratch)
+    }
+
+    /// [`ServingScenario::run_streaming`] against a caller-owned
+    /// [`PlanCache`] and [`ServingScratch`]. After the first pass has sized
+    /// the scratch, a steady-state pass over the same workload shape
+    /// performs zero heap allocations (`tests/zero_alloc_warm_path.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingScenario::run`].
+    pub fn run_streaming_with_cache_in(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+        scratch: &mut ServingScratch,
+    ) -> Result<ServingSummary, CoreError> {
+        self.validate(cluster)?;
+        let requests = &self.requests;
+        let mut latency_tail = StreamingTail::new();
+        let mut queueing_tail = StreamingTail::new();
+        let mut class_tail = [StreamingTail::new(); 3];
+        let mut class_queueing_sum = [0.0f64; 3];
+        let mut class_misses = [0usize; 3];
+        let mut deadline_misses = 0usize;
+        let mut makespan = 0.0f64;
+        let mut batch_count = 0usize;
+        let (stats, epochs_applied) = self.indexed_admission(
+            strategy,
+            cluster,
+            leader,
+            cache,
+            scratch,
+            true,
+            |now, _epoch, members, _plan, completion| {
+                let completion = completion.expect("streaming mode always estimates");
+                batch_count += 1;
+                if completion > makespan {
+                    makespan = completion;
+                }
+                for &m in members {
+                    let request = &requests[m as usize];
+                    let latency = completion - request.arrival;
+                    let delay = now - request.arrival;
+                    latency_tail.observe(latency);
+                    queueing_tail.observe(delay);
+                    let class = request.sla.priority() as usize;
+                    class_tail[class].observe(latency);
+                    class_queueing_sum[class] += delay;
+                    if latency > request.sla.deadline_seconds() {
+                        deadline_misses += 1;
+                        class_misses[class] += 1;
+                    }
+                }
+            },
+        )?;
+        let mut per_class = [None; 3];
+        for (c, &class) in SlaClass::ALL.iter().enumerate() {
+            if let Some(latency) = class_tail[c].summary() {
+                per_class[c] = Some(SlaClassReport {
+                    class,
+                    latency,
+                    mean_queueing_delay: class_queueing_sum[c] / latency.count as f64,
+                    deadline_misses: class_misses[c],
+                });
+            }
+        }
+        Ok(ServingSummary {
+            requests: requests.len(),
+            batches: batch_count,
+            epochs_applied,
+            makespan,
+            latency: latency_tail.summary().expect("scenario is non-empty"),
+            mean_queueing_delay: queueing_tail.mean(),
+            max_queueing_delay: queueing_tail.max(),
+            deadline_misses,
+            per_class,
+            plan_cache: stats,
+        })
+    }
+
+    /// Rejects empty scenarios, invalid arrivals/batches and timelines
+    /// referencing unknown nodes — shared by every entry point.
+    fn validate(&self, cluster: &Cluster) -> Result<(), CoreError> {
         if self.requests.is_empty() {
             return Err(CoreError::Infeasible {
                 what: format!("serving scenario '{}' has no requests", self.label),
+            });
+        }
+        if self.requests.len() >= u32::MAX as usize {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "serving scenario '{}' exceeds the 2^32-1 request limit",
+                    self.label
+                ),
             });
         }
         for (i, request) in self.requests.iter().enumerate() {
@@ -323,15 +522,190 @@ impl ServingScenario {
             }
         }
         self.config.timeline.validate(cluster)?;
-
-        let admitted = self.admission_loop(strategy, cluster, leader, cache)?;
-        self.finish(strategy, cluster, admitted, scratch)
+        Ok(())
     }
 
-    /// The virtual-clock loop: walks arrivals, timeline events and estimated
-    /// completions; admits batches per policy; plans each batch against the
-    /// current epoch's cluster through `cache`.
-    fn admission_loop(
+    /// The indexed virtual-clock loop shared by the records and streaming
+    /// modes: walks arrivals, timeline events and estimated completions;
+    /// admits batches per policy through the [`IndexedQueue`]; plans each
+    /// batch against the current epoch's cluster through `cache`; and hands
+    /// every admitted batch to `on_admit` as
+    /// `(now, epoch, members, plan, estimated completion)`. Completions are
+    /// estimated whenever the window is bounded or `always_estimate` is set
+    /// (streaming mode), via the persistent [`DispatchEstimator`].
+    #[allow(clippy::too_many_arguments)]
+    fn indexed_admission(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+        scratch: &mut ServingScratch,
+        always_estimate: bool,
+        mut on_admit: impl FnMut(f64, usize, &[u32], &Arc<ExecutionPlan>, Option<f64>),
+    ) -> Result<(PlanCacheStats, usize), CoreError> {
+        let requests = &self.requests;
+        let n = requests.len();
+        // A window of zero could never admit anything (the loop below would
+        // wait on an in-flight completion that cannot exist); serving
+        // requires at least one slot, so Some(0) is clamped like max_batch.
+        let max_inflight = self.config.max_inflight.map(|w| w.max(1));
+        let need_estimate = always_estimate || max_inflight.is_some();
+        let ServingScratch {
+            key,
+            order,
+            queue,
+            members,
+            graphs,
+            dispatch,
+            inflight,
+            epoch_cluster,
+            ..
+        } = scratch;
+
+        // Refresh the hoisted plan key in place: the strategy string reuses
+        // its buffer, so for default-config strategies a steady-state pass
+        // rebuilds the key without allocating.
+        key.strategy.clear();
+        key.strategy.push_str(strategy.name());
+        strategy.write_cache_config(&mut key.strategy_config);
+        key.graph_fingerprint = 0;
+        key.batch = 0;
+        key.leader = leader;
+        key.cluster_fingerprint = cluster.fingerprint();
+
+        // Arrival processing order: by time, ties by input order. Arrivals
+        // are normalised (+0.0) so a -0.0 arrival cannot jump a +0.0 one;
+        // with the index as tie-break the unstable sort reproduces the
+        // reference loop's stable sort exactly, without its merge buffer.
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by(|&a, &b| {
+            (requests[a as usize].arrival + 0.0)
+                .total_cmp(&(requests[b as usize].arrival + 0.0))
+                .then(a.cmp(&b))
+        });
+
+        queue.reset(n);
+        dispatch.reset();
+        inflight.clear();
+
+        // The epoch cluster is only materialised when the timeline actually
+        // has events; `clone_from` reuses the previous run's buffers.
+        let events = self.config.timeline.events();
+        let mut current: Option<&mut Cluster> = if events.is_empty() {
+            None
+        } else {
+            Some(match epoch_cluster {
+                Some(c) => {
+                    c.clone_from(cluster);
+                    c
+                }
+                None => epoch_cluster.insert(cluster.clone()),
+            })
+        };
+        let mut next_event = 0usize;
+        let mut epoch = 0usize;
+
+        let mut departure_seq = 0u64;
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut stats = PlanCacheStats::default();
+
+        loop {
+            // Admit everything the window allows at the current instant.
+            while queue.len() > 0 && max_inflight.is_none_or(|w| inflight.len() < w) {
+                let head = queue.pick(self.config.policy);
+                queue.coalesce(head, self.config.max_batch, members);
+                for &m in members.iter() {
+                    queue.remove(m, requests);
+                }
+                let head = &requests[head as usize];
+                let combined = head.batch * members.len();
+                let graph = graphs
+                    .entry((head.model, combined))
+                    .or_insert_with(|| Arc::new(head.model.graph(combined)));
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                let plan_cluster: &Cluster = current.as_deref().unwrap_or(cluster);
+                let (plan, hit) = cache.plan_keyed(key, strategy, graph, plan_cluster, leader)?;
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+
+                // Measured-completion feedback: replay the plan against the
+                // resource free times every earlier admission left behind.
+                // Estimates run on the base cluster — the same one the
+                // records mode's final simulation measures on.
+                let completion = if need_estimate {
+                    Some(dispatch.estimate(plan.as_ref(), cluster, now)?)
+                } else {
+                    None
+                };
+                if max_inflight.is_some() {
+                    inflight.push(Reverse(Departure {
+                        at: completion.expect("bounded window implies estimation"),
+                        seq: departure_seq,
+                    }));
+                    departure_seq += 1;
+                }
+                on_admit(now, epoch, members, &plan, completion);
+            }
+
+            if next_arrival >= n && queue.len() == 0 {
+                break;
+            }
+
+            // Blocked: wait for the next arrival or (when the window is
+            // full) the next estimated completion, whichever comes first.
+            let mut t = f64::INFINITY;
+            if next_arrival < n {
+                t = requests[order[next_arrival] as usize].arrival + 0.0;
+            }
+            if queue.len() > 0 {
+                let Reverse(soonest) = inflight
+                    .peek()
+                    .expect("a full admission window implies in-flight batches");
+                t = t.min(soonest.at);
+            }
+            // Replay timeline events due by then: each flip starts a new
+            // epoch whose cluster fingerprint re-keys all later planning.
+            while next_event < events.len() && events[next_event].time <= t {
+                let event = &events[next_event];
+                let c = current.as_mut().expect("events imply an epoch cluster");
+                c.set_available(event.node, event.up)?;
+                key.cluster_fingerprint = c.fingerprint();
+                epoch += 1;
+                next_event += 1;
+            }
+            if t > now {
+                now = t;
+            }
+            while let Some(&Reverse(soonest)) = inflight.peek() {
+                if soonest.at <= now {
+                    inflight.pop();
+                } else {
+                    break;
+                }
+            }
+            while next_arrival < n && requests[order[next_arrival] as usize].arrival + 0.0 <= now {
+                queue.push(order[next_arrival], requests, self.config.policy);
+                next_arrival += 1;
+            }
+        }
+
+        Ok((stats, epoch))
+    }
+
+    /// The original `Vec`-scan admission loop, kept verbatim as the frozen
+    /// baseline for [`ServingScenario::run`]'s indexed queue: every pick
+    /// scans the whole queue (O(n)) and every coalesce removes members by
+    /// position. It shares the [`DispatchEstimator`] with the indexed loop,
+    /// so the two differ only in the queue data structure — which is
+    /// exactly what the equivalence property test pins.
+    fn admission_loop_reference(
         &self,
         strategy: &dyn DistributedStrategy,
         cluster: &Cluster,
@@ -340,20 +714,15 @@ impl ServingScenario {
     ) -> Result<AdmissionOutcome, CoreError> {
         let requests = &self.requests;
         let n = requests.len();
-        // A window of zero could never admit anything (the loop below would
-        // wait on an in-flight completion that cannot exist); serving
-        // requires at least one slot, so Some(0) is clamped like max_batch.
         let max_inflight = self.config.max_inflight.map(|w| w.max(1));
         // Arrival processing order: by time, ties by input order (stable).
-        // Arrivals are normalised (+0.0) so a -0.0 arrival cannot jump a
-        // +0.0 one.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| (requests[a].arrival + 0.0).total_cmp(&(requests[b].arrival + 0.0)));
 
         let mut epoch_cluster = cluster.clone();
         let mut key = PlanKey::for_run(strategy, &epoch_cluster, leader);
         let mut graphs: HashMap<(WorkloadModel, usize), Arc<DnnGraph>> = HashMap::new();
-        let mut solo_makespans: HashMap<(u64, usize, u64), f64> = HashMap::new();
+        let mut dispatch = DispatchEstimator::default();
         let mut stats = PlanCacheStats::default();
 
         let events = self.config.timeline.events();
@@ -407,24 +776,8 @@ impl ServingScenario {
                 }
 
                 if self.config.max_inflight.is_some() {
-                    // Estimated service time: the plan's solo makespan on an
-                    // idle cluster, memoized per plan key.
-                    let memo = (key.graph_fingerprint, key.batch, key.cluster_fingerprint);
-                    let service = match solo_makespans.get(&memo) {
-                        Some(&s) => s,
-                        None => {
-                            let s = simulate_stream_detailed(
-                                &[(0.0, plan.as_ref())],
-                                cluster,
-                                TraceDetail::Summary,
-                            )?
-                            .makespan;
-                            solo_makespans.insert(memo, s);
-                            s
-                        }
-                    };
                     inflight.push(Reverse(Departure {
-                        at: now + service,
+                        at: dispatch.estimate(plan.as_ref(), cluster, now)?,
                         seq: departure_seq,
                     }));
                     departure_seq += 1;
@@ -553,7 +906,8 @@ impl ServingScenario {
 impl ServingConfig {
     /// The queue position the configured policy admits next (queue is in
     /// arrival order, so FIFO is position 0 and every tie breaks toward the
-    /// earlier position).
+    /// earlier position). Used only by the reference loop; the indexed
+    /// queue reproduces these semantics without the scan.
     fn policy_pick(&self, requests: &[ServingRequest], queue: &[usize]) -> usize {
         match self.policy {
             AdmissionPolicy::Fifo => 0,
@@ -633,6 +987,481 @@ impl ServingEvaluation {
             return 0.0;
         }
         self.records.len() as f64 / self.evaluation.makespan
+    }
+}
+
+/// The bounded-memory result of a streaming serving run
+/// ([`ServingScenario::run_streaming`]): counts, the estimated makespan,
+/// P²-sketched latency/queueing tails and fixed-size per-class aggregates.
+/// Everything is `Copy` — no per-request records, no heap — so a soak over
+/// millions of requests returns the same few hundred bytes as a toy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingSummary {
+    /// Total requests served.
+    pub requests: usize,
+    /// Batches admitted (== requests when batching is off).
+    pub batches: usize,
+    /// Timeline events applied during the run (the final epoch number).
+    pub epochs_applied: usize,
+    /// Estimated completion time of the last batch, seconds.
+    pub makespan: f64,
+    /// Latency tail over all requests (p50/p95/p99 are P² estimates; count,
+    /// mean and the separately tracked max are exact).
+    pub latency: LatencySummary,
+    /// Mean queueing delay over all requests, seconds (exact).
+    pub mean_queueing_delay: f64,
+    /// Worst queueing delay, seconds (exact).
+    pub max_queueing_delay: f64,
+    /// Requests that missed their class deadline (exact).
+    pub deadline_misses: usize,
+    /// Per-class aggregates indexed by [`SlaClass::priority`]; `None` for
+    /// classes absent from the stream.
+    pub per_class: [Option<SlaClassReport>; 3],
+    /// Plan-cache traffic of the run.
+    pub plan_cache: PlanCacheStats,
+}
+
+impl ServingSummary {
+    /// Fraction of all requests that missed their deadline.
+    pub fn sla_miss_rate(&self) -> f64 {
+        self.deadline_misses as f64 / self.requests as f64
+    }
+
+    /// The report for one class, if any of its requests were served.
+    pub fn class(&self, class: SlaClass) -> Option<&SlaClassReport> {
+        self.per_class[class.priority() as usize].as_ref()
+    }
+
+    /// Completed requests per second of simulated time (count over the
+    /// estimated makespan).
+    pub fn requests_per_second(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.makespan
+    }
+}
+
+/// Reusable working memory for the serving loop: the embedded [`SimScratch`]
+/// (records-mode simulation), the hoisted [`PlanKey`], the [`IndexedQueue`]
+/// arrays, the coalesce buffer, the `(model, batch) → graph` table, the
+/// [`DispatchEstimator`] and the in-flight heap.
+///
+/// Create one per worker thread and pass it to every serving run that
+/// thread performs: after the first run of a given workload shape, a
+/// steady-state streaming pass performs **zero** heap allocations — every
+/// buffer is cleared and refilled in place. `tests/zero_alloc_warm_path.rs`
+/// asserts this with a counting allocator and `exp_soak --quick` re-asserts
+/// it in CI.
+#[derive(Debug)]
+pub struct ServingScratch {
+    sim: SimScratch,
+    key: PlanKey,
+    order: Vec<u32>,
+    queue: IndexedQueue,
+    members: Vec<u32>,
+    graphs: HashMap<(WorkloadModel, usize), Arc<DnnGraph>>,
+    dispatch: DispatchEstimator,
+    inflight: BinaryHeap<Reverse<Departure>>,
+    epoch_cluster: Option<Cluster>,
+}
+
+impl ServingScratch {
+    /// Creates an empty scratch (no buffers are allocated until first use).
+    pub fn new() -> Self {
+        Self {
+            sim: SimScratch::new(),
+            key: PlanKey {
+                strategy: String::new(),
+                strategy_config: String::new(),
+                graph_fingerprint: 0,
+                batch: 0,
+                leader: NodeIndex(0),
+                cluster_fingerprint: 0,
+            },
+            order: Vec::new(),
+            queue: IndexedQueue::default(),
+            members: Vec::new(),
+            graphs: HashMap::new(),
+            dispatch: DispatchEstimator::default(),
+            inflight: BinaryHeap::new(),
+            epoch_cluster: None,
+        }
+    }
+}
+
+impl Default for ServingScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sentinel for "no index" in the intrusive lists.
+const NONE: u32 = u32::MAX;
+
+/// Appends `idx` to the tail of the intrusive list `(next, prev, head,
+/// tail)`.
+fn link_tail(next: &mut [u32], prev: &mut [u32], head: &mut u32, tail: &mut u32, idx: u32) {
+    let i = idx as usize;
+    next[i] = NONE;
+    prev[i] = *tail;
+    if *tail == NONE {
+        *head = idx;
+    } else {
+        next[*tail as usize] = idx;
+    }
+    *tail = idx;
+}
+
+/// Unlinks `idx` from the intrusive list `(next, prev, head, tail)`.
+fn unlink(next: &mut [u32], prev: &mut [u32], head: &mut u32, tail: &mut u32, idx: u32) {
+    let i = idx as usize;
+    let (p, nx) = (prev[i], next[i]);
+    if p == NONE {
+        *head = nx;
+    } else {
+        next[p as usize] = nx;
+    }
+    if nx == NONE {
+        *tail = p;
+    } else {
+        prev[nx as usize] = p;
+    }
+    next[i] = NONE;
+    prev[i] = NONE;
+}
+
+/// An earliest-deadline heap entry; ordered by absolute deadline, ties by
+/// push sequence (= queue order), which reproduces the reference scan's
+/// first-minimum tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EdfEntry {
+    deadline: f64,
+    seq: u32,
+    idx: u32,
+}
+
+impl Eq for EdfEntry {}
+
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deadline
+            .total_cmp(&other.deadline)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The priority-indexed admission queue: flat per-request index arrays
+/// carrying three families of intrusive doubly-linked lists (one global
+/// FIFO, one FIFO per SLA class, one per `(model, batch)` coalesce bucket)
+/// plus a lazily-pruned earliest-deadline heap. Every list is in push
+/// (= arrival) order, so "first minimum in queue order" — the reference
+/// scan's tie-break for every policy — is always a list head:
+///
+/// - FIFO pick: the global head, O(1).
+/// - Priority pick: the head of the most urgent non-empty class list, O(1).
+/// - Earliest-deadline pick: the heap top, skipping entries whose request
+///   already left the queue (each request enters once, so stale entries are
+///   simply popped), amortised O(log n).
+/// - Coalesce: walk the head's bucket list, O(batch).
+/// - Remove: unlink from three lists, O(1).
+///
+/// Bucket ids persist across runs (`bucket_ids` is never cleared), so a
+/// steady-state pass re-derives every bucket without hashing allocations.
+#[derive(Debug, Default)]
+struct IndexedQueue {
+    /// Push sequence per request index (= position in arrival order).
+    seq: Vec<u32>,
+    in_queue: Vec<bool>,
+    gnext: Vec<u32>,
+    gprev: Vec<u32>,
+    cnext: Vec<u32>,
+    cprev: Vec<u32>,
+    bnext: Vec<u32>,
+    bprev: Vec<u32>,
+    bucket_of: Vec<u32>,
+    ghead: u32,
+    gtail: u32,
+    chead: [u32; 3],
+    ctail: [u32; 3],
+    /// `(head, tail)` per bucket id.
+    buckets: Vec<(u32, u32)>,
+    /// `(model, batch) → bucket id`; persists across runs.
+    bucket_ids: HashMap<(WorkloadModel, usize), u32>,
+    edf: BinaryHeap<Reverse<EdfEntry>>,
+    len: usize,
+    next_seq: u32,
+}
+
+impl IndexedQueue {
+    /// Clears the queue for a run over `n` requests, keeping capacity (and
+    /// the persistent bucket-id table).
+    fn reset(&mut self, n: usize) {
+        for list in [
+            &mut self.seq,
+            &mut self.gnext,
+            &mut self.gprev,
+            &mut self.cnext,
+            &mut self.cprev,
+            &mut self.bnext,
+            &mut self.bprev,
+            &mut self.bucket_of,
+        ] {
+            list.clear();
+            list.resize(n, NONE);
+        }
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.ghead = NONE;
+        self.gtail = NONE;
+        self.chead = [NONE; 3];
+        self.ctail = [NONE; 3];
+        for bucket in &mut self.buckets {
+            *bucket = (NONE, NONE);
+        }
+        self.edf.clear();
+        self.len = 0;
+        self.next_seq = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Enqueues `idx` (called in arrival order, which makes `seq` the queue
+    /// order every pick tie-breaks on).
+    fn push(&mut self, idx: u32, requests: &[ServingRequest], policy: AdmissionPolicy) {
+        let i = idx as usize;
+        let request = &requests[i];
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq[i] = seq;
+        self.in_queue[i] = true;
+        self.len += 1;
+        link_tail(
+            &mut self.gnext,
+            &mut self.gprev,
+            &mut self.ghead,
+            &mut self.gtail,
+            idx,
+        );
+        let class = request.sla.priority() as usize;
+        link_tail(
+            &mut self.cnext,
+            &mut self.cprev,
+            &mut self.chead[class],
+            &mut self.ctail[class],
+            idx,
+        );
+        let next_id = self.bucket_ids.len() as u32;
+        let bucket = *self
+            .bucket_ids
+            .entry((request.model, request.batch))
+            .or_insert(next_id);
+        if bucket as usize >= self.buckets.len() {
+            self.buckets.push((NONE, NONE));
+        }
+        self.bucket_of[i] = bucket;
+        let (head, tail) = &mut self.buckets[bucket as usize];
+        link_tail(&mut self.bnext, &mut self.bprev, head, tail, idx);
+        if policy == AdmissionPolicy::EarliestDeadline {
+            self.edf.push(Reverse(EdfEntry {
+                deadline: request.arrival + request.sla.deadline_seconds(),
+                seq,
+                idx,
+            }));
+        }
+    }
+
+    /// The request the policy admits next. The queue must be non-empty.
+    fn pick(&mut self, policy: AdmissionPolicy) -> u32 {
+        match policy {
+            AdmissionPolicy::Fifo => self.ghead,
+            AdmissionPolicy::Priority => {
+                for class in 0..3 {
+                    if self.chead[class] != NONE {
+                        return self.chead[class];
+                    }
+                }
+                unreachable!("a non-empty queue has a non-empty class list")
+            }
+            AdmissionPolicy::EarliestDeadline => {
+                while let Some(&Reverse(entry)) = self.edf.peek() {
+                    if self.in_queue[entry.idx as usize] {
+                        return entry.idx;
+                    }
+                    // Stale: the request was coalesced away earlier.
+                    self.edf.pop();
+                }
+                unreachable!("a non-empty queue has a live deadline entry")
+            }
+        }
+    }
+
+    /// Collects the batch the head coalesces into `out`: the head plus the
+    /// first `max_batch - 1` same-bucket requests in queue order, sorted by
+    /// queue position — exactly the reference scan's member set and order.
+    fn coalesce(&self, head: u32, max_batch: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.push(head);
+        let bucket = self.bucket_of[head as usize] as usize;
+        let mut cursor = self.buckets[bucket].0;
+        while cursor != NONE && out.len() < max_batch {
+            if cursor != head {
+                out.push(cursor);
+            }
+            cursor = self.bnext[cursor as usize];
+        }
+        out.sort_unstable_by_key(|&idx| self.seq[idx as usize]);
+    }
+
+    /// Dequeues `idx` from every list (deadline-heap entries are pruned
+    /// lazily by [`IndexedQueue::pick`]).
+    fn remove(&mut self, idx: u32, requests: &[ServingRequest]) {
+        let i = idx as usize;
+        debug_assert!(self.in_queue[i]);
+        self.in_queue[i] = false;
+        self.len -= 1;
+        unlink(
+            &mut self.gnext,
+            &mut self.gprev,
+            &mut self.ghead,
+            &mut self.gtail,
+            idx,
+        );
+        let class = requests[i].sla.priority() as usize;
+        unlink(
+            &mut self.cnext,
+            &mut self.cprev,
+            &mut self.chead[class],
+            &mut self.ctail[class],
+            idx,
+        );
+        let bucket = self.bucket_of[i] as usize;
+        let (head, tail) = &mut self.buckets[bucket];
+        unlink(&mut self.bnext, &mut self.bprev, head, tail, idx);
+    }
+}
+
+/// The resource a dispatch-model task occupies, mirroring the engine's
+/// resource model: a processor, or an undirected inter-node link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DispatchResource {
+    Processor(ProcessorAddr),
+    Link(NodeIndex, NodeIndex),
+}
+
+impl DispatchResource {
+    fn link(a: NodeIndex, b: NodeIndex) -> Self {
+        if a.0 <= b.0 {
+            DispatchResource::Link(a, b)
+        } else {
+            DispatchResource::Link(b, a)
+        }
+    }
+}
+
+/// The admission layer's measured-completion model: a persistent
+/// per-resource free-time vector that every admitted plan is list-scheduled
+/// against, in submission order, with the **same task durations the event
+/// engine derives** (sublinear batched compute, network transfer times,
+/// free same-node moves). Because the free times persist across batches, an
+/// estimate sees the congestion every earlier admission left behind — the
+/// feedback that replaces the old idle-cluster solo-makespan estimate.
+///
+/// It is an *estimate*, not a re-simulation: within one batch, tasks commit
+/// in submission order rather than the engine's global earliest-start
+/// order, which keeps the per-admission cost at O(tasks) with no heap. In
+/// streaming mode these estimates are the reported completions; in records
+/// mode they only gate the admission window while the reported metrics come
+/// from the full event engine.
+#[derive(Debug, Default)]
+struct DispatchEstimator {
+    /// Interned resource ids; persists across runs.
+    resource_ids: HashMap<DispatchResource, u32>,
+    /// Free time per resource id, reset to 0 each run.
+    free: Vec<f64>,
+    /// Per-task finish times within the current plan (indexed by task id).
+    finish: Vec<f64>,
+}
+
+impl DispatchEstimator {
+    /// Clears the free times for a new run, keeping the intern table.
+    fn reset(&mut self) {
+        self.free.clear();
+        self.free.resize(self.resource_ids.len(), 0.0);
+    }
+
+    /// List-schedules `plan` released at `release` against the current free
+    /// times and returns its estimated completion, advancing the free times
+    /// of every resource the plan touches.
+    fn estimate(
+        &mut self,
+        plan: &ExecutionPlan,
+        cluster: &Cluster,
+        release: f64,
+    ) -> Result<f64, CoreError> {
+        // Normalise -0.0 like the engine so exact ties order identically.
+        let release = release + 0.0;
+        let batch = plan.batch();
+        self.finish.clear();
+        let mut completion = release;
+        for task in plan.tasks() {
+            let (duration, resource) = match &task.kind {
+                TaskKind::Compute {
+                    target,
+                    flops,
+                    gpu_affinity,
+                } => {
+                    let proc = cluster.processor(*target)?;
+                    (
+                        proc.batched_compute_time(*flops, *gpu_affinity, batch),
+                        Some(DispatchResource::Processor(*target)),
+                    )
+                }
+                TaskKind::Transfer { from, to, bytes } => {
+                    cluster.node(*from)?;
+                    cluster.node(*to)?;
+                    let duration = cluster.network().transfer_time(*from, *to, *bytes);
+                    let resource = if from == to {
+                        None
+                    } else {
+                        Some(DispatchResource::link(*from, *to))
+                    };
+                    (duration, resource)
+                }
+            };
+            let mut start = release;
+            for dep in &task.deps {
+                start = start.max(self.finish[dep.0]);
+            }
+            let id = resource.map(|r| {
+                let next = self.resource_ids.len() as u32;
+                let id = *self.resource_ids.entry(r).or_insert(next);
+                if id as usize >= self.free.len() {
+                    self.free.push(0.0);
+                }
+                id as usize
+            });
+            if let Some(id) = id {
+                start = start.max(self.free[id]);
+            }
+            let end = start + duration;
+            if let Some(id) = id {
+                self.free[id] = end;
+            }
+            self.finish.push(end);
+            if end > completion {
+                completion = end;
+            }
+        }
+        Ok(completion)
     }
 }
 
@@ -878,5 +1707,155 @@ mod tests {
         );
         assert_eq!(AdmissionPolicy::Fifo.name(), "fifo");
         assert_eq!(AdmissionPolicy::EarliestDeadline.name(), "edf");
+    }
+
+    /// A mixed scenario exercising every indexed-queue path at once:
+    /// staggered arrivals across models and SLA classes, batching, a
+    /// bounded window and a timeline flip.
+    fn mixed_scenario(policy: AdmissionPolicy) -> ServingScenario {
+        let models = [
+            WorkloadModel::EfficientNetB0,
+            WorkloadModel::InceptionV3,
+            WorkloadModel::EfficientNetB0,
+        ];
+        let slas = [SlaClass::BestEffort, SlaClass::Premium, SlaClass::Standard];
+        let requests: Vec<ServingRequest> = (0..24)
+            .map(|i| {
+                ServingRequest::new(models[i % 3], (i / 4) as f64 * 0.05)
+                    .with_sla(slas[(i / 2) % 3])
+            })
+            .collect();
+        let timeline = ClusterTimeline::new().node_down(0.2, NodeIndex(4)).unwrap();
+        ServingScenario::new(requests)
+            .with_policy(policy)
+            .with_max_batch(3)
+            .with_max_inflight(Some(2))
+            .with_timeline(timeline)
+    }
+
+    #[test]
+    fn indexed_admission_matches_the_reference_loop() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        for policy in [
+            AdmissionPolicy::Fifo,
+            AdmissionPolicy::Priority,
+            AdmissionPolicy::EarliestDeadline,
+        ] {
+            let scenario = mixed_scenario(policy);
+            let indexed = scenario.run(&strategy, &cluster, NodeIndex(1)).unwrap();
+            let reference = scenario
+                .run_reference(&strategy, &cluster, NodeIndex(1))
+                .unwrap();
+            assert_eq!(indexed, reference, "policy {}", policy.name());
+        }
+    }
+
+    #[test]
+    fn streaming_mode_agrees_with_records_mode_on_admission_facts() {
+        // The two modes share the admission loop, so everything the
+        // admission layer determines — counts, batching, epochs, cache
+        // traffic, queueing delays — must agree exactly. (Completions
+        // differ by design: records measures the event engine, streaming
+        // reports the dispatch model's estimates.)
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let scenario = mixed_scenario(AdmissionPolicy::Priority);
+        let records = scenario.run(&strategy, &cluster, NodeIndex(1)).unwrap();
+        let streaming = scenario
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert_eq!(streaming.requests, scenario.len());
+        assert_eq!(streaming.batches, records.admissions.len());
+        assert_eq!(streaming.epochs_applied, records.epochs_applied);
+        assert_eq!(
+            Some(streaming.plan_cache),
+            records.evaluation.plan_cache,
+            "same admission loop, same cache traffic"
+        );
+        assert!(
+            (streaming.max_queueing_delay - records.serving.max_queueing_delay).abs() < 1e-12,
+            "queueing delays are admission facts"
+        );
+        assert!((streaming.mean_queueing_delay - records.serving.mean_queueing_delay).abs() < 1e-9);
+        assert_eq!(streaming.latency.count, records.serving.latency.count);
+        assert!(streaming.makespan > 0.0);
+        assert!(streaming.requests_per_second() > 0.0);
+        assert!(streaming.latency.p50 > 0.0);
+        // Per-class presence matches.
+        for class in SlaClass::ALL {
+            assert_eq!(
+                streaming.class(class).is_some(),
+                records.serving.class(class).is_some()
+            );
+        }
+        let rate = streaming.sla_miss_rate();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn serving_scratch_reuse_is_bit_identical() {
+        // One scratch serving differently-shaped scenarios back to back
+        // must produce the same results as fresh scratches.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let cache = PlanCache::new();
+        let mut scratch = ServingScratch::new();
+        let a = mixed_scenario(AdmissionPolicy::EarliestDeadline);
+        let b = ServingScenario::new(burst(WorkloadModel::Vgg19, 0.0, 5, SlaClass::Premium))
+            .with_max_inflight(Some(1));
+        for scenario in [&a, &b, &a] {
+            let reused = scenario
+                .run_with_cache_in(&strategy, &cluster, NodeIndex(1), &cache, &mut scratch)
+                .unwrap();
+            let mut fresh = scenario
+                .run_with_cache(&strategy, &cluster, NodeIndex(1), &cache)
+                .unwrap();
+            // Cache stats differ (the shared cache warms up between the
+            // runs); everything else must match bit for bit.
+            fresh.evaluation.plan_cache = reused.evaluation.plan_cache;
+            assert_eq!(reused, fresh);
+            let reused_streaming = scenario
+                .run_streaming_with_cache_in(
+                    &strategy,
+                    &cluster,
+                    NodeIndex(1),
+                    &cache,
+                    &mut scratch,
+                )
+                .unwrap();
+            let fresh_streaming = scenario
+                .run_streaming(&strategy, &cluster, NodeIndex(1))
+                .unwrap();
+            // Cache stats differ (the shared cache is warm), everything
+            // else must match.
+            let mut fresh_adjusted = fresh_streaming;
+            fresh_adjusted.plan_cache = reused_streaming.plan_cache;
+            assert_eq!(reused_streaming, fresh_adjusted);
+        }
+    }
+
+    #[test]
+    fn dispatch_estimator_matches_engine_on_a_solo_chain() {
+        // For a single linear-chain plan on an idle cluster, submission-
+        // order list scheduling and the event engine agree exactly.
+        use hidp_sim::simulate_stream_detailed;
+        let cluster = presets::paper_cluster();
+        let graph = WorkloadModel::EfficientNetB0.graph(1);
+        let strategy = HidpStrategy::new();
+        let plan = strategy.plan(&graph, &cluster, NodeIndex(1)).unwrap();
+        let engine = simulate_stream_detailed(&[(0.0, &plan)], &cluster, TraceDetail::Summary)
+            .unwrap()
+            .makespan;
+        let mut dispatch = DispatchEstimator::default();
+        dispatch.reset();
+        let estimated = dispatch.estimate(&plan, &cluster, 0.0).unwrap();
+        assert!(
+            (estimated - engine).abs() < 1e-9,
+            "estimated {estimated} vs engine {engine}"
+        );
+        // A second batch released later sees the first one's congestion.
+        let later = dispatch.estimate(&plan, &cluster, 0.0).unwrap();
+        assert!(later > estimated, "persistent free times accumulate");
     }
 }

@@ -36,6 +36,17 @@ pub trait DistributedStrategy: Send + Sync {
         String::new()
     }
 
+    /// [`DistributedStrategy::cache_config`] written into a caller-owned
+    /// buffer, for hot paths that rebuild a [`crate::PlanKey`] per run (the
+    /// serving loop's steady state must not allocate). Implementations must
+    /// produce exactly the `cache_config` string; strategies whose config is
+    /// formatted (not constant) should override this with `write!` into
+    /// `out` so a sized buffer is reused instead of reallocated.
+    fn write_cache_config(&self, out: &mut String) {
+        out.clear();
+        out.push_str(&self.cache_config());
+    }
+
     /// Produces the execution plan for one inference request arriving at
     /// `leader`.
     ///

@@ -345,6 +345,7 @@ impl SimScratch {
             // requests arriving at (±)0.0.
             let release = release + 0.0;
             plan.validate()?;
+            let batch = plan.batch();
             self.request_base.push(self.tasks.len());
             for task in plan.tasks() {
                 let (duration, resource, processor, flops, bytes) = match &task.kind {
@@ -355,7 +356,7 @@ impl SimScratch {
                     } => {
                         let proc = cluster.processor(*target)?;
                         (
-                            proc.compute_time(*flops, *gpu_affinity),
+                            proc.batched_compute_time(*flops, *gpu_affinity, batch),
                             Some(Resource::Processor(*target)),
                             Some(*target),
                             *flops,

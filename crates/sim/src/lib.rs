@@ -42,7 +42,10 @@ pub use engine::{
 pub use error::SimError;
 pub use plan::{ExecutionPlan, Label, PlanTask, TaskId, TaskKind};
 pub use reference::simulate_stream_reference;
-pub use serving::{LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport};
+pub use serving::{
+    LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport, StreamingTail,
+};
+pub use stats::P2Quantile;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, SimError>;

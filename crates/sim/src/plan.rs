@@ -157,15 +157,52 @@ pub struct PlanTask {
 }
 
 /// A complete schedule for one inference request.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionPlan {
     tasks: Vec<PlanTask>,
+    /// The launch batch the plan's compute costs are evaluated at (≥ 1):
+    /// the batch dimension of the graph the plan was built for. The
+    /// simulator divides compute durations by the target processor's
+    /// [`hidp_platform::Processor::batch_efficiency`] at this batch, so
+    /// coalesced launches run sublinearly in the compute-bound regime.
+    /// Defaults to 1, where the cost model is bit-identical to the
+    /// unbatched one.
+    batch: usize,
+}
+
+impl Default for ExecutionPlan {
+    fn default() -> Self {
+        Self {
+            tasks: Vec::new(),
+            batch: 1,
+        }
+    }
 }
 
 impl ExecutionPlan {
-    /// Creates an empty plan.
+    /// Creates an empty plan (launch batch 1).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The launch batch the plan's compute costs are evaluated at (≥ 1).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Sets the launch batch (clamped to ≥ 1). `hidp_core::PlanCache`
+    /// stamps every freshly planned `ExecutionPlan` with its graph's batch
+    /// dimension, so cached plans always carry the batch they were costed
+    /// for.
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// Sets the launch batch (builder style, clamped to ≥ 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.set_batch(batch);
+        self
     }
 
     /// Adds a compute task and returns its id.
@@ -353,6 +390,22 @@ mod tests {
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(0, 0), 1, f64::NAN, &[]);
         assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn batch_defaults_to_one_and_clamps() {
+        let plan = ExecutionPlan::new();
+        assert_eq!(plan.batch(), 1);
+        assert_eq!(plan.with_batch(0).batch(), 1);
+        let mut plan = ExecutionPlan::new().with_batch(4);
+        assert_eq!(plan.batch(), 4);
+        plan.set_batch(8);
+        assert_eq!(plan.batch(), 8);
+        // The batch is part of plan identity.
+        let mut a = ExecutionPlan::new();
+        a.add_compute("a", addr(0, 0), 1, 1.0, &[]);
+        let b = a.clone().with_batch(2);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub fn simulate_stream_reference<Pl: Borrow<ExecutionPlan>>(
         }
         let plan = plan.borrow();
         plan.validate()?;
+        let batch = plan.batch();
         for task in plan.tasks() {
             let (duration, resource, processor, flops, bytes) = match &task.kind {
                 TaskKind::Compute {
@@ -64,7 +65,7 @@ pub fn simulate_stream_reference<Pl: Borrow<ExecutionPlan>>(
                 } => {
                     let proc = cluster.processor(*target)?;
                     (
-                        proc.compute_time(*flops, *gpu_affinity),
+                        proc.batched_compute_time(*flops, *gpu_affinity, batch),
                         Some(Resource::Processor(*target)),
                         Some(*target),
                         *flops,

@@ -14,7 +14,7 @@
 //! consumer — `TraceDetail::Summary` sweeps included — gets bit-identical
 //! numbers from the same served stream.
 
-use crate::stats::percentile;
+use crate::stats::{percentile, P2Quantile};
 use serde::{Deserialize, Serialize};
 
 /// The service-level class of a request: a scheduling priority and a
@@ -136,6 +136,88 @@ impl LatencySummary {
             p99: percentile(latencies, 99.0).expect("non-empty"),
             mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
         })
+    }
+}
+
+/// Streaming latency-tail accumulator: mean, max and P²-estimated
+/// p50/p95/p99 in constant memory. This is the bounded-memory counterpart of
+/// [`LatencySummary::of`] — feed it one latency at a time and take a
+/// [`LatencySummary`] at the end, without ever materialising the latency
+/// vector. Below five observations the summary is exact; beyond that the
+/// percentiles are [`P2Quantile`] estimates (accuracy pinned in
+/// `stats::tests`), while `count`, `mean` and the separately tracked maximum
+/// stay exact at any scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingTail {
+    sum: f64,
+    max: f64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl StreamingTail {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            sum: 0.0,
+            max: 0.0,
+            p50: P2Quantile::new(50.0),
+            p95: P2Quantile::new(95.0),
+            p99: P2Quantile::new(99.0),
+        }
+    }
+
+    /// Feeds one observation (a latency or delay, seconds).
+    pub fn observe(&mut self, value: f64) {
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+        self.p50.observe(value);
+        self.p95.observe(value);
+        self.p99.observe(value);
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> usize {
+        self.p50.count()
+    }
+
+    /// Mean of all observations, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.sum / self.count() as f64
+        }
+    }
+
+    /// Largest observation, 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The tail summary, `None` before the first observation.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: self.count(),
+            p50: self.p50.value()?,
+            p95: self.p95.value()?,
+            p99: self.p99.value()?,
+            mean: self.mean(),
+        })
+    }
+
+    /// Forgets all observations.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl Default for StreamingTail {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -304,6 +386,45 @@ mod tests {
         assert_eq!(one.p50, 0.3);
         assert_eq!(one.p99, 0.3);
         assert_eq!(one.mean, 0.3);
+    }
+
+    #[test]
+    fn streaming_tail_is_exact_below_five_and_tracks_beyond() {
+        let mut tail = StreamingTail::new();
+        assert_eq!(tail.summary(), None);
+        assert_eq!(tail.count(), 0);
+        assert_eq!(tail.mean(), 0.0);
+        let small = [0.4, 0.1, 0.3, 0.2];
+        for v in small {
+            tail.observe(v);
+        }
+        let summary = tail.summary().unwrap();
+        let exact = LatencySummary::of(&small).unwrap();
+        assert_eq!(summary, exact);
+        assert!((tail.max() - 0.4).abs() < 1e-12);
+
+        // Larger stream: mean and max stay exact, percentiles stay close.
+        let values: Vec<f64> = (0..1_000).map(|i| 0.001 * (i % 97 + 1) as f64).collect();
+        tail.reset();
+        assert_eq!(tail.count(), 0);
+        for &v in &values {
+            tail.observe(v);
+        }
+        let summary = tail.summary().unwrap();
+        let exact = LatencySummary::of(&values).unwrap();
+        assert_eq!(summary.count, exact.count);
+        assert!((summary.mean - exact.mean).abs() < 1e-12);
+        assert!((tail.max() - 0.097).abs() < 1e-12);
+        for (estimated, reference) in [
+            (summary.p50, exact.p50),
+            (summary.p95, exact.p95),
+            (summary.p99, exact.p99),
+        ] {
+            assert!(
+                (estimated - reference).abs() / reference < 0.05,
+                "estimated {estimated} vs exact {reference}"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,18 @@ impl StreamBuilder {
         }
     }
 
+    /// [`StreamBuilder::new`] with the request buffer sized for `count`
+    /// requests up front. Every generator knows its final count, so the
+    /// stream is built with a single allocation — at soak scale (millions
+    /// of requests) incremental regrowth would copy the buffer ~20 times.
+    pub fn with_capacity(count: usize) -> Self {
+        Self {
+            batch: 1,
+            sla_cycle: vec![SlaClass::Standard],
+            requests: Vec::with_capacity(count),
+        }
+    }
+
     /// Sets the per-request batch size (clamped to ≥ 1).
     #[must_use]
     pub fn with_batch(mut self, batch: usize) -> Self {
@@ -88,7 +100,7 @@ impl Default for StreamBuilder {
 /// Inception-V3, ResNet-152 and VGG-19 arriving 0.5 s apart, so that by
 /// t = 1.5 s all four DNNs run concurrently on the cluster.
 pub fn dynamic_scenario() -> Vec<InferenceRequest> {
-    let mut builder = StreamBuilder::new();
+    let mut builder = StreamBuilder::with_capacity(4);
     for (i, &model) in [
         WorkloadModel::EfficientNetB0,
         WorkloadModel::InceptionV3,
@@ -116,7 +128,7 @@ pub fn repeating_stream(
         "interval must be non-negative and finite"
     );
     assert!(!models.is_empty(), "at least one model is required");
-    let mut builder = StreamBuilder::new();
+    let mut builder = StreamBuilder::with_capacity(count);
     for i in 0..count {
         builder.push(models[i % models.len()], i as f64 * interval_seconds);
     }
@@ -151,7 +163,7 @@ pub fn poisson_stream_classed(
     );
     assert!(!models.is_empty(), "at least one model is required");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
+    let mut builder = StreamBuilder::with_capacity(count).with_sla_cycle(sla_cycle);
     let mut time = 0.0f64;
     for _ in 0..count {
         let u: f64 = rng.gen_range(1e-12..1.0);
@@ -181,7 +193,7 @@ pub fn bursty_stream(
         burst_interval_seconds > 0.0 && burst_interval_seconds.is_finite(),
         "burst interval must be positive and finite"
     );
-    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
+    let mut builder = StreamBuilder::with_capacity(count).with_sla_cycle(sla_cycle);
     for i in 0..count {
         let burst = i / burst_size;
         builder.push(
@@ -215,7 +227,7 @@ pub fn diurnal_stream(
         "period must be positive and finite"
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut builder = StreamBuilder::new().with_sla_cycle(sla_cycle);
+    let mut builder = StreamBuilder::with_capacity(count).with_sla_cycle(sla_cycle);
     let mut time = 0.0f64;
     for _ in 0..count {
         // Instantaneous rate at the current virtual time: trough at t = 0,
@@ -337,6 +349,25 @@ mod tests {
     #[should_panic(expected = "arrival must be finite")]
     fn builder_rejects_invalid_arrivals() {
         StreamBuilder::new().push(WorkloadModel::Vgg19, f64::NAN);
+    }
+
+    #[test]
+    fn generators_build_streams_in_a_single_allocation() {
+        // Every generator pre-sizes through StreamBuilder::with_capacity,
+        // so the returned Vec was never regrown: its capacity is exactly
+        // the requested count. This is what keeps soak-scale trace
+        // construction from copying a multi-megabyte buffer ~20 times.
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3];
+        let streams = [
+            repeating_stream(&models, 0.1, 1000),
+            poisson_stream(&models, 2.0, 1000, 7),
+            bursty_stream(&models, 8, 0.3, 1000, &SlaClass::ALL),
+            diurnal_stream(&models, 0.5, 8.0, 20.0, 1000, 3, &SlaClass::ALL),
+        ];
+        for stream in &streams {
+            assert_eq!(stream.len(), 1000);
+            assert_eq!(stream.capacity(), stream.len(), "stream was regrown");
+        }
     }
 
     #[test]

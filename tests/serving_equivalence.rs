@@ -11,7 +11,7 @@
 //! invariant.
 
 use hidp::core::{
-    AdmissionPolicy, ParallelSweep, PlanCache, ServingScenario, ServingSweepJob, SimScratch,
+    AdmissionPolicy, ParallelSweep, PlanCache, ServingScenario, ServingScratch, ServingSweepJob,
     SlaClass, TraceDetail,
 };
 use hidp::platform::{presets, ClusterTimeline, NodeIndex};
@@ -217,7 +217,7 @@ fn scratch_and_shared_cache_entry_points_are_bit_identical() {
 
     let direct = scenario.run(&strategy, &cluster, LEADER).unwrap();
     let cache = PlanCache::new();
-    let mut scratch = SimScratch::new();
+    let mut scratch = ServingScratch::new();
     let cold = scenario
         .run_with_cache_in(&strategy, &cluster, LEADER, &cache, &mut scratch)
         .unwrap();

@@ -8,10 +8,13 @@
 //!
 //! The allocator (`hidp_bench::alloc_count`, shared with the
 //! `exp_warm_path` CI gate so both enforce the same definition of
-//! "allocation") counts per thread, and this file holds exactly one test so
-//! nothing else can touch the measured counter.
+//! "allocation") counts **per thread** — and libtest runs every test on its
+//! own thread — so the two tests here (the static warm path and the
+//! streaming serving pass) measure independent counters.
 
-use hidp::core::{PlanCache, PlanKey, SimScratch, TraceDetail};
+use hidp::core::{
+    AdmissionPolicy, PlanCache, PlanKey, ServingScenario, ServingScratch, SimScratch, TraceDetail,
+};
 use hidp::dnn::zoo::WorkloadModel;
 use hidp::platform::{presets, NodeIndex};
 use hidp::sim::{simulate_stream_detailed, simulate_stream_in, ExecutionPlan};
@@ -87,4 +90,66 @@ fn steady_state_warm_path_allocates_nothing() {
     let reused = simulate_stream_in(&mut scratch, &planned, &cluster, TraceDetail::Summary)
         .expect("simulates");
     assert_eq!(*reused, one_shot);
+}
+
+#[test]
+fn steady_state_streaming_serving_pass_allocates_nothing() {
+    // The serving counterpart of the warm-path contract, one layer up: once
+    // the first streaming pass has planned the distinct (model, batch-size)
+    // graphs and sized the ServingScratch — the indexed queue's arrays, the
+    // dispatch model's resource tables, the hoisted PlanKey's strings — a
+    // steady-state `run_streaming_with_cache_in` pass over a bursty,
+    // batching, windowed workload performs **zero** heap allocations. This
+    // is the property that bounds the 1M-request soak's memory: per pass the
+    // loop touches only reused buffers and Copy accumulators.
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+    let leader = NodeIndex(1);
+
+    let models = [
+        WorkloadModel::EfficientNetB0,
+        WorkloadModel::InceptionV3,
+        WorkloadModel::ResNet152,
+    ];
+    let requests = InferenceRequest::to_serving(&hidp::workloads::bursty_stream(
+        &models,
+        8,
+        0.3,
+        120,
+        &hidp::core::SlaClass::ALL,
+    ));
+    let scenario = ServingScenario::new(requests)
+        .with_label("zero-alloc-soak")
+        .with_policy(AdmissionPolicy::Fifo)
+        .with_max_batch(8)
+        .with_max_inflight(Some(2));
+
+    let cache = PlanCache::new();
+    let mut scratch = ServingScratch::new();
+
+    // First pass: cold planning and buffer sizing may allocate freely. The
+    // second pass is the first all-hit steady-state pass; it fixes the
+    // expected summary (its cache stats — all hits — match every later
+    // pass's, while the cold pass records misses).
+    scenario
+        .run_streaming_with_cache_in(&strategy, &cluster, leader, &cache, &mut scratch)
+        .expect("streaming run succeeds");
+    let expected = scenario
+        .run_streaming_with_cache_in(&strategy, &cluster, leader, &cache, &mut scratch)
+        .expect("streaming run succeeds");
+
+    // Steady state: allocation-free and bit-identical, pass after pass.
+    let before = allocations_on_this_thread();
+    for _ in 0..5 {
+        let summary = scenario
+            .run_streaming_with_cache_in(&strategy, &cluster, leader, &cache, &mut scratch)
+            .expect("streaming run succeeds");
+        assert_eq!(summary, expected);
+    }
+    let allocations = allocations_on_this_thread() - before;
+    assert_eq!(
+        allocations, 0,
+        "the steady-state streaming serving pass must not allocate (got \
+         {allocations} allocations over 5 passes of 120 requests)"
+    );
 }
