@@ -1,0 +1,48 @@
+//! Benchmarks the fleet tier — N per-cluster serving loops advanced on one
+//! clock behind a routing policy — at a bench-sized request count. The CI
+//! bench-smoke job runs this with `--test` (one untimed pass per benchmark)
+//! so the fleet path compiles and executes on every PR; `exp_fleet` is the
+//! full-scale gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hidp_bench::LEADER;
+use hidp_core::{FleetScratch, HidpStrategy, ParallelSweep};
+use hidp_platform::presets;
+
+fn bench_fleet(c: &mut Criterion) {
+    const COUNT: usize = 20_000;
+    const CLUSTERS: usize = 8;
+    const REGIONS: usize = 4;
+    let fleet = presets::generated_fleet(CLUSTERS, REGIONS).expect("fleet preset is valid");
+    let strategy = HidpStrategy::new();
+    let requests = hidp_bench::fleet_trace(COUNT, REGIONS, 6.0);
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    for routing in hidp_bench::fleet_routing_policies() {
+        let scenario = hidp_bench::fleet_scenario(requests.clone(), routing);
+        let sweep = ParallelSweep::new(1);
+        let mut scratch = FleetScratch::new();
+        // Warm pass: cold planning and scratch sizing happen once, outside
+        // the measurement — the bench tracks the steady state exp_fleet
+        // gates on.
+        scenario
+            .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+            .expect("fleet warm pass succeeds");
+        group.bench_function(BenchmarkId::new(routing.name(), COUNT), |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    scenario
+                        .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+                        .expect("fleet pass succeeds"),
+                );
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -19,6 +19,7 @@ fn main() {
             let evaluations = hidp_bench::serving_evaluations(&scenarios, 0);
             hidp_bench::serving_table(&hidp_bench::serving_points(&scenarios, &evaluations))
         },
+        hidp_bench::fleet_table(&hidp_bench::fleet_routing_points(12_000, 8, 4, 1.8, None)),
     ];
     for table in &tables {
         println!("{}", table.to_markdown());

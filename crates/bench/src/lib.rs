@@ -18,7 +18,8 @@ pub mod alloc_count;
 use hidp_baselines::paper_strategies;
 use hidp_core::{
     chain_segments, workload_summary, AdmissionPolicy, DseAgent, DsePolicy, Evaluation,
-    GlobalPartitioner, HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, PlanKey, Scenario,
+    FleetRequest, FleetScenario, FleetScratch, FleetSummary, GlobalPartitioner, HidpStrategy,
+    LocalPartitioner, ParallelSweep, PlanCache, PlanKey, RoutingPolicy, Scenario,
     ServingEvaluation, ServingScenario, ServingSweepJob, SimScratch, SlaClass, SweepJob,
     SystemModel, TraceDetail,
 };
@@ -1595,6 +1596,286 @@ pub fn soak_json(points: &[SoakPoint]) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: multi-cluster routing on one clock, at soak scale
+// ---------------------------------------------------------------------------
+
+/// One measured fleet pass: [`FleetScenario::run_streaming_in`] over a
+/// skewed regional diurnal trace under one routing policy, timed wall-clock
+/// and (at one thread) audited for steady-state allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPoint {
+    /// Routing policy of the pass.
+    pub routing: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Clusters in the fleet.
+    pub clusters: usize,
+    /// Wall-clock time of the audited steady-state pass, seconds.
+    pub wall_seconds: f64,
+    /// Requests processed per wall-clock second.
+    pub requests_per_wall_second: f64,
+    /// Simulated served throughput: requests over the fleet makespan.
+    pub sim_requests_per_second: f64,
+    /// Median end-to-end latency, ms (histogram-bin resolution).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, ms (histogram-bin resolution).
+    pub p99_ms: f64,
+    /// Mean queueing delay, ms (exact).
+    pub mean_queueing_ms: f64,
+    /// Mean WAN round trip paid per request, ms (exact).
+    pub mean_wan_ms: f64,
+    /// Fraction of requests missing their SLA deadline.
+    pub sla_miss_rate: f64,
+    /// Requests on the most-loaded cluster (routing balance signal).
+    pub busiest_cluster_requests: usize,
+    /// Requests on the least-loaded cluster.
+    pub idlest_cluster_requests: usize,
+    /// Heap allocations during the audited steady-state pass (`None` when
+    /// no counter was supplied). The contract is 0 at one thread: every
+    /// cluster's serving loop runs on reused scratch, and per-request fleet
+    /// state is `Copy`.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The four routing policies the fleet experiment compares, dumb to smart.
+pub fn fleet_routing_policies() -> [RoutingPolicy; 4] {
+    [
+        RoutingPolicy::Random { seed: 7 },
+        RoutingPolicy::StaticHash,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::Locality,
+    ]
+}
+
+/// The fleet trace: a skewed regional diurnal stream — every region runs
+/// the soak's day/night Poisson shape, phase-shifted per region
+/// ("follow the sun") and weighted so the first regions carry several times
+/// the load of the last — over the Mix-5 model cycle with SLA classes.
+/// `rate_scale` multiplies the shared base/peak rates, so callers can pin
+/// the offered load to the fleet's serving capacity independently of the
+/// region count. Deterministic.
+pub fn fleet_trace(count: usize, regions: usize, rate_scale: f64) -> Vec<FleetRequest> {
+    // Weights 4, 2, 1, 1, … : the hot region dominates, which is exactly
+    // what static spreading cannot exploit and load/locality awareness can.
+    let weights: Vec<f64> = (0..regions)
+        .map(|r| match r {
+            0 => 4.0,
+            1 => 2.0,
+            _ => 1.0,
+        })
+        .collect();
+    hidp_workloads::regional_diurnal_stream(
+        &[
+            WorkloadModel::EfficientNetB0,
+            WorkloadModel::InceptionV3,
+            WorkloadModel::ResNet152,
+        ],
+        &weights,
+        2.0 * rate_scale,
+        8.0 * rate_scale,
+        240.0,
+        count,
+        42,
+        &SlaClass::ALL,
+    )
+}
+
+/// Wraps the trace and serving config shared by every routing policy of the
+/// fleet comparison: EDF admission, batch 8, window 4 per cluster — the
+/// soak's per-cluster serving shape.
+pub fn fleet_scenario(requests: Vec<FleetRequest>, routing: RoutingPolicy) -> FleetScenario {
+    FleetScenario::new(requests)
+        .with_label(format!("fleet-{}", routing.name()))
+        .with_routing(routing)
+        .with_policy(AdmissionPolicy::EarliestDeadline)
+        .with_max_batch(8)
+        .with_max_inflight(Some(4))
+}
+
+/// Runs the routing comparison: the same trace through every policy of
+/// [`fleet_routing_policies`] on a generated fleet — equal offered
+/// throughput, only the routing differs. One warm pass per policy (cold
+/// planning + scratch sizing), then one timed, allocation-audited
+/// steady-state pass at one thread. Returns the measured points in policy
+/// order.
+pub fn fleet_routing_points(
+    count: usize,
+    clusters: usize,
+    regions: usize,
+    rate_scale: f64,
+    counter: Option<&dyn Fn() -> u64>,
+) -> Vec<FleetPoint> {
+    let fleet = presets::generated_fleet(clusters, regions).expect("fleet preset is valid");
+    let strategy = HidpStrategy::new();
+    let requests = fleet_trace(count, regions, rate_scale);
+    let sweep = ParallelSweep::new(1);
+    let mut points = Vec::new();
+    for routing in fleet_routing_policies() {
+        let scenario = fleet_scenario(requests.clone(), routing);
+        let mut scratch = FleetScratch::new();
+        let warm = scenario
+            .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+            .expect("fleet warm pass succeeds");
+
+        let before = counter.map(|f| f());
+        let start = Instant::now();
+        let summary = scenario
+            .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+            .expect("fleet steady-state pass succeeds");
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let steady_state_allocs = counter.map(|f| f() - before.unwrap());
+
+        assert_eq!(summary.makespan, warm.makespan, "passes must agree");
+        assert_eq!(summary.batches, warm.batches);
+        points.push(fleet_point(
+            routing,
+            &summary,
+            wall_seconds,
+            steady_state_allocs,
+        ));
+    }
+    points
+}
+
+fn fleet_point(
+    routing: RoutingPolicy,
+    summary: &FleetSummary,
+    wall_seconds: f64,
+    steady_state_allocs: Option<u64>,
+) -> FleetPoint {
+    FleetPoint {
+        routing: routing.name().to_string(),
+        requests: summary.requests,
+        clusters: summary.clusters,
+        wall_seconds,
+        requests_per_wall_second: summary.requests as f64 / wall_seconds,
+        sim_requests_per_second: summary.requests_per_second(),
+        p50_ms: summary.latency.p50 * 1e3,
+        p99_ms: summary.latency.p99 * 1e3,
+        mean_queueing_ms: summary.mean_queueing_delay * 1e3,
+        mean_wan_ms: summary.mean_wan_round_trip * 1e3,
+        sla_miss_rate: summary.sla_miss_rate(),
+        busiest_cluster_requests: summary.busiest_cluster_requests,
+        idlest_cluster_requests: summary.idlest_cluster_requests,
+        steady_state_allocs,
+    }
+}
+
+/// The fleet soak: one least-loaded pass over `count` requests across a
+/// `clusters`-cluster fleet, warm pass first, then the timed steady-state
+/// pass at `threads` workers. Returns the measured point.
+pub fn fleet_soak_point(
+    count: usize,
+    clusters: usize,
+    regions: usize,
+    rate_scale: f64,
+    threads: usize,
+) -> FleetPoint {
+    let fleet = presets::generated_fleet(clusters, regions).expect("fleet preset is valid");
+    let strategy = HidpStrategy::new();
+    let routing = RoutingPolicy::LeastLoaded;
+    let scenario = fleet_scenario(fleet_trace(count, regions, rate_scale), routing);
+    let sweep = ParallelSweep::new(threads);
+    let mut scratch = FleetScratch::new();
+    scenario
+        .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+        .expect("fleet soak warm pass succeeds");
+    let start = Instant::now();
+    let summary = scenario
+        .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+        .expect("fleet soak pass succeeds");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    fleet_point(routing, &summary, wall_seconds, None)
+}
+
+/// Renders fleet points as an [`ExperimentTable`].
+pub fn fleet_table(points: &[FleetPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Fleet: routing policies over a skewed regional diurnal trace (equal offered load)",
+        "req/s / ms",
+        vec![
+            "requests".to_string(),
+            "clusters".to_string(),
+            "wall_s".to_string(),
+            "req_per_wall_s".to_string(),
+            "p50_ms".to_string(),
+            "p99_ms".to_string(),
+            "queueing_ms".to_string(),
+            "wan_ms".to_string(),
+            "miss_rate".to_string(),
+            "busiest".to_string(),
+            "allocs".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            p.routing.clone(),
+            vec![
+                p.requests as f64,
+                p.clusters as f64,
+                p.wall_seconds,
+                p.requests_per_wall_second,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_queueing_ms,
+                p.mean_wan_ms,
+                p.sla_miss_rate,
+                p.busiest_cluster_requests as f64,
+                p.steady_state_allocs.map_or(-1.0, |a| a as f64),
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises the routing comparison and the soak as the `BENCH_fleet.json`
+/// perf-trajectory document (hand-rolled like [`tables_to_json`]: the build
+/// environment has no serde_json).
+pub fn fleet_json(points: &[FleetPoint], soak: Option<&FleetPoint>) -> String {
+    let point_json = |p: &FleetPoint| {
+        format!(
+            "{{\"routing\": \"{}\", \"requests\": {}, \"clusters\": {}, \"wall_seconds\": {}, \"requests_per_wall_second\": {}, \"sim_requests_per_second\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"mean_queueing_ms\": {}, \"mean_wan_ms\": {}, \"sla_miss_rate\": {}, \"busiest_cluster_requests\": {}, \"idlest_cluster_requests\": {}, \"steady_state_allocs\": {}}}",
+            p.routing,
+            p.requests,
+            p.clusters,
+            p.wall_seconds,
+            p.requests_per_wall_second,
+            p.sim_requests_per_second,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_queueing_ms,
+            p.mean_wan_ms,
+            p.sla_miss_rate,
+            p.busiest_cluster_requests,
+            p.idlest_cluster_requests,
+            p.steady_state_allocs
+                .map_or("null".to_string(), |a| a.to_string()),
+        )
+    };
+    let mut out = String::from("{\n  \"benchmark\": \"fleet\",\n");
+    out.push_str(
+        "  \"workload\": \"skewed regional diurnal trace (region weights 4/2/1/..., phase-shifted sinusoidal rates, seed 42), Mix-5 model cycle, SLA classes cycling, HiDP planning, EDF admission, max_batch 8, window 4 per cluster, 1 s router rounds\",\n",
+    );
+    out.push_str("  \"routing_points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&point_json(p));
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    match soak {
+        Some(p) => {
+            out.push_str("  \"soak\": ");
+            out.push_str(&point_json(p));
+            out.push('\n');
+        }
+        None => out.push_str("  \"soak\": null\n"),
+    }
+    out.push_str("}\n");
     out
 }
 

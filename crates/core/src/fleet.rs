@@ -1,0 +1,1266 @@
+//! The fleet serving tier: route requests across many clusters on one
+//! virtual clock, advance the clusters in parallel, and stay zero-alloc on
+//! the warm path.
+//!
+//! [`crate::ServingScenario`] runs one cluster's admission loop;
+//! [`FleetScenario`] runs one such loop **per cluster of a
+//! [`hidp_platform::Fleet`]**, all sharing a single virtual clock. A
+//! deterministic router assigns every arriving [`FleetRequest`] to a cluster
+//! under a pluggable [`RoutingPolicy`]; each cluster then runs the *exact*
+//! indexed admission loop of the serving tier (same `IndexedQueue`, same
+//! `DispatchEstimator`, same epoch/fingerprint plan re-keying) over the
+//! requests routed to it.
+//!
+//! # Rounds and barriers
+//!
+//! Virtual time is cut into router **rounds** of
+//! [`FleetConfig::round_seconds`]. Each round the router (serially, in
+//! global arrival order) delivers every arrival due by the round boundary to
+//! its cluster, then all clusters advance **in parallel** up to the boundary
+//! ([`crate::ParallelSweep::run_mut`]). A cluster's incremental loop is the
+//! serving tier's batch loop with one extra rule: it stops — without
+//! mutating any state — whenever its next virtual-time step would cross the
+//! boundary, and resumes from exactly that point next round. Because a round
+//! delivers *every* arrival up to its boundary before any cluster crosses
+//! it, each cluster observes the same arrival/event/completion sequence the
+//! one-shot serving loop would, so a 1-cluster fleet is **bit-identical** to
+//! [`crate::ServingScenario::run_streaming`] (pinned by
+//! `tests/fleet_equivalence.rs`) and results are bit-identical at any worker
+//! thread count (each worker mutates only its own cluster; aggregates merge
+//! in cluster index order through the exact-merge
+//! [`LatencyHistogram`]).
+//!
+//! # Routing
+//!
+//! Routing keys reuse the planning fingerprint machinery:
+//! [`RoutingPolicy::StaticHash`] is rendezvous hashing of the request key
+//! against each cluster's [`Cluster::fingerprint`] — when a
+//! [`ClusterTimeline`] flips a node, the cluster's fingerprint changes and
+//! traffic re-keys exactly the way the plan cache re-keys.
+//! [`RoutingPolicy::LeastLoaded`] reads each cluster's admission-model
+//! backlog at the round barrier; [`RoutingPolicy::Locality`] adds the WAN
+//! round trip from the request's region, so traffic stays regional until the
+//! local backlog outweighs the WAN detour.
+//!
+//! # WAN accounting
+//!
+//! The WAN does not shift arrivals: a request reaches its cluster's queue at
+//! its global arrival instant (shifting would reorder per-cluster arrivals
+//! across rounds and break both determinism proofs). Instead the round trip
+//! from the request's regional ingress to its serving cluster is added to
+//! the *reported* fleet latency and to the deadline check — routing a
+//! request away from its region costs tail latency and SLA misses, which is
+//! exactly the trade-off locality routing navigates.
+
+use crate::parallel::ParallelSweep;
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::serving::{AdmissionPolicy, Departure, DispatchEstimator, IndexedQueue, ServingRequest};
+use crate::strategy::DistributedStrategy;
+use crate::{CoreError, PlanKey};
+use hidp_dnn::zoo::WorkloadModel;
+use hidp_dnn::DnnGraph;
+use hidp_platform::{AvailabilityEvent, Cluster, ClusterTimeline, Fleet, NodeIndex};
+use hidp_sim::serving::{LatencyHistogram, LatencySummary, SlaClass, SlaClassReport};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// One request entering the fleet: a serving request plus the region it
+/// originates in (which decides its WAN ingress).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetRequest {
+    /// The request (model, batch, arrival, SLA class).
+    pub request: ServingRequest,
+    /// The region the request originates in; must be `<`
+    /// [`Fleet::region_count`].
+    pub region: usize,
+}
+
+impl FleetRequest {
+    /// Wraps a serving request with its origin region.
+    pub fn new(request: ServingRequest, region: usize) -> Self {
+        Self { request, region }
+    }
+}
+
+/// How the fleet router picks a serving cluster for each arrival. All
+/// policies are deterministic functions of the request, the configuration
+/// and the (deterministic) cluster state at the round barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Uniform pseudo-random spread: FNV of `(seed, input index)` modulo the
+    /// cluster count. Ignores both load and locality — the baseline the
+    /// load-aware policies must beat.
+    Random {
+        /// Hash seed (different seeds give different but equally uniform
+        /// spreads).
+        seed: u64,
+    },
+    /// Rendezvous (highest-random-weight) hashing of the request key
+    /// `(model, batch, region)` against each cluster's
+    /// [`Cluster::fingerprint`]. Sticky per key — and because the
+    /// fingerprint covers availability, a timeline flip re-keys the
+    /// cluster's traffic exactly the way it re-keys its plans.
+    StaticHash,
+    /// The cluster whose admission backlog (dispatch-model horizon beyond
+    /// the round barrier, plus [`FleetConfig::route_cost_hint_s`] per
+    /// request already routed this round) is smallest. Ties go to the lower
+    /// cluster index.
+    #[default]
+    LeastLoaded,
+    /// [`RoutingPolicy::LeastLoaded`] plus the WAN round trip from the
+    /// request's regional ingress: traffic stays in-region until the local
+    /// backlog outweighs the WAN detour.
+    Locality,
+}
+
+impl RoutingPolicy {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Random { .. } => "random",
+            RoutingPolicy::StaticHash => "static-hash",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::Locality => "locality",
+        }
+    }
+}
+
+
+/// Configuration of the fleet loop: the routing policy and round length on
+/// top of the per-cluster serving knobs (admission policy, batching,
+/// in-flight window, one optional [`ClusterTimeline`] per cluster).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// How arrivals are assigned to clusters.
+    pub routing: RoutingPolicy,
+    /// Per-cluster admission policy.
+    pub policy: AdmissionPolicy,
+    /// Per-cluster batching limit (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// Per-cluster in-flight admission window (`None` = unbounded).
+    pub max_inflight: Option<usize>,
+    /// One failure timeline per cluster (empty = all clusters static; when
+    /// non-empty the length must equal the fleet's cluster count).
+    pub timelines: Vec<ClusterTimeline>,
+    /// Router round length, virtual seconds (finite, > 0). Shorter rounds
+    /// give load-aware routing fresher backlog signals at more barriers.
+    pub round_seconds: f64,
+    /// Request payload carried over the WAN, bytes (used for the round-trip
+    /// latency accounting and locality costs).
+    pub payload_bytes: u64,
+    /// Estimated serving cost, seconds, charged per request already routed
+    /// to a cluster within the current round — lets least-loaded/locality
+    /// spread a burst that lands between two barriers.
+    pub route_cost_hint_s: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            routing: RoutingPolicy::default(),
+            policy: AdmissionPolicy::Fifo,
+            max_batch: 1,
+            max_inflight: None,
+            timelines: Vec::new(),
+            round_seconds: 1.0,
+            // One 224×224×3 f32 image.
+            payload_bytes: 602_112,
+            route_cost_hint_s: 0.05,
+        }
+    }
+}
+
+/// A fleet workload: regional requests plus the [`FleetConfig`] governing
+/// routing and every cluster's serving loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    label: String,
+    requests: Vec<FleetRequest>,
+    config: FleetConfig,
+}
+
+impl FleetScenario {
+    /// Wraps `requests` with the default config; labelled `fleet[n]`.
+    pub fn new(requests: Vec<FleetRequest>) -> Self {
+        let label = format!("fleet[{}]", requests.len());
+        Self {
+            label,
+            requests,
+            config: FleetConfig::default(),
+        }
+    }
+
+    /// Replaces the report label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Replaces the whole config (builder style); `max_batch` is clamped to
+    /// at least 1.
+    #[must_use]
+    pub fn with_config(mut self, config: FleetConfig) -> Self {
+        self.config = config;
+        self.config.max_batch = self.config.max_batch.max(1);
+        self
+    }
+
+    /// Sets the routing policy (builder style).
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Sets the per-cluster admission policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the per-cluster batching limit (builder style, clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the per-cluster in-flight window (builder style).
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: Option<usize>) -> Self {
+        self.config.max_inflight = max_inflight;
+        self
+    }
+
+    /// Sets the per-cluster failure timelines (builder style).
+    #[must_use]
+    pub fn with_timelines(mut self, timelines: Vec<ClusterTimeline>) -> Self {
+        self.config.timelines = timelines;
+        self
+    }
+
+    /// Sets the router round length (builder style; validated at run time).
+    #[must_use]
+    pub fn with_round_seconds(mut self, round_seconds: f64) -> Self {
+        self.config.round_seconds = round_seconds;
+        self
+    }
+
+    /// The report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The requests, input order.
+    pub fn requests(&self) -> &[FleetRequest] {
+        &self.requests
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the scenario has no requests (such a scenario cannot run).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Runs the fleet on the calling thread with fresh scratch and
+    /// per-cluster plan caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario or config is invalid for `fleet`,
+    /// or when planning/estimation fails in any cluster.
+    pub fn run_streaming(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        fleet: &Fleet,
+        leader: NodeIndex,
+    ) -> Result<FleetSummary, CoreError> {
+        self.run_streaming_in(
+            strategy,
+            fleet,
+            leader,
+            &ParallelSweep::new(1),
+            &mut FleetScratch::new(),
+        )
+    }
+
+    /// [`FleetScenario::run_streaming`] against caller-owned worker threads
+    /// and scratch. Results are **bit-identical at every thread count** —
+    /// the sweep only decides which thread advances which cluster. After a
+    /// first pass has sized the scratch, a steady-state pass over the same
+    /// workload shape performs zero heap allocations at `threads == 1`
+    /// (`tests/zero_alloc_warm_path.rs`; the threaded path allocates its
+    /// scoped-thread machinery per barrier).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetScenario::run_streaming`].
+    pub fn run_streaming_in(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        fleet: &Fleet,
+        leader: NodeIndex,
+        sweep: &ParallelSweep,
+        scratch: &mut FleetScratch,
+    ) -> Result<FleetSummary, CoreError> {
+        self.validate(fleet, leader)?;
+        let requests = &self.requests;
+        let n = requests.len();
+        let clusters = fleet.clusters();
+        let cluster_count = clusters.len();
+        let round_seconds = self.config.round_seconds;
+        let payload = self.config.payload_bytes;
+        let hint = self.config.route_cost_hint_s;
+        let ctx = RoundCtx {
+            strategy,
+            leader,
+            policy: self.config.policy,
+            max_batch: self.config.max_batch.max(1),
+            max_inflight: self.config.max_inflight.map(|w| w.max(1)),
+        };
+
+        scratch.ensure(cluster_count);
+        let FleetScratch {
+            workers,
+            caches,
+            order,
+        } = scratch;
+        let caches: &[PlanCache] = caches;
+        for (i, worker) in workers.iter_mut().enumerate() {
+            let has_events = self.config.timelines.get(i).is_some_and(|t| !t.is_empty());
+            worker.reset(&clusters[i], strategy, leader, has_events);
+        }
+
+        // Global arrival order: by normalised time, ties by input index.
+        // Delivering in this order makes every cluster's local request list
+        // arrive pre-sorted the same way the serving loop sorts.
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by(|&a, &b| {
+            (requests[a as usize].request.arrival + 0.0)
+                .total_cmp(&(requests[b as usize].request.arrival + 0.0))
+                .then(a.cmp(&b))
+        });
+
+        let mut next_global = 0usize;
+        let mut rounds = 0usize;
+        // Round boundaries are multiples of `round_seconds`; `boundary` is
+        // the multiplier of the last completed barrier. Windows with no
+        // arrivals are skipped (the boundary jumps to the window holding
+        // the next arrival), so the round count scales with the arrivals,
+        // not the time span.
+        let mut boundary = 0u64;
+        loop {
+            let next_boundary = if next_global >= n {
+                None
+            } else {
+                let next_t = requests[order[next_global] as usize].request.arrival + 0.0;
+                Some(((next_t / round_seconds).ceil() as u64).max(boundary + 1))
+            };
+            let t_end = match next_boundary {
+                Some(m) => m as f64 * round_seconds,
+                // Final drain: every arrival is delivered, run to the end.
+                None => f64::INFINITY,
+            };
+
+            // Snapshot each cluster's backlog at the barrier for the
+            // load-aware policies, then route this round's arrivals.
+            let barrier = boundary as f64 * round_seconds;
+            for worker in workers.iter_mut() {
+                worker.backlog = (worker.dispatch.horizon() - barrier).max(0.0);
+                worker.routed_in_round = 0;
+            }
+            while next_global < n {
+                let idx = order[next_global] as usize;
+                let fleet_request = &requests[idx];
+                if fleet_request.request.arrival + 0.0 > t_end {
+                    break;
+                }
+                let c = route(
+                    self.config.routing,
+                    workers,
+                    fleet,
+                    fleet_request,
+                    idx as u64,
+                    payload,
+                    hint,
+                );
+                let wan_round_trip = fleet.wan_round_trip(fleet_request.region, c, payload);
+                workers[c].deliver(fleet_request.request, wan_round_trip);
+                workers[c].routed_in_round += 1;
+                next_global += 1;
+            }
+
+            // Advance every cluster to the barrier, in parallel.
+            sweep.run_mut(workers, |i, worker| {
+                let events = self
+                    .config
+                    .timelines
+                    .get(i)
+                    .map(ClusterTimeline::events)
+                    .unwrap_or(&[]);
+                worker.advance(&ctx, &clusters[i], events, &caches[i], t_end);
+            });
+            for worker in workers.iter_mut() {
+                if let Some(error) = worker.error.take() {
+                    return Err(error);
+                }
+            }
+
+            rounds += 1;
+            match next_boundary {
+                Some(m) => boundary = m,
+                None => break,
+            }
+        }
+
+        Ok(Self::summarise(workers, n, cluster_count, rounds))
+    }
+
+    /// Merges the per-cluster workers into the fleet summary, in cluster
+    /// index order (which is what makes the rollup thread-count invariant).
+    fn summarise(
+        workers: &[ClusterWorker],
+        n: usize,
+        clusters: usize,
+        rounds: usize,
+    ) -> FleetSummary {
+        let mut latency = LatencyHistogram::new();
+        let mut class_latency = [LatencyHistogram::new(); 3];
+        let mut queueing_sum = 0.0f64;
+        let mut queueing_max = 0.0f64;
+        let mut class_queueing_sum = [0.0f64; 3];
+        let mut class_misses = [0usize; 3];
+        let mut deadline_misses = 0usize;
+        let mut makespan = 0.0f64;
+        let mut batches = 0usize;
+        let mut epochs_applied = 0usize;
+        let mut plan_cache = PlanCacheStats::default();
+        let mut busiest = 0usize;
+        let mut idlest = usize::MAX;
+        let mut wan_sum = 0.0f64;
+        for worker in workers {
+            latency.merge(&worker.latency);
+            for (c, hist) in class_latency.iter_mut().enumerate() {
+                hist.merge(&worker.class_latency[c]);
+            }
+            queueing_sum += worker.queueing_sum;
+            if worker.queueing_max > queueing_max {
+                queueing_max = worker.queueing_max;
+            }
+            for c in 0..3 {
+                class_queueing_sum[c] += worker.class_queueing_sum[c];
+                class_misses[c] += worker.class_misses[c];
+            }
+            deadline_misses += worker.deadline_misses;
+            if worker.makespan > makespan {
+                makespan = worker.makespan;
+            }
+            batches += worker.batches;
+            epochs_applied += worker.epoch;
+            plan_cache.hits += worker.stats.hits;
+            plan_cache.misses += worker.stats.misses;
+            busiest = busiest.max(worker.requests.len());
+            idlest = idlest.min(worker.requests.len());
+            wan_sum += worker.wan2.iter().sum::<f64>();
+        }
+        let mut per_class = [None; 3];
+        for (c, &class) in SlaClass::ALL.iter().enumerate() {
+            if let Some(latency) = class_latency[c].summary() {
+                per_class[c] = Some(SlaClassReport {
+                    class,
+                    latency,
+                    mean_queueing_delay: class_queueing_sum[c] / latency.count as f64,
+                    deadline_misses: class_misses[c],
+                });
+            }
+        }
+        FleetSummary {
+            requests: n,
+            clusters,
+            rounds,
+            batches,
+            epochs_applied,
+            makespan,
+            latency: latency.summary().expect("scenario is non-empty"),
+            max_latency: latency.max(),
+            mean_queueing_delay: queueing_sum / n as f64,
+            max_queueing_delay: queueing_max,
+            deadline_misses,
+            per_class,
+            plan_cache,
+            busiest_cluster_requests: busiest,
+            idlest_cluster_requests: idlest,
+            mean_wan_round_trip: wan_sum / n as f64,
+        }
+    }
+
+    /// Rejects empty scenarios, invalid requests/regions, malformed round
+    /// or routing parameters, timeline shape mismatches and leaders outside
+    /// any cluster.
+    fn validate(&self, fleet: &Fleet, leader: NodeIndex) -> Result<(), CoreError> {
+        if self.requests.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!("fleet scenario '{}' has no requests", self.label),
+            });
+        }
+        if self.requests.len() >= u32::MAX as usize {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}' exceeds the 2^32-1 request limit",
+                    self.label
+                ),
+            });
+        }
+        for (i, fleet_request) in self.requests.iter().enumerate() {
+            let request = &fleet_request.request;
+            if !(request.arrival.is_finite() && request.arrival >= 0.0) {
+                return Err(CoreError::Infeasible {
+                    what: format!(
+                        "fleet scenario '{}': request {i} has invalid arrival {}",
+                        self.label, request.arrival
+                    ),
+                });
+            }
+            if request.batch == 0 {
+                return Err(CoreError::Infeasible {
+                    what: format!("fleet scenario '{}': request {i} has batch 0", self.label),
+                });
+            }
+            if fleet_request.region >= fleet.region_count() {
+                return Err(CoreError::Infeasible {
+                    what: format!(
+                        "fleet scenario '{}': request {i} originates in region {} but the fleet has {} regions",
+                        self.label,
+                        fleet_request.region,
+                        fleet.region_count()
+                    ),
+                });
+            }
+        }
+        if !(self.config.round_seconds.is_finite() && self.config.round_seconds > 0.0) {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': round_seconds must be finite and positive, got {}",
+                    self.label, self.config.round_seconds
+                ),
+            });
+        }
+        if !(self.config.route_cost_hint_s.is_finite() && self.config.route_cost_hint_s >= 0.0) {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': route_cost_hint_s must be finite and non-negative, got {}",
+                    self.label, self.config.route_cost_hint_s
+                ),
+            });
+        }
+        if !self.config.timelines.is_empty() && self.config.timelines.len() != fleet.len() {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': {} timelines for {} clusters (use an empty list for an all-static fleet)",
+                    self.label,
+                    self.config.timelines.len(),
+                    fleet.len()
+                ),
+            });
+        }
+        for (i, cluster) in fleet.clusters().iter().enumerate() {
+            // The leader must exist in every cluster (every plan keys on it).
+            cluster.node(leader)?;
+            if let Some(timeline) = self.config.timelines.get(i) {
+                timeline.validate(cluster)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read-only per-round context shared by every cluster worker.
+struct RoundCtx<'a> {
+    strategy: &'a dyn DistributedStrategy,
+    leader: NodeIndex,
+    policy: AdmissionPolicy,
+    max_batch: usize,
+    max_inflight: Option<usize>,
+}
+
+/// Routes one arrival to a cluster (serial, deterministic).
+fn route(
+    routing: RoutingPolicy,
+    workers: &[ClusterWorker],
+    fleet: &Fleet,
+    fleet_request: &FleetRequest,
+    input_index: u64,
+    payload: u64,
+    hint: f64,
+) -> usize {
+    let k = workers.len();
+    if k == 1 {
+        return 0;
+    }
+    match routing {
+        RoutingPolicy::Random { seed } => (fnv64(&[seed, input_index]) % k as u64) as usize,
+        RoutingPolicy::StaticHash => {
+            let key = request_key(fleet_request);
+            let mut best = 0usize;
+            let mut best_score = 0u64;
+            for (c, worker) in workers.iter().enumerate() {
+                let score = fnv64(&[key, worker.fingerprint]);
+                if c == 0 || score > best_score {
+                    best = c;
+                    best_score = score;
+                }
+            }
+            best
+        }
+        RoutingPolicy::LeastLoaded => {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (c, worker) in workers.iter().enumerate() {
+                let cost = worker.backlog + worker.routed_in_round as f64 * hint;
+                if cost < best_cost {
+                    best = c;
+                    best_cost = cost;
+                }
+            }
+            best
+        }
+        RoutingPolicy::Locality => {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (c, worker) in workers.iter().enumerate() {
+                let cost = fleet.wan_round_trip(fleet_request.region, c, payload)
+                    + worker.backlog
+                    + worker.routed_in_round as f64 * hint;
+                if cost < best_cost {
+                    best = c;
+                    best_cost = cost;
+                }
+            }
+            best
+        }
+    }
+}
+
+/// The sticky routing key of a request: model, per-request batch and region.
+fn request_key(fleet_request: &FleetRequest) -> u64 {
+    let model = WorkloadModel::ALL
+        .iter()
+        .position(|m| *m == fleet_request.request.model)
+        .unwrap_or(0) as u64;
+    fnv64(&[
+        model,
+        fleet_request.request.batch as u64,
+        fleet_request.region as u64,
+    ])
+}
+
+/// FNV-1a over a word sequence, avalanche-finished — the router's local
+/// hash (independent of `std` hashing so routes are stable across processes
+/// and Rust versions). The finalizer matters: raw FNV-1a's low bit is a
+/// *linear* function of the input bytes (each step is `(h ^ b) * odd`, so
+/// bit 0 just XOR-accumulates), which makes `hash % n` correlate with input
+/// parity for even `n` — e.g. even-indexed requests all landing on
+/// even-indexed clusters. The splitmix64-style mix diffuses every input bit
+/// into every output bit.
+fn fnv64(parts: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &part in parts {
+        for byte in part.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash = (hash ^ (hash >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash = (hash ^ (hash >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// Reusable working memory for a fleet run: one [`ClusterWorker`] and one
+/// sharded [`PlanCache`] per cluster, plus the global routing order. Create
+/// one and pass it to every run: after the first pass has sized the buffers,
+/// a steady-state pass over the same workload shape performs zero heap
+/// allocations at one worker thread (`tests/zero_alloc_warm_path.rs`).
+#[derive(Debug, Default)]
+pub struct FleetScratch {
+    workers: Vec<ClusterWorker>,
+    caches: Vec<PlanCache>,
+    order: Vec<u32>,
+}
+
+impl FleetScratch {
+    /// Creates an empty scratch (no buffers are allocated until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests routed to each cluster in the most recent run (allocates;
+    /// for post-run reporting, not the hot path).
+    pub fn cluster_requests(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.requests.len()).collect()
+    }
+
+    /// Sizes the per-cluster state (only allocates on first use or growth).
+    fn ensure(&mut self, clusters: usize) {
+        while self.workers.len() < clusters {
+            self.workers.push(ClusterWorker::new());
+        }
+        self.workers.truncate(clusters);
+        while self.caches.len() < clusters {
+            self.caches.push(PlanCache::new());
+        }
+        self.caches.truncate(clusters);
+    }
+}
+
+/// One cluster's incremental serving loop: the exact state of
+/// `ServingScenario`'s indexed admission loop, persisted across router
+/// rounds so the loop can stop at a barrier and resume bit-identically.
+#[derive(Debug)]
+struct ClusterWorker {
+    // Inputs delivered by the router, in (arrival, global index) order.
+    requests: Vec<ServingRequest>,
+    /// Per delivered request: WAN round trip added to its reported latency.
+    wan2: Vec<f64>,
+    // The serving loop's state (field-for-field its locals and scratch).
+    key: PlanKey,
+    queue: IndexedQueue,
+    members: Vec<u32>,
+    graphs: HashMap<(WorkloadModel, usize), Arc<DnnGraph>>,
+    dispatch: DispatchEstimator,
+    inflight: BinaryHeap<Reverse<Departure>>,
+    epoch_cluster: Option<Cluster>,
+    next_event: usize,
+    epoch: usize,
+    departure_seq: u64,
+    next_arrival: usize,
+    now: f64,
+    stats: PlanCacheStats,
+    // Routing signals read by the (serial) router.
+    fingerprint: u64,
+    backlog: f64,
+    routed_in_round: u32,
+    // Streaming aggregates (exact-merge histograms + exact sums).
+    latency: LatencyHistogram,
+    class_latency: [LatencyHistogram; 3],
+    queueing_sum: f64,
+    queueing_max: f64,
+    class_queueing_sum: [f64; 3],
+    class_misses: [usize; 3],
+    deadline_misses: usize,
+    makespan: f64,
+    batches: usize,
+    error: Option<CoreError>,
+}
+
+impl ClusterWorker {
+    fn new() -> Self {
+        Self {
+            requests: Vec::new(),
+            wan2: Vec::new(),
+            key: PlanKey {
+                strategy: String::new(),
+                strategy_config: String::new(),
+                graph_fingerprint: 0,
+                batch: 0,
+                leader: NodeIndex(0),
+                cluster_fingerprint: 0,
+            },
+            queue: IndexedQueue::default(),
+            members: Vec::new(),
+            graphs: HashMap::new(),
+            dispatch: DispatchEstimator::default(),
+            inflight: BinaryHeap::new(),
+            epoch_cluster: None,
+            next_event: 0,
+            epoch: 0,
+            departure_seq: 0,
+            next_arrival: 0,
+            now: 0.0,
+            stats: PlanCacheStats::default(),
+            fingerprint: 0,
+            backlog: 0.0,
+            routed_in_round: 0,
+            latency: LatencyHistogram::new(),
+            class_latency: [LatencyHistogram::new(); 3],
+            queueing_sum: 0.0,
+            queueing_max: 0.0,
+            class_queueing_sum: [0.0; 3],
+            class_misses: [0; 3],
+            deadline_misses: 0,
+            makespan: 0.0,
+            batches: 0,
+            error: None,
+        }
+    }
+
+    /// Rearms the worker for a new run over `cluster`, keeping every
+    /// buffer's capacity (and the persistent intern tables).
+    fn reset(
+        &mut self,
+        cluster: &Cluster,
+        strategy: &dyn DistributedStrategy,
+        leader: NodeIndex,
+        has_events: bool,
+    ) {
+        self.requests.clear();
+        self.wan2.clear();
+        self.key.strategy.clear();
+        self.key.strategy.push_str(strategy.name());
+        strategy.write_cache_config(&mut self.key.strategy_config);
+        self.key.graph_fingerprint = 0;
+        self.key.batch = 0;
+        self.key.leader = leader;
+        self.key.cluster_fingerprint = cluster.fingerprint();
+        self.queue.begin();
+        self.dispatch.reset();
+        self.inflight.clear();
+        if has_events {
+            match &mut self.epoch_cluster {
+                Some(c) => c.clone_from(cluster),
+                None => self.epoch_cluster = Some(cluster.clone()),
+            }
+        } else {
+            self.epoch_cluster = None;
+        }
+        self.next_event = 0;
+        self.epoch = 0;
+        self.departure_seq = 0;
+        self.next_arrival = 0;
+        self.now = 0.0;
+        self.stats = PlanCacheStats::default();
+        self.fingerprint = cluster.fingerprint();
+        self.backlog = 0.0;
+        self.routed_in_round = 0;
+        self.latency = LatencyHistogram::new();
+        self.class_latency = [LatencyHistogram::new(); 3];
+        self.queueing_sum = 0.0;
+        self.queueing_max = 0.0;
+        self.class_queueing_sum = [0.0; 3];
+        self.class_misses = [0; 3];
+        self.deadline_misses = 0;
+        self.makespan = 0.0;
+        self.batches = 0;
+        self.error = None;
+    }
+
+    /// Accepts one routed arrival (called in global arrival order, so the
+    /// local list stays sorted the way the serving loop sorts).
+    fn deliver(&mut self, request: ServingRequest, wan_round_trip: f64) {
+        self.requests.push(request);
+        self.wan2.push(wan_round_trip);
+        self.queue.ensure(self.requests.len());
+    }
+
+    /// Advances the cluster to the round barrier, trapping any error for
+    /// the router to surface after the parallel section.
+    fn advance(
+        &mut self,
+        ctx: &RoundCtx<'_>,
+        base: &Cluster,
+        events: &[AvailabilityEvent],
+        cache: &PlanCache,
+        t_end: f64,
+    ) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = self.advance_inner(ctx, base, events, cache, t_end) {
+            self.error = Some(error);
+        }
+    }
+
+    /// The serving tier's indexed admission loop, incremental: identical
+    /// admissions, epochs and virtual-time steps, except that the loop
+    /// returns — before mutating anything — whenever its next step `t`
+    /// would cross `t_end`. The router delivers every arrival `≤ t_end`
+    /// before calling this, so each step sees exactly the arrival set the
+    /// one-shot loop would.
+    fn advance_inner(
+        &mut self,
+        ctx: &RoundCtx<'_>,
+        base: &Cluster,
+        events: &[AvailabilityEvent],
+        cache: &PlanCache,
+        t_end: f64,
+    ) -> Result<(), CoreError> {
+        loop {
+            // Admit everything the window allows at the current instant.
+            while self.queue.len() > 0 && ctx.max_inflight.is_none_or(|w| self.inflight.len() < w) {
+                let head = self.queue.pick(ctx.policy);
+                self.queue.coalesce(head, ctx.max_batch, &mut self.members);
+                for &m in self.members.iter() {
+                    self.queue.remove(m, &self.requests);
+                }
+                let head = self.requests[head as usize];
+                let combined = head.batch * self.members.len();
+                let graph = self
+                    .graphs
+                    .entry((head.model, combined))
+                    .or_insert_with(|| Arc::new(head.model.graph(combined)));
+                self.key.graph_fingerprint = graph.fingerprint();
+                self.key.batch = graph.input_shape().batch();
+                let plan_cluster: &Cluster = self.epoch_cluster.as_ref().unwrap_or(base);
+                let (plan, hit) =
+                    cache.plan_keyed(&self.key, ctx.strategy, graph, plan_cluster, ctx.leader)?;
+                if hit {
+                    self.stats.hits += 1;
+                } else {
+                    self.stats.misses += 1;
+                }
+
+                // Streaming mode always estimates: completions come from the
+                // measured dispatch model, run on the base cluster exactly
+                // like the serving loop's.
+                let completion = self.dispatch.estimate(plan.as_ref(), base, self.now)?;
+                if ctx.max_inflight.is_some() {
+                    self.inflight.push(Reverse(Departure {
+                        at: completion,
+                        seq: self.departure_seq,
+                    }));
+                    self.departure_seq += 1;
+                }
+                self.batches += 1;
+                if completion > self.makespan {
+                    self.makespan = completion;
+                }
+                for &m in self.members.iter() {
+                    let request = &self.requests[m as usize];
+                    let latency = completion - request.arrival + self.wan2[m as usize];
+                    let delay = self.now - request.arrival;
+                    self.latency.observe(latency);
+                    self.queueing_sum += delay;
+                    if delay > self.queueing_max {
+                        self.queueing_max = delay;
+                    }
+                    let class = request.sla.priority() as usize;
+                    self.class_latency[class].observe(latency);
+                    self.class_queueing_sum[class] += delay;
+                    if latency > request.sla.deadline_seconds() {
+                        self.deadline_misses += 1;
+                        self.class_misses[class] += 1;
+                    }
+                }
+            }
+
+            if self.next_arrival >= self.requests.len() && self.queue.len() == 0 {
+                return Ok(()); // Everything delivered so far is served.
+            }
+
+            // Blocked: wait for the next arrival or (when the window is
+            // full) the next estimated completion, whichever comes first.
+            let mut t = f64::INFINITY;
+            if self.next_arrival < self.requests.len() {
+                t = self.requests[self.next_arrival].arrival + 0.0;
+            }
+            if self.queue.len() > 0 {
+                let Reverse(soonest) = self
+                    .inflight
+                    .peek()
+                    .expect("a full admission window implies in-flight batches");
+                t = t.min(soonest.at);
+            }
+            if t > t_end {
+                return Ok(()); // Barrier: resume here next round.
+            }
+            // Replay timeline events due by then: each flip starts a new
+            // epoch whose cluster fingerprint re-keys planning AND routing.
+            while self.next_event < events.len() && events[self.next_event].time <= t {
+                let event = &events[self.next_event];
+                let c = self
+                    .epoch_cluster
+                    .as_mut()
+                    .expect("events imply an epoch cluster");
+                c.set_available(event.node, event.up)?;
+                self.key.cluster_fingerprint = c.fingerprint();
+                self.fingerprint = c.fingerprint();
+                self.epoch += 1;
+                self.next_event += 1;
+            }
+            if t > self.now {
+                self.now = t;
+            }
+            while let Some(&Reverse(soonest)) = self.inflight.peek() {
+                if soonest.at <= self.now {
+                    self.inflight.pop();
+                } else {
+                    break;
+                }
+            }
+            while self.next_arrival < self.requests.len()
+                && self.requests[self.next_arrival].arrival + 0.0 <= self.now
+            {
+                self.queue
+                    .push(self.next_arrival as u32, &self.requests, ctx.policy);
+                self.next_arrival += 1;
+            }
+        }
+    }
+}
+
+/// The bounded-memory result of a fleet run: counts, the fleet makespan,
+/// exact-merge latency tails (WAN round trips included) and per-class
+/// aggregates. Everything is `Copy`, like [`crate::ServingSummary`], so the
+/// audited steady-state pass returns without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSummary {
+    /// Total requests served across the fleet.
+    pub requests: usize,
+    /// Clusters in the fleet.
+    pub clusters: usize,
+    /// Router rounds executed (arrival-bearing windows plus the drain).
+    pub rounds: usize,
+    /// Batches admitted across all clusters.
+    pub batches: usize,
+    /// Timeline events applied across all clusters.
+    pub epochs_applied: usize,
+    /// Estimated completion time of the last batch anywhere, seconds.
+    pub makespan: f64,
+    /// Fleet-wide latency tail (queueing + service + WAN round trip;
+    /// p50/p95/p99 at histogram bin resolution, count and mean exact).
+    pub latency: LatencySummary,
+    /// Worst fleet latency, seconds (exact).
+    pub max_latency: f64,
+    /// Mean queueing delay over all requests, seconds (exact; local
+    /// queueing, WAN excluded).
+    pub mean_queueing_delay: f64,
+    /// Worst queueing delay, seconds (exact).
+    pub max_queueing_delay: f64,
+    /// Requests whose fleet latency missed their class deadline.
+    pub deadline_misses: usize,
+    /// Per-class aggregates indexed by [`SlaClass::priority`]; `None` for
+    /// classes absent from the stream.
+    pub per_class: [Option<SlaClassReport>; 3],
+    /// Plan-cache traffic summed over the per-cluster caches.
+    pub plan_cache: PlanCacheStats,
+    /// Requests routed to the most-loaded cluster (routing balance signal).
+    pub busiest_cluster_requests: usize,
+    /// Requests routed to the least-loaded cluster.
+    pub idlest_cluster_requests: usize,
+    /// Mean WAN round trip paid per request, seconds (0 when all traffic
+    /// stays at its regional ingress).
+    pub mean_wan_round_trip: f64,
+}
+
+impl FleetSummary {
+    /// Fraction of all requests that missed their deadline.
+    pub fn sla_miss_rate(&self) -> f64 {
+        self.deadline_misses as f64 / self.requests as f64
+    }
+
+    /// The report for one class, if any of its requests were served.
+    pub fn class(&self, class: SlaClass) -> Option<&SlaClassReport> {
+        self.per_class[class.priority() as usize].as_ref()
+    }
+
+    /// Completed requests per second of simulated time (count over the
+    /// estimated makespan).
+    pub fn requests_per_second(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HidpStrategy;
+    use hidp_platform::presets;
+
+    /// A two-region stream mixing two models and all SLA classes.
+    fn regional_burst(count: usize) -> Vec<FleetRequest> {
+        (0..count)
+            .map(|i| {
+                let model = if i % 2 == 0 {
+                    WorkloadModel::EfficientNetB0
+                } else {
+                    WorkloadModel::InceptionV3
+                };
+                let request =
+                    ServingRequest::new(model, i as f64 * 0.05).with_sla(SlaClass::ALL[i % 3]);
+                FleetRequest::new(request, i % 2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_policy_serves_every_request() {
+        let fleet = presets::generated_fleet(4, 2).unwrap();
+        let strategy = HidpStrategy::new();
+        let requests = regional_burst(120);
+        for routing in [
+            RoutingPolicy::Random { seed: 7 },
+            RoutingPolicy::StaticHash,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::Locality,
+        ] {
+            let summary = FleetScenario::new(requests.clone())
+                .with_routing(routing)
+                .with_max_inflight(Some(4))
+                .run_streaming(&strategy, &fleet, NodeIndex(1))
+                .unwrap_or_else(|e| panic!("{} failed: {e}", routing.name()));
+            assert_eq!(summary.requests, 120, "{}", routing.name());
+            assert_eq!(summary.batches, 120, "no batching configured");
+            assert_eq!(summary.clusters, 4);
+            assert!(summary.rounds >= 1);
+            assert!(summary.makespan > 0.0);
+            assert_eq!(summary.latency.count, 120);
+            assert!(summary.busiest_cluster_requests >= summary.idlest_cluster_requests);
+            assert!(summary.requests_per_second() > 0.0);
+            // All three SLA classes are present in the stream.
+            for class in SlaClass::ALL {
+                assert!(summary.class(class).is_some(), "{}", routing.name());
+            }
+        }
+    }
+
+    #[test]
+    fn locality_pays_less_wan_than_random_and_least_loaded_spreads() {
+        let fleet = presets::generated_fleet(4, 2).unwrap();
+        let strategy = HidpStrategy::new();
+        let requests = regional_burst(120);
+        let run = |routing: RoutingPolicy| {
+            FleetScenario::new(requests.clone())
+                .with_routing(routing)
+                .run_streaming(&strategy, &fleet, NodeIndex(1))
+                .unwrap()
+        };
+        let random = run(RoutingPolicy::Random { seed: 1 });
+        let locality = run(RoutingPolicy::Locality);
+        let least_loaded = run(RoutingPolicy::LeastLoaded);
+        assert!(
+            locality.mean_wan_round_trip < random.mean_wan_round_trip,
+            "locality {} vs random {}",
+            locality.mean_wan_round_trip,
+            random.mean_wan_round_trip
+        );
+        // Load-aware routing never starves a cluster of this even stream.
+        assert!(least_loaded.idlest_cluster_requests > 0);
+    }
+
+    #[test]
+    fn timeline_flip_rekeys_static_hash_routing() {
+        let fleet = presets::generated_fleet(3, 1).unwrap();
+        let strategy = HidpStrategy::new();
+        // One sticky key: identical requests hash to one cluster until a
+        // fingerprint changes.
+        let requests: Vec<FleetRequest> = (0..40)
+            .map(|i| {
+                FleetRequest::new(
+                    ServingRequest::new(WorkloadModel::EfficientNetB0, i as f64 * 0.5),
+                    0,
+                )
+            })
+            .collect();
+        let key = request_key(&requests[0]);
+        let rendezvous = |fingerprints: &[u64]| {
+            let mut best = 0usize;
+            let mut best_score = 0u64;
+            for (c, &fp) in fingerprints.iter().enumerate() {
+                let score = fnv64(&[key, fp]);
+                if c == 0 || score > best_score {
+                    best = c;
+                    best_score = score;
+                }
+            }
+            best
+        };
+        let pristine: Vec<u64> = fleet.clusters().iter().map(|c| c.fingerprint()).collect();
+        let winner = rendezvous(&pristine);
+        // Find a (cluster, node) whose failure moves the rendezvous winner;
+        // the search is deterministic, so the test either always finds one
+        // or fails loudly.
+        let flip = (0..fleet.len())
+            .flat_map(|c| (0..fleet.clusters()[c].len()).map(move |n| (c, n)))
+            .find(|&(c, n)| {
+                let mut fingerprints = pristine.clone();
+                let mut failed = fleet.clusters()[c].clone();
+                failed.set_available(NodeIndex(n), false).unwrap();
+                fingerprints[c] = failed.fingerprint();
+                rendezvous(&fingerprints) != winner
+            })
+            .expect("some single-node failure moves the rendezvous winner");
+
+        let static_run = |timelines: Vec<ClusterTimeline>| {
+            let mut scratch = FleetScratch::new();
+            FleetScenario::new(requests.clone())
+                .with_routing(RoutingPolicy::StaticHash)
+                .with_timelines(timelines)
+                .run_streaming_in(
+                    &strategy,
+                    &fleet,
+                    NodeIndex(1),
+                    &ParallelSweep::new(1),
+                    &mut scratch,
+                )
+                .unwrap();
+            scratch.cluster_requests()
+        };
+        let stable = static_run(Vec::new());
+        // All requests share one key, so exactly one cluster serves them.
+        assert_eq!(stable.iter().filter(|&&n| n > 0).count(), 1);
+        assert_eq!(stable[winner], 40);
+        // Fail that node mid-stream: the fingerprint flip re-keys the
+        // remaining traffic exactly as it re-keys the cluster's plans.
+        let mut timelines = vec![ClusterTimeline::new(); 3];
+        timelines[flip.0] = ClusterTimeline::new()
+            .node_down(10.0, NodeIndex(flip.1))
+            .unwrap();
+        let rekeyed = static_run(timelines);
+        assert_ne!(stable, rekeyed, "epoch flip must re-key routing");
+        assert!(rekeyed[winner] < 40, "post-flip traffic moved: {rekeyed:?}");
+        assert_eq!(rekeyed.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        let fleet = presets::generated_fleet(2, 1).unwrap();
+        let strategy = HidpStrategy::new();
+        let ok = regional_burst(4)
+            .into_iter()
+            .map(|mut r| {
+                r.region = 0;
+                r
+            })
+            .collect::<Vec<_>>();
+        // Empty scenario.
+        assert!(FleetScenario::new(Vec::new())
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Region outside the fleet.
+        let mut bad_region = ok.clone();
+        bad_region[1].region = 5;
+        assert!(FleetScenario::new(bad_region)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Timeline count mismatch.
+        assert!(FleetScenario::new(ok.clone())
+            .with_timelines(vec![ClusterTimeline::new()])
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Non-positive round length.
+        assert!(FleetScenario::new(ok.clone())
+            .with_round_seconds(0.0)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Leader missing from a cluster.
+        assert!(FleetScenario::new(ok)
+            .run_streaming(&strategy, &fleet, NodeIndex(64))
+            .is_err());
+    }
+}

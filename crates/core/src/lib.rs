@@ -46,6 +46,7 @@ pub mod dp;
 mod dse;
 mod engine;
 mod error;
+mod fleet;
 mod global;
 mod local;
 mod parallel;
@@ -60,6 +61,9 @@ mod system_model;
 pub use dse::{Decision, DseAgent, DsePolicy};
 pub use engine::{HidpStrategy, HierarchicalPlan};
 pub use error::CoreError;
+pub use fleet::{
+    FleetConfig, FleetRequest, FleetScenario, FleetScratch, FleetSummary, RoutingPolicy,
+};
 pub use global::{
     chain_segments, workload_summary, GlobalAssignment, GlobalPartitioner, GlobalShare, ShareKind,
 };

@@ -170,6 +170,58 @@ impl ParallelSweep {
             .collect()
     }
 
+    /// Runs `f(index, &mut items[index])` for every item, **mutating the
+    /// items in place** — the fleet tier's per-round worker barrier. Each
+    /// call touches only its own slot, so the results are trivially
+    /// bit-identical at every thread count; the work-stealing atomic
+    /// counter only decides *which thread* runs an index, never what the
+    /// index computes.
+    ///
+    /// With one thread (or at most one item) this degenerates to a plain
+    /// sequential loop — no threads, no locks, **no allocation** — which is
+    /// the path the fleet zero-alloc audit runs on. The threaded path wraps
+    /// each slot in an uncontended `Mutex` (every index is claimed exactly
+    /// once) purely to hand `&mut` across the scope boundary.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after all workers have stopped.
+    pub fn run_mut<J, F>(&self, items: &mut [J], f: F)
+    where
+        J: Send,
+        F: Fn(usize, &mut J) + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+
+        let workers = self.threads.min(items.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<&mut J>> =
+            items.iter_mut().map(std::sync::Mutex::new).collect();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let mut slot = slots[i].lock().expect("slot mutex poisoned");
+                        f(i, &mut slot);
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("sweep worker panicked");
+            }
+        })
+        .expect("scoped sweep threads complete");
+    }
+
     /// Runs every [`SweepJob`] through
     /// [`Scenario::run_with_cache_in`] against one shared (sharded) `cache`,
     /// returning evaluations in job order. Each worker thread owns one
@@ -294,6 +346,24 @@ mod tests {
                 assert_eq!(*r, i * i);
             }
         }
+    }
+
+    #[test]
+    fn run_mut_updates_every_slot_in_place_at_any_thread_count() {
+        for threads in [1, 2, 4] {
+            let mut items: Vec<u64> = (0..97).collect();
+            ParallelSweep::new(threads).run_mut(&mut items, |i, item| {
+                *item = *item * 3 + i as u64;
+            });
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(*item, i as u64 * 4, "threads = {threads}");
+            }
+        }
+        // Empty and singleton inputs take the serial path.
+        ParallelSweep::new(4).run_mut(&mut [] as &mut [u64], |_, _| unreachable!());
+        let mut one = [7u64];
+        ParallelSweep::new(4).run_mut(&mut one, |_, item| *item += 1);
+        assert_eq!(one, [8]);
     }
 
     #[test]

@@ -931,11 +931,13 @@ impl ServingConfig {
     }
 }
 
-/// An estimated batch completion in the admission window.
+/// An estimated batch completion in the admission window. `pub(crate)` so
+/// the fleet tier's per-cluster workers can reuse the same in-flight heap
+/// ordering (time, then admission sequence) the serving loop uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Departure {
-    at: f64,
-    seq: u64,
+pub(crate) struct Departure {
+    pub(crate) at: f64,
+    pub(crate) seq: u64,
 }
 
 impl Eq for Departure {}
@@ -1174,8 +1176,13 @@ impl Ord for EdfEntry {
 ///
 /// Bucket ids persist across runs (`bucket_ids` is never cleared), so a
 /// steady-state pass re-derives every bucket without hashing allocations.
+///
+/// `pub(crate)` so the fleet tier's per-cluster workers run the identical
+/// structure; the fleet loop additionally uses [`IndexedQueue::begin`] +
+/// [`IndexedQueue::ensure`] because its request list grows round by round
+/// as the router delivers arrivals.
 #[derive(Debug, Default)]
-struct IndexedQueue {
+pub(crate) struct IndexedQueue {
     /// Push sequence per request index (= position in arrival order).
     seq: Vec<u32>,
     in_queue: Vec<bool>,
@@ -1202,7 +1209,16 @@ struct IndexedQueue {
 impl IndexedQueue {
     /// Clears the queue for a run over `n` requests, keeping capacity (and
     /// the persistent bucket-id table).
-    fn reset(&mut self, n: usize) {
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.begin();
+        self.ensure(n);
+    }
+
+    /// Clears the queue for a new run without sizing the index arrays —
+    /// the fleet loop's entry point, where the request count is unknown up
+    /// front and [`IndexedQueue::ensure`] grows the arrays as the router
+    /// delivers. Capacity (and the bucket-id table) is kept.
+    pub(crate) fn begin(&mut self) {
         for list in [
             &mut self.seq,
             &mut self.gnext,
@@ -1214,10 +1230,8 @@ impl IndexedQueue {
             &mut self.bucket_of,
         ] {
             list.clear();
-            list.resize(n, NONE);
         }
         self.in_queue.clear();
-        self.in_queue.resize(n, false);
         self.ghead = NONE;
         self.gtail = NONE;
         self.chead = [NONE; 3];
@@ -1230,13 +1244,35 @@ impl IndexedQueue {
         self.next_seq = 0;
     }
 
-    fn len(&self) -> usize {
+    /// Grows the index arrays to cover request indices `< n` (no-op when
+    /// already large enough). Within retained capacity this is
+    /// allocation-free, which keeps warm fleet rounds zero-alloc.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.seq.len() >= n {
+            return;
+        }
+        for list in [
+            &mut self.seq,
+            &mut self.gnext,
+            &mut self.gprev,
+            &mut self.cnext,
+            &mut self.cprev,
+            &mut self.bnext,
+            &mut self.bprev,
+            &mut self.bucket_of,
+        ] {
+            list.resize(n, NONE);
+        }
+        self.in_queue.resize(n, false);
+    }
+
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 
     /// Enqueues `idx` (called in arrival order, which makes `seq` the queue
     /// order every pick tie-breaks on).
-    fn push(&mut self, idx: u32, requests: &[ServingRequest], policy: AdmissionPolicy) {
+    pub(crate) fn push(&mut self, idx: u32, requests: &[ServingRequest], policy: AdmissionPolicy) {
         let i = idx as usize;
         let request = &requests[i];
         let seq = self.next_seq;
@@ -1280,7 +1316,7 @@ impl IndexedQueue {
     }
 
     /// The request the policy admits next. The queue must be non-empty.
-    fn pick(&mut self, policy: AdmissionPolicy) -> u32 {
+    pub(crate) fn pick(&mut self, policy: AdmissionPolicy) -> u32 {
         match policy {
             AdmissionPolicy::Fifo => self.ghead,
             AdmissionPolicy::Priority => {
@@ -1307,7 +1343,7 @@ impl IndexedQueue {
     /// Collects the batch the head coalesces into `out`: the head plus the
     /// first `max_batch - 1` same-bucket requests in queue order, sorted by
     /// queue position — exactly the reference scan's member set and order.
-    fn coalesce(&self, head: u32, max_batch: usize, out: &mut Vec<u32>) {
+    pub(crate) fn coalesce(&self, head: u32, max_batch: usize, out: &mut Vec<u32>) {
         out.clear();
         out.push(head);
         let bucket = self.bucket_of[head as usize] as usize;
@@ -1323,7 +1359,7 @@ impl IndexedQueue {
 
     /// Dequeues `idx` from every list (deadline-heap entries are pruned
     /// lazily by [`IndexedQueue::pick`]).
-    fn remove(&mut self, idx: u32, requests: &[ServingRequest]) {
+    pub(crate) fn remove(&mut self, idx: u32, requests: &[ServingRequest]) {
         let i = idx as usize;
         debug_assert!(self.in_queue[i]);
         self.in_queue[i] = false;
@@ -1381,8 +1417,12 @@ impl DispatchResource {
 /// streaming mode these estimates are the reported completions; in records
 /// mode they only gate the admission window while the reported metrics come
 /// from the full event engine.
+///
+/// `pub(crate)` so every fleet-tier cluster worker owns one, and so the
+/// fleet router can read [`DispatchEstimator::horizon`] as its least-loaded
+/// backlog signal.
 #[derive(Debug, Default)]
-struct DispatchEstimator {
+pub(crate) struct DispatchEstimator {
     /// Interned resource ids; persists across runs.
     resource_ids: HashMap<DispatchResource, u32>,
     /// Free time per resource id, reset to 0 each run.
@@ -1393,15 +1433,23 @@ struct DispatchEstimator {
 
 impl DispatchEstimator {
     /// Clears the free times for a new run, keeping the intern table.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.free.clear();
         self.free.resize(self.resource_ids.len(), 0.0);
+    }
+
+    /// The latest free time across all resources — the virtual time at
+    /// which everything admitted so far has drained (0 when nothing has
+    /// been admitted). The fleet router reads this at each barrier as a
+    /// cluster's backlog signal.
+    pub(crate) fn horizon(&self) -> f64 {
+        self.free.iter().fold(0.0f64, |acc, &t| acc.max(t))
     }
 
     /// List-schedules `plan` released at `release` against the current free
     /// times and returns its estimated completion, advancing the free times
     /// of every resource the plan touches.
-    fn estimate(
+    pub(crate) fn estimate(
         &mut self,
         plan: &ExecutionPlan,
         cluster: &Cluster,

@@ -8,11 +8,23 @@ use crate::PlatformError;
 use serde::{Deserialize, Serialize};
 
 /// A collaborative cluster of heterogeneous edge nodes.
+///
+/// The content fingerprint is cached: the hash of the static content (nodes
+/// and network) is folded once at construction, and availability toggles
+/// re-fold only the availability bytes (O(nodes), not O(nodes×processors)),
+/// so [`Cluster::fingerprint`] itself is a field read. The cached values are
+/// plain functions of the other fields, so the derived equality and serde
+/// round trips stay consistent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cluster {
     nodes: Vec<EdgeNode>,
     network: NetworkModel,
     available: Vec<bool>,
+    /// FNV-1a state after hashing `nodes` and `network` (availability not
+    /// yet folded in).
+    static_state: u64,
+    /// The full fingerprint (static state + availability bytes).
+    fingerprint: u64,
 }
 
 impl Cluster {
@@ -28,10 +40,14 @@ impl Cluster {
             });
         }
         let available = vec![true; nodes.len()];
+        let static_state = Self::static_fingerprint_state(&nodes, &network);
+        let fingerprint = Self::fold_availability(static_state, &available);
         Ok(Self {
             nodes,
             network,
             available,
+            static_state,
+            fingerprint,
         })
     }
 
@@ -110,7 +126,17 @@ impl Cluster {
             return Err(PlatformError::UnknownNode { index: index.0 });
         }
         self.available[index.0] = available;
+        // Incremental fingerprint refresh: the static prefix is cached, so a
+        // toggle only re-folds the availability bytes.
+        self.fingerprint = Self::fold_availability(self.static_state, &self.available);
         Ok(())
+    }
+
+    /// Replaces the network model, refreshing the cached fingerprint.
+    pub fn set_network(&mut self, network: NetworkModel) {
+        self.network = network;
+        self.static_state = Self::static_fingerprint_state(&self.nodes, &self.network);
+        self.fingerprint = Self::fold_availability(self.static_state, &self.available);
     }
 
     /// Marks a node as failed (paper Eq. 4) — convenience wrapper around
@@ -215,10 +241,30 @@ impl Cluster {
     /// identically, so plan caches key on it; toggling availability (Eq. 4)
     /// changes the fingerprint and invalidates cached plans. Stable across
     /// processes (FNV-1a over a canonical encoding, no random hash seeds).
+    ///
+    /// The value is cached — this is a field read. Construction hashes the
+    /// static content once and every [`Cluster::set_available`] re-folds only
+    /// the availability bytes; [`Cluster::recomputed_fingerprint`] is the
+    /// full O(nodes×processors) walk kept as the audit path, pinned equal by
+    /// proptest (`tests/fingerprint_and_timeline.rs`).
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Recomputes the fingerprint from scratch over every field — the audit
+    /// counterpart of the cached [`Cluster::fingerprint`]. Intended for
+    /// tests and debugging; hot paths read the cached value.
+    pub fn recomputed_fingerprint(&self) -> u64 {
+        let state = Self::static_fingerprint_state(&self.nodes, &self.network);
+        Self::fold_availability(state, &self.available)
+    }
+
+    /// FNV-1a state after the static (availability-independent) content:
+    /// node inventory, processor inventory and the network model.
+    fn static_fingerprint_state(nodes: &[EdgeNode], network: &NetworkModel) -> u64 {
         let mut h = crate::fingerprint::Fnv64::new();
-        h.write_usize(self.nodes.len());
-        for node in &self.nodes {
+        h.write_usize(nodes.len());
+        for node in nodes {
             h.write_str(&node.name);
             h.write_f64(node.dram_gb);
             h.write_f64(node.board_power_w);
@@ -239,8 +285,14 @@ impl Cluster {
                 h.write_f64(p.local_bandwidth_mbps);
             }
         }
-        self.network.hash_into(&mut h);
-        for available in &self.available {
+        network.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Folds the availability bytes onto a static-content state.
+    fn fold_availability(state: u64, available: &[bool]) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::from_state(state);
+        for available in available {
             h.write(&[u8::from(*available)]);
         }
         h.finish()
@@ -379,7 +431,35 @@ mod tests {
             NodeIndex(1),
             crate::network::Link::new(10.0, 5.0).unwrap(),
         );
-        slow_net.network = network;
+        slow_net.set_network(network);
         assert_ne!(cluster.fingerprint(), slow_net.fingerprint());
+    }
+
+    #[test]
+    fn cached_fingerprint_tracks_every_mutation_path() {
+        // The cached value must equal the full recomputation after every
+        // mutation entry point: construction, availability toggles (both
+        // wrappers), prefix restriction and network replacement.
+        let mut cluster = presets::paper_cluster();
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        cluster.fail_node(NodeIndex(2)).unwrap();
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        cluster.recover_node(NodeIndex(2)).unwrap();
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        cluster.set_available(NodeIndex(4), false).unwrap();
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        let prefix = cluster.take(3).unwrap();
+        assert_eq!(prefix.fingerprint(), prefix.recomputed_fingerprint());
+        let mut network = cluster.network().clone();
+        network.set_link(
+            NodeIndex(1),
+            NodeIndex(2),
+            crate::network::Link::new(25.0, 3.0).unwrap(),
+        );
+        cluster.set_network(network);
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        // A failed set_available leaves the cache untouched.
+        assert!(cluster.set_available(NodeIndex(99), false).is_err());
+        assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
     }
 }

@@ -55,6 +55,14 @@ impl Fnv64 {
     pub(crate) fn finish(&self) -> u64 {
         self.0
     }
+
+    /// Resumes accumulation from a previously captured state (FNV-1a is a
+    /// running fold, so `finish` doubles as the resumable state). This is
+    /// what lets [`crate::Cluster`] cache the hash of its static content and
+    /// re-fold only the availability bytes on each toggle.
+    pub(crate) fn from_state(state: u64) -> Self {
+        Self(state)
+    }
 }
 
 #[cfg(test)]

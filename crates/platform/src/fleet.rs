@@ -1,0 +1,383 @@
+//! Fleet tier: many clusters behind a WAN.
+//!
+//! The paper's hierarchy stops at node→processor inside one edge cluster;
+//! the fleet tier adds cluster selection above it. A [`Fleet`] is a set of
+//! [`Cluster`]s, each sitting in a *region*, connected by a [`WanModel`] —
+//! the wide-area analogue of [`crate::NetworkModel`]: one default link plus
+//! per-cluster-pair latency/bandwidth overrides. Requests originate in a
+//! region and enter the WAN through that region's ingress cluster; the cost
+//! of serving a request on a remote cluster is the round trip from the
+//! ingress to that cluster.
+//!
+//! The routing tier (hidp-core's `FleetScenario`) keys its decisions on the
+//! same cluster fingerprints the plan cache keys on, so an availability flip
+//! re-keys routing exactly the way it re-keys planning.
+
+use crate::cluster::Cluster;
+use crate::network::Link;
+use crate::PlatformError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The wide-area network between the clusters of a [`Fleet`]: a default
+/// inter-cluster link plus per-cluster-pair overrides (e.g. cheap
+/// same-region backhaul, slow transcontinental pairs). The WAN connects
+/// *clusters* (sites), not nodes — intra-cluster traffic stays on each
+/// cluster's own [`crate::NetworkModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WanModel {
+    sites: usize,
+    default_link: Link,
+    overrides: HashMap<(usize, usize), Link>,
+}
+
+impl WanModel {
+    /// Creates a WAN where every cluster pair uses `default_link`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when `sites` is zero.
+    pub fn uniform(sites: usize, default_link: Link) -> Result<Self, PlatformError> {
+        if sites == 0 {
+            return Err(PlatformError::InvalidParameter {
+                what: "a WAN needs at least one site".into(),
+            });
+        }
+        Ok(Self {
+            sites,
+            default_link,
+            overrides: HashMap::new(),
+        })
+    }
+
+    /// Number of sites (clusters) the WAN connects.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// The default inter-cluster link.
+    pub fn default_link(&self) -> Link {
+        self.default_link
+    }
+
+    /// Sets a link override for the (unordered) cluster pair `a`–`b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] for out-of-range sites or
+    /// a self-pair.
+    pub fn set_link(&mut self, a: usize, b: usize, link: Link) -> Result<(), PlatformError> {
+        if a >= self.sites || b >= self.sites {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "WAN link ({a}, {b}) references a site outside 0..{}",
+                    self.sites
+                ),
+            });
+        }
+        if a == b {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("WAN link ({a}, {b}) is a self-pair; intra-site traffic is free"),
+            });
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.overrides.insert(key, link);
+        Ok(())
+    }
+
+    /// The link between two clusters. Traffic within one cluster does not
+    /// touch the WAN.
+    pub fn link(&self, a: usize, b: usize) -> Option<Link> {
+        if a == b {
+            return None;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        Some(*self.overrides.get(&key).unwrap_or(&self.default_link))
+    }
+
+    /// Round-trip time in seconds for a `payload_bytes` request from site
+    /// `a` to site `b` and a latency-only response back (zero within one
+    /// site).
+    pub fn round_trip_seconds(&self, a: usize, b: usize, payload_bytes: u64) -> f64 {
+        match self.link(a, b) {
+            Some(link) => link.transfer_time(payload_bytes) + link.latency_ms / 1e3,
+            None => 0.0,
+        }
+    }
+
+    /// Feeds the WAN description into a fingerprint accumulator. Overrides
+    /// are hashed in sorted key order so the hash does not depend on
+    /// `HashMap` iteration order.
+    pub(crate) fn hash_into(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_usize(self.sites);
+        h.write_f64(self.default_link.bandwidth_mbps);
+        h.write_f64(self.default_link.latency_ms);
+        let mut overrides: Vec<(&(usize, usize), &Link)> = self.overrides.iter().collect();
+        overrides.sort_by_key(|(key, _)| **key);
+        h.write_usize(overrides.len());
+        for ((a, b), link) in overrides {
+            h.write_usize(*a);
+            h.write_usize(*b);
+            h.write_f64(link.bandwidth_mbps);
+            h.write_f64(link.latency_ms);
+        }
+    }
+}
+
+/// A fleet of heterogeneous edge clusters: the third tier of the hierarchy
+/// (fleet → cluster → node → processor). Each cluster sits in a region;
+/// requests originate in a region and enter through that region's *ingress*
+/// cluster (its first cluster), so the WAN cost of a routing decision is
+/// [`Fleet::wan_round_trip`] from the ingress to the serving cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    clusters: Vec<Cluster>,
+    regions: Vec<usize>,
+    region_count: usize,
+    /// Ingress cluster per region: the first cluster listed in the region.
+    ingress: Vec<usize>,
+    wan: WanModel,
+}
+
+impl Fleet {
+    /// Creates a fleet from clusters, their region assignment and the WAN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when the fleet is empty,
+    /// `regions` does not match the cluster count, the WAN site count does
+    /// not match, or a region in `0..max+1` has no cluster.
+    pub fn new(
+        clusters: Vec<Cluster>,
+        regions: Vec<usize>,
+        wan: WanModel,
+    ) -> Result<Self, PlatformError> {
+        if clusters.is_empty() {
+            return Err(PlatformError::InvalidParameter {
+                what: "a fleet needs at least one cluster".into(),
+            });
+        }
+        if regions.len() != clusters.len() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "{} region assignments for {} clusters",
+                    regions.len(),
+                    clusters.len()
+                ),
+            });
+        }
+        if wan.sites() != clusters.len() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "WAN connects {} sites but the fleet has {} clusters",
+                    wan.sites(),
+                    clusters.len()
+                ),
+            });
+        }
+        let region_count = regions.iter().copied().max().unwrap_or(0) + 1;
+        let mut ingress = vec![usize::MAX; region_count];
+        for (cluster, &region) in regions.iter().enumerate() {
+            if ingress[region] == usize::MAX {
+                ingress[region] = cluster;
+            }
+        }
+        if let Some(empty) = ingress.iter().position(|&i| i == usize::MAX) {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("region {empty} has no cluster (regions must be contiguous)"),
+            });
+        }
+        Ok(Self {
+            clusters,
+            regions,
+            region_count,
+            ingress,
+            wan,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the fleet has no clusters (never true for valid fleets).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// One cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] for out-of-range indices.
+    pub fn cluster(&self, index: usize) -> Result<&Cluster, PlatformError> {
+        self.clusters
+            .get(index)
+            .ok_or_else(|| PlatformError::InvalidParameter {
+                what: format!("cluster {index} outside fleet of {}", self.clusters.len()),
+            })
+    }
+
+    /// The region a cluster sits in.
+    pub fn region_of(&self, cluster: usize) -> usize {
+        self.regions[cluster]
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// The ingress cluster of a region (its first cluster): where requests
+    /// originating in the region enter the WAN.
+    pub fn ingress(&self, region: usize) -> usize {
+        self.ingress[region]
+    }
+
+    /// The WAN connecting the clusters.
+    pub fn wan(&self) -> &WanModel {
+        &self.wan
+    }
+
+    /// Total node count across all clusters.
+    pub fn total_nodes(&self) -> usize {
+        self.clusters.iter().map(Cluster::len).sum()
+    }
+
+    /// Round-trip WAN cost of serving a `payload_bytes` request that
+    /// originates in `region` on `cluster`: the trip from the region's
+    /// ingress to the cluster and the latency back. Zero when the serving
+    /// cluster is the ingress itself.
+    pub fn wan_round_trip(&self, region: usize, cluster: usize, payload_bytes: u64) -> f64 {
+        self.wan
+            .round_trip_seconds(self.ingress[region], cluster, payload_bytes)
+    }
+
+    /// A content fingerprint of the whole fleet: the per-cluster
+    /// fingerprints (availability included — a node failure anywhere changes
+    /// the fleet identity), the region assignment and the WAN. Stable across
+    /// processes, like [`Cluster::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::new();
+        h.write_usize(self.clusters.len());
+        for cluster in &self.clusters {
+            h.write_u64(cluster.fingerprint());
+        }
+        for &region in &self.regions {
+            h.write_usize(region);
+        }
+        self.wan.hash_into(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::NodeIndex;
+
+    fn two_region_fleet() -> Fleet {
+        presets::generated_fleet(4, 2).unwrap()
+    }
+
+    #[test]
+    fn wan_links_default_and_override() {
+        let mut wan = WanModel::uniform(3, Link::new(25.0, 40.0).unwrap()).unwrap();
+        assert_eq!(wan.sites(), 3);
+        assert_eq!(wan.link(0, 0), None);
+        assert_eq!(wan.round_trip_seconds(1, 1, 1_000_000), 0.0);
+        let fast = Link::new(500.0, 2.0).unwrap();
+        wan.set_link(2, 0, fast).unwrap();
+        assert_eq!(wan.link(0, 2), Some(fast));
+        assert_eq!(wan.link(2, 0), Some(fast));
+        assert_eq!(wan.link(0, 1), Some(wan.default_link()));
+        // Round trip = payload transfer one way + latency back.
+        let rt = wan.round_trip_seconds(0, 1, 25_000_000);
+        assert!((rt - (0.04 + 1.0 + 0.04)).abs() < 1e-9);
+        assert!(wan.set_link(0, 9, fast).is_err());
+        assert!(wan.set_link(1, 1, fast).is_err());
+        assert!(WanModel::uniform(0, fast).is_err());
+    }
+
+    #[test]
+    fn fleet_validates_shape() {
+        let wan = WanModel::uniform(2, Link::new(25.0, 40.0).unwrap()).unwrap();
+        let clusters = vec![presets::paper_cluster(), presets::tx2_only()];
+        assert!(Fleet::new(
+            vec![],
+            vec![],
+            WanModel::uniform(1, wan.default_link()).unwrap()
+        )
+        .is_err());
+        assert!(Fleet::new(clusters.clone(), vec![0], wan.clone()).is_err());
+        // Region 1 empty (assignments 0 and 2): rejected.
+        assert!(Fleet::new(clusters.clone(), vec![0, 2], wan.clone()).is_err());
+        // WAN site count must match.
+        let wan3 = WanModel::uniform(3, wan.default_link()).unwrap();
+        assert!(Fleet::new(clusters.clone(), vec![0, 1], wan3).is_err());
+        let fleet = Fleet::new(clusters, vec![0, 1], wan).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.region_count(), 2);
+        assert_eq!(fleet.ingress(0), 0);
+        assert_eq!(fleet.ingress(1), 1);
+        assert_eq!(fleet.total_nodes(), 6);
+        assert!(fleet.cluster(2).is_err());
+    }
+
+    #[test]
+    fn generated_fleet_is_heterogeneous_and_regional() {
+        let fleet = presets::generated_fleet(8, 4).unwrap();
+        assert_eq!(fleet.len(), 8);
+        assert_eq!(fleet.region_count(), 4);
+        // Cluster i sits in region i % 4; each region's ingress is its
+        // first cluster.
+        for i in 0..8 {
+            assert_eq!(fleet.region_of(i), i % 4);
+        }
+        for r in 0..4 {
+            assert_eq!(fleet.ingress(r), r);
+        }
+        // Sizes vary: the generator cycles 3..=6 nodes per cluster.
+        let sizes: Vec<usize> = fleet.clusters().iter().map(Cluster::len).collect();
+        assert!(
+            sizes.iter().any(|&s| s != sizes[0]),
+            "sizes vary: {sizes:?}"
+        );
+        assert!(sizes.iter().all(|&s| (3..=6).contains(&s)));
+        // Same-region pairs ride the cheap backhaul override, cross-region
+        // pairs the default.
+        let same = fleet.wan().link(0, 4).unwrap();
+        let cross = fleet.wan().link(0, 1).unwrap();
+        assert!(same.latency_ms < cross.latency_ms);
+        assert!(same.bandwidth_mbps > cross.bandwidth_mbps);
+        // Serving in-region is WAN-free at the ingress and cheap elsewhere
+        // in the region; serving cross-region pays the default round trip.
+        assert_eq!(fleet.wan_round_trip(0, 0, 150_000), 0.0);
+        assert!(fleet.wan_round_trip(0, 4, 150_000) < fleet.wan_round_trip(0, 1, 150_000));
+        // Invalid shapes are rejected.
+        assert!(presets::generated_fleet(0, 1).is_err());
+        assert!(presets::generated_fleet(4, 0).is_err());
+        assert!(presets::generated_fleet(2, 3).is_err());
+    }
+
+    #[test]
+    fn fleet_fingerprint_tracks_cluster_epochs() {
+        let mut fleet = two_region_fleet();
+        let pristine = fleet.fingerprint();
+        assert_eq!(pristine, two_region_fleet().fingerprint());
+        // A node failure inside any one cluster re-keys the fleet, exactly
+        // like it re-keys that cluster's plans.
+        fleet.clusters[2].fail_node(NodeIndex(0)).unwrap();
+        let degraded = fleet.fingerprint();
+        assert_ne!(pristine, degraded);
+        fleet.clusters[2].recover_node(NodeIndex(0)).unwrap();
+        assert_eq!(pristine, fleet.fingerprint());
+    }
+}

@@ -24,6 +24,7 @@
 mod cluster;
 mod error;
 mod fingerprint;
+mod fleet;
 mod network;
 mod node;
 pub mod power;
@@ -33,6 +34,7 @@ mod timeline;
 
 pub use cluster::Cluster;
 pub use error::PlatformError;
+pub use fleet::{Fleet, WanModel};
 pub use network::{Link, NetworkModel};
 pub use node::{EdgeNode, NodeIndex, ProcessorAddr, ProcessorIndex};
 pub use power::EnergyMeter;

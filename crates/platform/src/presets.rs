@@ -20,9 +20,11 @@
 //! compute and communication rates.
 
 use crate::cluster::Cluster;
-use crate::network::NetworkModel;
+use crate::fleet::{Fleet, WanModel};
+use crate::network::{Link, NetworkModel};
 use crate::node::EdgeNode;
 use crate::processor::Processor;
+use crate::PlatformError;
 
 /// NVIDIA Jetson Orin NX (8 GB): the most capable device in the cluster.
 pub fn jetson_orin_nx() -> EdgeNode {
@@ -146,6 +148,72 @@ pub fn paper_cluster() -> Cluster {
 pub fn tx2_only() -> Cluster {
     Cluster::new(vec![jetson_tx2()], NetworkModel::paper_wireless())
         .expect("static preset is valid")
+}
+
+/// A generated heterogeneous fleet of `cluster_count` clusters spread over
+/// `region_count` regions — the fleet-tier analogue of
+/// [`paper_cluster`], scaling to hundreds of clusters (thousands of nodes)
+/// from the same five device presets.
+///
+/// Deterministic by construction (no RNG): cluster `i` has `3 + (i % 4)`
+/// nodes drawn from the device cycle starting at offset `i`, sits in region
+/// `i % region_count`, and runs the paper's 80 MB/s wireless internally. The
+/// WAN defaults to a 25 MB/s / 40 ms inter-region link; same-region cluster
+/// pairs override it with a 500 MB/s / 2 ms metro backhaul, so locality has
+/// a real price signal per cluster pair.
+///
+/// Every cluster has at least three nodes, so node indices 0–2 are valid
+/// leaders fleet-wide.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::InvalidParameter`] when `cluster_count` is zero,
+/// `region_count` is zero, or `region_count` exceeds `cluster_count` (a
+/// region would be empty).
+pub fn generated_fleet(cluster_count: usize, region_count: usize) -> Result<Fleet, PlatformError> {
+    if region_count == 0 {
+        return Err(PlatformError::InvalidParameter {
+            what: "a fleet needs at least one region".into(),
+        });
+    }
+    if region_count > cluster_count {
+        return Err(PlatformError::InvalidParameter {
+            what: format!(
+                "{region_count} regions cannot all be populated by {cluster_count} clusters"
+            ),
+        });
+    }
+    let devices: [fn() -> EdgeNode; 5] = [
+        jetson_orin_nx,
+        jetson_tx2,
+        jetson_nano,
+        raspberry_pi5,
+        raspberry_pi4,
+    ];
+    let mut clusters = Vec::with_capacity(cluster_count);
+    let mut regions = Vec::with_capacity(cluster_count);
+    for i in 0..cluster_count {
+        let size = 3 + (i % 4);
+        let nodes: Vec<EdgeNode> = (0..size)
+            .map(|j| devices[(i + j) % devices.len()]())
+            .collect();
+        clusters.push(
+            Cluster::new(nodes, NetworkModel::paper_wireless())
+                .expect("generated cluster is valid"),
+        );
+        regions.push(i % region_count);
+    }
+    let default_wan = Link::new(25.0, 40.0).expect("static link parameters are valid");
+    let backhaul = Link::new(500.0, 2.0).expect("static link parameters are valid");
+    let mut wan = WanModel::uniform(cluster_count, default_wan)?;
+    for a in 0..cluster_count {
+        for b in (a + 1)..cluster_count {
+            if regions[a] == regions[b] {
+                wan.set_link(a, b, backhaul)?;
+            }
+        }
+    }
+    Fleet::new(clusters, regions, wan)
 }
 
 #[cfg(test)]

@@ -206,4 +206,77 @@ mod tests {
         // The probe did not mutate the input cluster.
         assert_eq!(cluster.availability(), &[true; 5]);
     }
+
+    #[test]
+    fn simultaneous_down_and_up_at_one_timestamp_apply_in_push_order() {
+        let cluster = presets::paper_cluster();
+        // Node 1 fails and recovers at the same instant; a different node
+        // fails at that instant too. Replay order is push order, so the
+        // intermediate epochs see node 1 down, then up again.
+        let timeline = ClusterTimeline::new()
+            .node_down(2.0, NodeIndex(1))
+            .unwrap()
+            .node_up(2.0, NodeIndex(1))
+            .unwrap()
+            .node_down(2.0, NodeIndex(3))
+            .unwrap();
+        let events = timeline.events();
+        assert!(events.iter().all(|e| e.time == 2.0));
+        assert_eq!(
+            events.iter().map(|e| (e.node, e.up)).collect::<Vec<_>>(),
+            vec![
+                (NodeIndex(1), false),
+                (NodeIndex(1), true),
+                (NodeIndex(3), false)
+            ]
+        );
+        let fps = timeline.epoch_fingerprints(&cluster).unwrap();
+        // down(1) → up(1) round-trips the fingerprint before down(3) lands.
+        assert_ne!(fps[0], fps[1]);
+        assert_eq!(fps[0], fps[2]);
+        assert_ne!(fps[2], fps[3]);
+    }
+
+    #[test]
+    fn time_zero_is_valid_and_anything_earlier_is_not() {
+        // t = 0 (and -0.0, which is non-negative) is a legal "down from the
+        // start" event; any strictly earlier time is rejected.
+        let timeline = ClusterTimeline::new()
+            .node_down(0.0, NodeIndex(0))
+            .unwrap()
+            .node_down(-0.0, NodeIndex(1))
+            .unwrap();
+        assert_eq!(timeline.len(), 2);
+        // The -0.0 push sorts as an equal-time tie, after the first event.
+        assert_eq!(timeline.events()[1].node, NodeIndex(1));
+        assert!(ClusterTimeline::new()
+            .node_down(-1e-9, NodeIndex(0))
+            .is_err());
+        assert!(ClusterTimeline::new()
+            .node_down(f64::NEG_INFINITY, NodeIndex(0))
+            .is_err());
+    }
+
+    #[test]
+    fn double_fail_and_double_recover_are_idempotent_epochs() {
+        let cluster = presets::paper_cluster();
+        let timeline = ClusterTimeline::new()
+            .node_down(1.0, NodeIndex(2))
+            .unwrap()
+            .node_down(2.0, NodeIndex(2))
+            .unwrap()
+            .node_up(3.0, NodeIndex(2))
+            .unwrap()
+            .node_up(4.0, NodeIndex(2))
+            .unwrap();
+        let fps = timeline.epoch_fingerprints(&cluster).unwrap();
+        assert_eq!(fps.len(), 5);
+        // The second fail and the second recover are no-ops on availability:
+        // the epoch fingerprint does not move.
+        assert_ne!(fps[0], fps[1]);
+        assert_eq!(fps[1], fps[2]);
+        assert_ne!(fps[2], fps[3]);
+        assert_eq!(fps[3], fps[4]);
+        assert_eq!(fps[0], fps[3]);
+    }
 }

@@ -43,7 +43,8 @@ pub use error::SimError;
 pub use plan::{ExecutionPlan, Label, PlanTask, TaskId, TaskKind};
 pub use reference::simulate_stream_reference;
 pub use serving::{
-    LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport, StreamingTail,
+    LatencyHistogram, LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass,
+    SlaClassReport, StreamingTail,
 };
 pub use stats::P2Quantile;
 

@@ -221,6 +221,176 @@ impl Default for StreamingTail {
     }
 }
 
+/// A mergeable log-binned latency histogram: the fleet tier's per-cluster
+/// metrics rollup.
+///
+/// [`StreamingTail`]'s P² sketches cannot be combined across clusters — two
+/// sketches do not merge into the sketch of the union — so a fleet that
+/// advances many per-cluster serving loops in parallel needs an accumulator
+/// whose merge is *exact* and order-independent: bin counts add. Each
+/// cluster worker feeds its own histogram; the rollup merges them in cluster
+/// index order, which makes the fleet summary bit-identical at any worker
+/// thread count.
+///
+/// 256 logarithmic bins span 100 µs to 10⁴ s (~7.5% relative width);
+/// `count`, `mean`, `min` and `max` are exact, quantiles are bin-resolution
+/// estimates (the geometric mean of the containing bin's bounds, clamped to
+/// the observed range). Everything is `Copy` — no heap, ~2 KB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyHistogram {
+    bins: [u64; Self::BINS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyHistogram {
+    const BINS: usize = 256;
+    const LO: f64 = 1e-4;
+    const HI: f64 = 1e4;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: [0; Self::BINS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// The bin a value lands in: 0 is the underflow bucket, `BINS - 1` the
+    /// overflow bucket, everything between log-spaced over `LO..HI`.
+    fn bin_of(value: f64) -> usize {
+        // NaN deliberately lands in the underflow bucket too.
+        if value.is_nan() || value <= Self::LO {
+            return 0;
+        }
+        if value >= Self::HI {
+            return Self::BINS - 1;
+        }
+        let t = (value / Self::LO).ln() / (Self::HI / Self::LO).ln();
+        1 + (t * (Self::BINS - 2) as f64) as usize
+    }
+
+    /// The lower and upper bounds of a bin.
+    fn bin_bounds(bin: usize) -> (f64, f64) {
+        if bin == 0 {
+            return (0.0, Self::LO);
+        }
+        let span = (Self::HI / Self::LO).ln();
+        let per = span / (Self::BINS - 2) as f64;
+        let lo = Self::LO * ((bin - 1) as f64 * per).exp();
+        let hi = if bin == Self::BINS - 1 {
+            f64::INFINITY
+        } else {
+            Self::LO * (bin as f64 * per).exp()
+        };
+        (lo, hi)
+    }
+
+    /// Feeds one observation (a latency, seconds).
+    pub fn observe(&mut self, value: f64) {
+        self.bins[Self::bin_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Merges another histogram in: bin counts add, so
+    /// `a.merge(&b)` summarises exactly the union of the two observation
+    /// streams — the property P² sketches lack.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Mean of all observations, 0 when empty (exact).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation, 0 when empty (exact).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Smallest observation, 0 when empty (exact).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `q`-th percentile (0–100), `None` when empty: the geometric mean
+    /// of the containing bin's bounds, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bin, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = Self::bin_bounds(bin);
+                if !hi.is_finite() {
+                    // Overflow bucket: the exact max is the best estimate.
+                    return Some(self.max);
+                }
+                let mid = (lo * hi).sqrt().max(lo);
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The tail summary (p50/p95/p99 at bin resolution; count and mean
+    /// exact), `None` before the first observation.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: self.count(),
+            p50: self.quantile(50.0)?,
+            p95: self.quantile(95.0)?,
+            p99: self.quantile(99.0)?,
+            mean: self.mean(),
+        })
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Aggregates for one SLA class present in a served stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SlaClassReport {
@@ -433,5 +603,73 @@ mod tests {
         let metrics = ServingMetrics::from_records(&records).unwrap();
         assert_eq!(metrics.per_class.len(), 1);
         assert!(metrics.class(SlaClass::Premium).is_none());
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments_and_bin_resolution_quantiles() {
+        let mut hist = LatencyHistogram::new();
+        assert_eq!(hist.summary(), None);
+        assert_eq!(hist.quantile(50.0), None);
+        assert_eq!(hist.mean(), 0.0);
+        assert_eq!(hist.min(), 0.0);
+        let values: Vec<f64> = (0..1_000).map(|i| 0.001 * (i % 97 + 1) as f64).collect();
+        for &v in &values {
+            hist.observe(v);
+        }
+        let summary = hist.summary().unwrap();
+        let exact = LatencySummary::of(&values).unwrap();
+        assert_eq!(summary.count, exact.count);
+        assert!((summary.mean - exact.mean).abs() < 1e-12);
+        assert!((hist.max() - 0.097).abs() < 1e-12);
+        assert!((hist.min() - 0.001).abs() < 1e-12);
+        // Bins are ~7.5% wide, so quantiles land within ~8% of exact.
+        for (estimated, reference) in [
+            (summary.p50, exact.p50),
+            (summary.p95, exact.p95),
+            (summary.p99, exact.p99),
+        ] {
+            assert!(
+                (estimated - reference).abs() / reference < 0.08,
+                "estimated {estimated} vs exact {reference}"
+            );
+        }
+        // Out-of-range observations land in the clamp buckets, still exact
+        // in count/mean/min/max.
+        hist.observe(0.0);
+        hist.observe(5e4);
+        assert_eq!(hist.count(), 1_002);
+        assert_eq!(hist.max(), 5e4);
+        assert_eq!(hist.min(), 0.0);
+        assert_eq!(hist.quantile(100.0), Some(5e4));
+    }
+
+    #[test]
+    fn histogram_merge_equals_union_stream() {
+        // The rollup property StreamingTail lacks: merging per-cluster
+        // histograms is exactly the histogram of the concatenated stream.
+        let all: Vec<f64> = (0..500).map(|i| 0.002 * (i % 41 + 1) as f64).collect();
+        let mut merged = LatencyHistogram::new();
+        for (half, chunk) in all.chunks(250).enumerate() {
+            let mut part = LatencyHistogram::new();
+            for &v in chunk {
+                part.observe(v);
+            }
+            assert_eq!(part.count(), 250, "half {half}");
+            merged.merge(&part);
+        }
+        let mut whole = LatencyHistogram::new();
+        for &v in &all {
+            whole.observe(v);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.quantile(50.0), whole.quantile(50.0));
+        assert_eq!(merged.quantile(99.0), whole.quantile(99.0));
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.min(), whole.min());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        // Merging an empty histogram is the identity.
+        let before = merged;
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, before);
     }
 }

@@ -23,8 +23,9 @@ mod stream;
 pub use request::InferenceRequest;
 pub use stream::{
     bursty_stream, diurnal_stream, dynamic_scenario, failure_injected_stream, poisson_stream,
-    poisson_stream_classed, repeating_stream, StreamBuilder,
+    poisson_stream_classed, regional_diurnal_stream, repeating_stream, StreamBuilder,
 };
-// The SLA vocabulary generators tag requests with, re-exported so workload
-// consumers need not depend on hidp-core/hidp-sim directly.
-pub use hidp_core::SlaClass;
+// The SLA vocabulary generators tag requests with — and the fleet request
+// type the regional generator produces — re-exported so workload consumers
+// need not depend on hidp-core/hidp-sim directly.
+pub use hidp_core::{FleetRequest, SlaClass};

@@ -8,7 +8,7 @@
 //! for a given seed.
 
 use crate::request::InferenceRequest;
-use hidp_core::SlaClass;
+use hidp_core::{FleetRequest, ServingRequest, SlaClass};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_platform::{ClusterTimeline, NodeIndex};
 use rand::Rng;
@@ -242,6 +242,109 @@ pub fn diurnal_stream(
     builder.finish()
 }
 
+/// Regional diurnal traffic for the fleet tier: one phase-shifted diurnal
+/// Poisson process per region, merged into a single arrival-ordered stream
+/// of [`FleetRequest`]s.
+///
+/// Region `r` (one per entry of `region_weights`) runs the same sinusoidal
+/// day/night rate shape as [`diurnal_stream`], but
+///
+/// * its whole rate curve is scaled by `region_weights[r]` — unequal weights
+///   skew load towards hot regions, which is what gives locality- and
+///   load-aware routing something to exploit over static spreading; and
+/// * its phase is shifted by `r / regions` of a period — regions peak at
+///   different times of the virtual day ("follow the sun"), so the hot
+///   region keeps moving.
+///
+/// Each region draws from its own `ChaCha8Rng` stream, so a region's
+/// arrival process does not depend on how many other regions exist. The
+/// merge is deterministic (ties broken by lower region index) and SLA
+/// classes cycle in global arrival order. Produces exactly `count`
+/// requests.
+///
+/// # Panics
+///
+/// Panics when `models` or `region_weights` is empty, a weight is not
+/// positive and finite, the rates do not satisfy
+/// `0 < base_rate <= peak_rate`, or the period is not positive and finite.
+#[allow(clippy::too_many_arguments)]
+pub fn regional_diurnal_stream(
+    models: &[WorkloadModel],
+    region_weights: &[f64],
+    base_rate: f64,
+    peak_rate: f64,
+    period_seconds: f64,
+    count: usize,
+    seed: u64,
+    sla_cycle: &[SlaClass],
+) -> Vec<FleetRequest> {
+    assert!(!models.is_empty(), "at least one model is required");
+    assert!(
+        !region_weights.is_empty(),
+        "at least one region is required"
+    );
+    assert!(
+        region_weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+        "region weights must be positive and finite"
+    );
+    assert!(
+        base_rate > 0.0 && base_rate.is_finite() && peak_rate >= base_rate,
+        "rates must satisfy 0 < base_rate <= peak_rate"
+    );
+    assert!(
+        period_seconds > 0.0 && period_seconds.is_finite(),
+        "period must be positive and finite"
+    );
+    let regions = region_weights.len();
+    let mut rngs: Vec<ChaCha8Rng> = (0..regions)
+        .map(|r| ChaCha8Rng::seed_from_u64(seed.wrapping_add(r as u64)))
+        .collect();
+    // Next pending arrival per region; region r's clock is advanced with
+    // the instantaneous rate at its current virtual time, peak shifted by
+    // r/regions of a period.
+    let advance = |r: usize, t: f64, rng: &mut ChaCha8Rng| -> f64 {
+        let phase_shift = r as f64 / regions as f64;
+        let phase = (t / period_seconds - phase_shift) * std::f64::consts::TAU;
+        let rate =
+            region_weights[r] * (base_rate + (peak_rate - base_rate) * 0.5 * (1.0 - phase.cos()));
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t - u.ln() / rate
+    };
+    let mut next: Vec<f64> = rngs
+        .iter_mut()
+        .enumerate()
+        .map(|(r, rng)| advance(r, 0.0, rng))
+        .collect();
+    let mut builder = StreamBuilder::with_capacity(count).with_sla_cycle(sla_cycle);
+    let mut picked = Vec::with_capacity(count);
+    for _ in 0..count {
+        let r = next
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(r, _)| r)
+            .expect("at least one region");
+        let t = next[r];
+        let model = models[rngs[r].gen_range(0..models.len())];
+        builder.push(model, t);
+        picked.push(r);
+        next[r] = advance(r, t, &mut rngs[r]);
+    }
+    builder
+        .finish()
+        .into_iter()
+        .zip(picked)
+        .map(|(request, region)| {
+            FleetRequest::new(
+                ServingRequest::new(request.model, request.arrival)
+                    .with_batch(request.batch)
+                    .with_sla(request.sla),
+                region,
+            )
+        })
+        .collect()
+}
+
 /// Failure-injected traffic: a Poisson stream plus the [`ClusterTimeline`]
 /// of node outages to replay while serving it. Each `(node, down_at, up_at)`
 /// outage contributes a failure and a recovery event; `up_at` may be
@@ -431,6 +534,135 @@ mod tests {
             peak > stream.len() - peak,
             "peak half-period got {peak}/{} arrivals",
             stream.len()
+        );
+    }
+
+    #[test]
+    fn regional_stream_is_deterministic_ordered_and_skewed() {
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::InceptionV3];
+        // Region 0 carries 4x the load of region 1.
+        let stream = regional_diurnal_stream(
+            &models,
+            &[4.0, 1.0],
+            1.0,
+            8.0,
+            40.0,
+            400,
+            11,
+            &SlaClass::ALL,
+        );
+        assert_eq!(stream.len(), 400);
+        assert_eq!(
+            stream,
+            regional_diurnal_stream(
+                &models,
+                &[4.0, 1.0],
+                1.0,
+                8.0,
+                40.0,
+                400,
+                11,
+                &SlaClass::ALL
+            )
+        );
+        for pair in stream.windows(2) {
+            assert!(pair[1].request.arrival >= pair[0].request.arrival);
+        }
+        // SLA classes cycle in global arrival order.
+        for (i, fr) in stream.iter().enumerate() {
+            assert_eq!(fr.request.sla, SlaClass::ALL[i % SlaClass::ALL.len()]);
+        }
+        // The heavy region receives the bulk of the traffic.
+        let hot = stream.iter().filter(|fr| fr.region == 0).count();
+        assert!(
+            hot > 2 * (stream.len() - hot),
+            "hot region got {hot}/{} requests",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn regional_streams_are_phase_shifted_per_region() {
+        // Two equal-weight regions, phases half a period apart: each
+        // region's arrivals must be densest in its own peak half-period.
+        let models = [WorkloadModel::EfficientNetB0];
+        let period = 30.0;
+        let stream = regional_diurnal_stream(
+            &models,
+            &[1.0, 1.0],
+            0.5,
+            10.0,
+            period,
+            600,
+            3,
+            &[SlaClass::Standard],
+        );
+        for region in 0..2 {
+            let shift = region as f64 / 2.0;
+            let in_own_peak = |t: f64| {
+                let phase = (t / period - shift).rem_euclid(1.0);
+                (0.25..0.75).contains(&phase)
+            };
+            let (peak, total) = stream
+                .iter()
+                .filter(|fr| fr.region == region)
+                .fold((0usize, 0usize), |(p, n), fr| {
+                    (p + usize::from(in_own_peak(fr.request.arrival)), n + 1)
+                });
+            assert!(
+                peak * 2 > total,
+                "region {region}: {peak}/{total} arrivals in its peak half"
+            );
+        }
+    }
+
+    #[test]
+    fn regional_region_processes_are_independent_of_region_count() {
+        // Adding a region must not perturb region 0's arrival process: each
+        // region draws from its own rng stream.
+        let models = [WorkloadModel::EfficientNetB0, WorkloadModel::ResNet152];
+        let two =
+            regional_diurnal_stream(&models, &[1.0, 1.0], 1.0, 4.0, 20.0, 300, 7, &SlaClass::ALL);
+        let three = regional_diurnal_stream(
+            &models,
+            &[1.0, 1.0, 1.0],
+            1.0,
+            4.0,
+            20.0,
+            300,
+            7,
+            &SlaClass::ALL,
+        );
+        let arrivals = |stream: &[FleetRequest], region: usize, take: usize| -> Vec<f64> {
+            stream
+                .iter()
+                .filter(|fr| fr.region == region)
+                .map(|fr| fr.request.arrival)
+                .take(take)
+                .collect()
+        };
+        // Compare a shared prefix (the 300-request cut lands at different
+        // virtual times, so only the prefix overlaps).
+        let take = arrivals(&two, 0, usize::MAX)
+            .len()
+            .min(arrivals(&three, 0, usize::MAX).len())
+            .min(50);
+        assert!(take >= 10, "not enough region-0 arrivals to compare");
+        assert_eq!(arrivals(&two, 0, take), arrivals(&three, 0, take));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn regional_stream_rejects_bad_weights() {
+        let _ = regional_diurnal_stream(
+            &[WorkloadModel::Vgg19],
+            &[1.0, 0.0],
+            1.0,
+            2.0,
+            10.0,
+            5,
+            0,
+            &[SlaClass::Standard],
         );
     }
 

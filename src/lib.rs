@@ -52,3 +52,7 @@ pub use hidp_core::{Evaluation, Scenario};
 /// The online serving runtime (admission, dynamic batching, SLA classes,
 /// failure timelines), re-exported for convenience.
 pub use hidp_core::{AdmissionPolicy, ServingConfig, ServingEvaluation, ServingScenario, SlaClass};
+
+/// The fleet serving tier (multi-cluster routing on one clock),
+/// re-exported for convenience.
+pub use hidp_core::{FleetRequest, FleetScenario, FleetSummary, RoutingPolicy};

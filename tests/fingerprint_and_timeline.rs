@@ -1,0 +1,86 @@
+//! Property suite for the cached cluster fingerprint and the availability
+//! timeline.
+//!
+//! `Cluster::fingerprint` is incrementally maintained — construction hashes
+//! the static content once and every availability toggle re-folds only the
+//! availability bytes — so the one invariant everything above it (plan-cache
+//! keys, fleet routing, epoch bookkeeping) rests on is: **the cached value
+//! always equals the full recomputation**, no matter what mutation sequence
+//! got the cluster there. The second property pins timeline replay:
+//! `epoch_fingerprints` is a pure function of (timeline, cluster) — same
+//! inputs, same sequence, call after call — and its tail matches replaying
+//! the events by hand through `set_available`.
+
+use hidp::platform::{presets, ClusterTimeline, NodeIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_fingerprint_equals_recomputation_under_random_toggles(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cluster = presets::paper_cluster();
+        let nodes = cluster.len();
+        prop_assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+        for step in 0..rng.gen_range(1..40usize) {
+            let node = NodeIndex(rng.gen_range(0..nodes));
+            // Mix the entry points: direct toggles, the fail/recover
+            // wrappers, and redundant flips (setting the current state).
+            match rng.gen_range(0..4u8) {
+                0 => cluster.fail_node(node).unwrap(),
+                1 => cluster.recover_node(node).unwrap(),
+                2 => cluster.set_available(node, rng.gen_range(0..2u8) == 0).unwrap(),
+                _ => {
+                    let current = cluster.is_available(node);
+                    cluster.set_available(node, current).unwrap();
+                }
+            }
+            prop_assert_eq!(
+                cluster.fingerprint(),
+                cluster.recomputed_fingerprint(),
+                "cache diverged at step {} (seed {})",
+                step,
+                seed
+            );
+        }
+        // Restoring full availability restores the pristine identity.
+        for node in 0..nodes {
+            cluster.recover_node(NodeIndex(node)).unwrap();
+        }
+        prop_assert_eq!(cluster.fingerprint(), presets::paper_cluster().fingerprint());
+        prop_assert_eq!(cluster.fingerprint(), cluster.recomputed_fingerprint());
+    }
+
+    #[test]
+    fn epoch_fingerprint_sequences_are_deterministic(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cluster = presets::paper_cluster();
+        let mut timeline = ClusterTimeline::new();
+        for _ in 0..rng.gen_range(0..25usize) {
+            let time = rng.gen_range(0.0..50.0f64);
+            let node = NodeIndex(rng.gen_range(0..cluster.len()));
+            timeline.push_event(time, node, rng.gen_range(0..2u8) == 0).unwrap();
+        }
+
+        let first = timeline.epoch_fingerprints(&cluster).unwrap();
+        // Pure: the same timeline on the same cluster yields the same
+        // sequence on every call, and the probe never mutates its input.
+        prop_assert_eq!(&first, &timeline.epoch_fingerprints(&cluster).unwrap());
+        prop_assert_eq!(cluster.availability(), &[true; 5][..]);
+        prop_assert_eq!(first.len(), timeline.len() + 1);
+        prop_assert_eq!(first[0], cluster.fingerprint());
+
+        // The sequence matches a hand replay through set_available, with the
+        // cached fingerprint agreeing with the audit recomputation at every
+        // epoch.
+        let mut working = cluster.clone();
+        for (i, event) in timeline.events().iter().enumerate() {
+            working.set_available(event.node, event.up).unwrap();
+            prop_assert_eq!(first[i + 1], working.fingerprint(), "epoch {} (seed {})", i + 1, seed);
+            prop_assert_eq!(first[i + 1], working.recomputed_fingerprint());
+        }
+    }
+}

@@ -13,7 +13,8 @@
 //! streaming serving pass) measure independent counters.
 
 use hidp::core::{
-    AdmissionPolicy, PlanCache, PlanKey, ServingScenario, ServingScratch, SimScratch, TraceDetail,
+    AdmissionPolicy, FleetScenario, FleetScratch, ParallelSweep, PlanCache, PlanKey, RoutingPolicy,
+    ServingScenario, ServingScratch, SimScratch, TraceDetail,
 };
 use hidp::dnn::zoo::WorkloadModel;
 use hidp::platform::{presets, NodeIndex};
@@ -151,5 +152,68 @@ fn steady_state_streaming_serving_pass_allocates_nothing() {
         allocations, 0,
         "the steady-state streaming serving pass must not allocate (got \
          {allocations} allocations over 5 passes of 120 requests)"
+    );
+}
+
+#[test]
+fn steady_state_fleet_pass_allocates_nothing() {
+    // The fleet-tier extension of the same contract: once the first pass
+    // has planned every cluster's distinct graphs and sized the
+    // `FleetScratch` — per-cluster workers (indexed queues, dispatch
+    // tables, in-flight heaps, request buffers) plus the router's order
+    // index — a steady-state `run_streaming_in` pass at `threads == 1`
+    // over a multi-cluster regional workload performs **zero** heap
+    // allocations. Per-request fleet state is Copy (latency histograms are
+    // fixed arrays), so nothing about routing, per-round backlog snapshots
+    // or epoch flips may touch the heap. This is what bounds the
+    // 1M-request fleet soak's memory.
+    let fleet = presets::generated_fleet(4, 2).unwrap();
+    let strategy = HidpStrategy::new();
+    let leader = NodeIndex(1);
+
+    let requests = hidp::workloads::regional_diurnal_stream(
+        &[
+            WorkloadModel::EfficientNetB0,
+            WorkloadModel::InceptionV3,
+            WorkloadModel::ResNet152,
+        ],
+        &[3.0, 1.0],
+        2.0,
+        10.0,
+        20.0,
+        160,
+        9,
+        &hidp::core::SlaClass::ALL,
+    );
+    let scenario = FleetScenario::new(requests)
+        .with_label("zero-alloc-fleet")
+        .with_routing(RoutingPolicy::LeastLoaded)
+        .with_policy(AdmissionPolicy::Fifo)
+        .with_max_batch(4)
+        .with_max_inflight(Some(2));
+
+    let sweep = ParallelSweep::new(1);
+    let mut scratch = FleetScratch::new();
+    // Cold pass: plans and sizes every buffer. Second pass fixes the
+    // expected summary (all-hit cache stats).
+    scenario
+        .run_streaming_in(&strategy, &fleet, leader, &sweep, &mut scratch)
+        .expect("fleet run succeeds");
+    let expected = scenario
+        .run_streaming_in(&strategy, &fleet, leader, &sweep, &mut scratch)
+        .expect("fleet run succeeds");
+
+    let before = allocations_on_this_thread();
+    for _ in 0..5 {
+        let summary = scenario
+            .run_streaming_in(&strategy, &fleet, leader, &sweep, &mut scratch)
+            .expect("fleet run succeeds");
+        assert_eq!(summary, expected);
+    }
+    let allocations = allocations_on_this_thread() - before;
+    assert_eq!(
+        allocations, 0,
+        "the steady-state fleet pass must not allocate (got {allocations} \
+         allocations over 5 passes of 160 requests on 4 clusters)"
     );
 }
