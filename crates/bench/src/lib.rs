@@ -18,10 +18,10 @@ pub mod alloc_count;
 use hidp_baselines::paper_strategies;
 use hidp_core::{
     chain_segments, workload_summary, AdmissionPolicy, DseAgent, DsePolicy, Evaluation,
-    FleetRequest, FleetScenario, FleetScratch, FleetSummary, GlobalPartitioner, HidpStrategy,
-    LocalPartitioner, ParallelSweep, PlanCache, PlanKey, RoutingPolicy, Scenario,
-    ServingEvaluation, ServingScenario, ServingSweepJob, SimScratch, SlaClass, SweepJob,
-    SystemModel, TraceDetail,
+    FailureMode, FleetRequest, FleetScenario, FleetScratch, FleetSummary, GlobalPartitioner,
+    HidpStrategy, LocalPartitioner, ParallelSweep, PlanCache, PlanKey, RecoveryPolicy,
+    RobustnessStats, RoutingPolicy, Scenario, ServingEvaluation, ServingScenario, ServingSweepJob,
+    SimScratch, SlaClass, SweepJob, SystemModel, TraceDetail,
 };
 use hidp_dnn::exec::{execute, execute_data_partition_batch, execute_model_partition, WeightStore};
 use hidp_dnn::partition::partition_into_blocks;
@@ -31,7 +31,8 @@ use hidp_sim::stats::performance_timeline;
 use hidp_sim::{simulate_stream, simulate_stream_in, simulate_stream_reference, ExecutionPlan};
 use hidp_tensor::Tensor;
 use hidp_workloads::{
-    bursty_stream, dynamic_scenario, mixes, poisson_stream_classed, InferenceRequest,
+    bursty_stream, dynamic_scenario, mixes, poisson_stream_classed, standard_fault_suite,
+    FaultPlan, InferenceRequest,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -1876,6 +1877,257 @@ pub fn fleet_json(points: &[FleetPoint], soak: Option<&FleetPoint>) -> String {
         None => out.push_str("  \"soak\": null\n"),
     }
     out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: failure-domain robustness under a seeded fault suite
+// ---------------------------------------------------------------------------
+
+/// One measured chaos pass: the fleet under a seeded fault suite with one
+/// recovery configuration, timed wall-clock and (at one thread) audited for
+/// steady-state allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Recovery configuration of the pass (see [`chaos_points`]).
+    pub config: String,
+    /// Requests offered to the fleet.
+    pub requests: usize,
+    /// Offered/completed/dropped accounting including recovery traffic.
+    pub robustness: RobustnessStats,
+    /// In-deadline completions over offered requests — the robustness
+    /// headline. A shed, aborted, lost or merely late request all count
+    /// against it equally.
+    pub sla_goodput: f64,
+    /// 99th-percentile end-to-end latency of completed requests, ms.
+    pub p99_ms: f64,
+    /// Fraction of completed requests that missed their class deadline.
+    pub sla_miss_rate: f64,
+    /// Fleet makespan, simulated seconds.
+    pub makespan_s: f64,
+    /// Wall-clock time of the audited steady-state pass, seconds.
+    pub wall_seconds: f64,
+    /// Heap allocations during the audited steady-state pass (`None` when
+    /// no counter was supplied). The contract is 0 at one thread: the
+    /// recovery machinery — pending FIFO, retry heap, re-routing — runs
+    /// entirely on reused scratch once warmed.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The fault suite the chaos experiment injects: one seeded
+/// [`FaultPlan`] per cluster over the trace's span (flaps everywhere, a
+/// rack outage on cluster 0, a straggler window on cluster 1, fleet-wide
+/// WAN degradation from cluster 0's plan). Deterministic in `seed`.
+pub fn chaos_fault_suite(node_counts: &[usize], horizon: f64, seed: u64) -> Vec<FaultPlan> {
+    standard_fault_suite(node_counts, seed, horizon, LEADER)
+        .expect("the generated fleet's clusters all have faultable nodes")
+}
+
+/// Wraps the fleet scenario every chaos configuration shares: the fleet
+/// comparison's serving shape ([`fleet_scenario`]) with kill semantics
+/// armed and the fault suite installed — timelines and straggler windows
+/// per cluster, WAN degradation fleet-wide. Only `recovery` varies between
+/// configurations.
+pub fn chaos_scenario(
+    requests: Vec<FleetRequest>,
+    plans: &[FaultPlan],
+    label: &str,
+    recovery: RecoveryPolicy,
+) -> FleetScenario {
+    fleet_scenario(requests, RoutingPolicy::LeastLoaded)
+        .with_label(format!("chaos-{label}"))
+        .with_failure_mode(FailureMode::Kill)
+        .with_recovery(recovery)
+        .with_timelines(plans.iter().map(|p| p.timeline.clone()).collect())
+        .with_slowdowns(plans.iter().map(|p| p.slowdowns.clone()).collect())
+        .with_wan_degradations(plans[0].wan.clone())
+}
+
+/// The recovery configurations the chaos experiment compares, in order:
+///
+/// * `fault-free` — the same trace with no faults injected (the legacy
+///   loop; the goodput yardstick);
+/// * `no-recovery` — the fault suite with kills permanent (the degradation
+///   baseline the gates require to measurably lose work);
+/// * `retry-failover` — retry with backoff through the router, which
+///   re-routes each killed request away from the cluster that killed it,
+///   plus deadline abort (the standard recovery the gates certify);
+/// * `retry-shed` — `retry-failover` plus proactive shedding of provably
+///   late queued requests.
+pub fn chaos_configs() -> Vec<(&'static str, Option<RecoveryPolicy>)> {
+    vec![
+        ("fault-free", None),
+        ("no-recovery", Some(RecoveryPolicy::default())),
+        ("retry-failover", Some(RecoveryPolicy::standard())),
+        (
+            "retry-shed",
+            Some(RecoveryPolicy {
+                shed: true,
+                ..RecoveryPolicy::standard()
+            }),
+        ),
+    ]
+}
+
+/// Runs the chaos experiment: the fleet-comparison trace through every
+/// configuration of [`chaos_configs`] on a generated fleet under one seeded
+/// fault suite — equal offered load, only the failure handling differs. One
+/// warm pass per configuration (cold planning + scratch sizing), then one
+/// timed, allocation-audited steady-state pass at one thread. Returns the
+/// measured points in configuration order.
+pub fn chaos_points(
+    count: usize,
+    clusters: usize,
+    regions: usize,
+    rate_scale: f64,
+    seed: u64,
+    counter: Option<&dyn Fn() -> u64>,
+) -> Vec<ChaosPoint> {
+    let fleet = presets::generated_fleet(clusters, regions).expect("fleet preset is valid");
+    let strategy = HidpStrategy::new();
+    let requests = fleet_trace(count, regions, rate_scale);
+    // Faults land inside the arrival span, so every injected failure can
+    // actually intersect live traffic.
+    let horizon = requests
+        .iter()
+        .map(|r| r.request.arrival)
+        .fold(0.0, f64::max)
+        .max(1.0);
+    let node_counts: Vec<usize> = fleet.clusters().iter().map(|c| c.len()).collect();
+    let plans = chaos_fault_suite(&node_counts, horizon, seed);
+    let sweep = ParallelSweep::new(1);
+    let mut points = Vec::new();
+    for (label, recovery) in chaos_configs() {
+        let scenario = match recovery {
+            None => fleet_scenario(requests.clone(), RoutingPolicy::LeastLoaded)
+                .with_label("chaos-fault-free".to_string()),
+            Some(recovery) => chaos_scenario(requests.clone(), &plans, label, recovery),
+        };
+        let mut scratch = FleetScratch::new();
+        let warm = scenario
+            .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+            .expect("chaos warm pass succeeds");
+
+        let before = counter.map(|f| f());
+        let start = Instant::now();
+        let summary = scenario
+            .run_streaming_in(&strategy, &fleet, LEADER, &sweep, &mut scratch)
+            .expect("chaos steady-state pass succeeds");
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let steady_state_allocs = counter.map(|f| f() - before.unwrap());
+
+        // Cache traffic differs between the cold and warm pass by design;
+        // everything the gates read must agree bit for bit.
+        assert_eq!(summary.makespan, warm.makespan, "passes must agree");
+        assert_eq!(summary.batches, warm.batches);
+        assert_eq!(summary.robustness, warm.robustness);
+        assert_eq!(summary.latency, warm.latency);
+        points.push(chaos_point(
+            label,
+            &summary,
+            wall_seconds,
+            steady_state_allocs,
+        ));
+    }
+    points
+}
+
+fn chaos_point(
+    label: &str,
+    summary: &FleetSummary,
+    wall_seconds: f64,
+    steady_state_allocs: Option<u64>,
+) -> ChaosPoint {
+    let in_deadline = summary
+        .robustness
+        .completed
+        .saturating_sub(summary.deadline_misses as u64);
+    ChaosPoint {
+        config: label.to_string(),
+        requests: summary.requests,
+        robustness: summary.robustness,
+        sla_goodput: in_deadline as f64 / summary.robustness.offered as f64,
+        p99_ms: summary.latency.p99 * 1e3,
+        sla_miss_rate: summary.sla_miss_rate(),
+        makespan_s: summary.makespan,
+        wall_seconds,
+        steady_state_allocs,
+    }
+}
+
+/// Renders chaos points as an [`ExperimentTable`].
+pub fn chaos_table(points: &[ChaosPoint]) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Chaos: recovery policies under a seeded fault suite (equal offered load)",
+        "req / rate / ms",
+        vec![
+            "requests".to_string(),
+            "completed".to_string(),
+            "killed".to_string(),
+            "retried".to_string(),
+            "lost".to_string(),
+            "shed".to_string(),
+            "aborted".to_string(),
+            "sla_goodput".to_string(),
+            "p99_ms".to_string(),
+            "allocs".to_string(),
+        ],
+    );
+    for p in points {
+        table.push_row(
+            p.config.clone(),
+            vec![
+                p.requests as f64,
+                p.robustness.completed as f64,
+                p.robustness.killed as f64,
+                p.robustness.retried as f64,
+                p.robustness.lost as f64,
+                p.robustness.shed as f64,
+                p.robustness.aborted as f64,
+                p.sla_goodput,
+                p.p99_ms,
+                p.steady_state_allocs.map_or(-1.0, |a| a as f64),
+            ],
+        );
+    }
+    table
+}
+
+/// Serialises chaos points as the `BENCH_chaos.json` perf-trajectory
+/// document (hand-rolled like [`tables_to_json`]: the build environment has
+/// no serde_json).
+pub fn chaos_json(points: &[ChaosPoint], seed: u64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"chaos\",\n");
+    out.push_str(
+        "  \"workload\": \"skewed regional diurnal trace (fleet comparison shape), least-loaded routing, EDF admission, max_batch 8, window 4 per cluster; seeded fault suite: node flaps on every cluster, a correlated rack outage on cluster 0, a straggler window on cluster 1, fleet-wide WAN degradation\",\n",
+    );
+    out.push_str(&format!("  \"fault_seed\": {seed},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.robustness;
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"requests\": {}, \"offered\": {}, \"completed\": {}, \"killed\": {}, \"retried\": {}, \"lost\": {}, \"shed\": {}, \"aborted\": {}, \"hedged\": {}, \"sla_goodput\": {}, \"p99_ms\": {}, \"sla_miss_rate\": {}, \"makespan_s\": {}, \"wall_seconds\": {}, \"steady_state_allocs\": {}}}{}\n",
+            p.config,
+            p.requests,
+            r.offered,
+            r.completed,
+            r.killed,
+            r.retried,
+            r.lost,
+            r.shed,
+            r.aborted,
+            r.hedged,
+            p.sla_goodput,
+            p.p99_ms,
+            p.sla_miss_rate,
+            p.makespan_s,
+            p.wall_seconds,
+            p.steady_state_allocs
+                .map_or("null".to_string(), |a| a.to_string()),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -54,16 +54,21 @@
 
 use crate::parallel::ParallelSweep;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
-use crate::serving::{AdmissionPolicy, Departure, DispatchEstimator, IndexedQueue, ServingRequest};
+use crate::serving::{
+    plan_node_mask, AdmissionPolicy, Departure, DispatchEstimator, FailureMode, IndexedQueue,
+    PendingBatch, RecoveryPolicy, RobustnessStats, ServingRequest,
+};
 use crate::strategy::DistributedStrategy;
 use crate::{CoreError, PlanKey};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
-use hidp_platform::{AvailabilityEvent, Cluster, ClusterTimeline, Fleet, NodeIndex};
+use hidp_platform::{
+    AvailabilityEvent, Cluster, ClusterTimeline, Fleet, NodeIndex, SlowdownWindow, WanDegradation,
+};
 use hidp_sim::serving::{LatencyHistogram, LatencySummary, SlaClass, SlaClassReport};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// One request entering the fleet: a serving request plus the region it
@@ -127,7 +132,6 @@ impl RoutingPolicy {
     }
 }
 
-
 /// Configuration of the fleet loop: the routing policy and round length on
 /// top of the per-cluster serving knobs (admission policy, batching,
 /// in-flight window, one optional [`ClusterTimeline`] per cluster).
@@ -154,6 +158,28 @@ pub struct FleetConfig {
     /// to a cluster within the current round — lets least-loaded/locality
     /// spread a burst that lands between two barriers.
     pub route_cost_hint_s: f64,
+    /// What a down-flip does to batches already in flight (per cluster).
+    pub failures: FailureMode,
+    /// Recovery responses for killed and at-risk requests. At the fleet
+    /// tier a retry goes **back to the router**, which re-routes it away
+    /// from the cluster that killed it (failover). `hedge_premium` is a
+    /// serving-tier policy and is rejected here.
+    pub recovery: RecoveryPolicy,
+    /// Straggler windows per cluster (empty = no stragglers; when
+    /// non-empty the outer length must equal the fleet's cluster count).
+    pub slowdowns: Vec<Vec<SlowdownWindow>>,
+    /// Fleet-wide WAN degradation windows: a request delivered inside a
+    /// window pays `factor`× its cross-site round trip.
+    pub wan_degradations: Vec<WanDegradation>,
+}
+
+impl FleetConfig {
+    /// Whether the run needs the failure-aware worker loop.
+    fn is_robust(&self) -> bool {
+        self.failures == FailureMode::Kill
+            || self.recovery.is_active()
+            || self.slowdowns.iter().any(|s| !s.is_empty())
+    }
 }
 
 impl Default for FleetConfig {
@@ -168,6 +194,10 @@ impl Default for FleetConfig {
             // One 224×224×3 f32 image.
             payload_bytes: 602_112,
             route_cost_hint_s: 0.05,
+            failures: FailureMode::default(),
+            recovery: RecoveryPolicy::default(),
+            slowdowns: Vec::new(),
+            wan_degradations: Vec::new(),
         }
     }
 }
@@ -250,6 +280,35 @@ impl FleetScenario {
         self
     }
 
+    /// Sets the failure mode (builder style).
+    #[must_use]
+    pub fn with_failure_mode(mut self, failures: FailureMode) -> Self {
+        self.config.failures = failures;
+        self
+    }
+
+    /// Sets the recovery policy (builder style; `hedge_premium` is rejected
+    /// at validation — hedging is a serving-tier policy).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Sets the per-cluster straggler windows (builder style).
+    #[must_use]
+    pub fn with_slowdowns(mut self, slowdowns: Vec<Vec<SlowdownWindow>>) -> Self {
+        self.config.slowdowns = slowdowns;
+        self
+    }
+
+    /// Sets the fleet-wide WAN degradation windows (builder style).
+    #[must_use]
+    pub fn with_wan_degradations(mut self, windows: Vec<WanDegradation>) -> Self {
+        self.config.wan_degradations = windows;
+        self
+    }
+
     /// The report label.
     pub fn label(&self) -> &str {
         &self.label
@@ -324,12 +383,17 @@ impl FleetScenario {
         let round_seconds = self.config.round_seconds;
         let payload = self.config.payload_bytes;
         let hint = self.config.route_cost_hint_s;
+        let robust = self.config.is_robust();
+        let degradations = self.config.wan_degradations.as_slice();
         let ctx = RoundCtx {
             strategy,
             leader,
             policy: self.config.policy,
             max_batch: self.config.max_batch.max(1),
             max_inflight: self.config.max_inflight.map(|w| w.max(1)),
+            robust,
+            kill: self.config.failures == FailureMode::Kill,
+            recovery: self.config.recovery,
         };
 
         scratch.ensure(cluster_count);
@@ -337,8 +401,11 @@ impl FleetScenario {
             workers,
             caches,
             order,
+            retries,
         } = scratch;
         let caches: &[PlanCache] = caches;
+        retries.clear();
+        let mut retry_seq = 0u64;
         for (i, worker) in workers.iter_mut().enumerate() {
             let has_events = self.config.timelines.get(i).is_some_and(|t| !t.is_empty());
             worker.reset(&clusters[i], strategy, leader, has_events);
@@ -359,49 +426,116 @@ impl FleetScenario {
         let mut rounds = 0usize;
         // Round boundaries are multiples of `round_seconds`; `boundary` is
         // the multiplier of the last completed barrier. Windows with no
-        // arrivals are skipped (the boundary jumps to the window holding
-        // the next arrival), so the round count scales with the arrivals,
-        // not the time span.
+        // arrivals (or retry releases) are skipped — the boundary jumps to
+        // the window holding the next delivery — so the round count scales
+        // with the deliveries, not the time span.
         let mut boundary = 0u64;
         loop {
-            let next_boundary = if next_global >= n {
-                None
+            let mut next_t = if next_global >= n {
+                f64::INFINITY
             } else {
-                let next_t = requests[order[next_global] as usize].request.arrival + 0.0;
+                requests[order[next_global] as usize].request.arrival + 0.0
+            };
+            if let Some(&Reverse(entry)) = retries.peek() {
+                next_t = next_t.min(entry.release);
+            }
+            let next_boundary = if next_t.is_finite() {
                 Some(((next_t / round_seconds).ceil() as u64).max(boundary + 1))
+            } else {
+                None
             };
             let t_end = match next_boundary {
                 Some(m) => m as f64 * round_seconds,
-                // Final drain: every arrival is delivered, run to the end.
+                // Final drain: every delivery is made, run to the end.
                 None => f64::INFINITY,
             };
 
             // Snapshot each cluster's backlog at the barrier for the
-            // load-aware policies, then route this round's arrivals.
+            // load-aware policies, then route this round's deliveries —
+            // fresh arrivals merged with released retries by time (a retry
+            // at the same instant goes first: it is strictly older work).
             let barrier = boundary as f64 * round_seconds;
             for worker in workers.iter_mut() {
                 worker.backlog = (worker.dispatch.horizon() - barrier).max(0.0);
                 worker.routed_in_round = 0;
             }
-            while next_global < n {
-                let idx = order[next_global] as usize;
-                let fleet_request = &requests[idx];
-                if fleet_request.request.arrival + 0.0 > t_end {
-                    break;
+            loop {
+                let arrival_t = if next_global < n {
+                    let t = requests[order[next_global] as usize].request.arrival + 0.0;
+                    (t <= t_end).then_some(t)
+                } else {
+                    None
+                };
+                // A release that predates this round's window is delivered
+                // at the barrier — deliveries stay sorted per worker.
+                let retry_t = retries.peek().and_then(|&Reverse(entry)| {
+                    let t = entry.release.max(barrier);
+                    (entry.release <= t_end).then_some(t)
+                });
+                match (arrival_t, retry_t) {
+                    (None, None) => break,
+                    (Some(at), rt) if rt.is_none_or(|rt| at < rt) => {
+                        let idx = order[next_global] as usize;
+                        let fleet_request = &requests[idx];
+                        let c = route(
+                            self.config.routing,
+                            workers,
+                            fleet,
+                            fleet_request,
+                            idx as u64,
+                            payload,
+                            hint,
+                            None,
+                        );
+                        let mut wan = fleet.wan_round_trip(fleet_request.region, c, payload);
+                        if !degradations.is_empty() {
+                            wan *= wan_factor(degradations, at);
+                        }
+                        if robust {
+                            workers[c].deliver_robust(
+                                fleet_request.request,
+                                wan,
+                                at,
+                                idx as u32,
+                                0,
+                            );
+                        } else {
+                            workers[c].deliver(fleet_request.request, wan);
+                        }
+                        workers[c].routed_in_round += 1;
+                        next_global += 1;
+                    }
+                    (_, Some(ready)) => {
+                        let Reverse(entry) = retries.pop().expect("peeked above");
+                        let idx = entry.global as usize;
+                        let fleet_request = &requests[idx];
+                        // Failover: never back to the cluster that killed
+                        // it (unless the fleet has only one).
+                        let c = route(
+                            self.config.routing,
+                            workers,
+                            fleet,
+                            fleet_request,
+                            fnv64(&[entry.global as u64, u64::from(entry.attempts)]),
+                            payload,
+                            hint,
+                            Some(entry.from as usize),
+                        );
+                        let mut wan = fleet.wan_round_trip(fleet_request.region, c, payload);
+                        if !degradations.is_empty() {
+                            wan *= wan_factor(degradations, ready);
+                        }
+                        workers[c].deliver_robust(
+                            fleet_request.request,
+                            wan,
+                            ready,
+                            entry.global,
+                            entry.attempts,
+                        );
+                        workers[c].routed_in_round += 1;
+                    }
+                    (Some(_), None) => unreachable!("an arrival with no retry always routes"),
                 }
-                let c = route(
-                    self.config.routing,
-                    workers,
-                    fleet,
-                    fleet_request,
-                    idx as u64,
-                    payload,
-                    hint,
-                );
-                let wan_round_trip = fleet.wan_round_trip(fleet_request.region, c, payload);
-                workers[c].deliver(fleet_request.request, wan_round_trip);
-                workers[c].routed_in_round += 1;
-                next_global += 1;
             }
 
             // Advance every cluster to the barrier, in parallel.
@@ -412,32 +546,60 @@ impl FleetScenario {
                     .get(i)
                     .map(ClusterTimeline::events)
                     .unwrap_or(&[]);
-                worker.advance(&ctx, &clusters[i], events, &caches[i], t_end);
+                let slowdowns = self
+                    .config
+                    .slowdowns
+                    .get(i)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                worker.advance(&ctx, &clusters[i], events, slowdowns, &caches[i], t_end);
             });
             for worker in workers.iter_mut() {
                 if let Some(error) = worker.error.take() {
                     return Err(error);
                 }
             }
+            // Collect this round's kill fallout in cluster index order (the
+            // deterministic global retry order at any thread count).
+            for (c, worker) in workers.iter_mut().enumerate() {
+                for retry in worker.retry_out.drain(..) {
+                    retries.push(Reverse(FleetRetryEntry {
+                        release: retry.release + 0.0,
+                        seq: retry_seq,
+                        global: retry.global,
+                        attempts: retry.attempts,
+                        from: c as u32,
+                    }));
+                    retry_seq += 1;
+                }
+            }
 
             rounds += 1;
             match next_boundary {
                 Some(m) => boundary = m,
-                None => break,
+                // The drain round may itself have killed work and queued
+                // retries; keep routing until the fleet is quiet.
+                None => {
+                    if retries.is_empty() {
+                        break;
+                    }
+                }
             }
         }
 
-        Ok(Self::summarise(workers, n, cluster_count, rounds))
+        self.summarise(workers, n, cluster_count, rounds, robust)
     }
 
     /// Merges the per-cluster workers into the fleet summary, in cluster
     /// index order (which is what makes the rollup thread-count invariant).
     fn summarise(
+        &self,
         workers: &[ClusterWorker],
         n: usize,
         clusters: usize,
         rounds: usize,
-    ) -> FleetSummary {
+        robust: bool,
+    ) -> Result<FleetSummary, CoreError> {
         let mut latency = LatencyHistogram::new();
         let mut class_latency = [LatencyHistogram::new(); 3];
         let mut queueing_sum = 0.0f64;
@@ -452,7 +614,9 @@ impl FleetScenario {
         let mut busiest = 0usize;
         let mut idlest = usize::MAX;
         let mut wan_sum = 0.0f64;
+        let mut robustness = RobustnessStats::default();
         for worker in workers {
+            robustness.merge(&worker.robustness);
             latency.merge(&worker.latency);
             for (c, hist) in class_latency.iter_mut().enumerate() {
                 hist.merge(&worker.class_latency[c]);
@@ -488,14 +652,30 @@ impl FleetScenario {
                 });
             }
         }
-        FleetSummary {
+        // Workers count completions and drops; the offered side of the
+        // conservation invariant is the global input stream.
+        robustness.offered = n as u64;
+        if !robust {
+            robustness = RobustnessStats::all_completed(n);
+        }
+        debug_assert!(
+            robustness.accounts_for_every_request(),
+            "request conservation violated: {robustness:?}"
+        );
+        let latency_summary = latency.summary().ok_or_else(|| CoreError::Infeasible {
+            what: format!(
+                "fleet scenario '{}': no request completed under the fault timelines",
+                self.label
+            ),
+        })?;
+        Ok(FleetSummary {
             requests: n,
             clusters,
             rounds,
             batches,
             epochs_applied,
             makespan,
-            latency: latency.summary().expect("scenario is non-empty"),
+            latency: latency_summary,
             max_latency: latency.max(),
             mean_queueing_delay: queueing_sum / n as f64,
             max_queueing_delay: queueing_max,
@@ -505,7 +685,8 @@ impl FleetScenario {
             busiest_cluster_requests: busiest,
             idlest_cluster_requests: idlest,
             mean_wan_round_trip: wan_sum / n as f64,
-        }
+            robustness,
+        })
     }
 
     /// Rejects empty scenarios, invalid requests/regions, malformed round
@@ -577,11 +758,52 @@ impl FleetScenario {
                 ),
             });
         }
+        if self.config.recovery.hedge_premium {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': hedged dispatch is a serving-tier policy \
+                     (the fleet's failover response is re-routing retries)",
+                    self.label
+                ),
+            });
+        }
+        if let Some(retry) = self.config.recovery.retry {
+            retry.validate()?;
+        }
+        if !self.config.slowdowns.is_empty() && self.config.slowdowns.len() != fleet.len() {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': {} slowdown lists for {} clusters (use an empty list for no stragglers)",
+                    self.label,
+                    self.config.slowdowns.len(),
+                    fleet.len()
+                ),
+            });
+        }
+        for window in &self.config.wan_degradations {
+            window.validate()?;
+        }
         for (i, cluster) in fleet.clusters().iter().enumerate() {
             // The leader must exist in every cluster (every plan keys on it).
             cluster.node(leader)?;
             if let Some(timeline) = self.config.timelines.get(i) {
                 timeline.validate(cluster)?;
+            }
+            if let Some(windows) = self.config.slowdowns.get(i) {
+                for window in windows {
+                    window.validate()?;
+                    cluster.node(window.node)?;
+                }
+            }
+            if self.config.failures == FailureMode::Kill && cluster.len() > 64 {
+                return Err(CoreError::Infeasible {
+                    what: format!(
+                        "fleet scenario '{}': kill semantics track plan residency in a \
+                         64-bit node mask; cluster {i} has {} nodes",
+                        self.label,
+                        cluster.len()
+                    ),
+                });
             }
         }
         Ok(())
@@ -595,9 +817,15 @@ struct RoundCtx<'a> {
     policy: AdmissionPolicy,
     max_batch: usize,
     max_inflight: Option<usize>,
+    robust: bool,
+    kill: bool,
+    recovery: RecoveryPolicy,
 }
 
-/// Routes one arrival to a cluster (serial, deterministic).
+/// Routes one arrival to a cluster (serial, deterministic). `exclude` is
+/// the failover rule: a retry never returns to the cluster that killed it
+/// (unless the fleet has only one cluster).
+#[allow(clippy::too_many_arguments)]
 fn route(
     routing: RoutingPolicy,
     workers: &[ClusterWorker],
@@ -606,20 +834,36 @@ fn route(
     input_index: u64,
     payload: u64,
     hint: f64,
+    exclude: Option<usize>,
 ) -> usize {
     let k = workers.len();
     if k == 1 {
         return 0;
     }
+    let skip = |c: usize| exclude == Some(c);
     match routing {
-        RoutingPolicy::Random { seed } => (fnv64(&[seed, input_index]) % k as u64) as usize,
+        RoutingPolicy::Random { seed } => match exclude {
+            None => (fnv64(&[seed, input_index]) % k as u64) as usize,
+            // Uniform over the k-1 survivors, then remapped around the hole.
+            Some(x) => {
+                let r = (fnv64(&[seed, input_index]) % (k as u64 - 1)) as usize;
+                if r >= x {
+                    r + 1
+                } else {
+                    r
+                }
+            }
+        },
         RoutingPolicy::StaticHash => {
             let key = request_key(fleet_request);
-            let mut best = 0usize;
+            let mut best = usize::MAX;
             let mut best_score = 0u64;
             for (c, worker) in workers.iter().enumerate() {
+                if skip(c) {
+                    continue;
+                }
                 let score = fnv64(&[key, worker.fingerprint]);
-                if c == 0 || score > best_score {
+                if best == usize::MAX || score > best_score {
                     best = c;
                     best_score = score;
                 }
@@ -627,11 +871,14 @@ fn route(
             best
         }
         RoutingPolicy::LeastLoaded => {
-            let mut best = 0usize;
+            let mut best = usize::MAX;
             let mut best_cost = f64::INFINITY;
             for (c, worker) in workers.iter().enumerate() {
+                if skip(c) {
+                    continue;
+                }
                 let cost = worker.backlog + worker.routed_in_round as f64 * hint;
-                if cost < best_cost {
+                if best == usize::MAX || cost < best_cost {
                     best = c;
                     best_cost = cost;
                 }
@@ -639,13 +886,16 @@ fn route(
             best
         }
         RoutingPolicy::Locality => {
-            let mut best = 0usize;
+            let mut best = usize::MAX;
             let mut best_cost = f64::INFINITY;
             for (c, worker) in workers.iter().enumerate() {
+                if skip(c) {
+                    continue;
+                }
                 let cost = fleet.wan_round_trip(fleet_request.region, c, payload)
                     + worker.backlog
                     + worker.routed_in_round as f64 * hint;
-                if cost < best_cost {
+                if best == usize::MAX || cost < best_cost {
                     best = c;
                     best_cost = cost;
                 }
@@ -653,6 +903,18 @@ fn route(
             best
         }
     }
+}
+
+/// The compounded WAN multiplier for a delivery at `at` (1.0 outside every
+/// degradation window).
+fn wan_factor(degradations: &[WanDegradation], at: f64) -> f64 {
+    let mut factor = 1.0f64;
+    for window in degradations {
+        if window.applies(at) {
+            factor *= window.factor;
+        }
+    }
+    factor
 }
 
 /// The sticky routing key of a request: model, per-request batch and region.
@@ -676,7 +938,7 @@ fn request_key(fleet_request: &FleetRequest) -> u64 {
 /// parity for even `n` — e.g. even-indexed requests all landing on
 /// even-indexed clusters. The splitmix64-style mix diffuses every input bit
 /// into every output bit.
-fn fnv64(parts: &[u64]) -> u64 {
+pub(crate) fn fnv64(parts: &[u64]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &part in parts {
         for byte in part.to_le_bytes() {
@@ -699,6 +961,46 @@ pub struct FleetScratch {
     workers: Vec<ClusterWorker>,
     caches: Vec<PlanCache>,
     order: Vec<u32>,
+    /// Killed requests awaiting their backoff release, fleet-wide — the
+    /// router drains this into (re-routed) deliveries each round.
+    retries: BinaryHeap<Reverse<FleetRetryEntry>>,
+}
+
+/// A killed request in the fleet retry heap, ordered by release time, ties
+/// by push sequence (which is deterministic: workers drain in cluster index
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FleetRetryEntry {
+    release: f64,
+    seq: u64,
+    global: u32,
+    attempts: u32,
+    from: u32,
+}
+
+impl Eq for FleetRetryEntry {}
+
+impl PartialOrd for FleetRetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FleetRetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.release
+            .total_cmp(&other.release)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One killed request a worker hands back to the router (the router adds
+/// the originating cluster index).
+#[derive(Debug, Clone, Copy)]
+struct FleetRetry {
+    global: u32,
+    release: f64,
+    attempts: u32,
 }
 
 impl FleetScratch {
@@ -735,6 +1037,13 @@ struct ClusterWorker {
     requests: Vec<ServingRequest>,
     /// Per delivered request: WAN round trip added to its reported latency.
     wan2: Vec<f64>,
+    // Robust-path delivery metadata (parallel to `requests`; empty on the
+    // legacy path): when the entry may enter the queue (arrival for fresh
+    // work, backoff release for retries), its global input index, and how
+    // many attempts it had already burned when delivered.
+    ready: Vec<f64>,
+    global: Vec<u32>,
+    attempts_in: Vec<u32>,
     // The serving loop's state (field-for-field its locals and scratch).
     key: PlanKey,
     queue: IndexedQueue,
@@ -749,6 +1058,11 @@ struct ClusterWorker {
     next_arrival: usize,
     now: f64,
     stats: PlanCacheStats,
+    // Kill-tracking state (robust path only).
+    pending: VecDeque<PendingBatch>,
+    pending_members: Vec<u32>,
+    retry_out: Vec<FleetRetry>,
+    robustness: RobustnessStats,
     // Routing signals read by the (serial) router.
     fingerprint: u64,
     backlog: f64,
@@ -771,6 +1085,9 @@ impl ClusterWorker {
         Self {
             requests: Vec::new(),
             wan2: Vec::new(),
+            ready: Vec::new(),
+            global: Vec::new(),
+            attempts_in: Vec::new(),
             key: PlanKey {
                 strategy: String::new(),
                 strategy_config: String::new(),
@@ -791,6 +1108,10 @@ impl ClusterWorker {
             next_arrival: 0,
             now: 0.0,
             stats: PlanCacheStats::default(),
+            pending: VecDeque::new(),
+            pending_members: Vec::new(),
+            retry_out: Vec::new(),
+            robustness: RobustnessStats::default(),
             fingerprint: 0,
             backlog: 0.0,
             routed_in_round: 0,
@@ -818,6 +1139,9 @@ impl ClusterWorker {
     ) {
         self.requests.clear();
         self.wan2.clear();
+        self.ready.clear();
+        self.global.clear();
+        self.attempts_in.clear();
         self.key.strategy.clear();
         self.key.strategy.push_str(strategy.name());
         strategy.write_cache_config(&mut self.key.strategy_config);
@@ -830,7 +1154,13 @@ impl ClusterWorker {
         self.inflight.clear();
         if has_events {
             match &mut self.epoch_cluster {
-                Some(c) => c.clone_from(cluster),
+                Some(c) => {
+                    // Availability-only rewind keeps warm passes zero-alloc;
+                    // a different base cluster falls back to a full clone.
+                    if c.restore_availability_from(cluster).is_err() {
+                        c.clone_from(cluster);
+                    }
+                }
                 None => self.epoch_cluster = Some(cluster.clone()),
             }
         } else {
@@ -842,6 +1172,10 @@ impl ClusterWorker {
         self.next_arrival = 0;
         self.now = 0.0;
         self.stats = PlanCacheStats::default();
+        self.pending.clear();
+        self.pending_members.clear();
+        self.retry_out.clear();
+        self.robustness = RobustnessStats::default();
         self.fingerprint = cluster.fingerprint();
         self.backlog = 0.0;
         self.routed_in_round = 0;
@@ -865,6 +1199,27 @@ impl ClusterWorker {
         self.queue.ensure(self.requests.len());
     }
 
+    /// [`ClusterWorker::deliver`] for the robust path: `ready` gates when
+    /// the entry may enter the queue (the router merges arrivals and retry
+    /// releases so deliveries arrive sorted by `ready`), `global` is the
+    /// fleet-wide input index (jitter and conservation key on it) and
+    /// `attempts` is the retry budget already burned.
+    fn deliver_robust(
+        &mut self,
+        request: ServingRequest,
+        wan_round_trip: f64,
+        ready: f64,
+        global: u32,
+        attempts: u32,
+    ) {
+        self.requests.push(request);
+        self.wan2.push(wan_round_trip);
+        self.ready.push(ready + 0.0);
+        self.global.push(global);
+        self.attempts_in.push(attempts);
+        self.queue.ensure(self.requests.len());
+    }
+
     /// Advances the cluster to the round barrier, trapping any error for
     /// the router to surface after the parallel section.
     fn advance(
@@ -872,13 +1227,19 @@ impl ClusterWorker {
         ctx: &RoundCtx<'_>,
         base: &Cluster,
         events: &[AvailabilityEvent],
+        slowdowns: &[SlowdownWindow],
         cache: &PlanCache,
         t_end: f64,
     ) {
         if self.error.is_some() {
             return;
         }
-        if let Err(error) = self.advance_inner(ctx, base, events, cache, t_end) {
+        let result = if ctx.robust {
+            self.advance_inner_robust(ctx, base, events, slowdowns, cache, t_end)
+        } else {
+            self.advance_inner(ctx, base, events, cache, t_end)
+        };
+        if let Err(error) = result {
             self.error = Some(error);
         }
     }
@@ -1009,6 +1370,300 @@ impl ClusterWorker {
             }
         }
     }
+
+    /// The failure-aware incremental loop: [`ClusterWorker::advance_inner`]
+    /// extended with the serving tier's kill semantics. Admitted batches
+    /// enter a pending FIFO instead of being observed immediately; a batch
+    /// is finalised (observed, WAN round trip included) once the clock
+    /// passes its completion, and killed when a down-flip lands on a node
+    /// its plan touches mid-flight. Killed members do **not** re-enter the
+    /// local queue — they go to `retry_out`, and the router re-routes them
+    /// away from this cluster next round (failover). On a fault-free
+    /// config the FIFO finalisation preserves the admission-order
+    /// observation sequence, so the run is bit-identical to the legacy
+    /// loop (pinned by `tests/chaos_robustness.rs`).
+    ///
+    /// Two rules differ from the legacy loop by design, both WAN-aware:
+    /// earliest-deadline ranks by `arrival + deadline − WAN round trip`
+    /// (when the reply must *leave* this cluster — the deadline rule in
+    /// `hidp_sim::serving`) and shedding compares the same WAN-adjusted
+    /// deadline against the admission lower bound.
+    fn advance_inner_robust(
+        &mut self,
+        ctx: &RoundCtx<'_>,
+        base: &Cluster,
+        events: &[AvailabilityEvent],
+        slowdowns: &[SlowdownWindow],
+        cache: &PlanCache,
+        t_end: f64,
+    ) -> Result<(), CoreError> {
+        let ClusterWorker {
+            requests,
+            wan2,
+            ready,
+            global,
+            attempts_in,
+            key,
+            queue,
+            members,
+            graphs,
+            dispatch,
+            inflight,
+            epoch_cluster,
+            next_event,
+            epoch,
+            departure_seq,
+            next_arrival,
+            now,
+            stats,
+            pending,
+            pending_members,
+            retry_out,
+            robustness,
+            fingerprint,
+            latency,
+            class_latency,
+            queueing_sum,
+            queueing_max,
+            class_queueing_sum,
+            class_misses,
+            deadline_misses,
+            makespan,
+            batches,
+            ..
+        } = self;
+
+        // Observes one surviving batch's members, in admission order
+        // (callers pop the pending FIFO front-first).
+        macro_rules! finalise {
+            ($b:expr) => {{
+                let b = $b;
+                let completion = b.effective_completion();
+                if completion > *makespan {
+                    *makespan = completion;
+                }
+                robustness.completed += u64::from(b.members_len);
+                let span = b.members_start as usize..(b.members_start + b.members_len) as usize;
+                for &m in &pending_members[span] {
+                    let request = &requests[m as usize];
+                    let lat = completion - request.arrival + wan2[m as usize];
+                    let delay = b.admitted - request.arrival;
+                    latency.observe(lat);
+                    *queueing_sum += delay;
+                    if delay > *queueing_max {
+                        *queueing_max = delay;
+                    }
+                    let class = request.sla.priority() as usize;
+                    class_latency[class].observe(lat);
+                    class_queueing_sum[class] += delay;
+                    if lat > request.sla.deadline_seconds() {
+                        *deadline_misses += 1;
+                        class_misses[class] += 1;
+                    }
+                }
+            }};
+        }
+
+        loop {
+            // Admit everything the window allows at the current instant.
+            while queue.len() > 0 && ctx.max_inflight.is_none_or(|w| inflight.len() < w) {
+                let head = queue.pick(ctx.policy);
+                if ctx.recovery.shed {
+                    // Every admitted completion is ≥ max(now, earliest free
+                    // resource); the reply must leave by `deadline − WAN`.
+                    let request = &requests[head as usize];
+                    let bound = now.max(dispatch.earliest_free());
+                    if bound
+                        > request.arrival + request.sla.deadline_seconds() - wan2[head as usize]
+                    {
+                        queue.remove(head, requests);
+                        robustness.shed += 1;
+                        continue;
+                    }
+                }
+                queue.coalesce(head, ctx.max_batch, members);
+                for &m in members.iter() {
+                    queue.remove(m, requests);
+                }
+                let head = requests[head as usize];
+                let combined = head.batch * members.len();
+                let graph = graphs
+                    .entry((head.model, combined))
+                    .or_insert_with(|| Arc::new(head.model.graph(combined)));
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                let plan_cluster: &Cluster = epoch_cluster.as_ref().unwrap_or(base);
+                let (plan, hit) =
+                    cache.plan_keyed(key, ctx.strategy, graph, plan_cluster, ctx.leader)?;
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                let completion = dispatch.estimate_with(plan.as_ref(), base, *now, slowdowns)?;
+                let mask = if ctx.kill {
+                    plan_node_mask(plan.as_ref())
+                } else {
+                    0
+                };
+                if ctx.max_inflight.is_some() {
+                    inflight.push(Reverse(Departure {
+                        at: completion,
+                        seq: *departure_seq,
+                    }));
+                    *departure_seq += 1;
+                }
+                let members_start = pending_members.len() as u32;
+                pending_members.extend_from_slice(members);
+                pending.push_back(PendingBatch {
+                    admitted: *now,
+                    completion,
+                    hedge_completion: f64::INFINITY,
+                    mask,
+                    hedge_mask: 0,
+                    members_start,
+                    members_len: members.len() as u32,
+                    primary_alive: true,
+                    hedge_alive: false,
+                });
+                *batches += 1;
+            }
+
+            let work_left = *next_arrival < requests.len() || queue.len() > 0;
+            // Remaining down-flips can still kill pending work, so the
+            // clock keeps walking events while any pending batch outlives
+            // the next *down* event (up events never kill).
+            let next_down = if ctx.kill {
+                events[*next_event..].iter().find(|e| !e.up)
+            } else {
+                None
+            };
+            let kills_pending = next_down.is_some_and(|e| {
+                pending
+                    .iter()
+                    .any(|b| b.primary_alive && b.completion > e.time)
+            });
+            if !work_left && !kills_pending {
+                // Quiet until the next delivery: no remaining down-flip can
+                // touch what's pending, so its completions are settled —
+                // finalise in admission order and yield to the router.
+                while let Some(b) = pending.pop_front() {
+                    if b.alive() {
+                        finalise!(b);
+                    }
+                }
+                return Ok(());
+            }
+
+            // Blocked: wait for the next ready delivery, estimated
+            // completion (when the window is full) or kill-relevant flip,
+            // whichever comes first.
+            let mut t = f64::INFINITY;
+            if *next_arrival < requests.len() {
+                t = ready[*next_arrival];
+            }
+            if queue.len() > 0 {
+                let Reverse(soonest) = inflight
+                    .peek()
+                    .expect("a full admission window implies in-flight batches");
+                t = t.min(soonest.at);
+            }
+            if kills_pending {
+                let down = next_down.expect("kills_pending implies a down event");
+                t = t.min(down.time + 0.0);
+            }
+            if t > t_end {
+                return Ok(()); // Barrier: resume here next round.
+            }
+            // Replay timeline events due by then; under kill semantics a
+            // down-flip kills every pending batch whose plan touches the
+            // node and whose completion lies beyond the flip.
+            while *next_event < events.len() && events[*next_event].time <= t {
+                let event = events[*next_event];
+                let c = epoch_cluster
+                    .as_mut()
+                    .expect("events imply an epoch cluster");
+                c.set_available(event.node, event.up)?;
+                key.cluster_fingerprint = c.fingerprint();
+                *fingerprint = c.fingerprint();
+                *epoch += 1;
+                *next_event += 1;
+                if !ctx.kill || event.up {
+                    continue;
+                }
+                let bit = 1u64 << (event.node.0 as u64 & 63);
+                for b in pending.iter_mut() {
+                    if !(b.primary_alive && b.completion > event.time && b.mask & bit != 0) {
+                        continue;
+                    }
+                    b.primary_alive = false;
+                    robustness.killed += u64::from(b.members_len);
+                    let span = b.members_start as usize..(b.members_start + b.members_len) as usize;
+                    for &m in &pending_members[span] {
+                        let i = m as usize;
+                        let k = attempts_in[i] + 1;
+                        let retryable = ctx.recovery.retry.is_some_and(|r| k <= r.max_attempts);
+                        if !retryable {
+                            robustness.lost += 1;
+                            continue;
+                        }
+                        let policy = ctx.recovery.retry.expect("retryable implies a policy");
+                        let backoff =
+                            policy.backoff_base_s * policy.backoff_factor.powi(k as i32 - 1);
+                        let unit = fnv64(&[policy.seed, u64::from(global[i]), u64::from(k)]) as f64
+                            / u64::MAX as f64;
+                        let release = event.time + backoff * (1.0 + policy.jitter_frac * unit);
+                        if ctx.recovery.deadline_abort
+                            && release > requests[i].arrival + requests[i].sla.deadline_seconds()
+                        {
+                            robustness.aborted += 1;
+                        } else {
+                            // Back to the router, which re-routes it away
+                            // from this cluster next round.
+                            retry_out.push(FleetRetry {
+                                global: global[i],
+                                release,
+                                attempts: k,
+                            });
+                            robustness.retried += 1;
+                        }
+                    }
+                }
+            }
+            if t > *now {
+                *now = t;
+            }
+            while let Some(&Reverse(soonest)) = inflight.peek() {
+                if soonest.at <= *now {
+                    inflight.pop();
+                } else {
+                    break;
+                }
+            }
+            // Finalise batches the clock has passed, front-first so the
+            // observation order stays the admission order.
+            while let Some(front) = pending.front() {
+                if !front.alive() {
+                    pending.pop_front();
+                    continue;
+                }
+                if front.effective_completion() <= *now {
+                    let b = pending.pop_front().expect("front exists");
+                    finalise!(b);
+                } else {
+                    break;
+                }
+            }
+            while *next_arrival < requests.len() && ready[*next_arrival] <= *now {
+                let idx = *next_arrival as u32;
+                let request = &requests[*next_arrival];
+                let deadline =
+                    request.arrival + request.sla.deadline_seconds() - wan2[*next_arrival];
+                queue.push_with_deadline(idx, requests, ctx.policy, deadline);
+                *next_arrival += 1;
+            }
+        }
+    }
 }
 
 /// The bounded-memory result of a fleet run: counts, the fleet makespan,
@@ -1053,6 +1708,9 @@ pub struct FleetSummary {
     /// Mean WAN round trip paid per request, seconds (0 when all traffic
     /// stays at its regional ingress).
     pub mean_wan_round_trip: f64,
+    /// Offered/completed/dropped accounting including recovery traffic.
+    /// Trivially all-completed when the config enables no failure handling.
+    pub robustness: RobustnessStats,
 }
 
 impl FleetSummary {
@@ -1261,6 +1919,214 @@ mod tests {
         // Leader missing from a cluster.
         assert!(FleetScenario::new(ok)
             .run_streaming(&strategy, &fleet, NodeIndex(64))
+            .is_err());
+    }
+
+    #[test]
+    fn no_fault_robust_fleet_is_bit_identical_to_legacy() {
+        let fleet = presets::generated_fleet(4, 2).unwrap();
+        let strategy = HidpStrategy::new();
+        let requests = regional_burst(80);
+        for routing in [
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::Locality,
+            RoutingPolicy::Random { seed: 11 },
+        ] {
+            let legacy = FleetScenario::new(requests.clone())
+                .with_routing(routing)
+                .with_max_inflight(Some(3))
+                .run_streaming(&strategy, &fleet, NodeIndex(1))
+                .unwrap();
+            // Kill semantics armed, full recovery enabled — but no fault
+            // timeline ever fires, so the failure-aware loop must
+            // reproduce the legacy run bit for bit.
+            let robust = FleetScenario::new(requests.clone())
+                .with_routing(routing)
+                .with_max_inflight(Some(3))
+                .with_failure_mode(FailureMode::Kill)
+                .with_recovery(RecoveryPolicy::standard())
+                .run_streaming(&strategy, &fleet, NodeIndex(1))
+                .unwrap();
+            assert_eq!(legacy, robust, "{}", routing.name());
+            assert_eq!(robust.robustness, RobustnessStats::all_completed(80));
+        }
+    }
+
+    #[test]
+    fn fleet_failover_reroutes_killed_work_to_surviving_clusters() {
+        // Two single-region clusters: locality pins region-0 traffic to
+        // cluster 0, which blacks out at t = 0.01 and never recovers.
+        let fleet = presets::generated_fleet(2, 2).unwrap();
+        let strategy = HidpStrategy::new();
+        let nodes = fleet.clusters()[0].len();
+        let mut timeline = ClusterTimeline::new();
+        for n in 0..nodes {
+            timeline = timeline.node_down(0.01, NodeIndex(n)).unwrap();
+        }
+        // Three region-0 requests: few enough that locality's per-round
+        // route-cost hint never spills one to the remote cluster.
+        let mut requests: Vec<FleetRequest> = (0..3)
+            .map(|_| FleetRequest::new(ServingRequest::new(WorkloadModel::ResNet152, 0.0), 0))
+            .collect();
+        // Two region-1 requests survive on cluster 1 either way, so the
+        // no-recovery baseline still has a latency distribution.
+        for _ in 0..2 {
+            requests.push(FleetRequest::new(
+                ServingRequest::new(WorkloadModel::InceptionV3, 0.0),
+                1,
+            ));
+        }
+        let run = |recovery: RecoveryPolicy| {
+            FleetScenario::new(requests.clone())
+                .with_routing(RoutingPolicy::Locality)
+                .with_timelines(vec![timeline.clone(), ClusterTimeline::new()])
+                .with_failure_mode(FailureMode::Kill)
+                .with_recovery(recovery)
+                .run_streaming(&strategy, &fleet, NodeIndex(1))
+                .unwrap()
+        };
+
+        let abandoned = run(RecoveryPolicy::default());
+        assert_eq!(abandoned.robustness.offered, 5);
+        assert_eq!(abandoned.robustness.killed, 3);
+        assert_eq!(
+            abandoned.robustness.lost, 3,
+            "no recovery: kills are permanent"
+        );
+        assert_eq!(abandoned.robustness.completed, 2);
+        assert_eq!(abandoned.latency.count, 2);
+        assert!(abandoned.robustness.accounts_for_every_request());
+
+        let recovered = run(RecoveryPolicy::standard());
+        assert_eq!(recovered.robustness.offered, 5);
+        assert_eq!(recovered.robustness.killed, 3);
+        assert_eq!(recovered.robustness.retried, 3, "every kill re-routes");
+        assert_eq!(recovered.robustness.lost, 0);
+        assert_eq!(recovered.robustness.completed, 5);
+        assert_eq!(recovered.latency.count, 5);
+        assert!(recovered.robustness.accounts_for_every_request());
+        // The failover hop pays the cross-region WAN round trip the
+        // locality-routed originals avoided.
+        assert!(
+            recovered.mean_wan_round_trip > abandoned.mean_wan_round_trip,
+            "failover pays WAN: {} vs {}",
+            recovered.mean_wan_round_trip,
+            abandoned.mean_wan_round_trip
+        );
+    }
+
+    #[test]
+    fn wan_degradation_and_stragglers_degrade_the_fleet() {
+        let fleet = presets::generated_fleet(3, 2).unwrap();
+        let strategy = HidpStrategy::new();
+        let requests = regional_burst(40);
+        let base = FleetScenario::new(requests.clone())
+            .with_routing(RoutingPolicy::Random { seed: 3 })
+            .with_failure_mode(FailureMode::Kill)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .unwrap();
+        // Every delivery inside the window pays 4x its WAN round trip.
+        let degraded = FleetScenario::new(requests.clone())
+            .with_routing(RoutingPolicy::Random { seed: 3 })
+            .with_failure_mode(FailureMode::Kill)
+            .with_wan_degradations(vec![WanDegradation {
+                start: 0.0,
+                end: 1e6,
+                factor: 4.0,
+            }])
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .unwrap();
+        assert!(
+            degraded.mean_wan_round_trip > 3.9 * base.mean_wan_round_trip,
+            "degraded {} vs base {}",
+            degraded.mean_wan_round_trip,
+            base.mean_wan_round_trip
+        );
+        assert_eq!(degraded.robustness, RobustnessStats::all_completed(40));
+        // Straggler windows on every node stretch estimated completions.
+        let slowdowns: Vec<Vec<SlowdownWindow>> = fleet
+            .clusters()
+            .iter()
+            .map(|cluster| {
+                (0..cluster.len())
+                    .map(|n| SlowdownWindow {
+                        node: NodeIndex(n),
+                        start: 0.0,
+                        end: 1e6,
+                        factor: 3.0,
+                    })
+                    .collect()
+            })
+            .collect();
+        let straggling = FleetScenario::new(requests.clone())
+            .with_routing(RoutingPolicy::Random { seed: 3 })
+            .with_slowdowns(slowdowns)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .unwrap();
+        assert!(
+            straggling.makespan > base.makespan,
+            "stragglers {} vs base {}",
+            straggling.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn fleet_rejects_serving_tier_hedging_and_malformed_fault_inputs() {
+        let fleet = presets::generated_fleet(2, 1).unwrap();
+        let strategy = HidpStrategy::new();
+        let ok = regional_burst(4)
+            .into_iter()
+            .map(|mut r| {
+                r.region = 0;
+                r
+            })
+            .collect::<Vec<_>>();
+        // Hedging is a serving-tier policy; the fleet's failover response
+        // is re-routing retries.
+        let hedged = RecoveryPolicy {
+            hedge_premium: true,
+            ..RecoveryPolicy::default()
+        };
+        assert!(FleetScenario::new(ok.clone())
+            .with_recovery(hedged)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Retry backoff must be positive.
+        let bad_retry = RecoveryPolicy {
+            retry: Some(crate::RetryPolicy {
+                backoff_base_s: -1.0,
+                ..crate::RetryPolicy::default()
+            }),
+            ..RecoveryPolicy::default()
+        };
+        assert!(FleetScenario::new(ok.clone())
+            .with_recovery(bad_retry)
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // Slowdown shape must match the fleet; windows must name real nodes.
+        assert!(FleetScenario::new(ok.clone())
+            .with_slowdowns(vec![Vec::new()])
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        let rogue = SlowdownWindow {
+            node: NodeIndex(99),
+            start: 0.0,
+            end: 1.0,
+            factor: 2.0,
+        };
+        assert!(FleetScenario::new(ok.clone())
+            .with_slowdowns(vec![vec![rogue], Vec::new()])
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
+            .is_err());
+        // WAN degradation windows must be well-formed.
+        assert!(FleetScenario::new(ok)
+            .with_wan_degradations(vec![WanDegradation {
+                start: 5.0,
+                end: 1.0,
+                factor: 2.0,
+            }])
+            .run_streaming(&strategy, &fleet, NodeIndex(1))
             .is_err());
     }
 }

@@ -72,8 +72,9 @@ pub use parallel::{ParallelSweep, ServingSweepJob, SweepJob};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanKey, SHARD_COUNT};
 pub use scenario::{Evaluation, Scenario};
 pub use serving::{
-    AdmissionPolicy, AdmittedBatch, ServingConfig, ServingEvaluation, ServingRequest,
-    ServingScenario, ServingScratch, ServingSummary,
+    AdmissionPolicy, AdmittedBatch, FailureMode, RecoveryPolicy, RetryPolicy, RobustnessStats,
+    ServingConfig, ServingEvaluation, ServingRequest, ServingScenario, ServingScratch,
+    ServingSummary,
 };
 pub use strategy::DistributedStrategy;
 pub use system_model::{Resource, SystemModel};

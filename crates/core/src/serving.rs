@@ -68,21 +68,48 @@
 //! different orders, which relabels per-request outputs and can change
 //! exact-tie scheduling. Every generator in `hidp-workloads` produces
 //! arrival-ordered streams.
+//!
+//! # Failure semantics and recovery
+//!
+//! By default a timeline flip only re-keys *future* planning
+//! ([`FailureMode::Ignore`], the historical behaviour): batches already in
+//! flight on the failed node still complete. With [`FailureMode::Kill`] a
+//! down-flip *kills* every in-flight batch whose plan touches the failed
+//! node; the killed members flow through the configured [`RecoveryPolicy`]
+//! — bounded retry with exponential backoff and deterministic jitter
+//! (re-planned under the post-failure fingerprint through the shared
+//! [`PlanCache`]), deadline abort, queue-time load shedding, and hedged
+//! dispatch for premium traffic. Every outcome is accounted in
+//! [`RobustnessStats`]: `offered == completed + shed + aborted + lost +
+//! in_flight_at_horizon` always holds.
+//!
+//! Recovery policies and straggler [`SlowdownWindow`]s run in the
+//! **streaming** mode only (the dispatch model owns the completions the
+//! kill test needs). The records mode supports `FailureMode::Kill` alone:
+//! the admitted stream is simulated by the failure-aware event engine
+//! ([`hidp_sim::simulate_admitted_stream_faulty_in`]) and killed requests
+//! surface as [`FailureEvent`]s with infinite latency, excluded from the
+//! served metrics. A no-fault robust config is **bit-identical** to the
+//! fault-free paths (pinned by `tests/chaos_robustness.rs`).
 
+use crate::fleet::fnv64;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::scenario::{Evaluation, Scenario};
 use crate::strategy::DistributedStrategy;
 use crate::{CoreError, PlanKey};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
-use hidp_platform::{Cluster, ClusterTimeline, NodeIndex, ProcessorAddr};
+use hidp_platform::{Cluster, ClusterTimeline, NodeIndex, ProcessorAddr, SlowdownWindow};
 use hidp_sim::serving::{
     LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport, StreamingTail,
 };
-use hidp_sim::{simulate_admitted_stream_in, ExecutionPlan, SimScratch, TaskKind, TraceDetail};
+use hidp_sim::{
+    simulate_admitted_stream_faulty_in, simulate_admitted_stream_in, ExecutionPlan, FailureEvent,
+    SimScratch, TaskKind, TraceDetail,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// One request entering the serving runtime: which model at which batch
@@ -149,6 +176,179 @@ impl AdmissionPolicy {
     }
 }
 
+/// What an availability down-flip does to batches already in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Flips only re-key *future* planning (the historical behaviour):
+    /// in-flight batches on the failed node still complete.
+    #[default]
+    Ignore,
+    /// Flips kill every in-flight batch whose plan touches the failed
+    /// node; the killed members flow through the [`RecoveryPolicy`].
+    /// Requires a cluster of ≤ 64 nodes (plan residency is tracked in a
+    /// 64-bit node mask).
+    Kill,
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter on the
+/// virtual clock. A killed request's attempt `k` (1-based) is re-released
+/// at `kill_time + backoff_base_s · backoff_factor^(k-1) · (1 +
+/// jitter_frac · u)` where `u ∈ [0, 1]` is a pure hash of `(seed, request
+/// index, k)` — the same seed replays the same jitter, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum *re*-tries per request (beyond the original attempt); when
+    /// exhausted the request is permanently lost.
+    pub max_attempts: u32,
+    /// First backoff interval, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff per additional attempt.
+    pub backoff_factor: f64,
+    /// Jitter amplitude as a fraction of the backoff (0 = none).
+    pub jitter_frac: f64,
+    /// Seed of the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_s: 0.05,
+            backoff_factor: 2.0,
+            jitter_frac: 0.5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
+        let ok = self.max_attempts >= 1
+            && self.backoff_base_s.is_finite()
+            && self.backoff_base_s > 0.0
+            && self.backoff_factor.is_finite()
+            && self.backoff_factor >= 1.0
+            && self.jitter_frac.is_finite()
+            && self.jitter_frac >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::Infeasible {
+                what: format!(
+                    "retry policy needs attempts ≥ 1, positive finite backoff, \
+                     factor ≥ 1 and non-negative jitter (got {self:?})"
+                ),
+            })
+        }
+    }
+}
+
+/// How the serving loop responds to killed and at-risk requests. The
+/// default is no recovery — kills become permanent losses, nothing is
+/// shed, nothing is hedged — which is the no-recovery baseline the chaos
+/// gates measure degradation against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Re-queue killed requests with backoff ([`RetryPolicy`]); `None`
+    /// means kills are permanent.
+    pub retry: Option<RetryPolicy>,
+    /// Drop a killed request instead of retrying when its backoff release
+    /// already overruns the SLA deadline (the retry could never help).
+    pub deadline_abort: bool,
+    /// Shed a queued request at pick time when a sound lower bound on any
+    /// completion admitted now already overruns its deadline.
+    pub shed: bool,
+    /// Dispatch a second, node-disjoint-where-possible copy of every
+    /// premium batch; the earlier surviving copy wins. Streaming-tier
+    /// only.
+    pub hedge_premium: bool,
+}
+
+impl RecoveryPolicy {
+    /// Retry with the default backoff plus deadline abort — the standard
+    /// recovery configuration the chaos gates run.
+    pub fn standard() -> Self {
+        Self {
+            retry: Some(RetryPolicy::default()),
+            deadline_abort: true,
+            shed: false,
+            hedge_premium: false,
+        }
+    }
+
+    /// Whether any recovery response is enabled.
+    pub(crate) fn is_active(&self) -> bool {
+        self.retry.is_some() || self.deadline_abort || self.shed || self.hedge_premium
+    }
+}
+
+/// Explicit offered/completed/dropped accounting for one serving run,
+/// including recovery traffic. The invariant `offered == completed +
+/// dropped() + in_flight_at_horizon` always holds
+/// ([`RobustnessStats::accounts_for_every_request`]); fault-free runs
+/// report `offered == completed == requests`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessStats {
+    /// Requests offered to the runtime (the input stream).
+    pub offered: u64,
+    /// Requests that completed (possibly after retries).
+    pub completed: u64,
+    /// Requests shed at admission (deadline provably unmeetable).
+    pub shed: u64,
+    /// Killed requests dropped because their retry release would already
+    /// overrun the deadline.
+    pub aborted: u64,
+    /// Requests permanently lost (killed with retries exhausted or
+    /// disabled).
+    pub lost: u64,
+    /// Kill events (a request retried and killed again counts once per
+    /// kill).
+    pub killed: u64,
+    /// Retry attempts re-queued.
+    pub retried: u64,
+    /// Requests that received a hedge copy.
+    pub hedged: u64,
+    /// Requests still unresolved when the run ended (0 for serving runs,
+    /// which drain; fleet rounds can truncate).
+    pub in_flight_at_horizon: u64,
+}
+
+impl RobustnessStats {
+    /// The accounting for a fault-free run: everything offered completed.
+    pub(crate) fn all_completed(n: usize) -> Self {
+        Self {
+            offered: n as u64,
+            completed: n as u64,
+            ..Self::default()
+        }
+    }
+
+    /// Requests dropped for any reason (shed + aborted + lost).
+    pub fn dropped(&self) -> u64 {
+        self.shed + self.aborted + self.lost
+    }
+
+    /// Whether the conservation invariant holds: every offered request is
+    /// completed, dropped, or still in flight.
+    pub fn accounts_for_every_request(&self) -> bool {
+        self.offered == self.completed + self.dropped() + self.in_flight_at_horizon
+    }
+
+    /// Field-wise accumulation (fleet rollup).
+    pub fn merge(&mut self, other: &Self) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.aborted += other.aborted;
+        self.lost += other.lost;
+        self.killed += other.killed;
+        self.retried += other.retried;
+        self.hedged += other.hedged;
+        self.in_flight_at_horizon += other.in_flight_at_horizon;
+    }
+}
+
 /// Configuration of the serving loop. The default is the degenerate mode:
 /// FIFO, no batching, unbounded in-flight, static cluster — exactly the
 /// regime [`crate::Scenario`] evaluates.
@@ -166,6 +366,14 @@ pub struct ServingConfig {
     pub max_inflight: Option<usize>,
     /// Timed node failures/recoveries replayed while serving.
     pub timeline: ClusterTimeline,
+    /// What a down-flip does to batches already in flight.
+    pub failures: FailureMode,
+    /// Recovery responses for killed and at-risk requests.
+    pub recovery: RecoveryPolicy,
+    /// Straggler windows the dispatch estimator replays: compute starting
+    /// inside a window on its node runs `factor`× slower. Streaming-mode
+    /// only.
+    pub slowdowns: Vec<SlowdownWindow>,
 }
 
 /// One admission the serving loop performed: when, under which epoch, and
@@ -248,6 +456,27 @@ impl ServingScenario {
     #[must_use]
     pub fn with_timeline(mut self, timeline: ClusterTimeline) -> Self {
         self.config.timeline = timeline;
+        self
+    }
+
+    /// Sets what down-flips do to in-flight batches (builder style).
+    #[must_use]
+    pub fn with_failure_mode(mut self, failures: FailureMode) -> Self {
+        self.config.failures = failures;
+        self
+    }
+
+    /// Sets the recovery policy (builder style).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Sets the straggler slowdown windows (builder style).
+    #[must_use]
+    pub fn with_slowdowns(mut self, slowdowns: Vec<SlowdownWindow>) -> Self {
+        self.config.slowdowns = slowdowns;
         self
     }
 
@@ -334,6 +563,7 @@ impl ServingScenario {
         scratch: &mut ServingScratch,
     ) -> Result<ServingEvaluation, CoreError> {
         self.validate(cluster)?;
+        self.ensure_records_mode_supported()?;
         let requests = &self.requests;
         let mut stream: Vec<(f64, f64, Arc<ExecutionPlan>)> = Vec::new();
         let mut batches: Vec<AdmittedBatch> = Vec::new();
@@ -384,6 +614,7 @@ impl ServingScenario {
         leader: NodeIndex,
     ) -> Result<ServingEvaluation, CoreError> {
         self.validate(cluster)?;
+        self.ensure_records_mode_supported()?;
         let cache = PlanCache::new();
         let outcome = self.admission_loop_reference(strategy, cluster, leader, &cache)?;
         let mut scratch = SimScratch::new();
@@ -427,6 +658,9 @@ impl ServingScenario {
         scratch: &mut ServingScratch,
     ) -> Result<ServingSummary, CoreError> {
         self.validate(cluster)?;
+        if self.config.is_robust() {
+            return self.run_robust_streaming(strategy, cluster, leader, cache, scratch);
+        }
         let requests = &self.requests;
         let mut latency_tail = StreamingTail::new();
         let mut queueing_tail = StreamingTail::new();
@@ -487,6 +721,455 @@ impl ServingScenario {
             deadline_misses,
             per_class,
             plan_cache: stats,
+            robustness: RobustnessStats::all_completed(requests.len()),
+        })
+    }
+
+    /// The failure-aware streaming loop: the same indexed admission as
+    /// [`ServingScenario::run_streaming`], extended with kill semantics and
+    /// the [`RecoveryPolicy`] responses.
+    ///
+    /// Structurally, admitted batches enter a pending FIFO (admission
+    /// order) instead of being observed immediately; a batch is
+    /// *finalised* — observed into the latency tails — once the virtual
+    /// clock passes its effective completion, and *killed* when a
+    /// down-flip lands on a node its plan touches while it is still in
+    /// flight. Because finalisation pops the FIFO in admission order, a
+    /// fault-free robust run feeds the order-sensitive P² sketches exactly
+    /// the sequence the legacy loop does, which is what makes the no-fault
+    /// degenerate config bit-identical to `run_streaming` (pinned by
+    /// `tests/chaos_robustness.rs`).
+    ///
+    /// Retried requests keep their original arrival and input index: the
+    /// deadline rule (see `hidp_sim::serving`) measures SLA misses
+    /// arrival → *final* completion across every attempt, and re-planning
+    /// flows through the shared [`PlanCache`] keyed by the post-failure
+    /// cluster fingerprint. Hedge copies consume real estimator capacity
+    /// (a hedge is not free) and are planned against the epoch cluster
+    /// with the primary's most exposed non-leader node marked down, so the
+    /// copy survives exactly the failure most likely to kill the primary.
+    fn run_robust_streaming(
+        &self,
+        strategy: &dyn DistributedStrategy,
+        cluster: &Cluster,
+        leader: NodeIndex,
+        cache: &PlanCache,
+        scratch: &mut ServingScratch,
+    ) -> Result<ServingSummary, CoreError> {
+        let requests = &self.requests;
+        let n = requests.len();
+        let max_inflight = self.config.max_inflight.map(|w| w.max(1));
+        let kill = self.config.failures == FailureMode::Kill;
+        let recovery = self.config.recovery;
+        let retry_policy = recovery.retry;
+        let slowdowns = self.config.slowdowns.as_slice();
+        let ServingScratch {
+            key,
+            order,
+            queue,
+            members,
+            graphs,
+            dispatch,
+            inflight,
+            epoch_cluster,
+            pending,
+            pending_members,
+            retries,
+            attempts,
+            hedge_cluster,
+            ..
+        } = scratch;
+
+        key.strategy.clear();
+        key.strategy.push_str(strategy.name());
+        strategy.write_cache_config(&mut key.strategy_config);
+        key.graph_fingerprint = 0;
+        key.batch = 0;
+        key.leader = leader;
+        key.cluster_fingerprint = cluster.fingerprint();
+
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by(|&a, &b| {
+            (requests[a as usize].arrival + 0.0)
+                .total_cmp(&(requests[b as usize].arrival + 0.0))
+                .then(a.cmp(&b))
+        });
+
+        queue.reset(n);
+        dispatch.reset();
+        inflight.clear();
+        pending.clear();
+        pending_members.clear();
+        retries.clear();
+        attempts.clear();
+        attempts.resize(n, 0u32);
+
+        let events = self.config.timeline.events();
+        let mut current: Option<&mut Cluster> = if events.is_empty() {
+            None
+        } else {
+            Some(match epoch_cluster {
+                Some(c) => {
+                    // Availability-only rewind keeps warm passes
+                    // zero-alloc; a different base cluster falls back to a
+                    // full clone.
+                    if c.restore_availability_from(cluster).is_err() {
+                        c.clone_from(cluster);
+                    }
+                    c
+                }
+                None => epoch_cluster.insert(cluster.clone()),
+            })
+        };
+        let mut next_event = 0usize;
+        let mut epoch = 0usize;
+
+        let mut departure_seq = 0u64;
+        let mut retry_seq = 0u64;
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut stats = PlanCacheStats::default();
+
+        let mut latency_tail = StreamingTail::new();
+        let mut queueing_tail = StreamingTail::new();
+        let mut class_tail = [StreamingTail::new(); 3];
+        let mut class_queueing_sum = [0.0f64; 3];
+        let mut class_misses = [0usize; 3];
+        let mut deadline_misses = 0usize;
+        let mut makespan = 0.0f64;
+        let mut batch_count = 0usize;
+        let mut robustness = RobustnessStats {
+            offered: n as u64,
+            ..RobustnessStats::default()
+        };
+
+        // Observes one surviving batch's members into the tails, in
+        // admission order (callers pop the pending FIFO front-first).
+        macro_rules! finalise {
+            ($b:expr) => {{
+                let b = $b;
+                let completion = b.effective_completion();
+                if completion > makespan {
+                    makespan = completion;
+                }
+                robustness.completed += u64::from(b.members_len);
+                let span = b.members_start as usize..(b.members_start + b.members_len) as usize;
+                for &m in &pending_members[span] {
+                    let request = &requests[m as usize];
+                    let latency = completion - request.arrival;
+                    let delay = b.admitted - request.arrival;
+                    latency_tail.observe(latency);
+                    queueing_tail.observe(delay);
+                    let class = request.sla.priority() as usize;
+                    class_tail[class].observe(latency);
+                    class_queueing_sum[class] += delay;
+                    if latency > request.sla.deadline_seconds() {
+                        deadline_misses += 1;
+                        class_misses[class] += 1;
+                    }
+                }
+            }};
+        }
+
+        loop {
+            // Admit everything the window allows at the current instant.
+            while queue.len() > 0 && max_inflight.is_none_or(|w| inflight.len() < w) {
+                let head = queue.pick(self.config.policy);
+                if recovery.shed {
+                    // Load shedding: every admitted completion is ≥
+                    // max(now, earliest free resource) — when even that
+                    // sound lower bound overruns the head's deadline,
+                    // serving it would burn capacity on a guaranteed miss.
+                    let request = &requests[head as usize];
+                    let bound = now.max(dispatch.earliest_free());
+                    if bound > request.arrival + request.sla.deadline_seconds() {
+                        queue.remove(head, requests);
+                        robustness.shed += 1;
+                        continue;
+                    }
+                }
+                queue.coalesce(head, self.config.max_batch, members);
+                for &m in members.iter() {
+                    queue.remove(m, requests);
+                }
+                let head = &requests[head as usize];
+                let combined = head.batch * members.len();
+                let graph = graphs
+                    .entry((head.model, combined))
+                    .or_insert_with(|| Arc::new(head.model.graph(combined)));
+                key.graph_fingerprint = graph.fingerprint();
+                key.batch = graph.input_shape().batch();
+                let plan_cluster: &Cluster = current.as_deref().unwrap_or(cluster);
+                let (plan, hit) = cache.plan_keyed(key, strategy, graph, plan_cluster, leader)?;
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                let completion = dispatch.estimate_with(plan.as_ref(), cluster, now, slowdowns)?;
+                let mask = if kill || recovery.hedge_premium {
+                    plan_node_mask(plan.as_ref())
+                } else {
+                    0
+                };
+
+                let mut hedge_completion = f64::INFINITY;
+                let mut hedge_mask = 0u64;
+                let mut hedge_alive = false;
+                if recovery.hedge_premium && head.sla == SlaClass::Premium {
+                    let exposed = mask & !(1u64 << (leader.0 as u64 & 63));
+                    if exposed != 0 {
+                        let avoid = NodeIndex(exposed.trailing_zeros() as usize);
+                        let base: &Cluster = current.as_deref().unwrap_or(cluster);
+                        let hc = match hedge_cluster {
+                            Some(c) => {
+                                if c.restore_availability_from(base).is_err() {
+                                    c.clone_from(base);
+                                }
+                                c
+                            }
+                            None => hedge_cluster.insert(base.clone()),
+                        };
+                        if hc.set_available(avoid, false).is_ok() {
+                            let saved = key.cluster_fingerprint;
+                            key.cluster_fingerprint = hc.fingerprint();
+                            let hedged = cache.plan_keyed(key, strategy, graph, hc, leader);
+                            key.cluster_fingerprint = saved;
+                            // A cluster that cannot plan without the
+                            // avoided node simply gets no hedge copy —
+                            // hedging is opportunistic, never fatal.
+                            if let Ok((hedge_plan, hedge_hit)) = hedged {
+                                if hedge_hit {
+                                    stats.hits += 1;
+                                } else {
+                                    stats.misses += 1;
+                                }
+                                hedge_completion = dispatch.estimate_with(
+                                    hedge_plan.as_ref(),
+                                    cluster,
+                                    now,
+                                    slowdowns,
+                                )?;
+                                hedge_mask = if kill {
+                                    plan_node_mask(hedge_plan.as_ref())
+                                } else {
+                                    0
+                                };
+                                hedge_alive = true;
+                                robustness.hedged += members.len() as u64;
+                            }
+                        }
+                    }
+                }
+
+                let effective = completion.min(hedge_completion);
+                if max_inflight.is_some() {
+                    inflight.push(Reverse(Departure {
+                        at: effective,
+                        seq: departure_seq,
+                    }));
+                    departure_seq += 1;
+                }
+                let members_start = pending_members.len() as u32;
+                pending_members.extend_from_slice(members);
+                pending.push_back(PendingBatch {
+                    admitted: now,
+                    completion,
+                    hedge_completion,
+                    mask,
+                    hedge_mask,
+                    members_start,
+                    members_len: members.len() as u32,
+                    primary_alive: true,
+                    hedge_alive,
+                });
+                batch_count += 1;
+            }
+
+            let work_left = next_arrival < n || queue.len() > 0 || !retries.is_empty();
+            // Remaining down-flips can still kill pending work even after
+            // the queue drains, so the clock must keep walking events while
+            // any pending copy outlives the next *down* event (up events
+            // never kill, so they alone never drive the clock — exactly
+            // the legacy loop's behaviour on up-only timelines).
+            let next_down = if kill {
+                events[next_event..].iter().find(|e| !e.up)
+            } else {
+                None
+            };
+            let kills_pending = next_down.is_some_and(|e| {
+                pending.iter().any(|b| {
+                    (b.primary_alive && b.completion > e.time)
+                        || (b.hedge_alive && b.hedge_completion > e.time)
+                })
+            });
+            if !work_left && !kills_pending {
+                // Drain: finalise every surviving batch in admission order.
+                while let Some(b) = pending.pop_front() {
+                    if b.alive() {
+                        finalise!(b);
+                    }
+                }
+                break;
+            }
+
+            // Blocked: wait for the next arrival, retry release, estimated
+            // completion (when the window is full) or kill-relevant flip,
+            // whichever comes first.
+            let mut t = f64::INFINITY;
+            if next_arrival < n {
+                t = requests[order[next_arrival] as usize].arrival + 0.0;
+            }
+            if let Some(&Reverse(entry)) = retries.peek() {
+                t = t.min(entry.release);
+            }
+            if queue.len() > 0 {
+                let Reverse(soonest) = inflight
+                    .peek()
+                    .expect("a full admission window implies in-flight batches");
+                t = t.min(soonest.at);
+            }
+            if kills_pending {
+                let down = next_down.expect("kills_pending implies a down event");
+                t = t.min(down.time + 0.0);
+            }
+            // Replay timeline events due by then. Each flip re-keys later
+            // planning; under kill semantics a down-flip additionally kills
+            // every pending copy whose plan touches the node and whose
+            // completion lies beyond the flip (work finished by the flip
+            // instant was already committed — the engine's rule).
+            while next_event < events.len() && events[next_event].time <= t {
+                let event = events[next_event];
+                let c = current.as_mut().expect("events imply an epoch cluster");
+                c.set_available(event.node, event.up)?;
+                key.cluster_fingerprint = c.fingerprint();
+                epoch += 1;
+                next_event += 1;
+                if !kill || event.up {
+                    continue;
+                }
+                let bit = 1u64 << (event.node.0 as u64 & 63);
+                for b in pending.iter_mut() {
+                    let was_alive = b.alive();
+                    if b.primary_alive && b.completion > event.time && b.mask & bit != 0 {
+                        b.primary_alive = false;
+                    }
+                    if b.hedge_alive && b.hedge_completion > event.time && b.hedge_mask & bit != 0 {
+                        b.hedge_alive = false;
+                    }
+                    if !was_alive || b.alive() {
+                        continue;
+                    }
+                    // Every copy is gone: the members are killed and flow
+                    // through the recovery policy.
+                    robustness.killed += u64::from(b.members_len);
+                    let span = b.members_start as usize..(b.members_start + b.members_len) as usize;
+                    for &m in &pending_members[span] {
+                        let i = m as usize;
+                        attempts[i] += 1;
+                        let retryable = retry_policy.is_some_and(|r| attempts[i] <= r.max_attempts);
+                        if !retryable {
+                            robustness.lost += 1;
+                            continue;
+                        }
+                        let policy = retry_policy.expect("retryable implies a policy");
+                        let backoff = policy.backoff_base_s
+                            * policy.backoff_factor.powi(attempts[i] as i32 - 1);
+                        let unit = fnv64(&[policy.seed, m as u64, u64::from(attempts[i])]) as f64
+                            / u64::MAX as f64;
+                        let release = event.time + backoff * (1.0 + policy.jitter_frac * unit);
+                        if recovery.deadline_abort
+                            && release > requests[i].arrival + requests[i].sla.deadline_seconds()
+                        {
+                            robustness.aborted += 1;
+                        } else {
+                            retries.push(Reverse(RetryEntry {
+                                release,
+                                seq: retry_seq,
+                                idx: m,
+                            }));
+                            retry_seq += 1;
+                            robustness.retried += 1;
+                        }
+                    }
+                }
+            }
+            if t > now {
+                now = t;
+            }
+            while let Some(&Reverse(soonest)) = inflight.peek() {
+                if soonest.at <= now {
+                    inflight.pop();
+                } else {
+                    break;
+                }
+            }
+            // Finalise batches the clock has passed, front-first so the
+            // observation order stays the admission order.
+            while let Some(front) = pending.front() {
+                if !front.alive() {
+                    pending.pop_front();
+                    continue;
+                }
+                if front.effective_completion() <= now {
+                    let b = pending.pop_front().expect("front exists");
+                    finalise!(b);
+                } else {
+                    break;
+                }
+            }
+            // Released retries re-enter ahead of same-instant fresh
+            // arrivals: a retried request is strictly older work.
+            while let Some(&Reverse(entry)) = retries.peek() {
+                if entry.release <= now {
+                    retries.pop();
+                    queue.push(entry.idx, requests, self.config.policy);
+                } else {
+                    break;
+                }
+            }
+            while next_arrival < n && requests[order[next_arrival] as usize].arrival + 0.0 <= now {
+                queue.push(order[next_arrival], requests, self.config.policy);
+                next_arrival += 1;
+            }
+        }
+
+        debug_assert!(
+            robustness.accounts_for_every_request(),
+            "request conservation violated: {robustness:?}"
+        );
+        let latency = latency_tail
+            .summary()
+            .ok_or_else(|| CoreError::Infeasible {
+                what: format!(
+                    "serving scenario '{}': no request completed under the fault timeline",
+                    self.label
+                ),
+            })?;
+        let mut per_class = [None; 3];
+        for (c, &class) in SlaClass::ALL.iter().enumerate() {
+            if let Some(latency) = class_tail[c].summary() {
+                per_class[c] = Some(SlaClassReport {
+                    class,
+                    latency,
+                    mean_queueing_delay: class_queueing_sum[c] / latency.count as f64,
+                    deadline_misses: class_misses[c],
+                });
+            }
+        }
+        Ok(ServingSummary {
+            requests: n,
+            batches: batch_count,
+            epochs_applied: epoch,
+            makespan,
+            latency,
+            mean_queueing_delay: queueing_tail.mean(),
+            max_queueing_delay: queueing_tail.max(),
+            deadline_misses,
+            per_class,
+            plan_cache: stats,
+            robustness,
         })
     }
 
@@ -522,6 +1205,43 @@ impl ServingScenario {
             }
         }
         self.config.timeline.validate(cluster)?;
+        for window in &self.config.slowdowns {
+            window.validate()?;
+            cluster.node(window.node)?;
+        }
+        if let Some(retry) = &self.config.recovery.retry {
+            retry.validate()?;
+        }
+        if (self.config.failures == FailureMode::Kill || self.config.recovery.hedge_premium)
+            && cluster.len() > 64
+        {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "serving scenario '{}': kill semantics and hedging track plan \
+                     residency in a 64-bit node mask; the cluster has {} nodes",
+                    self.label,
+                    cluster.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Recovery policies and slowdown windows need the dispatch model to
+    /// own the completions, so they are streaming-only; the records modes
+    /// reject them up front (they do support plain [`FailureMode::Kill`],
+    /// simulated by the failure-aware event engine).
+    fn ensure_records_mode_supported(&self) -> Result<(), CoreError> {
+        if self.config.recovery.is_active() || !self.config.slowdowns.is_empty() {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "serving scenario '{}': recovery policies and slowdown windows \
+                     are streaming-only (use run_streaming); the records mode \
+                     supports FailureMode::Kill alone",
+                    self.label
+                ),
+            });
+        }
         Ok(())
     }
 
@@ -859,9 +1579,41 @@ impl ServingScenario {
             stats,
             epochs_applied,
         } = outcome;
-        let report = simulate_admitted_stream_in(scratch, &stream, cluster, self.trace)?.clone();
+        // Under kill semantics the admitted stream runs through the
+        // failure-aware engine: batches resident on a downed node at flip
+        // time surface as batch-level failure events instead of fictitious
+        // completions. The fault-free configuration takes the plain engine
+        // path, bit-identical to before.
+        let kill =
+            self.config.failures == FailureMode::Kill && !self.config.timeline.events().is_empty();
+        let (report, batch_failures) = if kill {
+            let (report, failures) = simulate_admitted_stream_faulty_in(
+                scratch,
+                &stream,
+                cluster,
+                self.config.timeline.events(),
+                self.trace,
+            )?;
+            (report.clone(), failures.to_vec())
+        } else {
+            let report = simulate_admitted_stream_in(scratch, &stream, cluster, self.trace)?;
+            (report.clone(), Vec::new())
+        };
 
         let n = self.requests.len();
+        // Lower batch-level failures to per-request events (input indices).
+        let mut killed = vec![false; n];
+        let mut failures: Vec<FailureEvent> = Vec::new();
+        for event in &batch_failures {
+            for &i in &batches[event.request].members {
+                killed[i] = true;
+                failures.push(FailureEvent {
+                    request: i,
+                    at: event.at,
+                    node: event.node,
+                });
+            }
+        }
         let mut records = vec![
             ServedRequestRecord {
                 arrival: 0.0,
@@ -876,16 +1628,48 @@ impl ServingScenario {
             let completion = report.request_completion[b];
             for &i in &batch.members {
                 let request = &self.requests[i];
+                let done = !killed[i];
                 records[i] = ServedRequestRecord {
                     arrival: request.arrival,
                     admitted: batch.admitted,
-                    completion,
+                    completion: if done { completion } else { f64::INFINITY },
                     sla: request.sla,
                 };
-                latencies[i] = completion - request.arrival;
+                latencies[i] = if done {
+                    completion - request.arrival
+                } else {
+                    f64::INFINITY
+                };
             }
         }
-        let serving = ServingMetrics::from_records(&records).expect("scenario is non-empty");
+        // Served metrics cover survivors only; killed requests never
+        // completed, so they contribute no latency sample.
+        let serving = if failures.is_empty() {
+            ServingMetrics::from_records(&records)
+        } else {
+            let survivors: Vec<ServedRequestRecord> = records
+                .iter()
+                .zip(&killed)
+                .filter(|(_, &k)| !k)
+                .map(|(r, _)| *r)
+                .collect();
+            ServingMetrics::from_records(&survivors)
+        }
+        .ok_or_else(|| CoreError::Infeasible {
+            what: format!(
+                "serving scenario '{}': every request was killed by the fault \
+                 timeline",
+                self.label
+            ),
+        })?;
+        let lost = failures.len() as u64;
+        let robustness = RobustnessStats {
+            offered: n as u64,
+            completed: n as u64 - lost,
+            lost,
+            killed: lost,
+            ..RobustnessStats::default()
+        };
 
         let mut evaluation =
             Scenario::evaluation_from(strategy.name(), &self.label, report, cluster)?;
@@ -899,11 +1683,23 @@ impl ServingScenario {
             records,
             admissions: batches,
             epochs_applied,
+            failures,
+            robustness,
         })
     }
 }
 
 impl ServingConfig {
+    /// Whether any robustness feature is enabled: kill semantics, a
+    /// recovery response, or straggler windows. Robust configs take the
+    /// failure-aware streaming loop; everything else takes the legacy
+    /// paths unchanged.
+    pub fn is_robust(&self) -> bool {
+        self.failures == FailureMode::Kill
+            || self.recovery.is_active()
+            || !self.slowdowns.is_empty()
+    }
+
     /// The queue position the configured policy admits next (queue is in
     /// arrival order, so FIFO is position 0 and every tie breaks toward the
     /// earlier position). Used only by the reference loop; the indexed
@@ -954,6 +1750,86 @@ impl Ord for Departure {
     }
 }
 
+/// One admitted batch awaiting its estimated completion in the robust
+/// streaming loop, with kill-tracking state: which nodes each copy's plan
+/// touches (64-bit masks — `validate` gates kill semantics to ≤ 64-node
+/// clusters) and whether each copy is still alive. The member indices
+/// live in the scratch's shared pool at `members_start..+members_len`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingBatch {
+    pub(crate) admitted: f64,
+    pub(crate) completion: f64,
+    /// Estimated completion of the hedge copy (`INFINITY` when none).
+    pub(crate) hedge_completion: f64,
+    pub(crate) mask: u64,
+    pub(crate) hedge_mask: u64,
+    pub(crate) members_start: u32,
+    pub(crate) members_len: u32,
+    pub(crate) primary_alive: bool,
+    pub(crate) hedge_alive: bool,
+}
+
+impl PendingBatch {
+    pub(crate) fn alive(&self) -> bool {
+        self.primary_alive || self.hedge_alive
+    }
+
+    /// The earliest completion among surviving copies (`INFINITY` when
+    /// every copy is dead — callers skip such batches).
+    pub(crate) fn effective_completion(&self) -> f64 {
+        let mut t = f64::INFINITY;
+        if self.primary_alive {
+            t = self.completion;
+        }
+        if self.hedge_alive && self.hedge_completion < t {
+            t = self.hedge_completion;
+        }
+        t
+    }
+}
+
+/// A killed request awaiting its backoff release in the retry heap,
+/// ordered by release time, ties by push sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RetryEntry {
+    release: f64,
+    seq: u64,
+    idx: u32,
+}
+
+impl Eq for RetryEntry {}
+
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.release
+            .total_cmp(&other.release)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The set of nodes a plan's tasks touch — compute targets and both
+/// transfer endpoints — as a 64-bit mask. This is the same residency rule
+/// the failure-aware engine applies per task, lifted to whole batches.
+pub(crate) fn plan_node_mask(plan: &ExecutionPlan) -> u64 {
+    let mut mask = 0u64;
+    for task in plan.tasks() {
+        match &task.kind {
+            TaskKind::Compute { target, .. } => mask |= 1u64 << (target.node.0 as u64 & 63),
+            TaskKind::Transfer { from, to, .. } => {
+                mask |= 1u64 << (from.0 as u64 & 63);
+                mask |= 1u64 << (to.0 as u64 & 63);
+            }
+        }
+    }
+    mask
+}
+
 /// What the admission loop hands to the simulation half.
 struct AdmissionOutcome {
     stream: Vec<(f64, f64, Arc<ExecutionPlan>)>,
@@ -979,6 +1855,11 @@ pub struct ServingEvaluation {
     pub admissions: Vec<AdmittedBatch>,
     /// Timeline events applied during the run (the final epoch number).
     pub epochs_applied: usize,
+    /// Kill events under [`FailureMode::Kill`], one per killed request
+    /// (input index), in flip order. Empty in fault-free runs.
+    pub failures: Vec<FailureEvent>,
+    /// Offered/completed/dropped accounting.
+    pub robustness: RobustnessStats,
 }
 
 impl ServingEvaluation {
@@ -1021,6 +1902,9 @@ pub struct ServingSummary {
     pub per_class: [Option<SlaClassReport>; 3],
     /// Plan-cache traffic of the run.
     pub plan_cache: PlanCacheStats,
+    /// Offered/completed/dropped accounting, including recovery traffic.
+    /// Fault-free runs report `offered == completed == requests`.
+    pub robustness: RobustnessStats,
 }
 
 impl ServingSummary {
@@ -1066,6 +1950,15 @@ pub struct ServingScratch {
     dispatch: DispatchEstimator,
     inflight: BinaryHeap<Reverse<Departure>>,
     epoch_cluster: Option<Cluster>,
+    /// Robust-loop state: admitted batches awaiting completion (FIFO in
+    /// admission order), their member indices (a shared pool the batches
+    /// slice into), the retry heap, per-request attempt counts and the
+    /// reusable hedge-planning cluster.
+    pending: VecDeque<PendingBatch>,
+    pending_members: Vec<u32>,
+    retries: BinaryHeap<Reverse<RetryEntry>>,
+    attempts: Vec<u32>,
+    hedge_cluster: Option<Cluster>,
 }
 
 impl ServingScratch {
@@ -1088,6 +1981,11 @@ impl ServingScratch {
             dispatch: DispatchEstimator::default(),
             inflight: BinaryHeap::new(),
             epoch_cluster: None,
+            pending: VecDeque::new(),
+            pending_members: Vec::new(),
+            retries: BinaryHeap::new(),
+            attempts: Vec::new(),
+            hedge_cluster: None,
         }
     }
 }
@@ -1271,8 +2169,25 @@ impl IndexedQueue {
     }
 
     /// Enqueues `idx` (called in arrival order, which makes `seq` the queue
-    /// order every pick tie-breaks on).
+    /// order every pick tie-breaks on). The EDF deadline is the serving
+    /// tier's rule, `arrival + class deadline`.
     pub(crate) fn push(&mut self, idx: u32, requests: &[ServingRequest], policy: AdmissionPolicy) {
+        let request = &requests[idx as usize];
+        let deadline = request.arrival + request.sla.deadline_seconds();
+        self.push_with_deadline(idx, requests, policy, deadline);
+    }
+
+    /// [`IndexedQueue::push`] with an explicit absolute EDF deadline — the
+    /// fleet tier passes `arrival + class deadline − WAN round trip`, so
+    /// earliest-deadline ranks by when a reply must *leave* the serving
+    /// cluster (the deadline rule in `hidp_sim::serving`).
+    pub(crate) fn push_with_deadline(
+        &mut self,
+        idx: u32,
+        requests: &[ServingRequest],
+        policy: AdmissionPolicy,
+        deadline: f64,
+    ) {
         let i = idx as usize;
         let request = &requests[i];
         let seq = self.next_seq;
@@ -1307,11 +2222,7 @@ impl IndexedQueue {
         let (head, tail) = &mut self.buckets[bucket as usize];
         link_tail(&mut self.bnext, &mut self.bprev, head, tail, idx);
         if policy == AdmissionPolicy::EarliestDeadline {
-            self.edf.push(Reverse(EdfEntry {
-                deadline: request.arrival + request.sla.deadline_seconds(),
-                seq,
-                idx,
-            }));
+            self.edf.push(Reverse(EdfEntry { deadline, seq, idx }));
         }
     }
 
@@ -1446,6 +2357,20 @@ impl DispatchEstimator {
         self.free.iter().fold(0.0f64, |acc, &t| acc.max(t))
     }
 
+    /// The earliest free time across all resources — a sound lower bound
+    /// on the completion of anything admitted now (every plan occupies at
+    /// least one resource, whose free time is ≥ this minimum). The
+    /// shedding policy compares `max(now, earliest_free)` against a
+    /// request's absolute deadline.
+    pub(crate) fn earliest_free(&self) -> f64 {
+        let min = self.free.iter().fold(f64::INFINITY, |acc, &t| acc.min(t));
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
     /// List-schedules `plan` released at `release` against the current free
     /// times and returns its estimated completion, advancing the free times
     /// of every resource the plan touches.
@@ -1455,13 +2380,28 @@ impl DispatchEstimator {
         cluster: &Cluster,
         release: f64,
     ) -> Result<f64, CoreError> {
+        self.estimate_with(plan, cluster, release, &[])
+    }
+
+    /// [`DispatchEstimator::estimate`] under straggler windows: a compute
+    /// task *starting* inside a window on its node runs `factor`× slower
+    /// (overlapping windows compound multiplicatively); transfers are
+    /// unaffected. With no windows the arithmetic is bit-identical to the
+    /// plain estimate.
+    pub(crate) fn estimate_with(
+        &mut self,
+        plan: &ExecutionPlan,
+        cluster: &Cluster,
+        release: f64,
+        slowdowns: &[SlowdownWindow],
+    ) -> Result<f64, CoreError> {
         // Normalise -0.0 like the engine so exact ties order identically.
         let release = release + 0.0;
         let batch = plan.batch();
         self.finish.clear();
         let mut completion = release;
         for task in plan.tasks() {
-            let (duration, resource) = match &task.kind {
+            let (duration, resource, compute_node) = match &task.kind {
                 TaskKind::Compute {
                     target,
                     flops,
@@ -1471,6 +2411,7 @@ impl DispatchEstimator {
                     (
                         proc.batched_compute_time(*flops, *gpu_affinity, batch),
                         Some(DispatchResource::Processor(*target)),
+                        Some(target.node),
                     )
                 }
                 TaskKind::Transfer { from, to, bytes } => {
@@ -1482,7 +2423,7 @@ impl DispatchEstimator {
                     } else {
                         Some(DispatchResource::link(*from, *to))
                     };
-                    (duration, resource)
+                    (duration, resource, None)
                 }
             };
             let mut start = release;
@@ -1499,6 +2440,14 @@ impl DispatchEstimator {
             });
             if let Some(id) = id {
                 start = start.max(self.free[id]);
+            }
+            let mut duration = duration;
+            if let Some(node) = compute_node {
+                for window in slowdowns {
+                    if window.applies(node, start) {
+                        duration *= window.factor;
+                    }
+                }
             }
             let end = start + duration;
             if let Some(id) = id {
@@ -1881,6 +2830,280 @@ mod tests {
             fresh_adjusted.plan_cache = reused_streaming.plan_cache;
             assert_eq!(reused_streaming, fresh_adjusted);
         }
+    }
+
+    /// A timeline that downs every non-leader node at `at` (and recovers
+    /// them at `back`), so any distributed plan in flight is killed.
+    fn blackout(at: f64, back: f64) -> ClusterTimeline {
+        let mut timeline = ClusterTimeline::new();
+        for node in [0usize, 2, 3, 4] {
+            timeline.push_event(at, NodeIndex(node), false).unwrap();
+            timeline.push_event(back, NodeIndex(node), true).unwrap();
+        }
+        timeline
+    }
+
+    #[test]
+    fn no_fault_robust_config_is_bit_identical_to_run_streaming() {
+        // Kill semantics + retry + deadline abort with an empty timeline
+        // (and with an up-only timeline) must reproduce the legacy
+        // streaming loop bit for bit, field by field.
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let up_only = {
+            let mut t = ClusterTimeline::new();
+            t.push_event(0.05, NodeIndex(3), true).unwrap();
+            t
+        };
+        for policy in [
+            AdmissionPolicy::Fifo,
+            AdmissionPolicy::Priority,
+            AdmissionPolicy::EarliestDeadline,
+        ] {
+            for timeline in [ClusterTimeline::new(), up_only.clone()] {
+                let base = mixed_scenario(policy).with_timeline(timeline);
+                let robust = base
+                    .clone()
+                    .with_failure_mode(FailureMode::Kill)
+                    .with_recovery(RecoveryPolicy::standard());
+                let legacy = base
+                    .run_streaming(&strategy, &cluster, NodeIndex(1))
+                    .unwrap();
+                let recovered = robust
+                    .run_streaming(&strategy, &cluster, NodeIndex(1))
+                    .unwrap();
+                assert_eq!(legacy, recovered, "policy {}", policy.name());
+                assert_eq!(
+                    recovered.robustness,
+                    RobustnessStats::all_completed(base.len())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kill_without_recovery_loses_requests_and_retry_recovers_them() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // Heavy model, long service time; blackout of every non-leader node
+        // shortly after the burst is admitted. BestEffort deadlines (4 s)
+        // keep retries inside the deadline-abort budget. Two stragglers
+        // arrive after the cluster recovers so the no-recovery run still
+        // has a latency distribution.
+        let mut requests = burst(WorkloadModel::ResNet152, 0.0, 4, SlaClass::BestEffort);
+        requests.extend(burst(
+            WorkloadModel::ResNet152,
+            6.0,
+            2,
+            SlaClass::BestEffort,
+        ));
+        let base = ServingScenario::new(requests)
+            .with_timeline(blackout(0.01, 5.0))
+            .with_failure_mode(FailureMode::Kill);
+        let abandoned = base
+            .clone()
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(abandoned.robustness.accounts_for_every_request());
+        assert_eq!(
+            abandoned.robustness.lost, 4,
+            "a blackout mid-flight kills distributed plans: {:?}",
+            abandoned.robustness
+        );
+        assert_eq!(abandoned.robustness.retried, 0);
+        assert_eq!(
+            abandoned.latency.count as u64, abandoned.robustness.completed,
+            "lost requests contribute no latency sample"
+        );
+
+        let recovered = base
+            .with_recovery(RecoveryPolicy::standard())
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(recovered.robustness.accounts_for_every_request());
+        assert_eq!(
+            recovered.robustness.lost, 0,
+            "retries recover every kill: {:?}",
+            recovered.robustness
+        );
+        assert_eq!(recovered.robustness.completed, recovered.robustness.offered);
+        assert!(recovered.robustness.retried > 0);
+        assert_eq!(recovered.robustness.killed, abandoned.robustness.killed);
+    }
+
+    #[test]
+    fn shedding_drops_provably_late_requests() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // A flood of premium requests (0.25 s deadline) through a
+        // single-slot window: the backlog quickly proves later picks
+        // unmeetable.
+        let requests = burst(WorkloadModel::ResNet152, 0.0, 12, SlaClass::Premium);
+        let shed = ServingScenario::new(requests)
+            .with_max_inflight(Some(1))
+            .with_recovery(RecoveryPolicy {
+                shed: true,
+                ..RecoveryPolicy::default()
+            })
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(shed.robustness.accounts_for_every_request());
+        assert!(shed.robustness.shed > 0, "{:?}", shed.robustness);
+        assert!(
+            shed.robustness.completed > 0,
+            "the head of the flood serves"
+        );
+        assert_eq!(shed.latency.count as u64, shed.robustness.completed);
+    }
+
+    #[test]
+    fn hedged_premium_batches_plan_a_second_copy() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let mut requests = burst(WorkloadModel::InceptionV3, 0.0, 3, SlaClass::Premium);
+        requests.extend(burst(
+            WorkloadModel::InceptionV3,
+            0.1,
+            3,
+            SlaClass::BestEffort,
+        ));
+        let scenario = ServingScenario::new(requests).with_recovery(RecoveryPolicy {
+            hedge_premium: true,
+            ..RecoveryPolicy::default()
+        });
+        let hedged = scenario
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(hedged.robustness.accounts_for_every_request());
+        assert_eq!(
+            hedged.robustness.hedged, 3,
+            "exactly the premium requests hedge: {:?}",
+            hedged.robustness
+        );
+        // The hedge copy's plan is a real cache entry (distinct epoch
+        // fingerprint), so cache traffic exceeds the unhedged run's.
+        let plain = ServingScenario::new(
+            (0..6)
+                .map(|i| {
+                    ServingRequest::new(WorkloadModel::InceptionV3, 0.1 * (i / 3) as f64).with_sla(
+                        if i < 3 {
+                            SlaClass::Premium
+                        } else {
+                            SlaClass::BestEffort
+                        },
+                    )
+                })
+                .collect(),
+        )
+        .run_streaming(&strategy, &cluster, NodeIndex(1))
+        .unwrap();
+        assert!(
+            hedged.plan_cache.hits + hedged.plan_cache.misses
+                > plain.plan_cache.hits + plain.plan_cache.misses
+        );
+    }
+
+    #[test]
+    fn straggler_windows_stretch_estimated_completions() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests = burst(WorkloadModel::EfficientNetB0, 0.0, 4, SlaClass::Standard);
+        let scenario = ServingScenario::new(requests);
+        let baseline = scenario
+            .clone()
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        let slowdowns: Vec<SlowdownWindow> = (0..5)
+            .map(|node| SlowdownWindow {
+                node: NodeIndex(node),
+                start: 0.0,
+                end: 100.0,
+                factor: 3.0,
+            })
+            .collect();
+        let straggling = scenario
+            .with_slowdowns(slowdowns)
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(straggling.makespan > baseline.makespan);
+        assert!(straggling.robustness.accounts_for_every_request());
+    }
+
+    #[test]
+    fn records_mode_kill_surfaces_failures_and_rejects_recovery() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        // A single node flips down mid-flight: the resident request whose
+        // plan touches it is killed; later admissions re-plan around the
+        // hole and survive.
+        let requests: Vec<ServingRequest> = (0..4)
+            .map(|i| {
+                ServingRequest::new(WorkloadModel::ResNet152, 0.1 * i as f64)
+                    .with_sla(SlaClass::BestEffort)
+            })
+            .collect();
+        let timeline = ClusterTimeline::new()
+            .node_down(0.01, NodeIndex(0))
+            .unwrap()
+            .node_up(5.0, NodeIndex(0))
+            .unwrap();
+        let scenario = ServingScenario::new(requests)
+            .with_timeline(timeline)
+            .with_failure_mode(FailureMode::Kill);
+        let result = scenario.run(&strategy, &cluster, NodeIndex(1)).unwrap();
+        assert!(!result.failures.is_empty(), "blackout kills resident work");
+        assert!(result.robustness.accounts_for_every_request());
+        assert_eq!(result.robustness.lost, result.failures.len() as u64);
+        for event in &result.failures {
+            assert!(result.evaluation.latencies[event.request].is_infinite());
+            assert!(result.records[event.request].completion.is_infinite());
+        }
+        assert_eq!(
+            result.serving.latency.count as u64, result.robustness.completed,
+            "served metrics cover survivors only"
+        );
+        // Recovery policies are streaming-only in this mode.
+        let err = scenario
+            .clone()
+            .with_recovery(RecoveryPolicy::standard())
+            .run(&strategy, &cluster, NodeIndex(1));
+        assert!(err.is_err());
+        // And Ignore mode still treats the same timeline as plan-only.
+        let ignored = scenario
+            .with_failure_mode(FailureMode::Ignore)
+            .run(&strategy, &cluster, NodeIndex(1))
+            .unwrap();
+        assert!(ignored.failures.is_empty());
+        assert_eq!(
+            ignored.robustness,
+            RobustnessStats::all_completed(ignored.records.len())
+        );
+    }
+
+    #[test]
+    fn invalid_recovery_configs_are_rejected() {
+        let cluster = presets::paper_cluster();
+        let strategy = HidpStrategy::new();
+        let requests = vec![ServingRequest::new(WorkloadModel::Vgg19, 0.0)];
+        let bad_retry = ServingScenario::new(requests.clone()).with_recovery(RecoveryPolicy {
+            retry: Some(RetryPolicy {
+                backoff_base_s: -1.0,
+                ..RetryPolicy::default()
+            }),
+            ..RecoveryPolicy::default()
+        });
+        assert!(bad_retry
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .is_err());
+        let bad_window = ServingScenario::new(requests).with_slowdowns(vec![SlowdownWindow {
+            node: NodeIndex(99),
+            start: 0.0,
+            end: 1.0,
+            factor: 2.0,
+        }]);
+        assert!(bad_window
+            .run_streaming(&strategy, &cluster, NodeIndex(1))
+            .is_err());
     }
 
     #[test]

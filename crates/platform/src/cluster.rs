@@ -139,6 +139,29 @@ impl Cluster {
         self.fingerprint = Self::fold_availability(self.static_state, &self.available);
     }
 
+    /// Rewinds per-node availability (and the cached fingerprint) to match
+    /// `source` without allocating — for scratch clusters that serving warm
+    /// paths reuse across runs. Both clusters must have identical static
+    /// content (same nodes and network), which makes the rewind a plain
+    /// byte copy plus a cached-fingerprint copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when the static content
+    /// differs (callers should fall back to a full clone).
+    pub fn restore_availability_from(&mut self, source: &Cluster) -> Result<(), PlatformError> {
+        if self.static_state != source.static_state
+            || self.available.len() != source.available.len()
+        {
+            return Err(PlatformError::InvalidParameter {
+                what: "availability rewind requires identical static content".into(),
+            });
+        }
+        self.available.copy_from_slice(&source.available);
+        self.fingerprint = source.fingerprint;
+        Ok(())
+    }
+
     /// Marks a node as failed (paper Eq. 4) — convenience wrapper around
     /// [`Cluster::set_available`] for failure-scenario code.
     ///
@@ -366,6 +389,21 @@ mod tests {
         let failed_once = cluster.fingerprint();
         cluster.fail_node(NodeIndex(2)).unwrap();
         assert_eq!(cluster.fingerprint(), failed_once);
+    }
+
+    #[test]
+    fn availability_rewind_matches_a_fresh_clone() {
+        let pristine = presets::paper_cluster();
+        let mut scratch = pristine.clone();
+        scratch.fail_node(NodeIndex(2)).unwrap();
+        scratch.fail_node(NodeIndex(4)).unwrap();
+        scratch.restore_availability_from(&pristine).unwrap();
+        assert_eq!(scratch, pristine);
+        assert_eq!(scratch.fingerprint(), scratch.recomputed_fingerprint());
+        // Static-content mismatch is rejected, leaving the target untouched.
+        let smaller = pristine.take(3).unwrap();
+        assert!(scratch.restore_availability_from(&smaller).is_err());
+        assert_eq!(scratch, pristine);
     }
 
     #[test]

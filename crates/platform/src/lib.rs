@@ -23,6 +23,7 @@
 
 mod cluster;
 mod error;
+mod faultplan;
 mod fingerprint;
 mod fleet;
 mod network;
@@ -34,6 +35,7 @@ mod timeline;
 
 pub use cluster::Cluster;
 pub use error::PlatformError;
+pub use faultplan::{SlowdownWindow, WanDegradation};
 pub use fleet::{Fleet, WanModel};
 pub use network::{Link, NetworkModel};
 pub use node::{EdgeNode, NodeIndex, ProcessorAddr, ProcessorIndex};

@@ -44,7 +44,7 @@
 
 use crate::plan::{ExecutionPlan, Label, TaskId, TaskKind};
 use crate::SimError;
-use hidp_platform::{Cluster, EnergyMeter, NodeIndex, ProcessorAddr};
+use hidp_platform::{AvailabilityEvent, Cluster, EnergyMeter, NodeIndex, ProcessorAddr};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::cmp::Reverse;
@@ -147,6 +147,27 @@ impl SimReport {
     }
 }
 
+/// One in-flight request killed by a node failure: emitted by the
+/// failure-aware admitted-stream mode ([`simulate_admitted_stream_faulty`])
+/// instead of a fictitious completion on dead hardware.
+///
+/// A down-flip at time `t` kills every request that still has **unstarted**
+/// work touching the failed node at that instant — tasks that began before
+/// the flip run to completion and keep their resource reservations (the
+/// abandoned work occupies hardware; nothing is rolled back). The killed
+/// request's entry in [`SimReport::request_completion`] is the finish of its
+/// last committed task (`0.0` when nothing had started) — consumers must use
+/// the failure list, not completions, to classify these requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Input index of the killed request.
+    pub request: usize,
+    /// Virtual time of the availability flip that killed it, seconds.
+    pub at: f64,
+    /// The node whose down-flip killed the request.
+    pub node: NodeIndex,
+}
+
 /// Resource identifier used while interning (processor or unordered link).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Resource {
@@ -219,6 +240,11 @@ struct TaskMeta {
     processor: Option<ProcessorAddr>,
     flops: u64,
     bytes: u64,
+    /// The node(s) the task occupies: a compute task's node twice, a
+    /// transfer's two endpoints. Used by the failure-aware mode to decide
+    /// which unstarted tasks a down-flip invalidates.
+    node_a: u32,
+    node_b: u32,
 }
 
 /// A ready task in the event queue: ordered by feasible start time, with
@@ -278,6 +304,13 @@ pub struct SimScratch {
     resource_free: Vec<f64>,
     heap: BinaryHeap<Reverse<ReadyTask>>,
     report: SimReport,
+    /// Failure events of the last faulty run (empty otherwise).
+    failures: Vec<FailureEvent>,
+    /// Faulty-mode bookkeeping: request liveness, uncommitted-task counts
+    /// per request, per-task committed flags. Untouched on fault-free runs.
+    alive: Vec<bool>,
+    remaining: Vec<u32>,
+    done: Vec<bool>,
 }
 
 impl SimScratch {
@@ -298,6 +331,7 @@ impl SimScratch {
         self.request_base.clear();
         self.request_base.reserve(request_count);
         self.heap.clear();
+        self.failures.clear();
         self.report.records.clear();
         self.report.request_completion.clear();
         self.report.request_arrival.clear();
@@ -306,18 +340,43 @@ impl SimScratch {
     }
 
     /// The engine proper: validates, flattens, simulates, and leaves the
-    /// result in `self.report`.
+    /// result in `self.report` (and, when `faults` contains down-flips, the
+    /// killed requests in `self.failures`).
+    ///
+    /// With an empty `faults` slice this is the historical fault-free
+    /// engine: the extra bookkeeping is gated on the presence of down
+    /// events, and the arithmetic of every commit is untouched — pinned
+    /// bit-identical by test.
     fn run<E: StreamEntry>(
         &mut self,
         requests: &[E],
         cluster: &Cluster,
         detail: TraceDetail,
+        faults: &[AvailabilityEvent],
     ) -> Result<(), SimError> {
         if requests.is_empty() {
             return Err(SimError::InvalidPlan {
                 what: "no requests to simulate".into(),
             });
         }
+        let mut prev_fault = 0.0f64;
+        for (idx, event) in faults.iter().enumerate() {
+            if !(event.time.is_finite() && event.time >= 0.0) {
+                return Err(SimError::InvalidPlan {
+                    what: format!("fault event {idx} has invalid time {}", event.time),
+                });
+            }
+            if event.time < prev_fault {
+                return Err(SimError::InvalidPlan {
+                    what: format!("fault events are not sorted by time (event {idx})"),
+                });
+            }
+            prev_fault = event.time;
+            cluster.node(event.node)?;
+        }
+        // Only down-flips kill work; a timeline of pure up events (or none)
+        // takes the fault-free path untouched.
+        let faulty = faults.iter().any(|e| !e.up);
 
         // --- Pre-pass: validate, intern resources, flatten tasks. ---------
         let total: usize = requests.iter().map(|e| e.plan().len()).sum();
@@ -348,7 +407,8 @@ impl SimScratch {
             let batch = plan.batch();
             self.request_base.push(self.tasks.len());
             for task in plan.tasks() {
-                let (duration, resource, processor, flops, bytes) = match &task.kind {
+                let (duration, resource, processor, flops, bytes, node_a, node_b) = match &task.kind
+                {
                     TaskKind::Compute {
                         target,
                         flops,
@@ -361,6 +421,8 @@ impl SimScratch {
                             Some(*target),
                             *flops,
                             0u64,
+                            target.node.0 as u32,
+                            target.node.0 as u32,
                         )
                     }
                     TaskKind::Transfer { from, to, bytes } => {
@@ -373,7 +435,15 @@ impl SimScratch {
                         } else {
                             Some(link_key(*from, *to))
                         };
-                        (duration, resource, None, 0u64, *bytes)
+                        (
+                            duration,
+                            resource,
+                            None,
+                            0u64,
+                            *bytes,
+                            from.0 as u32,
+                            to.0 as u32,
+                        )
                     }
                 };
                 let resource = resource.map(|r| {
@@ -387,6 +457,8 @@ impl SimScratch {
                     processor,
                     flops,
                     bytes,
+                    node_a,
+                    node_b,
                 });
                 self.ready_time.push(release);
                 self.indegree.push(task.deps.len() as u32);
@@ -440,6 +512,10 @@ impl SimScratch {
             heap,
             resource_free,
             report,
+            failures,
+            alive,
+            remaining,
+            done,
             ..
         } = self;
         resource_free.clear();
@@ -447,6 +523,17 @@ impl SimScratch {
         report.request_completion.resize(requests.len(), 0.0);
         if detail == TraceDetail::Full {
             report.records.reserve(n);
+        }
+        if faulty {
+            alive.clear();
+            alive.resize(requests.len(), true);
+            done.clear();
+            done.resize(n, false);
+            remaining.clear();
+            remaining.resize(requests.len(), 0);
+            for t in tasks.iter() {
+                remaining[t.request] += 1;
+            }
         }
 
         // Heap keys are lower bounds on feasible start: exact once every
@@ -462,9 +549,14 @@ impl SimScratch {
         }
 
         let mut committed = 0usize;
+        let mut skipped = 0usize;
+        let mut next_fault = 0usize;
         while let Some(Reverse(entry)) = heap.pop() {
             let i = entry.seq;
             let t = tasks[i];
+            if faulty && !alive[t.request] {
+                continue;
+            }
             if let Some(r) = t.resource {
                 // The resource may have advanced past this entry's key since
                 // it was pushed; re-queue with the corrected feasible start
@@ -479,6 +571,37 @@ impl SimScratch {
                 }
             }
             let start = entry.start;
+            // Apply every availability flip due by this commit's start
+            // before committing: commits happen in nondecreasing start
+            // order, so no task starting at or after a flip has committed
+            // when the flip is applied. A down-flip at `time` kills every
+            // request that still has uncommitted work touching the failed
+            // node — including tasks starting exactly at the flip instant.
+            while next_fault < faults.len() && faults[next_fault].time <= start {
+                let event = faults[next_fault];
+                next_fault += 1;
+                if event.up {
+                    continue;
+                }
+                let v = event.node.0 as u32;
+                for (task_idx, m) in tasks.iter().enumerate() {
+                    if !done[task_idx] && alive[m.request] && (m.node_a == v || m.node_b == v) {
+                        // Tasks are grouped by request in ascending order,
+                        // so failures come out in request order per event.
+                        alive[m.request] = false;
+                        skipped += remaining[m.request] as usize;
+                        remaining[m.request] = 0;
+                        failures.push(FailureEvent {
+                            request: m.request,
+                            at: event.time,
+                            node: event.node,
+                        });
+                    }
+                }
+            }
+            if faulty && !alive[t.request] {
+                continue;
+            }
             let end = start + t.duration;
             if let Some(r) = t.resource {
                 resource_free[r as usize] = end;
@@ -508,6 +631,10 @@ impl SimScratch {
                 });
             }
             committed += 1;
+            if faulty {
+                done[i] = true;
+                remaining[t.request] -= 1;
+            }
             for &s in &succ[succ_offsets[i]..succ_offsets[i + 1]] {
                 if end > ready_time[s] {
                     ready_time[s] = end;
@@ -522,7 +649,7 @@ impl SimScratch {
                 }
             }
         }
-        if committed != n {
+        if committed + skipped != n {
             return Err(SimError::InvalidPlan {
                 what: "dependency deadlock: no ready task found".into(),
             });
@@ -581,7 +708,7 @@ pub fn simulate_stream_detailed<P: Borrow<ExecutionPlan>>(
     detail: TraceDetail,
 ) -> Result<SimReport, SimError> {
     let mut scratch = SimScratch::new();
-    scratch.run(requests, cluster, detail)?;
+    scratch.run(requests, cluster, detail, &[])?;
     Ok(std::mem::take(&mut scratch.report))
 }
 
@@ -600,7 +727,7 @@ pub fn simulate_stream_in<'s, P: Borrow<ExecutionPlan>>(
     cluster: &Cluster,
     detail: TraceDetail,
 ) -> Result<&'s SimReport, SimError> {
-    scratch.run(requests, cluster, detail)?;
+    scratch.run(requests, cluster, detail, &[])?;
     Ok(&scratch.report)
 }
 
@@ -621,7 +748,7 @@ pub fn simulate_admitted_stream<P: Borrow<ExecutionPlan>>(
     detail: TraceDetail,
 ) -> Result<SimReport, SimError> {
     let mut scratch = SimScratch::new();
-    scratch.run(requests, cluster, detail)?;
+    scratch.run(requests, cluster, detail, &[])?;
     Ok(std::mem::take(&mut scratch.report))
 }
 
@@ -638,8 +765,63 @@ pub fn simulate_admitted_stream_in<'s, P: Borrow<ExecutionPlan>>(
     cluster: &Cluster,
     detail: TraceDetail,
 ) -> Result<&'s SimReport, SimError> {
-    scratch.run(requests, cluster, detail)?;
+    scratch.run(requests, cluster, detail, &[])?;
     Ok(&scratch.report)
+}
+
+/// Simulates an **admitted** request stream under a failure timeline — the
+/// failure-aware admitted-stream mode.
+///
+/// `faults` is a time-sorted availability timeline (what
+/// [`hidp_platform::ClusterTimeline::events`] yields). When a down-flip at
+/// time `t` hits a node, every request that still has **unstarted** work
+/// touching that node is killed: it surfaces as a [`FailureEvent`] instead
+/// of a fictitious completion on dead hardware. Tasks that started before
+/// the flip run to completion and keep their resource reservations — the
+/// abandoned work occupies real hardware, exactly the cost a recovery
+/// policy has to route around. Up-flips never affect in-flight work (new
+/// capacity only matters to future planning, which the admission layer
+/// re-keys by epoch fingerprint).
+///
+/// With no down-flips in `faults` this is **bit-identical** to
+/// [`simulate_admitted_stream`] (pinned by test): the kill bookkeeping is
+/// gated on the presence of down events and no commit arithmetic changes.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_admitted_stream`], plus an error when the
+/// fault timeline is unsorted, non-finite, or names an unknown node.
+pub fn simulate_admitted_stream_faulty<P: Borrow<ExecutionPlan>>(
+    requests: &[(f64, f64, P)],
+    cluster: &Cluster,
+    faults: &[AvailabilityEvent],
+    detail: TraceDetail,
+) -> Result<(SimReport, Vec<FailureEvent>), SimError> {
+    let mut scratch = SimScratch::new();
+    scratch.run(requests, cluster, detail, faults)?;
+    Ok((
+        std::mem::take(&mut scratch.report),
+        std::mem::take(&mut scratch.failures),
+    ))
+}
+
+/// [`simulate_admitted_stream_faulty`] against caller-owned working memory
+/// (see [`SimScratch`]); the report and failure borrows are valid until the
+/// next run. Failures are ordered by flip time, then request index.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_admitted_stream_faulty`]. On error the
+/// scratch stays valid for further runs.
+pub fn simulate_admitted_stream_faulty_in<'s, P: Borrow<ExecutionPlan>>(
+    scratch: &'s mut SimScratch,
+    requests: &[(f64, f64, P)],
+    cluster: &Cluster,
+    faults: &[AvailabilityEvent],
+    detail: TraceDetail,
+) -> Result<(&'s SimReport, &'s [FailureEvent]), SimError> {
+    scratch.run(requests, cluster, detail, faults)?;
+    Ok((&scratch.report, &scratch.failures))
 }
 
 #[cfg(test)]
@@ -970,6 +1152,156 @@ mod tests {
             simulate_admitted_stream(&[(1.0, f64::NAN, plan)], &cluster, TraceDetail::Full)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn faulty_mode_without_down_flips_is_bit_identical() {
+        // The fault-free pin: an empty timeline AND a pure up-flip timeline
+        // must both reproduce the plain admitted-stream engine exactly.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 900_000_000, 1.0, &[]);
+        let t = plan.add_transfer("t", NodeIndex(0), NodeIndex(2), 4_000_000, &[a]);
+        plan.add_compute("b", addr(2, 1), 700_000_000, 0.8, &[t]);
+        let stream: Vec<(f64, f64, ExecutionPlan)> = (0..8)
+            .map(|i| (i as f64 * 0.02, i as f64 * 0.02 + 0.01, plan.clone()))
+            .collect();
+        let ups = [
+            AvailabilityEvent {
+                time: 0.05,
+                node: NodeIndex(3),
+                up: true,
+            },
+            AvailabilityEvent {
+                time: 0.09,
+                node: NodeIndex(0),
+                up: true,
+            },
+        ];
+        for detail in [TraceDetail::Full, TraceDetail::Summary] {
+            let plain = simulate_admitted_stream(&stream, &cluster, detail).unwrap();
+            for faults in [&[] as &[AvailabilityEvent], &ups] {
+                let (report, failures) =
+                    simulate_admitted_stream_faulty(&stream, &cluster, faults, detail).unwrap();
+                assert_eq!(report, plain);
+                assert!(failures.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn down_flip_kills_unstarted_work_and_spares_started_work() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(1, 2), 2_000_000_000, 1.0, &[]);
+        let single = cluster
+            .processor(addr(1, 2))
+            .unwrap()
+            .compute_time(2_000_000_000, 1.0);
+        // Request 0 starts at t = 0 and is mid-flight when node 1 dies;
+        // request 1 is queued behind it and has not started: only request 1
+        // is killed, request 0 runs to completion.
+        let stream = vec![(0.0, 0.0, plan.clone()), (0.0, 0.0, plan.clone())];
+        let faults = [AvailabilityEvent {
+            time: single * 0.5,
+            node: NodeIndex(1),
+            up: false,
+        }];
+        let (report, failures) =
+            simulate_admitted_stream_faulty(&stream, &cluster, &faults, TraceDetail::Full).unwrap();
+        assert_eq!(
+            failures,
+            vec![FailureEvent {
+                request: 1,
+                at: single * 0.5,
+                node: NodeIndex(1),
+            }]
+        );
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].request, 0);
+        assert!((report.request_completion[0] - single).abs() < 1e-12);
+        // The killed request committed nothing.
+        assert_eq!(report.request_completion[1], 0.0);
+    }
+
+    #[test]
+    fn down_flip_at_time_zero_kills_every_resident_request() {
+        // Failure at t = 0: nothing has started, so every request touching
+        // the node is killed and nothing at all commits there.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(2, 1), 1_000_000_000, 1.0, &[]);
+        let stream = vec![(0.0, 0.0, plan.clone()), (0.1, 0.1, plan.clone())];
+        let faults = [AvailabilityEvent {
+            time: 0.0,
+            node: NodeIndex(2),
+            up: false,
+        }];
+        let (report, failures) =
+            simulate_admitted_stream_faulty(&stream, &cluster, &faults, TraceDetail::Full).unwrap();
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].request, 0);
+        assert_eq!(failures[1].request, 1);
+        assert!(failures.iter().all(|f| f.at == 0.0));
+        assert!(report.records.is_empty());
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    fn transfer_endpoints_count_as_residency() {
+        // A request whose only contact with the failed node is a transfer
+        // endpoint is still killed — the link's far side is gone.
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        let a = plan.add_compute("a", addr(0, 1), 2_000_000_000, 1.0, &[]);
+        plan.add_transfer("t", NodeIndex(0), NodeIndex(3), 4_000_000, &[a]);
+        let compute = cluster
+            .processor(addr(0, 1))
+            .unwrap()
+            .compute_time(2_000_000_000, 1.0);
+        // Node 3 dies while "a" is running on node 0: the transfer to node 3
+        // has not started, so the request dies mid-flight.
+        let faults = [AvailabilityEvent {
+            time: compute * 0.5,
+            node: NodeIndex(3),
+            up: false,
+        }];
+        let (_, failures) = simulate_admitted_stream_faulty(
+            &[(0.0, 0.0, plan)],
+            &cluster,
+            &faults,
+            TraceDetail::Summary,
+        )
+        .unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].node, NodeIndex(3));
+    }
+
+    #[test]
+    fn unsorted_or_invalid_fault_timelines_are_rejected() {
+        let cluster = presets::paper_cluster();
+        let mut plan = ExecutionPlan::new();
+        plan.add_compute("only", addr(0, 0), 1, 1.0, &[]);
+        let stream = [(0.0, 0.0, plan)];
+        let event = |time, node| AvailabilityEvent {
+            time,
+            node: NodeIndex(node),
+            up: false,
+        };
+        for faults in [
+            vec![event(1.0, 0), event(0.5, 1)],
+            vec![event(f64::NAN, 0)],
+            vec![event(-1.0, 0)],
+            vec![event(1.0, 99)],
+        ] {
+            assert!(simulate_admitted_stream_faulty(
+                &stream,
+                &cluster,
+                &faults,
+                TraceDetail::Summary
+            )
+            .is_err());
+        }
     }
 
     #[test]

@@ -13,6 +13,24 @@
 //! All aggregates are plain deterministic functions of the records, so any
 //! consumer — `TraceDetail::Summary` sweeps included — gets bit-identical
 //! numbers from the same served stream.
+//!
+//! # The deadline rule
+//!
+//! An SLA miss is always measured **arrival → final completion**. A
+//! request's latency runs from its original arrival to the completion of
+//! whichever attempt finally served it, so everything the client actually
+//! waited through is inside the measured window: queueing delay, every
+//! retry backoff after an in-flight node failure (a retried request keeps
+//! its original arrival — its deadline does not reset), and, at the fleet
+//! tier, the WAN round trip of the final serving route. The
+//! earliest-deadline admission policy ranks by the same absolute deadline
+//! the miss check uses — `arrival + deadline` at the serving tier,
+//! `arrival + deadline − wan_round_trip` at the fleet tier (the WAN toll is
+//! paid outside the cluster, so the cluster-local slack is smaller by
+//! exactly that much) — keeping ordering and reporting consistent.
+//! Requests that never complete (shed at admission, aborted as unmeetable,
+//! or permanently lost after exhausting retries) are accounted as drops in
+//! the robustness counters, never as latency samples.
 
 use crate::stats::{percentile, P2Quantile};
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,349 @@
+//! The deterministic chaos harness: seeded [`FaultPlan`] generation.
+//!
+//! A `FaultPlan` is everything a robustness scenario injects against one
+//! cluster: availability flips (node flaps and correlated rack outages,
+//! lowered to a [`ClusterTimeline`]), straggler [`SlowdownWindow`]s, and
+//! fleet-wide [`WanDegradation`] windows. Generation is a pure function of
+//! a [`FaultPlanConfig`] and the cluster shape — the same seed always
+//! replays the same faults, bit for bit, which is what lets the `exp_chaos`
+//! gates treat robustness claims exactly like perf claims.
+//!
+//! The planning leader is never downed: killing the node that hosts the
+//! partitioner models a control-plane failure, a different (and currently
+//! out-of-scope) failure domain than the data-plane churn HiDP targets.
+
+use hidp_platform::{ClusterTimeline, NodeIndex, PlatformError, SlowdownWindow, WanDegradation};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of one seeded fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanConfig {
+    /// RNG seed; equal seeds replay identical plans.
+    pub seed: u64,
+    /// Horizon in seconds: every injected fault starts inside `[0, horizon)`.
+    pub horizon: f64,
+    /// Independent single-node flaps (down, then back up).
+    pub node_flaps: usize,
+    /// Mean downtime of a flap, seconds (actual downtimes draw uniformly
+    /// from 0.5×..1.5× the mean).
+    pub flap_mean_down_s: f64,
+    /// Correlated rack outages: contiguous runs of nodes downed together.
+    pub rack_outages: usize,
+    /// Nodes per rack outage.
+    pub rack_width: usize,
+    /// Straggler windows (one slowed node each).
+    pub stragglers: usize,
+    /// Compute-duration multiplier inside a straggler window.
+    pub straggler_factor: f64,
+    /// Fleet-wide WAN degradation windows.
+    pub wan_degradations: usize,
+    /// WAN round-trip multiplier inside a degradation window.
+    pub wan_factor: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4405,
+            horizon: 10.0,
+            node_flaps: 2,
+            flap_mean_down_s: 1.0,
+            rack_outages: 0,
+            rack_width: 2,
+            stragglers: 1,
+            straggler_factor: 3.0,
+            wan_degradations: 1,
+            wan_factor: 4.0,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    fn validate(&self) -> Result<(), PlatformError> {
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("fault plan horizon must be positive (got {})", self.horizon),
+            });
+        }
+        for (name, v) in [
+            ("flap mean downtime", self.flap_mean_down_s),
+            ("straggler factor", self.straggler_factor),
+            ("WAN factor", self.wan_factor),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PlatformError::InvalidParameter {
+                    what: format!("fault plan {name} must be positive (got {v})"),
+                });
+            }
+        }
+        if self.rack_outages > 0 && self.rack_width == 0 {
+            return Err(PlatformError::InvalidParameter {
+                what: "rack outages need a positive rack width".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A generated fault plan for one cluster: availability flips plus
+/// degradation windows, all inside the config's horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Node flaps and rack outages, lowered to an availability timeline
+    /// (every down-flip has a matching up-flip).
+    pub timeline: ClusterTimeline,
+    /// Straggler windows for the dispatch estimator.
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// WAN degradation windows (fleet-wide; empty unless requested).
+    pub wan: Vec<WanDegradation>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for a cluster of `node_count` nodes, never
+    /// downing or slowing `protected` (the planning leader).
+    ///
+    /// Deterministic: equal `(config, node_count, protected)` triples yield
+    /// bit-identical plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when the config is
+    /// invalid or the cluster has no node besides `protected` to fault.
+    pub fn generate(
+        config: &FaultPlanConfig,
+        node_count: usize,
+        protected: NodeIndex,
+    ) -> Result<Self, PlatformError> {
+        config.validate()?;
+        let faultable: Vec<usize> = (0..node_count).filter(|&n| n != protected.0).collect();
+        let needs_nodes = config.node_flaps > 0 || config.rack_outages > 0 || config.stragglers > 0;
+        if needs_nodes && faultable.is_empty() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "cluster of {node_count} nodes has nothing to fault besides \
+                     the protected leader"
+                ),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut timeline = ClusterTimeline::new();
+
+        for _ in 0..config.node_flaps {
+            let node = NodeIndex(faultable[rng.gen_range(0..faultable.len())]);
+            let down = rng.gen_range(0.0..config.horizon * 0.8);
+            let dur = config.flap_mean_down_s * rng.gen_range(0.5..1.5);
+            timeline.push_event(down, node, false)?;
+            timeline.push_event(down + dur, node, true)?;
+        }
+
+        for _ in 0..config.rack_outages {
+            // A rack is a contiguous run of node indices; every member
+            // flips down at the same instant (the correlated failure mode a
+            // shared power feed or switch produces) and back up together.
+            let width = config.rack_width.min(node_count);
+            let base = rng.gen_range(0..node_count.saturating_sub(width - 1).max(1));
+            let down = rng.gen_range(0.0..config.horizon * 0.8);
+            let dur = config.flap_mean_down_s * rng.gen_range(0.5..1.5);
+            for n in base..(base + width).min(node_count) {
+                if n == protected.0 {
+                    continue;
+                }
+                timeline.push_event(down, NodeIndex(n), false)?;
+                timeline.push_event(down + dur, NodeIndex(n), true)?;
+            }
+        }
+
+        let mut slowdowns = Vec::with_capacity(config.stragglers);
+        for _ in 0..config.stragglers {
+            let node = NodeIndex(faultable[rng.gen_range(0..faultable.len())]);
+            let start = rng.gen_range(0.0..config.horizon * 0.8);
+            let end = start + config.horizon * rng.gen_range(0.1..0.2);
+            slowdowns.push(SlowdownWindow {
+                node,
+                start,
+                end,
+                factor: config.straggler_factor,
+            });
+        }
+
+        let mut wan = Vec::with_capacity(config.wan_degradations);
+        for _ in 0..config.wan_degradations {
+            let start = rng.gen_range(0.0..config.horizon * 0.8);
+            let end = start + config.horizon * rng.gen_range(0.1..0.2);
+            wan.push(WanDegradation {
+                start,
+                end,
+                factor: config.wan_factor,
+            });
+        }
+
+        Ok(Self {
+            timeline,
+            slowdowns,
+            wan,
+        })
+    }
+}
+
+/// The standard fault suite the chaos gates run against: one seeded
+/// [`FaultPlan`] per cluster of a fleet, with per-cluster decorrelated
+/// seeds, flaps everywhere, a correlated rack outage on the first cluster
+/// and a straggler window on the second (when present). WAN degradation is
+/// taken fleet-wide from the first cluster's plan.
+///
+/// `node_counts` is the per-cluster node count (`cluster.len()` for each
+/// fleet member); `horizon` should roughly cover the workload's span so the
+/// faults actually land on live traffic.
+///
+/// # Errors
+///
+/// Propagates [`FaultPlan::generate`] errors (degenerate clusters).
+pub fn standard_fault_suite(
+    node_counts: &[usize],
+    seed: u64,
+    horizon: f64,
+    protected: NodeIndex,
+) -> Result<Vec<FaultPlan>, PlatformError> {
+    node_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &nodes)| {
+            let config = FaultPlanConfig {
+                seed: seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                horizon,
+                node_flaps: 2,
+                flap_mean_down_s: horizon * 0.08,
+                rack_outages: usize::from(i == 0),
+                rack_width: 2,
+                stragglers: usize::from(i == 1),
+                straggler_factor: 2.5,
+                wan_degradations: usize::from(i == 0),
+                wan_factor: 3.0,
+            };
+            FaultPlan::generate(&config, nodes, protected)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let config = FaultPlanConfig::default();
+        let a = FaultPlan::generate(&config, 5, NodeIndex(1)).unwrap();
+        let b = FaultPlan::generate(&config, 5, NodeIndex(1)).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(
+            &FaultPlanConfig {
+                seed: config.seed + 1,
+                ..config
+            },
+            5,
+            NodeIndex(1),
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn protected_leader_is_never_downed_or_slowed() {
+        let config = FaultPlanConfig {
+            node_flaps: 16,
+            rack_outages: 4,
+            stragglers: 8,
+            ..FaultPlanConfig::default()
+        };
+        for protected in 0..5 {
+            let plan = FaultPlan::generate(&config, 5, NodeIndex(protected)).unwrap();
+            assert!(plan
+                .timeline
+                .events()
+                .iter()
+                .all(|e| e.node != NodeIndex(protected)));
+            assert!(plan
+                .slowdowns
+                .iter()
+                .all(|w| w.node != NodeIndex(protected)));
+        }
+    }
+
+    #[test]
+    fn every_down_flip_has_a_matching_up_flip() {
+        let config = FaultPlanConfig {
+            node_flaps: 8,
+            rack_outages: 2,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&config, 6, NodeIndex(1)).unwrap();
+        let downs = plan.timeline.events().iter().filter(|e| !e.up).count();
+        let ups = plan.timeline.events().iter().filter(|e| e.up).count();
+        assert_eq!(downs, ups);
+        assert!(downs >= 8);
+        for w in plan.timeline.events().windows(2) {
+            assert!(w[0].time <= w[1].time, "timeline stays sorted");
+        }
+    }
+
+    #[test]
+    fn windows_are_valid_and_inside_the_horizon() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::default(), 5, NodeIndex(1)).unwrap();
+        for w in &plan.slowdowns {
+            w.validate().unwrap();
+            assert!(w.end <= 10.0);
+        }
+        for w in &plan.wan {
+            w.validate().unwrap();
+            assert!(w.end <= 10.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let config = FaultPlanConfig::default();
+        assert!(FaultPlan::generate(&config, 1, NodeIndex(0)).is_err());
+        assert!(FaultPlan::generate(
+            &FaultPlanConfig {
+                horizon: 0.0,
+                ..config
+            },
+            5,
+            NodeIndex(1)
+        )
+        .is_err());
+        assert!(FaultPlan::generate(
+            &FaultPlanConfig {
+                straggler_factor: -1.0,
+                ..config
+            },
+            5,
+            NodeIndex(1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn standard_suite_covers_all_four_fault_kinds() {
+        let plans = standard_fault_suite(&[5, 5, 5, 5], 7, 10.0, NodeIndex(1)).unwrap();
+        assert_eq!(plans.len(), 4);
+        // Flaps everywhere, rack outage on cluster 0 (more downs than the 2
+        // plain flaps), straggler on cluster 1, WAN window on cluster 0.
+        assert!(plans
+            .iter()
+            .all(|p| p.timeline.events().iter().any(|e| !e.up)));
+        assert!(plans[0].timeline.events().len() > plans[2].timeline.events().len());
+        assert!(!plans[1].slowdowns.is_empty());
+        assert!(plans[2].slowdowns.is_empty());
+        assert!(!plans[0].wan.is_empty());
+        // And it replays.
+        assert_eq!(
+            plans,
+            standard_fault_suite(&[5, 5, 5, 5], 7, 10.0, NodeIndex(1)).unwrap()
+        );
+    }
+}

@@ -16,10 +16,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod mixes;
 mod request;
 mod stream;
 
+pub use chaos::{standard_fault_suite, FaultPlan, FaultPlanConfig};
 pub use request::InferenceRequest;
 pub use stream::{
     bursty_stream, diurnal_stream, dynamic_scenario, failure_injected_stream, poisson_stream,

@@ -60,6 +60,7 @@ fn random_scenario(rng: &mut StdRng) -> ServingScenario {
         max_batch: rng.gen_range(1..5usize),
         max_inflight,
         timeline,
+        ..ServingConfig::default()
     })
 }
 

@@ -217,3 +217,62 @@ fn steady_state_fleet_pass_allocates_nothing() {
          allocations over 5 passes of 160 requests on 4 clusters)"
     );
 }
+
+#[test]
+fn steady_state_recovery_path_allocates_nothing() {
+    // The chaos extension of the fleet contract: with kill semantics, a
+    // seeded fault suite (flaps, a rack outage, stragglers, WAN windows)
+    // and retry + failover all active, the steady-state pass still
+    // performs **zero** heap allocations — the pending-batch FIFO, the
+    // router's retry heap and the per-epoch plan entries are sized and
+    // cached by the first pass and only reused afterwards. This is the
+    // test-suite twin of the `exp_chaos` bounded-memory gate.
+    let fleet = presets::generated_fleet(4, 2).unwrap();
+    let strategy = HidpStrategy::new();
+
+    let requests = hidp_bench::fleet_trace(400, 2, 1.2);
+    let horizon = requests
+        .iter()
+        .map(|r| r.request.arrival)
+        .fold(0.0, f64::max)
+        .max(1.0);
+    let node_counts: Vec<usize> = fleet.clusters().iter().map(|c| c.len()).collect();
+    let plans = hidp_bench::chaos_fault_suite(&node_counts, horizon, 0xC4405);
+    let scenario = hidp_bench::chaos_scenario(
+        requests,
+        &plans,
+        "zero-alloc-chaos",
+        hidp::core::RecoveryPolicy::standard(),
+    );
+
+    let sweep = ParallelSweep::new(1);
+    let mut scratch = FleetScratch::new();
+    // Cold pass: plans every (model, batch, epoch) key and sizes the
+    // recovery buffers. Second pass fixes the expected summary.
+    scenario
+        .run_streaming_in(&strategy, &fleet, hidp_bench::LEADER, &sweep, &mut scratch)
+        .expect("chaos warm pass succeeds");
+    let expected = scenario
+        .run_streaming_in(&strategy, &fleet, hidp_bench::LEADER, &sweep, &mut scratch)
+        .expect("chaos pass succeeds");
+    assert!(
+        expected.robustness.killed > 0,
+        "the suite must actually kill work or the contract is vacuous: {:?}",
+        expected.robustness
+    );
+    assert!(expected.robustness.accounts_for_every_request());
+
+    let before = allocations_on_this_thread();
+    for _ in 0..5 {
+        let summary = scenario
+            .run_streaming_in(&strategy, &fleet, hidp_bench::LEADER, &sweep, &mut scratch)
+            .expect("chaos pass succeeds");
+        assert_eq!(summary, expected);
+    }
+    let allocations = allocations_on_this_thread() - before;
+    assert_eq!(
+        allocations, 0,
+        "the steady-state recovery path must not allocate (got {allocations} \
+         allocations over 5 passes of 400 faulted requests on 4 clusters)"
+    );
+}
