@@ -52,6 +52,7 @@
 //! request away from its region costs tail latency and SLA misses, which is
 //! exactly the trade-off locality routing navigates.
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveState, DriftStats};
 use crate::parallel::ParallelSweep;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::serving::{
@@ -63,7 +64,8 @@ use crate::{CoreError, PlanKey};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
 use hidp_platform::{
-    AvailabilityEvent, Cluster, ClusterTimeline, Fleet, NodeIndex, SlowdownWindow, WanDegradation,
+    AvailabilityEvent, Cluster, ClusterTimeline, DriftModel, Fleet, NodeIndex, SlowdownWindow,
+    WanDegradation,
 };
 use hidp_sim::serving::{LatencyHistogram, LatencySummary, SlaClass, SlaClassReport};
 use serde::{Deserialize, Serialize};
@@ -171,6 +173,12 @@ pub struct FleetConfig {
     /// Fleet-wide WAN degradation windows: a request delivered inside a
     /// window pays `factor`× its cross-site round trip.
     pub wan_degradations: Vec<WanDegradation>,
+    /// One continuous drift model per cluster (empty = no drift; when
+    /// non-empty the length must equal the fleet's cluster count).
+    pub drifts: Vec<DriftModel>,
+    /// The adaptive estimation/re-planning loop, applied per cluster
+    /// worker. `None` keeps planning static.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl FleetConfig {
@@ -179,6 +187,8 @@ impl FleetConfig {
         self.failures == FailureMode::Kill
             || self.recovery.is_active()
             || self.slowdowns.iter().any(|s| !s.is_empty())
+            || self.drifts.iter().any(|d| !d.is_empty())
+            || self.adaptive.is_some()
     }
 }
 
@@ -198,6 +208,8 @@ impl Default for FleetConfig {
             recovery: RecoveryPolicy::default(),
             slowdowns: Vec::new(),
             wan_degradations: Vec::new(),
+            drifts: Vec::new(),
+            adaptive: None,
         }
     }
 }
@@ -309,6 +321,20 @@ impl FleetScenario {
         self
     }
 
+    /// Sets the per-cluster drift models (builder style).
+    #[must_use]
+    pub fn with_drifts(mut self, drifts: Vec<DriftModel>) -> Self {
+        self.config.drifts = drifts;
+        self
+    }
+
+    /// Enables the adaptive estimation/re-planning loop (builder style).
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.config.adaptive = Some(adaptive);
+        self
+    }
+
     /// The report label.
     pub fn label(&self) -> &str {
         &self.label
@@ -394,6 +420,7 @@ impl FleetScenario {
             robust,
             kill: self.config.failures == FailureMode::Kill,
             recovery: self.config.recovery,
+            adaptive: self.config.adaptive,
         };
 
         scratch.ensure(cluster_count);
@@ -408,7 +435,13 @@ impl FleetScenario {
         let mut retry_seq = 0u64;
         for (i, worker) in workers.iter_mut().enumerate() {
             let has_events = self.config.timelines.get(i).is_some_and(|t| !t.is_empty());
-            worker.reset(&clusters[i], strategy, leader, has_events);
+            worker.reset(
+                &clusters[i],
+                strategy,
+                leader,
+                has_events,
+                self.config.adaptive.as_ref(),
+            );
         }
 
         // Global arrival order: by normalised time, ties by input index.
@@ -552,7 +585,16 @@ impl FleetScenario {
                     .get(i)
                     .map(Vec::as_slice)
                     .unwrap_or(&[]);
-                worker.advance(&ctx, &clusters[i], events, slowdowns, &caches[i], t_end);
+                let drift = self.config.drifts.get(i).filter(|d| !d.is_empty());
+                worker.advance(
+                    &ctx,
+                    &clusters[i],
+                    events,
+                    slowdowns,
+                    drift,
+                    &caches[i],
+                    t_end,
+                );
             });
             for worker in workers.iter_mut() {
                 if let Some(error) = worker.error.take() {
@@ -615,8 +657,20 @@ impl FleetScenario {
         let mut idlest = usize::MAX;
         let mut wan_sum = 0.0f64;
         let mut robustness = RobustnessStats::default();
+        let mut drift = DriftStats::default();
+        let mut time_to_first_retry = f64::INFINITY;
+        let mut recovery_hist = LatencyHistogram::new();
         for worker in workers {
             robustness.merge(&worker.robustness);
+            drift.merge(&DriftStats {
+                replans: worker.adaptive.replans,
+                observations: worker.adaptive.observations,
+                energy_j: worker.dispatch.energy_j,
+            });
+            if worker.first_retry < time_to_first_retry {
+                time_to_first_retry = worker.first_retry;
+            }
+            recovery_hist.merge(&worker.recovered_latency);
             latency.merge(&worker.latency);
             for (c, hist) in class_latency.iter_mut().enumerate() {
                 hist.merge(&worker.class_latency[c]);
@@ -686,6 +740,9 @@ impl FleetScenario {
             idlest_cluster_requests: idlest,
             mean_wan_round_trip: wan_sum / n as f64,
             robustness,
+            drift,
+            time_to_first_retry,
+            recovery_latency: recovery_hist.summary(),
         })
     }
 
@@ -780,6 +837,19 @@ impl FleetScenario {
                 ),
             });
         }
+        if !self.config.drifts.is_empty() && self.config.drifts.len() != fleet.len() {
+            return Err(CoreError::Infeasible {
+                what: format!(
+                    "fleet scenario '{}': {} drift models for {} clusters (use an empty list for no drift)",
+                    self.label,
+                    self.config.drifts.len(),
+                    fleet.len()
+                ),
+            });
+        }
+        if let Some(adaptive) = &self.config.adaptive {
+            adaptive.validate()?;
+        }
         for window in &self.config.wan_degradations {
             window.validate()?;
         }
@@ -794,6 +864,9 @@ impl FleetScenario {
                     window.validate()?;
                     cluster.node(window.node)?;
                 }
+            }
+            if let Some(drift) = self.config.drifts.get(i) {
+                drift.validate(cluster.len())?;
             }
             if self.config.failures == FailureMode::Kill && cluster.len() > 64 {
                 return Err(CoreError::Infeasible {
@@ -820,6 +893,7 @@ struct RoundCtx<'a> {
     robust: bool,
     kill: bool,
     recovery: RecoveryPolicy,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 /// Routes one arrival to a cluster (serial, deterministic). `exclude` is
@@ -1063,6 +1137,12 @@ struct ClusterWorker {
     pending_members: Vec<u32>,
     retry_out: Vec<FleetRetry>,
     robustness: RobustnessStats,
+    // Adaptive estimation/re-planning state (robust path only).
+    adaptive: AdaptiveState,
+    // Virtual time of the first kill that produced a retry (INFINITY if
+    // none), and latency histogram over completions that needed a retry.
+    first_retry: f64,
+    recovered_latency: LatencyHistogram,
     // Routing signals read by the (serial) router.
     fingerprint: u64,
     backlog: f64,
@@ -1112,6 +1192,9 @@ impl ClusterWorker {
             pending_members: Vec::new(),
             retry_out: Vec::new(),
             robustness: RobustnessStats::default(),
+            adaptive: AdaptiveState::default(),
+            first_retry: f64::INFINITY,
+            recovered_latency: LatencyHistogram::new(),
             fingerprint: 0,
             backlog: 0.0,
             routed_in_round: 0,
@@ -1136,6 +1219,7 @@ impl ClusterWorker {
         strategy: &dyn DistributedStrategy,
         leader: NodeIndex,
         has_events: bool,
+        adaptive: Option<&AdaptiveConfig>,
     ) {
         self.requests.clear();
         self.wan2.clear();
@@ -1176,6 +1260,15 @@ impl ClusterWorker {
         self.pending_members.clear();
         self.retry_out.clear();
         self.robustness = RobustnessStats::default();
+        // Reset also deactivates any belief a previous run materialised: a
+        // non-adaptive run must not inherit it, and an adaptive steady-state
+        // pass must rediscover it exactly like the warm pass did.
+        match adaptive {
+            Some(cfg) => self.adaptive.reset(cfg, cluster.len()),
+            None => self.adaptive.reset(&AdaptiveConfig::default(), 0),
+        }
+        self.first_retry = f64::INFINITY;
+        self.recovered_latency = LatencyHistogram::new();
         self.fingerprint = cluster.fingerprint();
         self.backlog = 0.0;
         self.routed_in_round = 0;
@@ -1222,12 +1315,14 @@ impl ClusterWorker {
 
     /// Advances the cluster to the round barrier, trapping any error for
     /// the router to surface after the parallel section.
+    #[allow(clippy::too_many_arguments)]
     fn advance(
         &mut self,
         ctx: &RoundCtx<'_>,
         base: &Cluster,
         events: &[AvailabilityEvent],
         slowdowns: &[SlowdownWindow],
+        drift: Option<&DriftModel>,
         cache: &PlanCache,
         t_end: f64,
     ) {
@@ -1235,7 +1330,7 @@ impl ClusterWorker {
             return;
         }
         let result = if ctx.robust {
-            self.advance_inner_robust(ctx, base, events, slowdowns, cache, t_end)
+            self.advance_inner_robust(ctx, base, events, slowdowns, drift, cache, t_end)
         } else {
             self.advance_inner(ctx, base, events, cache, t_end)
         };
@@ -1388,12 +1483,14 @@ impl ClusterWorker {
     /// (when the reply must *leave* this cluster — the deadline rule in
     /// `hidp_sim::serving`) and shedding compares the same WAN-adjusted
     /// deadline against the admission lower bound.
+    #[allow(clippy::too_many_arguments)]
     fn advance_inner_robust(
         &mut self,
         ctx: &RoundCtx<'_>,
         base: &Cluster,
         events: &[AvailabilityEvent],
         slowdowns: &[SlowdownWindow],
+        drift: Option<&DriftModel>,
         cache: &PlanCache,
         t_end: f64,
     ) -> Result<(), CoreError> {
@@ -1420,6 +1517,9 @@ impl ClusterWorker {
             pending_members,
             retry_out,
             robustness,
+            adaptive,
+            first_retry,
+            recovered_latency,
             fingerprint,
             latency,
             class_latency,
@@ -1449,6 +1549,11 @@ impl ClusterWorker {
                     let lat = completion - request.arrival + wan2[m as usize];
                     let delay = b.admitted - request.arrival;
                     latency.observe(lat);
+                    if attempts_in[m as usize] > 0 {
+                        // This completion only happened because a retry was
+                        // re-routed here: its latency is the recovery cost.
+                        recovered_latency.observe(lat);
+                    }
                     *queueing_sum += delay;
                     if delay > *queueing_max {
                         *queueing_max = delay;
@@ -1492,7 +1597,30 @@ impl ClusterWorker {
                     .or_insert_with(|| Arc::new(head.model.graph(combined)));
                 key.graph_fingerprint = graph.fingerprint();
                 key.batch = graph.input_shape().batch();
-                let plan_cluster: &Cluster = epoch_cluster.as_ref().unwrap_or(base);
+                // Adaptive loop: when the estimated effective rates leave the
+                // hysteresis band (bounded by `max_replans`), re-materialise
+                // the believed cluster so the cache re-plans on the belief.
+                // A stale belief (availability epoch flipped underneath it)
+                // is rebuilt without re-quantising and without burning a
+                // re-plan: the levels did not move, the base did.
+                if let Some(cfg) = ctx.adaptive.as_ref() {
+                    let hysteresis =
+                        adaptive.replans < cfg.max_replans && adaptive.should_replan(cfg);
+                    if hysteresis || (adaptive.stale && adaptive.active) {
+                        if hysteresis {
+                            adaptive.replans += 1;
+                        }
+                        let belief_base: &Cluster = epoch_cluster.as_ref().unwrap_or(base);
+                        adaptive.rebuild_believed(belief_base, hysteresis, cfg)?;
+                    }
+                }
+                if let Some(believed) = adaptive.belief() {
+                    key.cluster_fingerprint = believed.fingerprint();
+                }
+                let plan_cluster: &Cluster = match adaptive.belief() {
+                    Some(believed) => believed,
+                    None => epoch_cluster.as_ref().unwrap_or(base),
+                };
                 let (plan, hit) =
                     cache.plan_keyed(key, ctx.strategy, graph, plan_cluster, ctx.leader)?;
                 if hit {
@@ -1500,7 +1628,16 @@ impl ClusterWorker {
                 } else {
                     stats.misses += 1;
                 }
-                let completion = dispatch.estimate_with(plan.as_ref(), base, *now, slowdowns)?;
+                // Execution stays on the drifting truth; the observer feeds
+                // the per-node effective-rate estimates.
+                let completion = dispatch.estimate_full(
+                    plan.as_ref(),
+                    base,
+                    *now,
+                    slowdowns,
+                    drift,
+                    ctx.adaptive.as_ref().map(|cfg| (cfg, &mut *adaptive)),
+                )?;
                 let mask = if ctx.kill {
                     plan_node_mask(plan.as_ref())
                 } else {
@@ -1588,8 +1725,16 @@ impl ClusterWorker {
                 *fingerprint = c.fingerprint();
                 *epoch += 1;
                 *next_event += 1;
+                if adaptive.active {
+                    // The belief was derived from the old availability; the
+                    // next admission rebuilds it from the new epoch cluster.
+                    adaptive.stale = true;
+                }
                 if !ctx.kill || event.up {
                     continue;
+                }
+                if let Some(cfg) = ctx.adaptive.as_ref() {
+                    adaptive.observe_kill(event.node.0, cfg);
                 }
                 let bit = 1u64 << (event.node.0 as u64 & 63);
                 for b in pending.iter_mut() {
@@ -1626,6 +1771,9 @@ impl ClusterWorker {
                                 attempts: k,
                             });
                             robustness.retried += 1;
+                            if event.time < *first_retry {
+                                *first_retry = event.time + 0.0;
+                            }
                         }
                     }
                 }
@@ -1711,6 +1859,15 @@ pub struct FleetSummary {
     /// Offered/completed/dropped accounting including recovery traffic.
     /// Trivially all-completed when the config enables no failure handling.
     pub robustness: RobustnessStats,
+    /// Adaptive-loop accounting summed over cluster workers: re-plans
+    /// triggered, rate observations fed, and dynamic dispatch energy.
+    pub drift: DriftStats,
+    /// Virtual time of the first kill that produced a re-routed retry
+    /// anywhere in the fleet (`INFINITY` when nothing was retried).
+    pub time_to_first_retry: f64,
+    /// Latency tail over completions that needed at least one retry
+    /// (recovery cost); `None` when no retried request completed.
+    pub recovery_latency: Option<LatencySummary>,
 }
 
 impl FleetSummary {

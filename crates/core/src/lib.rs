@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod adaptive;
 pub mod comm;
 pub mod dp;
 mod dse;
@@ -58,6 +59,7 @@ mod serving;
 mod strategy;
 mod system_model;
 
+pub use adaptive::{AdaptiveConfig, DriftStats, StrategyBandit};
 pub use dse::{Decision, DseAgent, DsePolicy};
 pub use engine::{HidpStrategy, HierarchicalPlan};
 pub use error::CoreError;

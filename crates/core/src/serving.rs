@@ -92,6 +92,7 @@
 //! served metrics. A no-fault robust config is **bit-identical** to the
 //! fault-free paths (pinned by `tests/chaos_robustness.rs`).
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveState, DriftStats};
 use crate::fleet::fnv64;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::scenario::{Evaluation, Scenario};
@@ -99,10 +100,13 @@ use crate::strategy::DistributedStrategy;
 use crate::{CoreError, PlanKey};
 use hidp_dnn::zoo::WorkloadModel;
 use hidp_dnn::DnnGraph;
-use hidp_platform::{Cluster, ClusterTimeline, NodeIndex, ProcessorAddr, SlowdownWindow};
+use hidp_platform::{
+    Cluster, ClusterTimeline, DriftModel, NodeIndex, ProcessorAddr, SlowdownWindow,
+};
 use hidp_sim::serving::{
     LatencySummary, ServedRequestRecord, ServingMetrics, SlaClass, SlaClassReport, StreamingTail,
 };
+use hidp_sim::Ewma;
 use hidp_sim::{
     simulate_admitted_stream_faulty_in, simulate_admitted_stream_in, ExecutionPlan, FailureEvent,
     SimScratch, TaskKind, TraceDetail,
@@ -329,6 +333,26 @@ impl RobustnessStats {
         self.shed + self.aborted + self.lost
     }
 
+    /// Renders the stats as one JSON object (hand-rolled: the build
+    /// environment has no serde_json). Every robustness benchmark document
+    /// (`BENCH_chaos.json`, `BENCH_drift.json`) nests this same shape.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered\": {}, \"completed\": {}, \"shed\": {}, \"aborted\": {}, \
+             \"lost\": {}, \"killed\": {}, \"retried\": {}, \"hedged\": {}, \
+             \"in_flight_at_horizon\": {}}}",
+            self.offered,
+            self.completed,
+            self.shed,
+            self.aborted,
+            self.lost,
+            self.killed,
+            self.retried,
+            self.hedged,
+            self.in_flight_at_horizon
+        )
+    }
+
     /// Whether the conservation invariant holds: every offered request is
     /// completed, dropped, or still in flight.
     pub fn accounts_for_every_request(&self) -> bool {
@@ -374,6 +398,15 @@ pub struct ServingConfig {
     /// inside a window on its node runs `factor`× slower. Streaming-mode
     /// only.
     pub slowdowns: Vec<SlowdownWindow>,
+    /// Continuous drift the dispatch estimator replays: throttle curves
+    /// per node, seeded background-load windows and contention-dependent
+    /// bandwidth. Empty = no drift (bit-identical to the drift-free
+    /// arithmetic). Streaming-mode only.
+    pub drift: DriftModel,
+    /// The adaptive loop: online per-node rate estimation plus
+    /// hysteresis-bounded re-planning against a believed cluster. `None`
+    /// keeps planning static. Streaming-mode only.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 /// One admission the serving loop performed: when, under which epoch, and
@@ -477,6 +510,20 @@ impl ServingScenario {
     #[must_use]
     pub fn with_slowdowns(mut self, slowdowns: Vec<SlowdownWindow>) -> Self {
         self.config.slowdowns = slowdowns;
+        self
+    }
+
+    /// Sets the continuous drift model (builder style).
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftModel) -> Self {
+        self.config.drift = drift;
+        self
+    }
+
+    /// Enables the adaptive estimation/re-planning loop (builder style).
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.config.adaptive = Some(adaptive);
         self
     }
 
@@ -722,6 +769,11 @@ impl ServingScenario {
             per_class,
             plan_cache: stats,
             robustness: RobustnessStats::all_completed(requests.len()),
+            drift: DriftStats {
+                replans: 0,
+                observations: 0,
+                energy_j: scratch.dispatch.energy_j,
+            },
         })
     }
 
@@ -763,6 +815,8 @@ impl ServingScenario {
         let recovery = self.config.recovery;
         let retry_policy = recovery.retry;
         let slowdowns = self.config.slowdowns.as_slice();
+        let drift = (!self.config.drift.is_empty()).then_some(&self.config.drift);
+        let acfg = self.config.adaptive;
         let ServingScratch {
             key,
             order,
@@ -777,6 +831,7 @@ impl ServingScenario {
             retries,
             attempts,
             hedge_cluster,
+            adaptive,
             ..
         } = scratch;
 
@@ -804,6 +859,13 @@ impl ServingScenario {
         retries.clear();
         attempts.clear();
         attempts.resize(n, 0u32);
+        // Reset also deactivates any belief a previous run materialised: a
+        // non-adaptive run must not inherit it, and an adaptive steady-state
+        // pass must rediscover it exactly like the warm pass did.
+        match acfg.as_ref() {
+            Some(cfg) => adaptive.reset(cfg, cluster.len()),
+            None => adaptive.reset(&AdaptiveConfig::default(), 0),
+        }
 
         let events = self.config.timeline.events();
         let mut current: Option<&mut Cluster> = if events.is_empty() {
@@ -900,14 +962,44 @@ impl ServingScenario {
                     .or_insert_with(|| Arc::new(head.model.graph(combined)));
                 key.graph_fingerprint = graph.fingerprint();
                 key.batch = graph.input_shape().batch();
-                let plan_cluster: &Cluster = current.as_deref().unwrap_or(cluster);
+                // Closed-loop re-planning: when an effective-rate estimate
+                // leaves the hysteresis band (bounded by `max_replans`), or
+                // an availability flip staled the belief, rebuild the
+                // believed cluster from the current epoch base. Planning
+                // and cache keys then follow the belief; execution stays on
+                // the true cluster.
+                if let Some(cfg) = acfg.as_ref() {
+                    let hysteresis =
+                        adaptive.replans < cfg.max_replans && adaptive.should_replan(cfg);
+                    if hysteresis || (adaptive.stale && adaptive.active) {
+                        if hysteresis {
+                            adaptive.replans += 1;
+                        }
+                        let belief_base: &Cluster = current.as_deref().unwrap_or(cluster);
+                        adaptive.rebuild_believed(belief_base, hysteresis, cfg)?;
+                    }
+                }
+                if let Some(believed) = adaptive.belief() {
+                    key.cluster_fingerprint = believed.fingerprint();
+                }
+                let plan_cluster: &Cluster = match adaptive.belief() {
+                    Some(believed) => believed,
+                    None => current.as_deref().unwrap_or(cluster),
+                };
                 let (plan, hit) = cache.plan_keyed(key, strategy, graph, plan_cluster, leader)?;
                 if hit {
                     stats.hits += 1;
                 } else {
                     stats.misses += 1;
                 }
-                let completion = dispatch.estimate_with(plan.as_ref(), cluster, now, slowdowns)?;
+                let completion = dispatch.estimate_full(
+                    plan.as_ref(),
+                    cluster,
+                    now,
+                    slowdowns,
+                    drift,
+                    acfg.as_ref().map(|cfg| (cfg, &mut *adaptive)),
+                )?;
                 let mask = if kill || recovery.hedge_premium {
                     plan_node_mask(plan.as_ref())
                 } else {
@@ -945,11 +1037,16 @@ impl ServingScenario {
                                 } else {
                                     stats.misses += 1;
                                 }
-                                hedge_completion = dispatch.estimate_with(
+                                // Hedge copies run on the same drifting
+                                // truth but feed no observer — one batch
+                                // must not count twice in the estimators.
+                                hedge_completion = dispatch.estimate_full(
                                     hedge_plan.as_ref(),
                                     cluster,
                                     now,
                                     slowdowns,
+                                    drift,
+                                    None,
                                 )?;
                                 hedge_mask = if kill {
                                     plan_node_mask(hedge_plan.as_ref())
@@ -1046,8 +1143,17 @@ impl ServingScenario {
                 key.cluster_fingerprint = c.fingerprint();
                 epoch += 1;
                 next_event += 1;
+                if adaptive.active {
+                    // The belief was derated from the previous epoch's
+                    // availability; the next admission rebuilds it from
+                    // this one (without consuming a re-plan).
+                    adaptive.stale = true;
+                }
                 if !kill || event.up {
                     continue;
+                }
+                if let Some(cfg) = acfg.as_ref() {
+                    adaptive.observe_kill(event.node.0, cfg);
                 }
                 let bit = 1u64 << (event.node.0 as u64 & 63);
                 for b in pending.iter_mut() {
@@ -1170,6 +1276,11 @@ impl ServingScenario {
             per_class,
             plan_cache: stats,
             robustness,
+            drift: DriftStats {
+                replans: adaptive.replans,
+                observations: adaptive.observations,
+                energy_j: dispatch.energy_j,
+            },
         })
     }
 
@@ -1209,6 +1320,10 @@ impl ServingScenario {
             window.validate()?;
             cluster.node(window.node)?;
         }
+        self.config.drift.validate(cluster.len())?;
+        if let Some(adaptive) = &self.config.adaptive {
+            adaptive.validate()?;
+        }
         if let Some(retry) = &self.config.recovery.retry {
             retry.validate()?;
         }
@@ -1232,12 +1347,17 @@ impl ServingScenario {
     /// reject them up front (they do support plain [`FailureMode::Kill`],
     /// simulated by the failure-aware event engine).
     fn ensure_records_mode_supported(&self) -> Result<(), CoreError> {
-        if self.config.recovery.is_active() || !self.config.slowdowns.is_empty() {
+        if self.config.recovery.is_active()
+            || !self.config.slowdowns.is_empty()
+            || !self.config.drift.is_empty()
+            || self.config.adaptive.is_some()
+        {
             return Err(CoreError::Infeasible {
                 what: format!(
-                    "serving scenario '{}': recovery policies and slowdown windows \
-                     are streaming-only (use run_streaming); the records mode \
-                     supports FailureMode::Kill alone",
+                    "serving scenario '{}': recovery policies, slowdown windows, \
+                     drift models and the adaptive loop are streaming-only (use \
+                     run_streaming); the records mode supports FailureMode::Kill \
+                     alone",
                     self.label
                 ),
             });
@@ -1691,13 +1811,15 @@ impl ServingScenario {
 
 impl ServingConfig {
     /// Whether any robustness feature is enabled: kill semantics, a
-    /// recovery response, or straggler windows. Robust configs take the
-    /// failure-aware streaming loop; everything else takes the legacy
-    /// paths unchanged.
+    /// recovery response, straggler windows, a drift model or the adaptive
+    /// loop. Robust configs take the failure-aware streaming loop;
+    /// everything else takes the legacy paths unchanged.
     pub fn is_robust(&self) -> bool {
         self.failures == FailureMode::Kill
             || self.recovery.is_active()
             || !self.slowdowns.is_empty()
+            || !self.drift.is_empty()
+            || self.adaptive.is_some()
     }
 
     /// The queue position the configured policy admits next (queue is in
@@ -1905,6 +2027,11 @@ pub struct ServingSummary {
     /// Offered/completed/dropped accounting, including recovery traffic.
     /// Fault-free runs report `offered == completed == requests`.
     pub robustness: RobustnessStats,
+    /// Adaptive-loop counters and dynamic compute energy. Non-adaptive
+    /// runs report zero re-plans and observations; `energy_j` is always
+    /// accrued (identically on every path, so drift-free configs stay
+    /// bit-identical across loops).
+    pub drift: DriftStats,
 }
 
 impl ServingSummary {
@@ -1959,6 +2086,9 @@ pub struct ServingScratch {
     retries: BinaryHeap<Reverse<RetryEntry>>,
     attempts: Vec<u32>,
     hedge_cluster: Option<Cluster>,
+    /// Adaptive-loop state: per-node rate estimators, planned levels and
+    /// the believed cluster (reused across runs for in-place rescaling).
+    adaptive: AdaptiveState,
 }
 
 impl ServingScratch {
@@ -1986,7 +2116,16 @@ impl ServingScratch {
             retries: BinaryHeap::new(),
             attempts: Vec::new(),
             hedge_cluster: None,
+            adaptive: AdaptiveState::default(),
         }
+    }
+
+    /// The adaptive loop's per-node effective-rate estimators after the
+    /// most recent run on this scratch (empty when the adaptive loop was
+    /// off). Exposed so convergence tests can assert the estimates track
+    /// an injected slowdown.
+    pub fn drift_estimates(&self) -> &[Ewma] {
+        &self.adaptive.est
     }
 }
 
@@ -2340,6 +2479,11 @@ pub(crate) struct DispatchEstimator {
     free: Vec<f64>,
     /// Per-task finish times within the current plan (indexed by task id).
     finish: Vec<f64>,
+    /// Dynamic compute energy of everything estimated this run, joules
+    /// (busy time × per-processor dynamic power, after slowdowns and
+    /// drift). Drift stretches busy time at unchanged power, so this is
+    /// where slowdown costs show up even when latency hides in slack.
+    pub(crate) energy_j: f64,
 }
 
 impl DispatchEstimator {
@@ -2347,6 +2491,7 @@ impl DispatchEstimator {
     pub(crate) fn reset(&mut self) {
         self.free.clear();
         self.free.resize(self.resource_ids.len(), 0.0);
+        self.energy_j = 0.0;
     }
 
     /// The latest free time across all resources — the virtual time at
@@ -2380,20 +2525,26 @@ impl DispatchEstimator {
         cluster: &Cluster,
         release: f64,
     ) -> Result<f64, CoreError> {
-        self.estimate_with(plan, cluster, release, &[])
+        self.estimate_full(plan, cluster, release, &[], None, None)
     }
 
-    /// [`DispatchEstimator::estimate`] under straggler windows: a compute
-    /// task *starting* inside a window on its node runs `factor`× slower
-    /// (overlapping windows compound multiplicatively); transfers are
-    /// unaffected. With no windows the arithmetic is bit-identical to the
-    /// plain estimate.
-    pub(crate) fn estimate_with(
+    /// The full estimate: straggler windows (a compute task *starting*
+    /// inside a window on its node runs `factor`× slower, overlapping
+    /// windows compound multiplicatively; transfers are unaffected), the
+    /// continuous [`DriftModel`] (throttle curves and background windows
+    /// stretch compute; contention stretches inter-node transfers), and an
+    /// optional adaptive observer that receives every task's
+    /// effective-over-nominal duration ratio. With no windows, no drift and
+    /// no observer the arithmetic is bit-identical to the plain estimate —
+    /// drift never multiplies by 1.0, it simply does not multiply.
+    pub(crate) fn estimate_full(
         &mut self,
         plan: &ExecutionPlan,
         cluster: &Cluster,
         release: f64,
         slowdowns: &[SlowdownWindow],
+        drift: Option<&DriftModel>,
+        mut observer: Option<(&AdaptiveConfig, &mut AdaptiveState)>,
     ) -> Result<f64, CoreError> {
         // Normalise -0.0 like the engine so exact ties order identically.
         let release = release + 0.0;
@@ -2401,7 +2552,7 @@ impl DispatchEstimator {
         self.finish.clear();
         let mut completion = release;
         for task in plan.tasks() {
-            let (duration, resource, compute_node) = match &task.kind {
+            let (duration, resource, compute_node, power_w) = match &task.kind {
                 TaskKind::Compute {
                     target,
                     flops,
@@ -2412,6 +2563,7 @@ impl DispatchEstimator {
                         proc.batched_compute_time(*flops, *gpu_affinity, batch),
                         Some(DispatchResource::Processor(*target)),
                         Some(target.node),
+                        proc.dynamic_power_w(),
                     )
                 }
                 TaskKind::Transfer { from, to, bytes } => {
@@ -2423,7 +2575,7 @@ impl DispatchEstimator {
                     } else {
                         Some(DispatchResource::link(*from, *to))
                     };
-                    (duration, resource, None)
+                    (duration, resource, None, 0.0)
                 }
             };
             let mut start = release;
@@ -2441,11 +2593,31 @@ impl DispatchEstimator {
             if let Some(id) = id {
                 start = start.max(self.free[id]);
             }
+            let nominal = duration;
             let mut duration = duration;
             if let Some(node) = compute_node {
                 for window in slowdowns {
                     if window.applies(node, start) {
                         duration *= window.factor;
+                    }
+                }
+                if let Some(model) = drift {
+                    duration = model.scale_compute(node, start, duration);
+                }
+                self.energy_j += duration * power_w;
+                if let Some((_, state)) = observer.as_mut() {
+                    if nominal > 0.0 {
+                        state.observe_compute(node.0, duration / nominal);
+                    }
+                }
+            } else if id.is_some() {
+                // An inter-node transfer on the shared interconnect.
+                if let Some(model) = drift {
+                    duration = model.scale_transfer(start, duration);
+                }
+                if let Some((_, state)) = observer.as_mut() {
+                    if nominal > 0.0 {
+                        state.observe_transfer(duration / nominal);
                     }
                 }
             }

@@ -162,6 +162,78 @@ impl Cluster {
         Ok(())
     }
 
+    /// Rescales this cluster in place to a *believed* copy of `base`: each
+    /// node's processor throughput is divided by its entry in
+    /// `node_factors` (an effective-slowdown estimate ≥ 1 lowers believed
+    /// speed) and the default link bandwidth by `bandwidth_factor`, with
+    /// availability copied from `base` and the cached fingerprint
+    /// recomputed. Per-pair link overrides are left at their base values —
+    /// the contention model degrades the shared medium, not single radios.
+    ///
+    /// This is how the adaptive serving loop materialises the cluster its
+    /// online estimates describe without allocating: `self` must already be
+    /// a clone of `base` (same shape), so the rescale only writes `f64`
+    /// fields and re-folds the fingerprint. Planning against the believed
+    /// cluster — rather than re-keying the true one — is what makes
+    /// re-planning actually produce *different* plans: strategies are
+    /// deterministic functions of the cluster they see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when the shapes differ
+    /// or a factor is not finite and positive.
+    pub fn apply_rate_factors(
+        &mut self,
+        base: &Cluster,
+        node_factors: &[f64],
+        bandwidth_factor: f64,
+    ) -> Result<(), PlatformError> {
+        if self.nodes.len() != base.nodes.len() || node_factors.len() != base.nodes.len() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "rate factors need matching shapes (cluster {}, base {}, factors {})",
+                    self.nodes.len(),
+                    base.nodes.len(),
+                    node_factors.len()
+                ),
+            });
+        }
+        for &f in node_factors
+            .iter()
+            .chain(std::iter::once(&bandwidth_factor))
+        {
+            if !(f.is_finite() && f > 0.0) {
+                return Err(PlatformError::InvalidParameter {
+                    what: format!("rate factors must be finite and positive (got {f})"),
+                });
+            }
+        }
+        for ((node, base_node), &factor) in self
+            .nodes
+            .iter_mut()
+            .zip(base.nodes.iter())
+            .zip(node_factors.iter())
+        {
+            if node.processors.len() != base_node.processors.len() {
+                return Err(PlatformError::InvalidParameter {
+                    what: "rate factors need identical processor inventories".into(),
+                });
+            }
+            for (p, base_p) in node.processors.iter_mut().zip(base_node.processors.iter()) {
+                p.peak_gflops = base_p.peak_gflops / factor;
+            }
+        }
+        let base_link = base.network.default_link();
+        self.network.set_default_link(crate::network::Link {
+            bandwidth_mbps: base_link.bandwidth_mbps / bandwidth_factor,
+            latency_ms: base_link.latency_ms,
+        });
+        self.available.copy_from_slice(&base.available);
+        self.static_state = Self::static_fingerprint_state(&self.nodes, &self.network);
+        self.fingerprint = Self::fold_availability(self.static_state, &self.available);
+        Ok(())
+    }
+
     /// Marks a node as failed (paper Eq. 4) — convenience wrapper around
     /// [`Cluster::set_available`] for failure-scenario code.
     ///
@@ -404,6 +476,45 @@ mod tests {
         let smaller = pristine.take(3).unwrap();
         assert!(scratch.restore_availability_from(&smaller).is_err());
         assert_eq!(scratch, pristine);
+    }
+
+    #[test]
+    fn rate_factors_rescale_a_believed_clone() {
+        let base = presets::paper_cluster();
+        let mut believed = base.clone();
+        let factors = vec![1.0, 2.0, 1.0, 1.0, 4.0];
+        believed.apply_rate_factors(&base, &factors, 2.0).unwrap();
+        // Node 1's processors are believed half as fast, node 4's a quarter.
+        for (p, base_p) in believed.nodes()[1]
+            .processors
+            .iter()
+            .zip(base.nodes()[1].processors.iter())
+        {
+            assert_eq!(p.peak_gflops, base_p.peak_gflops / 2.0);
+        }
+        assert_eq!(
+            believed.network().default_link().bandwidth_mbps,
+            base.network().default_link().bandwidth_mbps / 2.0
+        );
+        // Untouched nodes keep their base speeds exactly.
+        assert_eq!(believed.nodes()[0], base.nodes()[0]);
+        // The believed cluster has its own identity, and the cached
+        // fingerprint stays consistent with the full recomputation.
+        assert_ne!(believed.fingerprint(), base.fingerprint());
+        assert_eq!(believed.fingerprint(), believed.recomputed_fingerprint());
+        // Unit factors rescale back to the base identity bit for bit.
+        believed.apply_rate_factors(&base, &[1.0; 5], 1.0).unwrap();
+        assert_eq!(believed, base);
+        assert_eq!(believed.fingerprint(), base.fingerprint());
+        // Shape and factor validation.
+        assert!(believed.apply_rate_factors(&base, &[1.0; 3], 1.0).is_err());
+        assert!(believed
+            .apply_rate_factors(&base, &[1.0, 0.0, 1.0, 1.0, 1.0], 1.0)
+            .is_err());
+        let smaller = base.take(3).unwrap();
+        assert!(believed
+            .apply_rate_factors(&smaller, &[1.0; 3], 1.0)
+            .is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod drift;
 mod error;
 mod faultplan;
 mod fingerprint;
@@ -34,6 +35,7 @@ mod processor;
 mod timeline;
 
 pub use cluster::Cluster;
+pub use drift::{BandwidthContention, DriftModel, ThrottleWindow};
 pub use error::PlatformError;
 pub use faultplan::{SlowdownWindow, WanDegradation};
 pub use fleet::{Fleet, WanModel};

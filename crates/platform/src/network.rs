@@ -106,6 +106,15 @@ impl NetworkModel {
         self.default_link
     }
 
+    /// Replaces the default link in place, without touching the overrides —
+    /// the alloc-free rescale [`crate::Cluster::apply_rate_factors`] uses to
+    /// materialise a believed network from online bandwidth estimates.
+    /// Callers own fingerprint maintenance (the cluster recomputes its
+    /// cached state after mutating through this).
+    pub(crate) fn set_default_link(&mut self, link: Link) {
+        self.default_link = link;
+    }
+
     /// Feeds the network description into a fingerprint accumulator.
     /// Overrides are hashed in sorted key order so the hash does not depend
     /// on `HashMap` iteration order.

@@ -82,7 +82,7 @@ impl EnergyMeter {
         for (addr, busy) in self.sorted_busy() {
             let processor = cluster.processor(addr)?;
             let busy = busy.min(window_seconds);
-            energy += (processor.active_power_w - processor.idle_power_w).max(0.0) * busy;
+            energy += processor.dynamic_power_w() * busy;
         }
         Ok(energy)
     }
@@ -100,7 +100,7 @@ impl EnergyMeter {
         let mut energy = 0.0;
         for (addr, busy) in self.sorted_busy() {
             let processor = cluster.processor(addr)?;
-            energy += (processor.active_power_w - processor.idle_power_w).max(0.0) * busy;
+            energy += processor.dynamic_power_w() * busy;
         }
         Ok(energy)
     }

@@ -137,6 +137,14 @@ impl Processor {
         flops as f64 / self.computation_rate(gpu_affinity)
     }
 
+    /// The dynamic power increment of busy time over idle, in watts —
+    /// `(active − idle).max(0)`, the convention [`crate::EnergyMeter`] uses.
+    /// Throttled compute draws this at full rate for *longer*, which is why
+    /// drift inflates energy per inference, not just latency.
+    pub fn dynamic_power_w(&self) -> f64 {
+        (self.active_power_w - self.idle_power_w).max(0.0)
+    }
+
     /// Delivered-throughput multiplier for a batch-`batch` launch, relative
     /// to the calibrated per-inference rate (utilization-aware sublinear
     /// batch cost model).

@@ -101,6 +101,12 @@ impl ClusterTimeline {
         self.events.is_empty()
     }
 
+    /// The time of the last event (0 for an empty timeline) — the horizon
+    /// drift and fault generators size their windows against.
+    pub fn horizon(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time)
+    }
+
     /// Checks that every event references a node of `cluster`.
     ///
     /// # Errors

@@ -226,6 +226,53 @@ impl P2Quantile {
     }
 }
 
+/// An exponentially weighted moving average over a stream of samples —
+/// the online effective-rate estimator the adaptive serving loop keeps per
+/// node. Plain `Copy` state (a level, the smoothing factor and a count), so
+/// per-resource vectors of these reset and update without touching the
+/// heap, and two identical observation sequences produce bit-identical
+/// levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    level: f64,
+    alpha: f64,
+    count: u64,
+}
+
+impl Ewma {
+    /// Creates an estimator at `initial` with smoothing factor `alpha`
+    /// (0 < α ≤ 1; larger α weights recent samples more).
+    pub fn new(alpha: f64, initial: f64) -> Self {
+        Self {
+            level: initial + 0.0,
+            alpha,
+            count: 0,
+        }
+    }
+
+    /// Folds one sample in: `level ← (1 − α)·level + α·sample`.
+    pub fn observe(&mut self, sample: f64) {
+        self.level = (1.0 - self.alpha) * self.level + self.alpha * sample;
+        self.count += 1;
+    }
+
+    /// The current smoothed level.
+    pub fn value(&self) -> f64 {
+        self.level
+    }
+
+    /// Samples folded in since construction or the last reset.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Rewinds to `initial` with the sample count cleared, keeping α.
+    pub fn reset(&mut self, initial: f64) {
+        self.level = initial + 0.0;
+        self.count = 0;
+    }
+}
+
 /// Mean of a slice, `None` when empty.
 pub fn mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
@@ -269,6 +316,31 @@ mod tests {
         let mut plan = ExecutionPlan::new();
         plan.add_compute("a", addr(0, 1), 1_880_000_000, 1.0, &[]);
         simulate(&plan, &cluster).unwrap()
+    }
+
+    #[test]
+    fn ewma_converges_geometrically_and_resets() {
+        let mut e = Ewma::new(0.25, 1.0);
+        for _ in 0..64 {
+            e.observe(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-6, "level {}", e.value());
+        assert_eq!(e.count(), 64);
+        // Identical streams produce bit-identical estimators.
+        let mut f = Ewma::new(0.25, 1.0);
+        for _ in 0..64 {
+            f.observe(3.0);
+        }
+        assert_eq!(e, f);
+        // Convergence is geometric: the gap shrinks by (1 − α) per sample.
+        let mut g = Ewma::new(0.5, 1.0);
+        g.observe(2.0);
+        assert_eq!(g.value(), 1.5);
+        g.observe(2.0);
+        assert_eq!(g.value(), 1.75);
+        e.reset(1.0);
+        assert_eq!(e.value(), 1.0);
+        assert_eq!(e.count(), 0);
     }
 
     #[test]

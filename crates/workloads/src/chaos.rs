@@ -12,7 +12,10 @@
 //! partitioner models a control-plane failure, a different (and currently
 //! out-of-scope) failure domain than the data-plane churn HiDP targets.
 
-use hidp_platform::{ClusterTimeline, NodeIndex, PlatformError, SlowdownWindow, WanDegradation};
+use hidp_platform::{
+    BandwidthContention, ClusterTimeline, DriftModel, NodeIndex, PlatformError, SlowdownWindow,
+    ThrottleWindow, WanDegradation,
+};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -229,6 +232,177 @@ pub fn standard_fault_suite(
         .collect()
 }
 
+/// Configuration of one seeded drift plan — the continuous counterpart of
+/// [`FaultPlanConfig`]: thermal throttle ramps, background-load windows and
+/// network-contention windows instead of binary flips. Kept separate so
+/// every existing fault plan replays bit-identically; chaos recipes mix the
+/// two by generating both against the same horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPlanConfig {
+    /// RNG seed; equal seeds replay identical plans.
+    pub seed: u64,
+    /// Horizon in seconds: every window starts inside `[0, horizon)`.
+    pub horizon: f64,
+    /// Thermal throttle ramps (one drifting node each, factor ramping from
+    /// 1 towards `throttle_peak`).
+    pub throttles: usize,
+    /// Peak duration multiplier a ramp approaches (≥ 1).
+    pub throttle_peak: f64,
+    /// Background-load windows (flat compute slowdowns from co-located
+    /// work).
+    pub background_windows: usize,
+    /// Compute-duration multiplier inside a background window (≥ 1).
+    pub background_factor: f64,
+    /// Network-contention windows (shared-medium bandwidth collapse).
+    pub contention_windows: usize,
+    /// Transfer-duration multiplier inside a contention window (≥ 1).
+    pub contention_factor: f64,
+}
+
+impl Default for DriftPlanConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xD21F7,
+            horizon: 10.0,
+            throttles: 1,
+            throttle_peak: 3.0,
+            background_windows: 1,
+            background_factor: 1.5,
+            contention_windows: 1,
+            contention_factor: 2.0,
+        }
+    }
+}
+
+impl DriftPlanConfig {
+    fn validate(&self) -> Result<(), PlatformError> {
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(PlatformError::InvalidParameter {
+                what: format!("drift plan horizon must be positive (got {})", self.horizon),
+            });
+        }
+        for (name, v) in [
+            ("throttle peak", self.throttle_peak),
+            ("background factor", self.background_factor),
+            ("contention factor", self.contention_factor),
+        ] {
+            if !(v.is_finite() && v >= 1.0) {
+                return Err(PlatformError::InvalidParameter {
+                    what: format!("drift plan {name} must be ≥ 1 (got {v})"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the drift model for a cluster of `node_count` nodes, never
+    /// drifting `protected` (the planning leader — throttling the
+    /// partitioner's host is a control-plane failure, out of scope exactly
+    /// as for [`FaultPlan::generate`]).
+    ///
+    /// Deterministic: equal `(config, node_count, protected)` triples yield
+    /// bit-identical models. Throttle ramps are long (40–70% of the
+    /// horizon) so a static plan keeps paying them; background and
+    /// contention windows are short bursts (10–20%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] when the config is
+    /// invalid or the cluster has no node besides `protected` to drift.
+    pub fn generate(
+        &self,
+        node_count: usize,
+        protected: NodeIndex,
+    ) -> Result<DriftModel, PlatformError> {
+        self.validate()?;
+        let driftable: Vec<usize> = (0..node_count).filter(|&n| n != protected.0).collect();
+        let needs_nodes = self.throttles > 0 || self.background_windows > 0;
+        if needs_nodes && driftable.is_empty() {
+            return Err(PlatformError::InvalidParameter {
+                what: format!(
+                    "cluster of {node_count} nodes has nothing to drift besides \
+                     the protected leader"
+                ),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut model = DriftModel::default();
+
+        for _ in 0..self.throttles {
+            let node = NodeIndex(driftable[rng.gen_range(0..driftable.len())]);
+            let start = rng.gen_range(0.0..self.horizon * 0.3);
+            let end = start + self.horizon * rng.gen_range(0.4..0.7);
+            let to_factor = 1.0 + (self.throttle_peak - 1.0) * rng.gen_range(0.6..1.0);
+            model.throttles.push(ThrottleWindow {
+                node,
+                start,
+                end,
+                from_factor: 1.0,
+                to_factor,
+            });
+        }
+
+        for _ in 0..self.background_windows {
+            let node = NodeIndex(driftable[rng.gen_range(0..driftable.len())]);
+            let start = rng.gen_range(0.0..self.horizon * 0.8);
+            let end = start + self.horizon * rng.gen_range(0.1..0.2);
+            model.background.push(SlowdownWindow {
+                node,
+                start,
+                end,
+                factor: self.background_factor,
+            });
+        }
+
+        for _ in 0..self.contention_windows {
+            let start = rng.gen_range(0.0..self.horizon * 0.8);
+            let end = start + self.horizon * rng.gen_range(0.1..0.2);
+            model.bandwidth.push(BandwidthContention {
+                start,
+                end,
+                factor: self.contention_factor,
+            });
+        }
+
+        Ok(model)
+    }
+}
+
+/// The standard drift suite the adaptive gates run against: one seeded
+/// [`DriftModel`] per cluster, with per-cluster decorrelated seeds — a
+/// throttle ramp everywhere, a background-load burst on the first cluster
+/// and network contention on the second (when present).
+///
+/// # Errors
+///
+/// Propagates [`DriftPlanConfig::generate`] errors (degenerate clusters).
+pub fn standard_drift_suite(
+    node_counts: &[usize],
+    seed: u64,
+    horizon: f64,
+    protected: NodeIndex,
+) -> Result<Vec<DriftModel>, PlatformError> {
+    node_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &nodes)| {
+            let config = DriftPlanConfig {
+                seed: seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                horizon,
+                throttles: 1,
+                throttle_peak: 3.0,
+                background_windows: usize::from(i == 0),
+                background_factor: 1.5,
+                contention_windows: usize::from(i == 1),
+                contention_factor: 2.5,
+            };
+            config.generate(nodes, protected)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +499,63 @@ mod tests {
             NodeIndex(1)
         )
         .is_err());
+    }
+
+    #[test]
+    fn drift_plans_replay_and_protect_the_leader() {
+        let config = DriftPlanConfig {
+            throttles: 6,
+            background_windows: 4,
+            contention_windows: 2,
+            ..DriftPlanConfig::default()
+        };
+        let a = config.generate(5, NodeIndex(1)).unwrap();
+        assert_eq!(a, config.generate(5, NodeIndex(1)).unwrap());
+        assert_ne!(
+            a,
+            DriftPlanConfig {
+                seed: config.seed + 1,
+                ..config
+            }
+            .generate(5, NodeIndex(1))
+            .unwrap()
+        );
+        for protected in 0..5 {
+            let plan = config.generate(5, NodeIndex(protected)).unwrap();
+            assert!(plan
+                .throttles
+                .iter()
+                .all(|w| w.node != NodeIndex(protected)));
+            assert!(plan
+                .background
+                .iter()
+                .all(|w| w.node != NodeIndex(protected)));
+            plan.validate(5).unwrap();
+            assert!(plan.horizon() <= config.horizon * 1.0 + config.horizon * 0.7);
+        }
+        // Degenerate configs are rejected.
+        assert!(config.generate(1, NodeIndex(0)).is_err());
+        assert!(DriftPlanConfig {
+            throttle_peak: 0.5,
+            ..config
+        }
+        .generate(5, NodeIndex(1))
+        .is_err());
+    }
+
+    #[test]
+    fn standard_drift_suite_covers_all_three_sources() {
+        let plans = standard_drift_suite(&[5, 5, 5], 7, 10.0, NodeIndex(1)).unwrap();
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|p| !p.throttles.is_empty()));
+        assert!(!plans[0].background.is_empty());
+        assert!(plans[1].background.is_empty());
+        assert!(!plans[1].bandwidth.is_empty());
+        assert!(plans[2].bandwidth.is_empty());
+        assert_eq!(
+            plans,
+            standard_drift_suite(&[5, 5, 5], 7, 10.0, NodeIndex(1)).unwrap()
+        );
     }
 
     #[test]

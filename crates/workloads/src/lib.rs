@@ -21,7 +21,9 @@ pub mod mixes;
 mod request;
 mod stream;
 
-pub use chaos::{standard_fault_suite, FaultPlan, FaultPlanConfig};
+pub use chaos::{
+    standard_drift_suite, standard_fault_suite, DriftPlanConfig, FaultPlan, FaultPlanConfig,
+};
 pub use request::InferenceRequest;
 pub use stream::{
     bursty_stream, diurnal_stream, dynamic_scenario, failure_injected_stream, poisson_stream,

@@ -219,6 +219,85 @@ fn steady_state_fleet_pass_allocates_nothing() {
 }
 
 #[test]
+fn steady_state_adaptive_drift_pass_allocates_nothing() {
+    // The drift extension of the serving contract: with a seeded
+    // throttling/contention trace active and the full adaptive loop armed —
+    // EWMA estimation on every completion, hysteresis-bounded re-planning
+    // on the believed cluster — the steady-state pass still performs
+    // **zero** heap allocations. The believed cluster is retained across
+    // resets (deactivated, not dropped) so re-derating rescales it in
+    // place, and the quantized belief grid keeps the re-planned keys inside
+    // the already-populated cache. This is the test-suite twin of the
+    // `exp_drift` bounded-memory gate.
+    let cluster = presets::paper_cluster();
+    let strategy = HidpStrategy::new();
+
+    let requests = hidp_bench::soak_trace(1_000);
+    let horizon = requests
+        .iter()
+        .map(|r| r.arrival)
+        .fold(0.0, f64::max)
+        .max(1.0);
+    let trace = hidp_bench::drift_trace(cluster.len(), horizon, 0xD21F7);
+    let scenario = hidp_bench::drift_scenario(
+        requests,
+        "zero-alloc-drift",
+        Some(trace),
+        Some(hidp::core::AdaptiveConfig::default()),
+    );
+
+    let cache = PlanCache::new();
+    let mut scratch = ServingScratch::new();
+    // Cold pass: plans every (model, batch, believed-fingerprint) key and
+    // sizes the estimator arrays. Second pass fixes the expected summary.
+    scenario
+        .run_streaming_with_cache_in(
+            &strategy,
+            &cluster,
+            hidp_bench::LEADER,
+            &cache,
+            &mut scratch,
+        )
+        .expect("drift warm pass succeeds");
+    let expected = scenario
+        .run_streaming_with_cache_in(
+            &strategy,
+            &cluster,
+            hidp_bench::LEADER,
+            &cache,
+            &mut scratch,
+        )
+        .expect("drift pass succeeds");
+    assert!(
+        expected.drift.replans > 0,
+        "the trace must actually trigger re-planning or the contract is \
+         vacuous: {:?}",
+        expected.drift
+    );
+    assert!(expected.drift.observations > 0);
+
+    let before = allocations_on_this_thread();
+    for _ in 0..5 {
+        let summary = scenario
+            .run_streaming_with_cache_in(
+                &strategy,
+                &cluster,
+                hidp_bench::LEADER,
+                &cache,
+                &mut scratch,
+            )
+            .expect("drift pass succeeds");
+        assert_eq!(summary, expected);
+    }
+    let allocations = allocations_on_this_thread() - before;
+    assert_eq!(
+        allocations, 0,
+        "the steady-state adaptive drift pass must not allocate (got \
+         {allocations} allocations over 5 passes of 1000 drifted requests)"
+    );
+}
+
+#[test]
 fn steady_state_recovery_path_allocates_nothing() {
     // The chaos extension of the fleet contract: with kill semantics, a
     // seeded fault suite (flaps, a rack outage, stragglers, WAN windows)
